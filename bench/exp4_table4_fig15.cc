@@ -1,0 +1,196 @@
+// Experiment 4 (paper §7.4, Tables 3-4, Figure 15): ranking of the legal
+// rewritings that replace the deleted relation R2 (4000 tuples) by one of
+// S1..S5 (2000..6000 tuples), under three quality/cost trade-offs.
+//
+// Environment (Table 3): the containment chain S1 c S2 c S3 = R2 c S4 c S5
+// is declared pairwise in the MKB; the view synchronizer derives the direct
+// replacements transitively.  System parameters per the paper:
+// w = (0.7, 0.3), rho_D = (0.5, 0.5), rho_attr/ext = (0.7, 0.3),
+// unit costs (0.1, 0.7, 0.2), js = 0.005, sigma = 0.5; cost of a single
+// data update at R1; Eq. 33 upper I/O bound (see EXPERIMENTS.md for the
+// lower/upper discrepancy between the paper's experiments).
+//
+// Note on the paper's Table 4: the DD column rows V4/V5 print 0.027/0.045,
+// but the QC column is only consistent with DD = 0.030/0.050
+// (= rho_ext * DD_ext with DD_ext = 0.10 / 0.1667).  This harness prints
+// the self-consistent values; every QC score then matches the paper's.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util/table_printer.h"
+#include "common/str_util.h"
+#include "esql/parser.h"
+#include "misd/mkb.h"
+#include "qc/quality.h"
+#include "qc/ranking.h"
+#include "synch/synchronizer.h"
+
+using namespace eve;
+
+namespace {
+
+struct Environment {
+  MetaKnowledgeBase mkb;
+  ViewDefinition view;
+  std::vector<Rewriting> rewritings;  // V1..V5, keyed by replacement S1..S5.
+};
+
+bool Build(Environment* env) {
+  const Schema abc({Attribute::Make("A", DataType::kInt64, 34),
+                    Attribute::Make("B", DataType::kInt64, 33),
+                    Attribute::Make("C", DataType::kInt64, 33)});
+  const Schema r1({Attribute::Make("K", DataType::kInt64, 100)});
+  if (!env->mkb.RegisterRelationWithStats({"IS0", "R1"}, r1, 400, 0.5).ok() ||
+      !env->mkb.RegisterRelationWithStats({"IS1", "R2"}, abc, 4000, 0.5).ok()) {
+    return false;
+  }
+  const int64_t cards[] = {2000, 3000, 4000, 5000, 6000};
+  for (int i = 0; i < 5; ++i) {
+    const RelationId id{"IS" + std::to_string(i + 2), "S" + std::to_string(i + 1)};
+    if (!env->mkb.RegisterRelationWithStats(id, abc, cards[i], 0.5).ok()) {
+      return false;
+    }
+  }
+  auto pc = [&](RelationId a, RelationId b, PcRelationType t) {
+    return env->mkb.AddPcConstraint(MakeProjectionPc(a, b, {"A", "B", "C"}, t))
+        .ok();
+  };
+  if (!pc({"IS2", "S1"}, {"IS3", "S2"}, PcRelationType::kSubset) ||
+      !pc({"IS3", "S2"}, {"IS4", "S3"}, PcRelationType::kSubset) ||
+      !pc({"IS4", "S3"}, {"IS1", "R2"}, PcRelationType::kEquivalent) ||
+      !pc({"IS4", "S3"}, {"IS5", "S4"}, PcRelationType::kSubset) ||
+      !pc({"IS5", "S4"}, {"IS6", "S5"}, PcRelationType::kSubset)) {
+    return false;
+  }
+  env->mkb.stats().set_join_selectivity(0.005);
+
+  auto view = ParseViewDefinition(
+      "CREATE VIEW V AS SELECT R2.A (AR=true), R2.B (AR=true), R2.C (AR=true) "
+      "FROM R1, R2 (RR=true) "
+      "WHERE (R1.K = R2.A) (CR=true) AND (R2.B > 5) (CR=true)");
+  if (!view.ok()) return false;
+  env->view = view.value();
+
+  ViewSynchronizer synchronizer(env->mkb);
+  auto sync = synchronizer.Synchronize(
+      env->view, SchemaChange(DeleteRelation{RelationId{"IS1", "R2"}}));
+  if (!sync.ok() || !sync->affected) return false;
+  for (Rewriting& rw : sync->rewritings) {
+    if (rw.replacements.size() == 1) env->rewritings.push_back(std::move(rw));
+  }
+  return env->rewritings.size() == 5;
+}
+
+// The paper costs a single update originating at R1 (Eq. 33 upper I/O
+// bound; see EXPERIMENTS.md).
+double R1OriginCost(const MetaKnowledgeBase& mkb, const ViewDefinition& def,
+                    const QcParameters& params) {
+  CostModelOptions cost;
+  cost.io_policy = IoBoundPolicy::kUpper;
+  cost.block.block_bytes = 1000;
+  const auto input = BuildCostInput(def, mkb);
+  if (!input.ok()) return -1;
+  const auto cf = SingleUpdateCost(input.value(), 0, cost);  // R1 first.
+  return cf.ok() ? cf->Weighted(params) : -1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s",
+              Banner("Experiment 4 / Tables 3-4, Figure 15: relation cardinality").c_str());
+
+  Environment env;
+  if (!Build(&env)) {
+    std::fprintf(stderr, "environment construction failed\n");
+    return 1;
+  }
+
+  std::printf("Table 3 environment: R2(A,B,C) 4000 tuples; replacements\n"
+              "S1..S5 = 2000/3000/4000/5000/6000; S1 c S2 c S3 = R2 c S4 c S5\n\n");
+
+  // --- Table 4 (case 1: rho_quality = 0.9, rho_cost = 0.1) -------------------
+  QcParameters params;
+  TablePrinter table({"Rewriting", "DD_attr", "DD_ext", "DD",
+                      "Cost (Norm. Cost)", "QC(Vi)", "Rating"});
+  std::vector<double> costs;
+  std::map<std::string, QualityBreakdown> quality_of;
+  std::map<std::string, double> cost_of;
+  for (const Rewriting& rw : env.rewritings) {
+    const std::string name = rw.replacements[0].replacement.relation;
+    const auto q = EstimateQuality(env.view, rw, env.mkb, params);
+    if (!q.ok()) return 1;
+    quality_of[name] = q.value();
+    cost_of[name] = R1OriginCost(env.mkb, rw.definition, params);
+  }
+  for (int i = 1; i <= 5; ++i) costs.push_back(cost_of["S" + std::to_string(i)]);
+  const std::vector<double> normalized = NormalizeCosts(costs);
+
+  struct Row {
+    std::string name;
+    double qc;
+  };
+  std::vector<Row> rows;
+  for (int i = 1; i <= 5; ++i) {
+    const std::string name = "S" + std::to_string(i);
+    const QualityBreakdown& q = quality_of[name];
+    const double qc = 1.0 - (0.9 * q.dd + 0.1 * normalized[i - 1]);
+    rows.push_back(Row{name, qc});
+  }
+  std::vector<int> rating(5, 1);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      if (rows[j].qc > rows[i].qc) rating[i] += 1;
+    }
+  }
+  for (int i = 0; i < 5; ++i) {
+    const std::string name = rows[i].name;
+    const QualityBreakdown& q = quality_of[name];
+    table.AddRow({StrFormat("V%d (by %s)", i + 1, name.c_str()),
+                  FormatDouble(q.dd_attr, 4), FormatDouble(q.dd_ext, 4),
+                  FormatDouble(q.dd, 4),
+                  StrFormat("%s (%s)", FormatDouble(costs[i], 1).c_str(),
+                            FormatDouble(normalized[i], 4).c_str()),
+                  FormatDouble(rows[i].qc, 5), FormatDouble(rating[i])});
+  }
+  std::printf("Table 4 (case 1: rho_quality=0.9, rho_cost=0.1):\n%s\n",
+              table.Render().c_str());
+  std::printf("Paper's row values: DD 0.075/0.0375/0/0.030*/0.050*, cost\n"
+              "842.3/1193.3/1544.3/1895.3/2246.3, QC 0.9325/0.94125/0.95/\n"
+              "0.898/0.855, rating 3/2/1/4/5 (* = corrected, see header).\n\n");
+
+  // --- Figure 15: three trade-off cases ----------------------------------------
+  for (const auto& [label, rq, rc] :
+       std::vector<std::tuple<const char*, double, double>>{
+           {"Case 1 (qual 0.9, cost 0.1)", 0.9, 0.1},
+           {"Case 2 (qual 0.75, cost 0.25)", 0.75, 0.25},
+           {"Case 3 (qual 0.5, cost 0.5)", 0.5, 0.5}}) {
+    std::vector<std::string> x_labels;
+    std::vector<double> qcs;
+    std::string best;
+    double best_qc = -1;
+    for (int i = 1; i <= 5; ++i) {
+      const std::string name = "S" + std::to_string(i);
+      const double qc =
+          1.0 - (rq * quality_of[name].dd + rc * normalized[i - 1]);
+      x_labels.push_back(StrFormat("V%d", i));
+      qcs.push_back(qc);
+      if (qc > best_qc) {
+        best_qc = qc;
+        best = StrFormat("V%d (by %s)", i, name.c_str());
+      }
+    }
+    std::printf("%s\n", RenderSeries(std::string("Figure 15, ") + label,
+                                     x_labels, qcs)
+                            .c_str());
+    std::printf("  -> best legal rewriting: %s\n\n", best.c_str());
+  }
+
+  std::printf(
+      "Findings (paper §7.4): quality-heavy weighting picks V3 (the\n"
+      "equivalent replacement); cost-aware weightings shift the choice to\n"
+      "V1 (the smallest); among superset replacements V3 > V4 > V5 under\n"
+      "every setting.\n");
+  return 0;
+}

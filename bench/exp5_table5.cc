@@ -1,0 +1,163 @@
+// Experiment 5, workload model M1 (paper §7.5, Table 5): the number of
+// updates is proportional to the relation's size (1 update per 100 tuples).
+//
+// The paper's Table 5 keeps the normalized costs of Table 4 ({0, .25, .5,
+// .75, 1}) and argues that "since our model normalizes the cost factor ...
+// both the normalized cost factors and hence the final efficiency values
+// are unchanged".  Computed exactly (total = cost/update x #updates, then
+// Eq. 25), the normalized costs are {0, .161, .381, .661, 1} because the
+// per-update cost is affine -- not proportional -- in |S|.  The paper's
+// CONCLUSION is nevertheless correct: the ranking V3 > V2 > V1 > V4 > V5
+// is unchanged.  This harness prints both the paper's claimed values and
+// the exact ones.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util/table_printer.h"
+#include "common/str_util.h"
+#include "esql/parser.h"
+#include "misd/mkb.h"
+#include "qc/quality.h"
+#include "qc/ranking.h"
+#include "synch/synchronizer.h"
+
+using namespace eve;
+
+namespace {
+
+// Same environment as Experiment 4 (see exp4_table4_fig15.cc).
+struct Environment {
+  MetaKnowledgeBase mkb;
+  ViewDefinition view;
+  std::vector<Rewriting> rewritings;
+};
+
+bool Build(Environment* env) {
+  const Schema abc({Attribute::Make("A", DataType::kInt64, 34),
+                    Attribute::Make("B", DataType::kInt64, 33),
+                    Attribute::Make("C", DataType::kInt64, 33)});
+  const Schema r1({Attribute::Make("K", DataType::kInt64, 100)});
+  if (!env->mkb.RegisterRelationWithStats({"IS0", "R1"}, r1, 400, 0.5).ok() ||
+      !env->mkb.RegisterRelationWithStats({"IS1", "R2"}, abc, 4000, 0.5).ok()) {
+    return false;
+  }
+  const int64_t cards[] = {2000, 3000, 4000, 5000, 6000};
+  for (int i = 0; i < 5; ++i) {
+    const RelationId id{"IS" + std::to_string(i + 2), "S" + std::to_string(i + 1)};
+    if (!env->mkb.RegisterRelationWithStats(id, abc, cards[i], 0.5).ok()) {
+      return false;
+    }
+  }
+  auto pc = [&](RelationId a, RelationId b, PcRelationType t) {
+    return env->mkb.AddPcConstraint(MakeProjectionPc(a, b, {"A", "B", "C"}, t))
+        .ok();
+  };
+  if (!pc({"IS2", "S1"}, {"IS3", "S2"}, PcRelationType::kSubset) ||
+      !pc({"IS3", "S2"}, {"IS4", "S3"}, PcRelationType::kSubset) ||
+      !pc({"IS4", "S3"}, {"IS1", "R2"}, PcRelationType::kEquivalent) ||
+      !pc({"IS4", "S3"}, {"IS5", "S4"}, PcRelationType::kSubset) ||
+      !pc({"IS5", "S4"}, {"IS6", "S5"}, PcRelationType::kSubset)) {
+    return false;
+  }
+  env->mkb.stats().set_join_selectivity(0.005);
+  auto view = ParseViewDefinition(
+      "CREATE VIEW V AS SELECT R2.A (AR=true), R2.B (AR=true), R2.C (AR=true) "
+      "FROM R1, R2 (RR=true) "
+      "WHERE (R1.K = R2.A) (CR=true) AND (R2.B > 5) (CR=true)");
+  if (!view.ok()) return false;
+  env->view = view.value();
+  ViewSynchronizer synchronizer(env->mkb);
+  auto sync = synchronizer.Synchronize(
+      env->view, SchemaChange(DeleteRelation{RelationId{"IS1", "R2"}}));
+  if (!sync.ok()) return false;
+  for (Rewriting& rw : sync->rewritings) {
+    if (rw.replacements.size() == 1) env->rewritings.push_back(std::move(rw));
+  }
+  return env->rewritings.size() == 5;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", Banner("Experiment 5 / Table 5: workload model M1").c_str());
+
+  Environment env;
+  if (!Build(&env)) {
+    std::fprintf(stderr, "environment construction failed\n");
+    return 1;
+  }
+  QcParameters params;  // rho_quality = 0.9, rho_cost = 0.1 (Table 5 uses
+                        // the case-1 setting of Experiment 4).
+  CostModelOptions cost;
+  cost.io_policy = IoBoundPolicy::kUpper;
+  cost.block.block_bytes = 1000;
+
+  // Per-update cost of an update at R1 (as in Table 4) and the M1 update
+  // count of the replacement relation (1 update per 100 tuples).
+  struct Row {
+    std::string name;
+    double dd;
+    double per_update;
+    double updates;
+    double total;
+  };
+  std::vector<Row> rows;
+  for (const Rewriting& rw : env.rewritings) {
+    Row row;
+    row.name = rw.replacements[0].replacement.relation;
+    const auto q = EstimateQuality(env.view, rw, env.mkb, params);
+    if (!q.ok()) return 1;
+    row.dd = q->dd;
+    const auto input = BuildCostInput(rw.definition, env.mkb);
+    if (!input.ok()) return 1;
+    const auto cf = SingleUpdateCost(input.value(), 0, cost);
+    if (!cf.ok()) return 1;
+    row.per_update = cf->Weighted(params);
+    const auto stats = env.mkb.stats().Get(rw.replacements[0].replacement);
+    if (!stats.ok()) return 1;
+    row.updates = static_cast<double>(stats->cardinality) / 100.0;
+    row.total = row.per_update * row.updates;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+
+  std::vector<double> totals;
+  for (const Row& r : rows) totals.push_back(r.total);
+  const std::vector<double> normalized = NormalizeCosts(totals);
+
+  TablePrinter table({"Rewriting", "DD", "Cost/update", "#updates",
+                      "Total cost", "Norm. (exact)", "Norm. (paper)",
+                      "QC (exact)", "QC (paper)", "Rating"});
+  std::vector<double> qc_exact;
+  const double paper_norm[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    qc_exact.push_back(1.0 - (0.9 * rows[i].dd + 0.1 * normalized[i]));
+  }
+  std::vector<int> rating(rows.size(), 1);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < rows.size(); ++j) {
+      if (qc_exact[j] > qc_exact[i]) rating[i] += 1;
+    }
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double qc_paper = 1.0 - (0.9 * rows[i].dd + 0.1 * paper_norm[i]);
+    table.AddRow({StrFormat("V%zu (by %s)", i + 1, rows[i].name.c_str()),
+                  FormatDouble(rows[i].dd, 4),
+                  FormatDouble(rows[i].per_update, 1),
+                  FormatDouble(rows[i].updates, 0),
+                  FormatDouble(rows[i].total, 0),
+                  FormatDouble(normalized[i], 4),
+                  FormatDouble(paper_norm[i], 2),
+                  FormatDouble(qc_exact[i], 5), FormatDouble(qc_paper, 5),
+                  FormatDouble(rating[i])});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper Table 5 reports #updates 20/30/40/50/60 and keeps Table 4's\n"
+      "normalized costs and QC scores.  The exact normalization differs\n"
+      "(see header), but the RANKING is identical either way:\n"
+      "V3 > V2 > V1 > V4 > V5 -- the paper's conclusion holds.\n");
+  return 0;
+}

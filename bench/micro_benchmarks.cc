@@ -1,0 +1,147 @@
+// Google-benchmark micro suite: throughput of the library's core paths.
+//   * E-SQL parsing (lexer + parser + validation)
+//   * view execution (hash joins over the in-memory engine)
+//   * rewriting generation (synchronizer, transitive PC discovery)
+//   * QC ranking (quality estimation + cost model + normalization)
+//   * incremental maintenance of one update (Algorithm 1 simulator)
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "esql/parser.h"
+#include "algebra/executor.h"
+#include "maintenance/maintainer.h"
+#include "misd/mkb.h"
+#include "qc/ranking.h"
+#include "space/information_space.h"
+#include "storage/generator.h"
+#include "synch/synchronizer.h"
+
+namespace eve {
+namespace {
+
+const char* kViewText =
+    "CREATE VIEW AsiaCustomer (VE = subset) AS "
+    "SELECT C.Name (AR=true), C.Address (AD=true, AR=true), "
+    "C.Phone (AD=true, AR=true), F.Dest (AD=true) "
+    "FROM Customer C (RR=true), FlightRes F (RD=true) "
+    "WHERE (C.Name = F.PName) (CR=true) AND (F.Dest = 7) (CD=true)";
+
+void BM_ParseView(benchmark::State& state) {
+  for (auto _ : state) {
+    auto view = ParseViewDefinition(kViewText);
+    benchmark::DoNotOptimize(view);
+  }
+}
+BENCHMARK(BM_ParseView);
+
+struct ExecFixture {
+  InformationSpace space;
+  ViewDefinition view;
+
+  explicit ExecFixture(int64_t cardinality) {
+    Random rng(17);
+    GeneratorOptions gen;
+    gen.cardinality = cardinality;
+    gen.num_attributes = 2;
+    gen.key_domain = cardinality / 2;
+    (void)space.AddRelation("IS1", GenerateRelation("R", gen, &rng));
+    (void)space.AddRelation("IS2", GenerateRelation("S", gen, &rng));
+    view = ParseViewDefinition(
+               "CREATE VIEW V AS SELECT R.A, R.B, S.B AS SB FROM R, S "
+               "WHERE R.A = S.A")
+               .value();
+  }
+};
+
+void BM_ExecuteJoinView(benchmark::State& state) {
+  ExecFixture fixture(state.range(0));
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = ExecuteView(fixture.view, fixture.space);
+    tuples += result.ok() ? result->cardinality() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(tuples);
+}
+BENCHMARK(BM_ExecuteJoinView)->Arg(256)->Arg(1024)->Arg(4096);
+
+struct SynchFixture {
+  MetaKnowledgeBase mkb;
+  ViewDefinition view;
+  SchemaChange change{DeleteRelation{RelationId{"IS1", "R2"}}};
+
+  SynchFixture() {
+    const Schema abc({Attribute::Make("A", DataType::kInt64, 34),
+                      Attribute::Make("B", DataType::kInt64, 33),
+                      Attribute::Make("C", DataType::kInt64, 33)});
+    const Schema r1({Attribute::Make("K", DataType::kInt64, 100)});
+    (void)mkb.RegisterRelationWithStats({"IS0", "R1"}, r1, 400, 0.5);
+    (void)mkb.RegisterRelationWithStats({"IS1", "R2"}, abc, 4000, 0.5);
+    for (int i = 0; i < 5; ++i) {
+      (void)mkb.RegisterRelationWithStats(
+          {"IS" + std::to_string(i + 2), "S" + std::to_string(i + 1)}, abc,
+          2000 + 1000 * i, 0.5);
+    }
+    auto pc = [&](RelationId a, RelationId b, PcRelationType t) {
+      (void)mkb.AddPcConstraint(MakeProjectionPc(a, b, {"A", "B", "C"}, t));
+    };
+    pc({"IS2", "S1"}, {"IS3", "S2"}, PcRelationType::kSubset);
+    pc({"IS3", "S2"}, {"IS4", "S3"}, PcRelationType::kSubset);
+    pc({"IS4", "S3"}, {"IS1", "R2"}, PcRelationType::kEquivalent);
+    pc({"IS4", "S3"}, {"IS5", "S4"}, PcRelationType::kSubset);
+    pc({"IS5", "S4"}, {"IS6", "S5"}, PcRelationType::kSubset);
+    view = ParseViewDefinition(
+               "CREATE VIEW V AS SELECT R2.A (AR=true), R2.B (AR=true), "
+               "R2.C (AR=true) FROM R1, R2 (RR=true) "
+               "WHERE (R1.K = R2.A) (CR=true) AND (R2.B > 5) (CR=true)")
+               .value();
+  }
+};
+
+void BM_SynchronizeView(benchmark::State& state) {
+  SynchFixture fixture;
+  ViewSynchronizer synchronizer(fixture.mkb);
+  for (auto _ : state) {
+    auto result = synchronizer.Synchronize(fixture.view, fixture.change);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SynchronizeView);
+
+void BM_QcRanking(benchmark::State& state) {
+  SynchFixture fixture;
+  ViewSynchronizer synchronizer(fixture.mkb);
+  auto sync = synchronizer.Synchronize(fixture.view, fixture.change);
+  QcModel model(QcParameters{}, CostModelOptions{}, WorkloadOptions{});
+  for (auto _ : state) {
+    auto ranking = model.Rank(fixture.view, sync->rewritings, fixture.mkb);
+    benchmark::DoNotOptimize(ranking);
+  }
+}
+BENCHMARK(BM_QcRanking);
+
+void BM_IncrementalMaintenance(benchmark::State& state) {
+  ExecFixture fixture(state.range(0));
+  ViewMaintainer maintainer(fixture.space);
+  Relation extent = maintainer.Recompute(fixture.view).value();
+  Random rng(3);
+  int64_t processed = 0;
+  for (auto _ : state) {
+    DataUpdate update{
+        UpdateKind::kInsert, RelationId{"IS1", "R"},
+        Tuple{Value(static_cast<int64_t>(rng.Uniform(state.range(0) / 2))),
+              Value(static_cast<int64_t>(rng.Uniform(1000)))}};
+    (void)fixture.space.ApplyDataUpdate(update);
+    auto counters = maintainer.ProcessUpdate(fixture.view, update, &extent);
+    benchmark::DoNotOptimize(counters);
+    ++processed;
+  }
+  state.SetItemsProcessed(processed);
+}
+BENCHMARK(BM_IncrementalMaintenance)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace eve
+
+BENCHMARK_MAIN();

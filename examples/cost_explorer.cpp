@@ -1,0 +1,116 @@
+// Interactive-style exploration of the analytic maintenance-cost model
+// (paper §6): prints how the three cost factors react to each system
+// parameter of Table 1, one sweep at a time.  Useful for building intuition
+// about the trade-off surface the QC-Model optimizes over.
+//
+// Build & run:  ./build/examples/cost_explorer
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/experiment_common.h"
+#include "bench_util/table_printer.h"
+#include "bench_util/distributions.h"
+#include "common/str_util.h"
+#include "qc/parameters.h"
+
+using namespace eve;
+
+namespace {
+
+void SweepSites() {
+  std::printf("%s", Banner("sweep: number of sites (6 relations, Table 1)").c_str());
+  TablePrinter table({"sites", "CF_M", "CF_T (bytes)", "CF_IO"});
+  const UniformParams params;
+  const CostModelOptions options = MakeUniformOptions(params);
+  for (int m = 1; m <= 6; ++m) {
+    // Even distribution (as even as possible).
+    std::vector<int> dist(m, 6 / m);
+    for (int i = 0; i < 6 % m; ++i) dist[i] += 1;
+    const auto cf =
+        SiteAveragedUpdateCost(MakeUniformInput(dist, params), options);
+    if (!cf.ok()) continue;
+    table.AddRow({FormatDouble(m), FormatDouble(cf->messages, 2),
+                  FormatDouble(cf->bytes, 1), FormatDouble(cf->ios, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void SweepJoinSelectivity() {
+  std::printf("%s", Banner("sweep: join selectivity js (2 sites, 3+3)").c_str());
+  TablePrinter table({"js", "js*|R|", "CF_T (bytes)", "CF_IO"});
+  UniformParams params;
+  const CostModelOptions options = MakeUniformOptions(params);
+  for (double js : {0.0005, 0.001, 0.0022, 0.005, 0.01, 0.02}) {
+    params.join_selectivity = js;
+    ViewCostInput input = MakeUniformInput({3, 3}, params);
+    const auto cf = SiteAveragedUpdateCost(input, options);
+    if (!cf.ok()) continue;
+    table.AddRow({FormatDouble(js, 4), FormatDouble(js * 400, 2),
+                  FormatDouble(cf->bytes, 1), FormatDouble(cf->ios, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "js*|R| < 1 shrinks the delta as it travels; js*|R| > 1 amplifies it\n"
+      "exponentially along the site chain (why Fig. 14's panels differ).\n\n");
+}
+
+void SweepCardinality() {
+  std::printf("%s", Banner("sweep: relation cardinality (2 sites, 3+3)").c_str());
+  TablePrinter table({"|R|", "CF_T (bytes)", "CF_IO"});
+  UniformParams params;
+  const CostModelOptions options = MakeUniformOptions(params);
+  for (int64_t card : {100, 200, 400, 800, 1600}) {
+    params.cardinality = card;
+    const auto cf =
+        SiteAveragedUpdateCost(MakeUniformInput({3, 3}, params), options);
+    if (!cf.ok()) continue;
+    table.AddRow({FormatDouble(static_cast<double>(card)),
+                  FormatDouble(cf->bytes, 1), FormatDouble(cf->ios, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void SweepSelectivity() {
+  std::printf("%s", Banner("sweep: local selectivity sigma (2 sites, 3+3)").c_str());
+  TablePrinter table({"sigma", "CF_T (bytes)"});
+  UniformParams params;
+  const CostModelOptions options = MakeUniformOptions(params);
+  for (double sigma : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    params.local_selectivity = sigma;
+    const auto cf =
+        SiteAveragedUpdateCost(MakeUniformInput({3, 3}, params), options);
+    if (!cf.ok()) continue;
+    table.AddRow({FormatDouble(sigma, 2), FormatDouble(cf->bytes, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void ShowWeightedCost() {
+  std::printf("%s", Banner("weighted cost (Eq. 24) at the paper's unit prices").c_str());
+  const UniformParams params;
+  const CostModelOptions options = MakeUniformOptions(params);
+  QcParameters qc;  // cost_M = 0.1, cost_T = 0.7, cost_IO = 0.2.
+  TablePrinter table({"distribution", "CF_M", "CF_T", "CF_IO", "Cost (Eq. 24)"});
+  for (const std::vector<int>& dist :
+       {std::vector<int>{6}, {3, 3}, {2, 2, 2}, {1, 1, 1, 1, 1, 1}}) {
+    const auto cf =
+        SiteAveragedUpdateCost(MakeUniformInput(dist, params), options);
+    if (!cf.ok()) continue;
+    table.AddRow({DistributionLabel(dist), FormatDouble(cf->messages, 2),
+                  FormatDouble(cf->bytes, 1), FormatDouble(cf->ios, 1),
+                  FormatDouble(cf->Weighted(qc), 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  SweepSites();
+  SweepJoinSelectivity();
+  SweepCardinality();
+  SweepSelectivity();
+  ShowWeightedCost();
+  return 0;
+}

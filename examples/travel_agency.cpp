@@ -1,0 +1,176 @@
+// The paper's motivating scenario (§1): a web service assembling flight and
+// hotel information from several autonomous travel providers.  Providers
+// change their capabilities over time; EVE keeps the materialized views
+// alive and the QC-Model decides which of the many legal rewritings to
+// adopt.
+//
+// The script walks through three capability changes:
+//   (a) the airline renames a column               -> transparent rewrite;
+//   (b) the agency withdraws its customer list     -> replaced via a PC
+//       constraint by a partner agency's list (superset, VE permits);
+//   (c) the hotel chain stops publishing prices    -> dispensable attribute
+//       dropped from the view.
+//
+// Build & run:  ./build/examples/travel_agency
+
+#include <cstdio>
+
+#include "esql/printer.h"
+#include "eve/eve_system.h"
+
+using namespace eve;
+
+namespace {
+
+Relation MakeCustomer() {
+  // Customer(Name, Address, Phone) -- integers stand in for strings to keep
+  // the demo data compact; the machinery is type-agnostic.
+  Relation rel("Customer", Schema({Attribute::Make("Name", DataType::kInt64, 20),
+                                   Attribute::Make("Address", DataType::kInt64, 40),
+                                   Attribute::Make("Phone", DataType::kInt64, 15)}));
+  for (int64_t n = 1; n <= 30; ++n) {
+    rel.InsertUnchecked(Tuple{Value(n), Value(n * 100), Value(n * 7)});
+  }
+  return rel;
+}
+
+Relation MakePartnerCustomer() {
+  Relation rel("PartnerCustomer",
+               Schema({Attribute::Make("Name", DataType::kInt64, 20),
+                       Attribute::Make("Address", DataType::kInt64, 40),
+                       Attribute::Make("Phone", DataType::kInt64, 15)}));
+  for (int64_t n = 1; n <= 45; ++n) {  // Superset of the agency's list.
+    rel.InsertUnchecked(Tuple{Value(n), Value(n * 100), Value(n * 7)});
+  }
+  return rel;
+}
+
+Relation MakeFlightRes() {
+  Relation rel("FlightRes", Schema({Attribute::Make("PName", DataType::kInt64, 20),
+                                    Attribute::Make("Dest", DataType::kInt64, 10)}));
+  for (int64_t n = 1; n <= 30; n += 2) {
+    rel.InsertUnchecked(Tuple{Value(n), Value(n % 3)});  // Dest 0..2.
+  }
+  return rel;
+}
+
+Relation MakeHotelRes() {
+  Relation rel("HotelRes", Schema({Attribute::Make("Guest", DataType::kInt64, 20),
+                                   Attribute::Make("City", DataType::kInt64, 10),
+                                   Attribute::Make("Price", DataType::kInt64, 8)}));
+  for (int64_t n = 1; n <= 30; n += 3) {
+    rel.InsertUnchecked(Tuple{Value(n), Value(n % 4), Value(80 + n)});
+  }
+  return rel;
+}
+
+void Show(const EveSystem& eve, const char* view) {
+  const auto def = eve.GetViewDefinition(view);
+  const auto state = eve.GetViewState(view);
+  if (!def.ok() || !state.ok()) return;
+  std::printf("  [%s] %s\n", std::string(ViewStateToString(*state)).c_str(),
+              PrintViewCompact(*def).c_str());
+  const auto extent = eve.GetViewExtent(view);
+  if (extent.ok()) {
+    std::printf("  extent: %lld tuples\n",
+                static_cast<long long>(extent->cardinality()));
+  }
+}
+
+bool Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  EveSystem eve;
+  // Favor quality strongly; costs still break ties.
+  eve.options().qc.rho_quality = 0.9;
+  eve.options().qc.rho_cost = 0.1;
+
+  if (!Check(eve.RegisterRelation("Agency", MakeCustomer(), 1.0), "register") ||
+      !Check(eve.RegisterRelation("Partner", MakePartnerCustomer(), 1.0),
+             "register") ||
+      !Check(eve.RegisterRelation("Airline", MakeFlightRes(), 0.5), "register") ||
+      !Check(eve.RegisterRelation("HotelChain", MakeHotelRes(), 0.5),
+             "register")) {
+    return 1;
+  }
+
+  // The agency's list is contained in the partner's list.
+  if (!Check(eve.AddPcConstraint(MakeProjectionPc(
+                 RelationId{"Agency", "Customer"},
+                 RelationId{"Partner", "PartnerCustomer"},
+                 {"Name", "Address", "Phone"}, PcRelationType::kSubset)),
+             "pc")) {
+    return 1;
+  }
+
+  // The paper's Asia-Customer view (destination 2 plays "Asia"), plus a
+  // hotel-package view exercising a three-way join.
+  if (!Check(eve.DefineView(
+                 "CREATE VIEW AsiaCustomer AS "
+                 "SELECT C.Name (AR=true), C.Address (AD=true, AR=true), "
+                 "C.Phone (AD=true, AR=true) "
+                 "FROM Customer C (RR=true), FlightRes F "
+                 "WHERE (C.Name = F.PName) (CR=true) "
+                 "AND (F.Dest = 2) (CD=true)"),
+             "define AsiaCustomer")) {
+    return 1;
+  }
+  if (!Check(eve.DefineView(
+                 "CREATE VIEW TravelPackage AS "
+                 "SELECT C.Name (AR=true), F.Dest (AD=true), "
+                 "H.Price (AD=true) "
+                 "FROM Customer C (RR=true), FlightRes F, HotelRes H "
+                 "WHERE (C.Name = F.PName) (CR=true) "
+                 "AND (C.Name = H.Guest) (CR=true)"),
+             "define TravelPackage")) {
+    return 1;
+  }
+
+  std::printf("== initial views ==\n");
+  Show(eve, "AsiaCustomer");
+  Show(eve, "TravelPackage");
+
+  // (a) The airline renames Dest -> Destination.
+  std::printf("\n== change (a): airline renames Dest ==\n");
+  auto report = eve.NotifySchemaChange(SchemaChange(
+      RenameAttribute{RelationId{"Airline", "FlightRes"}, "Dest", "Destination"}));
+  if (!Check(report.status(), "rename")) return 1;
+  std::printf("%s\n", report->ToString().c_str());
+  Show(eve, "AsiaCustomer");
+  Show(eve, "TravelPackage");
+
+  // (b) The agency withdraws its customer list.
+  std::printf("\n== change (b): agency deletes Customer ==\n");
+  report = eve.NotifySchemaChange(
+      SchemaChange(DeleteRelation{RelationId{"Agency", "Customer"}}));
+  if (!Check(report.status(), "delete customer")) return 1;
+  std::printf("%s\n", report->ToString().c_str());
+  Show(eve, "AsiaCustomer");
+  Show(eve, "TravelPackage");
+
+  // (c) The hotel chain stops publishing prices.
+  std::printf("\n== change (c): hotel chain deletes Price ==\n");
+  report = eve.NotifySchemaChange(SchemaChange(
+      DeleteAttribute{RelationId{"HotelChain", "HotelRes"}, "Price"}));
+  if (!Check(report.status(), "delete price")) return 1;
+  std::printf("%s\n", report->ToString().c_str());
+  Show(eve, "TravelPackage");
+
+  // Data keeps flowing: a new reservation for customer 2 to "Asia".
+  std::printf("\n== data update: new Asia reservation ==\n");
+  const auto counters = eve.NotifyDataUpdate(
+      DataUpdate{UpdateKind::kInsert, RelationId{"Airline", "FlightRes"},
+                 Tuple{Value(2), Value(2)}});
+  if (!Check(counters.status(), "data update")) return 1;
+  std::printf("maintenance: %s\n", counters->ToString().c_str());
+  Show(eve, "AsiaCustomer");
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Warehouse evolution under a long stream of random capability changes.
+//
+// Builds a redundant information space (several mirrored departments of an
+// enterprise warehouse), defines a handful of materialized views with mixed
+// evolution preferences, and then fires randomized capability changes.
+//
+// Two policies are compared head to head:
+//   * QC-guided EVE  -- adopts the QC-Model's top-ranked legal rewriting
+//     (this library's default);
+//   * first-found    -- adopts whatever legal rewriting the synchronizer
+//     generated first, emulating the pre-QC EVE prototype the paper
+//     describes in §8 ("had previously simply picked the first legal view
+//     rewriting it discovered").
+//
+// The summary reports view survival and mean divergence per policy --
+// Experiment 1's "life span" story at system scale.
+//
+// Build & run:  ./build/examples/warehouse_evolution
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "esql/printer.h"
+#include "eve/eve_system.h"
+#include "qc/quality.h"
+#include "storage/generator.h"
+
+using namespace eve;
+
+namespace {
+
+struct PolicyStats {
+  int changes_survived = 0;
+  int deaths = 0;
+  double divergence_sum = 0.0;   // DD of the adopted rewriting.
+  double rank_sum = 0.0;         // QC rank of the adopted rewriting.
+  double cost_sum = 0.0;         // Normalized cost of the adopted rewriting.
+  int divergence_samples = 0;
+};
+
+// One replicated "department": a base relation plus two mirrors with PC
+// constraints, so deletions are survivable.
+void AddDepartment(EveSystem* eve, const std::string& dept, Random* rng) {
+  GeneratorOptions gen;
+  gen.cardinality = 150 + static_cast<int64_t>(rng->Uniform(150));
+  gen.num_attributes = 3;
+  gen.attribute_names = {"Key", "Val", "Extra"};
+  gen.key_domain = 1 << 20;
+  gen.value_domain = 1 << 20;
+  auto chain = GenerateContainmentChain(
+      {dept, dept + "Mirror", dept + "Archive"},
+      {gen.cardinality, gen.cardinality * 3 / 2, gen.cardinality * 2}, gen, rng);
+  if (!chain.ok()) return;
+  (void)eve->RegisterRelation("Src_" + dept, chain.value()[0], 0.5);
+  (void)eve->RegisterRelation("Src_" + dept + "M", chain.value()[1], 0.5);
+  (void)eve->RegisterRelation("Src_" + dept + "A", chain.value()[2], 0.5);
+  (void)eve->AddPcConstraint(MakeProjectionPc(
+      RelationId{"Src_" + dept, dept}, RelationId{"Src_" + dept + "M", dept + "Mirror"},
+      {"Key", "Val", "Extra"}, PcRelationType::kSubset));
+  (void)eve->AddPcConstraint(MakeProjectionPc(
+      RelationId{"Src_" + dept + "M", dept + "Mirror"},
+      RelationId{"Src_" + dept + "A", dept + "Archive"}, {"Key", "Val", "Extra"},
+      PcRelationType::kSubset));
+}
+
+void DefineViews(EveSystem* eve) {
+  const char* views[] = {
+      "CREATE VIEW SalesBoard AS SELECT Sales.Key (AR=true), "
+      "Sales.Val (AD=true, AR=true) FROM Sales (RR=true)",
+      "CREATE VIEW OpsBoard AS SELECT Ops.Key (AR=true), "
+      "Ops.Val (AD=true, AR=true), Ops.Extra (AD=true) FROM Ops (RR=true)",
+      "CREATE VIEW CrossBoard AS SELECT s.Key (AR=true), o.Val (AD=true, AR=true) "
+      "FROM Sales s (RR=true), Ops o (RR=true) "
+      "WHERE (s.Key = o.Key) (CR=true)",
+      "CREATE VIEW HrBoard (VE = subset) AS SELECT Hr.Key (AR=true) "
+      "FROM Hr (RR=true)",
+  };
+  for (const char* text : views) {
+    const Status status = eve->DefineView(text);
+    if (!status.ok()) {
+      std::fprintf(stderr, "define failed: %s\n", status.ToString().c_str());
+    }
+  }
+}
+
+// Picks a random deletion among currently registered relations.
+SchemaChange RandomChange(const EveSystem& eve, Random* rng) {
+  std::vector<RelationId> ids = eve.mkb().Relations();
+  const RelationId target = ids[rng->Uniform(ids.size())];
+  if (rng->Bernoulli(0.5)) {
+    return SchemaChange(DeleteRelation{target});
+  }
+  const auto schema = eve.mkb().GetSchema(target);
+  if (!schema.ok() || schema->size() <= 1) {
+    return SchemaChange(DeleteRelation{target});
+  }
+  const std::string attr =
+      schema->attribute(static_cast<int>(rng->Uniform(schema->size()))).name;
+  return SchemaChange(DeleteAttribute{target, attr});
+}
+
+PolicyStats RunPolicy(bool qc_guided, uint64_t seed, int num_changes) {
+  Random rng(seed);
+  EveSystem eve;
+  eve.options().materialize = false;  // Pure synchronization study.
+  // The pre-QC EVE prototype simply adopted the first legal rewriting it
+  // discovered (paper §8); the QC policy adopts the top-ranked one.
+  eve.options().adopt_first_legal = !qc_guided;
+  AddDepartment(&eve, "Sales", &rng);
+  AddDepartment(&eve, "Ops", &rng);
+  AddDepartment(&eve, "Hr", &rng);
+  DefineViews(&eve);
+
+  PolicyStats stats;
+  for (int step = 0; step < num_changes; ++step) {
+    const SchemaChange change = RandomChange(eve, &rng);
+    const auto report = eve.NotifySchemaChange(change);
+    if (!report.ok()) continue;
+    for (const ViewSynchronizationReport& vr : report->views) {
+      if (!vr.affected) continue;
+      if (vr.resulting_state == ViewState::kDead) {
+        stats.deaths += 1;
+      } else {
+        stats.changes_survived += 1;
+        // Score the rewriting this policy actually adopted.
+        for (const RankedRewriting& ranked : vr.ranking) {
+          if (PrintViewCompact(ranked.rewriting.definition) == vr.adopted) {
+            stats.divergence_sum += ranked.quality.dd;
+            stats.rank_sum += ranked.rank;
+            stats.cost_sum += ranked.normalized_cost;
+            stats.divergence_samples += 1;
+            break;
+          }
+        }
+      }
+    }
+    if (eve.mkb().Relations().size() <= 2) break;  // Space exhausted.
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const int kChanges = 12;
+  const int kTrials = 20;
+
+  PolicyStats qc_total;
+  PolicyStats ff_total;
+  auto accumulate = [](PolicyStats* total, const PolicyStats& s) {
+    total->changes_survived += s.changes_survived;
+    total->deaths += s.deaths;
+    total->divergence_sum += s.divergence_sum;
+    total->rank_sum += s.rank_sum;
+    total->cost_sum += s.cost_sum;
+    total->divergence_samples += s.divergence_samples;
+  };
+  for (uint64_t seed = 1; seed <= kTrials; ++seed) {
+    accumulate(&qc_total, RunPolicy(/*qc_guided=*/true, seed, kChanges));
+    accumulate(&ff_total, RunPolicy(/*qc_guided=*/false, seed, kChanges));
+  }
+
+  std::printf("warehouse evolution: %d random capability changes x %d trials\n\n",
+              kChanges, kTrials);
+  std::printf("%-22s %9s %6s %10s %10s %10s\n", "policy", "survived", "died",
+              "mean DD", "mean rank", "mean Cost*");
+  auto print_row = [](const char* name, const PolicyStats& s) {
+    const int n = s.divergence_samples > 0 ? s.divergence_samples : 1;
+    std::printf("%-22s %9d %6d %10.4f %10.2f %10.4f\n", name,
+                s.changes_survived, s.deaths, s.divergence_sum / n,
+                s.rank_sum / n, s.cost_sum / n);
+  };
+  print_row("QC-guided (this work)", qc_total);
+  print_row("first legal rewriting", ff_total);
+  std::printf(
+      "\nBoth policies survive the same changes (the legal-rewriting set is\n"
+      "identical); the QC-Model's contribution is WHICH rewriting gets\n"
+      "adopted: lower divergence from the original view at lower projected\n"
+      "maintenance cost (mean rank 1 = always the best of the candidates).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "algebra/common_subset.h"
+
+namespace eve {
+
+std::vector<std::string> CommonAttributes(const Relation& a, const Relation& b) {
+  std::vector<std::string> out;
+  for (const Attribute& attr : a.schema().attributes()) {
+    if (b.schema().Contains(attr.name)) out.push_back(attr.name);
+  }
+  return out;
+}
+
+namespace {
+
+Status RequireCommon(const std::vector<std::string>& common) {
+  if (common.empty()) {
+    return Status::FailedPrecondition(
+        "relations share no attributes; common-subset operators are undefined");
+  }
+  return Status::OK();
+}
+
+// Projects both relations onto the shared attribute list in a SINGLE order
+// (a's schema order) so that tuples are positionally comparable even when
+// the two schemas list the common attributes differently.
+struct ProjectedPair {
+  Relation a;
+  Relation b;
+};
+
+Result<ProjectedPair> ProjectBoth(const Relation& a, const Relation& b) {
+  const std::vector<std::string> common = CommonAttributes(a, b);
+  EVE_RETURN_IF_ERROR(RequireCommon(common));
+  EVE_ASSIGN_OR_RETURN(Relation pa, a.ProjectByName(common));
+  EVE_ASSIGN_OR_RETURN(Relation pb, b.ProjectByName(common));
+  return ProjectedPair{pa.Distinct(), pb.Distinct()};
+}
+
+}  // namespace
+
+Result<Relation> ProjectToCommon(const Relation& a, const Relation& b) {
+  const std::vector<std::string> common = CommonAttributes(a, b);
+  EVE_RETURN_IF_ERROR(RequireCommon(common));
+  EVE_ASSIGN_OR_RETURN(Relation projected, a.ProjectByName(common));
+  return projected.Distinct();
+}
+
+Result<bool> CommonSubsetEqual(const Relation& a, const Relation& b) {
+  EVE_ASSIGN_OR_RETURN(ProjectedPair p, ProjectBoth(a, b));
+  return SetEquals(p.a, p.b);
+}
+
+Result<bool> CommonSubsetContained(const Relation& a, const Relation& b) {
+  EVE_ASSIGN_OR_RETURN(ProjectedPair p, ProjectBoth(a, b));
+  EVE_ASSIGN_OR_RETURN(Relation diff, SetDifference(p.a, p.b));
+  return diff.empty();
+}
+
+Result<Relation> CommonSubsetIntersect(const Relation& a, const Relation& b) {
+  EVE_ASSIGN_OR_RETURN(ProjectedPair p, ProjectBoth(a, b));
+  return SetIntersect(p.a, p.b);
+}
+
+Result<Relation> CommonSubsetDifference(const Relation& a, const Relation& b) {
+  EVE_ASSIGN_OR_RETURN(ProjectedPair p, ProjectBoth(a, b));
+  return SetDifference(p.a, p.b);
+}
+
+Result<CommonSubsetCounts> CountCommonSubset(const Relation& a,
+                                             const Relation& b) {
+  EVE_ASSIGN_OR_RETURN(ProjectedPair p, ProjectBoth(a, b));
+  EVE_ASSIGN_OR_RETURN(Relation inter, SetIntersect(p.a, p.b));
+  CommonSubsetCounts counts;
+  counts.a_projected = p.a.cardinality();
+  counts.b_projected = p.b.cardinality();
+  counts.intersection = inter.cardinality();
+  return counts;
+}
+
+}  // namespace eve

@@ -1,0 +1,54 @@
+// Set operators on the common subset of attributes (paper Def. 1-2 and
+// Fig. 7).  Given two view extents V and Vi with overlapping interfaces,
+// every comparison is performed after projecting both onto
+// Attr(V) ∩ Attr(Vi) and removing duplicates.
+//
+// These operators power the *actual* (data-driven) extent-divergence
+// computation, which complements the estimated one (misd/overlap_estimator).
+
+#ifndef EVE_ALGEBRA_COMMON_SUBSET_H_
+#define EVE_ALGEBRA_COMMON_SUBSET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace eve {
+
+/// Attribute names common to both schemas, in `a`'s order.
+std::vector<std::string> CommonAttributes(const Relation& a, const Relation& b);
+
+/// V^(Vi): projection of `a` onto the common attributes of `a` and `b`,
+/// duplicates removed (paper Def. 1).
+Result<Relation> ProjectToCommon(const Relation& a, const Relation& b);
+
+/// The four Fig.-7 operators.  All fail if the relations share no
+/// attributes.
+
+/// V =~ Vi : equal on the common subset of attributes (paper Def. 2).
+Result<bool> CommonSubsetEqual(const Relation& a, const Relation& b);
+
+/// Vi ⊆~ V : every tuple of `a` (projected) appears in `b` (projected).
+Result<bool> CommonSubsetContained(const Relation& a, const Relation& b);
+
+/// V ∩~ Vi : tuples (on the common attributes) present in both.
+Result<Relation> CommonSubsetIntersect(const Relation& a, const Relation& b);
+
+/// V \~ Vi : tuples (on the common attributes) of `a` absent from `b`.
+Result<Relation> CommonSubsetDifference(const Relation& a, const Relation& b);
+
+/// Cardinality counters used by the quality model:
+/// |V^(Vi)|, |Vi^(V)|, |V ∩~ Vi| in one pass.
+struct CommonSubsetCounts {
+  int64_t a_projected = 0;    ///< |a| projected to common attrs, distinct.
+  int64_t b_projected = 0;    ///< |b| projected to common attrs, distinct.
+  int64_t intersection = 0;   ///< |a ∩~ b|.
+};
+Result<CommonSubsetCounts> CountCommonSubset(const Relation& a,
+                                             const Relation& b);
+
+}  // namespace eve
+
+#endif  // EVE_ALGEBRA_COMMON_SUBSET_H_

@@ -1,0 +1,42 @@
+// Executor: evaluates an E-SQL view definition over an information space,
+// producing the view extent.
+//
+// Plan shape: scan each FROM relation, apply its local selection, then join
+// left-to-right (hash join on equality clauses, nested-loop otherwise),
+// finally project onto the SELECT list.  Data volumes in this library are
+// experiment-scale, so the planner is deliberately simple; the hash-join
+// fast path keeps multi-thousand-tuple joins cheap.
+
+#ifndef EVE_ALGEBRA_EXECUTOR_H_
+#define EVE_ALGEBRA_EXECUTOR_H_
+
+#include "algebra/provider.h"
+#include "common/result.h"
+#include "esql/ast.h"
+#include "expr/eval.h"
+#include "storage/relation.h"
+
+namespace eve {
+
+/// Execution options.
+struct ExecOptions {
+  /// Deduplicate the result (set semantics).  The paper's extent
+  /// comparisons assume duplicates are removed (§5.3).
+  bool distinct = true;
+};
+
+/// Evaluates `view` against `provider`; the result relation's schema is the
+/// view interface (output names, source attribute types).
+Result<Relation> ExecuteView(const ViewDefinition& view,
+                             const RelationProvider& provider,
+                             const ExecOptions& options = {});
+
+/// Builds the Binding that maps "fromName.attr" references to columns of
+/// the concatenated tuple layout of `view`'s FROM items, in FROM order.
+/// Exposed for the maintenance simulator, which evaluates partial joins.
+Result<Binding> MakeJoinBinding(const ViewDefinition& view,
+                                const RelationProvider& provider);
+
+}  // namespace eve
+
+#endif  // EVE_ALGEBRA_EXECUTOR_H_

@@ -1,0 +1,25 @@
+#include "algebra/provider.h"
+
+namespace eve {
+
+Status MapProvider::Add(const Relation& relation) {
+  const auto [it, inserted] = relations_.emplace(relation.name(), relation);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("relation " + relation.name() +
+                                 " already registered");
+  }
+  return Status::OK();
+}
+
+Result<const Relation*> MapProvider::Resolve(const std::string& site,
+                                             const std::string& relation) const {
+  (void)site;  // MapProvider is site-agnostic.
+  const auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + relation + " not registered");
+  }
+  return &it->second;
+}
+
+}  // namespace eve

@@ -1,0 +1,43 @@
+// RelationProvider: the executor's view of the information space.  It
+// resolves a FROM item (site-qualified or bare relation name) to a concrete
+// Relation.  space::InformationSpace implements it; tests may implement it
+// with a simple map.
+
+#ifndef EVE_ALGEBRA_PROVIDER_H_
+#define EVE_ALGEBRA_PROVIDER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace eve {
+
+/// Resolves relation names to relation instances.
+class RelationProvider {
+ public:
+  virtual ~RelationProvider() = default;
+
+  /// Returns the relation named `relation` (at `site` if non-empty; when
+  /// `site` is empty the name must be unambiguous across sites).
+  virtual Result<const Relation*> Resolve(const std::string& site,
+                                          const std::string& relation) const = 0;
+};
+
+/// A provider backed by an in-memory map, keyed by bare relation name.
+class MapProvider : public RelationProvider {
+ public:
+  /// Registers a relation under its own name.  Fails on duplicates.
+  Status Add(const Relation& relation);
+
+  Result<const Relation*> Resolve(const std::string& site,
+                                  const std::string& relation) const override;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_ALGEBRA_PROVIDER_H_

@@ -1,0 +1,64 @@
+#include "bench_util/distributions.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+namespace {
+
+void Recurse(int remaining, int parts, std::vector<int>* current,
+             std::vector<std::vector<int>>* out) {
+  if (parts == 1) {
+    if (remaining >= 1) {
+      current->push_back(remaining);
+      out->push_back(*current);
+      current->pop_back();
+    }
+    return;
+  }
+  for (int first = 1; first <= remaining - (parts - 1); ++first) {
+    current->push_back(first);
+    Recurse(remaining - first, parts - 1, current, out);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> Compositions(int total, int parts) {
+  std::vector<std::vector<int>> out;
+  if (total < parts || parts <= 0) return out;
+  std::vector<int> current;
+  Recurse(total, parts, &current, &out);
+  return out;
+}
+
+std::string DistributionLabel(const std::vector<int>& distribution) {
+  return "(" +
+         JoinMapped(distribution, ",",
+                    [](int k) { return StrFormat("%d", k); }) +
+         ")";
+}
+
+std::vector<DistributionGroup> GroupedCompositions(int total, int parts) {
+  std::map<std::vector<int>, std::vector<std::vector<int>>> by_multiset;
+  for (const std::vector<int>& comp : Compositions(total, parts)) {
+    std::vector<int> key = comp;
+    std::sort(key.begin(), key.end());
+    by_multiset[key].push_back(comp);
+  }
+  std::vector<DistributionGroup> out;
+  for (auto& [key, members] : by_multiset) {
+    DistributionGroup group;
+    group.label =
+        JoinMapped(key, "/", [](int k) { return StrFormat("%d", k); });
+    group.members = std::move(members);
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace eve

@@ -1,0 +1,31 @@
+// Enumeration of relation distributions across information sources
+// (paper Table 2): the compositions of n relations into m ordered positive
+// parts, e.g. n=6, m=2 -> (1,5), (2,4), (3,3), (4,2), (5,1).
+
+#ifndef EVE_BENCH_UTIL_DISTRIBUTIONS_H_
+#define EVE_BENCH_UTIL_DISTRIBUTIONS_H_
+
+#include <string>
+#include <vector>
+
+namespace eve {
+
+/// All ordered compositions of `total` into `parts` positive integers,
+/// in lexicographic order (matches Table 2 row order).
+std::vector<std::vector<int>> Compositions(int total, int parts);
+
+/// "(1,5)" style label.
+std::string DistributionLabel(const std::vector<int>& distribution);
+
+/// Groups compositions by their sorted multiset, keyed by the sorted
+/// ascending label, e.g. "(1,5)" covers (1,5) and (5,1) -- Experiment 3
+/// groups cases this way.
+struct DistributionGroup {
+  std::string label;  ///< Sorted-ascending label, e.g. "1/5".
+  std::vector<std::vector<int>> members;
+};
+std::vector<DistributionGroup> GroupedCompositions(int total, int parts);
+
+}  // namespace eve
+
+#endif  // EVE_BENCH_UTIL_DISTRIBUTIONS_H_

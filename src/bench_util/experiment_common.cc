@@ -1,0 +1,72 @@
+#include "bench_util/experiment_common.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace eve {
+
+ViewCostInput MakeUniformInput(const std::vector<int>& distribution,
+                               const UniformParams& params) {
+  int total = 0;
+  for (int k : distribution) total += k;
+  EVE_CHECK_MSG(total == params.num_relations,
+                "distribution must place every relation");
+  ViewCostInput input;
+  input.join_selectivity = params.join_selectivity;
+  int rel_index = 0;
+  for (size_t site = 0; site < distribution.size(); ++site) {
+    for (int k = 0; k < distribution[site]; ++k) {
+      CostRelation rel;
+      rel.id = RelationId{StrFormat("IS%d", static_cast<int>(site) + 1),
+                          StrFormat("R%d", ++rel_index)};
+      rel.cardinality = params.cardinality;
+      rel.tuple_bytes = params.tuple_bytes;
+      rel.local_selectivity = params.local_selectivity;
+      input.relations.push_back(std::move(rel));
+    }
+  }
+  return input;
+}
+
+CostModelOptions MakeUniformOptions(const UniformParams& params,
+                                    IoBoundPolicy policy) {
+  CostModelOptions options;
+  options.io_policy = policy;
+  options.block.block_bytes = params.blocking_factor * params.tuple_bytes;
+  return options;
+}
+
+Result<CostFactors> SiteAveragedUpdateCost(const ViewCostInput& input,
+                                           const CostModelOptions& options) {
+  // Each site generates one update, spread evenly over its relations.
+  std::map<std::string, int> per_site;
+  for (const CostRelation& r : input.relations) per_site[r.id.site] += 1;
+  CostFactors total;
+  for (size_t i = 0; i < input.relations.size(); ++i) {
+    EVE_ASSIGN_OR_RETURN(CostFactors cf, SingleUpdateCost(input, i, options));
+    total += cf * (1.0 / per_site[input.relations[i].id.site]);
+  }
+  const double sites = static_cast<double>(per_site.size());
+  return total * (1.0 / sites);
+}
+
+Result<CostFactors> FirstSiteUpdateCost(const ViewCostInput& input,
+                                        const CostModelOptions& options) {
+  if (input.relations.empty()) {
+    return Status::InvalidArgument("empty cost input");
+  }
+  const std::string& first_site = input.relations.front().id.site;
+  CostFactors total;
+  int count = 0;
+  for (size_t i = 0; i < input.relations.size(); ++i) {
+    if (input.relations[i].id.site != first_site) continue;
+    EVE_ASSIGN_OR_RETURN(CostFactors cf, SingleUpdateCost(input, i, options));
+    total += cf;
+    ++count;
+  }
+  return total * (1.0 / count);
+}
+
+}  // namespace eve

@@ -1,0 +1,47 @@
+// Shared setup for the paper's experiments: the uniform cost-model inputs
+// of Table 1 and the distribution-averaged cost sweeps behind Figs. 13/14
+// and Tables 5/6.
+
+#ifndef EVE_BENCH_UTIL_EXPERIMENT_COMMON_H_
+#define EVE_BENCH_UTIL_EXPERIMENT_COMMON_H_
+
+#include <vector>
+
+#include "qc/cost_model.h"
+
+namespace eve {
+
+/// The uniform system parameters of paper Table 1.
+struct UniformParams {
+  int num_relations = 6;         ///< n
+  int64_t cardinality = 400;     ///< |R_i|
+  int64_t tuple_bytes = 100;     ///< s_{R_i}
+  double local_selectivity = 0.5;  ///< sigma
+  double join_selectivity = 0.005;  ///< js
+  int64_t blocking_factor = 10;  ///< bfr (block size = bfr * tuple_bytes)
+};
+
+/// Builds a uniform cost input placing `distribution[i]` relations at site
+/// IS{i+1}; relation join order is site-major (matching the paper's
+/// maintenance process, Fig. 11).
+ViewCostInput MakeUniformInput(const std::vector<int>& distribution,
+                               const UniformParams& params);
+
+/// Cost-model options matching `params` (block size bfr * tuple size).
+CostModelOptions MakeUniformOptions(const UniformParams& params,
+                                    IoBoundPolicy policy = IoBoundPolicy::kLower);
+
+/// Average per-update cost factors over all origin relations being updated
+/// with equal likelihood per SITE (i.e., each site generates one update,
+/// distributed evenly over its relations) -- the averaging behind Table 6.
+Result<CostFactors> SiteAveragedUpdateCost(const ViewCostInput& input,
+                                           const CostModelOptions& options);
+
+/// Average per-update cost over updates originating at the FIRST site only,
+/// distributed evenly over that site's relations (Experiment 3).
+Result<CostFactors> FirstSiteUpdateCost(const ViewCostInput& input,
+                                        const CostModelOptions& options);
+
+}  // namespace eve
+
+#endif  // EVE_BENCH_UTIL_EXPERIMENT_COMMON_H_

@@ -1,0 +1,71 @@
+#include "bench_util/table_printer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace eve {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  EVE_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += row[i];
+      line += std::string(widths[i] - row[i].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string RenderSeries(const std::string& title,
+                         const std::vector<std::string>& x_labels,
+                         const std::vector<double>& y_values, int bar_width) {
+  EVE_CHECK(x_labels.size() == y_values.size());
+  std::string out = title + "\n";
+  double max_y = 0.0;
+  size_t label_width = 0;
+  for (double y : y_values) max_y = std::max(max_y, y);
+  for (const std::string& x : x_labels) {
+    label_width = std::max(label_width, x.size());
+  }
+  for (size_t i = 0; i < x_labels.size(); ++i) {
+    const int bars =
+        max_y <= 0.0
+            ? 0
+            : static_cast<int>(y_values[i] / max_y * bar_width + 0.5);
+    out += StrFormat("  %-*s %12s |%s\n", static_cast<int>(label_width),
+                     x_labels[i].c_str(), FormatDouble(y_values[i], 2).c_str(),
+                     std::string(bars, '#').c_str());
+  }
+  return out;
+}
+
+std::string Banner(const std::string& title) {
+  const std::string bar(title.size() + 8, '=');
+  return bar + "\n==  " + title + "  ==\n" + bar + "\n";
+}
+
+}  // namespace eve

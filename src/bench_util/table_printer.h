@@ -1,0 +1,41 @@
+// ASCII table/series rendering for the experiment harness.  Every bench
+// binary prints the rows/series of its paper table or figure through these
+// helpers so the outputs are uniform and diffable.
+
+#ifndef EVE_BENCH_UTIL_TABLE_PRINTER_H_
+#define EVE_BENCH_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace eve {
+
+/// A simple fixed-width ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header underline.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an x/y series as an aligned two-column block plus a coarse ASCII
+/// bar chart (for figure-style outputs).
+std::string RenderSeries(const std::string& title,
+                         const std::vector<std::string>& x_labels,
+                         const std::vector<double>& y_values,
+                         int bar_width = 40);
+
+/// Prints a section banner.
+std::string Banner(const std::string& title);
+
+}  // namespace eve
+
+#endif  // EVE_BENCH_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,66 @@
+// Qualified names for the entities of the information space:
+//   site  (information source)           "IS1"
+//   relation within a site               "IS1.R"
+//   attribute of a relation              "IS1.R.A"  /  "R.A" inside queries
+//
+// Inside E-SQL queries attributes are referenced by RelAttr (relation name
+// or alias + attribute); the space-level identity is QualifiedAttr.
+
+#ifndef EVE_CATALOG_NAMES_H_
+#define EVE_CATALOG_NAMES_H_
+
+#include <functional>
+#include <string>
+
+namespace eve {
+
+/// A relation-qualified attribute reference as written in a query, e.g.
+/// "R.A" or "C.Name" (C an alias).  Relation part may be empty when the
+/// query leaves the attribute unqualified and resolution is deferred.
+struct RelAttr {
+  std::string relation;  ///< Relation name or alias; may be empty.
+  std::string attribute;
+
+  bool operator==(const RelAttr& o) const = default;
+  bool operator<(const RelAttr& o) const {
+    return relation != o.relation ? relation < o.relation
+                                  : attribute < o.attribute;
+  }
+
+  /// "R.A", or just "A" when unqualified.
+  std::string ToString() const {
+    return relation.empty() ? attribute : relation + "." + attribute;
+  }
+};
+
+/// A globally unique relation identity: site + relation name.
+struct RelationId {
+  std::string site;
+  std::string relation;
+
+  bool operator==(const RelationId& o) const = default;
+  bool operator<(const RelationId& o) const {
+    return site != o.site ? site < o.site : relation < o.relation;
+  }
+
+  /// "IS.R".
+  std::string ToString() const { return site + "." + relation; }
+};
+
+struct RelAttrHash {
+  size_t operator()(const RelAttr& ra) const {
+    return std::hash<std::string>{}(ra.relation) * 1000003 ^
+           std::hash<std::string>{}(ra.attribute);
+  }
+};
+
+struct RelationIdHash {
+  size_t operator()(const RelationId& id) const {
+    return std::hash<std::string>{}(id.site) * 1000003 ^
+           std::hash<std::string>{}(id.relation);
+  }
+};
+
+}  // namespace eve
+
+#endif  // EVE_CATALOG_NAMES_H_

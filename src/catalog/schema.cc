@@ -1,0 +1,62 @@
+#include "catalog/schema.h"
+
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+Attribute Attribute::Make(std::string name, DataType type) {
+  return Attribute{std::move(name), type, DefaultTypeSize(type)};
+}
+
+Attribute Attribute::Make(std::string name, DataType type, int size_bytes) {
+  return Attribute{std::move(name), type, size_bytes};
+}
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {}
+
+Result<Schema> Schema::Create(std::vector<Attribute> attributes) {
+  std::unordered_set<std::string> seen;
+  for (const Attribute& a : attributes) {
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + a.name);
+    }
+    if (a.size_bytes <= 0) {
+      return Status::InvalidArgument("attribute " + a.name +
+                                     " must have positive size");
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+std::optional<int> Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+int Schema::TupleBytes() const {
+  int total = 0;
+  for (const Attribute& a : attributes_) total += a.size_bytes;
+  return total;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Attribute> all = attributes_;
+  all.insert(all.end(), other.attributes_.begin(), other.attributes_.end());
+  return Schema(std::move(all));
+}
+
+std::string Schema::ToString() const {
+  return "(" +
+         JoinMapped(attributes_, ", ",
+                    [](const Attribute& a) {
+                      return a.name + " " + std::string(DataTypeName(a.type));
+                    }) +
+         ")";
+}
+
+}  // namespace eve

@@ -1,0 +1,68 @@
+// Attribute and Schema: the shape of a relation.
+
+#ifndef EVE_CATALOG_SCHEMA_H_
+#define EVE_CATALOG_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/data_type.h"
+
+namespace eve {
+
+/// A named, typed attribute.  `size_bytes` is the width used by the
+/// transfer-cost model (paper §6.1, statistic s_{R.A}); it defaults to the
+/// type's default width.
+struct Attribute {
+  std::string name;
+  DataType type = DataType::kInt64;
+  int size_bytes = 8;
+
+  /// Makes an attribute with the type's default width.
+  static Attribute Make(std::string name, DataType type);
+  /// Makes an attribute with an explicit width.
+  static Attribute Make(std::string name, DataType type, int size_bytes);
+
+  bool operator==(const Attribute& o) const = default;
+};
+
+/// An ordered list of uniquely named attributes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  /// Builds a schema, rejecting duplicate attribute names.
+  static Result<Schema> Create(std::vector<Attribute> attributes);
+
+  int size() const { return static_cast<int>(attributes_.size()); }
+  const Attribute& attribute(int i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with the given name, or nullopt.
+  std::optional<int> IndexOf(const std::string& name) const;
+
+  bool Contains(const std::string& name) const { return IndexOf(name).has_value(); }
+
+  /// Sum of attribute widths: the tuple size s_R of the cost model.
+  int TupleBytes() const;
+
+  /// Appends another schema's attributes (names may repeat across schemas in
+  /// intermediate join results only; final view schemas must be unique).
+  Schema Concat(const Schema& other) const;
+
+  /// "R(A INT, B STRING)" without the relation name.
+  std::string ToString() const;
+
+  bool operator==(const Schema& o) const = default;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_CATALOG_SCHEMA_H_

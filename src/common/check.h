@@ -1,0 +1,28 @@
+// Internal invariant checks.  EVE_CHECK aborts with a message on violation;
+// it is for programming errors only -- user-facing failures use Status.
+
+#ifndef EVE_COMMON_CHECK_H_
+#define EVE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define EVE_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "EVE_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define EVE_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "EVE_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#endif  // EVE_COMMON_CHECK_H_

@@ -1,0 +1,77 @@
+// Result<T>: a value-or-Status, the return type of fallible functions that
+// produce a value.  Mirrors absl::StatusOr / arrow::Result.
+
+#ifndef EVE_COMMON_RESULT_H_
+#define EVE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace eve {
+
+/// Holds either a T or a non-OK Status.  Accessing the value of an errored
+/// Result is a programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status.  `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ has a value.
+  std::optional<T> value_;
+};
+
+}  // namespace eve
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may be a declaration).
+#define EVE_ASSIGN_OR_RETURN(lhs, expr)                       \
+  EVE_ASSIGN_OR_RETURN_IMPL_(                                 \
+      EVE_RESULT_CONCAT_(_eve_result__, __LINE__), lhs, expr)
+
+#define EVE_RESULT_CONCAT_INNER_(a, b) a##b
+#define EVE_RESULT_CONCAT_(a, b) EVE_RESULT_CONCAT_INNER_(a, b)
+
+#define EVE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // EVE_COMMON_RESULT_H_

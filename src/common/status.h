@@ -1,0 +1,103 @@
+// Status: the error model used across the library.
+//
+// Following the database-systems idiom (RocksDB, LevelDB), no exceptions
+// cross any public API boundary.  Every fallible operation returns either a
+// Status or a Result<T> (see common/result.h).  A Status is cheap to copy in
+// the OK case (no allocation) and carries a code plus a human-readable
+// message otherwise.
+
+#ifndef EVE_COMMON_STATUS_H_
+#define EVE_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace eve {
+
+/// Error categories used throughout the library.
+enum class StatusCode {
+  kOk = 0,
+  /// The caller passed an argument that violates the API contract.
+  kInvalidArgument,
+  /// A named entity (relation, attribute, view, site, ...) does not exist.
+  kNotFound,
+  /// A named entity already exists and may not be redefined.
+  kAlreadyExists,
+  /// The operation is valid in principle but not in the current state
+  /// (e.g., synchronizing a view that is already dead).
+  kFailedPrecondition,
+  /// A numeric argument or index is outside its permitted range.
+  kOutOfRange,
+  /// E-SQL text could not be parsed; the message carries line/column info.
+  kParseError,
+  /// An internal invariant was violated; indicates a library bug.
+  kInternal,
+  /// The requested feature is recognized but not implemented.
+  kUnimplemented,
+};
+
+/// Returns the canonical spelling of a status code, e.g. "NotFound".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value.  Statuses are immutable once constructed.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.  `code` must not
+  /// be StatusCode::kOk; use the default constructor for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status ParseError(std::string msg);
+  static Status Internal(std::string msg);
+  static Status Unimplemented(std::string msg);
+
+  /// True iff this status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const;
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; this keeps the success path allocation-free.
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace eve
+
+/// Propagates an error status out of the enclosing function.
+#define EVE_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::eve::Status _eve_status__ = (expr);        \
+    if (!_eve_status__.ok()) return _eve_status__; \
+  } while (false)
+
+#endif  // EVE_COMMON_STATUS_H_

@@ -1,0 +1,91 @@
+#include "common/str_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace eve {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    // +1 for the terminating NUL vsnprintf always writes.
+    std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  return JoinMapped(parts, sep, [](const std::string& s) -> const std::string& { return s; });
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string FormatDouble(double value, int digits) {
+  std::string out = StrFormat("%.*f", digits, value);
+  // Trim trailing zeros, then a trailing '.'.
+  const size_t dot = out.find('.');
+  if (dot != std::string::npos) {
+    size_t last = out.find_last_not_of('0');
+    if (last == dot) last -= 1;
+    out.erase(last + 1);
+  }
+  return out;
+}
+
+}  // namespace eve

@@ -1,0 +1,54 @@
+// Small string helpers used across the library: printf-style formatting
+// (GCC 12 lacks std::format), joining, splitting, and case utilities.
+
+#ifndef EVE_COMMON_STR_UTIL_H_
+#define EVE_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eve {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins the elements of `parts` with `sep` between them.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Joins arbitrary streamable elements with `sep`, applying `fn` to each.
+template <typename Container, typename Fn>
+std::string JoinMapped(const Container& items, std::string_view sep, Fn fn) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out << sep;
+    first = false;
+    out << fn(item);
+  }
+  return out.str();
+}
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Formats a double with up to `digits` significant fractional digits,
+/// trimming trailing zeros ("1.5", "0.0375", "3").
+std::string FormatDouble(double value, int digits = 6);
+
+}  // namespace eve
+
+#endif  // EVE_COMMON_STR_UTIL_H_

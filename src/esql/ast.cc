@@ -1,0 +1,156 @@
+#include "esql/ast.h"
+
+#include <set>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+std::string_view ViewExtentToString(ViewExtent ve) {
+  switch (ve) {
+    case ViewExtent::kApproximate:
+      return "~";
+    case ViewExtent::kEqual:
+      return "=";
+    case ViewExtent::kSuperset:
+      return "superset";
+    case ViewExtent::kSubset:
+      return "subset";
+  }
+  return "?";
+}
+
+std::optional<ViewExtent> ViewExtentFromString(std::string_view text) {
+  if (text == "~" || EqualsIgnoreCase(text, "any") ||
+      EqualsIgnoreCase(text, "approx") || EqualsIgnoreCase(text, "approximate") ||
+      text == "≈" /* ≈ */) {
+    return ViewExtent::kApproximate;
+  }
+  if (text == "=" || EqualsIgnoreCase(text, "equal") || text == "≡" /* ≡ */) {
+    return ViewExtent::kEqual;
+  }
+  if (text == ">=" || EqualsIgnoreCase(text, "superset") ||
+      text == "⊇" /* ⊇ */) {
+    return ViewExtent::kSuperset;
+  }
+  if (text == "<=" || EqualsIgnoreCase(text, "subset") ||
+      text == "⊆" /* ⊆ */) {
+    return ViewExtent::kSubset;
+  }
+  return std::nullopt;
+}
+
+const FromItem* ViewDefinition::FindFrom(const std::string& name_arg) const {
+  for (const FromItem& f : from_items) {
+    if (f.name() == name_arg) return &f;
+  }
+  return nullptr;
+}
+
+FromItem* ViewDefinition::FindFrom(const std::string& name_arg) {
+  for (FromItem& f : from_items) {
+    if (f.name() == name_arg) return &f;
+  }
+  return nullptr;
+}
+
+const SelectItem* ViewDefinition::FindSelect(const std::string& output) const {
+  for (const SelectItem& s : select_items) {
+    if (s.name() == output) return &s;
+  }
+  return nullptr;
+}
+
+bool ViewDefinition::RelationIsUsed(const std::string& rel_name) const {
+  for (const SelectItem& s : select_items) {
+    if (s.source.relation == rel_name) return true;
+  }
+  for (const ConditionItem& c : where) {
+    if (c.clause.References(rel_name)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ViewDefinition::InterfaceNames() const {
+  std::vector<std::string> out;
+  out.reserve(select_items.size());
+  for (const SelectItem& s : select_items) out.push_back(s.name());
+  return out;
+}
+
+Conjunction ViewDefinition::WhereConjunction() const {
+  Conjunction out;
+  for (const ConditionItem& c : where) out.Add(c.clause);
+  return out;
+}
+
+std::vector<PrimitiveClause> ViewDefinition::JoinClauses() const {
+  std::vector<PrimitiveClause> out;
+  for (const ConditionItem& c : where) {
+    if (c.clause.IsJoinClause()) out.push_back(c.clause);
+  }
+  return out;
+}
+
+Conjunction ViewDefinition::LocalConjunction(const std::string& rel_name) const {
+  Conjunction out;
+  for (const ConditionItem& c : where) {
+    if (!c.clause.IsJoinClause() && c.clause.lhs.relation == rel_name) {
+      out.Add(c.clause);
+    }
+  }
+  return out;
+}
+
+Status ViewDefinition::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("view has no name");
+  if (select_items.empty()) {
+    return Status::InvalidArgument("view " + name + " selects no attributes");
+  }
+  if (from_items.empty()) {
+    return Status::InvalidArgument("view " + name + " has no FROM items");
+  }
+  std::set<std::string> from_names;
+  for (const FromItem& f : from_items) {
+    if (f.relation.empty()) {
+      return Status::InvalidArgument("view " + name + " has an unnamed FROM item");
+    }
+    if (!from_names.insert(f.name()).second) {
+      return Status::InvalidArgument("view " + name +
+                                     ": duplicate FROM name " + f.name());
+    }
+  }
+  std::set<std::string> out_names;
+  for (const SelectItem& s : select_items) {
+    if (s.source.relation.empty() || s.source.attribute.empty()) {
+      return Status::InvalidArgument(
+          "view " + name + ": SELECT items must be relation-qualified");
+    }
+    if (from_names.count(s.source.relation) == 0) {
+      return Status::InvalidArgument("view " + name + ": SELECT references " +
+                                     s.source.ToString() +
+                                     " but no such FROM item exists");
+    }
+    if (!out_names.insert(s.name()).second) {
+      return Status::InvalidArgument("view " + name +
+                                     ": duplicate output attribute " + s.name());
+    }
+  }
+  for (const ConditionItem& c : where) {
+    for (const RelAttr& a : c.clause.Attributes()) {
+      if (a.relation.empty()) {
+        return Status::InvalidArgument(
+            "view " + name + ": WHERE references unqualified attribute " +
+            a.ToString());
+      }
+      if (from_names.count(a.relation) == 0) {
+        return Status::InvalidArgument("view " + name + ": WHERE references " +
+                                       a.ToString() +
+                                       " but no such FROM item exists");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace eve

@@ -1,0 +1,118 @@
+// The E-SQL abstract syntax tree (paper §3.1, Figs. 2-3).
+//
+// E-SQL extends SELECT-FROM-WHERE with evolution preferences:
+//   * per SELECT item:   AD (attribute-dispensable), AR (attribute-replaceable)
+//   * per FROM item:     RD (relation-dispensable),  RR (relation-replaceable)
+//   * per WHERE clause:  CD (condition-dispensable), CR (condition-replaceable)
+//   * per view:          VE (view-extent discipline: ~, =, superset, subset)
+// All boolean parameters default to false (indispensable / non-replaceable);
+// VE defaults to "don't care" (~ / approximate), per Fig. 3.
+
+#ifndef EVE_ESQL_AST_H_
+#define EVE_ESQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/names.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "expr/clause.h"
+
+namespace eve {
+
+/// The view-extent evolution parameter VE (paper Fig. 3).
+enum class ViewExtent {
+  kApproximate,  ///< '~'  no restriction on the new extent
+  kEqual,        ///< '='  new extent must equal the old extent
+  kSuperset,     ///< 'superset' new extent must contain the old extent
+  kSubset,       ///< 'subset'   new extent must be contained in the old
+};
+
+/// Canonical spelling: "~", "=", "superset", "subset".
+std::string_view ViewExtentToString(ViewExtent ve);
+
+/// Accepts ASCII and unicode spellings (~, any, approx; =, equal; >=,
+/// superset; <=, subset).
+std::optional<ViewExtent> ViewExtentFromString(std::string_view text);
+
+/// One SELECT entry: a source attribute, its exposed name, and AD/AR.
+struct SelectItem {
+  RelAttr source;           ///< e.g. R.A (relation part = FROM item name).
+  std::string output_name;  ///< Exposed name B_i; defaults to the attribute.
+  bool dispensable = false;  ///< AD.
+  bool replaceable = false;  ///< AR.
+
+  const std::string& name() const {
+    return output_name.empty() ? source.attribute : output_name;
+  }
+
+  bool operator==(const SelectItem& o) const = default;
+};
+
+/// One FROM entry: a relation (optionally site-qualified and aliased) and
+/// RD/RR.
+struct FromItem {
+  std::string site;      ///< Optional; empty means "resolve via the space".
+  std::string relation;  ///< Relation name at the site.
+  std::string alias;     ///< Query-local name; empty means `relation`.
+  bool dispensable = false;  ///< RD.
+  bool replaceable = false;  ///< RR.
+
+  /// The name by which SELECT/WHERE reference this relation.
+  const std::string& name() const { return alias.empty() ? relation : alias; }
+
+  bool operator==(const FromItem& o) const = default;
+};
+
+/// One WHERE conjunct: a primitive clause and CD/CR.
+struct ConditionItem {
+  PrimitiveClause clause;
+  bool dispensable = false;  ///< CD.
+  bool replaceable = false;  ///< CR.
+
+  bool operator==(const ConditionItem& o) const = default;
+};
+
+/// A complete E-SQL view definition.
+struct ViewDefinition {
+  std::string name;
+  ViewExtent ve = ViewExtent::kApproximate;
+  std::vector<SelectItem> select_items;
+  std::vector<FromItem> from_items;
+  std::vector<ConditionItem> where;
+
+  /// The FROM item referenced as `name` (alias or relation), or nullptr.
+  const FromItem* FindFrom(const std::string& name) const;
+  FromItem* FindFrom(const std::string& name);
+
+  /// The SELECT item exposed as `output` name, or nullptr.
+  const SelectItem* FindSelect(const std::string& output) const;
+
+  /// True iff any SELECT item or WHERE clause references FROM item `name`.
+  bool RelationIsUsed(const std::string& name) const;
+
+  /// Output (interface) attribute names in SELECT order.
+  std::vector<std::string> InterfaceNames() const;
+
+  /// The WHERE conjunction without evolution parameters.
+  Conjunction WhereConjunction() const;
+
+  /// Join clauses (attr-op-attr across two FROM items) in the WHERE clause.
+  std::vector<PrimitiveClause> JoinClauses() const;
+
+  /// Local (single-relation) clauses restricted to FROM item `name`.
+  Conjunction LocalConjunction(const std::string& name) const;
+
+  /// Structural well-formedness: every referenced relation name matches a
+  /// FROM item, output names are unique, at least one SELECT and FROM item.
+  Status Validate() const;
+
+  bool operator==(const ViewDefinition& o) const = default;
+};
+
+}  // namespace eve
+
+#endif  // EVE_ESQL_AST_H_

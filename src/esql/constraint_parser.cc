@@ -1,0 +1,222 @@
+#include "esql/constraint_parser.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "esql/lexer.h"
+
+namespace eve {
+
+namespace {
+
+class ConstraintParser {
+ public:
+  ConstraintParser(std::vector<Token> tokens, const MetaKnowledgeBase& mkb)
+      : tokens_(std::move(tokens)), mkb_(mkb) {}
+
+  Result<ParsedConstraint> Parse() {
+    if (CheckKeyword("JOIN")) {
+      Consume();
+      EVE_RETURN_IF_ERROR(ExpectKeyword("CONSTRAINT"));
+      EVE_ASSIGN_OR_RETURN(JoinConstraint jc, ParseJoin());
+      EVE_RETURN_IF_ERROR(ExpectEnd());
+      return ParsedConstraint(std::move(jc));
+    }
+    if (CheckKeyword("PC")) {
+      Consume();
+      EVE_RETURN_IF_ERROR(ExpectKeyword("CONSTRAINT"));
+      EVE_ASSIGN_OR_RETURN(PcConstraint pc, ParsePc());
+      EVE_RETURN_IF_ERROR(ExpectEnd());
+      return ParsedConstraint(std::move(pc));
+    }
+    return Error("expected JOIN CONSTRAINT or PC CONSTRAINT");
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Consume() {
+    return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_];
+  }
+  bool Check(TokenType t) const { return Peek().Is(t); }
+  bool CheckKeyword(std::string_view kw) const { return Peek().IsKeyword(kw); }
+  bool ConsumeIf(TokenType t) {
+    if (!Check(t)) return false;
+    Consume();
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return Status::ParseError(StrFormat("%s at line %d column %d",
+                                        message.c_str(), t.line, t.column));
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!CheckKeyword(kw)) {
+      return Error(StrFormat("expected %s", std::string(kw).c_str()));
+    }
+    Consume();
+    return Status::OK();
+  }
+
+  Status ExpectEnd() {
+    ConsumeIf(TokenType::kSemicolon);
+    if (!Check(TokenType::kEnd)) {
+      return Error("unexpected trailing input '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  // [site '.'] relation, resolved through the MKB when unqualified.
+  Result<RelationId> ParseRelRef() {
+    if (!Check(TokenType::kIdent)) return Error("expected a relation name");
+    std::string first = Consume().text;
+    if (ConsumeIf(TokenType::kDot)) {
+      if (!Check(TokenType::kIdent)) return Error("expected a relation name");
+      return RelationId{std::move(first), Consume().text};
+    }
+    return mkb_.ResolveName(first);
+  }
+
+  // A primitive clause; both sides may reference either relation by its
+  // bare name.
+  Result<PrimitiveClause> ParseClause() {
+    EVE_ASSIGN_OR_RETURN(RelAttr lhs, ParseAttrRef());
+    if (!Check(TokenType::kOperator)) {
+      return Error("expected a comparison operator");
+    }
+    const auto op = CompOpFromString(Peek().text);
+    if (!op.has_value()) {
+      return Error("invalid comparison operator '" + Peek().text + "'");
+    }
+    Consume();
+    // RHS: attribute or literal.
+    if (Check(TokenType::kIdent)) {
+      EVE_ASSIGN_OR_RETURN(RelAttr rhs, ParseAttrRef());
+      return PrimitiveClause::AttrAttr(std::move(lhs), *op, std::move(rhs));
+    }
+    if (Check(TokenType::kInt)) {
+      return PrimitiveClause::AttrConst(
+          std::move(lhs), *op,
+          Value(static_cast<int64_t>(
+              std::strtoll(Consume().text.c_str(), nullptr, 10))));
+    }
+    if (Check(TokenType::kFloat)) {
+      return PrimitiveClause::AttrConst(
+          std::move(lhs), *op, Value(std::strtod(Consume().text.c_str(), nullptr)));
+    }
+    if (Check(TokenType::kString)) {
+      return PrimitiveClause::AttrConst(std::move(lhs), *op,
+                                        Value(Consume().text));
+    }
+    return Error("expected an attribute reference or literal");
+  }
+
+  Result<RelAttr> ParseAttrRef() {
+    if (!Check(TokenType::kIdent)) return Error("expected an attribute reference");
+    std::string first = Consume().text;
+    if (ConsumeIf(TokenType::kDot)) {
+      if (!Check(TokenType::kIdent)) return Error("expected an attribute name");
+      return RelAttr{std::move(first), Consume().text};
+    }
+    return RelAttr{"", std::move(first)};
+  }
+
+  Result<Conjunction> ParseConjunction() {
+    Conjunction out;
+    while (true) {
+      const bool paren = ConsumeIf(TokenType::kLParen);
+      EVE_ASSIGN_OR_RETURN(PrimitiveClause clause, ParseClause());
+      if (paren && !ConsumeIf(TokenType::kRParen)) return Error("expected ')'");
+      out.Add(std::move(clause));
+      if (!CheckKeyword("AND")) break;
+      Consume();
+    }
+    return out;
+  }
+
+  Result<JoinConstraint> ParseJoin() {
+    JoinConstraint jc;
+    EVE_ASSIGN_OR_RETURN(jc.left, ParseRelRef());
+    if (!ConsumeIf(TokenType::kComma)) return Error("expected ','");
+    EVE_ASSIGN_OR_RETURN(jc.right, ParseRelRef());
+    EVE_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    EVE_ASSIGN_OR_RETURN(jc.condition, ParseConjunction());
+    return jc;
+  }
+
+  Result<PcSide> ParsePcSide() {
+    PcSide side;
+    EVE_ASSIGN_OR_RETURN(side.relation, ParseRelRef());
+    if (!ConsumeIf(TokenType::kLParen)) {
+      return Error("expected '(' before the projection list");
+    }
+    while (true) {
+      if (!Check(TokenType::kIdent)) return Error("expected an attribute name");
+      side.attributes.push_back(Consume().text);
+      if (!ConsumeIf(TokenType::kComma)) break;
+    }
+    if (!ConsumeIf(TokenType::kRParen)) return Error("expected ')'");
+    if (CheckKeyword("WHERE")) {
+      Consume();
+      EVE_ASSIGN_OR_RETURN(side.selection, ParseConjunction());
+      side.selectivity = 0.5;  // Default until SELECTIVITY overrides it.
+    }
+    if (CheckKeyword("SELECTIVITY")) {
+      Consume();
+      if (!Check(TokenType::kFloat) && !Check(TokenType::kInt)) {
+        return Error("expected a number after SELECTIVITY");
+      }
+      side.selectivity = std::strtod(Consume().text.c_str(), nullptr);
+      if (side.selection.IsTrue()) {
+        return Error("SELECTIVITY requires a WHERE condition on this side");
+      }
+    }
+    return side;
+  }
+
+  Result<PcConstraint> ParsePc() {
+    PcConstraint pc;
+    EVE_ASSIGN_OR_RETURN(pc.left, ParsePcSide());
+    if (CheckKeyword("SUBSET")) {
+      pc.type = PcRelationType::kSubset;
+    } else if (CheckKeyword("EQUIVALENT")) {
+      pc.type = PcRelationType::kEquivalent;
+    } else if (CheckKeyword("SUPERSET")) {
+      pc.type = PcRelationType::kSuperset;
+    } else if (CheckKeyword("INCOMPARABLE")) {
+      pc.type = PcRelationType::kIncomparable;
+    } else {
+      return Error("expected SUBSET, EQUIVALENT, SUPERSET or INCOMPARABLE");
+    }
+    Consume();
+    EVE_ASSIGN_OR_RETURN(pc.right, ParsePcSide());
+    EVE_RETURN_IF_ERROR(pc.Validate());
+    return pc;
+  }
+
+  std::vector<Token> tokens_;
+  const MetaKnowledgeBase& mkb_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedConstraint> ParseConstraint(const std::string& text,
+                                         const MetaKnowledgeBase& mkb) {
+  EVE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  return ConstraintParser(std::move(tokens), mkb).Parse();
+}
+
+Status DeclareConstraint(const std::string& text, MetaKnowledgeBase* mkb) {
+  EVE_ASSIGN_OR_RETURN(ParsedConstraint parsed, ParseConstraint(text, *mkb));
+  if (auto* jc = std::get_if<JoinConstraint>(&parsed)) {
+    return mkb->AddJoinConstraint(std::move(*jc));
+  }
+  return mkb->AddPcConstraint(std::move(std::get<PcConstraint>(parsed)));
+}
+
+}  // namespace eve

@@ -1,0 +1,48 @@
+// Text syntax for MISD constraint declarations, complementing E-SQL view
+// definitions.  Lets information spaces be described declaratively (used by
+// EveSystem::DeclareConstraint and the examples).
+//
+// Grammar (keywords case-insensitive; [site.]rel resolves bare names
+// through the MKB):
+//
+//   join_constraint := JOIN CONSTRAINT rel_ref ',' rel_ref
+//                      ON clause (AND clause)* [';']
+//   pc_constraint   := PC CONSTRAINT pc_side rel_op pc_side [';']
+//   pc_side         := rel_ref '(' ident (',' ident)* ')'
+//                      [ WHERE clause (AND clause)* ]
+//                      [ SELECTIVITY number ]
+//   rel_op          := SUBSET | EQUIVALENT | SUPERSET | INCOMPARABLE
+//
+// Examples:
+//   JOIN CONSTRAINT Customer, FlightRes ON Customer.Name = FlightRes.PName
+//   PC CONSTRAINT Customer (Name, Phone) SUBSET Archive (Name, Tel)
+//   PC CONSTRAINT Orders (Id) WHERE Orders.Year >= 2020 SELECTIVITY 0.25
+//      EQUIVALENT RecentOrders (Id)
+
+#ifndef EVE_ESQL_CONSTRAINT_PARSER_H_
+#define EVE_ESQL_CONSTRAINT_PARSER_H_
+
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "misd/constraints.h"
+#include "misd/mkb.h"
+
+namespace eve {
+
+/// A parsed constraint declaration.
+using ParsedConstraint = std::variant<JoinConstraint, PcConstraint>;
+
+/// Parses one constraint declaration.  Bare relation names are resolved
+/// against `mkb` (must be unambiguous); site-qualified names ("IS1.R") are
+/// taken verbatim.
+Result<ParsedConstraint> ParseConstraint(const std::string& text,
+                                         const MetaKnowledgeBase& mkb);
+
+/// Parses and installs the constraint into `mkb` in one step.
+Status DeclareConstraint(const std::string& text, MetaKnowledgeBase* mkb);
+
+}  // namespace eve
+
+#endif  // EVE_ESQL_CONSTRAINT_PARSER_H_

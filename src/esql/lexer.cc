@@ -1,0 +1,216 @@
+#include "esql/lexer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return type == TokenType::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+std::string_view TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd:
+      return "end of input";
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kInt:
+      return "integer";
+    case TokenType::kFloat:
+      return "number";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kOperator:
+      return "operator";
+  }
+  return "token";
+}
+
+namespace {
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      EVE_ASSIGN_OR_RETURN(Token tok, NextToken());
+      out.push_back(std::move(tok));
+    }
+    out.push_back(Token{TokenType::kEnd, "", line_, column_});
+    return out;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && Peek(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token Make(TokenType type, std::string text, int line, int column) {
+    return Token{type, std::move(text), line, column};
+  }
+
+  Result<Token> NextToken() {
+    const int line = line_;
+    const int column = column_;
+    const char c = Peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_' || Peek() == '-')) {
+        // Allow '-' inside identifiers for names like Asia-Customer, but not
+        // a trailing '-' (so "R --comment" still lexes).
+        if (Peek() == '-' &&
+            !(std::isalnum(static_cast<unsigned char>(Peek(1))) || Peek(1) == '_')) {
+          break;
+        }
+        text += Advance();
+      }
+      return Make(TokenType::kIdent, std::move(text), line, column);
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      bool is_float = false;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text += Advance();
+      }
+      if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        is_float = true;
+        text += Advance();
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          text += Advance();
+        }
+      }
+      return Make(is_float ? TokenType::kFloat : TokenType::kInt,
+                  std::move(text), line, column);
+    }
+
+    if (c == '\'' || c == '"') {
+      const char quote = Advance();
+      std::string text;
+      while (!AtEnd() && Peek() != quote) text += Advance();
+      if (AtEnd()) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at line %d column %d", line,
+                      column));
+      }
+      Advance();  // Closing quote.
+      return Make(TokenType::kString, std::move(text), line, column);
+    }
+
+    switch (c) {
+      case '(':
+        Advance();
+        return Make(TokenType::kLParen, "(", line, column);
+      case ')':
+        Advance();
+        return Make(TokenType::kRParen, ")", line, column);
+      case ',':
+        Advance();
+        return Make(TokenType::kComma, ",", line, column);
+      case '.':
+        Advance();
+        return Make(TokenType::kDot, ".", line, column);
+      case ';':
+        Advance();
+        return Make(TokenType::kSemicolon, ";", line, column);
+      case '*':
+        Advance();
+        return Make(TokenType::kStar, "*", line, column);
+      case '~':
+        Advance();
+        return Make(TokenType::kOperator, "~", line, column);
+      case '=':
+        Advance();
+        return Make(TokenType::kOperator, "=", line, column);
+      case '<': {
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenType::kOperator, "<=", line, column);
+        }
+        if (Peek() == '>') {
+          Advance();
+          return Make(TokenType::kOperator, "<>", line, column);
+        }
+        return Make(TokenType::kOperator, "<", line, column);
+      }
+      case '>': {
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenType::kOperator, ">=", line, column);
+        }
+        return Make(TokenType::kOperator, ">", line, column);
+      }
+      case '!': {
+        if (Peek(1) == '=') {
+          Advance();
+          Advance();
+          return Make(TokenType::kOperator, "<>", line, column);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return Status::ParseError(StrFormat(
+        "unexpected character '%c' at line %d column %d", c, line, column));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  return LexerImpl(text).Run();
+}
+
+}  // namespace eve

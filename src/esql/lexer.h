@@ -1,0 +1,22 @@
+// Hand-written lexer for E-SQL.  Supports SQL-style comments ("-- ..."),
+// single- and double-quoted strings, and the comparison operators of
+// primitive clauses.
+
+#ifndef EVE_ESQL_LEXER_H_
+#define EVE_ESQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "esql/token.h"
+
+namespace eve {
+
+/// Lexes `text` into a token stream terminated by a kEnd token.  Fails on
+/// unterminated strings or bytes that cannot begin any token.
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace eve
+
+#endif  // EVE_ESQL_LEXER_H_

@@ -1,0 +1,355 @@
+#include "esql/parser.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "esql/lexer.h"
+
+namespace eve {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ViewDefinition> Parse() {
+    ViewDefinition view;
+    EVE_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    EVE_RETURN_IF_ERROR(ExpectKeyword("VIEW"));
+    EVE_ASSIGN_OR_RETURN(view.name, ExpectIdent("view name"));
+
+    // Optional (VE = ...) parameter list after the view name.
+    if (Check(TokenType::kLParen)) {
+      EVE_ASSIGN_OR_RETURN(ParamList params, ParseParams());
+      for (const Param& p : params) {
+        if (EqualsIgnoreCase(p.name, "VE")) {
+          const auto ve = ViewExtentFromString(p.value);
+          if (!ve.has_value()) {
+            return Error("invalid VE value '" + p.value + "'");
+          }
+          view.ve = *ve;
+        } else {
+          return Error("unknown view parameter '" + p.name + "' (expected VE)");
+        }
+      }
+    }
+
+    EVE_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    EVE_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    while (true) {
+      EVE_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      view.select_items.push_back(std::move(item));
+      if (!ConsumeIf(TokenType::kComma)) break;
+    }
+
+    EVE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      EVE_ASSIGN_OR_RETURN(FromItem item, ParseFromItem());
+      view.from_items.push_back(std::move(item));
+      if (!ConsumeIf(TokenType::kComma)) break;
+    }
+
+    if (CheckKeyword("WHERE")) {
+      Consume();
+      while (true) {
+        EVE_ASSIGN_OR_RETURN(ConditionItem item, ParseCondition());
+        view.where.push_back(std::move(item));
+        if (!CheckKeyword("AND")) break;
+        Consume();
+      }
+    }
+
+    ConsumeIf(TokenType::kSemicolon);
+    if (!Check(TokenType::kEnd)) {
+      return Error("unexpected trailing input '" + Peek().text + "'");
+    }
+    // Resolve unqualified attribute references when unambiguous.
+    EVE_RETURN_IF_ERROR(QualifyReferences(&view));
+    EVE_RETURN_IF_ERROR(view.Validate());
+    return view;
+  }
+
+ private:
+  struct Param {
+    std::string name;
+    std::string value;
+  };
+  using ParamList = std::vector<Param>;
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Consume() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenType t) const { return Peek().Is(t); }
+  bool CheckKeyword(std::string_view kw) const { return Peek().IsKeyword(kw); }
+  bool ConsumeIf(TokenType t) {
+    if (!Check(t)) return false;
+    Consume();
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return Status::ParseError(StrFormat("%s at line %d column %d",
+                                        message.c_str(), t.line, t.column));
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!CheckKeyword(kw)) {
+      return Error(StrFormat("expected %s, found '%s'",
+                             std::string(kw).c_str(), Peek().text.c_str()));
+    }
+    Consume();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(std::string_view what) {
+    if (!Check(TokenType::kIdent)) {
+      return Error(StrFormat("expected %s, found %s",
+                             std::string(what).c_str(),
+                             std::string(TokenTypeName(Peek().type)).c_str()));
+    }
+    return Consume().text;
+  }
+
+  // Is the identifier a reserved keyword that terminates a clause list?
+  static bool IsReserved(const Token& t) {
+    for (const char* kw : {"SELECT", "FROM", "WHERE", "AND", "AS", "CREATE",
+                           "VIEW"}) {
+      if (t.IsKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  Result<ParamList> ParseParams() {
+    ParamList out;
+    EVE_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+    while (true) {
+      EVE_ASSIGN_OR_RETURN(std::string pname, ExpectIdent("parameter name"));
+      if (!(Check(TokenType::kOperator) && Peek().text == "=")) {
+        return Error("expected '=' after parameter " + pname);
+      }
+      Consume();
+      // Value: identifier (true/false/subset/...), operator (~ = <= >=),
+      // or string literal.
+      std::string value;
+      if (Check(TokenType::kIdent) || Check(TokenType::kOperator) ||
+          Check(TokenType::kString) || Check(TokenType::kInt) ||
+          Check(TokenType::kFloat)) {
+        value = Consume().text;
+      } else {
+        return Error("expected a value for parameter " + pname);
+      }
+      out.push_back(Param{std::move(pname), std::move(value)});
+      if (!ConsumeIf(TokenType::kComma)) break;
+    }
+    EVE_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    return out;
+  }
+
+  Status Expect(TokenType t) {
+    if (!Check(t)) {
+      return Error(StrFormat("expected %s, found '%s'",
+                             std::string(TokenTypeName(t)).c_str(),
+                             Peek().text.c_str()));
+    }
+    Consume();
+    return Status::OK();
+  }
+
+  static Result<bool> ParseBool(const Param& p) {
+    if (EqualsIgnoreCase(p.value, "true")) return true;
+    if (EqualsIgnoreCase(p.value, "false")) return false;
+    return Status::ParseError("parameter " + p.name +
+                              " expects true/false, got '" + p.value + "'");
+  }
+
+  Result<RelAttr> ParseAttrRef() {
+    EVE_ASSIGN_OR_RETURN(std::string first, ExpectIdent("attribute reference"));
+    if (ConsumeIf(TokenType::kDot)) {
+      EVE_ASSIGN_OR_RETURN(std::string second, ExpectIdent("attribute name"));
+      return RelAttr{std::move(first), std::move(second)};
+    }
+    return RelAttr{"", std::move(first)};
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    EVE_ASSIGN_OR_RETURN(item.source, ParseAttrRef());
+    if (CheckKeyword("AS")) {
+      Consume();
+      EVE_ASSIGN_OR_RETURN(item.output_name, ExpectIdent("output name"));
+    }
+    if (Check(TokenType::kLParen)) {
+      EVE_ASSIGN_OR_RETURN(ParamList params, ParseParams());
+      for (const Param& p : params) {
+        if (EqualsIgnoreCase(p.name, "AD")) {
+          EVE_ASSIGN_OR_RETURN(item.dispensable, ParseBool(p));
+        } else if (EqualsIgnoreCase(p.name, "AR")) {
+          EVE_ASSIGN_OR_RETURN(item.replaceable, ParseBool(p));
+        } else {
+          return Error("unknown SELECT parameter '" + p.name +
+                       "' (expected AD or AR)");
+        }
+      }
+    }
+    return item;
+  }
+
+  Result<FromItem> ParseFromItem() {
+    FromItem item;
+    EVE_ASSIGN_OR_RETURN(std::string first, ExpectIdent("relation name"));
+    if (ConsumeIf(TokenType::kDot)) {
+      item.site = std::move(first);
+      EVE_ASSIGN_OR_RETURN(item.relation, ExpectIdent("relation name"));
+    } else {
+      item.relation = std::move(first);
+    }
+    // Optional alias: a non-reserved identifier.
+    if (Check(TokenType::kIdent) && !IsReserved(Peek())) {
+      item.alias = Consume().text;
+    }
+    if (Check(TokenType::kLParen)) {
+      EVE_ASSIGN_OR_RETURN(ParamList params, ParseParams());
+      for (const Param& p : params) {
+        if (EqualsIgnoreCase(p.name, "RD")) {
+          EVE_ASSIGN_OR_RETURN(item.dispensable, ParseBool(p));
+        } else if (EqualsIgnoreCase(p.name, "RR")) {
+          EVE_ASSIGN_OR_RETURN(item.replaceable, ParseBool(p));
+        } else {
+          return Error("unknown FROM parameter '" + p.name +
+                       "' (expected RD or RR)");
+        }
+      }
+    }
+    return item;
+  }
+
+  // Distinguish "(clause) (params)" from a bare clause.  After '(' a clause
+  // follows; after its ')' an optional params list may follow.
+  Result<ConditionItem> ParseCondition() {
+    ConditionItem item;
+    const bool parenthesized = ConsumeIf(TokenType::kLParen);
+    EVE_ASSIGN_OR_RETURN(item.clause, ParseClause());
+    if (parenthesized) EVE_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    if (Check(TokenType::kLParen) && LooksLikeParams()) {
+      EVE_ASSIGN_OR_RETURN(ParamList params, ParseParams());
+      for (const Param& p : params) {
+        if (EqualsIgnoreCase(p.name, "CD")) {
+          EVE_ASSIGN_OR_RETURN(item.dispensable, ParseBool(p));
+        } else if (EqualsIgnoreCase(p.name, "CR")) {
+          EVE_ASSIGN_OR_RETURN(item.replaceable, ParseBool(p));
+        } else {
+          return Error("unknown WHERE parameter '" + p.name +
+                       "' (expected CD or CR)");
+        }
+      }
+    }
+    return item;
+  }
+
+  // A '(' starts a params list (rather than a parenthesized clause) when the
+  // pattern is: '(' IDENT '=' (IDENT|literal) and the identifier is one of
+  // the evolution parameter names.
+  bool LooksLikeParams() const {
+    if (!Peek(0).Is(TokenType::kLParen) || !Peek(1).Is(TokenType::kIdent)) {
+      return false;
+    }
+    const std::string& name = Peek(1).text;
+    for (const char* p : {"CD", "CR", "AD", "AR", "RD", "RR", "VE"}) {
+      if (EqualsIgnoreCase(name, p)) {
+        return Peek(2).Is(TokenType::kOperator) && Peek(2).text == "=";
+      }
+    }
+    return false;
+  }
+
+  Result<PrimitiveClause> ParseClause() {
+    // LHS must be an attribute reference (paper: primitive clauses are
+    // attr-op-attr or attr-op-value; we normalize value-op-attr by flipping).
+    EVE_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+    if (!Check(TokenType::kOperator)) {
+      return Error("expected comparison operator");
+    }
+    const auto op = CompOpFromString(Peek().text);
+    if (!op.has_value()) {
+      return Error("invalid comparison operator '" + Peek().text + "'");
+    }
+    Consume();
+    EVE_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+
+    if (lhs.is_attr && rhs.is_attr) {
+      return PrimitiveClause::AttrAttr(lhs.attr, *op, rhs.attr);
+    }
+    if (lhs.is_attr) {
+      return PrimitiveClause::AttrConst(lhs.attr, *op, rhs.value);
+    }
+    if (rhs.is_attr) {
+      return PrimitiveClause::AttrConst(rhs.attr, FlipCompOp(*op), lhs.value);
+    }
+    return Error("a primitive clause must reference at least one attribute");
+  }
+
+  struct Operand {
+    bool is_attr = false;
+    RelAttr attr;
+    Value value;
+  };
+
+  Result<Operand> ParseOperand() {
+    Operand out;
+    if (Check(TokenType::kIdent)) {
+      out.is_attr = true;
+      EVE_ASSIGN_OR_RETURN(out.attr, ParseAttrRef());
+      return out;
+    }
+    if (Check(TokenType::kInt)) {
+      out.value = Value(static_cast<int64_t>(std::strtoll(
+          Consume().text.c_str(), nullptr, 10)));
+      return out;
+    }
+    if (Check(TokenType::kFloat)) {
+      out.value = Value(std::strtod(Consume().text.c_str(), nullptr));
+      return out;
+    }
+    if (Check(TokenType::kString)) {
+      out.value = Value(Consume().text);
+      return out;
+    }
+    return Error("expected an attribute reference or literal");
+  }
+
+  // Gives unqualified SELECT/WHERE references their relation part when the
+  // view has exactly one FROM item; ambiguous references are left for
+  // Validate() to reject.
+  Status QualifyReferences(ViewDefinition* view) const {
+    if (view->from_items.size() != 1) return Status::OK();
+    const std::string& only = view->from_items[0].name();
+    for (SelectItem& s : view->select_items) {
+      if (s.source.relation.empty()) s.source.relation = only;
+    }
+    for (ConditionItem& c : view->where) {
+      if (c.clause.lhs.relation.empty()) c.clause.lhs.relation = only;
+      if (c.clause.rhs_is_attr() && c.clause.rhs_attr().relation.empty()) {
+        RelAttr r = c.clause.rhs_attr();
+        r.relation = only;
+        c.clause.rhs = r;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ViewDefinition> ParseViewDefinition(const std::string& text) {
+  EVE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace eve

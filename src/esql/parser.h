@@ -1,0 +1,37 @@
+// Recursive-descent parser for E-SQL view definitions (paper Fig. 2).
+//
+// Accepted grammar (keywords case-insensitive):
+//
+//   view        := CREATE VIEW name [ '(' VE '=' ve_value ')' ] AS
+//                  SELECT select_item (',' select_item)*
+//                  FROM from_item (',' from_item)*
+//                  [ WHERE condition (AND condition)* ] [';']
+//   select_item := attr_ref [ AS ident ] [ params ]
+//   attr_ref    := ident [ '.' ident ]
+//   from_item   := ident [ '.' ident ] [ ident ] [ params ]   -- [site.]rel [alias]
+//   condition   := clause [ params ] | '(' clause ')' [ params ]
+//   clause      := operand comp_op operand
+//   operand     := attr_ref | literal
+//   params      := '(' ident '=' param_value (',' ident '=' param_value)* ')'
+//
+// Parameter names: AD, AR (select), RD, RR (from), CD, CR (where),
+// VE (view).  Boolean values: true/false.  VE values: ~ / any / approx,
+// = / equal, >= / superset, <= / subset (unicode set symbols also accepted).
+
+#ifndef EVE_ESQL_PARSER_H_
+#define EVE_ESQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "esql/ast.h"
+
+namespace eve {
+
+/// Parses one CREATE VIEW statement.  The returned definition has been
+/// structurally validated (ViewDefinition::Validate).
+Result<ViewDefinition> ParseViewDefinition(const std::string& text);
+
+}  // namespace eve
+
+#endif  // EVE_ESQL_PARSER_H_

@@ -1,0 +1,84 @@
+#include "esql/printer.h"
+
+#include "common/str_util.h"
+
+namespace eve {
+
+namespace {
+
+std::string BoolParam(const char* name, bool value) {
+  return StrFormat("%s = %s", name, value ? "true" : "false");
+}
+
+std::string SelectParams(const SelectItem& s, bool include_defaults) {
+  std::vector<std::string> parts;
+  if (s.dispensable || include_defaults) parts.push_back(BoolParam("AD", s.dispensable));
+  if (s.replaceable || include_defaults) parts.push_back(BoolParam("AR", s.replaceable));
+  return parts.empty() ? "" : " (" + Join(parts, ", ") + ")";
+}
+
+std::string FromParams(const FromItem& f, bool include_defaults) {
+  std::vector<std::string> parts;
+  if (f.dispensable || include_defaults) parts.push_back(BoolParam("RD", f.dispensable));
+  if (f.replaceable || include_defaults) parts.push_back(BoolParam("RR", f.replaceable));
+  return parts.empty() ? "" : " (" + Join(parts, ", ") + ")";
+}
+
+std::string CondParams(const ConditionItem& c, bool include_defaults) {
+  std::vector<std::string> parts;
+  if (c.dispensable || include_defaults) parts.push_back(BoolParam("CD", c.dispensable));
+  if (c.replaceable || include_defaults) parts.push_back(BoolParam("CR", c.replaceable));
+  return parts.empty() ? "" : " (" + Join(parts, ", ") + ")";
+}
+
+}  // namespace
+
+std::string PrintView(const ViewDefinition& view, const PrintOptions& options) {
+  const char* sep = options.multiline ? "\n" : " ";
+  const char* indent = options.multiline ? "       " : "";
+  std::string out = "CREATE VIEW " + view.name;
+  if (view.ve != ViewExtent::kApproximate || options.include_default_params) {
+    out += StrFormat(" (VE = %s)", std::string(ViewExtentToString(view.ve)).c_str());
+  }
+  out += " AS";
+  out += sep;
+  out += "SELECT ";
+  out += JoinMapped(view.select_items, std::string(",") + sep + indent,
+                    [&](const SelectItem& s) {
+                      std::string item = s.source.ToString();
+                      if (!s.output_name.empty() &&
+                          s.output_name != s.source.attribute) {
+                        item += " AS " + s.output_name;
+                      }
+                      return item + SelectParams(s, options.include_default_params);
+                    });
+  out += sep;
+  out += "FROM ";
+  out += JoinMapped(view.from_items, std::string(",") + sep + indent,
+                    [&](const FromItem& f) {
+                      std::string item =
+                          f.site.empty() ? f.relation : f.site + "." + f.relation;
+                      if (!f.alias.empty() && f.alias != f.relation) {
+                        item += " " + f.alias;
+                      }
+                      return item + FromParams(f, options.include_default_params);
+                    });
+  if (!view.where.empty()) {
+    out += sep;
+    out += "WHERE ";
+    out += JoinMapped(view.where, std::string(" AND") + sep + indent,
+                      [&](const ConditionItem& c) {
+                        return "(" + c.clause.ToString() + ")" +
+                               CondParams(c, options.include_default_params);
+                      });
+  }
+  return out;
+}
+
+std::string PrintViewCompact(const ViewDefinition& view) {
+  PrintOptions opts;
+  opts.multiline = false;
+  return PrintView(view, opts);
+}
+
+}  // namespace eve

@@ -1,0 +1,29 @@
+// Canonical E-SQL rendering of a ViewDefinition.  Printing then re-parsing
+// yields a structurally identical definition (round-trip property, tested).
+
+#ifndef EVE_ESQL_PRINTER_H_
+#define EVE_ESQL_PRINTER_H_
+
+#include <string>
+
+#include "esql/ast.h"
+
+namespace eve {
+
+/// Options controlling the rendered form.
+struct PrintOptions {
+  /// Emit evolution parameters even when they hold default values.
+  bool include_default_params = false;
+  /// Break SELECT/FROM/WHERE onto separate lines.
+  bool multiline = true;
+};
+
+/// Renders `view` as an E-SQL CREATE VIEW statement.
+std::string PrintView(const ViewDefinition& view, const PrintOptions& options = {});
+
+/// One-line compact form used in reports and examples.
+std::string PrintViewCompact(const ViewDefinition& view);
+
+}  // namespace eve
+
+#endif  // EVE_ESQL_PRINTER_H_

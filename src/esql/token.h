@@ -1,0 +1,42 @@
+// Tokens of the E-SQL lexer.
+
+#ifndef EVE_ESQL_TOKEN_H_
+#define EVE_ESQL_TOKEN_H_
+
+#include <string>
+#include <string_view>
+
+namespace eve {
+
+enum class TokenType {
+  kEnd,
+  kIdent,    ///< Bare identifier or keyword (keywords resolved by parser).
+  kInt,      ///< Integer literal.
+  kFloat,    ///< Floating-point literal.
+  kString,   ///< Quoted string literal ('...' or "...").
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kStar,
+  kOperator,  ///< One of < <= = >= > <> != ~
+};
+
+/// A lexed token with its 1-based source position (for parse errors).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    ///< Raw text (unquoted for strings).
+  int line = 1;
+  int column = 1;
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive keyword match on identifier tokens.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+std::string_view TokenTypeName(TokenType type);
+
+}  // namespace eve
+
+#endif  // EVE_ESQL_TOKEN_H_

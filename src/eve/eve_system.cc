@@ -1,0 +1,206 @@
+#include "eve/eve_system.h"
+
+#include "common/str_util.h"
+#include "esql/constraint_parser.h"
+#include "esql/parser.h"
+#include "esql/printer.h"
+
+namespace eve {
+
+std::string ViewSynchronizationReport::ToString() const {
+  std::string out = "view " + view_name + ": ";
+  if (!affected) return out + "unaffected";
+  out += std::string(ViewStateToString(resulting_state));
+  if (!ranking.empty()) {
+    out += StrFormat(" (%d legal rewritings)\n",
+                     static_cast<int>(ranking.size()));
+    out += QcModel::FormatRanking(ranking);
+    out += "adopted: " + adopted;
+  }
+  return out;
+}
+
+std::string ChangeReport::ToString() const {
+  std::string out = "=== " + change + " ===\n";
+  for (const ViewSynchronizationReport& r : views) out += r.ToString() + "\n";
+  if (mkb_constraints_dropped > 0) {
+    out += StrFormat("(MKB dropped %d constraints)\n", mkb_constraints_dropped);
+  }
+  return out;
+}
+
+EveSystem::EveSystem(EveOptions options) : options_(std::move(options)) {}
+
+Status EveSystem::RegisterRelation(const std::string& site, Relation relation,
+                                   double local_selectivity) {
+  return space_.AddRelation(site, std::move(relation), &mkb_,
+                            local_selectivity);
+}
+
+Status EveSystem::AddJoinConstraint(JoinConstraint jc) {
+  return mkb_.AddJoinConstraint(std::move(jc));
+}
+
+Status EveSystem::AddPcConstraint(PcConstraint pc) {
+  return mkb_.AddPcConstraint(std::move(pc));
+}
+
+Status EveSystem::DeclareConstraint(const std::string& text) {
+  return eve::DeclareConstraint(text, &mkb_);
+}
+
+void EveSystem::SetJoinSelectivity(double js) {
+  mkb_.stats().set_join_selectivity(js);
+}
+
+Status EveSystem::DefineView(const std::string& esql_text) {
+  EVE_ASSIGN_OR_RETURN(ViewDefinition def, ParseViewDefinition(esql_text));
+  return DefineView(std::move(def));
+}
+
+Status EveSystem::DefineView(ViewDefinition definition) {
+  const std::string name = definition.name;
+  EVE_RETURN_IF_ERROR(vkb_.Define(std::move(definition)));
+  if (options_.materialize) {
+    const Status status = Materialize(name);
+    if (!status.ok()) {
+      // Roll back the registration so a failed definition leaves no trace.
+      (void)vkb_.Drop(name);
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+Status EveSystem::Materialize(const std::string& view_name) {
+  EVE_ASSIGN_OR_RETURN(const ViewEntry* entry, vkb_.Get(view_name));
+  ViewMaintainer maintainer(space_, options_.maintainer);
+  EVE_ASSIGN_OR_RETURN(Relation extent,
+                       maintainer.Recompute(entry->definition));
+  return vkb_.SetExtent(view_name, std::move(extent));
+}
+
+Result<ViewDefinition> EveSystem::GetViewDefinition(
+    const std::string& name) const {
+  EVE_ASSIGN_OR_RETURN(const ViewEntry* entry, vkb_.Get(name));
+  return entry->definition;
+}
+
+Result<ViewState> EveSystem::GetViewState(const std::string& name) const {
+  EVE_ASSIGN_OR_RETURN(const ViewEntry* entry, vkb_.Get(name));
+  return entry->state;
+}
+
+Result<Relation> EveSystem::GetViewExtent(const std::string& name) const {
+  EVE_ASSIGN_OR_RETURN(const ViewEntry* entry, vkb_.Get(name));
+  if (entry->state == ViewState::kDead) {
+    return Status::FailedPrecondition("view " + name + " is dead");
+  }
+  if (!entry->materialized) {
+    return Status::FailedPrecondition("view " + name + " is not materialized");
+  }
+  // Set semantics for consumers; the stored extent is a bag of derivations.
+  return entry->extent.Distinct();
+}
+
+Result<const ViewEntry*> EveSystem::GetViewEntry(const std::string& name) const {
+  return vkb_.Get(name);
+}
+
+Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
+  ChangeReport report;
+  report.change = SchemaChangeToString(change);
+
+  // 1. Affected views (site resolution via the current space).
+  std::map<std::string, std::string> site_of;
+  for (const std::string& site : space_.SiteNames()) {
+    EVE_ASSIGN_OR_RETURN(const InformationSource* src, space_.GetSource(site));
+    for (const std::string& rel : src->RelationNames()) site_of[rel] = site;
+  }
+  const std::vector<std::string> candidates =
+      vkb_.ViewsReferencing(ChangedRelation(change), site_of);
+
+  // 2-3. Synchronize against the PRE-change MKB and rank.
+  ViewSynchronizer synchronizer(mkb_, options_.synchronizer);
+  QcModel model(options_.qc, options_.cost, options_.workload);
+  struct Pending {
+    std::string view;
+    ViewDefinition new_def;
+  };
+  std::vector<Pending> adoptions;
+  std::vector<std::string> deaths;
+
+  for (const std::string& view_name : candidates) {
+    EVE_ASSIGN_OR_RETURN(const ViewEntry* entry, vkb_.Get(view_name));
+    ViewSynchronizationReport view_report;
+    view_report.view_name = view_name;
+
+    EVE_ASSIGN_OR_RETURN(SynchronizationResult sync,
+                         synchronizer.Synchronize(entry->definition, change));
+    view_report.affected = sync.affected;
+    if (!sync.affected) {
+      report.views.push_back(std::move(view_report));
+      continue;
+    }
+    if (sync.rewritings.empty()) {
+      view_report.resulting_state = ViewState::kDead;
+      deaths.push_back(view_name);
+      report.views.push_back(std::move(view_report));
+      continue;
+    }
+    const ViewDefinition first_legal = sync.rewritings.front().definition;
+    EVE_ASSIGN_OR_RETURN(
+        view_report.ranking,
+        model.Rank(entry->definition, std::move(sync.rewritings), mkb_));
+    view_report.resulting_state = ViewState::kAlive;
+    const ViewDefinition& chosen =
+        options_.adopt_first_legal
+            ? first_legal
+            : view_report.ranking.front().rewriting.definition;
+    view_report.adopted = PrintViewCompact(chosen);
+    adoptions.push_back(Pending{view_name, chosen});
+    report.views.push_back(std::move(view_report));
+  }
+
+  // 4. Apply the change to space + MKB.
+  EVE_ASSIGN_OR_RETURN(report.mkb_constraints_dropped,
+                       space_.ApplySchemaChange(change, &mkb_));
+
+  // 5. Adopt rewritings and rematerialize; record deaths.
+  for (const std::string& view_name : deaths) {
+    EVE_RETURN_IF_ERROR(vkb_.MarkDead(view_name, report.change));
+  }
+  for (Pending& p : adoptions) {
+    EVE_RETURN_IF_ERROR(
+        vkb_.ReplaceDefinition(p.view, std::move(p.new_def), report.change));
+    if (options_.materialize) EVE_RETURN_IF_ERROR(Materialize(p.view));
+  }
+  return report;
+}
+
+Result<MaintenanceCounters> EveSystem::NotifyDataUpdate(
+    const DataUpdate& update) {
+  MaintenanceCounters total;
+  ViewMaintainer maintainer(space_, options_.maintainer);
+
+  // For inserts: apply to the space first, then maintain (the maintainer
+  // joins the delta against the *other* relations only, so order is safe);
+  // for deletes: maintain first so semantics match either way, then apply.
+  if (update.kind == UpdateKind::kInsert) {
+    EVE_RETURN_IF_ERROR(space_.ApplyDataUpdate(update));
+  }
+  for (const std::string& view_name : vkb_.ViewNames()) {
+    EVE_ASSIGN_OR_RETURN(ViewEntry * entry, vkb_.GetMutable(view_name));
+    if (entry->state != ViewState::kAlive || !entry->materialized) continue;
+    EVE_ASSIGN_OR_RETURN(
+        MaintenanceCounters counters,
+        maintainer.ProcessUpdate(entry->definition, update, &entry->extent));
+    total += counters;
+  }
+  if (update.kind == UpdateKind::kDelete) {
+    EVE_RETURN_IF_ERROR(space_.ApplyDataUpdate(update));
+  }
+  return total;
+}
+
+}  // namespace eve

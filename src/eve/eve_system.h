@@ -1,0 +1,132 @@
+// EveSystem: the end-to-end Evolvable View Environment (paper Fig. 1).
+//
+// It owns the information space, the Meta Knowledge Base, and the View
+// Knowledge Base, and wires together the view synchronizer, the QC-Model,
+// the query executor, and the incremental view maintainer.
+//
+// Lifecycle of a capability change (NotifySchemaChange):
+//   1. identify the affected views (VKB lookup);
+//   2. synchronize each against the PRE-change MKB (the constraints about
+//      the disappearing capability license its replacement);
+//   3. rank the legal rewritings with the QC-Model and adopt the best one
+//      (or mark the view dead when none exists);
+//   4. apply the change to the information space and evolve the MKB;
+//   5. rematerialize the adopted rewritings.
+
+#ifndef EVE_EVE_EVE_SYSTEM_H_
+#define EVE_EVE_EVE_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "esql/ast.h"
+#include "maintenance/maintainer.h"
+#include "misd/mkb.h"
+#include "qc/ranking.h"
+#include "space/information_space.h"
+#include "synch/synchronizer.h"
+#include "vkb/view_knowledge_base.h"
+
+namespace eve {
+
+/// Per-view outcome of one capability change.
+struct ViewSynchronizationReport {
+  std::string view_name;
+  bool affected = false;
+  ViewState resulting_state = ViewState::kAlive;
+  /// Ranked legal rewritings (best first); empty when unaffected or dead.
+  std::vector<RankedRewriting> ranking;
+  /// Compact E-SQL of the adopted rewriting (empty when none).
+  std::string adopted;
+
+  std::string ToString() const;
+};
+
+/// Outcome of NotifySchemaChange across all views.
+struct ChangeReport {
+  std::string change;
+  std::vector<ViewSynchronizationReport> views;
+  int mkb_constraints_dropped = 0;
+
+  std::string ToString() const;
+};
+
+/// Configuration of an EveSystem.
+struct EveOptions {
+  SynchronizerOptions synchronizer;
+  QcParameters qc;
+  CostModelOptions cost;
+  WorkloadOptions workload;
+  MaintainerOptions maintainer;
+  /// Materialize view extents on definition and after synchronization.
+  bool materialize = true;
+  /// Adopt the first legal rewriting the synchronizer generates instead of
+  /// the QC-Model's top pick.  This reproduces the behavior of the original
+  /// EVE prototype (paper §8) and exists for head-to-head comparisons; the
+  /// ranking is still computed for reporting.
+  bool adopt_first_legal = false;
+};
+
+/// The EVE system facade.
+class EveSystem {
+ public:
+  explicit EveSystem(EveOptions options = {});
+
+  // --- Registration ---------------------------------------------------------
+
+  /// Registers a relation (schema + data) at `site`; records capabilities
+  /// and statistics in the MKB.
+  Status RegisterRelation(const std::string& site, Relation relation,
+                          double local_selectivity = 1.0);
+
+  Status AddJoinConstraint(JoinConstraint jc);
+  Status AddPcConstraint(PcConstraint pc);
+  /// Parses and installs a constraint declaration ("JOIN CONSTRAINT ..." /
+  /// "PC CONSTRAINT ..."; see esql/constraint_parser.h).
+  Status DeclareConstraint(const std::string& text);
+  void SetJoinSelectivity(double js);
+
+  // --- Views -----------------------------------------------------------------
+
+  /// Parses and registers an E-SQL view; materializes it when configured.
+  Status DefineView(const std::string& esql_text);
+  Status DefineView(ViewDefinition definition);
+
+  /// The current (possibly evolved) definition of a view.
+  Result<ViewDefinition> GetViewDefinition(const std::string& name) const;
+  Result<ViewState> GetViewState(const std::string& name) const;
+  Result<Relation> GetViewExtent(const std::string& name) const;
+  Result<const ViewEntry*> GetViewEntry(const std::string& name) const;
+
+  // --- Evolution --------------------------------------------------------------
+
+  /// Processes a capability change end to end (see class comment).
+  Result<ChangeReport> NotifySchemaChange(const SchemaChange& change);
+
+  /// Processes a data update: applies it to the space and incrementally
+  /// maintains every materialized view.  Returns per-view counters summed.
+  Result<MaintenanceCounters> NotifyDataUpdate(const DataUpdate& update);
+
+  // --- Access to the underlying components ------------------------------------
+
+  const InformationSpace& space() const { return space_; }
+  InformationSpace& space() { return space_; }
+  const MetaKnowledgeBase& mkb() const { return mkb_; }
+  MetaKnowledgeBase& mkb() { return mkb_; }
+  const ViewKnowledgeBase& vkb() const { return vkb_; }
+  const EveOptions& options() const { return options_; }
+  EveOptions& options() { return options_; }
+
+ private:
+  Status Materialize(const std::string& view_name);
+
+  EveOptions options_;
+  InformationSpace space_;
+  MetaKnowledgeBase mkb_;
+  ViewKnowledgeBase vkb_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_EVE_EVE_SYSTEM_H_

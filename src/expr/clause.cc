@@ -1,0 +1,122 @@
+#include "expr/clause.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+PrimitiveClause PrimitiveClause::AttrAttr(RelAttr lhs, CompOp op, RelAttr rhs) {
+  PrimitiveClause c;
+  c.lhs = std::move(lhs);
+  c.op = op;
+  c.rhs = std::move(rhs);
+  return c;
+}
+
+PrimitiveClause PrimitiveClause::AttrConst(RelAttr lhs, CompOp op, Value rhs) {
+  PrimitiveClause c;
+  c.lhs = std::move(lhs);
+  c.op = op;
+  c.rhs = std::move(rhs);
+  return c;
+}
+
+std::vector<RelAttr> PrimitiveClause::Attributes() const {
+  std::vector<RelAttr> out{lhs};
+  if (rhs_is_attr()) out.push_back(rhs_attr());
+  return out;
+}
+
+bool PrimitiveClause::References(const std::string& relation) const {
+  if (lhs.relation == relation) return true;
+  return rhs_is_attr() && rhs_attr().relation == relation;
+}
+
+bool PrimitiveClause::IsJoinClause() const {
+  return rhs_is_attr() && rhs_attr().relation != lhs.relation;
+}
+
+PrimitiveClause PrimitiveClause::Substitute(
+    const std::map<RelAttr, RelAttr>& map) const {
+  PrimitiveClause out = *this;
+  if (const auto it = map.find(out.lhs); it != map.end()) out.lhs = it->second;
+  if (out.rhs_is_attr()) {
+    if (const auto it = map.find(out.rhs_attr()); it != map.end()) {
+      out.rhs = it->second;
+    }
+  }
+  return out;
+}
+
+PrimitiveClause PrimitiveClause::RenameRelations(
+    const std::map<std::string, std::string>& rel_map) const {
+  PrimitiveClause out = *this;
+  if (const auto it = rel_map.find(out.lhs.relation); it != rel_map.end()) {
+    out.lhs.relation = it->second;
+  }
+  if (out.rhs_is_attr()) {
+    RelAttr r = out.rhs_attr();
+    if (const auto it = rel_map.find(r.relation); it != rel_map.end()) {
+      r.relation = it->second;
+      out.rhs = r;
+    }
+  }
+  return out;
+}
+
+bool PrimitiveClause::operator==(const PrimitiveClause& o) const {
+  if (!(lhs == o.lhs) || op != o.op || rhs_is_attr() != o.rhs_is_attr()) {
+    return false;
+  }
+  if (rhs_is_attr()) return rhs_attr() == o.rhs_attr();
+  return rhs_value() == o.rhs_value();
+}
+
+std::string PrimitiveClause::ToString() const {
+  const std::string rhs_text =
+      rhs_is_attr() ? rhs_attr().ToString() : rhs_value().ToString();
+  return lhs.ToString() + " " + std::string(CompOpToString(op)) + " " + rhs_text;
+}
+
+std::vector<RelAttr> Conjunction::Attributes() const {
+  std::set<RelAttr> set;
+  for (const PrimitiveClause& c : clauses_) {
+    for (const RelAttr& a : c.Attributes()) set.insert(a);
+  }
+  return {set.begin(), set.end()};
+}
+
+std::vector<std::string> Conjunction::Relations() const {
+  std::set<std::string> set;
+  for (const RelAttr& a : Attributes()) {
+    if (!a.relation.empty()) set.insert(a.relation);
+  }
+  return {set.begin(), set.end()};
+}
+
+Conjunction Conjunction::Substitute(const std::map<RelAttr, RelAttr>& map) const {
+  std::vector<PrimitiveClause> out;
+  out.reserve(clauses_.size());
+  for (const PrimitiveClause& c : clauses_) out.push_back(c.Substitute(map));
+  return Conjunction(std::move(out));
+}
+
+Conjunction Conjunction::RenameRelations(
+    const std::map<std::string, std::string>& rel_map) const {
+  std::vector<PrimitiveClause> out;
+  out.reserve(clauses_.size());
+  for (const PrimitiveClause& c : clauses_) {
+    out.push_back(c.RenameRelations(rel_map));
+  }
+  return Conjunction(std::move(out));
+}
+
+std::string Conjunction::ToString() const {
+  if (clauses_.empty()) return "TRUE";
+  return JoinMapped(clauses_, " AND ",
+                    [](const PrimitiveClause& c) { return c.ToString(); });
+}
+
+}  // namespace eve

@@ -1,0 +1,96 @@
+// PrimitiveClause: the atomic predicate of E-SQL WHERE conditions and MISD
+// join/PC constraints (paper §3.1):
+//     <attr> theta <attr>     or     <attr> theta <value>
+// Conjunction: an AND of primitive clauses.
+
+#ifndef EVE_EXPR_CLAUSE_H_
+#define EVE_EXPR_CLAUSE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/names.h"
+#include "expr/comp_op.h"
+#include "types/value.h"
+
+namespace eve {
+
+/// One primitive clause.  `rhs` is either a second attribute reference or a
+/// constant.
+struct PrimitiveClause {
+  RelAttr lhs;
+  CompOp op = CompOp::kEqual;
+  std::variant<RelAttr, Value> rhs;
+
+  /// attr-op-attr clause.
+  static PrimitiveClause AttrAttr(RelAttr lhs, CompOp op, RelAttr rhs);
+  /// attr-op-constant clause.
+  static PrimitiveClause AttrConst(RelAttr lhs, CompOp op, Value rhs);
+
+  bool rhs_is_attr() const { return std::holds_alternative<RelAttr>(rhs); }
+  const RelAttr& rhs_attr() const { return std::get<RelAttr>(rhs); }
+  const Value& rhs_value() const { return std::get<Value>(rhs); }
+
+  /// All attribute references in the clause (1 or 2).
+  std::vector<RelAttr> Attributes() const;
+
+  /// True iff the clause references the given relation (by name/alias).
+  bool References(const std::string& relation) const;
+
+  /// True iff it is a join clause (both sides attributes of different
+  /// relations).
+  bool IsJoinClause() const;
+
+  /// Returns a copy with every attribute reference rewritten through `map`
+  /// (old RelAttr -> new RelAttr); references not in the map are kept.
+  PrimitiveClause Substitute(const std::map<RelAttr, RelAttr>& map) const;
+
+  /// Returns a copy with relation names/aliases renamed per `rel_map`.
+  PrimitiveClause RenameRelations(
+      const std::map<std::string, std::string>& rel_map) const;
+
+  bool operator==(const PrimitiveClause& o) const;
+
+  /// "R.A <= S.B" / "R.A > 10".
+  std::string ToString() const;
+};
+
+/// A conjunction of primitive clauses (the only condition form in the
+/// paper's language).  The empty conjunction is TRUE.
+class Conjunction {
+ public:
+  Conjunction() = default;
+  explicit Conjunction(std::vector<PrimitiveClause> clauses)
+      : clauses_(std::move(clauses)) {}
+
+  const std::vector<PrimitiveClause>& clauses() const { return clauses_; }
+  bool IsTrue() const { return clauses_.empty(); }
+  int size() const { return static_cast<int>(clauses_.size()); }
+
+  void Add(PrimitiveClause clause) { clauses_.push_back(std::move(clause)); }
+
+  /// Union of referenced attributes (deduplicated, sorted).
+  std::vector<RelAttr> Attributes() const;
+
+  /// All relations referenced (deduplicated, sorted).
+  std::vector<std::string> Relations() const;
+
+  Conjunction Substitute(const std::map<RelAttr, RelAttr>& map) const;
+  Conjunction RenameRelations(
+      const std::map<std::string, std::string>& rel_map) const;
+
+  bool operator==(const Conjunction& o) const = default;
+
+  /// "C1 AND C2 AND ..."; "TRUE" when empty.
+  std::string ToString() const;
+
+ private:
+  std::vector<PrimitiveClause> clauses_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_EXPR_CLAUSE_H_

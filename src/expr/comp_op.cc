@@ -1,0 +1,72 @@
+#include "expr/comp_op.h"
+
+namespace eve {
+
+std::string_view CompOpToString(CompOp op) {
+  switch (op) {
+    case CompOp::kLess:
+      return "<";
+    case CompOp::kLessEqual:
+      return "<=";
+    case CompOp::kEqual:
+      return "=";
+    case CompOp::kGreaterEqual:
+      return ">=";
+    case CompOp::kGreater:
+      return ">";
+    case CompOp::kNotEqual:
+      return "<>";
+  }
+  return "?";
+}
+
+std::optional<CompOp> CompOpFromString(std::string_view text) {
+  if (text == "<") return CompOp::kLess;
+  if (text == "<=") return CompOp::kLessEqual;
+  if (text == "=") return CompOp::kEqual;
+  if (text == ">=") return CompOp::kGreaterEqual;
+  if (text == ">") return CompOp::kGreater;
+  if (text == "<>" || text == "!=") return CompOp::kNotEqual;
+  return std::nullopt;
+}
+
+CompOp FlipCompOp(CompOp op) {
+  switch (op) {
+    case CompOp::kLess:
+      return CompOp::kGreater;
+    case CompOp::kLessEqual:
+      return CompOp::kGreaterEqual;
+    case CompOp::kEqual:
+      return CompOp::kEqual;
+    case CompOp::kGreaterEqual:
+      return CompOp::kLessEqual;
+    case CompOp::kGreater:
+      return CompOp::kLess;
+    case CompOp::kNotEqual:
+      return CompOp::kNotEqual;
+  }
+  return op;
+}
+
+bool EvalCompOp(CompOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  if (!lhs.ComparableWith(rhs)) return false;
+  const auto c = lhs.Compare(rhs);
+  switch (op) {
+    case CompOp::kLess:
+      return c == std::strong_ordering::less;
+    case CompOp::kLessEqual:
+      return c != std::strong_ordering::greater;
+    case CompOp::kEqual:
+      return c == std::strong_ordering::equal;
+    case CompOp::kGreaterEqual:
+      return c != std::strong_ordering::less;
+    case CompOp::kGreater:
+      return c == std::strong_ordering::greater;
+    case CompOp::kNotEqual:
+      return c != std::strong_ordering::equal;
+  }
+  return false;
+}
+
+}  // namespace eve

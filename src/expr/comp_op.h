@@ -1,0 +1,40 @@
+// Comparison operators of primitive clauses (paper §3.1: theta in
+// {<, <=, =, >=, >}; we additionally support <> as a natural extension).
+
+#ifndef EVE_EXPR_COMP_OP_H_
+#define EVE_EXPR_COMP_OP_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "types/value.h"
+
+namespace eve {
+
+/// The comparison operator of a primitive clause.
+enum class CompOp {
+  kLess,
+  kLessEqual,
+  kEqual,
+  kGreaterEqual,
+  kGreater,
+  kNotEqual,
+};
+
+/// "<", "<=", "=", ">=", ">", "<>".
+std::string_view CompOpToString(CompOp op);
+
+/// Parses an operator token; nullopt if not an operator.
+std::optional<CompOp> CompOpFromString(std::string_view text);
+
+/// The mirrored operator: a op b  <=>  b op' a.
+CompOp FlipCompOp(CompOp op);
+
+/// Applies the operator.  Comparisons involving NULL are false (SQL
+/// semantics); incomparable types (number vs string) are false.
+bool EvalCompOp(CompOp op, const Value& lhs, const Value& rhs);
+
+}  // namespace eve
+
+#endif  // EVE_EXPR_COMP_OP_H_

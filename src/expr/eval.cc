@@ -1,0 +1,82 @@
+#include "expr/eval.h"
+
+namespace eve {
+
+Status Binding::Register(const RelAttr& attr, int column) {
+  const auto [it, inserted] = columns_.emplace(attr, column);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("binding already has " + attr.ToString());
+  }
+  return Status::OK();
+}
+
+Result<int> Binding::Resolve(const RelAttr& attr) const {
+  const auto resolved = TryResolve(attr);
+  if (!resolved.has_value()) {
+    return Status::NotFound("unresolved attribute reference " + attr.ToString());
+  }
+  return *resolved;
+}
+
+std::optional<int> Binding::TryResolve(const RelAttr& attr) const {
+  const auto it = columns_.find(attr);
+  if (it != columns_.end()) return it->second;
+  if (attr.relation.empty()) {
+    // Unqualified: unique attribute name across all registered references.
+    std::optional<int> found;
+    for (const auto& [key, col] : columns_) {
+      if (key.attribute == attr.attribute) {
+        if (found.has_value()) return std::nullopt;  // Ambiguous.
+        found = col;
+      }
+    }
+    return found;
+  }
+  return std::nullopt;
+}
+
+bool BoundClause::Eval(const Tuple& t) const {
+  const Value& lhs = t.at(lhs_column);
+  const Value& rhs = rhs_column >= 0 ? t.at(rhs_column) : rhs_value;
+  return EvalCompOp(op, lhs, rhs);
+}
+
+Result<BoundClause> Bind(const PrimitiveClause& clause, const Binding& binding) {
+  BoundClause out;
+  EVE_ASSIGN_OR_RETURN(out.lhs_column, binding.Resolve(clause.lhs));
+  out.op = clause.op;
+  if (clause.rhs_is_attr()) {
+    EVE_ASSIGN_OR_RETURN(out.rhs_column, binding.Resolve(clause.rhs_attr()));
+  } else {
+    out.rhs_value = clause.rhs_value();
+  }
+  return out;
+}
+
+Result<std::vector<BoundClause>> BindAll(const Conjunction& conjunction,
+                                         const Binding& binding) {
+  std::vector<BoundClause> out;
+  out.reserve(conjunction.clauses().size());
+  for (const PrimitiveClause& c : conjunction.clauses()) {
+    EVE_ASSIGN_OR_RETURN(BoundClause bound, Bind(c, binding));
+    out.push_back(bound);
+  }
+  return out;
+}
+
+bool EvalAll(const std::vector<BoundClause>& clauses, const Tuple& t) {
+  for (const BoundClause& c : clauses) {
+    if (!c.Eval(t)) return false;
+  }
+  return true;
+}
+
+Result<bool> EvalConjunction(const Conjunction& conjunction,
+                             const Binding& binding, const Tuple& t) {
+  EVE_ASSIGN_OR_RETURN(std::vector<BoundClause> bound,
+                       BindAll(conjunction, binding));
+  return EvalAll(bound, t);
+}
+
+}  // namespace eve

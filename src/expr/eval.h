@@ -1,0 +1,69 @@
+// Evaluation of primitive clauses and conjunctions over tuples.
+//
+// A Binding maps RelAttr references to column indexes of a (possibly joined)
+// tuple; it is how the executor and the maintenance simulator resolve
+// attribute references before evaluating conditions.
+
+#ifndef EVE_EXPR_EVAL_H_
+#define EVE_EXPR_EVAL_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/clause.h"
+#include "storage/tuple.h"
+
+namespace eve {
+
+/// Maps attribute references to column positions of a tuple layout.
+class Binding {
+ public:
+  Binding() = default;
+
+  /// Registers `attr` at column `column`.  Later registrations of the same
+  /// reference are rejected.
+  Status Register(const RelAttr& attr, int column);
+
+  /// Column of `attr`.  Unqualified references (empty relation) resolve if
+  /// exactly one registered reference has that attribute name.
+  Result<int> Resolve(const RelAttr& attr) const;
+
+  /// Non-failing variant of Resolve.
+  std::optional<int> TryResolve(const RelAttr& attr) const;
+
+  int size() const { return static_cast<int>(columns_.size()); }
+
+ private:
+  std::map<RelAttr, int> columns_;
+};
+
+/// A clause with pre-resolved column indexes, ready for fast evaluation.
+struct BoundClause {
+  int lhs_column = -1;
+  CompOp op = CompOp::kEqual;
+  /// Exactly one of rhs_column / rhs_value is active.
+  int rhs_column = -1;
+  Value rhs_value;
+
+  bool Eval(const Tuple& t) const;
+};
+
+/// Resolves a clause against a binding.
+Result<BoundClause> Bind(const PrimitiveClause& clause, const Binding& binding);
+
+/// Resolves a conjunction against a binding.
+Result<std::vector<BoundClause>> BindAll(const Conjunction& conjunction,
+                                         const Binding& binding);
+
+/// True iff every bound clause holds on `t`.
+bool EvalAll(const std::vector<BoundClause>& clauses, const Tuple& t);
+
+/// One-shot evaluation (binds then evaluates); convenient for tests.
+Result<bool> EvalConjunction(const Conjunction& conjunction,
+                             const Binding& binding, const Tuple& t);
+
+}  // namespace eve
+
+#endif  // EVE_EXPR_EVAL_H_

@@ -1,0 +1,24 @@
+#include "expr/selectivity.h"
+
+namespace eve {
+
+Result<double> MeasureSelectivity(const Relation& rel,
+                                  const std::string& rel_name,
+                                  const Conjunction& conjunction) {
+  if (conjunction.IsTrue()) return 1.0;
+  if (rel.empty()) return 0.0;
+  Binding binding;
+  for (int i = 0; i < rel.schema().size(); ++i) {
+    EVE_RETURN_IF_ERROR(
+        binding.Register(RelAttr{rel_name, rel.schema().attribute(i).name}, i));
+  }
+  EVE_ASSIGN_OR_RETURN(std::vector<BoundClause> bound,
+                       BindAll(conjunction, binding));
+  int64_t hits = 0;
+  for (const Tuple& t : rel.tuples()) {
+    if (EvalAll(bound, t)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(rel.cardinality());
+}
+
+}  // namespace eve

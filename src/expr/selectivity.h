@@ -1,0 +1,26 @@
+// Selectivity measurement for conditions over concrete relations.
+//
+// The analytic model (paper §6.1) assumes known local selectivities sigma
+// and join selectivities js; this helper measures them from data so tests
+// can validate the analytic model against executed workloads.
+
+#ifndef EVE_EXPR_SELECTIVITY_H_
+#define EVE_EXPR_SELECTIVITY_H_
+
+#include "common/result.h"
+#include "expr/clause.h"
+#include "expr/eval.h"
+#include "storage/relation.h"
+
+namespace eve {
+
+/// Fraction of tuples of `rel` satisfying `conjunction` (clauses must
+/// reference only `rel_name`'s attributes).  Returns 1.0 for an empty
+/// conjunction and 0.0 for an empty relation.
+Result<double> MeasureSelectivity(const Relation& rel,
+                                  const std::string& rel_name,
+                                  const Conjunction& conjunction);
+
+}  // namespace eve
+
+#endif  // EVE_EXPR_SELECTIVITY_H_

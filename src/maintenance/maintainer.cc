@@ -1,0 +1,237 @@
+#include "maintenance/maintainer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "algebra/executor.h"
+#include "common/str_util.h"
+#include "expr/eval.h"
+#include "storage/hash_index.h"
+
+namespace eve {
+
+MaintenanceCounters& MaintenanceCounters::operator+=(
+    const MaintenanceCounters& o) {
+  messages += o.messages;
+  bytes += o.bytes;
+  ios += o.ios;
+  tuples_added += o.tuples_added;
+  tuples_removed += o.tuples_removed;
+  return *this;
+}
+
+std::string MaintenanceCounters::ToString() const {
+  return StrFormat("messages=%lld bytes=%lld ios=%lld (+%lld/-%lld tuples)",
+                   static_cast<long long>(messages),
+                   static_cast<long long>(bytes), static_cast<long long>(ios),
+                   static_cast<long long>(tuples_added),
+                   static_cast<long long>(tuples_removed));
+}
+
+namespace {
+
+// A FROM item resolved against the space.
+struct Resolved {
+  const FromItem* item;
+  RelationId id;
+  const Relation* relation;
+};
+
+}  // namespace
+
+Result<Relation> ViewMaintainer::Recompute(const ViewDefinition& view) const {
+  // Bag semantics: the materialized extent keeps one row per derivation so
+  // that incremental deletes stay correct (the counting approach); readers
+  // use Distinct() for set-level comparisons.
+  ExecOptions opts;
+  opts.distinct = false;
+  return ExecuteView(view, space_, opts);
+}
+
+Result<MaintenanceCounters> ViewMaintainer::ProcessUpdate(
+    const ViewDefinition& view, const DataUpdate& update,
+    Relation* extent) const {
+  MaintenanceCounters counters;
+  EVE_RETURN_IF_ERROR(view.Validate());
+
+  // Resolve FROM items and locate the updated relation within the view.
+  std::vector<Resolved> resolved;
+  int updated_pos = -1;
+  for (const FromItem& f : view.from_items) {
+    Resolved r;
+    r.item = &f;
+    if (!f.site.empty()) {
+      r.id = RelationId{f.site, f.relation};
+    } else {
+      EVE_ASSIGN_OR_RETURN(std::string site, space_.SiteOf(f.relation));
+      r.id = RelationId{site, f.relation};
+    }
+    EVE_ASSIGN_OR_RETURN(r.relation, space_.Resolve(r.id.site, r.id.relation));
+    if (r.id == update.relation) {
+      if (updated_pos >= 0) {
+        return Status::Unimplemented(
+            "incremental maintenance of self-joins over the updated relation");
+      }
+      updated_pos = static_cast<int>(resolved.size());
+    }
+    resolved.push_back(std::move(r));
+  }
+  if (updated_pos < 0) return counters;  // View does not reference it.
+
+  const Resolved& origin = resolved[updated_pos];
+  if (update.tuple.size() != origin.relation->schema().size()) {
+    return Status::InvalidArgument(
+        "update tuple arity does not match relation " +
+        update.relation.ToString());
+  }
+
+  // Update notification: the updated tuple travels to the view site.
+  counters.bytes += origin.relation->TupleBytes();
+  if (options_.count_notification_message) counters.messages += 1;
+
+  // Delta layout starts with the updated relation's columns.
+  Binding binding;
+  {
+    const Schema& s = origin.relation->schema();
+    for (int i = 0; i < s.size(); ++i) {
+      EVE_RETURN_IF_ERROR(
+          binding.Register(RelAttr{origin.item->name(), s.attribute(i).name}, i));
+    }
+  }
+  std::vector<Tuple> working{update.tuple};
+  int64_t width = origin.relation->TupleBytes();
+  std::set<std::string> bound{origin.item->name()};
+
+  // Track which WHERE clauses have been applied.
+  std::vector<bool> applied(view.where.size(), false);
+  auto apply_evaluable = [&]() -> Status {
+    for (size_t ci = 0; ci < view.where.size(); ++ci) {
+      if (applied[ci]) continue;
+      bool evaluable = true;
+      for (const RelAttr& a : view.where[ci].clause.Attributes()) {
+        if (bound.count(a.relation) == 0) evaluable = false;
+      }
+      if (!evaluable) continue;
+      EVE_ASSIGN_OR_RETURN(BoundClause bc, Bind(view.where[ci].clause, binding));
+      std::vector<Tuple> filtered;
+      for (Tuple& t : working) {
+        if (bc.Eval(t)) filtered.push_back(std::move(t));
+      }
+      working = std::move(filtered);
+      applied[ci] = true;
+    }
+    return Status::OK();
+  };
+  // The origin's local conditions filter the delta before it travels.
+  EVE_RETURN_IF_ERROR(apply_evaluable());
+
+  // Visit order: origin site first, then other sites by first appearance.
+  std::vector<std::string> site_order{origin.id.site};
+  for (const Resolved& r : resolved) {
+    if (std::find(site_order.begin(), site_order.end(), r.id.site) ==
+        site_order.end()) {
+      site_order.push_back(r.id.site);
+    }
+  }
+
+  for (const std::string& site : site_order) {
+    std::vector<const Resolved*> site_rels;
+    for (size_t i = 0; i < resolved.size(); ++i) {
+      if (static_cast<int>(i) != updated_pos && resolved[i].id.site == site) {
+        site_rels.push_back(&resolved[i]);
+      }
+    }
+    if (site_rels.empty()) continue;
+
+    counters.messages += 2;  // Single-site query with delta + answer.
+    counters.bytes += static_cast<int64_t>(working.size()) * width;
+
+    for (const Resolved* r : site_rels) {
+      const Relation& rel = *r->relation;
+      const int offset = binding.size();
+      const Schema& s = rel.schema();
+      for (int i = 0; i < s.size(); ++i) {
+        EVE_RETURN_IF_ERROR(binding.Register(
+            RelAttr{r->item->name(), s.attribute(i).name}, offset + i));
+      }
+      bound.insert(r->item->name());
+
+      // Find an equality join clause usable as the probe key.
+      int probe_col = -1;
+      int build_col = -1;  // Column inside rel.
+      size_t key_clause = view.where.size();
+      for (size_t ci = 0; ci < view.where.size(); ++ci) {
+        if (applied[ci]) continue;
+        const PrimitiveClause& c = view.where[ci].clause;
+        if (c.op != CompOp::kEqual || !c.rhs_is_attr()) continue;
+        const bool lhs_here = c.lhs.relation == r->item->name();
+        const bool rhs_here = c.rhs_attr().relation == r->item->name();
+        if (lhs_here == rhs_here) continue;
+        const RelAttr& here = lhs_here ? c.lhs : c.rhs_attr();
+        const RelAttr& there = lhs_here ? c.rhs_attr() : c.lhs;
+        if (bound.count(there.relation) == 0) continue;
+        const auto there_col = binding.TryResolve(there);
+        const auto here_idx = s.IndexOf(here.attribute);
+        if (!there_col.has_value() || !here_idx.has_value()) continue;
+        probe_col = *there_col;
+        build_col = *here_idx;
+        key_clause = ci;
+        break;
+      }
+
+      const int64_t scan_ios =
+          options_.block.ScanIos(rel.cardinality(), rel.TupleBytes());
+      std::vector<Tuple> next;
+      if (probe_col >= 0) {
+        HashIndex index(rel, build_col);
+        int64_t probe_ios = 0;
+        const int64_t bfr = options_.block.BlockingFactor(rel.TupleBytes());
+        for (const Tuple& t : working) {
+          const auto& rows = index.Lookup(t.at(probe_col));
+          const int64_t matched = static_cast<int64_t>(rows.size());
+          switch (options_.io_policy) {
+            case IoBoundPolicy::kLower:
+              probe_ios += std::max<int64_t>(1, CeilDiv(matched, bfr));
+              break;
+            case IoBoundPolicy::kUpper:
+              probe_ios += std::max<int64_t>(1, matched);
+              break;
+          }
+          for (int64_t row : rows) next.push_back(t.Concat(rel.tuple(row)));
+        }
+        counters.ios += working.empty() ? 0 : std::min(scan_ios, probe_ios);
+        applied[key_clause] = true;
+      } else {
+        // No usable equality clause: the site scans the relation.
+        counters.ios += working.empty() ? 0 : scan_ios;
+        for (const Tuple& t : working) {
+          for (const Tuple& u : rel.tuples()) next.push_back(t.Concat(u));
+        }
+      }
+      working = std::move(next);
+      width += rel.TupleBytes();
+      EVE_RETURN_IF_ERROR(apply_evaluable());
+    }
+    counters.bytes += static_cast<int64_t>(working.size()) * width;
+  }
+
+  // Project the delta onto the view interface and apply it to the extent.
+  std::vector<int> out_cols;
+  for (const SelectItem& s : view.select_items) {
+    EVE_ASSIGN_OR_RETURN(const int col, binding.Resolve(s.source));
+    out_cols.push_back(col);
+  }
+  for (const Tuple& t : working) {
+    Tuple projected = t.Project(out_cols);
+    if (update.kind == UpdateKind::kInsert) {
+      extent->InsertUnchecked(std::move(projected));
+      counters.tuples_added += 1;
+    } else {
+      counters.tuples_removed += extent->Erase(projected);
+    }
+  }
+  return counters;
+}
+
+}  // namespace eve

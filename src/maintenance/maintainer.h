@@ -1,0 +1,80 @@
+// Incremental view maintenance simulator: executes Algorithm 1 of the paper
+// on real tuples.
+//
+// On a data update at relation R(1,0), the maintainer builds a delta of the
+// inserted/deleted tuple, ships it site by site (origin site first, other
+// sites in FROM order), joins it with each site's local view relations
+// (applying the view's local selection conditions), and finally applies the
+// accumulated delta to the materialized view extent.  All messages, bytes
+// and I/Os are counted, so the analytic cost model of qc/cost_model.h can
+// be validated against observed costs -- the validation the paper lists as
+// future work (§8).
+
+#ifndef EVE_MAINTENANCE_MAINTAINER_H_
+#define EVE_MAINTENANCE_MAINTAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "esql/ast.h"
+#include "qc/cost_model.h"
+#include "space/data_update.h"
+#include "space/information_space.h"
+#include "storage/block_model.h"
+#include "storage/relation.h"
+
+namespace eve {
+
+/// Observed (simulated) maintenance costs of one update.
+struct MaintenanceCounters {
+  int64_t messages = 0;
+  int64_t bytes = 0;
+  int64_t ios = 0;
+  /// Net change applied to the materialized extent.
+  int64_t tuples_added = 0;
+  int64_t tuples_removed = 0;
+
+  MaintenanceCounters& operator+=(const MaintenanceCounters& o);
+  std::string ToString() const;
+};
+
+/// Options of the maintenance simulator (mirrors CostModelOptions so that
+/// model and simulation are comparable).
+struct MaintainerOptions {
+  BlockModel block;
+  /// Count the update notification as a message (matches the analytic
+  /// model's count_notification_message).
+  bool count_notification_message = true;
+  /// Join I/O accounting: the per-site "optimizer" charges the cheaper of a
+  /// full scan and clustered index lookups per delta tuple.
+  IoBoundPolicy io_policy = IoBoundPolicy::kLower;
+};
+
+/// The view maintainer.
+class ViewMaintainer {
+ public:
+  ViewMaintainer(const InformationSpace& space, MaintainerOptions options = {})
+      : space_(space), options_(options) {}
+
+  /// Processes one data update against `view`, updating `extent` (the
+  /// materialized view extent, set semantics) in place.  The update must
+  /// already have been applied to the information space for inserts, or not
+  /// yet removed for deletes; the maintainer only evaluates joins against
+  /// the *other* relations, so either order works for them.
+  Result<MaintenanceCounters> ProcessUpdate(const ViewDefinition& view,
+                                            const DataUpdate& update,
+                                            Relation* extent) const;
+
+  /// Recomputes the extent from scratch (for initialization and as a test
+  /// oracle against incremental maintenance).
+  Result<Relation> Recompute(const ViewDefinition& view) const;
+
+ private:
+  const InformationSpace& space_;
+  MaintainerOptions options_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_MAINTENANCE_MAINTAINER_H_

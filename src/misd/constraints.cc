@@ -1,0 +1,135 @@
+#include "misd/constraints.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace eve {
+
+std::string TypeConstraint::ToString() const {
+  return StrFormat("TC(%s.%s : %s)", relation.ToString().c_str(),
+                   attribute.c_str(), std::string(DataTypeName(type)).c_str());
+}
+
+bool JoinConstraint::Connects(const RelationId& a, const RelationId& b) const {
+  return (left == a && right == b) || (left == b && right == a);
+}
+
+const RelationId& JoinConstraint::Other(const RelationId& r) const {
+  EVE_CHECK(Involves(r));
+  return left == r ? right : left;
+}
+
+std::string JoinConstraint::ToString() const {
+  return StrFormat("JC(%s, %s: %s)", left.ToString().c_str(),
+                   right.ToString().c_str(), condition.ToString().c_str());
+}
+
+std::string_view PcRelationTypeToString(PcRelationType type) {
+  switch (type) {
+    case PcRelationType::kSubset:
+      return "subset";
+    case PcRelationType::kEquivalent:
+      return "equivalent";
+    case PcRelationType::kSuperset:
+      return "superset";
+    case PcRelationType::kIncomparable:
+      return "incomparable";
+  }
+  return "?";
+}
+
+PcRelationType FlipPcRelationType(PcRelationType type) {
+  switch (type) {
+    case PcRelationType::kSubset:
+      return PcRelationType::kSuperset;
+    case PcRelationType::kEquivalent:
+      return PcRelationType::kEquivalent;
+    case PcRelationType::kSuperset:
+      return PcRelationType::kSubset;
+    case PcRelationType::kIncomparable:
+      return PcRelationType::kIncomparable;
+  }
+  return type;
+}
+
+Status PcConstraint::Validate() const {
+  if (left.attributes.empty()) {
+    return Status::InvalidArgument("PC constraint has empty projection list");
+  }
+  if (left.attributes.size() != right.attributes.size()) {
+    return Status::InvalidArgument(
+        "PC constraint projection lists differ in arity");
+  }
+  if (left.selectivity <= 0.0 || left.selectivity > 1.0 ||
+      right.selectivity <= 0.0 || right.selectivity > 1.0) {
+    return Status::InvalidArgument(
+        "PC constraint selectivities must be in (0, 1]");
+  }
+  if (!left.HasSelection() && left.selectivity != 1.0) {
+    return Status::InvalidArgument(
+        "PC side without selection must have selectivity 1");
+  }
+  if (!right.HasSelection() && right.selectivity != 1.0) {
+    return Status::InvalidArgument(
+        "PC side without selection must have selectivity 1");
+  }
+  return Status::OK();
+}
+
+std::optional<std::string> PcConstraint::MapLeftToRight(
+    const std::string& left_attribute) const {
+  const auto it = std::find(left.attributes.begin(), left.attributes.end(),
+                            left_attribute);
+  if (it == left.attributes.end()) return std::nullopt;
+  return right.attributes[static_cast<size_t>(it - left.attributes.begin())];
+}
+
+std::optional<std::string> PcConstraint::MapRightToLeft(
+    const std::string& right_attribute) const {
+  const auto it = std::find(right.attributes.begin(), right.attributes.end(),
+                            right_attribute);
+  if (it == right.attributes.end()) return std::nullopt;
+  return left.attributes[static_cast<size_t>(it - right.attributes.begin())];
+}
+
+PcConstraint PcConstraint::Flipped() const {
+  PcConstraint out;
+  out.left = right;
+  out.right = left;
+  out.type = FlipPcRelationType(type);
+  return out;
+}
+
+std::string PcConstraint::ToString() const {
+  auto side = [](const PcSide& s) {
+    std::string text = "pi_{" + Join(s.attributes, ",") + "}(";
+    if (s.HasSelection()) {
+      text += "sigma_{" + s.selection.ToString() + "}(";
+    }
+    text += s.relation.ToString();
+    if (s.HasSelection()) text += ")";
+    text += ")";
+    return text;
+  };
+  const char* rel = type == PcRelationType::kSubset        ? "SUBSETEQ"
+                    : type == PcRelationType::kSuperset    ? "SUPSETEQ"
+                    : type == PcRelationType::kIncomparable ? "RELATED"
+                                                            : "EQUIV";
+  return "PC(" + side(left) + " " + rel + " " + side(right) + ")";
+}
+
+PcConstraint MakeProjectionPc(RelationId left, RelationId right,
+                              std::vector<std::string> attributes,
+                              PcRelationType type) {
+  PcConstraint pc;
+  pc.left.relation = std::move(left);
+  pc.left.attributes = attributes;
+  pc.right.relation = std::move(right);
+  pc.right.attributes = std::move(attributes);
+  pc.type = type;
+  return pc;
+}
+
+}  // namespace eve

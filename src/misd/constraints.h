@@ -1,0 +1,113 @@
+// MISD constraints (paper §3.2, Fig. 4):
+//   * Type-integrity constraints  TC_{R.A} : attribute A of R has a type.
+//   * Join constraints            JC_{R1,R2}: a meaningful way to join.
+//   * Partial/Complete constraints PC_{R1,R2}:
+//       pi_{A..}(sigma_{C1}(R1))  REL  pi_{B..}(sigma_{C2}(R2)),
+//     REL in {subset, equivalent, superset}, attribute lists positionally
+//     aligned (Eq. 5).  PC constraints drive replacement discovery and
+//     extent-overlap estimation.
+
+#ifndef EVE_MISD_CONSTRAINTS_H_
+#define EVE_MISD_CONSTRAINTS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/names.h"
+#include "common/result.h"
+#include "expr/clause.h"
+#include "types/data_type.h"
+
+namespace eve {
+
+/// TC_{R.A}: declares the type of an attribute (paper Fig. 4, row 1).
+struct TypeConstraint {
+  RelationId relation;
+  std::string attribute;
+  DataType type = DataType::kInt64;
+
+  std::string ToString() const;
+};
+
+/// JC_{R1,R2}: a conjunction of primitive clauses under which joining the
+/// two relations is meaningful (paper Eq. 4).  Clause attribute references
+/// use the bare relation names of `left` and `right`.
+struct JoinConstraint {
+  RelationId left;
+  RelationId right;
+  Conjunction condition;
+
+  /// True iff the constraint connects `a` and `b` (in either order).
+  bool Connects(const RelationId& a, const RelationId& b) const;
+
+  /// True iff either endpoint is `r`.
+  bool Involves(const RelationId& r) const { return left == r || right == r; }
+
+  /// The endpoint that is not `r` (requires Involves(r)).
+  const RelationId& Other(const RelationId& r) const;
+
+  std::string ToString() const;
+};
+
+/// The set relation asserted by a PC constraint, read left-to-right.
+///
+/// kIncomparable extends the paper's three relations: it records that the
+/// two fragments carry the same *type* of information (they both contained
+/// a common, since-deleted fragment) without a known containment
+/// direction.  The MKB consistency checker installs such constraints when
+/// it bridges around deleted capabilities; replacements through them are
+/// legal only under VE '~'.
+enum class PcRelationType {
+  kSubset,        ///< left fragment is contained in right fragment.
+  kEquivalent,    ///< fragments are equal.
+  kSuperset,      ///< left fragment contains right fragment.
+  kIncomparable,  ///< same information type, unknown containment.
+};
+
+std::string_view PcRelationTypeToString(PcRelationType type);
+PcRelationType FlipPcRelationType(PcRelationType type);
+
+/// One side of a PC constraint: a projected, selected fragment.
+struct PcSide {
+  RelationId relation;
+  /// Projection list; aligned positionally with the other side.
+  std::vector<std::string> attributes;
+  /// Selection condition (bare relation name in references); empty = TRUE.
+  Conjunction selection;
+  /// The selectivity of `selection`; 1.0 when the condition is TRUE.  The
+  /// paper assumes these are known statistics (§5.4.3).
+  double selectivity = 1.0;
+
+  bool HasSelection() const { return !selection.IsTrue(); }
+};
+
+/// PC_{R1,R2} (paper Eq. 5).
+struct PcConstraint {
+  PcSide left;
+  PcSide right;
+  PcRelationType type = PcRelationType::kEquivalent;
+
+  /// Validates equal projection arity and positive arity.
+  Status Validate() const;
+
+  /// The attribute of `right` aligned with `left_attribute`, if projected.
+  std::optional<std::string> MapLeftToRight(const std::string& left_attribute) const;
+  std::optional<std::string> MapRightToLeft(const std::string& right_attribute) const;
+
+  /// The same constraint with sides (and relation direction) swapped.
+  PcConstraint Flipped() const;
+
+  std::string ToString() const;
+};
+
+/// Convenience builders for the common whole-relation cases.
+
+/// pi_attrs(R1) REL pi_attrs(R2), no selections, identical attribute names.
+PcConstraint MakeProjectionPc(RelationId left, RelationId right,
+                              std::vector<std::string> attributes,
+                              PcRelationType type);
+
+}  // namespace eve
+
+#endif  // EVE_MISD_CONSTRAINTS_H_

@@ -1,0 +1,484 @@
+#include "misd/mkb.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+Status MetaKnowledgeBase::RegisterRelation(const RelationId& id,
+                                           const Schema& schema) {
+  if (schemas_.count(id) > 0) {
+    return Status::AlreadyExists("relation " + id.ToString() +
+                                 " already registered in MKB");
+  }
+  if (schema.size() == 0) {
+    return Status::InvalidArgument("relation " + id.ToString() +
+                                   " must have at least one attribute");
+  }
+  schemas_.emplace(id, schema);
+  return Status::OK();
+}
+
+namespace {
+
+// Composes the set-relation types of two chained PC edges; nullopt when the
+// combination admits no containment conclusion (subset followed by
+// superset).  Incomparability is absorbing.
+std::optional<PcRelationType> ComposePcType(PcRelationType a, PcRelationType b) {
+  if (a == PcRelationType::kIncomparable || b == PcRelationType::kIncomparable) {
+    return PcRelationType::kIncomparable;
+  }
+  if (a == PcRelationType::kEquivalent) return b;
+  if (b == PcRelationType::kEquivalent) return a;
+  if (a == b) return a;
+  return std::nullopt;
+}
+
+bool PcTouches(const PcConstraint& pc, const RelationId& id) {
+  return pc.left.relation == id || pc.right.relation == id;
+}
+
+bool PcReferencesAttr(const PcConstraint& pc, const RelationId& id,
+                      const std::string& attr) {
+  auto side_refs = [&](const PcSide& side) {
+    if (!(side.relation == id)) return false;
+    if (std::find(side.attributes.begin(), side.attributes.end(), attr) !=
+        side.attributes.end()) {
+      return true;
+    }
+    for (const RelAttr& a : side.selection.Attributes()) {
+      if (a.attribute == attr) return true;
+    }
+    return false;
+  };
+  return side_refs(pc.left) || side_refs(pc.right);
+}
+
+bool JcReferencesAttr(const JoinConstraint& jc, const RelationId& id,
+                      const std::string& attr) {
+  if (!jc.Involves(id)) return false;
+  for (const RelAttr& a : jc.condition.Attributes()) {
+    if (a.attribute == attr &&
+        (a.relation == id.relation || a.relation.empty())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<int> MetaKnowledgeBase::UnregisterRelation(const RelationId& id) {
+  if (schemas_.count(id) == 0) {
+    return Status::NotFound("relation " + id.ToString() + " not in MKB");
+  }
+  BridgeConstraintsThrough(id, /*attr=*/nullptr);
+  schemas_.erase(id);
+  int dropped = 0;
+  std::erase_if(join_constraints_, [&](const JoinConstraint& jc) {
+    const bool hit = jc.Involves(id);
+    dropped += hit ? 1 : 0;
+    return hit;
+  });
+  std::erase_if(pc_constraints_, [&](const PcConstraint& pc) {
+    const bool hit = PcTouches(pc, id);
+    dropped += hit ? 1 : 0;
+    return hit;
+  });
+  stats_.Remove(id);
+  return dropped;
+}
+
+Result<int> MetaKnowledgeBase::RemoveAttribute(const RelationId& id,
+                                               const std::string& attr) {
+  const auto it = schemas_.find(id);
+  if (it == schemas_.end()) {
+    return Status::NotFound("relation " + id.ToString() + " not in MKB");
+  }
+  const auto idx = it->second.IndexOf(attr);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute " + attr + " not in relation " +
+                            id.ToString());
+  }
+  std::vector<Attribute> attrs = it->second.attributes();
+  attrs.erase(attrs.begin() + *idx);
+  if (attrs.empty()) {
+    return Status::FailedPrecondition(
+        "removing the last attribute of " + id.ToString() +
+        "; use UnregisterRelation instead");
+  }
+  BridgeConstraintsThrough(id, &attr);
+  it->second = Schema(std::move(attrs));
+
+  int dropped = 0;
+  std::erase_if(join_constraints_, [&](const JoinConstraint& jc) {
+    const bool hit = JcReferencesAttr(jc, id, attr);
+    dropped += hit ? 1 : 0;
+    return hit;
+  });
+  std::erase_if(pc_constraints_, [&](const PcConstraint& pc) {
+    const bool hit = PcReferencesAttr(pc, id, attr);
+    dropped += hit ? 1 : 0;
+    return hit;
+  });
+  return dropped;
+}
+
+Status MetaKnowledgeBase::AddAttribute(const RelationId& id,
+                                       const Attribute& attribute) {
+  const auto it = schemas_.find(id);
+  if (it == schemas_.end()) {
+    return Status::NotFound("relation " + id.ToString() + " not in MKB");
+  }
+  if (it->second.Contains(attribute.name)) {
+    return Status::AlreadyExists("attribute " + attribute.name +
+                                 " already in relation " + id.ToString());
+  }
+  std::vector<Attribute> attrs = it->second.attributes();
+  attrs.push_back(attribute);
+  it->second = Schema(std::move(attrs));
+  return Status::OK();
+}
+
+Status MetaKnowledgeBase::RenameRelation(const RelationId& from,
+                                         const std::string& new_name) {
+  const auto it = schemas_.find(from);
+  if (it == schemas_.end()) {
+    return Status::NotFound("relation " + from.ToString() + " not in MKB");
+  }
+  const RelationId to{from.site, new_name};
+  if (schemas_.count(to) > 0) {
+    return Status::AlreadyExists("relation " + to.ToString() +
+                                 " already registered in MKB");
+  }
+  Schema schema = it->second;
+  schemas_.erase(it);
+  schemas_.emplace(to, std::move(schema));
+
+  const std::map<std::string, std::string> rel_map{{from.relation, new_name}};
+  for (JoinConstraint& jc : join_constraints_) {
+    if (jc.left == from) jc.left = to;
+    if (jc.right == from) jc.right = to;
+    jc.condition = jc.condition.RenameRelations(rel_map);
+  }
+  for (PcConstraint& pc : pc_constraints_) {
+    for (PcSide* side : {&pc.left, &pc.right}) {
+      if (side->relation == from) {
+        side->relation = to;
+        side->selection = side->selection.RenameRelations(rel_map);
+      }
+    }
+  }
+  if (stats_.Has(from)) {
+    EVE_RETURN_IF_ERROR(stats_.Rename(from, to));
+  }
+  return Status::OK();
+}
+
+Status MetaKnowledgeBase::RenameAttribute(const RelationId& id,
+                                          const std::string& from,
+                                          const std::string& to) {
+  const auto it = schemas_.find(id);
+  if (it == schemas_.end()) {
+    return Status::NotFound("relation " + id.ToString() + " not in MKB");
+  }
+  const auto idx = it->second.IndexOf(from);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute " + from + " not in relation " +
+                            id.ToString());
+  }
+  if (it->second.Contains(to)) {
+    return Status::AlreadyExists("attribute " + to + " already in relation " +
+                                 id.ToString());
+  }
+  std::vector<Attribute> attrs = it->second.attributes();
+  attrs[*idx].name = to;
+  it->second = Schema(std::move(attrs));
+
+  const std::map<RelAttr, RelAttr> attr_map{
+      {RelAttr{id.relation, from}, RelAttr{id.relation, to}}};
+  for (JoinConstraint& jc : join_constraints_) {
+    if (jc.Involves(id)) jc.condition = jc.condition.Substitute(attr_map);
+  }
+  for (PcConstraint& pc : pc_constraints_) {
+    for (PcSide* side : {&pc.left, &pc.right}) {
+      if (side->relation == id) {
+        for (std::string& a : side->attributes) {
+          if (a == from) a = to;
+        }
+        side->selection = side->selection.Substitute(attr_map);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void MetaKnowledgeBase::BridgeConstraintsThrough(const RelationId& through,
+                                                 const std::string* attr) {
+  // Normalized edges from the disappearing capability that are about to be
+  // dropped: every PC constraint touching `through` (for a relation
+  // deletion) or touching `through`.`attr` (for an attribute deletion).
+  std::vector<PcEdge> doomed;
+  for (const PcEdge& edge : PcEdgesFrom(through)) {
+    if (attr != nullptr && edge.attribute_map.count(*attr) == 0) {
+      // Selection conditions referencing the attribute also doom the
+      // constraint; treat those conservatively as not bridgeable.
+      continue;
+    }
+    // Bridging through a selected source fragment is unsound.
+    if (!edge.source_selection.IsTrue()) continue;
+    doomed.push_back(edge);
+  }
+  if (doomed.size() < 2) return;
+
+  // Existing-constraint fingerprints, to avoid duplicates.
+  std::set<std::string> existing;
+  for (const PcConstraint& pc : pc_constraints_) existing.insert(pc.ToString());
+
+  std::vector<PcConstraint> bridges;
+  for (size_t i = 0; i < doomed.size(); ++i) {
+    for (size_t j = 0; j < doomed.size(); ++j) {
+      if (i == j) continue;
+      const PcEdge& e1 = doomed[i];  // through -> Y
+      const PcEdge& e2 = doomed[j];  // through -> Z
+      if (e1.target == e2.target) continue;
+      // Y REL Z with REL = flip(e1.type) o e2.type (incomparable fallback).
+      const auto type =
+          ComposePcType(FlipPcRelationType(e1.type), e2.type)
+              .value_or(PcRelationType::kIncomparable);
+      PcConstraint bridge;
+      bridge.type = type;
+      bridge.left.relation = e1.target;
+      bridge.right.relation = e2.target;
+      for (const auto& [x_attr, y_attr] : e1.attribute_map) {
+        const auto z_it = e2.attribute_map.find(x_attr);
+        if (z_it == e2.attribute_map.end()) continue;
+        bridge.left.attributes.push_back(y_attr);
+        bridge.right.attributes.push_back(z_it->second);
+      }
+      if (bridge.left.attributes.empty()) continue;
+      bridge.left.selection = e1.target_selection;
+      bridge.left.selectivity = e1.target_selectivity;
+      bridge.right.selection = e2.target_selection;
+      bridge.right.selectivity = e2.target_selectivity;
+      if (existing.insert(bridge.ToString()).second) {
+        bridges.push_back(std::move(bridge));
+      }
+    }
+  }
+  for (PcConstraint& bridge : bridges) {
+    pc_constraints_.push_back(std::move(bridge));
+  }
+}
+
+bool MetaKnowledgeBase::HasRelation(const RelationId& id) const {
+  return schemas_.count(id) > 0;
+}
+
+Result<Schema> MetaKnowledgeBase::GetSchema(const RelationId& id) const {
+  const auto it = schemas_.find(id);
+  if (it == schemas_.end()) {
+    return Status::NotFound("relation " + id.ToString() + " not in MKB");
+  }
+  return it->second;
+}
+
+std::vector<RelationId> MetaKnowledgeBase::Relations() const {
+  std::vector<RelationId> out;
+  out.reserve(schemas_.size());
+  for (const auto& [id, schema] : schemas_) out.push_back(id);
+  return out;
+}
+
+Result<RelationId> MetaKnowledgeBase::ResolveName(
+    const std::string& relation_name) const {
+  const RelationId* found = nullptr;
+  for (const auto& [id, schema] : schemas_) {
+    if (id.relation == relation_name) {
+      if (found != nullptr) {
+        return Status::FailedPrecondition("relation name " + relation_name +
+                                          " is ambiguous across sites");
+      }
+      found = &id;
+    }
+  }
+  if (found == nullptr) {
+    return Status::NotFound("relation " + relation_name + " not in MKB");
+  }
+  return *found;
+}
+
+Status MetaKnowledgeBase::AddJoinConstraint(JoinConstraint jc) {
+  if (!HasRelation(jc.left) || !HasRelation(jc.right)) {
+    return Status::NotFound("join constraint references unregistered relation: " +
+                            jc.ToString());
+  }
+  if (jc.condition.IsTrue()) {
+    return Status::InvalidArgument(
+        "join constraint must have at least one clause");
+  }
+  join_constraints_.push_back(std::move(jc));
+  return Status::OK();
+}
+
+Status MetaKnowledgeBase::AddPcConstraint(PcConstraint pc) {
+  EVE_RETURN_IF_ERROR(pc.Validate());
+  if (!HasRelation(pc.left.relation) || !HasRelation(pc.right.relation)) {
+    return Status::NotFound("PC constraint references unregistered relation: " +
+                            pc.ToString());
+  }
+  // Every projected attribute must exist in the registered schema.
+  for (const PcSide* side : {&pc.left, &pc.right}) {
+    EVE_ASSIGN_OR_RETURN(Schema schema, GetSchema(side->relation));
+    for (const std::string& a : side->attributes) {
+      if (!schema.Contains(a)) {
+        return Status::NotFound("PC constraint projects unknown attribute " +
+                                side->relation.ToString() + "." + a);
+      }
+    }
+  }
+  pc_constraints_.push_back(std::move(pc));
+  return Status::OK();
+}
+
+std::vector<const JoinConstraint*> MetaKnowledgeBase::FindJoinConstraints(
+    const RelationId& a, const RelationId& b) const {
+  std::vector<const JoinConstraint*> out;
+  for (const JoinConstraint& jc : join_constraints_) {
+    if (jc.Connects(a, b)) out.push_back(&jc);
+  }
+  return out;
+}
+
+PcEdge MetaKnowledgeBase::MakeEdge(const PcConstraint& pc, bool flipped) {
+  const PcSide& src = flipped ? pc.right : pc.left;
+  const PcSide& dst = flipped ? pc.left : pc.right;
+  PcEdge edge;
+  edge.constraint_text = pc.ToString();
+  edge.source = src.relation;
+  edge.target = dst.relation;
+  edge.type = flipped ? FlipPcRelationType(pc.type) : pc.type;
+  for (size_t i = 0; i < src.attributes.size(); ++i) {
+    edge.attribute_map[src.attributes[i]] = dst.attributes[i];
+  }
+  edge.source_selectivity = src.selectivity;
+  edge.target_selectivity = dst.selectivity;
+  edge.source_selection = src.selection;
+  edge.target_selection = dst.selection;
+  return edge;
+}
+
+std::vector<PcEdge> MetaKnowledgeBase::PcEdgesFrom(
+    const RelationId& source) const {
+  std::vector<PcEdge> out;
+  for (const PcConstraint& pc : pc_constraints_) {
+    if (pc.left.relation == source && !(pc.right.relation == source)) {
+      out.push_back(MakeEdge(pc, /*flipped=*/false));
+    } else if (pc.right.relation == source && !(pc.left.relation == source)) {
+      out.push_back(MakeEdge(pc, /*flipped=*/true));
+    }
+  }
+  return out;
+}
+
+std::vector<PcEdge> MetaKnowledgeBase::PcEdgesFromTransitive(
+    const RelationId& source, int max_hops) const {
+  std::vector<PcEdge> result;
+  // Dedup key: target + type + attribute map; shortest derivation wins
+  // because the search is breadth-first.
+  std::set<std::string> seen;
+  auto key_of = [](const PcEdge& e) {
+    std::string key = e.target.ToString() + "|" +
+                      std::string(PcRelationTypeToString(e.type));
+    for (const auto& [from, to] : e.attribute_map) {
+      key += "|" + from + ">" + to;
+    }
+    return key;
+  };
+
+  // Frontier of derived edges source -> X, expanded breadth-first.
+  std::vector<PcEdge> frontier = PcEdgesFrom(source);
+  for (int hop = 1; hop <= max_hops && !frontier.empty(); ++hop) {
+    std::vector<PcEdge> next;
+    for (const PcEdge& edge : frontier) {
+      if (seen.insert(key_of(edge)).second) result.push_back(edge);
+      if (hop == max_hops) continue;
+      // The intermediate fragment must be unselected for a sound join of
+      // the two constraints.
+      if (!edge.target_selection.IsTrue()) continue;
+      for (const PcEdge& ext : PcEdgesFrom(edge.target)) {
+        if (ext.target == source || ext.target == edge.target) continue;
+        if (!ext.source_selection.IsTrue()) continue;
+        const auto type = ComposePcType(edge.type, ext.type);
+        if (!type.has_value()) continue;
+        PcEdge composed;
+        composed.constraint_text =
+            edge.constraint_text + " o " + ext.constraint_text;
+        composed.source = source;
+        composed.target = ext.target;
+        composed.type = *type;
+        for (const auto& [from, mid] : edge.attribute_map) {
+          const auto it = ext.attribute_map.find(mid);
+          if (it != ext.attribute_map.end()) {
+            composed.attribute_map[from] = it->second;
+          }
+        }
+        if (composed.attribute_map.empty()) continue;
+        composed.source_selectivity = edge.source_selectivity;
+        composed.target_selectivity = ext.target_selectivity;
+        composed.source_selection = edge.source_selection;
+        composed.target_selection = ext.target_selection;
+        next.push_back(std::move(composed));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+std::vector<TypeConstraint> MetaKnowledgeBase::TypeConstraints() const {
+  std::vector<TypeConstraint> out;
+  for (const auto& [id, schema] : schemas_) {
+    for (const Attribute& a : schema.attributes()) {
+      out.push_back(TypeConstraint{id, a.name, a.type});
+    }
+  }
+  return out;
+}
+
+std::string MetaKnowledgeBase::ToString() const {
+  std::string out = "MKB {\n";
+  for (const auto& [id, schema] : schemas_) {
+    out += "  " + id.ToString() + schema.ToString();
+    if (stats_.Has(id)) {
+      const RelationStats s = stats_.Get(id).value();
+      out += StrFormat("  |R|=%lld s=%lldB sigma=%s",
+                       static_cast<long long>(s.cardinality),
+                       static_cast<long long>(s.tuple_bytes),
+                       FormatDouble(s.local_selectivity).c_str());
+    }
+    out += "\n";
+  }
+  for (const JoinConstraint& jc : join_constraints_) out += "  " + jc.ToString() + "\n";
+  for (const PcConstraint& pc : pc_constraints_) out += "  " + pc.ToString() + "\n";
+  out += StrFormat("  js=%s\n}", FormatDouble(stats_.join_selectivity()).c_str());
+  return out;
+}
+
+Status MetaKnowledgeBase::RegisterRelationWithStats(const RelationId& id,
+                                                    const Schema& schema,
+                                                    int64_t cardinality,
+                                                    double local_selectivity) {
+  EVE_RETURN_IF_ERROR(RegisterRelation(id, schema));
+  RelationStats stats;
+  stats.cardinality = cardinality;
+  stats.tuple_bytes = schema.TupleBytes();
+  stats.local_selectivity = local_selectivity;
+  stats_.Set(id, stats);
+  return Status::OK();
+}
+
+}  // namespace eve

@@ -1,0 +1,155 @@
+// MetaKnowledgeBase (MKB): the registry of information-source capabilities
+// and inter-source semantic constraints (paper §3.2 and Fig. 1).
+//
+// The MKB stores, per registered relation, its schema (the capability
+// description IS.R(A1..An), Eq. 3, with type constraints implied by the
+// schema) plus statistics, and globally the JC and PC constraints.  The
+// view synchronizer queries it to discover replacements; the MKB Evolver
+// role of Fig. 1 is covered by ApplySchemaChange-style mutators that keep
+// the constraint set consistent when sources change capabilities.
+
+#ifndef EVE_MISD_MKB_H_
+#define EVE_MISD_MKB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/names.h"
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "misd/constraints.h"
+#include "misd/statistics.h"
+
+namespace eve {
+
+/// A PC-derived replacement edge, normalized so that `source` is the
+/// relation being replaced and `target` the candidate replacement.
+struct PcEdge {
+  /// Rendering of the underlying constraint (for provenance; edges are
+  /// self-contained so rewritings survive later MKB evolution).
+  std::string constraint_text;
+  RelationId source;
+  RelationId target;
+  /// Extent relation of source fragment vs target fragment, read
+  /// source-to-target (kSubset: source fragment ⊆ target fragment).
+  PcRelationType type = PcRelationType::kEquivalent;
+  /// Attribute mapping source attr -> target attr (positional).
+  std::map<std::string, std::string> attribute_map;
+  /// Selectivities of the source-side / target-side selections.
+  double source_selectivity = 1.0;
+  double target_selectivity = 1.0;
+  /// Selection conditions (bare relation names).
+  Conjunction source_selection;
+  Conjunction target_selection;
+};
+
+/// The Meta Knowledge Base.
+class MetaKnowledgeBase {
+ public:
+  // --- Capability registration -------------------------------------------
+
+  /// Registers relation `id` with schema `schema`.  Fails if already known.
+  Status RegisterRelation(const RelationId& id, const Schema& schema);
+
+  /// Unregisters a relation and drops every constraint touching it.
+  /// Before dropping, the consistency checker installs *bridge* PC
+  /// constraints between the surviving endpoints of constraint pairs that
+  /// met at the disappearing relation (see BridgeConstraintsThrough), so
+  /// replacement knowledge survives the deletion -- this is what lets a
+  /// once-replaced view evolve again (paper Experiment 1, Fig. 12).
+  /// Returns the number of dropped constraints.
+  Result<int> UnregisterRelation(const RelationId& id);
+
+  /// Removes attribute `attr` from the registered schema and drops every
+  /// constraint referencing it (after installing bridges, as above).
+  /// Returns the number of dropped constraints.
+  Result<int> RemoveAttribute(const RelationId& id, const std::string& attr);
+
+  /// Adds an attribute to a registered schema.
+  Status AddAttribute(const RelationId& id, const Attribute& attribute);
+
+  /// Renames a relation, rewriting constraints in place.
+  Status RenameRelation(const RelationId& from, const std::string& new_name);
+
+  /// Renames an attribute, rewriting schema and constraints in place.
+  Status RenameAttribute(const RelationId& id, const std::string& from,
+                         const std::string& to);
+
+  bool HasRelation(const RelationId& id) const;
+  Result<Schema> GetSchema(const RelationId& id) const;
+
+  /// All registered relations (sorted by id).
+  std::vector<RelationId> Relations() const;
+
+  /// Resolves a bare relation name to its RelationId.  Fails if unknown or
+  /// ambiguous across sites.
+  Result<RelationId> ResolveName(const std::string& relation_name) const;
+
+  // --- Constraints ---------------------------------------------------------
+
+  Status AddJoinConstraint(JoinConstraint jc);
+  Status AddPcConstraint(PcConstraint pc);
+
+  const std::vector<JoinConstraint>& join_constraints() const {
+    return join_constraints_;
+  }
+  const std::vector<PcConstraint>& pc_constraints() const {
+    return pc_constraints_;
+  }
+
+  /// Join constraints connecting `a` and `b` (either orientation).
+  std::vector<const JoinConstraint*> FindJoinConstraints(
+      const RelationId& a, const RelationId& b) const;
+
+  /// All PC edges with `source` as the replaced relation (both stored
+  /// orientations are normalized into source->target edges).
+  std::vector<PcEdge> PcEdgesFrom(const RelationId& source) const;
+
+  /// PC edges derived by composing up to `max_hops` constraints through
+  /// intermediate relations (e.g. S1 ⊆ S2 and S2 ⊆ S3 imply S1 ⊆ S3).
+  /// Composition is conservative: it requires the intermediate fragments to
+  /// be unselected, composes attribute maps positionally, and combines set
+  /// relations only when compatible (equivalent is neutral; subset chains
+  /// stay subset, superset chains stay superset; mixing is not derivable).
+  /// Direct (1-hop) edges are included.  Results are deduplicated, keeping
+  /// the shortest derivation per (target, type, attribute map).
+  std::vector<PcEdge> PcEdgesFromTransitive(const RelationId& source,
+                                            int max_hops = 4) const;
+
+  /// Type constraints implied by the registered schemas.
+  std::vector<TypeConstraint> TypeConstraints() const;
+
+  // --- Statistics ----------------------------------------------------------
+
+  StatisticsStore& stats() { return stats_; }
+  const StatisticsStore& stats() const { return stats_; }
+
+  /// Registers schema and statistics in one call (convenience).
+  Status RegisterRelationWithStats(const RelationId& id, const Schema& schema,
+                                   int64_t cardinality,
+                                   double local_selectivity = 1.0);
+
+  /// Human-readable dump (for examples and debugging).
+  std::string ToString() const;
+
+ private:
+  static PcEdge MakeEdge(const PcConstraint& pc, bool flipped);
+
+  // Installs PC constraints composing each pair of soon-to-be-dropped
+  // constraints that meet at `through` (optionally only those referencing
+  // `attr` of it).  Sound compositions keep their containment direction;
+  // Y superset X subset Z pairs degrade to kIncomparable ("same information
+  // type, unknown containment").
+  void BridgeConstraintsThrough(const RelationId& through,
+                                const std::string* attr);
+
+  std::map<RelationId, Schema> schemas_;
+  std::vector<JoinConstraint> join_constraints_;
+  std::vector<PcConstraint> pc_constraints_;
+  StatisticsStore stats_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_MISD_MKB_H_

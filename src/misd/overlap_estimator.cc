@@ -1,0 +1,87 @@
+#include "misd/overlap_estimator.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+std::string OverlapEstimate::ToString() const {
+  return StrFormat("%s%s", exact ? "" : ">= ", FormatDouble(size).c_str());
+}
+
+OverlapEstimate EstimateIntersection(const PcEdge& edge, int64_t source_card,
+                                     int64_t target_card) {
+  // Fragment sizes: |sigma(R1)| = sigma_R1 * |R1| etc.; without a selection
+  // the fragment is the whole (projected) relation.
+  const bool sel_src = !edge.source_selection.IsTrue();
+  const bool sel_dst = !edge.target_selection.IsTrue();
+  const double frag_src =
+      (sel_src ? edge.source_selectivity : 1.0) * static_cast<double>(source_card);
+  const double frag_dst =
+      (sel_dst ? edge.target_selectivity : 1.0) * static_cast<double>(target_card);
+
+  OverlapEstimate out;
+  switch (edge.type) {
+    case PcRelationType::kEquivalent:
+      // frag_src = frag_dst.  Exact iff neither side is selected: then the
+      // whole relations coincide on the projection.  With a selection on
+      // either side, tuples outside the fragments may or may not overlap,
+      // so the fragment size is only a minimal bound -- except that a
+      // selection on exactly one side still pins the *other* side's whole
+      // relation inside the overlap (Fig. 10 rows 2-3, column '=').
+      if (!sel_src && !sel_dst) {
+        out.size = static_cast<double>(std::min(source_card, target_card));
+        out.exact = true;
+      } else if (sel_src != sel_dst) {
+        // E.g. "no/yes": R1 = sigma(R2) means all of R1 lies inside R2.
+        out.size = sel_dst ? static_cast<double>(source_card)
+                           : static_cast<double>(target_card);
+        out.exact = true;
+      } else {
+        out.size = std::min(frag_src, frag_dst);
+        out.exact = false;
+      }
+      break;
+    case PcRelationType::kSubset:
+      // frag_src ⊆ frag_dst ⊆ R2.  If the source side is unselected, all of
+      // R1 is inside R2: exact |R1|.  Otherwise only sigma_R1*|R1| is known
+      // to be shared (minimal bound).
+      if (!sel_src) {
+        out.size = static_cast<double>(source_card);
+        out.exact = true;
+      } else {
+        out.size = frag_src;
+        out.exact = false;
+      }
+      break;
+    case PcRelationType::kSuperset:
+      // frag_src ⊇ frag_dst: symmetric to the subset case.
+      if (!sel_dst) {
+        out.size = static_cast<double>(target_card);
+        out.exact = true;
+      } else {
+        out.size = frag_dst;
+        out.exact = false;
+      }
+      break;
+    case PcRelationType::kIncomparable:
+      // Same information type, no containment knowledge: the paper's
+      // convention for missing overlap knowledge is a zero estimate
+      // (§5.4.3, last paragraph).
+      out.size = 0.0;
+      out.exact = false;
+      break;
+  }
+  (void)frag_src;
+  return out;
+}
+
+Result<OverlapEstimate> EstimateIntersection(const MetaKnowledgeBase& mkb,
+                                             const PcEdge& edge) {
+  EVE_ASSIGN_OR_RETURN(RelationStats src, mkb.stats().Get(edge.source));
+  EVE_ASSIGN_OR_RETURN(RelationStats dst, mkb.stats().Get(edge.target));
+  return EstimateIntersection(edge, src.cardinality, dst.cardinality);
+}
+
+}  // namespace eve

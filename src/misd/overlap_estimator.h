@@ -1,0 +1,46 @@
+// Estimation of overlapping relation extents from PC constraints
+// (paper §5.4.3, Figs. 9 and 10).
+//
+// Given a PC constraint between a dropped relation R1 and a replacement R2,
+// the size of |pi(R1) ∩ pi(R2)| is derived from the constraint's shape:
+// whether each side carries a selection condition ("no/no", "no/yes",
+// "yes/no", "yes/yes") and the asserted set relation (subset / equivalent /
+// superset) -- twelve cases in total.  Seven cases are exact; the other
+// five only admit a minimal bound (marked inexact, the asterisked subsets
+// in Fig. 9).
+
+#ifndef EVE_MISD_OVERLAP_ESTIMATOR_H_
+#define EVE_MISD_OVERLAP_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "misd/constraints.h"
+#include "misd/mkb.h"
+
+namespace eve {
+
+/// An estimated overlap size.
+struct OverlapEstimate {
+  /// Estimated |R1 ∩~ R2| in tuples (a minimal value when !exact).
+  double size = 0.0;
+  /// True iff the PC constraint determines the overlap exactly.
+  bool exact = true;
+
+  std::string ToString() const;
+};
+
+/// Estimates |pi(R1) ∩ pi(R2)| from a source->target PC edge and the two
+/// full-relation cardinalities (paper Fig. 10).  The edge's selectivities
+/// stand in for the sigma_R1 / sigma_R2 statistics.
+OverlapEstimate EstimateIntersection(const PcEdge& edge, int64_t source_card,
+                                     int64_t target_card);
+
+/// Convenience: looks up cardinalities in the MKB statistics store.
+Result<OverlapEstimate> EstimateIntersection(const MetaKnowledgeBase& mkb,
+                                             const PcEdge& edge);
+
+}  // namespace eve
+
+#endif  // EVE_MISD_OVERLAP_ESTIMATOR_H_

@@ -1,0 +1,36 @@
+#include "misd/statistics.h"
+
+namespace eve {
+
+void StatisticsStore::Set(const RelationId& relation, RelationStats stats) {
+  stats_[relation] = stats;
+}
+
+Result<RelationStats> StatisticsStore::Get(const RelationId& relation) const {
+  const auto it = stats_.find(relation);
+  if (it == stats_.end()) {
+    return Status::NotFound("no statistics for relation " + relation.ToString());
+  }
+  return it->second;
+}
+
+bool StatisticsStore::Has(const RelationId& relation) const {
+  return stats_.count(relation) > 0;
+}
+
+void StatisticsStore::Remove(const RelationId& relation) {
+  stats_.erase(relation);
+}
+
+Status StatisticsStore::Rename(const RelationId& from, const RelationId& to) {
+  const auto it = stats_.find(from);
+  if (it == stats_.end()) {
+    return Status::NotFound("no statistics for relation " + from.ToString());
+  }
+  RelationStats stats = it->second;
+  stats_.erase(it);
+  stats_[to] = stats;
+  return Status::OK();
+}
+
+}  // namespace eve

@@ -1,0 +1,56 @@
+// Database statistics assumed known by the analytic model (paper §6.1):
+// relation cardinalities, tuple/attribute sizes, local selectivities, and
+// the (global, constant) join selectivity js.
+
+#ifndef EVE_MISD_STATISTICS_H_
+#define EVE_MISD_STATISTICS_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "catalog/names.h"
+#include "common/result.h"
+
+namespace eve {
+
+/// Per-relation statistics.
+struct RelationStats {
+  /// |R|, the number of tuples.
+  int64_t cardinality = 0;
+  /// s_R, the tuple width in bytes (sum of attribute sizes).
+  int64_t tuple_bytes = 0;
+  /// sigma, the selectivity of this relation's local condition in a view
+  /// (the paper assumes one equality-based local condition per relation,
+  /// §6.1 assumption 4).  1.0 means "no local condition".
+  double local_selectivity = 1.0;
+};
+
+/// The statistics store of the Meta Knowledge Base.
+class StatisticsStore {
+ public:
+  /// js: constant join selectivity for any two relations (§6.1 assumption 3).
+  double join_selectivity() const { return join_selectivity_; }
+  void set_join_selectivity(double js) { join_selectivity_ = js; }
+
+  /// Registers or overwrites the statistics of a relation.
+  void Set(const RelationId& relation, RelationStats stats);
+
+  /// Statistics of `relation`; NotFound if never registered.
+  Result<RelationStats> Get(const RelationId& relation) const;
+
+  bool Has(const RelationId& relation) const;
+
+  void Remove(const RelationId& relation);
+
+  /// Renames the key (schema change change-relation-name).
+  Status Rename(const RelationId& from, const RelationId& to);
+
+ private:
+  std::unordered_map<RelationId, RelationStats, RelationIdHash> stats_;
+  double join_selectivity_ = 0.005;  // Paper Table 1 default.
+};
+
+}  // namespace eve
+
+#endif  // EVE_MISD_STATISTICS_H_

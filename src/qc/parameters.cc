@@ -1,0 +1,49 @@
+#include "qc/parameters.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+namespace {
+
+Status CheckUnit(const char* name, double v) {
+  if (v < 0.0 || v > 1.0 || std::isnan(v)) {
+    return Status::InvalidArgument(
+        StrFormat("parameter %s must be in [0, 1], got %f", name, v));
+  }
+  return Status::OK();
+}
+
+Status CheckPair(const char* a_name, double a, const char* b_name, double b) {
+  EVE_RETURN_IF_ERROR(CheckUnit(a_name, a));
+  EVE_RETURN_IF_ERROR(CheckUnit(b_name, b));
+  if (std::fabs(a + b - 1.0) > 1e-9) {
+    return Status::InvalidArgument(StrFormat(
+        "parameters %s + %s must sum to 1, got %f", a_name, b_name, a + b));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status QcParameters::Validate() const {
+  EVE_RETURN_IF_ERROR(CheckUnit("w1", w1));
+  EVE_RETURN_IF_ERROR(CheckUnit("w2", w2));
+  EVE_RETURN_IF_ERROR(CheckPair("rho_d1", rho_d1, "rho_d2", rho_d2));
+  EVE_RETURN_IF_ERROR(CheckPair("rho_attr", rho_attr, "rho_ext", rho_ext));
+  EVE_RETURN_IF_ERROR(
+      CheckPair("rho_quality", rho_quality, "rho_cost", rho_cost));
+  for (const auto& [name, v] : {std::pair<const char*, double>{"cost_message", cost_message},
+                                {"cost_transfer", cost_transfer},
+                                {"cost_io", cost_io}}) {
+    if (v < 0.0 || std::isnan(v)) {
+      return Status::InvalidArgument(
+          StrFormat("unit price %s must be non-negative", name));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace eve

@@ -1,0 +1,48 @@
+// The trade-off parameters of the QC-Model, with the paper's defaults.
+//
+//   w1, w2        -- interface weights for dispensable attributes
+//                    (Fig. 6: category C1 = replaceable, C2 = non-replaceable;
+//                    defaults (0.7, 0.3), §5.2)
+//   rho_d1, rho_d2 -- extent divergence trade-off between lost tuples (D1)
+//                    and surplus tuples (D2) (Eq. 15; defaults (0.5, 0.5))
+//   rho_attr, rho_ext -- interface vs extent weight in the total degree of
+//                    divergence (Eq. 20; Experiment 4 uses (0.7, 0.3))
+//   cost_message, cost_transfer, cost_io -- unit prices of Eq. 24
+//                    (Experiment 4 uses (0.1, 0.7, 0.2))
+//   rho_quality, rho_cost -- the final quality/cost trade-off (Eq. 26;
+//                    Experiment 4 case 1 uses (0.9, 0.1))
+
+#ifndef EVE_QC_PARAMETERS_H_
+#define EVE_QC_PARAMETERS_H_
+
+#include "common/status.h"
+
+namespace eve {
+
+/// All user-tunable weights of the QC-Model.
+struct QcParameters {
+  // Interface preservation (Fig. 6).
+  double w1 = 0.7;
+  double w2 = 0.3;
+  // Extent divergence (Eq. 15).
+  double rho_d1 = 0.5;
+  double rho_d2 = 0.5;
+  // Total degree of divergence (Eq. 20).
+  double rho_attr = 0.7;
+  double rho_ext = 0.3;
+  // Unit costs (Eq. 24).
+  double cost_message = 0.1;
+  double cost_transfer = 0.7;
+  double cost_io = 0.2;
+  // Overall efficiency (Eq. 26).
+  double rho_quality = 0.9;
+  double rho_cost = 0.1;
+
+  /// Checks ranges and the three sum-to-one constraints
+  /// (rho_d1 + rho_d2 = 1, rho_attr + rho_ext = 1, rho_quality + rho_cost = 1).
+  Status Validate() const;
+};
+
+}  // namespace eve
+
+#endif  // EVE_QC_PARAMETERS_H_

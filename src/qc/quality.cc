@@ -1,0 +1,216 @@
+#include "qc/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "algebra/common_subset.h"
+#include "common/str_util.h"
+#include "misd/overlap_estimator.h"
+
+namespace eve {
+
+std::string QualityBreakdown::ToString() const {
+  return StrFormat(
+      "DD_attr=%s DD_ext=%s (D1=%s, D2=%s) DD=%s%s",
+      FormatDouble(dd_attr, 4).c_str(), FormatDouble(dd_ext, 4).c_str(),
+      FormatDouble(dd_ext_d1, 4).c_str(), FormatDouble(dd_ext_d2, 4).c_str(),
+      FormatDouble(dd, 4).c_str(), exact ? "" : " (approx)");
+}
+
+double InterfaceQuality(const ViewDefinition& view, const QcParameters& params) {
+  double q = 0.0;
+  for (const SelectItem& s : view.select_items) {
+    if (!s.dispensable) continue;  // Categories C3/C4 carry no weight.
+    q += s.replaceable ? params.w1 : params.w2;
+  }
+  return q;
+}
+
+namespace {
+
+// Q_Vi: dispensable attributes of the ORIGINAL view still exposed by the
+// rewriting, weighted by their original category.
+double RewritingInterfaceQuality(const ViewDefinition& original,
+                                 const ViewDefinition& rewriting,
+                                 const QcParameters& params) {
+  double q = 0.0;
+  for (const SelectItem& s : original.select_items) {
+    if (!s.dispensable) continue;
+    if (rewriting.FindSelect(s.name()) != nullptr) {
+      q += s.replaceable ? params.w1 : params.w2;
+    }
+  }
+  return q;
+}
+
+double DdAttr(double q_original, double q_rewriting) {
+  if (q_original <= 0.0) return 0.0;
+  const double dd = (q_original - q_rewriting) / q_original;
+  return std::clamp(dd, 0.0, 1.0);
+}
+
+void FillTotals(QualityBreakdown* q, const QcParameters& params) {
+  q->dd_attr = DdAttr(q->q_original, q->q_rewriting);
+  q->dd_ext = params.rho_d1 * q->dd_ext_d1 + params.rho_d2 * q->dd_ext_d2;
+  q->dd = params.rho_attr * q->dd_attr + params.rho_ext * q->dd_ext;
+}
+
+}  // namespace
+
+Result<double> EstimateViewSize(const ViewDefinition& view,
+                                const MetaKnowledgeBase& mkb) {
+  double size = 1.0;
+  const double js = mkb.stats().join_selectivity();
+  int m = 0;
+  for (const FromItem& f : view.from_items) {
+    RelationId id;
+    if (!f.site.empty()) {
+      id = RelationId{f.site, f.relation};
+    } else {
+      EVE_ASSIGN_OR_RETURN(id, mkb.ResolveName(f.relation));
+    }
+    EVE_ASSIGN_OR_RETURN(RelationStats stats, mkb.stats().Get(id));
+    size *= static_cast<double>(stats.cardinality);
+    if (!view.LocalConjunction(f.name()).IsTrue()) {
+      size *= stats.local_selectivity;
+    }
+    ++m;
+  }
+  for (int i = 1; i < m; ++i) size *= js;
+  return size;
+}
+
+namespace {
+
+// Estimated |V cap~ Vi|: the new view's size with each replaced relation's
+// cardinality swapped for the PC-estimated overlap |R cap R'| (§5.4.3:
+// "the size of the overlap is computed by the size of the overlap between
+// the original and replacing relations, joined with any other relation
+// that appears in the view query").
+Result<std::pair<double, bool>> EstimateOverlapSize(
+    const ViewDefinition& rewritten, const Rewriting& rewriting,
+    const MetaKnowledgeBase& mkb) {
+  // Replacement overlap per replacement-relation id.
+  std::map<RelationId, OverlapEstimate> overlap_of;
+  bool exact = true;
+  for (const ReplacementRecord& rec : rewriting.replacements) {
+    EVE_ASSIGN_OR_RETURN(OverlapEstimate est,
+                         EstimateIntersection(mkb, rec.edge));
+    exact = exact && est.exact;
+    overlap_of[rec.replacement] = est;
+  }
+
+  const double js = mkb.stats().join_selectivity();
+  double size = 1.0;
+  int m = 0;
+  for (const FromItem& f : rewritten.from_items) {
+    RelationId id;
+    if (!f.site.empty()) {
+      id = RelationId{f.site, f.relation};
+    } else {
+      EVE_ASSIGN_OR_RETURN(id, mkb.ResolveName(f.relation));
+    }
+    const auto it = overlap_of.find(id);
+    if (it != overlap_of.end()) {
+      size *= it->second.size;
+    } else {
+      EVE_ASSIGN_OR_RETURN(RelationStats stats, mkb.stats().Get(id));
+      size *= static_cast<double>(stats.cardinality);
+    }
+    if (!rewritten.LocalConjunction(f.name()).IsTrue()) {
+      EVE_ASSIGN_OR_RETURN(RelationStats stats, mkb.stats().Get(id));
+      size *= stats.local_selectivity;
+    }
+    ++m;
+  }
+  for (int i = 1; i < m; ++i) size *= js;
+  return std::make_pair(size, exact);
+}
+
+double SafeRatio(double num, double den) {
+  if (den <= 0.0) return 0.0;
+  return std::clamp(num / den, 0.0, 1.0);
+}
+
+}  // namespace
+
+Result<QualityBreakdown> EstimateQuality(const ViewDefinition& original,
+                                         const Rewriting& rewriting,
+                                         const MetaKnowledgeBase& mkb,
+                                         const QcParameters& params) {
+  EVE_RETURN_IF_ERROR(params.Validate());
+  QualityBreakdown q;
+  q.q_original = InterfaceQuality(original, params);
+  q.q_rewriting =
+      RewritingInterfaceQuality(original, rewriting.definition, params);
+
+  // Extent divergence.  The known extent relationship short-circuits the
+  // expensive overlap estimation (paper Eqs. 16/17: for subset/superset
+  // rewritings only one term needs computing, from sizes alone).
+  EVE_ASSIGN_OR_RETURN(const double size_old, EstimateViewSize(original, mkb));
+  EVE_ASSIGN_OR_RETURN(const double size_new,
+                       EstimateViewSize(rewriting.definition, mkb));
+  q.exact = rewriting.extent_exact;
+  switch (rewriting.extent_relation) {
+    case ExtentRel::kEqual:
+      q.dd_ext_d1 = 0.0;
+      q.dd_ext_d2 = 0.0;
+      break;
+    case ExtentRel::kSubset:
+      // All new tuples are old ones: |V cap Vi| = |Vi| (Eq. 16).
+      q.dd_ext_d1 = 1.0 - SafeRatio(size_new, size_old);
+      q.dd_ext_d2 = 0.0;
+      break;
+    case ExtentRel::kSuperset:
+      // All old tuples survive: |V cap Vi| = |V| (Eq. 17).
+      q.dd_ext_d1 = 0.0;
+      q.dd_ext_d2 = 1.0 - SafeRatio(size_old, size_new);
+      break;
+    case ExtentRel::kUnknown: {
+      EVE_ASSIGN_OR_RETURN(const auto overlap,
+                           EstimateOverlapSize(rewriting.definition, rewriting, mkb));
+      q.exact = q.exact && overlap.second;
+      q.dd_ext_d1 = 1.0 - SafeRatio(overlap.first, size_old);
+      q.dd_ext_d2 = 1.0 - SafeRatio(overlap.first, size_new);
+      break;
+    }
+  }
+  FillTotals(&q, params);
+  return q;
+}
+
+Result<QualityBreakdown> MeasureQuality(const ViewDefinition& original,
+                                        const Rewriting& rewriting,
+                                        const Relation& old_extent,
+                                        const Relation& new_extent,
+                                        const QcParameters& params) {
+  EVE_RETURN_IF_ERROR(params.Validate());
+  QualityBreakdown q;
+  q.q_original = InterfaceQuality(original, params);
+  q.q_rewriting =
+      RewritingInterfaceQuality(original, rewriting.definition, params);
+
+  if (CommonAttributes(old_extent, new_extent).empty()) {
+    // Disjoint interfaces: complete extent divergence.
+    q.dd_ext_d1 = 1.0;
+    q.dd_ext_d2 = 1.0;
+  } else {
+    EVE_ASSIGN_OR_RETURN(CommonSubsetCounts counts,
+                         CountCommonSubset(old_extent, new_extent));
+    q.dd_ext_d1 =
+        counts.a_projected == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(counts.intersection) /
+                        static_cast<double>(counts.a_projected);
+    q.dd_ext_d2 =
+        counts.b_projected == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(counts.intersection) /
+                        static_cast<double>(counts.b_projected);
+  }
+  FillTotals(&q, params);
+  return q;
+}
+
+}  // namespace eve

@@ -1,0 +1,67 @@
+// Ranking of legal rewritings by the QC-Model (paper §6.7):
+//
+//   COST*(Vi) = (COST(Vi) - min_j COST(Vj)) / (max_j COST(Vj) - min_j ...)
+//                                                            (Eq. 25)
+//   QC(Vi)    = 1 - (rho_quality * DD(Vi) + rho_cost * COST*(Vi))   (Eq. 26)
+//
+// A QC of 1 is a perfect rewriting (full preservation at zero weighted
+// cost); 0 preserves nothing.  Rewritings are ranked by descending QC.
+
+#ifndef EVE_QC_RANKING_H_
+#define EVE_QC_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "esql/ast.h"
+#include "misd/mkb.h"
+#include "qc/cost_model.h"
+#include "qc/parameters.h"
+#include "qc/quality.h"
+#include "qc/workload.h"
+#include "synch/rewriting.h"
+
+namespace eve {
+
+/// One scored rewriting.
+struct RankedRewriting {
+  Rewriting rewriting;
+  QualityBreakdown quality;
+  WorkloadCost cost;
+  double weighted_cost = 0;    ///< Eq. 24 over the workload.
+  double normalized_cost = 0;  ///< Eq. 25 across the candidate set.
+  double qc = 0;               ///< Eq. 26.
+  int rank = 0;                ///< 1-based, after sorting by descending QC.
+};
+
+/// Normalizes a vector of costs per Eq. 25 (all zeros when max == min).
+std::vector<double> NormalizeCosts(const std::vector<double>& costs);
+
+/// The integrated QC-Model: quality estimation + workload-weighted cost +
+/// normalization + ranking.
+class QcModel {
+ public:
+  QcModel(QcParameters params, CostModelOptions cost_options,
+          WorkloadOptions workload);
+
+  const QcParameters& params() const { return params_; }
+
+  /// Scores and ranks `rewritings` of `original` using MKB statistics.
+  /// The returned vector is sorted by rank (best first).
+  Result<std::vector<RankedRewriting>> Rank(
+      const ViewDefinition& original, std::vector<Rewriting> rewritings,
+      const MetaKnowledgeBase& mkb) const;
+
+  /// Renders a ranking as an ASCII table (used by reports and examples).
+  static std::string FormatRanking(const std::vector<RankedRewriting>& ranking);
+
+ private:
+  QcParameters params_;
+  CostModelOptions cost_options_;
+  WorkloadOptions workload_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_QC_RANKING_H_

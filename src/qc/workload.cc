@@ -1,0 +1,67 @@
+#include "qc/workload.h"
+
+#include <map>
+
+namespace eve {
+
+std::string_view WorkloadModelToString(WorkloadModel model) {
+  switch (model) {
+    case WorkloadModel::kM1ProportionalToSize:
+      return "M1 (updates proportional to relation size)";
+    case WorkloadModel::kM2PerRelation:
+      return "M2 (constant updates per relation)";
+    case WorkloadModel::kM3PerSite:
+      return "M3 (constant updates per site)";
+    case WorkloadModel::kM4FixedPerView:
+      return "M4 (constant updates per view)";
+  }
+  return "?";
+}
+
+Result<WorkloadCost> ComputeWorkloadCost(const ViewCostInput& input,
+                                         const WorkloadOptions& workload,
+                                         const CostModelOptions& options) {
+  if (input.relations.empty()) {
+    return Status::InvalidArgument("cost input has no relations");
+  }
+  // Updates per relation (as origin), per the chosen model.
+  std::vector<double> updates(input.relations.size(), 0.0);
+  switch (workload.model) {
+    case WorkloadModel::kM1ProportionalToSize:
+      for (size_t i = 0; i < input.relations.size(); ++i) {
+        updates[i] = workload.updates_per_tuple *
+                     static_cast<double>(input.relations[i].cardinality);
+      }
+      break;
+    case WorkloadModel::kM2PerRelation:
+      for (double& u : updates) u = workload.updates_per_relation;
+      break;
+    case WorkloadModel::kM3PerSite: {
+      std::map<std::string, int> per_site;
+      for (const CostRelation& r : input.relations) per_site[r.id.site] += 1;
+      for (size_t i = 0; i < input.relations.size(); ++i) {
+        updates[i] = workload.updates_per_site /
+                     static_cast<double>(per_site[input.relations[i].id.site]);
+      }
+      break;
+    }
+    case WorkloadModel::kM4FixedPerView:
+      for (double& u : updates) {
+        u = workload.updates_per_view /
+            static_cast<double>(input.relations.size());
+      }
+      break;
+  }
+
+  WorkloadCost total;
+  for (size_t i = 0; i < input.relations.size(); ++i) {
+    if (updates[i] <= 0.0) continue;
+    EVE_ASSIGN_OR_RETURN(CostFactors per_update,
+                         SingleUpdateCost(input, i, options));
+    total.factors += per_update * updates[i];
+    total.updates += updates[i];
+  }
+  return total;
+}
+
+}  // namespace eve

@@ -1,0 +1,61 @@
+// Workload models for long-term view maintenance cost (paper §6.6):
+//   M1 -- updates proportional to relation size (p percent of tuples),
+//   M2 -- a constant number of updates per relation,
+//   M3 -- a constant number of updates per information source,
+//   M4 -- a constant number of updates per view rewriting.
+// Each model turns per-update cost factors into a per-time-unit total.
+
+#ifndef EVE_QC_WORKLOAD_H_
+#define EVE_QC_WORKLOAD_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "qc/cost_model.h"
+
+namespace eve {
+
+/// The four workload models of §6.6.
+enum class WorkloadModel {
+  kM1ProportionalToSize,
+  kM2PerRelation,
+  kM3PerSite,
+  kM4FixedPerView,
+};
+
+std::string_view WorkloadModelToString(WorkloadModel model);
+
+/// Parameters of the workload models.
+struct WorkloadOptions {
+  WorkloadModel model = WorkloadModel::kM4FixedPerView;
+  /// M1: updates per tuple per time unit (Experiment 5 uses 1/100).
+  double updates_per_tuple = 0.01;
+  /// M2: updates per relation per time unit.
+  double updates_per_relation = 1.0;
+  /// M3: updates per site per time unit (Experiment 5 / Table 6 uses 10).
+  double updates_per_site = 10.0;
+  /// M4: updates per view per time unit (1.0 reduces to single-update cost).
+  double updates_per_view = 1.0;
+};
+
+/// The workload-weighted maintenance cost of a view rewriting.
+struct WorkloadCost {
+  /// Accumulated cost factors over one time unit.
+  CostFactors factors;
+  /// Total number of updates in the time unit.
+  double updates = 0;
+
+  /// Eq. 24 applied to the accumulated factors.
+  double Weighted(const QcParameters& p) const { return factors.Weighted(p); }
+};
+
+/// Computes the per-time-unit maintenance cost of the view described by
+/// `input` under the given workload model.  M3 distributes a site's updates
+/// evenly over its relations; M4 distributes over all relations.
+Result<WorkloadCost> ComputeWorkloadCost(const ViewCostInput& input,
+                                         const WorkloadOptions& workload,
+                                         const CostModelOptions& options = {});
+
+}  // namespace eve
+
+#endif  // EVE_QC_WORKLOAD_H_

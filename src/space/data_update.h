@@ -1,0 +1,32 @@
+// Data-content updates at information sources (inserts/deletes of tuples,
+// paper §6.1).  Updates trigger incremental view maintenance; the workload
+// models of §6.6 generate streams of them.
+
+#ifndef EVE_SPACE_DATA_UPDATE_H_
+#define EVE_SPACE_DATA_UPDATE_H_
+
+#include <string>
+
+#include "catalog/names.h"
+#include "storage/tuple.h"
+
+namespace eve {
+
+/// The kind of a data update.
+enum class UpdateKind { kInsert, kDelete };
+
+/// One tuple-level update at a source relation.
+struct DataUpdate {
+  UpdateKind kind = UpdateKind::kInsert;
+  RelationId relation;
+  Tuple tuple;
+
+  std::string ToString() const {
+    return std::string(kind == UpdateKind::kInsert ? "INSERT " : "DELETE ") +
+           relation.ToString() + " " + tuple.ToString();
+  }
+};
+
+}  // namespace eve
+
+#endif  // EVE_SPACE_DATA_UPDATE_H_

@@ -1,0 +1,144 @@
+#include "space/information_source.h"
+
+namespace eve {
+
+Status InformationSource::AddRelation(Relation relation) {
+  if (relation.name().empty()) {
+    return Status::InvalidArgument("relation must be named");
+  }
+  const std::string name = relation.name();
+  const auto [it, inserted] = relations_.emplace(name, std::move(relation));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("relation " + name + " already at source " +
+                                 name_);
+  }
+  return Status::OK();
+}
+
+Status InformationSource::DropRelation(const std::string& relation) {
+  if (relations_.erase(relation) == 0) {
+    return Status::NotFound("relation " + relation + " not at source " + name_);
+  }
+  return Status::OK();
+}
+
+Status InformationSource::RenameRelation(const std::string& from,
+                                         const std::string& to) {
+  const auto it = relations_.find(from);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + from + " not at source " + name_);
+  }
+  if (relations_.count(to) > 0) {
+    return Status::AlreadyExists("relation " + to + " already at source " +
+                                 name_);
+  }
+  Relation rel = std::move(it->second);
+  relations_.erase(it);
+  rel.set_name(to);
+  relations_.emplace(to, std::move(rel));
+  return Status::OK();
+}
+
+Status InformationSource::DropAttribute(const std::string& relation,
+                                        const std::string& attribute) {
+  EVE_ASSIGN_OR_RETURN(Relation * rel, GetMutableRelation(relation));
+  std::vector<std::string> keep;
+  for (const Attribute& a : rel->schema().attributes()) {
+    if (a.name != attribute) keep.push_back(a.name);
+  }
+  if (keep.size() == rel->schema().attributes().size()) {
+    return Status::NotFound("attribute " + attribute + " not in relation " +
+                            relation);
+  }
+  if (keep.empty()) {
+    return Status::FailedPrecondition("cannot drop the last attribute of " +
+                                      relation);
+  }
+  EVE_ASSIGN_OR_RETURN(Relation projected, rel->ProjectByName(keep));
+  projected.set_name(relation);
+  *rel = std::move(projected);
+  return Status::OK();
+}
+
+Status InformationSource::AddAttribute(const std::string& relation,
+                                       const Attribute& attribute) {
+  EVE_ASSIGN_OR_RETURN(Relation * rel, GetMutableRelation(relation));
+  if (rel->schema().Contains(attribute.name)) {
+    return Status::AlreadyExists("attribute " + attribute.name +
+                                 " already in relation " + relation);
+  }
+  std::vector<Attribute> attrs = rel->schema().attributes();
+  attrs.push_back(attribute);
+  Relation widened(relation, Schema(std::move(attrs)));
+  for (const Tuple& t : rel->tuples()) {
+    Tuple wide = t;
+    wide.Append(Value());  // NULL for pre-existing tuples.
+    widened.InsertUnchecked(std::move(wide));
+  }
+  *rel = std::move(widened);
+  return Status::OK();
+}
+
+Status InformationSource::RenameAttribute(const std::string& relation,
+                                          const std::string& from,
+                                          const std::string& to) {
+  EVE_ASSIGN_OR_RETURN(Relation * rel, GetMutableRelation(relation));
+  const auto idx = rel->schema().IndexOf(from);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute " + from + " not in relation " + relation);
+  }
+  if (rel->schema().Contains(to)) {
+    return Status::AlreadyExists("attribute " + to + " already in relation " +
+                                 relation);
+  }
+  std::vector<Attribute> attrs = rel->schema().attributes();
+  attrs[*idx].name = to;
+  Relation renamed(relation, Schema(std::move(attrs)));
+  for (const Tuple& t : rel->tuples()) renamed.InsertUnchecked(t);
+  *rel = std::move(renamed);
+  return Status::OK();
+}
+
+Status InformationSource::Apply(const DataUpdate& update) {
+  EVE_ASSIGN_OR_RETURN(Relation * rel, GetMutableRelation(update.relation.relation));
+  if (update.kind == UpdateKind::kInsert) {
+    return rel->Insert(update.tuple);
+  }
+  if (rel->Erase(update.tuple) == 0) {
+    return Status::NotFound("tuple to delete not found in " +
+                            update.relation.ToString());
+  }
+  return Status::OK();
+}
+
+bool InformationSource::HasRelation(const std::string& relation) const {
+  return relations_.count(relation) > 0;
+}
+
+Result<const Relation*> InformationSource::GetRelation(
+    const std::string& relation) const {
+  const auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + relation + " not at source " + name_);
+  }
+  return &it->second;
+}
+
+Result<Relation*> InformationSource::GetMutableRelation(
+    const std::string& relation) {
+  const auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + relation + " not at source " + name_);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> InformationSource::RelationNames() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) out.push_back(name);
+  return out;
+}
+
+}  // namespace eve

@@ -1,0 +1,158 @@
+#include "space/information_space.h"
+
+namespace eve {
+
+InformationSource& InformationSpace::AddSource(const std::string& site) {
+  const auto it = sources_.find(site);
+  if (it != sources_.end()) return it->second;
+  return sources_.emplace(site, InformationSource(site)).first->second;
+}
+
+Status InformationSpace::AddRelation(const std::string& site, Relation relation,
+                                     MetaKnowledgeBase* mkb,
+                                     double local_selectivity) {
+  // Bare relation names must be space-unique so that unqualified FROM items
+  // resolve deterministically.
+  for (const auto& [other_site, source] : sources_) {
+    if (source.HasRelation(relation.name())) {
+      return Status::AlreadyExists("relation " + relation.name() +
+                                   " already exists at site " + other_site);
+    }
+  }
+  InformationSource& source = AddSource(site);
+  const RelationId id{site, relation.name()};
+  const Schema schema = relation.schema();
+  const int64_t card = relation.cardinality();
+  EVE_RETURN_IF_ERROR(source.AddRelation(std::move(relation)));
+  if (mkb != nullptr) {
+    EVE_RETURN_IF_ERROR(
+        mkb->RegisterRelationWithStats(id, schema, card, local_selectivity));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct ChangeApplier {
+  InformationSpace* space;
+  MetaKnowledgeBase* mkb;
+
+  Result<int> operator()(const DeleteAttribute& c) const {
+    EVE_ASSIGN_OR_RETURN(InformationSource * src,
+                         space->GetMutableSource(c.relation.site));
+    EVE_RETURN_IF_ERROR(src->DropAttribute(c.relation.relation, c.attribute));
+    if (mkb != nullptr) return mkb->RemoveAttribute(c.relation, c.attribute);
+    return 0;
+  }
+  Result<int> operator()(const AddAttribute& c) const {
+    EVE_ASSIGN_OR_RETURN(InformationSource * src,
+                         space->GetMutableSource(c.relation.site));
+    EVE_RETURN_IF_ERROR(src->AddAttribute(c.relation.relation, c.attribute));
+    if (mkb != nullptr) {
+      EVE_RETURN_IF_ERROR(mkb->AddAttribute(c.relation, c.attribute));
+    }
+    return 0;
+  }
+  Result<int> operator()(const RenameAttribute& c) const {
+    EVE_ASSIGN_OR_RETURN(InformationSource * src,
+                         space->GetMutableSource(c.relation.site));
+    EVE_RETURN_IF_ERROR(src->RenameAttribute(c.relation.relation, c.from, c.to));
+    if (mkb != nullptr) {
+      EVE_RETURN_IF_ERROR(mkb->RenameAttribute(c.relation, c.from, c.to));
+    }
+    return 0;
+  }
+  Result<int> operator()(const DeleteRelation& c) const {
+    EVE_ASSIGN_OR_RETURN(InformationSource * src,
+                         space->GetMutableSource(c.relation.site));
+    EVE_RETURN_IF_ERROR(src->DropRelation(c.relation.relation));
+    if (mkb != nullptr) return mkb->UnregisterRelation(c.relation);
+    return 0;
+  }
+  Result<int> operator()(const AddRelation& c) const {
+    Relation rel(c.relation.relation, c.schema);
+    EVE_RETURN_IF_ERROR(space->AddRelation(c.relation.site, std::move(rel), mkb));
+    return 0;
+  }
+  Result<int> operator()(const RenameRelation& c) const {
+    EVE_ASSIGN_OR_RETURN(InformationSource * src,
+                         space->GetMutableSource(c.relation.site));
+    EVE_RETURN_IF_ERROR(src->RenameRelation(c.relation.relation, c.new_name));
+    if (mkb != nullptr) {
+      EVE_RETURN_IF_ERROR(mkb->RenameRelation(c.relation, c.new_name));
+    }
+    return 0;
+  }
+};
+
+}  // namespace
+
+Result<int> InformationSpace::ApplySchemaChange(const SchemaChange& change,
+                                                MetaKnowledgeBase* mkb) {
+  return std::visit(ChangeApplier{this, mkb}, change);
+}
+
+Status InformationSpace::ApplyDataUpdate(const DataUpdate& update) {
+  EVE_ASSIGN_OR_RETURN(InformationSource * src,
+                       GetMutableSource(update.relation.site));
+  return src->Apply(update);
+}
+
+Result<std::string> InformationSpace::SiteOf(const std::string& relation) const {
+  const std::string* found = nullptr;
+  for (const auto& [site, source] : sources_) {
+    if (source.HasRelation(relation)) {
+      if (found != nullptr) {
+        return Status::FailedPrecondition("relation name " + relation +
+                                          " is ambiguous across sites");
+      }
+      found = &site;
+    }
+  }
+  if (found == nullptr) {
+    return Status::NotFound("relation " + relation + " not in any source");
+  }
+  return *found;
+}
+
+bool InformationSpace::HasSource(const std::string& site) const {
+  return sources_.count(site) > 0;
+}
+
+Result<const InformationSource*> InformationSpace::GetSource(
+    const std::string& site) const {
+  const auto it = sources_.find(site);
+  if (it == sources_.end()) {
+    return Status::NotFound("no information source named " + site);
+  }
+  return &it->second;
+}
+
+Result<InformationSource*> InformationSpace::GetMutableSource(
+    const std::string& site) {
+  const auto it = sources_.find(site);
+  if (it == sources_.end()) {
+    return Status::NotFound("no information source named " + site);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> InformationSpace::SiteNames() const {
+  std::vector<std::string> out;
+  out.reserve(sources_.size());
+  for (const auto& [site, source] : sources_) out.push_back(site);
+  return out;
+}
+
+Result<const Relation*> InformationSpace::Resolve(
+    const std::string& site, const std::string& relation) const {
+  if (!site.empty()) {
+    EVE_ASSIGN_OR_RETURN(const InformationSource* src, GetSource(site));
+    return src->GetRelation(relation);
+  }
+  EVE_ASSIGN_OR_RETURN(std::string host, SiteOf(relation));
+  EVE_ASSIGN_OR_RETURN(const InformationSource* src, GetSource(host));
+  return src->GetRelation(relation);
+}
+
+}  // namespace eve

@@ -1,0 +1,63 @@
+// InformationSpace: the collection of all registered information sources.
+// It implements RelationProvider for the executor, applies schema changes
+// and data updates to the hosting source, and keeps the MKB consistent with
+// capability changes (the "MKB Evolver" of paper Fig. 1).
+
+#ifndef EVE_SPACE_INFORMATION_SPACE_H_
+#define EVE_SPACE_INFORMATION_SPACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/provider.h"
+#include "common/result.h"
+#include "misd/mkb.h"
+#include "space/data_update.h"
+#include "space/information_source.h"
+#include "space/schema_change.h"
+
+namespace eve {
+
+/// The multi-site information space.
+class InformationSpace : public RelationProvider {
+ public:
+  /// Creates (or returns) the source named `site`.
+  InformationSource& AddSource(const std::string& site);
+
+  /// Registers a relation at `site` and (if `mkb` is non-null) records its
+  /// capability description and statistics in the MKB.
+  Status AddRelation(const std::string& site, Relation relation,
+                     MetaKnowledgeBase* mkb = nullptr,
+                     double local_selectivity = 1.0);
+
+  /// Applies a capability change to the hosting source and, when `mkb` is
+  /// non-null, evolves the MKB (dropping constraints that reference deleted
+  /// capabilities).  Returns the number of MKB constraints dropped.
+  Result<int> ApplySchemaChange(const SchemaChange& change,
+                                MetaKnowledgeBase* mkb = nullptr);
+
+  /// Applies a data update to the hosting source.
+  Status ApplyDataUpdate(const DataUpdate& update);
+
+  /// The site hosting `relation` (bare name).  Fails if absent/ambiguous.
+  Result<std::string> SiteOf(const std::string& relation) const;
+
+  bool HasSource(const std::string& site) const;
+  Result<const InformationSource*> GetSource(const std::string& site) const;
+  Result<InformationSource*> GetMutableSource(const std::string& site);
+
+  /// Sorted site names.
+  std::vector<std::string> SiteNames() const;
+
+  // RelationProvider:
+  Result<const Relation*> Resolve(const std::string& site,
+                                  const std::string& relation) const override;
+
+ private:
+  std::map<std::string, InformationSource> sources_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_SPACE_INFORMATION_SPACE_H_

@@ -1,0 +1,40 @@
+#include "space/schema_change.h"
+
+namespace eve {
+
+const RelationId& ChangedRelation(const SchemaChange& change) {
+  return std::visit([](const auto& c) -> const RelationId& { return c.relation; },
+                    change);
+}
+
+namespace {
+
+struct Printer {
+  std::string operator()(const DeleteAttribute& c) const {
+    return "delete-attribute " + c.relation.ToString() + "." + c.attribute;
+  }
+  std::string operator()(const AddAttribute& c) const {
+    return "add-attribute " + c.relation.ToString() + "." + c.attribute.name;
+  }
+  std::string operator()(const RenameAttribute& c) const {
+    return "change-attribute-name " + c.relation.ToString() + "." + c.from +
+           " -> " + c.to;
+  }
+  std::string operator()(const DeleteRelation& c) const {
+    return "delete-relation " + c.relation.ToString();
+  }
+  std::string operator()(const AddRelation& c) const {
+    return "add-relation " + c.relation.ToString() + c.schema.ToString();
+  }
+  std::string operator()(const RenameRelation& c) const {
+    return "change-relation-name " + c.relation.ToString() + " -> " + c.new_name;
+  }
+};
+
+}  // namespace
+
+std::string SchemaChangeToString(const SchemaChange& change) {
+  return std::visit(Printer{}, change);
+}
+
+}  // namespace eve

@@ -1,0 +1,65 @@
+// Capability (schema) changes of information sources (paper §3.3):
+// delete-attribute, add-attribute, change-attribute-name, delete-relation,
+// add-relation, change-relation-name.
+
+#ifndef EVE_SPACE_SCHEMA_CHANGE_H_
+#define EVE_SPACE_SCHEMA_CHANGE_H_
+
+#include <string>
+#include <variant>
+
+#include "catalog/names.h"
+#include "catalog/schema.h"
+
+namespace eve {
+
+/// delete-attribute IS.R.A
+struct DeleteAttribute {
+  RelationId relation;
+  std::string attribute;
+};
+
+/// add-attribute IS.R.A
+struct AddAttribute {
+  RelationId relation;
+  Attribute attribute;
+};
+
+/// change-attribute-name IS.R.A -> IS.R.B
+struct RenameAttribute {
+  RelationId relation;
+  std::string from;
+  std::string to;
+};
+
+/// delete-relation IS.R
+struct DeleteRelation {
+  RelationId relation;
+};
+
+/// add-relation IS.R(A1..An)
+struct AddRelation {
+  RelationId relation;
+  Schema schema;
+};
+
+/// change-relation-name IS.R -> IS.S
+struct RenameRelation {
+  RelationId relation;
+  std::string new_name;
+};
+
+/// A capability change: one of the six supported kinds.
+using SchemaChange =
+    std::variant<DeleteAttribute, AddAttribute, RenameAttribute, DeleteRelation,
+                 AddRelation, RenameRelation>;
+
+/// The relation a change applies to.
+const RelationId& ChangedRelation(const SchemaChange& change);
+
+/// "delete-attribute IS1.R.A" etc.
+std::string SchemaChangeToString(const SchemaChange& change);
+
+}  // namespace eve
+
+#endif  // EVE_SPACE_SCHEMA_CHANGE_H_

@@ -1,0 +1,31 @@
+#include "storage/block_model.h"
+
+#include "common/check.h"
+
+namespace eve {
+
+int64_t CeilDiv(int64_t a, int64_t b) {
+  EVE_CHECK(a >= 0 && b > 0);
+  return (a + b - 1) / b;
+}
+
+int64_t BlockModel::BlockingFactor(int64_t tuple_bytes) const {
+  EVE_CHECK(tuple_bytes > 0);
+  const int64_t bfr = block_bytes / tuple_bytes;
+  return bfr > 0 ? bfr : 1;
+}
+
+int64_t BlockModel::ScanIos(int64_t cardinality, int64_t tuple_bytes) const {
+  return CeilDiv(cardinality, BlockingFactor(tuple_bytes));
+}
+
+int64_t BlockModel::ClusteredFetchIos(int64_t tuples_matched,
+                                      int64_t tuple_bytes) const {
+  return CeilDiv(tuples_matched, BlockingFactor(tuple_bytes));
+}
+
+int64_t BlockModel::BlocksForBytes(int64_t total_bytes) const {
+  return CeilDiv(total_bytes, block_bytes);
+}
+
+}  // namespace eve

@@ -1,0 +1,39 @@
+// BlockModel: the disk-page abstraction behind the I/O cost factor
+// (paper §6.4 and Appendix A).  Relations are stored in blocks of
+// `block_bytes`; the blocking factor bfr_R = floor(block_bytes / s_R) is the
+// number of tuples per block, and a full scan of R costs
+// ceil(|R| / bfr_R) I/Os (paper Eq. 32).
+
+#ifndef EVE_STORAGE_BLOCK_MODEL_H_
+#define EVE_STORAGE_BLOCK_MODEL_H_
+
+#include <cstdint>
+
+namespace eve {
+
+/// Parameters of the physical block layout.
+struct BlockModel {
+  /// K, the number of bytes per physical block.  The paper's experiments use
+  /// bfr = 10 with s = 100 bytes, i.e. 1000-byte blocks.
+  int64_t block_bytes = 1000;
+
+  /// Blocking factor for tuples of `tuple_bytes` bytes (>= 1).
+  int64_t BlockingFactor(int64_t tuple_bytes) const;
+
+  /// ceil(cardinality / bfr): I/Os for a full sequential scan (Eq. 32).
+  int64_t ScanIos(int64_t cardinality, int64_t tuple_bytes) const;
+
+  /// ceil(tuples_matched / bfr): I/Os to fetch `tuples_matched` tuples that
+  /// are clustered on the lookup key.
+  int64_t ClusteredFetchIos(int64_t tuples_matched, int64_t tuple_bytes) const;
+
+  /// Blocks needed to materialize `total_bytes` of data.
+  int64_t BlocksForBytes(int64_t total_bytes) const;
+};
+
+/// ceil(a / b) for non-negative a and positive b.
+int64_t CeilDiv(int64_t a, int64_t b);
+
+}  // namespace eve
+
+#endif  // EVE_STORAGE_BLOCK_MODEL_H_

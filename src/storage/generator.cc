@@ -1,0 +1,104 @@
+#include "storage/generator.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "storage/hash_index.h"
+
+namespace eve {
+
+namespace {
+
+Schema MakeSchema(const GeneratorOptions& opts) {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < opts.num_attributes; ++i) {
+    std::string name;
+    if (!opts.attribute_names.empty()) {
+      name = opts.attribute_names[i];
+    } else {
+      // A, B, ..., Z, A1, B1, ...
+      name = std::string(1, static_cast<char>('A' + i % 26));
+      if (i >= 26) name += StrFormat("%d", i / 26);
+    }
+    attrs.push_back(Attribute::Make(name, DataType::kInt64, opts.attribute_bytes));
+  }
+  return Schema(std::move(attrs));
+}
+
+Tuple MakeRandomTuple(const GeneratorOptions& opts, Random* rng) {
+  Tuple t;
+  for (int i = 0; i < opts.num_attributes; ++i) {
+    const int64_t domain = i == 0 ? opts.key_domain : opts.value_domain;
+    t.Append(Value(static_cast<int64_t>(rng->Uniform(static_cast<uint64_t>(domain)))));
+  }
+  return t;
+}
+
+}  // namespace
+
+Relation GenerateRelation(const std::string& name, const GeneratorOptions& opts,
+                          Random* rng) {
+  EVE_CHECK(opts.num_attributes > 0);
+  EVE_CHECK(opts.attribute_names.empty() ||
+            static_cast<int>(opts.attribute_names.size()) == opts.num_attributes);
+  Relation rel(name, MakeSchema(opts));
+  // Distinct tuples: extent comparisons use set semantics, so generated
+  // relations should not shrink when deduplicated.
+  std::unordered_set<Tuple, TupleHash> seen;
+  int64_t attempts = 0;
+  while (rel.cardinality() < opts.cardinality) {
+    Tuple t = MakeRandomTuple(opts, rng);
+    // Give up on uniqueness if the domain is too small to supply enough
+    // distinct tuples; duplicates are then accepted.
+    if (seen.insert(t).second || ++attempts > opts.cardinality * 100) {
+      rel.InsertUnchecked(std::move(t));
+    }
+  }
+  return rel;
+}
+
+Result<std::vector<Relation>> GenerateContainmentChain(
+    const std::vector<std::string>& names, const std::vector<int64_t>& cards,
+    const GeneratorOptions& opts, Random* rng) {
+  if (names.size() != cards.size() || names.empty()) {
+    return Status::InvalidArgument(
+        "containment chain needs equally many names and cardinalities");
+  }
+  for (size_t i = 1; i < cards.size(); ++i) {
+    if (cards[i] < cards[i - 1]) {
+      return Status::InvalidArgument(
+          "containment chain cardinalities must be non-decreasing");
+    }
+  }
+  // Generate the largest relation, then take prefixes (after a shuffle) so
+  // that each smaller relation is a strict subset of the next.
+  GeneratorOptions big = opts;
+  big.cardinality = cards.back();
+  Relation largest = GenerateRelation(names.back(), big, rng);
+  std::vector<Tuple> pool = largest.tuples();
+  rng->Shuffle(&pool);
+
+  std::vector<Relation> out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    Relation r(names[i], largest.schema());
+    for (int64_t j = 0; j < cards[i]; ++j) r.InsertUnchecked(pool[j]);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+double MeasureJoinSelectivity(const Relation& a, int col_a, const Relation& b,
+                              int col_b) {
+  if (a.empty() || b.empty()) return 0.0;
+  HashIndex index(b, col_b);
+  int64_t matches = 0;
+  for (const Tuple& t : a.tuples()) {
+    matches += static_cast<int64_t>(index.Lookup(t.at(col_a)).size());
+  }
+  return static_cast<double>(matches) /
+         (static_cast<double>(a.cardinality()) *
+          static_cast<double>(b.cardinality()));
+}
+
+}  // namespace eve

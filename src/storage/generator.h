@@ -1,0 +1,60 @@
+// Synthetic data generation with controllable statistics.
+//
+// The paper's experiments are parameterized by relation cardinality |R|,
+// tuple size s, local selectivity sigma, and join selectivity js.  The
+// generator produces relations whose *actual* statistics match these
+// parameters, so that analytic-model predictions can be validated against
+// executed queries (tests/integration) and the maintenance simulator.
+//
+// It also builds containment chains (R1 subset of R2 subset of ...) used to
+// realize PC constraints exactly, as in Experiment 4's S1..S5 chain.
+
+#ifndef EVE_STORAGE_GENERATOR_H_
+#define EVE_STORAGE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace eve {
+
+/// Options for generating one relation.
+struct GeneratorOptions {
+  /// Number of tuples.
+  int64_t cardinality = 400;
+  /// Number of INT attributes (named A, B, C, ... or per `attribute_names`).
+  int num_attributes = 2;
+  /// Optional explicit attribute names; must match num_attributes if set.
+  std::vector<std::string> attribute_names;
+  /// Per-attribute byte width (uniform), to make s_R = num_attributes * width.
+  int attribute_bytes = 50;
+  /// Join-attribute domain size D: equality joins on attributes drawn
+  /// uniformly from [0, D) have selectivity ~= 1/D.
+  int64_t key_domain = 200;
+  /// Values of non-key attributes are drawn from [0, value_domain).
+  int64_t value_domain = 1000;
+};
+
+/// Generates a relation per the options.  Attribute 0 is the join key.
+Relation GenerateRelation(const std::string& name, const GeneratorOptions& opts,
+                          Random* rng);
+
+/// Generates a chain of relations with identical schemas such that
+/// result[0] is a subset of result[1] is a subset of ... ; `cards` must be
+/// non-decreasing.  Mirrors Experiment 4's S1 .. S5 containment chain.
+Result<std::vector<Relation>> GenerateContainmentChain(
+    const std::vector<std::string>& names, const std::vector<int64_t>& cards,
+    const GeneratorOptions& opts, Random* rng);
+
+/// Measured equality-join selectivity between a.col and b.col:
+/// |a JOIN b| / (|a| * |b|).  Returns 0 for empty inputs.
+double MeasureJoinSelectivity(const Relation& a, int col_a, const Relation& b,
+                              int col_b);
+
+}  // namespace eve
+
+#endif  // EVE_STORAGE_GENERATOR_H_

@@ -1,0 +1,16 @@
+#include "storage/hash_index.h"
+
+namespace eve {
+
+HashIndex::HashIndex(const Relation& relation, int column) : column_(column) {
+  for (int64_t row = 0; row < relation.cardinality(); ++row) {
+    map_[relation.tuple(row).at(column)].push_back(row);
+  }
+}
+
+const std::vector<int64_t>& HashIndex::Lookup(const Value& key) const {
+  const auto it = map_.find(key);
+  return it == map_.end() ? empty_ : it->second;
+}
+
+}  // namespace eve

@@ -1,0 +1,44 @@
+// HashIndex: an equality index on one column of a Relation.  Used by the
+// executor's hash joins and by the maintenance simulator to model
+// index-assisted delta joins (paper Appendix A assumes an index on every
+// join attribute).
+
+#ifndef EVE_STORAGE_HASH_INDEX_H_
+#define EVE_STORAGE_HASH_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "storage/relation.h"
+#include "types/value.h"
+
+namespace eve {
+
+/// Maps a key value to the row ids of matching tuples.
+class HashIndex {
+ public:
+  /// Builds an index over column `column` of `relation`.  The relation must
+  /// outlive the index and not be mutated while the index is in use.
+  HashIndex(const Relation& relation, int column);
+
+  /// Row ids whose key equals `key` (empty vector if none).
+  const std::vector<int64_t>& Lookup(const Value& key) const;
+
+  /// Number of distinct keys.
+  int64_t DistinctKeys() const { return static_cast<int64_t>(map_.size()); }
+
+  int column() const { return column_; }
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+
+  int column_;
+  std::unordered_map<Value, std::vector<int64_t>, ValueHash> map_;
+  std::vector<int64_t> empty_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_STORAGE_HASH_INDEX_H_

@@ -1,0 +1,167 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+namespace {
+
+// Numeric INT values may be stored where DOUBLE is declared and vice versa;
+// comparisons promote, so only string/number mismatches are errors.
+bool TypeConforms(DataType declared, DataType actual) {
+  if (actual == DataType::kNull) return true;
+  if (declared == actual) return true;
+  const bool declared_num =
+      declared == DataType::kInt64 || declared == DataType::kDouble;
+  const bool actual_num =
+      actual == DataType::kInt64 || actual == DataType::kDouble;
+  return declared_num && actual_num;
+}
+
+}  // namespace
+
+Status Relation::Insert(Tuple t) {
+  if (t.size() != schema_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "tuple arity %d does not match schema arity %d of relation %s",
+        t.size(), schema_.size(), name_.c_str()));
+  }
+  for (int i = 0; i < t.size(); ++i) {
+    if (!TypeConforms(schema_.attribute(i).type, t.at(i).type())) {
+      return Status::InvalidArgument(StrFormat(
+          "value %s does not conform to attribute %s of type %s",
+          t.at(i).ToString().c_str(), schema_.attribute(i).name.c_str(),
+          std::string(DataTypeName(schema_.attribute(i).type)).c_str()));
+    }
+  }
+  tuples_.push_back(std::move(t));
+  return Status::OK();
+}
+
+int64_t Relation::Erase(const Tuple& t, bool all_occurrences) {
+  int64_t removed = 0;
+  for (auto it = tuples_.begin(); it != tuples_.end();) {
+    if (*it == t) {
+      it = tuples_.erase(it);
+      ++removed;
+      if (!all_occurrences) break;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool Relation::ContainsTuple(const Tuple& t) const {
+  return std::any_of(tuples_.begin(), tuples_.end(),
+                     [&](const Tuple& u) { return u == t; });
+}
+
+Relation Relation::Distinct() const {
+  Relation out(name_, schema_);
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (const Tuple& t : tuples_) {
+    if (seen.insert(t).second) out.InsertUnchecked(t);
+  }
+  return out;
+}
+
+Result<Relation> Relation::ProjectByName(
+    const std::vector<std::string>& names) const {
+  std::vector<int> indexes;
+  std::vector<Attribute> attrs;
+  for (const std::string& n : names) {
+    const auto idx = schema_.IndexOf(n);
+    if (!idx.has_value()) {
+      return Status::NotFound("attribute " + n + " not in relation " + name_);
+    }
+    indexes.push_back(*idx);
+    attrs.push_back(schema_.attribute(*idx));
+  }
+  Relation out(name_, Schema(std::move(attrs)));
+  for (const Tuple& t : tuples_) out.InsertUnchecked(t.Project(indexes));
+  return out;
+}
+
+int64_t Relation::DistinctCount() const {
+  std::unordered_set<Tuple, TupleHash> seen(tuples_.begin(), tuples_.end());
+  return static_cast<int64_t>(seen.size());
+}
+
+std::string Relation::ToString(int64_t max_rows) const {
+  std::string out = name_ + schema_.ToString() + " [" +
+                    StrFormat("%lld", static_cast<long long>(cardinality())) +
+                    " tuples]\n";
+  std::vector<Tuple> sorted = tuples_;
+  std::sort(sorted.begin(), sorted.end());
+  int64_t shown = 0;
+  for (const Tuple& t : sorted) {
+    if (shown++ >= max_rows) {
+      out += "  ...\n";
+      break;
+    }
+    out += "  " + t.ToString() + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+Status CheckUnionCompatible(const Relation& a, const Relation& b) {
+  if (a.schema().size() != b.schema().size()) {
+    return Status::InvalidArgument(StrFormat(
+        "set operation on relations of different arity (%d vs %d)",
+        a.schema().size(), b.schema().size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Relation> SetUnion(const Relation& a, const Relation& b) {
+  EVE_RETURN_IF_ERROR(CheckUnionCompatible(a, b));
+  Relation out(a.name(), a.schema());
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (const Relation* r : {&a, &b}) {
+    for (const Tuple& t : r->tuples()) {
+      if (seen.insert(t).second) out.InsertUnchecked(t);
+    }
+  }
+  return out;
+}
+
+Result<Relation> SetIntersect(const Relation& a, const Relation& b) {
+  EVE_RETURN_IF_ERROR(CheckUnionCompatible(a, b));
+  std::unordered_set<Tuple, TupleHash> in_b(b.tuples().begin(),
+                                            b.tuples().end());
+  Relation out(a.name(), a.schema());
+  std::unordered_set<Tuple, TupleHash> emitted;
+  for (const Tuple& t : a.tuples()) {
+    if (in_b.count(t) > 0 && emitted.insert(t).second) out.InsertUnchecked(t);
+  }
+  return out;
+}
+
+Result<Relation> SetDifference(const Relation& a, const Relation& b) {
+  EVE_RETURN_IF_ERROR(CheckUnionCompatible(a, b));
+  std::unordered_set<Tuple, TupleHash> in_b(b.tuples().begin(),
+                                            b.tuples().end());
+  Relation out(a.name(), a.schema());
+  std::unordered_set<Tuple, TupleHash> emitted;
+  for (const Tuple& t : a.tuples()) {
+    if (in_b.count(t) == 0 && emitted.insert(t).second) out.InsertUnchecked(t);
+  }
+  return out;
+}
+
+bool SetEquals(const Relation& a, const Relation& b) {
+  if (a.schema().size() != b.schema().size()) return false;
+  std::unordered_set<Tuple, TupleHash> sa(a.tuples().begin(), a.tuples().end());
+  std::unordered_set<Tuple, TupleHash> sb(b.tuples().begin(), b.tuples().end());
+  return sa == sb;
+}
+
+}  // namespace eve

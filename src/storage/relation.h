@@ -1,0 +1,86 @@
+// Relation: an in-memory table (schema + tuples).  This is the storage unit
+// hosted by information sources and the result type of the query executor.
+//
+// Relations use bag semantics by default; Distinct() derives the set-
+// semantics version that the paper's extent comparisons require
+// ("duplicates removed first", §5.3).
+
+#ifndef EVE_STORAGE_RELATION_H_
+#define EVE_STORAGE_RELATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/tuple.h"
+
+namespace eve {
+
+/// An in-memory relation instance.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+
+  int64_t cardinality() const { return static_cast<int64_t>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const Tuple& tuple(int64_t i) const { return tuples_[i]; }
+
+  /// Appends a tuple after checking arity and type conformance.
+  Status Insert(Tuple t);
+
+  /// Appends without checks; for internal operators that construct
+  /// schema-conforming tuples by construction.
+  void InsertUnchecked(Tuple t) { tuples_.push_back(std::move(t)); }
+
+  /// Removes (one occurrence of) each tuple equal to `t`; returns the number
+  /// of removed tuples (0 or 1 with `all_occurrences` false).
+  int64_t Erase(const Tuple& t, bool all_occurrences = false);
+
+  void Clear() { tuples_.clear(); }
+
+  /// True iff some tuple equals `t`.
+  bool ContainsTuple(const Tuple& t) const;
+
+  /// Set-semantics copy: duplicates removed, input order preserved.
+  Relation Distinct() const;
+
+  /// Projection onto named attributes; fails on unknown names.
+  Result<Relation> ProjectByName(const std::vector<std::string>& names) const;
+
+  /// Number of distinct tuples.
+  int64_t DistinctCount() const;
+
+  /// Tuple width in bytes (sum of attribute sizes): s_R in the cost model.
+  int TupleBytes() const { return schema_.TupleBytes(); }
+
+  /// Sorted-by-tuple rendering for stable golden tests.
+  std::string ToString(int64_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+/// Set operations under set semantics (inputs deduplicated first).  Schemas
+/// must have equal arity; attribute names are taken from `a`.
+Result<Relation> SetUnion(const Relation& a, const Relation& b);
+Result<Relation> SetIntersect(const Relation& a, const Relation& b);
+Result<Relation> SetDifference(const Relation& a, const Relation& b);
+
+/// True iff the distinct tuple sets are equal.
+bool SetEquals(const Relation& a, const Relation& b);
+
+}  // namespace eve
+
+#endif  // EVE_STORAGE_RELATION_H_

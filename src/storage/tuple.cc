@@ -1,0 +1,53 @@
+#include "storage/tuple.h"
+
+#include "common/str_util.h"
+
+namespace eve {
+
+Tuple Tuple::Project(const std::vector<int>& indexes) const {
+  std::vector<Value> out;
+  out.reserve(indexes.size());
+  for (int i : indexes) out.push_back(values_[i]);
+  return Tuple(std::move(out));
+}
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> out = values_;
+  out.insert(out.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(out));
+}
+
+bool Tuple::operator==(const Tuple& o) const {
+  if (values_.size() != o.values_.size()) return false;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (!(values_[i] == o.values_[i])) return false;
+  }
+  return true;
+}
+
+bool Tuple::operator<(const Tuple& o) const {
+  const size_t n = std::min(values_.size(), o.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const auto c = values_[i].Compare(o.values_[i]);
+    if (c == std::strong_ordering::less) return true;
+    if (c == std::strong_ordering::greater) return false;
+  }
+  return values_.size() < o.values_.size();
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const Value& v : values_) {
+    h ^= v.Hash();
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  return "(" +
+         JoinMapped(values_, ", ", [](const Value& v) { return v.ToString(); }) +
+         ")";
+}
+
+}  // namespace eve

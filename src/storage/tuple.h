@@ -1,0 +1,53 @@
+// Tuple: a row of Values.  Width must match the owning relation's schema.
+
+#ifndef EVE_STORAGE_TUPLE_H_
+#define EVE_STORAGE_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace eve {
+
+/// A row.  Tuples are plain value containers; schema conformance is checked
+/// at insertion into a Relation.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  int size() const { return static_cast<int>(values_.size()); }
+  const Value& at(int i) const { return values_[i]; }
+  Value& at(int i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Projection onto the given column indexes (in order).
+  Tuple Project(const std::vector<int>& indexes) const;
+
+  /// Concatenation (for join results).
+  Tuple Concat(const Tuple& other) const;
+
+  bool operator==(const Tuple& o) const;
+  bool operator<(const Tuple& o) const;
+
+  size_t Hash() const;
+
+  /// "(1, 'x', 2.5)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace eve
+
+#endif  // EVE_STORAGE_TUPLE_H_

@@ -1,0 +1,40 @@
+#include "synch/extent_relationship.h"
+
+namespace eve {
+
+std::string_view ExtentRelToString(ExtentRel rel) {
+  switch (rel) {
+    case ExtentRel::kEqual:
+      return "equal";
+    case ExtentRel::kSubset:
+      return "subset";
+    case ExtentRel::kSuperset:
+      return "superset";
+    case ExtentRel::kUnknown:
+      return "approximate";
+  }
+  return "?";
+}
+
+ExtentRel ComposeExtentRel(ExtentRel a, ExtentRel b) {
+  if (a == ExtentRel::kEqual) return b;
+  if (b == ExtentRel::kEqual) return a;
+  if (a == b) return a;
+  return ExtentRel::kUnknown;
+}
+
+bool SatisfiesViewExtent(ExtentRel rel, ViewExtent ve) {
+  switch (ve) {
+    case ViewExtent::kApproximate:
+      return true;
+    case ViewExtent::kEqual:
+      return rel == ExtentRel::kEqual;
+    case ViewExtent::kSuperset:
+      return rel == ExtentRel::kEqual || rel == ExtentRel::kSuperset;
+    case ViewExtent::kSubset:
+      return rel == ExtentRel::kEqual || rel == ExtentRel::kSubset;
+  }
+  return false;
+}
+
+}  // namespace eve

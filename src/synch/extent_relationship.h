@@ -1,0 +1,45 @@
+// The extent-relationship lattice used by the legality checker.
+//
+// A rewriting's extent relates to the original view extent (on the common
+// subset of attributes) as equal, subset, superset, or unknown/approximate.
+// Component transformations (dropping conditions, PC-based substitutions)
+// each contribute a relationship; composition over the lattice yields the
+// relationship of the whole rewriting, which is then checked against the
+// view's VE evolution parameter (paper §5.4.2 and Fig. 8).
+
+#ifndef EVE_SYNCH_EXTENT_RELATIONSHIP_H_
+#define EVE_SYNCH_EXTENT_RELATIONSHIP_H_
+
+#include <string_view>
+
+#include "esql/ast.h"
+
+namespace eve {
+
+/// Relationship of the NEW extent to the OLD extent (common attributes).
+enum class ExtentRel {
+  kEqual,     ///< new = old
+  kSubset,    ///< new ⊆ old
+  kSuperset,  ///< new ⊇ old
+  kUnknown,   ///< incomparable / approximate (Fig. 8(d))
+};
+
+std::string_view ExtentRelToString(ExtentRel rel);
+
+/// Lattice composition: the relationship resulting from applying two
+/// transformations in sequence.  kEqual is the identity; kSubset and
+/// kSuperset absorb themselves and kEqual; mixing kSubset with kSuperset,
+/// or anything with kUnknown, yields kUnknown.
+ExtentRel ComposeExtentRel(ExtentRel a, ExtentRel b);
+
+/// True iff a rewriting with relationship `rel` is admissible under the
+/// view's VE parameter (paper Fig. 3):
+///   VE '='        requires kEqual;
+///   VE 'superset' requires kEqual or kSuperset;
+///   VE 'subset'   requires kEqual or kSubset;
+///   VE '~'        admits anything.
+bool SatisfiesViewExtent(ExtentRel rel, ViewExtent ve);
+
+}  // namespace eve
+
+#endif  // EVE_SYNCH_EXTENT_RELATIONSHIP_H_

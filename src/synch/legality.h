@@ -1,0 +1,34 @@
+// LegalityChecker: decides whether a rewriting is a *legal* rewriting of an
+// original view under its E-SQL evolution preferences (paper §3.3, §4).
+//
+// A rewriting is legal iff:
+//   1. every indispensable (AD=false) SELECT item of the original view is
+//      preserved -- either verbatim or, when AR=true, substituted through a
+//      recorded replacement;
+//   2. every indispensable (CD=false) WHERE clause is preserved -- verbatim
+//      or, when CR=true, rewritten through a recorded replacement;
+//   3. every indispensable (RD=false) FROM item is present -- verbatim or,
+//      when RR=true, substituted;
+//   4. the estimated extent relationship satisfies the view's VE parameter;
+//   5. the rewriting is structurally valid (ViewDefinition::Validate).
+//
+// The synchronizer constructs rewritings that are legal by construction;
+// the checker is the independent oracle used before results are returned
+// and in property tests.
+
+#ifndef EVE_SYNCH_LEGALITY_H_
+#define EVE_SYNCH_LEGALITY_H_
+
+#include "common/status.h"
+#include "esql/ast.h"
+#include "synch/rewriting.h"
+
+namespace eve {
+
+/// Returns OK iff `rewriting` is a legal rewriting of `original`.
+/// On failure the status message names the violated requirement.
+Status CheckLegality(const ViewDefinition& original, const Rewriting& rewriting);
+
+}  // namespace eve
+
+#endif  // EVE_SYNCH_LEGALITY_H_

@@ -1,0 +1,82 @@
+// ViewSynchronizer: generates the legal rewritings of a view affected by a
+// capability change (paper §3.3; algorithms SVS [LNR97b] and, in spirit,
+// CVS [NLR98]).
+//
+// The synchronizer must be given the PRE-change MKB: the constraints that
+// mention the disappearing capability are exactly what licenses its
+// replacement.  (EVE applies the change to the space/MKB only after
+// synchronization; see eve/eve_system.h.)
+//
+// Strategies, in increasing sophistication:
+//   * rename            -- pure reference rewriting for rename changes;
+//   * drop              -- remove dispensable components that referenced the
+//                          deleted capability;
+//   * replace-relation  -- substitute the whole FROM item through a PC edge
+//                          covering all attributes the view still needs;
+//   * join-in           -- keep the relation (attribute deletions only) and
+//                          join a PC-related relation to recover the lost
+//                          attribute through a JC;
+//   * cvs-pair          -- substitute one FROM item by a *join of two*
+//                          PC-related relations whose mappings jointly cover
+//                          the needed attributes (complex substitution).
+//
+// Every returned rewriting passes CheckLegality against the original view.
+
+#ifndef EVE_SYNCH_SYNCHRONIZER_H_
+#define EVE_SYNCH_SYNCHRONIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "esql/ast.h"
+#include "misd/mkb.h"
+#include "space/schema_change.h"
+#include "synch/rewriting.h"
+
+namespace eve {
+
+/// Knobs for the rewriting search.
+struct SynchronizerOptions {
+  /// Allow whole-relation substitution through PC edges.
+  bool enable_relation_replacement = true;
+  /// Allow attribute recovery by joining a PC-related relation (needs a JC).
+  bool enable_join_in = true;
+  /// Allow complex substitutions replacing one relation by a two-way join.
+  bool enable_cvs_pairs = true;
+  /// Additionally enumerate rewritings that drop each subset of the
+  /// dispensable SELECT items (the full "spectrum" of paper footnote 2).
+  /// Off by default: those rewritings are dominated in information
+  /// preservation.
+  bool enumerate_drop_subsets = false;
+  /// Add the PC target-side selection to the rewritten view so the
+  /// replacement uses exactly the constrained fragment (tightens the extent
+  /// relationship).
+  bool apply_target_selection = true;
+  /// Hard cap on returned rewritings.
+  int max_rewritings = 256;
+  /// Replacement discovery follows chains of up to this many PC constraints
+  /// (transitively derived edges; 1 = direct constraints only).
+  int max_pc_hops = 4;
+};
+
+/// The view synchronizer.
+class ViewSynchronizer {
+ public:
+  /// `mkb` must outlive the synchronizer and reflect the PRE-change state.
+  explicit ViewSynchronizer(const MetaKnowledgeBase& mkb,
+                            SynchronizerOptions options = {});
+
+  /// Generates the legal rewritings of `view` under `change`.
+  Result<SynchronizationResult> Synchronize(const ViewDefinition& view,
+                                            const SchemaChange& change) const;
+
+ private:
+  class Impl;
+  const MetaKnowledgeBase& mkb_;
+  SynchronizerOptions options_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_SYNCH_SYNCHRONIZER_H_

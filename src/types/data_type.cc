@@ -1,0 +1,41 @@
+#include "types/data_type.h"
+
+namespace eve {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int DefaultTypeSize(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return 20;
+  }
+  return 0;
+}
+
+bool AreComparable(DataType a, DataType b) {
+  if (a == DataType::kNull || b == DataType::kNull) return false;
+  const bool a_num = a == DataType::kInt64 || a == DataType::kDouble;
+  const bool b_num = b == DataType::kInt64 || b == DataType::kDouble;
+  if (a_num && b_num) return true;
+  return a == DataType::kString && b == DataType::kString;
+}
+
+}  // namespace eve

@@ -1,0 +1,35 @@
+// The scalar type system of the relational substrate.  MISD type-integrity
+// constraints (paper Fig. 4) are expressed over these types.
+
+#ifndef EVE_TYPES_DATA_TYPE_H_
+#define EVE_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace eve {
+
+/// Scalar attribute types.  kNull is the type of the SQL NULL literal only;
+/// attributes are always declared with one of the three concrete types.
+enum class DataType : uint8_t {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Canonical name ("INT", "DOUBLE", "STRING", "NULL").
+std::string_view DataTypeName(DataType type);
+
+/// Default on-the-wire width in bytes, used by the cost model when a
+/// relation does not declare explicit attribute sizes.  Strings default to
+/// a fixed-width encoding, mirroring the paper's constant tuple sizes.
+int DefaultTypeSize(DataType type);
+
+/// True iff values of the two types may be compared by a primitive clause
+/// (numeric types are mutually comparable; strings only with strings).
+bool AreComparable(DataType a, DataType b);
+
+}  // namespace eve
+
+#endif  // EVE_TYPES_DATA_TYPE_H_

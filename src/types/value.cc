@@ -1,0 +1,103 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+DataType Value::type() const {
+  switch (rep_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kInt64;
+    case 2:
+      return DataType::kDouble;
+    default:
+      return DataType::kString;
+  }
+}
+
+double Value::AsDouble() const {
+  if (std::holds_alternative<int64_t>(rep_)) {
+    return static_cast<double>(std::get<int64_t>(rep_));
+  }
+  return std::get<double>(rep_);
+}
+
+bool Value::ComparableWith(const Value& other) const {
+  return AreComparable(type(), other.type());
+}
+
+std::strong_ordering Value::Compare(const Value& other) const {
+  const bool a_null = is_null();
+  const bool b_null = other.is_null();
+  if (a_null || b_null) {
+    if (a_null && b_null) return std::strong_ordering::equal;
+    return a_null ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  const DataType ta = type();
+  const DataType tb = other.type();
+  const bool a_num = ta != DataType::kString;
+  const bool b_num = tb != DataType::kString;
+  if (a_num != b_num) {
+    // Heterogeneous (number vs string): order numbers first, deterministically.
+    return a_num ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  if (!a_num) {
+    const int c = AsString().compare(other.AsString());
+    if (c < 0) return std::strong_ordering::less;
+    if (c > 0) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  if (ta == DataType::kInt64 && tb == DataType::kInt64) {
+    const int64_t a = AsInt();
+    const int64_t b = other.AsInt();
+    if (a < b) return std::strong_ordering::less;
+    if (a > b) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  const double a = AsDouble();
+  const double b = other.AsDouble();
+  if (a < b) return std::strong_ordering::less;
+  if (a > b) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9E3779B97F4A7C15ULL;
+    case DataType::kInt64: {
+      // Hash ints through double so 3 and 3.0 collide (they compare equal).
+      const double d = static_cast<double>(AsInt());
+      if (static_cast<int64_t>(d) == AsInt()) {
+        return std::hash<double>{}(d);
+      }
+      return std::hash<int64_t>{}(AsInt());
+    }
+    case DataType::kDouble:
+      return std::hash<double>{}(AsDouble());
+    case DataType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(AsInt()));
+    case DataType::kDouble:
+      return FormatDouble(AsDouble());
+    case DataType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+}  // namespace eve

@@ -1,0 +1,64 @@
+// Value: a dynamically typed scalar (NULL, INT, DOUBLE, or STRING).
+// Tuples are vectors of Values; primitive clauses compare Values.
+
+#ifndef EVE_TYPES_VALUE_H_
+#define EVE_TYPES_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "types/data_type.h"
+
+namespace eve {
+
+/// A scalar value.  Comparison across INT and DOUBLE promotes to double;
+/// NULL compares equal to NULL and less than everything else (total order,
+/// used for sorting / set semantics; primitive-clause evaluation treats
+/// comparisons involving NULL as false, as in SQL).
+class Value {
+ public:
+  /// NULL value.
+  Value() : rep_(std::monostate{}) {}
+  /// INT value.
+  explicit Value(int64_t v) : rep_(v) {}
+  /// Convenience for literals: Value(5).
+  explicit Value(int v) : rep_(static_cast<int64_t>(v)) {}
+  /// DOUBLE value.
+  explicit Value(double v) : rep_(v) {}
+  /// STRING value.
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  DataType type() const;
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+
+  /// Typed accessors; calling the wrong one is a programming error.
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// True iff the values are comparable (see AreComparable).
+  bool ComparableWith(const Value& other) const;
+
+  /// Total order used for set semantics; see class comment.
+  std::strong_ordering Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == std::strong_ordering::equal; }
+  bool operator<(const Value& other) const { return Compare(other) == std::strong_ordering::less; }
+
+  /// Stable hash consistent with operator== (INT 3 and DOUBLE 3.0 hash alike).
+  size_t Hash() const;
+
+  /// Rendering for debugging and table output; strings are quoted.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_TYPES_VALUE_H_

@@ -1,0 +1,236 @@
+// Executor and common-subset operator tests: hash/nested-loop joins against
+// a brute-force oracle, projection/renaming, set semantics, and the Fig.-7
+// operators on an Example-2-style scenario (two replacements preserving
+// different interface/extent mixes).
+
+#include <gtest/gtest.h>
+
+#include "algebra/common_subset.h"
+#include "algebra/executor.h"
+#include "common/random.h"
+#include "esql/parser.h"
+#include "storage/generator.h"
+
+namespace eve {
+namespace {
+
+ViewDefinition Parse(const std::string& text) {
+  auto result = ParseViewDefinition(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+Relation MakeRelation(const std::string& name,
+                      const std::vector<std::string>& attrs,
+                      const std::vector<std::vector<int>>& rows) {
+  std::vector<Attribute> schema;
+  for (const std::string& a : attrs) {
+    schema.push_back(Attribute::Make(a, DataType::kInt64, 10));
+  }
+  Relation rel(name, Schema(std::move(schema)));
+  for (const auto& row : rows) {
+    Tuple t;
+    for (int v : row) t.Append(Value(static_cast<int64_t>(v)));
+    rel.InsertUnchecked(std::move(t));
+  }
+  return rel;
+}
+
+TEST(Executor, SelectProjectSingleRelation) {
+  MapProvider provider;
+  ASSERT_TRUE(provider
+                  .Add(MakeRelation("R", {"A", "B"},
+                                    {{1, 10}, {2, 20}, {3, 30}, {2, 20}}))
+                  .ok());
+  const auto result = ExecuteView(
+      Parse("CREATE VIEW V AS SELECT R.B FROM R WHERE R.A >= 2"), provider);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Distinct: (20) and (30) only.
+  EXPECT_EQ(result->cardinality(), 2);
+  EXPECT_TRUE(result->ContainsTuple(Tuple{Value(20)}));
+  EXPECT_TRUE(result->ContainsTuple(Tuple{Value(30)}));
+}
+
+TEST(Executor, BagSemanticsWhenRequested) {
+  MapProvider provider;
+  ASSERT_TRUE(provider.Add(MakeRelation("R", {"A"}, {{1}, {1}, {2}})).ok());
+  ExecOptions options;
+  options.distinct = false;
+  const auto result =
+      ExecuteView(Parse("CREATE VIEW V AS SELECT R.A FROM R"), provider, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cardinality(), 3);
+}
+
+TEST(Executor, EquiJoinMatchesOracle) {
+  MapProvider provider;
+  ASSERT_TRUE(provider
+                  .Add(MakeRelation("R", {"A", "B"}, {{1, 5}, {2, 6}, {3, 7}}))
+                  .ok());
+  ASSERT_TRUE(provider
+                  .Add(MakeRelation("S", {"A", "C"},
+                                    {{1, 100}, {1, 101}, {3, 103}, {4, 104}}))
+                  .ok());
+  const auto result = ExecuteView(
+      Parse("CREATE VIEW V AS SELECT R.B, S.C FROM R, S WHERE R.A = S.A"),
+      provider);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cardinality(), 3);
+  EXPECT_TRUE(result->ContainsTuple(Tuple{Value(5), Value(100)}));
+  EXPECT_TRUE(result->ContainsTuple(Tuple{Value(5), Value(101)}));
+  EXPECT_TRUE(result->ContainsTuple(Tuple{Value(7), Value(103)}));
+}
+
+TEST(Executor, ThetaJoinFallsBackToNestedLoop) {
+  MapProvider provider;
+  ASSERT_TRUE(provider.Add(MakeRelation("R", {"A"}, {{1}, {5}})).ok());
+  ASSERT_TRUE(provider.Add(MakeRelation("S", {"B"}, {{3}, {4}})).ok());
+  const auto result = ExecuteView(
+      Parse("CREATE VIEW V AS SELECT R.A, S.B FROM R, S WHERE R.A < S.B"),
+      provider);
+  ASSERT_TRUE(result.ok());
+  // (1,3), (1,4) only.
+  EXPECT_EQ(result->cardinality(), 2);
+}
+
+TEST(Executor, ThreeWayJoinAcrossAliases) {
+  MapProvider provider;
+  ASSERT_TRUE(provider.Add(MakeRelation("R", {"K", "X"}, {{1, 7}, {2, 8}})).ok());
+  ASSERT_TRUE(provider.Add(MakeRelation("S", {"K", "Y"}, {{1, 9}, {2, 10}})).ok());
+  ASSERT_TRUE(provider.Add(MakeRelation("T", {"K", "Z"}, {{1, 11}})).ok());
+  const auto result = ExecuteView(
+      Parse("CREATE VIEW V AS SELECT a.X, b.Y, c.Z FROM R a, S b, T c "
+            "WHERE (a.K = b.K) AND (b.K = c.K)"),
+      provider);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->cardinality(), 1);
+  EXPECT_TRUE(result->ContainsTuple(Tuple{Value(7), Value(9), Value(11)}));
+}
+
+TEST(Executor, OutputSchemaUsesExposedNames) {
+  MapProvider provider;
+  ASSERT_TRUE(provider.Add(MakeRelation("R", {"A"}, {{1}})).ok());
+  const auto result =
+      ExecuteView(Parse("CREATE VIEW V AS SELECT R.A AS Renamed FROM R"),
+                  provider);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->schema().Contains("Renamed"));
+}
+
+TEST(Executor, MissingRelationFails) {
+  MapProvider provider;
+  const auto result =
+      ExecuteView(Parse("CREATE VIEW V AS SELECT R.A FROM R"), provider);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// Randomized oracle: the executor's equi-join equals a brute-force
+// evaluation over generated relations.
+TEST(Executor, RandomizedJoinOracle) {
+  Random rng(7);
+  for (int round = 0; round < 5; ++round) {
+    GeneratorOptions gen;
+    gen.cardinality = 60;
+    gen.num_attributes = 2;
+    gen.key_domain = 15;
+    gen.value_domain = 50;
+    MapProvider provider;
+    const Relation r = GenerateRelation("R", gen, &rng);
+    const Relation s = GenerateRelation("S", gen, &rng);
+    ASSERT_TRUE(provider.Add(r).ok());
+    ASSERT_TRUE(provider.Add(s).ok());
+    const auto result = ExecuteView(
+        Parse("CREATE VIEW V AS SELECT R.A, R.B, S.B AS SB FROM R, S "
+              "WHERE (R.A = S.A) AND (R.B >= 10)"),
+        provider);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    Relation oracle("oracle", result->schema());
+    for (const Tuple& tr : r.tuples()) {
+      if (tr.at(1).AsInt() < 10) continue;
+      for (const Tuple& ts : s.tuples()) {
+        if (tr.at(0) == ts.at(0)) {
+          oracle.InsertUnchecked(Tuple{tr.at(0), tr.at(1), ts.at(1)});
+        }
+      }
+    }
+    EXPECT_TRUE(SetEquals(*result, oracle)) << "round " << round;
+  }
+}
+
+// --- Common-subset operators (paper Def. 1-2, Fig. 7) --------------------------
+
+class CommonSubsetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // An Example-2-like scenario: V(A,B,C) original; V1(A,B) preserves 3 of
+    // 4 projected tuples and adds 1 surplus; V2(B,C) preserves 3 and adds 4.
+    v_ = MakeRelation("V", {"A", "B", "C"},
+                      {{1, 1, 9}, {2, 2, 6}, {3, 1, 5}, {4, 2, 0}});
+    v1_ = MakeRelation("V1", {"A", "B"}, {{1, 1}, {2, 2}, {3, 1}, {6, 4}});
+    v2_ = MakeRelation("V2", {"B", "C"},
+                       {{1, 9}, {2, 6}, {1, 5}, {7, 7}, {8, 8}, {9, 9}, {4, 4}});
+  }
+  Relation v_, v1_, v2_;
+};
+
+TEST_F(CommonSubsetTest, CommonAttributes) {
+  EXPECT_EQ(CommonAttributes(v_, v1_), (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(CommonAttributes(v_, v2_), (std::vector<std::string>{"B", "C"}));
+  EXPECT_EQ(CommonAttributes(v1_, v2_), (std::vector<std::string>{"B"}));
+}
+
+TEST_F(CommonSubsetTest, IntersectAndDifferenceCounts) {
+  const auto counts1 = CountCommonSubset(v_, v1_);
+  ASSERT_TRUE(counts1.ok());
+  EXPECT_EQ(counts1->a_projected, 4);  // 4 distinct (A,B) pairs in V.
+  EXPECT_EQ(counts1->b_projected, 4);
+  EXPECT_EQ(counts1->intersection, 3);
+
+  const auto counts2 = CountCommonSubset(v_, v2_);
+  ASSERT_TRUE(counts2.ok());
+  EXPECT_EQ(counts2->a_projected, 4);
+  EXPECT_EQ(counts2->b_projected, 7);
+  EXPECT_EQ(counts2->intersection, 3);
+
+  const auto surplus1 = CommonSubsetDifference(v1_, v_);
+  ASSERT_TRUE(surplus1.ok());
+  EXPECT_EQ(surplus1->cardinality(), 1);  // One surplus tuple in V1.
+  const auto surplus2 = CommonSubsetDifference(v2_, v_);
+  ASSERT_TRUE(surplus2.ok());
+  EXPECT_EQ(surplus2->cardinality(), 4);  // Four surplus tuples in V2.
+}
+
+TEST_F(CommonSubsetTest, EqualityAndContainment) {
+  EXPECT_FALSE(CommonSubsetEqual(v_, v1_).value());
+  EXPECT_FALSE(CommonSubsetContained(v1_, v_).value());
+
+  // A rewriting that subsets V on (A, B).
+  const Relation sub = MakeRelation("sub", {"A", "B"}, {{1, 1}, {3, 1}});
+  EXPECT_TRUE(CommonSubsetContained(sub, v_).value());
+  EXPECT_FALSE(CommonSubsetContained(v_, sub).value());
+
+  // Same projected content, different order and duplicates: equal.
+  const Relation dup = MakeRelation(
+      "dup", {"B", "A"}, {{2, 4}, {1, 3}, {2, 2}, {1, 1}, {1, 1}});
+  EXPECT_TRUE(CommonSubsetEqual(v_, dup).value());
+}
+
+TEST_F(CommonSubsetTest, DisjointInterfacesRejected) {
+  const Relation other = MakeRelation("other", {"X"}, {{1}});
+  EXPECT_FALSE(CommonSubsetIntersect(v_, other).ok());
+  EXPECT_FALSE(CountCommonSubset(v_, other).ok());
+}
+
+TEST_F(CommonSubsetTest, DuplicatesRemovedBeforeComparison) {
+  const Relation dup_v = MakeRelation(
+      "dupv", {"A", "B", "C"},
+      {{1, 1, 9}, {1, 1, 9}, {2, 2, 6}, {3, 1, 5}, {4, 2, 0}});
+  const auto counts = CountCommonSubset(dup_v, v1_);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->a_projected, 4);  // Duplicate collapsed.
+}
+
+}  // namespace
+}  // namespace eve

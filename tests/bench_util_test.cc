@@ -1,0 +1,97 @@
+// Tests of the experiment-harness utilities: Table-2 distribution
+// enumeration, grouping, table/series rendering, and the uniform cost-input
+// builders.
+
+#include <gtest/gtest.h>
+
+#include "bench_util/distributions.h"
+#include "bench_util/experiment_common.h"
+#include "bench_util/table_printer.h"
+
+namespace eve {
+namespace {
+
+TEST(Distributions, MatchesPaperTable2) {
+  // n = 6 relations over m sites: 1, 5, 10, 10, 5, 1 compositions.
+  const int expected[] = {1, 5, 10, 10, 5, 1};
+  for (int m = 1; m <= 6; ++m) {
+    EXPECT_EQ(Compositions(6, m).size(), static_cast<size_t>(expected[m - 1]))
+        << "m=" << m;
+  }
+  // Row 2 of Table 2 verbatim.
+  const auto two = Compositions(6, 2);
+  ASSERT_EQ(two.size(), 5u);
+  EXPECT_EQ(two[0], (std::vector<int>{1, 5}));
+  EXPECT_EQ(two[4], (std::vector<int>{5, 1}));
+}
+
+TEST(Distributions, EdgeCases) {
+  EXPECT_TRUE(Compositions(3, 4).empty());   // More parts than items.
+  EXPECT_TRUE(Compositions(5, 0).empty());
+  EXPECT_EQ(Compositions(1, 1).size(), 1u);
+  EXPECT_EQ(DistributionLabel({1, 2, 3}), "(1,2,3)");
+}
+
+TEST(Distributions, GroupingMergesMirrors) {
+  const auto groups = GroupedCompositions(6, 2);
+  ASSERT_EQ(groups.size(), 3u);  // 1/5, 2/4, 3/3.
+  EXPECT_EQ(groups[0].label, "1/5");
+  EXPECT_EQ(groups[0].members.size(), 2u);  // (1,5) and (5,1).
+  EXPECT_EQ(groups[2].label, "3/3");
+  EXPECT_EQ(groups[2].members.size(), 1u);
+  // Total members across groups = all compositions.
+  size_t total = 0;
+  for (const auto& g : groups) total += g.members.size();
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"a", "long-header"});
+  table.AddRow({"xxxxx", "1"});
+  table.AddRow({"y", "22"});
+  const std::string out = table.Render();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxx"), std::string::npos);
+}
+
+TEST(SeriesRenderer, ScalesBars) {
+  const std::string out =
+      RenderSeries("title", {"a", "b"}, {1.0, 2.0}, /*bar_width=*/10);
+  // The larger value gets the full bar width.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(SeriesRenderer, HandlesAllZeros) {
+  const std::string out = RenderSeries("t", {"a"}, {0.0});
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(UniformInput, PlacesRelationsSiteMajor) {
+  const ViewCostInput input = MakeUniformInput({2, 4}, UniformParams{});
+  ASSERT_EQ(input.relations.size(), 6u);
+  EXPECT_EQ(input.relations[0].id.site, "IS1");
+  EXPECT_EQ(input.relations[1].id.site, "IS1");
+  EXPECT_EQ(input.relations[2].id.site, "IS2");
+  EXPECT_EQ(input.relations[5].id.site, "IS2");
+  EXPECT_EQ(input.SiteCount(), 2);
+  EXPECT_DOUBLE_EQ(input.join_selectivity, 0.005);
+}
+
+TEST(UniformInput, FirstSiteAveraging) {
+  // (1,5): the single first-site relation is the only origin.
+  const UniformParams params;
+  const CostModelOptions options = MakeUniformOptions(params);
+  const auto first =
+      FirstSiteUpdateCost(MakeUniformInput({1, 5}, params), options);
+  const auto direct =
+      SingleUpdateCost(MakeUniformInput({1, 5}, params), 0, options);
+  ASSERT_TRUE(first.ok() && direct.ok());
+  EXPECT_DOUBLE_EQ(first->bytes, direct->bytes);
+  EXPECT_DOUBLE_EQ(first->messages, direct->messages);
+}
+
+}  // namespace
+}  // namespace eve

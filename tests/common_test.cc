@@ -1,0 +1,109 @@
+// Foundation tests: Status/Result, string utilities, the deterministic PRNG,
+// and the Value type system.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "types/value.h"
+
+namespace eve {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  const Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  const Status err = Status::NotFound("thing is missing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NotFound: thing is missing");
+  const Status copy = err;  // Deep copy.
+  EXPECT_EQ(copy, err);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  EVE_ASSIGN_OR_RETURN(const int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(Result, ValueAndErrorPropagation) {
+  EXPECT_EQ(Doubled(4).value(), 8);
+  const auto err = Doubled(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(StrUtil, FormatJoinSplit) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Split("a,b,,c", ',').size(), 4u);
+  EXPECT_TRUE(EqualsIgnoreCase("SeLeCt", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_EQ(StripWhitespace("  hi \n"), "hi");
+  EXPECT_TRUE(StartsWith("CREATE VIEW", "CREATE"));
+}
+
+TEST(StrUtil, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.0375, 4), "0.0375");
+  EXPECT_EQ(FormatDouble(0.25, 2), "0.25");
+}
+
+TEST(Random, DeterministicAndUniform) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+
+  Random rng(5);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) buckets[rng.Uniform(10)] += 1;
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 10, n / 100);  // Within 10% of uniform.
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Value, TypesAndComparison) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(3).type(), DataType::kInt64);
+  EXPECT_EQ(Value(3.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value("x").type(), DataType::kString);
+  EXPECT_EQ(Value(3), Value(3.0));  // Numeric promotion.
+  EXPECT_LT(Value(2), Value(2.5));
+  EXPECT_LT(Value(), Value(0));  // NULL sorts first.
+  EXPECT_EQ(Value("abc").ToString(), "'abc'");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(3).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("s").Hash(), Value(std::string("s")).Hash());
+}
+
+TEST(DataTypes, ComparabilityMatrix) {
+  EXPECT_TRUE(AreComparable(DataType::kInt64, DataType::kDouble));
+  EXPECT_TRUE(AreComparable(DataType::kString, DataType::kString));
+  EXPECT_FALSE(AreComparable(DataType::kInt64, DataType::kString));
+  EXPECT_FALSE(AreComparable(DataType::kNull, DataType::kInt64));
+}
+
+}  // namespace
+}  // namespace eve

@@ -1,0 +1,123 @@
+// Tests of the MISD constraint declaration DSL.
+
+#include <gtest/gtest.h>
+
+#include "esql/constraint_parser.h"
+
+namespace eve {
+namespace {
+
+Schema IntSchema(const std::vector<std::string>& names) {
+  std::vector<Attribute> attrs;
+  for (const std::string& n : names) {
+    attrs.push_back(Attribute::Make(n, DataType::kInt64, 25));
+  }
+  return Schema(std::move(attrs));
+}
+
+class ConstraintDslTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(mkb_.RegisterRelationWithStats(RelationId{"IS1", "Customer"},
+                                               IntSchema({"Name", "Phone"}),
+                                               100)
+                    .ok());
+    ASSERT_TRUE(mkb_.RegisterRelationWithStats(RelationId{"IS2", "FlightRes"},
+                                               IntSchema({"PName", "Dest"}),
+                                               200)
+                    .ok());
+    ASSERT_TRUE(mkb_.RegisterRelationWithStats(RelationId{"IS3", "Archive"},
+                                               IntSchema({"Name", "Tel"}), 300)
+                    .ok());
+  }
+  MetaKnowledgeBase mkb_;
+};
+
+TEST_F(ConstraintDslTest, JoinConstraintDeclared) {
+  ASSERT_TRUE(DeclareConstraint(
+                  "JOIN CONSTRAINT Customer, FlightRes "
+                  "ON Customer.Name = FlightRes.PName",
+                  &mkb_)
+                  .ok());
+  const auto found = mkb_.FindJoinConstraints(RelationId{"IS1", "Customer"},
+                                              RelationId{"IS2", "FlightRes"});
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->condition.ToString(), "Customer.Name = FlightRes.PName");
+}
+
+TEST_F(ConstraintDslTest, PcConstraintWithAttributeMapping) {
+  ASSERT_TRUE(DeclareConstraint(
+                  "PC CONSTRAINT Customer (Name, Phone) SUBSET "
+                  "Archive (Name, Tel);",
+                  &mkb_)
+                  .ok());
+  const auto edges = mkb_.PcEdgesFrom(RelationId{"IS1", "Customer"});
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].target, (RelationId{"IS3", "Archive"}));
+  EXPECT_EQ(edges[0].type, PcRelationType::kSubset);
+  EXPECT_EQ(edges[0].attribute_map.at("Phone"), "Tel");
+}
+
+TEST_F(ConstraintDslTest, PcWithSelectionAndSelectivity) {
+  const auto parsed = ParseConstraint(
+      "PC CONSTRAINT Customer (Name) WHERE Customer.Phone > 100 "
+      "SELECTIVITY 0.25 EQUIVALENT Archive (Name)",
+      mkb_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& pc = std::get<PcConstraint>(parsed.value());
+  EXPECT_DOUBLE_EQ(pc.left.selectivity, 0.25);
+  EXPECT_EQ(pc.left.selection.ToString(), "Customer.Phone > 100");
+  EXPECT_EQ(pc.type, PcRelationType::kEquivalent);
+  EXPECT_DOUBLE_EQ(pc.right.selectivity, 1.0);
+}
+
+TEST_F(ConstraintDslTest, SiteQualifiedNamesTakenVerbatim) {
+  const auto parsed = ParseConstraint(
+      "PC CONSTRAINT IS1.Customer (Name) SUPERSET IS3.Archive (Name)", mkb_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& pc = std::get<PcConstraint>(parsed.value());
+  EXPECT_EQ(pc.left.relation, (RelationId{"IS1", "Customer"}));
+  EXPECT_EQ(pc.type, PcRelationType::kSuperset);
+}
+
+TEST_F(ConstraintDslTest, ErrorsAreReported) {
+  // Unknown relation.
+  EXPECT_FALSE(ParseConstraint("PC CONSTRAINT Nope (A) SUBSET Archive (Name)",
+                               mkb_)
+                   .ok());
+  // Arity mismatch caught by validation.
+  EXPECT_FALSE(ParseConstraint(
+                   "PC CONSTRAINT Customer (Name, Phone) SUBSET Archive (Name)",
+                   mkb_)
+                   .ok());
+  // Bad keyword.
+  EXPECT_FALSE(
+      ParseConstraint("PC CONSTRAINT Customer (Name) WITHIN Archive (Name)",
+                      mkb_)
+          .ok());
+  // Selectivity without selection.
+  EXPECT_FALSE(ParseConstraint(
+                   "PC CONSTRAINT Customer (Name) SELECTIVITY 0.5 "
+                   "SUBSET Archive (Name)",
+                   mkb_)
+                   .ok());
+  // Trailing junk.
+  EXPECT_FALSE(ParseConstraint(
+                   "JOIN CONSTRAINT Customer, FlightRes ON "
+                   "Customer.Name = FlightRes.PName garbage",
+                   mkb_)
+                   .ok());
+}
+
+TEST_F(ConstraintDslTest, DeclaredConstraintDrivesSynchronization) {
+  // End-to-end: the DSL-declared PC licenses a replacement.
+  ASSERT_TRUE(DeclareConstraint(
+                  "PC CONSTRAINT Customer (Name, Phone) SUBSET "
+                  "Archive (Name, Tel)",
+                  &mkb_)
+                  .ok());
+  EXPECT_EQ(mkb_.pc_constraints().size(), 1u);
+}
+
+}  // namespace
+}  // namespace eve

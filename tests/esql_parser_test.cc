@@ -1,0 +1,195 @@
+// E-SQL front-end tests: lexing, parsing of the paper's example queries,
+// evolution-parameter handling, error reporting, and the print/parse
+// round-trip property.
+
+#include <gtest/gtest.h>
+
+#include "esql/lexer.h"
+#include "esql/parser.h"
+#include "esql/printer.h"
+
+namespace eve {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  const auto tokens = Lex("R.A <= 10 AND name = 'Asia' <> >= 3.5");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> types;
+  for (const Token& t : tokens.value()) types.push_back(t.type);
+  const std::vector<TokenType> expected = {
+      TokenType::kIdent,  TokenType::kDot,      TokenType::kIdent,
+      TokenType::kOperator, TokenType::kInt,    TokenType::kIdent,
+      TokenType::kIdent,  TokenType::kOperator, TokenType::kString,
+      TokenType::kOperator, TokenType::kOperator, TokenType::kFloat,
+      TokenType::kEnd};
+  EXPECT_EQ(types, expected);
+}
+
+TEST(Lexer, SkipsCommentsAndTracksPositions) {
+  const auto tokens = Lex("-- a comment\n  CREATE");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 1u);
+  EXPECT_EQ(tokens->front().text, "CREATE");
+  EXPECT_EQ(tokens->front().line, 2);
+  EXPECT_EQ(tokens->front().column, 3);
+}
+
+TEST(Lexer, RejectsUnterminatedString) {
+  EXPECT_FALSE(Lex("WHERE x = 'oops").ok());
+}
+
+TEST(Lexer, HyphenatedIdentifiers) {
+  const auto tokens = Lex("Asia-Customer");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->front().text, "Asia-Customer");
+}
+
+// The paper's Example query (2): the Asia-Customer view.
+TEST(Parser, PaperAsiaCustomerView) {
+  const auto view = ParseViewDefinition(
+      "CREATE VIEW Asia-Customer (VE = equal) AS "
+      "SELECT C.Name, C.Address, C.Phone (AD = true, AR = true) "
+      "FROM Customer C (RR = true), FlightRes F "
+      "WHERE (C.Name = F.PName) AND (F.Dest = 'Asia') (CD = true)");
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->name, "Asia-Customer");
+  EXPECT_EQ(view->ve, ViewExtent::kEqual);
+  ASSERT_EQ(view->select_items.size(), 3u);
+  EXPECT_FALSE(view->select_items[0].dispensable);
+  EXPECT_TRUE(view->select_items[2].dispensable);
+  EXPECT_TRUE(view->select_items[2].replaceable);
+  ASSERT_EQ(view->from_items.size(), 2u);
+  EXPECT_EQ(view->from_items[0].relation, "Customer");
+  EXPECT_EQ(view->from_items[0].alias, "C");
+  EXPECT_TRUE(view->from_items[0].replaceable);
+  ASSERT_EQ(view->where.size(), 2u);
+  EXPECT_TRUE(view->where[0].clause.IsJoinClause());
+  EXPECT_TRUE(view->where[1].dispensable);
+  EXPECT_EQ(view->where[1].clause.rhs_value().AsString(), "Asia");
+}
+
+TEST(Parser, DefaultsMatchFigure3) {
+  // Omitted parameters default to false / approximate.
+  const auto view =
+      ParseViewDefinition("CREATE VIEW V AS SELECT R.A FROM R WHERE R.A > 1");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->ve, ViewExtent::kApproximate);
+  EXPECT_FALSE(view->select_items[0].dispensable);
+  EXPECT_FALSE(view->select_items[0].replaceable);
+  EXPECT_FALSE(view->from_items[0].dispensable);
+  EXPECT_FALSE(view->from_items[0].replaceable);
+  EXPECT_FALSE(view->where[0].dispensable);
+  EXPECT_FALSE(view->where[0].replaceable);
+}
+
+TEST(Parser, VeSpellings) {
+  const struct {
+    const char* text;
+    ViewExtent expected;
+  } cases[] = {
+      {"~", ViewExtent::kApproximate},      {"any", ViewExtent::kApproximate},
+      {"=", ViewExtent::kEqual},            {"equal", ViewExtent::kEqual},
+      {">=", ViewExtent::kSuperset},        {"superset", ViewExtent::kSuperset},
+      {"<=", ViewExtent::kSubset},          {"subset", ViewExtent::kSubset},
+  };
+  for (const auto& c : cases) {
+    const auto view = ParseViewDefinition(
+        std::string("CREATE VIEW V (VE = ") + c.text + ") AS SELECT R.A FROM R");
+    ASSERT_TRUE(view.ok()) << c.text << ": " << view.status().ToString();
+    EXPECT_EQ(view->ve, c.expected) << c.text;
+  }
+}
+
+TEST(Parser, SiteQualifiedFromAndAs) {
+  const auto view = ParseViewDefinition(
+      "CREATE VIEW V AS SELECT R.A AS X, R.B FROM IS1.Rel R");
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->from_items[0].site, "IS1");
+  EXPECT_EQ(view->from_items[0].relation, "Rel");
+  EXPECT_EQ(view->from_items[0].alias, "R");
+  EXPECT_EQ(view->select_items[0].output_name, "X");
+  EXPECT_EQ(view->select_items[0].name(), "X");
+  EXPECT_EQ(view->select_items[1].name(), "B");
+}
+
+TEST(Parser, UnqualifiedReferencesResolveWithSingleFrom) {
+  const auto view =
+      ParseViewDefinition("CREATE VIEW V AS SELECT Name, Phone FROM Customer "
+                          "WHERE Phone > 0");
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->select_items[0].source.relation, "Customer");
+  EXPECT_EQ(view->where[0].clause.lhs.relation, "Customer");
+}
+
+TEST(Parser, ValueOpAttrNormalizedByFlipping) {
+  const auto view =
+      ParseViewDefinition("CREATE VIEW V AS SELECT R.A FROM R WHERE 10 < R.A");
+  ASSERT_TRUE(view.ok());
+  const PrimitiveClause& c = view->where[0].clause;
+  EXPECT_EQ(c.lhs, (RelAttr{"R", "A"}));
+  EXPECT_EQ(c.op, CompOp::kGreater);
+  EXPECT_EQ(c.rhs_value().AsInt(), 10);
+}
+
+struct ParseErrorCase {
+  const char* label;
+  const char* text;
+};
+
+class ParseErrorTest : public ::testing::TestWithParam<ParseErrorCase> {};
+
+TEST_P(ParseErrorTest, Rejected) {
+  const auto view = ParseViewDefinition(GetParam().text);
+  ASSERT_FALSE(view.ok()) << GetParam().label;
+  // Syntax problems surface as ParseError; semantic ones (validation) as
+  // InvalidArgument.  Either way the definition must be rejected.
+  EXPECT_TRUE(view.status().code() == StatusCode::kParseError ||
+              view.status().code() == StatusCode::kInvalidArgument)
+      << GetParam().label << ": " << view.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Errors, ParseErrorTest,
+    ::testing::Values(
+        ParseErrorCase{"missing create", "VIEW V AS SELECT R.A FROM R"},
+        ParseErrorCase{"missing from", "CREATE VIEW V AS SELECT R.A"},
+        ParseErrorCase{"empty select", "CREATE VIEW V AS SELECT FROM R"},
+        ParseErrorCase{"bad ve", "CREATE VIEW V (VE = sideways) AS SELECT R.A FROM R"},
+        ParseErrorCase{"bad param", "CREATE VIEW V AS SELECT R.A (XX = true) FROM R"},
+        ParseErrorCase{"bad bool", "CREATE VIEW V AS SELECT R.A (AD = maybe) FROM R"},
+        ParseErrorCase{"const clause", "CREATE VIEW V AS SELECT R.A FROM R WHERE 1 = 1"},
+        ParseErrorCase{"trailing junk", "CREATE VIEW V AS SELECT R.A FROM R garbage ("},
+        ParseErrorCase{"unknown relation in where",
+                       "CREATE VIEW V AS SELECT R.A FROM R WHERE S.B > 1"}));
+
+// Round-trip: print then re-parse yields the same AST.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParseIdentity) {
+  const auto first = ParseViewDefinition(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  for (const bool defaults : {false, true}) {
+    PrintOptions options;
+    options.include_default_params = defaults;
+    const std::string printed = PrintView(first.value(), options);
+    const auto second = ParseViewDefinition(printed);
+    ASSERT_TRUE(second.ok()) << printed << "\n" << second.status().ToString();
+    EXPECT_EQ(first.value(), second.value()) << printed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Views, RoundTripTest,
+    ::testing::Values(
+        "CREATE VIEW V AS SELECT R.A FROM R",
+        "CREATE VIEW V (VE = subset) AS SELECT R.A (AD=true), R.B (AR=true) "
+        "FROM R (RD=true, RR=true) WHERE R.A > 10 (CD=true, CR=true)",
+        "CREATE VIEW Asia-Customer AS SELECT C.Name, F.Dest (AD=true) "
+        "FROM Customer C (RR=true), FlightRes F "
+        "WHERE (C.Name = F.PName) AND (F.Dest = 'Asia') (CD=true)",
+        "CREATE VIEW V AS SELECT R.A AS X FROM IS1.R WHERE R.A <> 3.5",
+        "CREATE VIEW V AS SELECT a.K, b.K AS K2 FROM T a, T2 b "
+        "WHERE (a.K = b.K) AND (a.K >= 100)"));
+
+}  // namespace
+}  // namespace eve

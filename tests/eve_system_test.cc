@@ -1,0 +1,273 @@
+// End-to-end EVE system tests: the travel-agency scenario of the paper's
+// introduction, full capability-change lifecycles (synchronize -> rank ->
+// adopt -> rematerialize), view survival across successive changes
+// (Experiment 1's life-span tree), and data-update maintenance through the
+// facade.
+
+#include <gtest/gtest.h>
+
+#include "eve/eve_system.h"
+
+namespace eve {
+namespace {
+
+Relation MakeRelation(const std::string& name,
+                      const std::vector<std::string>& attrs,
+                      const std::vector<std::vector<int>>& rows) {
+  std::vector<Attribute> schema;
+  for (const std::string& a : attrs) {
+    schema.push_back(Attribute::Make(a, DataType::kInt64, 50));
+  }
+  Relation rel(name, Schema(std::move(schema)));
+  for (const auto& row : rows) {
+    Tuple t;
+    for (int v : row) t.Append(Value(static_cast<int64_t>(v)));
+    rel.InsertUnchecked(std::move(t));
+  }
+  return rel;
+}
+
+// Customers (id, phone) at one agency; flight reservations (id, dest) at
+// another; a backup customer list at a third.  Numeric stand-ins for the
+// paper's strings keep the fixtures compact.
+class TravelAgencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(eve_.RegisterRelation(
+                        "Agency",
+                        MakeRelation("Customer", {"Name", "Phone"},
+                                     {{1, 11}, {2, 22}, {3, 33}, {4, 44}}))
+                    .ok());
+    ASSERT_TRUE(eve_.RegisterRelation(
+                        "Airline",
+                        MakeRelation("FlightRes", {"PName", "Dest"},
+                                     {{1, 7}, {2, 9}, {3, 7}, {5, 7}}))
+                    .ok());
+    ASSERT_TRUE(eve_.RegisterRelation(
+                        "Backup",
+                        MakeRelation("CustBackup", {"Name", "Phone"},
+                                     {{1, 11}, {2, 22}, {3, 33}, {4, 44},
+                                      {6, 66}}))
+                    .ok());
+    // Customer is contained in the backup list.
+    ASSERT_TRUE(eve_.AddPcConstraint(MakeProjectionPc(
+                        RelationId{"Agency", "Customer"},
+                        RelationId{"Backup", "CustBackup"}, {"Name", "Phone"},
+                        PcRelationType::kSubset))
+                    .ok());
+    ASSERT_TRUE(eve_
+                    .DefineView(
+                        "CREATE VIEW AsiaCustomer AS "
+                        "SELECT C.Name (AR = true), C.Phone (AD=true, AR=true) "
+                        "FROM Customer C (RR = true), FlightRes F "
+                        "WHERE (C.Name = F.PName) (CR = true) "
+                        "AND (F.Dest = 7) (CD = true)")
+                    .ok());
+  }
+  EveSystem eve_;
+};
+
+TEST_F(TravelAgencyTest, InitialMaterialization) {
+  const auto extent = eve_.GetViewExtent("AsiaCustomer");
+  ASSERT_TRUE(extent.ok()) << extent.status().ToString();
+  // Customers 1 and 3 have dest-7 reservations.
+  EXPECT_EQ(extent->cardinality(), 2);
+  EXPECT_TRUE(extent->ContainsTuple(Tuple{Value(1), Value(11)}));
+  EXPECT_TRUE(extent->ContainsTuple(Tuple{Value(3), Value(33)}));
+}
+
+TEST_F(TravelAgencyTest, CustomerDeletionSurvivesViaBackup) {
+  const auto report = eve_.NotifySchemaChange(
+      SchemaChange(DeleteRelation{RelationId{"Agency", "Customer"}}));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->views.size(), 1u);
+  EXPECT_TRUE(report->views[0].affected);
+  EXPECT_EQ(report->views[0].resulting_state, ViewState::kAlive);
+  EXPECT_FALSE(report->views[0].ranking.empty());
+
+  // The adopted definition references the backup relation.
+  const auto def = eve_.GetViewDefinition("AsiaCustomer");
+  ASSERT_TRUE(def.ok());
+  EXPECT_NE(def->FindFrom("CustBackup"), nullptr);
+
+  // Rematerialized extent: the backup has the same joining customers, so
+  // the view still answers (it is a superset-safe replacement).
+  const auto extent = eve_.GetViewExtent("AsiaCustomer");
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->cardinality(), 2);
+
+  // The view's history records the evolution step.
+  const auto entry = eve_.GetViewEntry("AsiaCustomer");
+  ASSERT_TRUE(entry.ok());
+  ASSERT_EQ((*entry)->history.size(), 1u);
+  EXPECT_EQ((*entry)->history[0].trigger, "delete-relation Agency.Customer");
+}
+
+TEST_F(TravelAgencyTest, DispensableConditionDroppedWhenDestVanishes) {
+  const auto report = eve_.NotifySchemaChange(SchemaChange(
+      DeleteAttribute{RelationId{"Airline", "FlightRes"}, "Dest"}));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->views[0].resulting_state, ViewState::kAlive);
+  const auto def = eve_.GetViewDefinition("AsiaCustomer");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->where.size(), 1u);  // Only the join clause remains.
+  // The extent widened to every customer with any reservation.
+  const auto extent = eve_.GetViewExtent("AsiaCustomer");
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->cardinality(), 3);  // Customers 1, 2, 3.
+}
+
+TEST_F(TravelAgencyTest, IndispensableLossKillsView) {
+  // Deleting PName (join attribute, CR=true but no replacement exists).
+  const auto report = eve_.NotifySchemaChange(SchemaChange(
+      DeleteAttribute{RelationId{"Airline", "FlightRes"}, "PName"}));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->views[0].resulting_state, ViewState::kDead);
+  EXPECT_EQ(eve_.GetViewState("AsiaCustomer").value(), ViewState::kDead);
+  // Dead views are not synchronized again.
+  const auto second = eve_.NotifySchemaChange(
+      SchemaChange(DeleteRelation{RelationId{"Agency", "Customer"}}));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->views.empty());
+}
+
+TEST_F(TravelAgencyTest, DataUpdatesMaintainMaterializedViews) {
+  // New reservation for customer 4 to destination 7.
+  const auto counters = eve_.NotifyDataUpdate(
+      DataUpdate{UpdateKind::kInsert, RelationId{"Airline", "FlightRes"},
+                 Tuple{Value(4), Value(7)}});
+  ASSERT_TRUE(counters.ok()) << counters.status().ToString();
+  EXPECT_EQ(counters->tuples_added, 1);
+  const auto extent = eve_.GetViewExtent("AsiaCustomer");
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->cardinality(), 3);
+  EXPECT_TRUE(extent->ContainsTuple(Tuple{Value(4), Value(44)}));
+
+  // Cancellation removes it again.
+  const auto removal = eve_.NotifyDataUpdate(
+      DataUpdate{UpdateKind::kDelete, RelationId{"Airline", "FlightRes"},
+                 Tuple{Value(4), Value(7)}});
+  ASSERT_TRUE(removal.ok());
+  EXPECT_EQ(removal->tuples_removed, 1);
+  EXPECT_EQ(eve_.GetViewExtent("AsiaCustomer")->cardinality(), 2);
+}
+
+TEST_F(TravelAgencyTest, RenameIsTransparent) {
+  const auto report = eve_.NotifySchemaChange(SchemaChange(
+      RenameAttribute{RelationId{"Agency", "Customer"}, "Phone", "Tel"}));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->views[0].resulting_state, ViewState::kAlive);
+  const auto extent = eve_.GetViewExtent("AsiaCustomer");
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->cardinality(), 2);
+  // Interface unchanged for the view user.
+  EXPECT_TRUE(extent->schema().Contains("Phone"));
+}
+
+// Experiment 1's life span: with w1 > w2 EVE keeps the replaceable
+// attribute A (choosing S or T), so a later deletion of S still leaves T;
+// the view survives two capability changes.
+class SurvivalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(eve_.RegisterRelation("IS1", MakeRelation("R", {"A", "B"},
+                                                          {{1, 2}, {3, 4}}))
+                    .ok());
+    ASSERT_TRUE(eve_.RegisterRelation("IS2", MakeRelation("S", {"A", "C"},
+                                                          {{1, 5}, {3, 6}, {7, 8}}))
+                    .ok());
+    ASSERT_TRUE(eve_.RegisterRelation("IS3", MakeRelation("T", {"A", "D"},
+                                                          {{1, 9}, {3, 0}, {7, 1}}))
+                    .ok());
+    ASSERT_TRUE(eve_.AddPcConstraint(MakeProjectionPc(
+                        RelationId{"IS1", "R"}, RelationId{"IS2", "S"}, {"A"},
+                        PcRelationType::kSubset))
+                    .ok());
+    ASSERT_TRUE(eve_.AddPcConstraint(MakeProjectionPc(
+                        RelationId{"IS1", "R"}, RelationId{"IS3", "T"}, {"A"},
+                        PcRelationType::kSubset))
+                    .ok());
+    ASSERT_TRUE(eve_
+                    .DefineView("CREATE VIEW V0 AS "
+                                "SELECT R.A (AD=true, AR=true), R.B (AD=true) "
+                                "FROM R (RR=true)")
+                    .ok());
+  }
+  EveSystem eve_;
+};
+
+TEST_F(SurvivalTest, ReplaceableChoiceSurvivesTwoChanges) {
+  // Default weights w1 > w2 prefer keeping the replaceable attribute A.
+  const auto first = eve_.NotifySchemaChange(
+      SchemaChange(DeleteAttribute{RelationId{"IS1", "R"}, "A"}));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->views[0].resulting_state, ViewState::kAlive);
+  const auto def = eve_.GetViewDefinition("V0");
+  ASSERT_TRUE(def.ok());
+  // The adopted rewriting keeps A from S or T (not the B-only variant).
+  ASSERT_EQ(def->select_items.size(), 1u);
+  EXPECT_EQ(def->select_items[0].name(), "A");
+  const std::string first_host = def->from_items[0].relation;
+  EXPECT_TRUE(first_host == "S" || first_host == "T");
+
+  // Delete whichever relation was adopted: the view survives via the other.
+  const std::string site = first_host == "S" ? "IS2" : "IS3";
+  const auto second = eve_.NotifySchemaChange(
+      SchemaChange(DeleteRelation{RelationId{site, first_host}}));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->views[0].resulting_state, ViewState::kAlive);
+  const auto def2 = eve_.GetViewDefinition("V0");
+  ASSERT_TRUE(def2.ok());
+  const std::string second_host = def2->from_items[0].relation;
+  EXPECT_NE(second_host, first_host);
+  EXPECT_TRUE(second_host == "S" || second_host == "T");
+  EXPECT_EQ(eve_.GetViewState("V0").value(), ViewState::kAlive);
+  EXPECT_EQ(eve_.GetViewEntry("V0").value()->history.size(), 2u);
+}
+
+TEST_F(SurvivalTest, NonReplaceablePreferenceDiesOnSecondChange) {
+  // Invert the weights (w2 > w1): EVE prefers keeping the non-replaceable
+  // B, i.e. adopts V3; any further change to R kills the view (Fig. 12).
+  eve_.options().qc.w1 = 0.3;
+  eve_.options().qc.w2 = 0.7;
+  const auto first = eve_.NotifySchemaChange(
+      SchemaChange(DeleteAttribute{RelationId{"IS1", "R"}, "A"}));
+  ASSERT_TRUE(first.ok());
+  const auto def = eve_.GetViewDefinition("V0");
+  ASSERT_TRUE(def.ok());
+  ASSERT_EQ(def->select_items.size(), 1u);
+  EXPECT_EQ(def->select_items[0].name(), "B");
+
+  const auto second = eve_.NotifySchemaChange(
+      SchemaChange(DeleteRelation{RelationId{"IS1", "R"}}));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(eve_.GetViewState("V0").value(), ViewState::kDead);
+}
+
+TEST(EveSystemBasics, DuplicateAndInvalidDefinitions) {
+  EveSystem eve;
+  ASSERT_TRUE(
+      eve.RegisterRelation("IS1", MakeRelation("R", {"A"}, {{1}})).ok());
+  ASSERT_TRUE(eve.DefineView("CREATE VIEW V AS SELECT R.A FROM R").ok());
+  EXPECT_FALSE(eve.DefineView("CREATE VIEW V AS SELECT R.A FROM R").ok());
+  // A view over a missing relation fails and leaves no residue.
+  EXPECT_FALSE(eve.DefineView("CREATE VIEW W AS SELECT Q.X FROM Q").ok());
+  EXPECT_FALSE(eve.vkb().Has("W"));
+}
+
+TEST(EveSystemBasics, UnaffectedViewsUntouchedByChanges) {
+  EveSystem eve;
+  ASSERT_TRUE(
+      eve.RegisterRelation("IS1", MakeRelation("R", {"A"}, {{1}})).ok());
+  ASSERT_TRUE(
+      eve.RegisterRelation("IS2", MakeRelation("S", {"B"}, {{2}})).ok());
+  ASSERT_TRUE(eve.DefineView("CREATE VIEW V AS SELECT R.A FROM R").ok());
+  const auto report = eve.NotifySchemaChange(
+      SchemaChange(DeleteRelation{RelationId{"IS2", "S"}}));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->views.empty());
+  EXPECT_EQ(eve.GetViewState("V").value(), ViewState::kAlive);
+}
+
+}  // namespace
+}  // namespace eve

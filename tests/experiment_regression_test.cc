@@ -1,0 +1,119 @@
+// Regression pins for the experiment harness: the shape claims of the
+// paper's figures are asserted here so that model changes that silently
+// break a reproduced trend fail CI, not just change bench output.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_util/distributions.h"
+#include "bench_util/experiment_common.h"
+
+namespace eve {
+namespace {
+
+double GroupBytes(const DistributionGroup& group, const UniformParams& params,
+                  const CostModelOptions& options) {
+  double sum = 0;
+  for (const std::vector<int>& dist : group.members) {
+    const auto cf = FirstSiteUpdateCost(MakeUniformInput(dist, params), options);
+    EXPECT_TRUE(cf.ok());
+    sum += cf->bytes;
+  }
+  return sum / static_cast<double>(group.members.size());
+}
+
+std::map<std::string, double> Fig14Panel(double js) {
+  UniformParams params;
+  params.join_selectivity = js;
+  params.local_selectivity = 1.0;  // Experiment 3 configuration.
+  const CostModelOptions options = MakeUniformOptions(params);
+  std::map<std::string, double> out;
+  for (int m = 2; m <= 4; ++m) {
+    for (const DistributionGroup& group :
+         GroupedCompositions(params.num_relations, m)) {
+      out[group.label] = GroupBytes(group, params, options);
+    }
+  }
+  return out;
+}
+
+// Fig. 14(c): js = 0.005 (growing deltas) -> even distributions cheaper.
+TEST(Fig14Regression, HighJsFavorsEvenDistributions) {
+  const auto panel = Fig14Panel(0.005);
+  EXPECT_LT(panel.at("3/3"), panel.at("2/4"));
+  EXPECT_LT(panel.at("2/4"), panel.at("1/5"));
+  EXPECT_LT(panel.at("2/2/2"), panel.at("1/2/3"));
+  EXPECT_LT(panel.at("1/2/3"), panel.at("1/1/4"));
+  EXPECT_LT(panel.at("1/1/2/2"), panel.at("1/1/1/3"));
+}
+
+// Fig. 14(a): js = 0.001 (shrinking deltas) -> skewed distributions cheaper.
+TEST(Fig14Regression, LowJsFavorsSkewedDistributions) {
+  const auto panel = Fig14Panel(0.001);
+  EXPECT_LT(panel.at("1/5"), panel.at("3/3"));
+  EXPECT_LT(panel.at("1/1/4"), panel.at("2/2/2"));
+  EXPECT_LT(panel.at("1/1/1/3"), panel.at("1/1/2/2"));
+}
+
+// Fig. 14(b): js = 0.0022 sits near the delta-growth fixed point
+// (js*|R| = 0.88); the distribution effect is weakest there ("no clear
+// impact").  Formalized as: the relative 2-site spread at 0.0022 is
+// smaller than at 0.001 and at 0.005.
+TEST(Fig14Regression, MidJsWeakensTheDistributionEffect) {
+  auto two_site_spread = [](double js) {
+    const auto panel = Fig14Panel(js);
+    const double values[] = {panel.at("1/5"), panel.at("2/4"), panel.at("3/3")};
+    const double lo = *std::min_element(std::begin(values), std::end(values));
+    const double hi = *std::max_element(std::begin(values), std::end(values));
+    return (hi - lo) / lo;
+  };
+  const double mid = two_site_spread(0.0022);
+  EXPECT_LT(mid, two_site_spread(0.001));
+  EXPECT_LT(mid, two_site_spread(0.005));
+}
+
+// §7.3's headline: the site count dominates the distribution effect; every
+// 3-site group is costlier than every 2-site group at the default js=0.005
+// sigma=0.5 configuration of Experiment 2.
+TEST(Fig14Regression, SiteCountDominatesAtDefaults) {
+  const UniformParams params;  // sigma = 0.5, js = 0.005.
+  const CostModelOptions options = MakeUniformOptions(params);
+  double max_two = 0;
+  double min_three = 1e18;
+  for (const DistributionGroup& group : GroupedCompositions(6, 2)) {
+    max_two = std::max(max_two, GroupBytes(group, params, options));
+  }
+  for (const DistributionGroup& group : GroupedCompositions(6, 3)) {
+    min_three = std::min(min_three, GroupBytes(group, params, options));
+  }
+  EXPECT_LT(max_two, min_three);
+}
+
+// Fig. 13's increments are exactly linear at Table-1 defaults (the
+// sigma*js*|R| = 1 fixed point): +1.6 messages and +560 bytes per site.
+TEST(Fig13Regression, LinearIncrements) {
+  const UniformParams params;
+  const CostModelOptions options = MakeUniformOptions(params);
+  std::vector<double> msgs, bytes;
+  for (int m = 1; m <= 6; ++m) {
+    CostFactors sum;
+    int n = 0;
+    for (const std::vector<int>& dist : Compositions(6, m)) {
+      const auto cf =
+          SiteAveragedUpdateCost(MakeUniformInput(dist, params), options);
+      ASSERT_TRUE(cf.ok());
+      sum += *cf;
+      ++n;
+    }
+    msgs.push_back(sum.messages / n);
+    bytes.push_back(sum.bytes / n);
+  }
+  for (int m = 1; m < 6; ++m) {
+    EXPECT_NEAR(msgs[m] - msgs[m - 1], 1.6, 1e-9);
+    EXPECT_NEAR(bytes[m] - bytes[m - 1], 560.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace eve

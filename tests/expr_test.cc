@@ -1,0 +1,116 @@
+// Expression-layer tests: comparison operators, primitive clauses,
+// substitution/renaming, bindings, evaluation, and selectivity measurement.
+
+#include <gtest/gtest.h>
+
+#include "expr/clause.h"
+#include "expr/eval.h"
+#include "expr/selectivity.h"
+
+namespace eve {
+namespace {
+
+TEST(CompOp, RoundTripAndFlip) {
+  for (CompOp op : {CompOp::kLess, CompOp::kLessEqual, CompOp::kEqual,
+                    CompOp::kGreaterEqual, CompOp::kGreater, CompOp::kNotEqual}) {
+    const auto parsed = CompOpFromString(CompOpToString(op));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, op);
+    EXPECT_EQ(FlipCompOp(FlipCompOp(op)), op);
+  }
+  EXPECT_EQ(CompOpFromString("!="), CompOp::kNotEqual);
+  EXPECT_FALSE(CompOpFromString("==").has_value());
+}
+
+TEST(CompOp, EvalSemantics) {
+  EXPECT_TRUE(EvalCompOp(CompOp::kLess, Value(1), Value(2)));
+  EXPECT_TRUE(EvalCompOp(CompOp::kLessEqual, Value(2), Value(2.0)));
+  EXPECT_TRUE(EvalCompOp(CompOp::kEqual, Value(3), Value(3.0)));
+  EXPECT_TRUE(EvalCompOp(CompOp::kNotEqual, Value("a"), Value("b")));
+  // NULL and heterogeneous comparisons are false.
+  EXPECT_FALSE(EvalCompOp(CompOp::kEqual, Value(), Value()));
+  EXPECT_FALSE(EvalCompOp(CompOp::kLess, Value(1), Value("a")));
+}
+
+TEST(Clause, AttributesAndReferences) {
+  const PrimitiveClause join = PrimitiveClause::AttrAttr(
+      RelAttr{"R", "A"}, CompOp::kEqual, RelAttr{"S", "B"});
+  EXPECT_TRUE(join.IsJoinClause());
+  EXPECT_TRUE(join.References("R"));
+  EXPECT_TRUE(join.References("S"));
+  EXPECT_FALSE(join.References("T"));
+  EXPECT_EQ(join.Attributes().size(), 2u);
+
+  const PrimitiveClause local =
+      PrimitiveClause::AttrConst(RelAttr{"R", "A"}, CompOp::kGreater, Value(10));
+  EXPECT_FALSE(local.IsJoinClause());
+  EXPECT_EQ(local.ToString(), "R.A > 10");
+}
+
+TEST(Clause, SubstituteAndRename) {
+  const PrimitiveClause c = PrimitiveClause::AttrAttr(
+      RelAttr{"R", "A"}, CompOp::kEqual, RelAttr{"S", "B"});
+  const PrimitiveClause substituted =
+      c.Substitute({{RelAttr{"R", "A"}, RelAttr{"T", "X"}}});
+  EXPECT_EQ(substituted.lhs, (RelAttr{"T", "X"}));
+  EXPECT_EQ(substituted.rhs_attr(), (RelAttr{"S", "B"}));
+
+  const PrimitiveClause renamed = c.RenameRelations({{"S", "S2"}});
+  EXPECT_EQ(renamed.rhs_attr().relation, "S2");
+  EXPECT_EQ(renamed.lhs.relation, "R");
+}
+
+TEST(Conjunction, CollectsAttributesAndRelations) {
+  Conjunction conj;
+  conj.Add(PrimitiveClause::AttrAttr(RelAttr{"R", "A"}, CompOp::kEqual,
+                                     RelAttr{"S", "A"}));
+  conj.Add(PrimitiveClause::AttrConst(RelAttr{"S", "B"}, CompOp::kLess, Value(5)));
+  EXPECT_EQ(conj.Relations(), (std::vector<std::string>{"R", "S"}));
+  EXPECT_EQ(conj.Attributes().size(), 3u);
+  EXPECT_EQ(conj.ToString(), "R.A = S.A AND S.B < 5");
+  EXPECT_TRUE(Conjunction().IsTrue());
+  EXPECT_EQ(Conjunction().ToString(), "TRUE");
+}
+
+TEST(Binding, RegisterResolveAmbiguity) {
+  Binding binding;
+  ASSERT_TRUE(binding.Register(RelAttr{"R", "A"}, 0).ok());
+  ASSERT_TRUE(binding.Register(RelAttr{"S", "A"}, 1).ok());
+  ASSERT_TRUE(binding.Register(RelAttr{"S", "B"}, 2).ok());
+  EXPECT_FALSE(binding.Register(RelAttr{"R", "A"}, 3).ok());  // Duplicate.
+
+  EXPECT_EQ(binding.Resolve(RelAttr{"S", "B"}).value(), 2);
+  // Unqualified "B" is unique; unqualified "A" is ambiguous.
+  EXPECT_EQ(binding.Resolve(RelAttr{"", "B"}).value(), 2);
+  EXPECT_FALSE(binding.Resolve(RelAttr{"", "A"}).ok());
+  EXPECT_FALSE(binding.Resolve(RelAttr{"T", "A"}).ok());
+}
+
+TEST(Eval, BoundConjunction) {
+  Binding binding;
+  ASSERT_TRUE(binding.Register(RelAttr{"R", "A"}, 0).ok());
+  ASSERT_TRUE(binding.Register(RelAttr{"R", "B"}, 1).ok());
+  Conjunction conj;
+  conj.Add(PrimitiveClause::AttrConst(RelAttr{"R", "A"}, CompOp::kGreaterEqual,
+                                      Value(10)));
+  conj.Add(PrimitiveClause::AttrAttr(RelAttr{"R", "A"}, CompOp::kLess,
+                                     RelAttr{"R", "B"}));
+  EXPECT_TRUE(EvalConjunction(conj, binding, Tuple{Value(10), Value(20)}).value());
+  EXPECT_FALSE(EvalConjunction(conj, binding, Tuple{Value(9), Value(20)}).value());
+  EXPECT_FALSE(EvalConjunction(conj, binding, Tuple{Value(30), Value(20)}).value());
+}
+
+TEST(Selectivity, MeasuredFractionsMatch) {
+  Relation rel("R", Schema({Attribute::Make("A", DataType::kInt64)}));
+  for (int i = 0; i < 100; ++i) rel.InsertUnchecked(Tuple{Value(i)});
+  Conjunction half;
+  half.Add(PrimitiveClause::AttrConst(RelAttr{"R", "A"}, CompOp::kLess, Value(50)));
+  EXPECT_DOUBLE_EQ(MeasureSelectivity(rel, "R", half).value(), 0.5);
+  EXPECT_DOUBLE_EQ(MeasureSelectivity(rel, "R", Conjunction()).value(), 1.0);
+  Conjunction none;
+  none.Add(PrimitiveClause::AttrConst(RelAttr{"R", "A"}, CompOp::kLess, Value(0)));
+  EXPECT_DOUBLE_EQ(MeasureSelectivity(rel, "R", none).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace eve

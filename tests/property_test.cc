@@ -1,0 +1,280 @@
+// Property-based tests across the pipeline, driven by randomized scenario
+// generation:
+//   P1  print/parse round-trip on random view definitions;
+//   P2  every synchronizer output passes the legality oracle;
+//   P3  quality measures stay in [0, 1] and a rewriting's estimated extent
+//       relation is consistent with its measured extents;
+//   P4  subset/superset extent claims hold on real data for exact edges;
+//   P5  QC ranking is a total order with dense ranks and normalized costs.
+
+#include <gtest/gtest.h>
+
+#include "algebra/common_subset.h"
+#include "algebra/executor.h"
+#include "common/random.h"
+#include "esql/parser.h"
+#include "esql/printer.h"
+#include "qc/quality.h"
+#include "qc/ranking.h"
+#include "space/information_space.h"
+#include "storage/generator.h"
+#include "synch/legality.h"
+#include "synch/synchronizer.h"
+
+namespace eve {
+namespace {
+
+// A randomized information space: a base relation R at IS1 (with attributes
+// A..E), a partner relation P at IS2 joinable with R, and two PC-related
+// replacements (one subset, one superset of R's projection).
+struct Scenario {
+  InformationSpace space;
+  MetaKnowledgeBase mkb;
+  ViewDefinition view;
+};
+
+std::unique_ptr<Scenario> MakeScenario(uint64_t seed) {
+  auto s = std::make_unique<Scenario>();
+  Random rng(seed);
+
+  GeneratorOptions gen;
+  gen.cardinality = 120 + static_cast<int64_t>(rng.Uniform(200));
+  gen.num_attributes = 3;
+  gen.attribute_names = {"A", "B", "C"};
+  gen.key_domain = 40;
+  gen.value_domain = 60;
+
+  // Containment chain: Sub subset R subset Sup (projections on A, B, C).
+  GeneratorOptions chain_gen = gen;
+  chain_gen.key_domain = 1 << 30;
+  chain_gen.value_domain = 1 << 30;
+  const int64_t r_card = gen.cardinality;
+  auto chain = GenerateContainmentChain(
+      {"Sub", "R", "Sup"}, {r_card / 2, r_card, r_card * 2}, chain_gen, &rng);
+  EXPECT_TRUE(chain.ok());
+  // Re-key column A into the join domain so P joins R.
+  auto rekey = [&](Relation* rel) {
+    Relation out(rel->name(), rel->schema());
+    for (const Tuple& t : rel->tuples()) {
+      Tuple u = t;
+      u.at(0) = Value(t.at(0).AsInt() % 40);
+      out.InsertUnchecked(std::move(u));
+    }
+    *rel = std::move(out);
+  };
+  // Keep containment: rekey is a function of the tuple, so subsets stay
+  // subsets (set semantics may merge duplicates, which is fine).
+  for (Relation& rel : chain.value()) rekey(&rel);
+
+  GeneratorOptions pgen = gen;
+  pgen.attribute_names = {"K", "PX", "PY"};
+  Relation partner = GenerateRelation("P", pgen, &rng);
+
+  EXPECT_TRUE(s->space.AddRelation("IS1", chain.value()[1], &s->mkb, 0.5).ok());
+  EXPECT_TRUE(s->space.AddRelation("IS2", partner, &s->mkb, 0.5).ok());
+  EXPECT_TRUE(s->space.AddRelation("IS3", chain.value()[0], &s->mkb, 0.5).ok());
+  EXPECT_TRUE(s->space.AddRelation("IS4", chain.value()[2], &s->mkb, 0.5).ok());
+
+  EXPECT_TRUE(s->mkb.AddPcConstraint(MakeProjectionPc(
+                       RelationId{"IS1", "R"}, RelationId{"IS3", "Sub"},
+                       {"A", "B", "C"}, PcRelationType::kSuperset))
+                  .ok());
+  EXPECT_TRUE(s->mkb.AddPcConstraint(MakeProjectionPc(
+                       RelationId{"IS1", "R"}, RelationId{"IS4", "Sup"},
+                       {"A", "B", "C"}, PcRelationType::kSubset))
+                  .ok());
+
+  // Randomize evolution preferences on the dispensable items.
+  const bool b_disp = rng.Bernoulli(0.8);
+  const std::string view_text = std::string(
+      "CREATE VIEW V AS SELECT R.A (AR=true), R.B (") +
+      (b_disp ? "AD=true, " : "") + "AR=true), P.PX " +
+      "FROM R (RR=true), P WHERE (R.A = P.K) (CR=true)";
+  auto parsed = ParseViewDefinition(view_text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  s->view = parsed.value();
+  return s;
+}
+
+class ScenarioTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScenarioTest, P2_AllRewritingsPassLegalityOracle) {
+  auto s = MakeScenario(GetParam());
+  SynchronizerOptions options;
+  options.enumerate_drop_subsets = true;
+  ViewSynchronizer synchronizer(s->mkb, options);
+  const auto result = synchronizer.Synchronize(
+      s->view, SchemaChange(DeleteRelation{RelationId{"IS1", "R"}}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->affected);
+  EXPECT_FALSE(result->rewritings.empty());
+  for (const Rewriting& rw : result->rewritings) {
+    EXPECT_TRUE(CheckLegality(s->view, rw).ok()) << rw.Summary();
+  }
+}
+
+TEST_P(ScenarioTest, P3_QualityBoundsAndAgreement) {
+  auto s = MakeScenario(GetParam());
+  ViewSynchronizer synchronizer(s->mkb);
+  const auto result = synchronizer.Synchronize(
+      s->view, SchemaChange(DeleteRelation{RelationId{"IS1", "R"}}));
+  ASSERT_TRUE(result.ok());
+  QcParameters params;
+
+  const auto old_extent = ExecuteView(s->view, s->space);
+  ASSERT_TRUE(old_extent.ok());
+
+  for (const Rewriting& rw : result->rewritings) {
+    const auto estimated = EstimateQuality(s->view, rw, s->mkb, params);
+    ASSERT_TRUE(estimated.ok()) << rw.Summary();
+    for (double v :
+         {estimated->dd_attr, estimated->dd_ext_d1, estimated->dd_ext_d2,
+          estimated->dd_ext, estimated->dd}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    const auto new_extent = ExecuteView(rw.definition, s->space);
+    ASSERT_TRUE(new_extent.ok()) << rw.Summary();
+    const auto measured = MeasureQuality(s->view, rw, old_extent.value(),
+                                         new_extent.value(), params);
+    ASSERT_TRUE(measured.ok());
+    EXPECT_DOUBLE_EQ(measured->dd_attr, estimated->dd_attr);
+    for (double v : {measured->dd_ext_d1, measured->dd_ext_d2, measured->dd}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST_P(ScenarioTest, P4_ExactExtentClaimsHoldOnData) {
+  auto s = MakeScenario(GetParam());
+  ViewSynchronizer synchronizer(s->mkb);
+  const auto result = synchronizer.Synchronize(
+      s->view, SchemaChange(DeleteRelation{RelationId{"IS1", "R"}}));
+  ASSERT_TRUE(result.ok());
+  const auto old_extent = ExecuteView(s->view, s->space);
+  ASSERT_TRUE(old_extent.ok());
+
+  for (const Rewriting& rw : result->rewritings) {
+    if (!rw.extent_exact) continue;
+    const auto new_extent = ExecuteView(rw.definition, s->space);
+    ASSERT_TRUE(new_extent.ok());
+    switch (rw.extent_relation) {
+      case ExtentRel::kEqual:
+        EXPECT_TRUE(
+            CommonSubsetEqual(old_extent.value(), new_extent.value()).value())
+            << rw.Summary();
+        break;
+      case ExtentRel::kSubset:
+        EXPECT_TRUE(CommonSubsetContained(new_extent.value(), old_extent.value())
+                        .value())
+            << rw.Summary();
+        break;
+      case ExtentRel::kSuperset:
+        EXPECT_TRUE(CommonSubsetContained(old_extent.value(), new_extent.value())
+                        .value())
+            << rw.Summary();
+        break;
+      case ExtentRel::kUnknown:
+        break;
+    }
+  }
+}
+
+TEST_P(ScenarioTest, P5_RankingIsTotalAndNormalized) {
+  auto s = MakeScenario(GetParam());
+  ViewSynchronizer synchronizer(s->mkb);
+  auto result = synchronizer.Synchronize(
+      s->view, SchemaChange(DeleteRelation{RelationId{"IS1", "R"}}));
+  ASSERT_TRUE(result.ok());
+  if (result->rewritings.empty()) return;
+
+  QcModel model(QcParameters{}, CostModelOptions{}, WorkloadOptions{});
+  const auto ranking =
+      model.Rank(s->view, std::move(result->rewritings), s->mkb);
+  ASSERT_TRUE(ranking.ok()) << ranking.status().ToString();
+  double min_norm = 1.0;
+  double max_norm = 0.0;
+  for (size_t i = 0; i < ranking->size(); ++i) {
+    const RankedRewriting& r = ranking->at(i);
+    EXPECT_EQ(r.rank, static_cast<int>(i) + 1);
+    EXPECT_GE(r.qc, 0.0);
+    EXPECT_LE(r.qc, 1.0);
+    EXPECT_GE(r.normalized_cost, 0.0);
+    EXPECT_LE(r.normalized_cost, 1.0);
+    min_norm = std::min(min_norm, r.normalized_cost);
+    max_norm = std::max(max_norm, r.normalized_cost);
+    if (i > 0) {
+      EXPECT_GE(ranking->at(i - 1).qc, r.qc);
+    }
+  }
+  if (ranking->size() > 1) {
+    EXPECT_DOUBLE_EQ(min_norm, 0.0);  // Eq. 25 pins the extremes.
+    EXPECT_DOUBLE_EQ(max_norm, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// P1: print/parse round-trip on randomly generated definitions.
+TEST(RoundTripProperty, RandomViews) {
+  Random rng(55);
+  for (int round = 0; round < 50; ++round) {
+    ViewDefinition view;
+    view.name = "V";
+    view.ve = static_cast<ViewExtent>(rng.Uniform(4));
+    const int nrel = 1 + static_cast<int>(rng.Uniform(3));
+    for (int r = 0; r < nrel; ++r) {
+      FromItem f;
+      f.relation = std::string("R") + std::to_string(r);
+      if (rng.Bernoulli(0.3)) f.site = "IS" + std::to_string(r);
+      if (rng.Bernoulli(0.3)) f.alias = "a" + std::to_string(r);
+      f.dispensable = rng.Bernoulli(0.5);
+      f.replaceable = rng.Bernoulli(0.5);
+      view.from_items.push_back(std::move(f));
+    }
+    const int nsel = 1 + static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < nsel; ++i) {
+      SelectItem s;
+      const FromItem& f = view.from_items[rng.Uniform(view.from_items.size())];
+      s.source = RelAttr{f.name(), "C" + std::to_string(i)};
+      if (rng.Bernoulli(0.4)) s.output_name = "Out" + std::to_string(i);
+      s.dispensable = rng.Bernoulli(0.5);
+      s.replaceable = rng.Bernoulli(0.5);
+      view.select_items.push_back(std::move(s));
+    }
+    const int ncond = static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < ncond; ++i) {
+      ConditionItem c;
+      const FromItem& f = view.from_items[rng.Uniform(view.from_items.size())];
+      if (rng.Bernoulli(0.5)) {
+        const FromItem& g =
+            view.from_items[rng.Uniform(view.from_items.size())];
+        c.clause = PrimitiveClause::AttrAttr(
+            RelAttr{f.name(), "J" + std::to_string(i)}, CompOp::kEqual,
+            RelAttr{g.name(), "K" + std::to_string(i)});
+      } else {
+        c.clause = PrimitiveClause::AttrConst(
+            RelAttr{f.name(), "J" + std::to_string(i)},
+            static_cast<CompOp>(rng.Uniform(6)),
+            rng.Bernoulli(0.5)
+                ? Value(static_cast<int64_t>(rng.Uniform(100)))
+                : Value("lit" + std::to_string(rng.Uniform(10))));
+      }
+      c.dispensable = rng.Bernoulli(0.5);
+      c.replaceable = rng.Bernoulli(0.5);
+      view.where.push_back(std::move(c));
+    }
+    if (!view.Validate().ok()) continue;  // Duplicate names etc.: skip.
+
+    const std::string printed = PrintView(view);
+    const auto reparsed = ParseViewDefinition(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed << "\n"
+                               << reparsed.status().ToString();
+    EXPECT_EQ(view, reparsed.value()) << printed;
+  }
+}
+
+}  // namespace
+}  // namespace eve

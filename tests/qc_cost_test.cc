@@ -1,0 +1,255 @@
+// Tests of the analytic cost model (paper §6) against the paper's own
+// numbers:
+//  * Table 6 / Fig. 13: per-update CF_M, CF_T, CF_IO for the uniform
+//    6-relation information space of Table 1, averaged over the relation
+//    distributions of Table 2;
+//  * Experiment 4: per-update costs 842.3 .. 2246.3 for the S1..S5
+//    replacements (upper I/O bound);
+//  * the closed-form message count of §6.2;
+//  * workload models M1-M4.
+
+#include <gtest/gtest.h>
+
+#include "bench_util/distributions.h"
+#include "bench_util/experiment_common.h"
+#include "qc/cost_model.h"
+#include "qc/workload.h"
+
+namespace eve {
+namespace {
+
+UniformParams PaperParams() { return UniformParams{}; }
+
+TEST(MessagesClosedForm, Section62Cases) {
+  EXPECT_EQ(MessagesClosedForm(1, 0), 0);
+  EXPECT_EQ(MessagesClosedForm(1, 5), 2);
+  EXPECT_EQ(MessagesClosedForm(3, 0), 4);   // 2(m-1)
+  EXPECT_EQ(MessagesClosedForm(3, 2), 6);   // 2m
+  EXPECT_EQ(MessagesClosedForm(6, 0), 10);
+}
+
+TEST(SingleUpdateCost, SingleSiteAllRelations) {
+  // All 6 relations at one site; update at any of them: notification (1) +
+  // one query/answer round trip (2) = 3 messages; bytes 100 + 100 + 600.
+  const ViewCostInput input = MakeUniformInput({6}, PaperParams());
+  const CostModelOptions options = MakeUniformOptions(PaperParams());
+  const auto cf = SingleUpdateCost(input, 0, options);
+  ASSERT_TRUE(cf.ok());
+  EXPECT_DOUBLE_EQ(cf->messages, 3.0);
+  EXPECT_DOUBLE_EQ(cf->bytes, 800.0);
+  // I/O: joins i=1..5 cost min(40, 2^{i-1}) = 1+2+4+8+16 = 31 (Eq. 33 lower).
+  EXPECT_DOUBLE_EQ(cf->ios, 31.0);
+}
+
+TEST(SingleUpdateCost, SixSitesOneRelationEach) {
+  const ViewCostInput input = MakeUniformInput({1, 1, 1, 1, 1, 1}, PaperParams());
+  const CostModelOptions options = MakeUniformOptions(PaperParams());
+  const auto cf = SingleUpdateCost(input, 0, options);
+  ASSERT_TRUE(cf.ok());
+  // Origin hosts nothing else -> skipped; 5 sites queried.
+  EXPECT_DOUBLE_EQ(cf->messages, 11.0);
+  EXPECT_DOUBLE_EQ(cf->bytes, 3600.0);
+  EXPECT_DOUBLE_EQ(cf->ios, 31.0);
+}
+
+// Table 6: per-update averages over Table 2's distributions: CF_M rises
+// 3, 4.6, 6.2, 7.8, 9.4, 11 and CF_T rises 800, 1360, 1920, 2480, 3040,
+// 3600; CF_IO is constant 31.
+struct Table6Row {
+  int sites;
+  double cf_m;
+  double cf_t;
+  double cf_io;
+};
+
+class Table6Test : public ::testing::TestWithParam<Table6Row> {};
+
+TEST_P(Table6Test, PerUpdateSiteAveragedCosts) {
+  const Table6Row row = GetParam();
+  const CostModelOptions options = MakeUniformOptions(PaperParams());
+  CostFactors sum;
+  int count = 0;
+  for (const std::vector<int>& dist : Compositions(6, row.sites)) {
+    const ViewCostInput input = MakeUniformInput(dist, PaperParams());
+    const auto cf = SiteAveragedUpdateCost(input, options);
+    ASSERT_TRUE(cf.ok());
+    sum += *cf;
+    ++count;
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_NEAR(sum.messages / count, row.cf_m, 1e-9);
+  EXPECT_NEAR(sum.bytes / count, row.cf_t, 1e-9);
+  EXPECT_NEAR(sum.ios / count, row.cf_io, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTable6, Table6Test,
+                         ::testing::Values(Table6Row{1, 3.0, 800.0, 31.0},
+                                           Table6Row{2, 4.6, 1360.0, 31.0},
+                                           Table6Row{3, 6.2, 1920.0, 31.0},
+                                           Table6Row{4, 7.8, 2480.0, 31.0},
+                                           Table6Row{5, 9.4, 3040.0, 31.0},
+                                           Table6Row{6, 11.0, 3600.0, 31.0}));
+
+// Experiment 4: V = R1 join S_i, R1 (400 tuples) at IS_a, S_i at IS_b,
+// update at R1, local selectivity 0.5 on S_i, js = 0.005, unit costs
+// (0.1, 0.7, 0.2).  Per-update weighted costs: 842.3, 1193.3, 1544.3,
+// 1895.3, 2246.3 (paper Table 4), with the Eq. 33 *upper* I/O bound.
+struct Exp4Row {
+  int64_t replacement_card;
+  double weighted_cost;
+};
+
+class Exp4CostTest : public ::testing::TestWithParam<Exp4Row> {};
+
+TEST_P(Exp4CostTest, WeightedSingleUpdateCost) {
+  const Exp4Row row = GetParam();
+  ViewCostInput input;
+  input.join_selectivity = 0.005;
+  input.relations.push_back(
+      CostRelation{RelationId{"IS_a", "R1"}, 400, 100, 1.0});
+  input.relations.push_back(
+      CostRelation{RelationId{"IS_b", "S"}, row.replacement_card, 100, 0.5});
+  CostModelOptions options;
+  options.io_policy = IoBoundPolicy::kUpper;
+  options.block.block_bytes = 1000;
+
+  const auto cf = SingleUpdateCost(input, 0, options);
+  ASSERT_TRUE(cf.ok());
+  QcParameters params;  // cost_message=0.1, cost_transfer=0.7, cost_io=0.2.
+  EXPECT_NEAR(cf->Weighted(params), row.weighted_cost, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTable4Costs, Exp4CostTest,
+                         ::testing::Values(Exp4Row{2000, 842.3},
+                                           Exp4Row{3000, 1193.3},
+                                           Exp4Row{4000, 1544.3},
+                                           Exp4Row{5000, 1895.3},
+                                           Exp4Row{6000, 2246.3}));
+
+TEST(SingleUpdateCost, IoBoundsBracket) {
+  // The lower bound never exceeds the upper bound.
+  const UniformParams params = PaperParams();
+  for (const std::vector<int>& dist :
+       {std::vector<int>{6}, {3, 3}, {1, 2, 3}, {1, 1, 1, 1, 1, 1}}) {
+    const ViewCostInput input = MakeUniformInput(dist, params);
+    const auto lower = SingleUpdateCost(
+        input, 0, MakeUniformOptions(params, IoBoundPolicy::kLower));
+    const auto upper = SingleUpdateCost(
+        input, 0, MakeUniformOptions(params, IoBoundPolicy::kUpper));
+    ASSERT_TRUE(lower.ok() && upper.ok());
+    EXPECT_LE(lower->ios, upper->ios) << DistributionLabel(dist);
+    // Messages and bytes do not depend on the I/O policy.
+    EXPECT_DOUBLE_EQ(lower->messages, upper->messages);
+    EXPECT_DOUBLE_EQ(lower->bytes, upper->bytes);
+  }
+}
+
+TEST(SingleUpdateCost, NotificationFlag) {
+  const ViewCostInput input = MakeUniformInput({3, 3}, PaperParams());
+  CostModelOptions with = MakeUniformOptions(PaperParams());
+  CostModelOptions without = with;
+  without.count_notification_message = false;
+  const auto a = SingleUpdateCost(input, 0, with);
+  const auto b = SingleUpdateCost(input, 0, without);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->messages - 1.0, b->messages);
+  EXPECT_DOUBLE_EQ(a->bytes, b->bytes);  // Bytes always include Eq. 21's s.
+}
+
+TEST(SingleUpdateCost, InvalidIndexRejected) {
+  const ViewCostInput input = MakeUniformInput({6}, PaperParams());
+  EXPECT_FALSE(SingleUpdateCost(input, 99, {}).ok());
+}
+
+TEST(WorkloadCost, M4WithOneUpdateMatchesAverageSingleUpdate) {
+  const ViewCostInput input = MakeUniformInput({3, 3}, PaperParams());
+  const CostModelOptions options = MakeUniformOptions(PaperParams());
+  WorkloadOptions workload;
+  workload.model = WorkloadModel::kM4FixedPerView;
+  workload.updates_per_view = 1.0;
+  const auto total = ComputeWorkloadCost(input, workload, options);
+  ASSERT_TRUE(total.ok());
+
+  CostFactors expected;
+  for (size_t i = 0; i < input.relations.size(); ++i) {
+    expected += SingleUpdateCost(input, i, options).value() *
+                (1.0 / input.relations.size());
+  }
+  EXPECT_NEAR(total->factors.messages, expected.messages, 1e-9);
+  EXPECT_NEAR(total->factors.bytes, expected.bytes, 1e-9);
+  EXPECT_NEAR(total->updates, 1.0, 1e-12);
+}
+
+TEST(WorkloadCost, M1ScalesWithCardinality) {
+  // Two relations, one twice the size: it receives twice the updates.
+  ViewCostInput input;
+  input.join_selectivity = 0.01;
+  input.relations.push_back(CostRelation{RelationId{"A", "R"}, 100, 100, 1.0});
+  input.relations.push_back(CostRelation{RelationId{"B", "S"}, 200, 100, 1.0});
+  WorkloadOptions workload;
+  workload.model = WorkloadModel::kM1ProportionalToSize;
+  workload.updates_per_tuple = 0.01;
+  const auto total = ComputeWorkloadCost(input, workload, {});
+  ASSERT_TRUE(total.ok());
+  EXPECT_NEAR(total->updates, 3.0, 1e-12);  // 1 + 2 updates.
+}
+
+TEST(WorkloadCost, M3CountsPerSite) {
+  const ViewCostInput input = MakeUniformInput({2, 4}, PaperParams());
+  WorkloadOptions workload;
+  workload.model = WorkloadModel::kM3PerSite;
+  workload.updates_per_site = 10.0;
+  const auto total =
+      ComputeWorkloadCost(input, workload, MakeUniformOptions(PaperParams()));
+  ASSERT_TRUE(total.ok());
+  EXPECT_NEAR(total->updates, 20.0, 1e-12);  // 2 sites x 10.
+}
+
+TEST(WorkloadCost, M2CountsPerRelation) {
+  const ViewCostInput input = MakeUniformInput({2, 4}, PaperParams());
+  WorkloadOptions workload;
+  workload.model = WorkloadModel::kM2PerRelation;
+  workload.updates_per_relation = 2.0;
+  const auto total =
+      ComputeWorkloadCost(input, workload, MakeUniformOptions(PaperParams()));
+  ASSERT_TRUE(total.ok());
+  EXPECT_NEAR(total->updates, 12.0, 1e-12);  // 6 relations x 2.
+}
+
+// Table 6 totals under M3 with 10 updates/site: the six-relation view over
+// m sites faces 10m updates; totals match the paper exactly.
+TEST(WorkloadCost, PaperTable6Totals) {
+  const struct {
+    int sites;
+    double updates, cf_m, cf_t, cf_io;
+  } rows[] = {
+      {1, 10, 30, 8000, 310},      {2, 20, 92, 27200, 620},
+      {3, 30, 186, 57600, 930},    {4, 40, 312, 99200, 1240},
+      {5, 50, 470, 152000, 1550},  {6, 60, 660, 216000, 1860},
+  };
+  const CostModelOptions options = MakeUniformOptions(PaperParams());
+  WorkloadOptions workload;
+  workload.model = WorkloadModel::kM3PerSite;
+  workload.updates_per_site = 10.0;
+  for (const auto& row : rows) {
+    // Average the workload totals over all distributions for this m.
+    double n = 0, m_sum = 0, t_sum = 0, io_sum = 0, u_sum = 0;
+    for (const std::vector<int>& dist : Compositions(6, row.sites)) {
+      const ViewCostInput input = MakeUniformInput(dist, PaperParams());
+      const auto total = ComputeWorkloadCost(input, workload, options);
+      ASSERT_TRUE(total.ok());
+      m_sum += total->factors.messages;
+      t_sum += total->factors.bytes;
+      io_sum += total->factors.ios;
+      u_sum += total->updates;
+      n += 1;
+    }
+    EXPECT_NEAR(u_sum / n, row.updates, 1e-9) << "m=" << row.sites;
+    EXPECT_NEAR(m_sum / n, row.cf_m, 1e-9) << "m=" << row.sites;
+    EXPECT_NEAR(t_sum / n, row.cf_t, 1e-9) << "m=" << row.sites;
+    EXPECT_NEAR(io_sum / n, row.cf_io, 1e-9) << "m=" << row.sites;
+  }
+}
+
+}  // namespace
+}  // namespace eve

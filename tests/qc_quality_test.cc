@@ -1,0 +1,270 @@
+// Tests of the quality model (paper §5): interface divergence (Example 3),
+// extent divergence for subset/superset/equivalent replacements
+// (Experiment 4's DD column), and agreement between the estimated and the
+// measured quality on engineered data.
+
+#include <gtest/gtest.h>
+
+#include "esql/parser.h"
+#include "qc/quality.h"
+#include "storage/generator.h"
+#include "synch/synchronizer.h"
+
+namespace eve {
+namespace {
+
+ViewDefinition Parse(const std::string& text) {
+  auto result = ParseViewDefinition(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+// Example 1/3 of the paper: V selects A (indispensable), B, C (dispensable,
+// replaceable); V1 keeps A, B; V2 keeps only A.  With w1 = 0.7:
+// DD_attr(V1) = 0.5, DD_attr(V2) = 1.
+TEST(InterfaceQuality, PaperExample3) {
+  const ViewDefinition v = Parse(
+      "CREATE VIEW V AS SELECT R.A, R.B (AD=true, AR=true), "
+      "R.C (AD=true, AR=true) FROM R WHERE R.A > 10 (CD=true)");
+  QcParameters params;
+  EXPECT_DOUBLE_EQ(InterfaceQuality(v, params), 2 * 0.7);
+
+  Rewriting v1;
+  v1.definition = Parse(
+      "CREATE VIEW V AS SELECT R.A, R.B (AD=true, AR=true) FROM R "
+      "WHERE R.A > 10 (CD=true)");
+  v1.extent_relation = ExtentRel::kEqual;
+  Rewriting v2;
+  v2.definition = Parse("CREATE VIEW V AS SELECT R.A FROM R WHERE R.A > 10 (CD=true)");
+  v2.extent_relation = ExtentRel::kEqual;
+
+  MetaKnowledgeBase mkb;
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(
+                     RelationId{"IS1", "R"},
+                     Schema({Attribute::Make("A", DataType::kInt64),
+                             Attribute::Make("B", DataType::kInt64),
+                             Attribute::Make("C", DataType::kInt64)}),
+                     100)
+                  .ok());
+
+  const auto q1 = EstimateQuality(v, v1, mkb, params);
+  const auto q2 = EstimateQuality(v, v2, mkb, params);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_DOUBLE_EQ(q1->dd_attr, 0.5);
+  EXPECT_DOUBLE_EQ(q2->dd_attr, 1.0);
+  EXPECT_LT(q1->dd, q2->dd);  // V1 preferred over V2 (paper: V1 >IP V2).
+}
+
+TEST(InterfaceQuality, AllIndispensableGivesZeroDivergence) {
+  const ViewDefinition v = Parse("CREATE VIEW V AS SELECT R.A, R.B FROM R");
+  QcParameters params;
+  EXPECT_DOUBLE_EQ(InterfaceQuality(v, params), 0.0);
+  Rewriting same;
+  same.definition = v;
+  same.extent_relation = ExtentRel::kEqual;
+  MetaKnowledgeBase mkb;
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(
+                     RelationId{"IS1", "R"},
+                     Schema({Attribute::Make("A", DataType::kInt64),
+                             Attribute::Make("B", DataType::kInt64)}),
+                     50)
+                  .ok());
+  const auto q = EstimateQuality(v, same, mkb, params);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->dd_attr, 0.0);
+  EXPECT_DOUBLE_EQ(q->dd, 0.0);
+}
+
+TEST(InterfaceQuality, CategoryWeights) {
+  // One C1 attribute (w1) and one C2 attribute (w2) dispensable; dropping
+  // the C2 attribute costs w2 / (w1 + w2).
+  const ViewDefinition v = Parse(
+      "CREATE VIEW V AS SELECT R.A, R.B (AD=true, AR=true), R.C (AD=true) "
+      "FROM R");
+  Rewriting keep_b;
+  keep_b.definition =
+      Parse("CREATE VIEW V AS SELECT R.A, R.B (AD=true, AR=true) FROM R");
+  keep_b.extent_relation = ExtentRel::kEqual;
+  MetaKnowledgeBase mkb;
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(
+                     RelationId{"IS1", "R"},
+                     Schema({Attribute::Make("A", DataType::kInt64),
+                             Attribute::Make("B", DataType::kInt64),
+                             Attribute::Make("C", DataType::kInt64)}),
+                     100)
+                  .ok());
+  QcParameters params;
+  const auto q = EstimateQuality(v, keep_b, mkb, params);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q->dd_attr, 0.3 / (0.7 + 0.3), 1e-12);
+}
+
+// Experiment 4's DD_ext values via the estimation path: an MKB holding the
+// containment chain S1 c S2 c S3 = R2 c S4 c S5 with cardinalities
+// 2000..6000 yields DD_ext = 0.25, 0.125, 0, 0.10, 0.1667 for the five
+// replacements (rho_d1 = rho_d2 = 0.5).
+class Exp4QualityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const Schema abc({Attribute::Make("A", DataType::kInt64, 34),
+                      Attribute::Make("B", DataType::kInt64, 33),
+                      Attribute::Make("C", DataType::kInt64, 33)});
+    const Schema r1_schema({Attribute::Make("K", DataType::kInt64, 100)});
+    ASSERT_TRUE(mkb_.RegisterRelationWithStats(RelationId{"IS0", "R1"},
+                                               r1_schema, 400, 0.5)
+                    .ok());
+    ASSERT_TRUE(
+        mkb_.RegisterRelationWithStats(RelationId{"IS1", "R2"}, abc, 4000, 0.5)
+            .ok());
+    const int64_t cards[] = {2000, 3000, 4000, 5000, 6000};
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(mkb_.RegisterRelationWithStats(
+                          RelationId{StrId(i), RelName(i)}, abc, cards[i], 0.5)
+                      .ok());
+    }
+    // The containment chain, declared pairwise as in the paper.
+    auto pc = [&](RelationId a, RelationId b, PcRelationType t) {
+      ASSERT_TRUE(
+          mkb_.AddPcConstraint(MakeProjectionPc(a, b, {"A", "B", "C"}, t)).ok());
+    };
+    pc(RelationId{"IS2", "S1"}, RelationId{"IS3", "S2"}, PcRelationType::kSubset);
+    pc(RelationId{"IS3", "S2"}, RelationId{"IS4", "S3"}, PcRelationType::kSubset);
+    pc(RelationId{"IS4", "S3"}, RelationId{"IS1", "R2"},
+       PcRelationType::kEquivalent);
+    pc(RelationId{"IS4", "S3"}, RelationId{"IS5", "S4"}, PcRelationType::kSubset);
+    pc(RelationId{"IS5", "S4"}, RelationId{"IS6", "S5"}, PcRelationType::kSubset);
+    mkb_.stats().set_join_selectivity(0.005);
+
+    view_ = Parse(
+        "CREATE VIEW V AS SELECT R2.A (AR=true), R2.B (AR=true), "
+        "R2.C (AR=true) FROM R1, R2 (RR=true) "
+        "WHERE (R1.K = R2.A) (CR=true) AND (R2.B > 5) (CR=true)");
+  }
+
+  static std::string StrId(int i) {
+    return "IS" + std::to_string(i + 2);
+  }
+  static std::string RelName(int i) { return "S" + std::to_string(i + 1); }
+
+  MetaKnowledgeBase mkb_;
+  ViewDefinition view_;
+};
+
+TEST_F(Exp4QualityTest, FiveReplacementsWithPaperDivergences) {
+  ViewSynchronizer synchronizer(mkb_);
+  const auto sync = synchronizer.Synchronize(
+      view_, SchemaChange(DeleteRelation{RelationId{"IS1", "R2"}}));
+  ASSERT_TRUE(sync.ok()) << sync.status().ToString();
+  ASSERT_TRUE(sync->affected);
+
+  // Expected DD_ext per replacement relation.
+  const std::map<std::string, double> expected = {
+      {"S1", 0.25},         {"S2", 0.125},        {"S3", 0.0},
+      {"S4", 0.5 * 0.2},    {"S5", 0.5 * (1.0 / 3.0)},
+  };
+  QcParameters params;
+  std::map<std::string, double> actual;
+  for (const Rewriting& rw : sync->rewritings) {
+    if (rw.replacements.size() != 1) continue;
+    const auto q = EstimateQuality(view_, rw, mkb_, params);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    actual[rw.replacements[0].replacement.relation] = q->dd_ext;
+    EXPECT_DOUBLE_EQ(q->dd_attr, 0.0);  // All attributes preserved.
+  }
+  ASSERT_EQ(actual.size(), 5u) << "expected replacements by S1..S5";
+  for (const auto& [name, dd_ext] : expected) {
+    ASSERT_TRUE(actual.count(name)) << name;
+    EXPECT_NEAR(actual[name], dd_ext, 1e-9) << name;
+  }
+}
+
+// Estimated vs measured extent divergence on engineered data: generate a
+// containment pair R c S with exact PC constraint, build views over them,
+// and check that the estimator's DD_ext matches the measured one.
+TEST(QualityAgreement, EstimateMatchesMeasureOnContainmentChain) {
+  Random rng(42);
+  GeneratorOptions gen;
+  gen.num_attributes = 2;
+  gen.attribute_bytes = 50;
+  gen.key_domain = 1000000;  // Effectively unique tuples.
+  gen.value_domain = 1000000;
+  const auto chain =
+      GenerateContainmentChain({"R", "S"}, {300, 500}, gen, &rng);
+  ASSERT_TRUE(chain.ok());
+
+  MetaKnowledgeBase mkb;
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS1", "R"},
+                                            chain.value()[0].schema(), 300)
+                  .ok());
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS2", "S"},
+                                            chain.value()[1].schema(), 500)
+                  .ok());
+  ASSERT_TRUE(mkb.AddPcConstraint(MakeProjectionPc(RelationId{"IS1", "R"},
+                                                   RelationId{"IS2", "S"},
+                                                   {"A", "B"},
+                                                   PcRelationType::kSubset))
+                  .ok());
+
+  const ViewDefinition original =
+      Parse("CREATE VIEW V AS SELECT R.A (AR=true), R.B (AR=true) "
+            "FROM R (RR=true)");
+  ViewSynchronizer synchronizer(mkb);
+  const auto sync = synchronizer.Synchronize(
+      original, SchemaChange(DeleteRelation{RelationId{"IS1", "R"}}));
+  ASSERT_TRUE(sync.ok());
+  ASSERT_FALSE(sync->rewritings.empty());
+  const Rewriting* replacement = nullptr;
+  for (const Rewriting& rw : sync->rewritings) {
+    if (!rw.replacements.empty()) replacement = &rw;
+  }
+  ASSERT_NE(replacement, nullptr);
+
+  QcParameters params;
+  const auto estimated = EstimateQuality(original, *replacement, mkb, params);
+  ASSERT_TRUE(estimated.ok());
+
+  // Measured: old extent = R, new extent = S (both projected to (A, B)).
+  Relation old_extent = chain.value()[0];
+  Relation new_extent = chain.value()[1];
+  const auto measured = MeasureQuality(original, *replacement, old_extent,
+                                       new_extent, params);
+  ASSERT_TRUE(measured.ok());
+  EXPECT_NEAR(estimated->dd_ext_d1, measured->dd_ext_d1, 1e-9);
+  EXPECT_NEAR(estimated->dd_ext_d2, measured->dd_ext_d2, 1e-9);
+  EXPECT_NEAR(estimated->dd, measured->dd, 1e-9);
+}
+
+TEST(QualityBounds, DivergenceAlwaysInUnitInterval) {
+  // Parameterized sweep over extent relations and sizes.
+  MetaKnowledgeBase mkb;
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(
+                     RelationId{"IS1", "R"},
+                     Schema({Attribute::Make("A", DataType::kInt64)}), 100)
+                  .ok());
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(
+                     RelationId{"IS2", "S"},
+                     Schema({Attribute::Make("A", DataType::kInt64)}), 700)
+                  .ok());
+  ASSERT_TRUE(mkb.AddPcConstraint(MakeProjectionPc(RelationId{"IS1", "R"},
+                                                   RelationId{"IS2", "S"}, {"A"},
+                                                   PcRelationType::kSubset))
+                  .ok());
+  const ViewDefinition v =
+      Parse("CREATE VIEW V AS SELECT R.A (AD=true, AR=true) FROM R (RR=true)");
+  ViewSynchronizer synchronizer(mkb);
+  const auto sync = synchronizer.Synchronize(
+      v, SchemaChange(DeleteRelation{RelationId{"IS1", "R"}}));
+  ASSERT_TRUE(sync.ok());
+  QcParameters params;
+  for (const Rewriting& rw : sync->rewritings) {
+    const auto q = EstimateQuality(v, rw, mkb, params);
+    ASSERT_TRUE(q.ok());
+    for (double value : {q->dd_attr, q->dd_ext_d1, q->dd_ext_d2, q->dd_ext, q->dd}) {
+      EXPECT_GE(value, 0.0);
+      EXPECT_LE(value, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eve

@@ -1,0 +1,146 @@
+// Information-space tests: source management, schema-change application
+// (with data migration), data updates, site resolution, and the
+// space-plus-MKB evolution contract.
+
+#include <gtest/gtest.h>
+
+#include "space/information_space.h"
+
+namespace eve {
+namespace {
+
+Relation MakeR() {
+  Relation rel("R", Schema({Attribute::Make("A", DataType::kInt64),
+                            Attribute::Make("B", DataType::kInt64)}));
+  for (int i = 0; i < 5; ++i) {
+    rel.InsertUnchecked(Tuple{Value(i), Value(i * 10)});
+  }
+  return rel;
+}
+
+TEST(InformationSpace, AddAndResolve) {
+  InformationSpace space;
+  ASSERT_TRUE(space.AddRelation("IS1", MakeR()).ok());
+  EXPECT_TRUE(space.HasSource("IS1"));
+  EXPECT_EQ(space.SiteOf("R").value(), "IS1");
+  EXPECT_FALSE(space.SiteOf("Q").ok());
+  // Resolve by bare name and by qualified name.
+  EXPECT_TRUE(space.Resolve("", "R").ok());
+  EXPECT_TRUE(space.Resolve("IS1", "R").ok());
+  EXPECT_FALSE(space.Resolve("IS2", "R").ok());
+  // Duplicate bare names across sites are rejected.
+  EXPECT_FALSE(space.AddRelation("IS2", MakeR()).ok());
+}
+
+TEST(InformationSpace, SchemaChangesMigrateData) {
+  InformationSpace space;
+  MetaKnowledgeBase mkb;
+  ASSERT_TRUE(space.AddRelation("IS1", MakeR(), &mkb).ok());
+
+  // delete-attribute projects the stored tuples.
+  ASSERT_TRUE(space
+                  .ApplySchemaChange(
+                      SchemaChange(DeleteAttribute{RelationId{"IS1", "R"}, "B"}),
+                      &mkb)
+                  .ok());
+  const Relation* r = space.Resolve("IS1", "R").value();
+  EXPECT_EQ(r->schema().size(), 1);
+  EXPECT_EQ(r->cardinality(), 5);
+  EXPECT_FALSE(mkb.GetSchema(RelationId{"IS1", "R"})->Contains("B"));
+
+  // add-attribute back-fills NULLs.
+  ASSERT_TRUE(space
+                  .ApplySchemaChange(
+                      SchemaChange(AddAttribute{
+                          RelationId{"IS1", "R"},
+                          Attribute::Make("C", DataType::kInt64)}),
+                      &mkb)
+                  .ok());
+  r = space.Resolve("IS1", "R").value();
+  EXPECT_EQ(r->schema().size(), 2);
+  EXPECT_TRUE(r->tuple(0).at(1).is_null());
+
+  // rename-attribute and rename-relation.
+  ASSERT_TRUE(space
+                  .ApplySchemaChange(SchemaChange(RenameAttribute{
+                                         RelationId{"IS1", "R"}, "C", "C2"}),
+                                     &mkb)
+                  .ok());
+  EXPECT_TRUE(space.Resolve("IS1", "R").value()->schema().Contains("C2"));
+  ASSERT_TRUE(space
+                  .ApplySchemaChange(SchemaChange(RenameRelation{
+                                         RelationId{"IS1", "R"}, "R9"}),
+                                     &mkb)
+                  .ok());
+  EXPECT_TRUE(space.Resolve("IS1", "R9").ok());
+  EXPECT_FALSE(space.Resolve("IS1", "R").ok());
+  EXPECT_TRUE(mkb.HasRelation(RelationId{"IS1", "R9"}));
+
+  // delete-relation.
+  ASSERT_TRUE(space
+                  .ApplySchemaChange(
+                      SchemaChange(DeleteRelation{RelationId{"IS1", "R9"}}),
+                      &mkb)
+                  .ok());
+  EXPECT_FALSE(space.Resolve("IS1", "R9").ok());
+  EXPECT_FALSE(mkb.HasRelation(RelationId{"IS1", "R9"}));
+}
+
+TEST(InformationSpace, AddRelationChange) {
+  InformationSpace space;
+  MetaKnowledgeBase mkb;
+  const Schema schema({Attribute::Make("X", DataType::kInt64)});
+  ASSERT_TRUE(space
+                  .ApplySchemaChange(
+                      SchemaChange(AddRelation{RelationId{"IS1", "New"}, schema}),
+                      &mkb)
+                  .ok());
+  EXPECT_TRUE(space.Resolve("IS1", "New").ok());
+  EXPECT_TRUE(mkb.HasRelation(RelationId{"IS1", "New"}));
+}
+
+TEST(InformationSpace, DataUpdates) {
+  InformationSpace space;
+  ASSERT_TRUE(space.AddRelation("IS1", MakeR()).ok());
+  DataUpdate insert{UpdateKind::kInsert, RelationId{"IS1", "R"},
+                    Tuple{Value(100), Value(1000)}};
+  ASSERT_TRUE(space.ApplyDataUpdate(insert).ok());
+  EXPECT_EQ(space.Resolve("IS1", "R").value()->cardinality(), 6);
+
+  DataUpdate remove{UpdateKind::kDelete, RelationId{"IS1", "R"},
+                    Tuple{Value(100), Value(1000)}};
+  ASSERT_TRUE(space.ApplyDataUpdate(remove).ok());
+  EXPECT_EQ(space.Resolve("IS1", "R").value()->cardinality(), 5);
+  // Deleting a missing tuple fails loudly.
+  EXPECT_FALSE(space.ApplyDataUpdate(remove).ok());
+  // Ill-typed insert rejected.
+  DataUpdate bad{UpdateKind::kInsert, RelationId{"IS1", "R"}, Tuple{Value("x")}};
+  EXPECT_FALSE(space.ApplyDataUpdate(bad).ok());
+}
+
+TEST(InformationSource, ChangeErrorCases) {
+  InformationSource src("IS1");
+  ASSERT_TRUE(src.AddRelation(MakeR()).ok());
+  EXPECT_FALSE(src.DropRelation("Q").ok());
+  EXPECT_FALSE(src.DropAttribute("R", "Z").ok());
+  EXPECT_FALSE(src.RenameAttribute("R", "A", "B").ok());  // Target exists.
+  EXPECT_FALSE(src.RenameRelation("R", "R").ok());
+  // Dropping all attributes is refused.
+  ASSERT_TRUE(src.DropAttribute("R", "B").ok());
+  EXPECT_FALSE(src.DropAttribute("R", "A").ok());
+}
+
+TEST(SchemaChange, Printing) {
+  EXPECT_EQ(SchemaChangeToString(
+                SchemaChange(DeleteAttribute{RelationId{"IS1", "R"}, "A"})),
+            "delete-attribute IS1.R.A");
+  EXPECT_EQ(SchemaChangeToString(
+                SchemaChange(DeleteRelation{RelationId{"IS1", "R"}})),
+            "delete-relation IS1.R");
+  EXPECT_EQ(SchemaChangeToString(SchemaChange(RenameRelation{
+                RelationId{"IS1", "R"}, "S"})),
+            "change-relation-name IS1.R -> S");
+}
+
+}  // namespace
+}  // namespace eve

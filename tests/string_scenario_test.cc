@@ -1,0 +1,138 @@
+// End-to-end scenario over STRING-typed data: the paper's Asia-Customer
+// view with real string names and destinations, exercising typed literals
+// through the parser, executor, synchronizer, maintenance, and the facade.
+
+#include <gtest/gtest.h>
+
+#include "eve/eve_system.h"
+
+namespace eve {
+namespace {
+
+Relation MakeCustomer() {
+  Relation rel("Customer",
+               Schema({Attribute::Make("Name", DataType::kString, 20),
+                       Attribute::Make("Address", DataType::kString, 40)}));
+  for (const auto& [name, addr] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"ana", "12 Oak St"},
+           {"bob", "5 Elm St"},
+           {"carla", "9 Pine Rd"},
+           {"dmitri", "2 Birch Ave"}}) {
+    rel.InsertUnchecked(Tuple{Value(name), Value(addr)});
+  }
+  return rel;
+}
+
+Relation MakeFlightRes() {
+  Relation rel("FlightRes",
+               Schema({Attribute::Make("PName", DataType::kString, 20),
+                       Attribute::Make("Dest", DataType::kString, 10)}));
+  for (const auto& [name, dest] :
+       std::vector<std::pair<const char*, const char*>>{{"ana", "Asia"},
+                                                        {"bob", "Europe"},
+                                                        {"carla", "Asia"},
+                                                        {"eve", "Asia"}}) {
+    rel.InsertUnchecked(Tuple{Value(name), Value(dest)});
+  }
+  return rel;
+}
+
+Relation MakeArchive() {
+  Relation rel("CustomerArchive",
+               Schema({Attribute::Make("Name", DataType::kString, 20),
+                       Attribute::Make("Address", DataType::kString, 40)}));
+  for (const auto& [name, addr] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"ana", "12 Oak St"},
+           {"bob", "5 Elm St"},
+           {"carla", "9 Pine Rd"},
+           {"dmitri", "2 Birch Ave"},
+           {"frank", "77 Cedar Ct"}}) {
+    rel.InsertUnchecked(Tuple{Value(name), Value(addr)});
+  }
+  return rel;
+}
+
+class StringScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(eve_.RegisterRelation("Agency", MakeCustomer(), 1.0).ok());
+    ASSERT_TRUE(eve_.RegisterRelation("Airline", MakeFlightRes(), 0.5).ok());
+    ASSERT_TRUE(eve_.RegisterRelation("Archive", MakeArchive(), 1.0).ok());
+    ASSERT_TRUE(eve_.AddPcConstraint(MakeProjectionPc(
+                        RelationId{"Agency", "Customer"},
+                        RelationId{"Archive", "CustomerArchive"},
+                        {"Name", "Address"}, PcRelationType::kSubset))
+                    .ok());
+    ASSERT_TRUE(eve_.DefineView(
+                        "CREATE VIEW AsiaCustomer AS "
+                        "SELECT C.Name (AR=true), C.Address (AD=true, AR=true) "
+                        "FROM Customer C (RR=true), FlightRes F "
+                        "WHERE (C.Name = F.PName) (CR=true) "
+                        "AND (F.Dest = 'Asia') (CD=true)")
+                    .ok());
+  }
+  EveSystem eve_;
+};
+
+TEST_F(StringScenarioTest, StringLiteralsFilterCorrectly) {
+  const auto extent = eve_.GetViewExtent("AsiaCustomer");
+  ASSERT_TRUE(extent.ok()) << extent.status().ToString();
+  EXPECT_EQ(extent->cardinality(), 2);  // ana, carla.
+  EXPECT_TRUE(
+      extent->ContainsTuple(Tuple{Value("ana"), Value("12 Oak St")}));
+  EXPECT_TRUE(
+      extent->ContainsTuple(Tuple{Value("carla"), Value("9 Pine Rd")}));
+}
+
+TEST_F(StringScenarioTest, ReplacementPreservesStringSemantics) {
+  const auto report = eve_.NotifySchemaChange(
+      SchemaChange(DeleteRelation{RelationId{"Agency", "Customer"}}));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->views.size(), 1u);
+  EXPECT_EQ(report->views[0].resulting_state, ViewState::kAlive);
+
+  const auto extent = eve_.GetViewExtent("AsiaCustomer");
+  ASSERT_TRUE(extent.ok());
+  // The archive adds "frank" but he has no Asia reservation: same extent.
+  EXPECT_EQ(extent->cardinality(), 2);
+  EXPECT_TRUE(extent->ContainsTuple(Tuple{Value("ana"), Value("12 Oak St")}));
+}
+
+TEST_F(StringScenarioTest, StringInsertMaintainsView) {
+  const auto counters = eve_.NotifyDataUpdate(
+      DataUpdate{UpdateKind::kInsert, RelationId{"Airline", "FlightRes"},
+                 Tuple{Value("dmitri"), Value("Asia")}});
+  ASSERT_TRUE(counters.ok()) << counters.status().ToString();
+  EXPECT_EQ(counters->tuples_added, 1);
+  const auto extent = eve_.GetViewExtent("AsiaCustomer");
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->cardinality(), 3);
+  EXPECT_TRUE(
+      extent->ContainsTuple(Tuple{Value("dmitri"), Value("2 Birch Ave")}));
+}
+
+TEST_F(StringScenarioTest, NonAsiaInsertIgnored) {
+  const auto counters = eve_.NotifyDataUpdate(
+      DataUpdate{UpdateKind::kInsert, RelationId{"Airline", "FlightRes"},
+                 Tuple{Value("dmitri"), Value("Europe")}});
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->tuples_added, 0);
+  EXPECT_EQ(eve_.GetViewExtent("AsiaCustomer")->cardinality(), 2);
+}
+
+TEST_F(StringScenarioTest, DeleteReservationRemovesCustomer) {
+  const auto counters = eve_.NotifyDataUpdate(
+      DataUpdate{UpdateKind::kDelete, RelationId{"Airline", "FlightRes"},
+                 Tuple{Value("ana"), Value("Asia")}});
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->tuples_removed, 1);
+  const auto extent = eve_.GetViewExtent("AsiaCustomer");
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->cardinality(), 1);
+  EXPECT_FALSE(extent->ContainsTuple(Tuple{Value("ana"), Value("12 Oak St")}));
+}
+
+}  // namespace
+}  // namespace eve

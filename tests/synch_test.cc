@@ -1,0 +1,457 @@
+// Tests of the view synchronizer against the paper's worked examples:
+//   * Example 1 (delete-attribute with dispensable attributes),
+//   * Example 4 (delete-relation replaced through a PC + JC pair),
+//   * Experiment 1 (the V0 -> {V1, V2, V3} alternatives),
+//   * rename changes, legality checking, and the extent lattice.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "esql/parser.h"
+#include "esql/printer.h"
+#include "misd/mkb.h"
+#include "synch/legality.h"
+#include "synch/synchronizer.h"
+
+namespace eve {
+namespace {
+
+ViewDefinition Parse(const std::string& text) {
+  auto result = ParseViewDefinition(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+Schema IntSchema(const std::vector<std::string>& names) {
+  std::vector<Attribute> attrs;
+  for (const std::string& n : names) {
+    attrs.push_back(Attribute::Make(n, DataType::kInt64, 50));
+  }
+  return Schema(std::move(attrs));
+}
+
+bool HasRewritingNamed(const SynchronizationResult& result,
+                       const std::string& compact) {
+  return std::any_of(result.rewritings.begin(), result.rewritings.end(),
+                     [&](const Rewriting& rw) {
+                       return PrintViewCompact(rw.definition) == compact;
+                     });
+}
+
+// --- Extent lattice ----------------------------------------------------------
+
+TEST(ExtentLattice, Composition) {
+  using E = ExtentRel;
+  EXPECT_EQ(ComposeExtentRel(E::kEqual, E::kSubset), E::kSubset);
+  EXPECT_EQ(ComposeExtentRel(E::kSubset, E::kEqual), E::kSubset);
+  EXPECT_EQ(ComposeExtentRel(E::kSubset, E::kSubset), E::kSubset);
+  EXPECT_EQ(ComposeExtentRel(E::kSuperset, E::kSuperset), E::kSuperset);
+  EXPECT_EQ(ComposeExtentRel(E::kSubset, E::kSuperset), E::kUnknown);
+  EXPECT_EQ(ComposeExtentRel(E::kUnknown, E::kEqual), E::kUnknown);
+}
+
+TEST(ExtentLattice, VeDiscipline) {
+  using E = ExtentRel;
+  EXPECT_TRUE(SatisfiesViewExtent(E::kUnknown, ViewExtent::kApproximate));
+  EXPECT_TRUE(SatisfiesViewExtent(E::kEqual, ViewExtent::kEqual));
+  EXPECT_FALSE(SatisfiesViewExtent(E::kSubset, ViewExtent::kEqual));
+  EXPECT_TRUE(SatisfiesViewExtent(E::kSuperset, ViewExtent::kSuperset));
+  EXPECT_FALSE(SatisfiesViewExtent(E::kSubset, ViewExtent::kSuperset));
+  EXPECT_TRUE(SatisfiesViewExtent(E::kSubset, ViewExtent::kSubset));
+  EXPECT_FALSE(SatisfiesViewExtent(E::kUnknown, ViewExtent::kEqual));
+}
+
+// --- Example 1: delete-attribute, drop strategies -----------------------------
+
+class Example1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(mkb_.RegisterRelationWithStats(RelationId{"IS1", "R"},
+                                               IntSchema({"A", "B", "C"}), 100)
+                    .ok());
+    view_ = Parse(
+        "CREATE VIEW V AS SELECT R.A, R.B (AD=true, AR=true), "
+        "R.C (AD=true, AR=true) FROM R WHERE R.A > 10");
+  }
+  MetaKnowledgeBase mkb_;
+  ViewDefinition view_;
+};
+
+TEST_F(Example1Test, DeleteDispensableAttributeDropsIt) {
+  ViewSynchronizer synchronizer(mkb_);
+  const auto result = synchronizer.Synchronize(
+      view_, SchemaChange(DeleteAttribute{RelationId{"IS1", "R"}, "C"}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->affected);
+  ASSERT_EQ(result->rewritings.size(), 1u);
+  const Rewriting& v1 = result->rewritings[0];
+  EXPECT_EQ(v1.definition.select_items.size(), 2u);
+  EXPECT_EQ(v1.dropped_attributes, std::vector<std::string>{"C"});
+  // Dropping a SELECT item does not change the extent on common attributes.
+  EXPECT_EQ(v1.extent_relation, ExtentRel::kEqual);
+  EXPECT_TRUE(v1.extent_exact);
+}
+
+TEST_F(Example1Test, DropSubsetEnumerationProducesV2) {
+  SynchronizerOptions options;
+  options.enumerate_drop_subsets = true;
+  ViewSynchronizer synchronizer(mkb_, options);
+  const auto result = synchronizer.Synchronize(
+      view_, SchemaChange(DeleteAttribute{RelationId{"IS1", "R"}, "C"}));
+  ASSERT_TRUE(result.ok());
+  // V1 = {A, B}, V2 = {A} (paper Example 1: V2 <IP V1 but still legal).
+  EXPECT_EQ(result->rewritings.size(), 2u);
+  EXPECT_TRUE(
+      HasRewritingNamed(*result, "CREATE VIEW V AS SELECT R.A FROM R "
+                                 "WHERE (R.A > 10)"));
+}
+
+TEST_F(Example1Test, DeleteIndispensableAttributeKillsView) {
+  ViewSynchronizer synchronizer(mkb_);
+  const auto result = synchronizer.Synchronize(
+      view_, SchemaChange(DeleteAttribute{RelationId{"IS1", "R"}, "A"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->affected);
+  EXPECT_TRUE(result->rewritings.empty());  // A is indispensable, no PC help.
+}
+
+TEST_F(Example1Test, UnreferencedAttributeDeletionDoesNotAffectView) {
+  ASSERT_TRUE(mkb_.AddAttribute(RelationId{"IS1", "R"},
+                                Attribute::Make("D", DataType::kInt64))
+                  .ok());
+  ViewSynchronizer synchronizer(mkb_);
+  const auto result = synchronizer.Synchronize(
+      view_, SchemaChange(DeleteAttribute{RelationId{"IS1", "R"}, "D"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->affected);
+}
+
+// --- Example 4: delete-relation, PC-based replacement --------------------------
+
+TEST(Example4Test, ReplaceRelationThroughPcAndAdaptJoin) {
+  // V = SELECT R.A, S.B FROM R, S WHERE R.A = S.A; delete R; PC: R ~ T on A;
+  // expected rewriting: SELECT T.A, S.B FROM T, S WHERE T.A = S.A.
+  MetaKnowledgeBase mkb;
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS1", "R"},
+                                            IntSchema({"A"}), 100)
+                  .ok());
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS2", "S"},
+                                            IntSchema({"A", "B"}), 100)
+                  .ok());
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS3", "T"},
+                                            IntSchema({"A", "B"}), 100)
+                  .ok());
+  ASSERT_TRUE(mkb.AddPcConstraint(MakeProjectionPc(RelationId{"IS1", "R"},
+                                                   RelationId{"IS3", "T"}, {"A"},
+                                                   PcRelationType::kEquivalent))
+                  .ok());
+
+  const ViewDefinition view = Parse(
+      "CREATE VIEW V AS SELECT R.A (AR=true), S.B FROM R (RR=true), S "
+      "WHERE (R.A = S.A) (CR=true)");
+  ViewSynchronizer synchronizer(mkb);
+  const auto result = synchronizer.Synchronize(
+      view, SchemaChange(DeleteRelation{RelationId{"IS1", "R"}}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rewritings.size(), 1u);
+  const Rewriting& rw = result->rewritings[0];
+  EXPECT_EQ(rw.strategy, "replace-relation");
+  EXPECT_EQ(rw.extent_relation, ExtentRel::kEqual);
+  ASSERT_EQ(rw.replacements.size(), 1u);
+  EXPECT_EQ(rw.replacements[0].replacement.relation, "T");
+  // The FROM clause now references T and the join condition is adapted.
+  ASSERT_NE(rw.definition.FindFrom("T"), nullptr);
+  EXPECT_EQ(rw.definition.FindFrom("R"), nullptr);
+  bool join_adapted = false;
+  for (const ConditionItem& c : rw.definition.where) {
+    if (c.clause.ToString() == "T.A = S.A") join_adapted = true;
+  }
+  EXPECT_TRUE(join_adapted) << PrintViewCompact(rw.definition);
+}
+
+// --- Experiment 1: V0 and its three alternatives -------------------------------
+
+class Experiment1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(mkb_.RegisterRelationWithStats(RelationId{"IS1", "R"},
+                                               IntSchema({"A", "B"}), 100)
+                    .ok());
+    ASSERT_TRUE(mkb_.RegisterRelationWithStats(RelationId{"IS2", "S"},
+                                               IntSchema({"A", "C"}), 100)
+                    .ok());
+    ASSERT_TRUE(mkb_.RegisterRelationWithStats(RelationId{"IS3", "T"},
+                                               IntSchema({"A", "D"}), 100)
+                    .ok());
+    // PC_{R,S} = (pi_A(R) <= pi_A(S)) and PC_{R,T} likewise.
+    ASSERT_TRUE(mkb_.AddPcConstraint(MakeProjectionPc(
+                        RelationId{"IS1", "R"}, RelationId{"IS2", "S"}, {"A"},
+                        PcRelationType::kSubset))
+                    .ok());
+    ASSERT_TRUE(mkb_.AddPcConstraint(MakeProjectionPc(
+                        RelationId{"IS1", "R"}, RelationId{"IS3", "T"}, {"A"},
+                        PcRelationType::kSubset))
+                    .ok());
+    view_ = Parse(
+        "CREATE VIEW V0 AS SELECT R.A (AD=true, AR=true), R.B (AD=true) "
+        "FROM R (RR=true)");
+  }
+  MetaKnowledgeBase mkb_;
+  ViewDefinition view_;
+};
+
+TEST_F(Experiment1Test, DeleteAttributeAYieldsThreeAlternatives) {
+  ViewSynchronizer synchronizer(mkb_);
+  const auto result = synchronizer.Synchronize(
+      view_, SchemaChange(DeleteAttribute{RelationId{"IS1", "R"}, "A"}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->affected);
+
+  // V3: drop A, keep R.B.
+  EXPECT_TRUE(HasRewritingNamed(
+      *result, "CREATE VIEW V0 AS SELECT R.B (AD = true) FROM R (RR = true)"));
+  // V1: replace R by S (B dropped since S has no B); V2 likewise with T.
+  bool replaced_s = false;
+  bool replaced_t = false;
+  for (const Rewriting& rw : result->rewritings) {
+    for (const ReplacementRecord& rec : rw.replacements) {
+      replaced_s = replaced_s || rec.replacement.relation == "S";
+      replaced_t = replaced_t || rec.replacement.relation == "T";
+    }
+  }
+  EXPECT_TRUE(replaced_s);
+  EXPECT_TRUE(replaced_t);
+  // Replacement rewritings keep only A (B is not mapped, but dispensable).
+  for (const Rewriting& rw : result->rewritings) {
+    if (rw.replacements.empty()) continue;
+    ASSERT_EQ(rw.definition.select_items.size(), 1u);
+    EXPECT_EQ(rw.definition.select_items[0].name(), "A");
+    // R c S: the replacement extends the extent.
+    EXPECT_EQ(rw.extent_relation, ExtentRel::kSuperset);
+  }
+}
+
+TEST_F(Experiment1Test, NonReplaceableBlocksSubstitution) {
+  // Same setup, but A non-replaceable: only the drop rewriting remains.
+  const ViewDefinition strict = Parse(
+      "CREATE VIEW V0 AS SELECT R.A (AD=true), R.B (AD=true) FROM R (RR=true)");
+  ViewSynchronizer synchronizer(mkb_);
+  const auto result = synchronizer.Synchronize(
+      strict, SchemaChange(DeleteAttribute{RelationId{"IS1", "R"}, "A"}));
+  ASSERT_TRUE(result.ok());
+  for (const Rewriting& rw : result->rewritings) {
+    EXPECT_TRUE(rw.replacements.empty())
+        << "non-replaceable attribute was substituted: " << rw.Summary();
+  }
+}
+
+TEST_F(Experiment1Test, VeEqualRejectsSupersetRewritings) {
+  const ViewDefinition strict = Parse(
+      "CREATE VIEW V0 (VE = equal) AS SELECT R.A (AD=true, AR=true), "
+      "R.B (AD=true) FROM R (RR=true)");
+  ViewSynchronizer synchronizer(mkb_);
+  const auto result = synchronizer.Synchronize(
+      strict, SchemaChange(DeleteAttribute{RelationId{"IS1", "R"}, "A"}));
+  ASSERT_TRUE(result.ok());
+  // R c S replacements produce supersets -> illegal under VE '='; the
+  // drop-A rewriting keeps the extent equal -> legal.
+  ASSERT_EQ(result->rewritings.size(), 1u);
+  EXPECT_TRUE(result->rewritings[0].replacements.empty());
+  EXPECT_EQ(result->rewritings[0].extent_relation, ExtentRel::kEqual);
+}
+
+// --- Renames -------------------------------------------------------------------
+
+TEST(RenameTest, AttributeRenameKeepsInterfaceStable) {
+  MetaKnowledgeBase mkb;
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS1", "R"},
+                                            IntSchema({"A", "B"}), 10)
+                  .ok());
+  const ViewDefinition view =
+      Parse("CREATE VIEW V AS SELECT R.A, R.B FROM R WHERE R.A > 3");
+  ViewSynchronizer synchronizer(mkb);
+  const auto result = synchronizer.Synchronize(
+      view, SchemaChange(RenameAttribute{RelationId{"IS1", "R"}, "A", "X"}));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rewritings.size(), 1u);
+  const ViewDefinition& def = result->rewritings[0].definition;
+  // Source renamed, exposed name preserved.
+  EXPECT_EQ(def.select_items[0].source.attribute, "X");
+  EXPECT_EQ(def.select_items[0].name(), "A");
+  EXPECT_EQ(def.where[0].clause.lhs.attribute, "X");
+  EXPECT_EQ(result->rewritings[0].extent_relation, ExtentRel::kEqual);
+  EXPECT_TRUE(result->rewritings[0].extent_exact);
+}
+
+TEST(RenameTest, RelationRenameRewritesReferences) {
+  MetaKnowledgeBase mkb;
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS1", "R"},
+                                            IntSchema({"A"}), 10)
+                  .ok());
+  const ViewDefinition view = Parse("CREATE VIEW V AS SELECT R.A FROM R");
+  ViewSynchronizer synchronizer(mkb);
+  const auto result = synchronizer.Synchronize(
+      view, SchemaChange(RenameRelation{RelationId{"IS1", "R"}, "R_new"}));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rewritings.size(), 1u);
+  const ViewDefinition& def = result->rewritings[0].definition;
+  EXPECT_EQ(def.from_items[0].relation, "R_new");
+  EXPECT_EQ(def.select_items[0].source.relation, "R_new");
+}
+
+TEST(RenameTest, AliasShieldsRelationRename) {
+  MetaKnowledgeBase mkb;
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS1", "R"},
+                                            IntSchema({"A"}), 10)
+                  .ok());
+  const ViewDefinition view = Parse("CREATE VIEW V AS SELECT C.A FROM R C");
+  ViewSynchronizer synchronizer(mkb);
+  const auto result = synchronizer.Synchronize(
+      view, SchemaChange(RenameRelation{RelationId{"IS1", "R"}, "R_new"}));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rewritings.size(), 1u);
+  const ViewDefinition& def = result->rewritings[0].definition;
+  EXPECT_EQ(def.from_items[0].relation, "R_new");
+  EXPECT_EQ(def.from_items[0].alias, "C");
+  EXPECT_EQ(def.select_items[0].source.relation, "C");  // Unchanged.
+}
+
+// --- Join-in strategy ------------------------------------------------------------
+
+TEST(JoinInTest, RecoverAttributeThroughJoinConstraint) {
+  // V selects R.A, R.B; R.B deleted; PC maps R.B ~ U.B and JC(R, U) on key.
+  MetaKnowledgeBase mkb;
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS1", "R"},
+                                            IntSchema({"K", "A", "B"}), 100)
+                  .ok());
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS2", "U"},
+                                            IntSchema({"K", "B"}), 100)
+                  .ok());
+  PcConstraint pc = MakeProjectionPc(RelationId{"IS1", "R"},
+                                     RelationId{"IS2", "U"}, {"K", "B"},
+                                     PcRelationType::kSubset);
+  ASSERT_TRUE(mkb.AddPcConstraint(pc).ok());
+  JoinConstraint jc;
+  jc.left = RelationId{"IS1", "R"};
+  jc.right = RelationId{"IS2", "U"};
+  jc.condition.Add(PrimitiveClause::AttrAttr(RelAttr{"R", "K"}, CompOp::kEqual,
+                                             RelAttr{"U", "K"}));
+  ASSERT_TRUE(mkb.AddJoinConstraint(jc).ok());
+
+  const ViewDefinition view =
+      Parse("CREATE VIEW V AS SELECT R.A, R.B (AR=true) FROM R");
+  ViewSynchronizer synchronizer(mkb);
+  const auto result = synchronizer.Synchronize(
+      view, SchemaChange(DeleteAttribute{RelationId{"IS1", "R"}, "B"}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->rewritings.empty());
+  bool joined_in = false;
+  for (const Rewriting& rw : result->rewritings) {
+    if (rw.replacements.size() == 1 && rw.replacements[0].joined_in) {
+      joined_in = true;
+      // U joined via the JC; B now sourced from U but exposed as B.
+      EXPECT_NE(rw.definition.FindFrom("U"), nullptr);
+      const SelectItem* b = rw.definition.FindSelect("B");
+      ASSERT_NE(b, nullptr);
+      EXPECT_EQ(b->source, (RelAttr{"U", "B"}));
+      bool jc_present = false;
+      for (const ConditionItem& c : rw.definition.where) {
+        if (c.clause.ToString() == "R.K = U.K") jc_present = true;
+      }
+      EXPECT_TRUE(jc_present);
+    }
+  }
+  EXPECT_TRUE(joined_in);
+}
+
+// --- CVS pair substitution --------------------------------------------------------
+
+TEST(CvsPairTest, ReplaceRelationByJoinOfTwo) {
+  // R(A, B) deleted; R.A recoverable from S1(A, K), R.B from S2(B, K),
+  // JC(S1, S2) on K.  The pair substitution covers both attributes.
+  MetaKnowledgeBase mkb;
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS1", "R"},
+                                            IntSchema({"A", "B"}), 100)
+                  .ok());
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS2", "S1"},
+                                            IntSchema({"A", "K"}), 100)
+                  .ok());
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS3", "S2"},
+                                            IntSchema({"B", "K"}), 100)
+                  .ok());
+  PcConstraint pc1;
+  pc1.left = PcSide{RelationId{"IS1", "R"}, {"A"}, {}, 1.0};
+  pc1.right = PcSide{RelationId{"IS2", "S1"}, {"A"}, {}, 1.0};
+  pc1.type = PcRelationType::kEquivalent;
+  ASSERT_TRUE(mkb.AddPcConstraint(pc1).ok());
+  PcConstraint pc2;
+  pc2.left = PcSide{RelationId{"IS1", "R"}, {"B"}, {}, 1.0};
+  pc2.right = PcSide{RelationId{"IS3", "S2"}, {"B"}, {}, 1.0};
+  pc2.type = PcRelationType::kEquivalent;
+  ASSERT_TRUE(mkb.AddPcConstraint(pc2).ok());
+  JoinConstraint jc;
+  jc.left = RelationId{"IS2", "S1"};
+  jc.right = RelationId{"IS3", "S2"};
+  jc.condition.Add(PrimitiveClause::AttrAttr(RelAttr{"S1", "K"}, CompOp::kEqual,
+                                             RelAttr{"S2", "K"}));
+  ASSERT_TRUE(mkb.AddJoinConstraint(jc).ok());
+
+  const ViewDefinition view = Parse(
+      "CREATE VIEW V AS SELECT R.A (AR=true), R.B (AR=true) FROM R (RR=true)");
+  ViewSynchronizer synchronizer(mkb);
+  const auto result = synchronizer.Synchronize(
+      view, SchemaChange(DeleteRelation{RelationId{"IS1", "R"}}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  bool found_pair = false;
+  for (const Rewriting& rw : result->rewritings) {
+    if (rw.replacements.size() == 2) {
+      found_pair = true;
+      EXPECT_NE(rw.definition.FindFrom("S1"), nullptr);
+      EXPECT_NE(rw.definition.FindFrom("S2"), nullptr);
+      EXPECT_EQ(rw.definition.select_items.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+// --- Legality oracle -----------------------------------------------------------
+
+TEST(LegalityTest, RejectsDroppedIndispensableAttribute) {
+  const ViewDefinition original =
+      Parse("CREATE VIEW V AS SELECT R.A, R.B (AD=true) FROM R");
+  Rewriting bad;
+  bad.definition = Parse("CREATE VIEW V AS SELECT R.B (AD = true) FROM R");
+  bad.extent_relation = ExtentRel::kEqual;
+  EXPECT_FALSE(CheckLegality(original, bad).ok());
+
+  Rewriting good;
+  good.definition = Parse("CREATE VIEW V AS SELECT R.A FROM R");
+  good.extent_relation = ExtentRel::kEqual;
+  EXPECT_TRUE(CheckLegality(original, good).ok());
+}
+
+TEST(LegalityTest, RejectsVeViolation) {
+  const ViewDefinition original =
+      Parse("CREATE VIEW V (VE = subset) AS SELECT R.A FROM R "
+            "WHERE R.A > 1 (CD=true)");
+  Rewriting superset;
+  superset.definition = Parse("CREATE VIEW V (VE = subset) AS SELECT R.A FROM R");
+  superset.extent_relation = ExtentRel::kSuperset;
+  EXPECT_FALSE(CheckLegality(original, superset).ok());
+  superset.extent_relation = ExtentRel::kSubset;
+  EXPECT_TRUE(CheckLegality(original, superset).ok());
+}
+
+TEST(LegalityTest, RejectsUnrecordedSubstitution) {
+  const ViewDefinition original =
+      Parse("CREATE VIEW V AS SELECT R.A (AR=true) FROM R (RR=true)");
+  Rewriting sneaky;
+  sneaky.definition = Parse("CREATE VIEW V AS SELECT X.A AS A FROM X");
+  sneaky.extent_relation = ExtentRel::kEqual;
+  // No replacement record: the substitution is unexplained -> illegal.
+  EXPECT_FALSE(CheckLegality(original, sneaky).ok());
+}
+
+}  // namespace
+}  // namespace eve

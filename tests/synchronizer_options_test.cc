@@ -1,0 +1,237 @@
+// Synchronizer option and edge-case tests: strategy toggles, the rewriting
+// cap, PC-hop limits, target-fragment pinning, multi-FROM-item folding, and
+// behavior on incomparable (bridged) constraints.
+
+#include <gtest/gtest.h>
+
+#include "esql/parser.h"
+#include "esql/printer.h"
+#include "misd/mkb.h"
+#include "synch/synchronizer.h"
+
+namespace eve {
+namespace {
+
+ViewDefinition Parse(const std::string& text) {
+  auto result = ParseViewDefinition(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+Schema IntSchema(const std::vector<std::string>& names) {
+  std::vector<Attribute> attrs;
+  for (const std::string& n : names) {
+    attrs.push_back(Attribute::Make(n, DataType::kInt64, 50));
+  }
+  return Schema(std::move(attrs));
+}
+
+class OptionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(mkb_.RegisterRelationWithStats(RelationId{"IS1", "R"},
+                                               IntSchema({"A", "B"}), 100)
+                    .ok());
+    ASSERT_TRUE(mkb_.RegisterRelationWithStats(RelationId{"IS2", "S"},
+                                               IntSchema({"A", "B"}), 200)
+                    .ok());
+    ASSERT_TRUE(mkb_.AddPcConstraint(MakeProjectionPc(RelationId{"IS1", "R"},
+                                                      RelationId{"IS2", "S"},
+                                                      {"A", "B"},
+                                                      PcRelationType::kSubset))
+                    .ok());
+    view_ = Parse(
+        "CREATE VIEW V AS SELECT R.A (AD=true, AR=true), "
+        "R.B (AD=true, AR=true) FROM R (RR=true)");
+    change_ = SchemaChange(DeleteRelation{RelationId{"IS1", "R"}});
+  }
+  MetaKnowledgeBase mkb_;
+  ViewDefinition view_;
+  SchemaChange change_{DeleteRelation{RelationId{"IS1", "R"}}};
+};
+
+TEST_F(OptionsTest, DisablingRelationReplacementKillsView) {
+  SynchronizerOptions options;
+  options.enable_relation_replacement = false;
+  options.enable_cvs_pairs = false;
+  ViewSynchronizer synchronizer(mkb_, options);
+  const auto result = synchronizer.Synchronize(view_, change_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->affected);
+  // Only the single FROM item exists: nothing left to drop into.
+  EXPECT_TRUE(result->rewritings.empty());
+}
+
+TEST_F(OptionsTest, MaxRewritingsCapsOutput) {
+  // Add several alternative replacement targets.
+  for (int i = 0; i < 6; ++i) {
+    const RelationId id{"ISx" + std::to_string(i), "T" + std::to_string(i)};
+    ASSERT_TRUE(
+        mkb_.RegisterRelationWithStats(id, IntSchema({"A", "B"}), 300).ok());
+    ASSERT_TRUE(mkb_.AddPcConstraint(
+                        MakeProjectionPc(RelationId{"IS1", "R"}, id, {"A", "B"},
+                                         PcRelationType::kEquivalent))
+                    .ok());
+  }
+  SynchronizerOptions options;
+  options.max_rewritings = 3;
+  ViewSynchronizer synchronizer(mkb_, options);
+  const auto result = synchronizer.Synchronize(view_, change_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rewritings.size(), 3u);
+
+  options.max_rewritings = 256;
+  ViewSynchronizer full(mkb_, options);
+  const auto all = full.Synchronize(view_, change_);
+  ASSERT_TRUE(all.ok());
+  EXPECT_GE(all->rewritings.size(), 7u);  // 6 equivalents + the subset one.
+}
+
+TEST_F(OptionsTest, PcHopLimitGatesTransitiveReplacements) {
+  // Chain S -> U so that U is reachable from R only in two hops.
+  ASSERT_TRUE(mkb_.RegisterRelationWithStats(RelationId{"IS3", "U"},
+                                             IntSchema({"A", "B"}), 400)
+                  .ok());
+  ASSERT_TRUE(mkb_.AddPcConstraint(MakeProjectionPc(RelationId{"IS2", "S"},
+                                                    RelationId{"IS3", "U"},
+                                                    {"A", "B"},
+                                                    PcRelationType::kSubset))
+                  .ok());
+  auto count_targets = [&](int hops) {
+    SynchronizerOptions options;
+    options.max_pc_hops = hops;
+    ViewSynchronizer synchronizer(mkb_, options);
+    const auto result = synchronizer.Synchronize(view_, change_);
+    EXPECT_TRUE(result.ok());
+    std::set<std::string> targets;
+    for (const Rewriting& rw : result->rewritings) {
+      for (const ReplacementRecord& rec : rw.replacements) {
+        targets.insert(rec.replacement.relation);
+      }
+    }
+    return targets;
+  };
+  EXPECT_EQ(count_targets(1), (std::set<std::string>{"S"}));
+  EXPECT_EQ(count_targets(2), (std::set<std::string>{"S", "U"}));
+}
+
+TEST(TargetSelectionTest, FragmentConditionPinnedWhenEnabled) {
+  // PC: R equivalent sigma_{A<50}(S): the replacement should carry the
+  // fragment condition when apply_target_selection is on.
+  MetaKnowledgeBase mkb;
+  const Schema schema({Attribute::Make("A", DataType::kInt64, 50)});
+  ASSERT_TRUE(
+      mkb.RegisterRelationWithStats(RelationId{"IS1", "R"}, schema, 100).ok());
+  ASSERT_TRUE(
+      mkb.RegisterRelationWithStats(RelationId{"IS2", "S"}, schema, 300).ok());
+  PcConstraint pc;
+  pc.left = PcSide{RelationId{"IS1", "R"}, {"A"}, {}, 1.0};
+  Conjunction sel;
+  sel.Add(PrimitiveClause::AttrConst(RelAttr{"S", "A"}, CompOp::kLess, Value(50)));
+  pc.right = PcSide{RelationId{"IS2", "S"}, {"A"}, sel, 0.33};
+  pc.type = PcRelationType::kEquivalent;
+  ASSERT_TRUE(mkb.AddPcConstraint(pc).ok());
+
+  const ViewDefinition view =
+      Parse("CREATE VIEW V AS SELECT R.A (AR=true) FROM R (RR=true)");
+  const SchemaChange change(DeleteRelation{RelationId{"IS1", "R"}});
+
+  SynchronizerOptions with;
+  with.apply_target_selection = true;
+  ViewSynchronizer pinned(mkb, with);
+  const auto pinned_result = pinned.Synchronize(view, change);
+  ASSERT_TRUE(pinned_result.ok());
+  ASSERT_EQ(pinned_result->rewritings.size(), 1u);
+  const Rewriting& rw = pinned_result->rewritings[0];
+  ASSERT_EQ(rw.definition.where.size(), 1u);
+  EXPECT_EQ(rw.definition.where[0].clause.ToString(), "S.A < 50");
+  // Pinning makes the fragment relationship exact: R equivalent sigma(S).
+  EXPECT_EQ(rw.extent_relation, ExtentRel::kEqual);
+  EXPECT_TRUE(rw.extent_exact);
+
+  SynchronizerOptions without;
+  without.apply_target_selection = false;
+  ViewSynchronizer loose(mkb, without);
+  const auto loose_result = loose.Synchronize(view, change);
+  ASSERT_TRUE(loose_result.ok());
+  ASSERT_EQ(loose_result->rewritings.size(), 1u);
+  EXPECT_TRUE(loose_result->rewritings[0].definition.where.empty());
+  // Using all of S widens the extent: R = sigma(S) subseteq S.
+  EXPECT_EQ(loose_result->rewritings[0].extent_relation, ExtentRel::kSuperset);
+}
+
+TEST(MultiItemTest, DeleteRelationReferencedTwiceFoldsBothItems) {
+  // The same base relation appears twice under aliases; deleting it must
+  // resolve BOTH FROM items (via replacement on each).
+  MetaKnowledgeBase mkb;
+  const Schema schema({Attribute::Make("A", DataType::kInt64, 50),
+                       Attribute::Make("B", DataType::kInt64, 50)});
+  ASSERT_TRUE(
+      mkb.RegisterRelationWithStats(RelationId{"IS1", "R"}, schema, 100).ok());
+  ASSERT_TRUE(
+      mkb.RegisterRelationWithStats(RelationId{"IS2", "S"}, schema, 100).ok());
+  ASSERT_TRUE(mkb.AddPcConstraint(MakeProjectionPc(RelationId{"IS1", "R"},
+                                                   RelationId{"IS2", "S"},
+                                                   {"A", "B"},
+                                                   PcRelationType::kEquivalent))
+                  .ok());
+  const ViewDefinition view = Parse(
+      "CREATE VIEW V AS SELECT x.A (AR=true), y.B (AR=true) "
+      "FROM R x (RR=true), R y (RR=true) WHERE (x.A = y.A) (CR=true)");
+  ViewSynchronizer synchronizer(mkb);
+  const auto result = synchronizer.Synchronize(
+      view, SchemaChange(DeleteRelation{RelationId{"IS1", "R"}}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->rewritings.empty());
+  for (const Rewriting& rw : result->rewritings) {
+    // No FROM item may still reference the deleted relation.
+    for (const FromItem& f : rw.definition.from_items) {
+      EXPECT_NE(f.relation, "R") << rw.Summary();
+    }
+    EXPECT_EQ(rw.replacements.size(), 2u) << rw.Summary();
+  }
+}
+
+TEST(IncomparableTest, BridgedReplacementLegalOnlyUnderApproximateVe) {
+  // S and T are related only through a deleted common fragment: the bridge
+  // is incomparable, so a VE='~' view survives S's deletion via T but a
+  // VE='subset' view does not.
+  MetaKnowledgeBase mkb;
+  const Schema schema({Attribute::Make("A", DataType::kInt64, 50)});
+  ASSERT_TRUE(
+      mkb.RegisterRelationWithStats(RelationId{"IS1", "R"}, schema, 100).ok());
+  ASSERT_TRUE(
+      mkb.RegisterRelationWithStats(RelationId{"IS2", "S"}, schema, 150).ok());
+  ASSERT_TRUE(
+      mkb.RegisterRelationWithStats(RelationId{"IS3", "T"}, schema, 200).ok());
+  ASSERT_TRUE(mkb.AddPcConstraint(MakeProjectionPc(RelationId{"IS1", "R"},
+                                                   RelationId{"IS2", "S"}, {"A"},
+                                                   PcRelationType::kSubset))
+                  .ok());
+  ASSERT_TRUE(mkb.AddPcConstraint(MakeProjectionPc(RelationId{"IS1", "R"},
+                                                   RelationId{"IS3", "T"}, {"A"},
+                                                   PcRelationType::kSubset))
+                  .ok());
+  // R disappears; bridging installs S ~incomparable~ T.
+  ASSERT_TRUE(mkb.UnregisterRelation(RelationId{"IS1", "R"}).ok());
+
+  const SchemaChange change(DeleteRelation{RelationId{"IS2", "S"}});
+  for (const auto& [ve, expect_rewriting] :
+       std::vector<std::pair<const char*, bool>>{{"~", true},
+                                                 {"subset", false}}) {
+    const ViewDefinition view = Parse(
+        std::string("CREATE VIEW V (VE = ") + ve +
+        ") AS SELECT S.A (AR=true) FROM S (RR=true)");
+    ViewSynchronizer synchronizer(mkb);
+    const auto result = synchronizer.Synchronize(view, change);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(!result->rewritings.empty(), expect_rewriting) << "VE=" << ve;
+    if (expect_rewriting) {
+      EXPECT_EQ(result->rewritings[0].extent_relation, ExtentRel::kUnknown);
+      EXPECT_FALSE(result->rewritings[0].extent_exact);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eve

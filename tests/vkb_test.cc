@@ -1,0 +1,89 @@
+// View Knowledge Base tests: registration, affected-view lookup, extent
+// management, definition replacement with history, and death.
+
+#include <gtest/gtest.h>
+
+#include "esql/parser.h"
+#include "vkb/view_knowledge_base.h"
+
+namespace eve {
+namespace {
+
+ViewDefinition Parse(const std::string& text) {
+  auto result = ParseViewDefinition(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+TEST(Vkb, DefineDuplicateAndDrop) {
+  ViewKnowledgeBase vkb;
+  ASSERT_TRUE(vkb.Define(Parse("CREATE VIEW V AS SELECT R.A FROM R")).ok());
+  EXPECT_TRUE(vkb.Has("V"));
+  EXPECT_FALSE(vkb.Define(Parse("CREATE VIEW V AS SELECT R.A FROM R")).ok());
+  EXPECT_TRUE(vkb.Drop("V").ok());
+  EXPECT_FALSE(vkb.Drop("V").ok());
+  // Invalid definitions are rejected at registration.
+  ViewDefinition bad;
+  bad.name = "W";
+  EXPECT_FALSE(vkb.Define(bad).ok());
+}
+
+TEST(Vkb, ViewsReferencingResolvesSites) {
+  ViewKnowledgeBase vkb;
+  ASSERT_TRUE(vkb.Define(Parse("CREATE VIEW V1 AS SELECT R.A FROM R")).ok());
+  ASSERT_TRUE(
+      vkb.Define(Parse("CREATE VIEW V2 AS SELECT R.A FROM IS2.R")).ok());
+  ASSERT_TRUE(vkb.Define(Parse("CREATE VIEW V3 AS SELECT S.B FROM S")).ok());
+
+  const std::map<std::string, std::string> site_of{{"R", "IS1"}, {"S", "IS3"}};
+  // V1 references bare R resolved to IS1; V2 pins IS2 explicitly.
+  EXPECT_EQ(vkb.ViewsReferencing(RelationId{"IS1", "R"}, site_of),
+            (std::vector<std::string>{"V1"}));
+  EXPECT_EQ(vkb.ViewsReferencing(RelationId{"IS2", "R"}, site_of),
+            (std::vector<std::string>{"V2"}));
+  EXPECT_EQ(vkb.ViewsReferencing(RelationId{"IS3", "S"}, site_of),
+            (std::vector<std::string>{"V3"}));
+  EXPECT_TRUE(vkb.ViewsReferencing(RelationId{"IS9", "Q"}, site_of).empty());
+}
+
+TEST(Vkb, ReplaceDefinitionRecordsHistoryAndResetsExtent) {
+  ViewKnowledgeBase vkb;
+  ASSERT_TRUE(vkb.Define(Parse("CREATE VIEW V AS SELECT R.A FROM R")).ok());
+  Relation extent("V", Schema({Attribute::Make("A", DataType::kInt64)}));
+  extent.InsertUnchecked(Tuple{Value(1)});
+  ASSERT_TRUE(vkb.SetExtent("V", std::move(extent)).ok());
+  EXPECT_TRUE(vkb.Get("V").value()->materialized);
+
+  ASSERT_TRUE(vkb.ReplaceDefinition("V",
+                                    Parse("CREATE VIEW V AS SELECT S.A FROM S"),
+                                    "delete-relation IS1.R")
+                  .ok());
+  const ViewEntry* entry = vkb.Get("V").value();
+  EXPECT_FALSE(entry->materialized);  // Needs rematerialization.
+  ASSERT_EQ(entry->history.size(), 1u);
+  EXPECT_EQ(entry->history[0].trigger, "delete-relation IS1.R");
+  EXPECT_NE(entry->history[0].old_version, entry->history[0].new_version);
+  EXPECT_EQ(entry->definition.from_items[0].relation, "S");
+}
+
+TEST(Vkb, MarkDeadIsTerminalInLookups) {
+  ViewKnowledgeBase vkb;
+  ASSERT_TRUE(vkb.Define(Parse("CREATE VIEW V AS SELECT R.A FROM R")).ok());
+  ASSERT_TRUE(vkb.MarkDead("V", "delete-relation IS1.R").ok());
+  EXPECT_EQ(vkb.Get("V").value()->state, ViewState::kDead);
+  // Dead views are skipped by affected-view search.
+  EXPECT_TRUE(vkb.ViewsReferencing(RelationId{"IS1", "R"}, {{"R", "IS1"}})
+                  .empty());
+  ASSERT_EQ(vkb.Get("V").value()->history.size(), 1u);
+  EXPECT_TRUE(vkb.Get("V").value()->history[0].new_version.empty());
+}
+
+TEST(Vkb, ViewNamesSorted) {
+  ViewKnowledgeBase vkb;
+  ASSERT_TRUE(vkb.Define(Parse("CREATE VIEW Beta AS SELECT R.A FROM R")).ok());
+  ASSERT_TRUE(vkb.Define(Parse("CREATE VIEW Alpha AS SELECT R.A FROM R")).ok());
+  EXPECT_EQ(vkb.ViewNames(), (std::vector<std::string>{"Alpha", "Beta"}));
+}
+
+}  // namespace
+}  // namespace eve
