@@ -1,12 +1,26 @@
 // Google-benchmark micro suite: throughput of the library's core paths.
 //   * E-SQL parsing (lexer + parser + validation)
-//   * view execution (hash joins over the in-memory engine)
+//   * view execution (hash joins over the in-memory engine), optimized
+//     row-id engine vs the seed's reference executor
+//   * transitive PC-edge closure, memoized vs uncached
 //   * rewriting generation (synchronizer, transitive PC discovery)
 //   * QC ranking (quality estimation + cost model + normalization)
 //   * incremental maintenance of one update (Algorithm 1 simulator)
+//
+// Results are additionally written to BENCH_micro.json (ns/op per
+// benchmark; see bench/README.md) so the perf trajectory is tracked
+// across PRs.  Set EVE_BENCH_JSON_PATH to change the output location.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "bench_util/bench_json.h"
 #include "common/random.h"
 #include "esql/parser.h"
 #include "algebra/executor.h"
@@ -66,6 +80,75 @@ void BM_ExecuteJoinView(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecuteJoinView)->Arg(256)->Arg(1024)->Arg(4096);
 
+void BM_ExecuteJoinView_Baseline(benchmark::State& state) {
+  ExecFixture fixture(state.range(0));
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = ExecuteViewReference(fixture.view, fixture.space);
+    tuples += result.ok() ? result->cardinality() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(tuples);
+}
+BENCHMARK(BM_ExecuteJoinView_Baseline)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Multi-join view: a 4-way chain with a local selection, the shape where
+// join reordering, selection pushdown, and row-id joins dominate.  The
+// FROM order is deliberately worst-case: the largest relation first.
+struct MultiJoinFixture {
+  InformationSpace space;
+  ViewDefinition view;
+
+  explicit MultiJoinFixture(int64_t cardinality) {
+    Random rng(29);
+    GeneratorOptions gen;
+    gen.num_attributes = 2;
+    gen.value_domain = 1000;
+    const struct {
+      const char* site;
+      const char* name;
+      int64_t card;
+    } rels[] = {{"IS1", "R", cardinality * 4},
+                {"IS2", "S", cardinality},
+                {"IS3", "T", cardinality / 2},
+                {"IS4", "U", cardinality / 4}};
+    for (const auto& r : rels) {
+      gen.cardinality = r.card;
+      gen.key_domain = std::max<int64_t>(4, r.card / 2);
+      (void)space.AddRelation(r.site, GenerateRelation(r.name, gen, &rng));
+    }
+    view = ParseViewDefinition(
+               "CREATE VIEW V AS SELECT R.A, S.B AS SB, T.B AS TB, U.B AS UB "
+               "FROM R, S, T, U WHERE (R.A = S.A) AND (S.A = T.A) AND "
+               "(T.A = U.A) AND (R.B >= 500)")
+               .value();
+  }
+};
+
+void BM_ExecuteMultiJoinView(benchmark::State& state) {
+  MultiJoinFixture fixture(state.range(0));
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = ExecuteView(fixture.view, fixture.space);
+    tuples += result.ok() ? result->cardinality() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(tuples);
+}
+BENCHMARK(BM_ExecuteMultiJoinView)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ExecuteMultiJoinView_Baseline(benchmark::State& state) {
+  MultiJoinFixture fixture(state.range(0));
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = ExecuteViewReference(fixture.view, fixture.space);
+    tuples += result.ok() ? result->cardinality() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(tuples);
+}
+BENCHMARK(BM_ExecuteMultiJoinView_Baseline)->Arg(256)->Arg(1024)->Arg(4096);
+
 struct SynchFixture {
   MetaKnowledgeBase mkb;
   ViewDefinition view;
@@ -109,6 +192,29 @@ void BM_SynchronizeView(benchmark::State& state) {
 }
 BENCHMARK(BM_SynchronizeView);
 
+// Transitive PC-edge closure on the SynchFixture constraint chain: the
+// memoized path (one map lookup after warm-up) vs the seed's uncached BFS
+// that rescans the constraint store per node.
+void BM_TransitiveClosure(benchmark::State& state) {
+  SynchFixture fixture;
+  const RelationId source{"IS1", "R2"};
+  for (auto _ : state) {
+    const auto& edges = fixture.mkb.PcEdgesFromTransitive(source, 4);
+    benchmark::DoNotOptimize(&edges);
+  }
+}
+BENCHMARK(BM_TransitiveClosure);
+
+void BM_TransitiveClosure_Uncached(benchmark::State& state) {
+  SynchFixture fixture;
+  const RelationId source{"IS1", "R2"};
+  for (auto _ : state) {
+    auto edges = fixture.mkb.PcEdgesFromTransitiveUncached(source, 4);
+    benchmark::DoNotOptimize(edges);
+  }
+}
+BENCHMARK(BM_TransitiveClosure_Uncached);
+
 void BM_QcRanking(benchmark::State& state) {
   SynchFixture fixture;
   ViewSynchronizer synchronizer(fixture.mkb);
@@ -141,7 +247,63 @@ void BM_IncrementalMaintenance(benchmark::State& state) {
 }
 BENCHMARK(BM_IncrementalMaintenance)->Arg(256)->Arg(1024);
 
+// google-benchmark replaced Run::error_occurred with Run::skipped in 1.8;
+// detect whichever member this library version has so the reporter builds
+// against both.
+template <typename R, typename = void>
+struct HasSkippedMember : std::false_type {};
+template <typename R>
+struct HasSkippedMember<R,
+                        std::void_t<decltype(std::declval<const R&>().skipped)>>
+    : std::true_type {};
+
+template <typename R>
+bool RunFailedOrSkipped(const R& run) {
+  if constexpr (HasSkippedMember<R>::value) {
+    return static_cast<bool>(run.skipped);
+  } else {
+    return run.error_occurred;
+  }
+}
+
+// Console reporting plus capture of every per-iteration run for the
+// BENCH_micro.json side output.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || RunFailedOrSkipped(run)) continue;
+      BenchRecord record;
+      record.name = run.benchmark_name();
+      record.ns_per_op = run.GetAdjustedRealTime();
+      record.iterations = run.iterations;
+      records_.push_back(std::move(record));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
 }  // namespace
 }  // namespace eve
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  eve::JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const char* path = std::getenv("EVE_BENCH_JSON_PATH");
+  const eve::Status written = eve::WriteBenchJson(
+      path != nullptr ? path : "BENCH_micro.json", reporter.records());
+  if (!written.ok()) {
+    fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

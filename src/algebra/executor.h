@@ -1,11 +1,15 @@
 // Executor: evaluates an E-SQL view definition over an information space,
 // producing the view extent.
 //
-// Plan shape: scan each FROM relation, apply its local selection, then join
-// left-to-right (hash join on equality clauses, nested-loop otherwise),
-// finally project onto the SELECT list.  Data volumes in this library are
-// experiment-scale, so the planner is deliberately simple; the hash-join
-// fast path keeps multi-thousand-tuple joins cheap.
+// Plan shape: resolve each FROM relation, push its local selection down to a
+// prefiltered row-id set, pick a greedy cost-ordered join order (driven by
+// filtered cardinalities and equi-join selectivity estimates), then join
+// over row-id vectors against the base relations (hash join on equality
+// clauses through per-Relation cached indexes, nested-loop otherwise), and
+// materialize tuples only for the final projection.  Data volumes in this
+// library are experiment-scale, but exp1-exp5 replay thousands of
+// synchronize+execute rounds, so the hot path avoids per-step tuple
+// materialization entirely.
 
 #ifndef EVE_ALGEBRA_EXECUTOR_H_
 #define EVE_ALGEBRA_EXECUTOR_H_
@@ -23,13 +27,27 @@ struct ExecOptions {
   /// Deduplicate the result (set semantics).  The paper's extent
   /// comparisons assume duplicates are removed (§5.3).
   bool distinct = true;
+  /// Greedy cost-ordered join selection (smallest estimated intermediate
+  /// first).  Off: join in FROM order, as the reference executor does.
+  bool reorder_joins = true;
+  /// Reuse per-Relation cached hash indexes for equi joins instead of
+  /// rebuilding an index on every call.
+  bool use_index_cache = true;
 };
 
 /// Evaluates `view` against `provider`; the result relation's schema is the
-/// view interface (output names, source attribute types).
+/// view interface (output names, source attribute types).  Result tuple
+/// *sets* are independent of the options; only row order may differ.
 Result<Relation> ExecuteView(const ViewDefinition& view,
                              const RelationProvider& provider,
                              const ExecOptions& options = {});
+
+/// The pre-optimization reference executor: fixed FROM-order left-deep
+/// joins materializing every intermediate tuple.  Kept as the equivalence
+/// oracle for tests and as the benchmark baseline.
+Result<Relation> ExecuteViewReference(const ViewDefinition& view,
+                                      const RelationProvider& provider,
+                                      const ExecOptions& options = {});
 
 /// Builds the Binding that maps "fromName.attr" references to columns of
 /// the concatenated tuple layout of `view`'s FROM items, in FROM order.

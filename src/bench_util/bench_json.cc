@@ -1,0 +1,71 @@
+#include "bench_util/bench_json.h"
+
+#include <fstream>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+namespace {
+
+// Minimal JSON string escaping (names are benchmark identifiers, but be
+// safe about quotes/backslashes/control characters).
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string BenchRecordsToJson(const std::vector<BenchRecord>& records) {
+  std::string out = "{\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out += StrFormat(
+        "    {\"name\": \"%s\", \"ns_per_op\": %.3f, \"iterations\": %lld}%s\n",
+        EscapeJson(r.name).c_str(), r.ns_per_op,
+        static_cast<long long>(r.iterations),
+        i + 1 < records.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<BenchRecord>& records) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  file << BenchRecordsToJson(records);
+  file.close();
+  if (!file) {
+    return Status::Internal("failed writing " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace eve

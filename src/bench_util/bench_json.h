@@ -1,0 +1,34 @@
+// Machine-readable benchmark output: a flat JSON file mapping benchmark
+// names to ns/op (plus iteration counts), written next to the working
+// directory as BENCH_micro.json so the perf trajectory is tracked across
+// PRs.  Format documented in bench/README.md.
+
+#ifndef EVE_BENCH_UTIL_BENCH_JSON_H_
+#define EVE_BENCH_UTIL_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eve {
+
+/// One benchmark result.
+struct BenchRecord {
+  std::string name;       ///< e.g. "BM_ExecuteJoinView/4096".
+  double ns_per_op = 0;   ///< Adjusted real time per iteration, nanoseconds.
+  int64_t iterations = 0;
+};
+
+/// Serializes `records` as the BENCH_micro.json document (see
+/// bench/README.md for the schema).
+std::string BenchRecordsToJson(const std::vector<BenchRecord>& records);
+
+/// Writes the JSON document to `path` (overwriting).
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<BenchRecord>& records);
+
+}  // namespace eve
+
+#endif  // EVE_BENCH_UTIL_BENCH_JSON_H_

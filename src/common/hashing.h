@@ -1,0 +1,30 @@
+// Hash-combining helpers for structural hashing of AST and constraint
+// values.  Used by the executor's dedup paths and the synchronizer's
+// rewriting dedup, replacing string-rendering keys on hot paths.
+
+#ifndef EVE_COMMON_HASHING_H_
+#define EVE_COMMON_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace eve {
+
+/// Mixes `value` into `seed` (boost-style golden-ratio mix).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+inline size_t HashOf(const std::string& s) {
+  return std::hash<std::string>{}(s);
+}
+
+inline size_t HashOf(int64_t v) { return std::hash<int64_t>{}(v); }
+
+inline size_t HashOf(bool v) { return v ? 0x9e3779b9u : 0x85ebca6bu; }
+
+}  // namespace eve
+
+#endif  // EVE_COMMON_HASHING_H_

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/hashing.h"
 #include "common/str_util.h"
 
 namespace eve {
@@ -151,6 +152,82 @@ Status ViewDefinition::Validate() const {
     }
   }
   return Status::OK();
+}
+
+namespace {
+
+size_t HashClause(const PrimitiveClause& c) {
+  size_t h = HashOf(c.lhs.relation);
+  h = HashCombine(h, HashOf(c.lhs.attribute));
+  h = HashCombine(h, static_cast<size_t>(c.op));
+  if (c.rhs_is_attr()) {
+    h = HashCombine(h, HashOf(c.rhs_attr().relation));
+    h = HashCombine(h, HashOf(c.rhs_attr().attribute));
+  } else {
+    h = HashCombine(h, c.rhs_value().Hash());
+  }
+  return h;
+}
+
+}  // namespace
+
+size_t StructuralHash(const ViewDefinition& view) {
+  size_t h = HashOf(view.name);
+  h = HashCombine(h, static_cast<size_t>(view.ve));
+  for (const SelectItem& s : view.select_items) {
+    h = HashCombine(h, HashOf(s.source.relation));
+    h = HashCombine(h, HashOf(s.source.attribute));
+    h = HashCombine(h, HashOf(s.name()));  // Normalized output name.
+    h = HashCombine(h, HashOf(s.dispensable));
+    h = HashCombine(h, HashOf(s.replaceable));
+  }
+  for (const FromItem& f : view.from_items) {
+    h = HashCombine(h, HashOf(f.site));
+    h = HashCombine(h, HashOf(f.relation));
+    h = HashCombine(h, HashOf(f.name()));  // Normalized alias.
+    h = HashCombine(h, HashOf(f.dispensable));
+    h = HashCombine(h, HashOf(f.replaceable));
+  }
+  for (const ConditionItem& c : view.where) {
+    h = HashCombine(h, HashClause(c.clause));
+    h = HashCombine(h, HashOf(c.dispensable));
+    h = HashCombine(h, HashOf(c.replaceable));
+  }
+  return h;
+}
+
+bool StructurallyEqual(const ViewDefinition& a, const ViewDefinition& b) {
+  if (a.name != b.name || a.ve != b.ve ||
+      a.select_items.size() != b.select_items.size() ||
+      a.from_items.size() != b.from_items.size() ||
+      a.where.size() != b.where.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.select_items.size(); ++i) {
+    const SelectItem& x = a.select_items[i];
+    const SelectItem& y = b.select_items[i];
+    if (!(x.source == y.source) || x.name() != y.name() ||
+        x.dispensable != y.dispensable || x.replaceable != y.replaceable) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.from_items.size(); ++i) {
+    const FromItem& x = a.from_items[i];
+    const FromItem& y = b.from_items[i];
+    if (x.site != y.site || x.relation != y.relation || x.name() != y.name() ||
+        x.dispensable != y.dispensable || x.replaceable != y.replaceable) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.where.size(); ++i) {
+    const ConditionItem& x = a.where[i];
+    const ConditionItem& y = b.where[i];
+    if (!(x.clause == y.clause) || x.dispensable != y.dispensable ||
+        x.replaceable != y.replaceable) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace eve

@@ -113,6 +113,17 @@ struct ViewDefinition {
   bool operator==(const ViewDefinition& o) const = default;
 };
 
+/// Structural hash of a view definition under the same normalization as the
+/// canonical printed form: a default output name (empty or equal to the
+/// source attribute) and a default alias (empty or equal to the relation)
+/// compare equal to their explicit spellings.  Consistent with
+/// StructurallyEqual; used to deduplicate rewriting candidates without
+/// rendering them to strings.
+size_t StructuralHash(const ViewDefinition& view);
+
+/// Structural equality under the StructuralHash normalization.
+bool StructurallyEqual(const ViewDefinition& a, const ViewDefinition& b);
+
 }  // namespace eve
 
 #endif  // EVE_ESQL_AST_H_

@@ -1,5 +1,7 @@
 #include "expr/selectivity.h"
 
+#include <unordered_set>
+
 namespace eve {
 
 Result<double> MeasureSelectivity(const Relation& rel,
@@ -19,6 +21,18 @@ Result<double> MeasureSelectivity(const Relation& rel,
     if (EvalAll(bound, t)) ++hits;
   }
   return static_cast<double>(hits) / static_cast<double>(rel.cardinality());
+}
+
+double EstimateEqJoinSelectivity(const Relation& rel, int column,
+                                 const std::vector<int64_t>* rows) {
+  std::unordered_set<Value, ValueHash> distinct;
+  if (rows == nullptr) {
+    for (const Tuple& t : rel.tuples()) distinct.insert(t.at(column));
+  } else {
+    for (int64_t row : *rows) distinct.insert(rel.tuple(row).at(column));
+  }
+  if (distinct.empty()) return 1.0;
+  return 1.0 / static_cast<double>(distinct.size());
 }
 
 }  // namespace eve

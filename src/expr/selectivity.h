@@ -21,6 +21,14 @@ Result<double> MeasureSelectivity(const Relation& rel,
                                   const std::string& rel_name,
                                   const Conjunction& conjunction);
 
+/// Textbook equi-join selectivity estimate for an equality predicate on
+/// `column` of `rel`: 1 / V(column) with V the number of distinct values in
+/// the column among `rows` (all rows when `rows` is null).  Returns 1.0 for
+/// an empty input.  The executor's greedy join orderer uses this to estimate
+/// intermediate result sizes.
+double EstimateEqJoinSelectivity(const Relation& rel, int column,
+                                 const std::vector<int64_t>* rows = nullptr);
+
 }  // namespace eve
 
 #endif  // EVE_EXPR_SELECTIVITY_H_

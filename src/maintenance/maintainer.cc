@@ -184,7 +184,9 @@ Result<MaintenanceCounters> ViewMaintainer::ProcessUpdate(
           options_.block.ScanIos(rel.cardinality(), rel.TupleBytes());
       std::vector<Tuple> next;
       if (probe_col >= 0) {
-        HashIndex index(rel, build_col);
+        // Cached on the relation: updates to *other* relations leave this
+        // index valid, so steady-state maintenance never rebuilds it.
+        const HashIndex& index = rel.Index(build_col);
         int64_t probe_ios = 0;
         const int64_t bfr = options_.block.BlockingFactor(rel.TupleBytes());
         for (const Tuple& t : working) {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <optional>
 #include <set>
+#include <unordered_set>
 
+#include "common/hashing.h"
 #include "common/str_util.h"
 
 namespace eve {
@@ -18,6 +20,7 @@ Status MetaKnowledgeBase::RegisterRelation(const RelationId& id,
     return Status::InvalidArgument("relation " + id.ToString() +
                                    " must have at least one attribute");
   }
+  InvalidateDerivedCaches();
   schemas_.emplace(id, schema);
   return Status::OK();
 }
@@ -75,6 +78,7 @@ Result<int> MetaKnowledgeBase::UnregisterRelation(const RelationId& id) {
   if (schemas_.count(id) == 0) {
     return Status::NotFound("relation " + id.ToString() + " not in MKB");
   }
+  InvalidateDerivedCaches();
   BridgeConstraintsThrough(id, /*attr=*/nullptr);
   schemas_.erase(id);
   int dropped = 0;
@@ -110,6 +114,7 @@ Result<int> MetaKnowledgeBase::RemoveAttribute(const RelationId& id,
         "removing the last attribute of " + id.ToString() +
         "; use UnregisterRelation instead");
   }
+  InvalidateDerivedCaches();
   BridgeConstraintsThrough(id, &attr);
   it->second = Schema(std::move(attrs));
 
@@ -139,6 +144,7 @@ Status MetaKnowledgeBase::AddAttribute(const RelationId& id,
   }
   std::vector<Attribute> attrs = it->second.attributes();
   attrs.push_back(attribute);
+  InvalidateDerivedCaches();
   it->second = Schema(std::move(attrs));
   return Status::OK();
 }
@@ -154,6 +160,7 @@ Status MetaKnowledgeBase::RenameRelation(const RelationId& from,
     return Status::AlreadyExists("relation " + to.ToString() +
                                  " already registered in MKB");
   }
+  InvalidateDerivedCaches();
   Schema schema = it->second;
   schemas_.erase(it);
   schemas_.emplace(to, std::move(schema));
@@ -194,6 +201,7 @@ Status MetaKnowledgeBase::RenameAttribute(const RelationId& id,
     return Status::AlreadyExists("attribute " + to + " already in relation " +
                                  id.ToString());
   }
+  InvalidateDerivedCaches();
   std::vector<Attribute> attrs = it->second.attributes();
   attrs[*idx].name = to;
   it->second = Schema(std::move(attrs));
@@ -320,6 +328,7 @@ Status MetaKnowledgeBase::AddJoinConstraint(JoinConstraint jc) {
     return Status::InvalidArgument(
         "join constraint must have at least one clause");
   }
+  InvalidateDerivedCaches();
   join_constraints_.push_back(std::move(jc));
   return Status::OK();
 }
@@ -340,6 +349,7 @@ Status MetaKnowledgeBase::AddPcConstraint(PcConstraint pc) {
       }
     }
   }
+  InvalidateDerivedCaches();
   pc_constraints_.push_back(std::move(pc));
   return Status::OK();
 }
@@ -384,32 +394,68 @@ std::vector<PcEdge> MetaKnowledgeBase::PcEdgesFrom(
   return out;
 }
 
-std::vector<PcEdge> MetaKnowledgeBase::PcEdgesFromTransitive(
-    const RelationId& source, int max_hops) const {
-  std::vector<PcEdge> result;
-  // Dedup key: target + type + attribute map; shortest derivation wins
-  // because the search is breadth-first.
-  std::set<std::string> seen;
-  auto key_of = [](const PcEdge& e) {
-    std::string key = e.target.ToString() + "|" +
-                      std::string(PcRelationTypeToString(e.type));
-    for (const auto& [from, to] : e.attribute_map) {
-      key += "|" + from + ">" + to;
+namespace {
+
+// Structural dedup key of a derived edge: target + type + attribute map.
+// Replaces the seed's string-rendered keys; equality stays exact (hash
+// collisions fall back to the structural comparison of the unordered_set).
+struct EdgeSignature {
+  RelationId target;
+  PcRelationType type;
+  std::map<std::string, std::string> attribute_map;
+
+  bool operator==(const EdgeSignature& o) const = default;
+};
+
+struct EdgeSignatureHash {
+  size_t operator()(const EdgeSignature& k) const {
+    size_t h = HashOf(k.target.site);
+    h = HashCombine(h, HashOf(k.target.relation));
+    h = HashCombine(h, static_cast<size_t>(k.type));
+    for (const auto& [from, to] : k.attribute_map) {
+      h = HashCombine(h, HashOf(from));
+      h = HashCombine(h, HashOf(to));
     }
-    return key;
-  };
+    return h;
+  }
+};
+
+}  // namespace
+
+const std::vector<PcEdge>& MetaKnowledgeBase::AdjacencyFor(
+    const RelationId& source) const {
+  auto it = adjacency_cache_.find(source);
+  if (it == adjacency_cache_.end()) {
+    it = adjacency_cache_.emplace(source, PcEdgesFrom(source)).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+// Breadth-first closure over `adjacency` (a callable RelationId -> edge
+// list); shortest derivation wins the structural dedup because the search
+// is breadth-first.
+template <typename AdjacencyFn>
+std::vector<PcEdge> ComputeClosure(const RelationId& source, int max_hops,
+                                   AdjacencyFn&& adjacency) {
+  std::vector<PcEdge> result;
+  std::unordered_set<EdgeSignature, EdgeSignatureHash> seen;
 
   // Frontier of derived edges source -> X, expanded breadth-first.
-  std::vector<PcEdge> frontier = PcEdgesFrom(source);
+  std::vector<PcEdge> frontier = adjacency(source);
   for (int hop = 1; hop <= max_hops && !frontier.empty(); ++hop) {
     std::vector<PcEdge> next;
     for (const PcEdge& edge : frontier) {
-      if (seen.insert(key_of(edge)).second) result.push_back(edge);
+      if (seen.insert(EdgeSignature{edge.target, edge.type, edge.attribute_map})
+              .second) {
+        result.push_back(edge);
+      }
       if (hop == max_hops) continue;
       // The intermediate fragment must be unselected for a sound join of
       // the two constraints.
       if (!edge.target_selection.IsTrue()) continue;
-      for (const PcEdge& ext : PcEdgesFrom(edge.target)) {
+      for (const PcEdge& ext : adjacency(edge.target)) {
         if (ext.target == source || ext.target == edge.target) continue;
         if (!ext.source_selection.IsTrue()) continue;
         const auto type = ComposePcType(edge.type, ext.type);
@@ -437,6 +483,30 @@ std::vector<PcEdge> MetaKnowledgeBase::PcEdgesFromTransitive(
     frontier = std::move(next);
   }
   return result;
+}
+
+}  // namespace
+
+const std::vector<PcEdge>& MetaKnowledgeBase::PcEdgesFromTransitive(
+    const RelationId& source, int max_hops) const {
+  const auto cache_key = std::make_pair(source, max_hops);
+  if (const auto hit = closure_cache_.find(cache_key);
+      hit != closure_cache_.end()) {
+    return hit->second;
+  }
+  std::vector<PcEdge> result = ComputeClosure(
+      source, max_hops,
+      [this](const RelationId& id) -> const std::vector<PcEdge>& {
+        return AdjacencyFor(id);
+      });
+  return closure_cache_.emplace(cache_key, std::move(result)).first->second;
+}
+
+std::vector<PcEdge> MetaKnowledgeBase::PcEdgesFromTransitiveUncached(
+    const RelationId& source, int max_hops) const {
+  return ComputeClosure(source, max_hops, [this](const RelationId& id) {
+    return PcEdgesFrom(id);
+  });
 }
 
 std::vector<TypeConstraint> MetaKnowledgeBase::TypeConstraints() const {

@@ -13,6 +13,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/names.h"
@@ -114,8 +115,22 @@ class MetaKnowledgeBase {
   /// stay subset, superset chains stay superset; mixing is not derivable).
   /// Direct (1-hop) edges are included.  Results are deduplicated, keeping
   /// the shortest derivation per (target, type, attribute map).
-  std::vector<PcEdge> PcEdgesFromTransitive(const RelationId& source,
-                                            int max_hops = 4) const;
+  ///
+  /// The closure is memoized per (source, max_hops); any schema or
+  /// constraint mutation invalidates the memo.  The returned reference is
+  /// valid until the next non-const MKB call.  The synchronizer queries the
+  /// same closure up to three times per FROM item per partial
+  /// (replace-relation, join-in, cvs-pair), so this memo is the dominant
+  /// saving of the rewriting-enumeration hot path.
+  const std::vector<PcEdge>& PcEdgesFromTransitive(const RelationId& source,
+                                                   int max_hops = 4) const;
+
+  /// The same closure computed without any memoization, rebuilding the
+  /// adjacency lists by scanning the constraint store per node (the seed's
+  /// behavior).  Kept as the benchmark baseline and the equivalence oracle
+  /// for the memoized path.
+  std::vector<PcEdge> PcEdgesFromTransitiveUncached(const RelationId& source,
+                                                    int max_hops = 4) const;
 
   /// Type constraints implied by the registered schemas.
   std::vector<TypeConstraint> TypeConstraints() const;
@@ -144,10 +159,25 @@ class MetaKnowledgeBase {
   void BridgeConstraintsThrough(const RelationId& through,
                                 const std::string* attr);
 
+  // Memoized normalized adjacency (PcEdgesFrom) for the closure search.
+  const std::vector<PcEdge>& AdjacencyFor(const RelationId& source) const;
+
+  // Drops every memoized adjacency/closure entry; called by all mutators.
+  void InvalidateDerivedCaches() {
+    adjacency_cache_.clear();
+    closure_cache_.clear();
+  }
+
   std::map<RelationId, Schema> schemas_;
   std::vector<JoinConstraint> join_constraints_;
   std::vector<PcConstraint> pc_constraints_;
   StatisticsStore stats_;
+
+  // Lazily built derived state (std::map nodes are stable, so returned
+  // references survive unrelated insertions).  Not thread-safe.
+  mutable std::map<RelationId, std::vector<PcEdge>> adjacency_cache_;
+  mutable std::map<std::pair<RelationId, int>, std::vector<PcEdge>>
+      closure_cache_;
 };
 
 }  // namespace eve

@@ -30,10 +30,6 @@ class HashIndex {
   int column() const { return column_; }
 
  private:
-  struct ValueHash {
-    size_t operator()(const Value& v) const { return v.Hash(); }
-  };
-
   int column_;
   std::unordered_map<Value, std::vector<int64_t>, ValueHash> map_;
   std::vector<int64_t> empty_;

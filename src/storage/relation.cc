@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/str_util.h"
+#include "storage/hash_index.h"
 
 namespace eve {
 
@@ -37,6 +38,7 @@ Status Relation::Insert(Tuple t) {
           std::string(DataTypeName(schema_.attribute(i).type)).c_str()));
     }
   }
+  InvalidateIndexes();
   tuples_.push_back(std::move(t));
   return Status::OK();
 }
@@ -52,7 +54,18 @@ int64_t Relation::Erase(const Tuple& t, bool all_occurrences) {
       ++it;
     }
   }
+  if (removed > 0) InvalidateIndexes();
   return removed;
+}
+
+const HashIndex& Relation::Index(int column) const {
+  auto it = index_cache_.find(column);
+  if (it == index_cache_.end()) {
+    it = index_cache_
+             .emplace(column, std::make_shared<const HashIndex>(*this, column))
+             .first;
+  }
+  return *it->second;
 }
 
 bool Relation::ContainsTuple(const Tuple& t) const {

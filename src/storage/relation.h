@@ -8,6 +8,7 @@
 #ifndef EVE_STORAGE_RELATION_H_
 #define EVE_STORAGE_RELATION_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "storage/tuple.h"
 
 namespace eve {
+
+class HashIndex;
 
 /// An in-memory relation instance.
 class Relation {
@@ -40,13 +43,25 @@ class Relation {
 
   /// Appends without checks; for internal operators that construct
   /// schema-conforming tuples by construction.
-  void InsertUnchecked(Tuple t) { tuples_.push_back(std::move(t)); }
+  void InsertUnchecked(Tuple t) {
+    InvalidateIndexes();
+    tuples_.push_back(std::move(t));
+  }
 
   /// Removes (one occurrence of) each tuple equal to `t`; returns the number
   /// of removed tuples (0 or 1 with `all_occurrences` false).
   int64_t Erase(const Tuple& t, bool all_occurrences = false);
 
-  void Clear() { tuples_.clear(); }
+  void Clear() {
+    InvalidateIndexes();
+    tuples_.clear();
+  }
+
+  /// Cached equality index on `column`, built on first use and dropped by
+  /// any mutation (Insert / InsertUnchecked / Erase / Clear).  Copies of the
+  /// relation share the already-built (immutable) indexes.  Not thread-safe:
+  /// concurrent first-use builds on the same instance would race.
+  const HashIndex& Index(int column) const;
 
   /// True iff some tuple equals `t`.
   bool ContainsTuple(const Tuple& t) const;
@@ -67,9 +82,16 @@ class Relation {
   std::string ToString(int64_t max_rows = 20) const;
 
  private:
+  void InvalidateIndexes() {
+    if (!index_cache_.empty()) index_cache_.clear();
+  }
+
   std::string name_;
   Schema schema_;
   std::vector<Tuple> tuples_;
+  /// Lazily built per-column equality indexes (see Index()).  Indexes store
+  /// row ids only, so copied relations can keep sharing them.
+  mutable std::unordered_map<int, std::shared_ptr<const HashIndex>> index_cache_;
 };
 
 /// Set operations under set semantics (inputs deduplicated first).  Schemas

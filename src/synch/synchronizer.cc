@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <optional>
 #include <set>
+#include <unordered_map>
 
 #include "common/str_util.h"
-#include "esql/printer.h"
 #include "synch/legality.h"
 
 namespace eve {
@@ -271,19 +271,23 @@ class ViewSynchronizer::Impl {
                  std::make_move_iterator(ps.end()));
     };
 
+    // Collected once per (partial, FROM item); every strategy below reads
+    // the same reference set instead of re-scanning the definition.
+    const References refs = CollectReferences(base.def, from_name);
+
     if (attr.has_value()) {
       append(DropStrategyForAttribute(base, from_name, *attr));
       if (options_.enable_join_in) {
         extend(JoinInStrategies(base, from_name, *attr));
       }
     } else {
-      append(DropStrategyForRelation(base, from_name));
+      append(DropStrategyForRelation(base, from_name, refs));
     }
     if (options_.enable_relation_replacement) {
       extend(ReplaceRelationStrategies(base, from_name));
     }
     if (options_.enable_cvs_pairs) {
-      extend(CvsPairStrategies(base, from_name));
+      extend(CvsPairStrategies(base, from_name, refs));
     }
     return out;
   }
@@ -326,11 +330,11 @@ class ViewSynchronizer::Impl {
 
   // delete-relation: drop the FROM item with everything it feeds.
   std::optional<Partial> DropStrategyForRelation(
-      const Partial& base, const std::string& from_name) const {
+      const Partial& base, const std::string& from_name,
+      const References& refs) const {
     const FromItem* item = base.def.FindFrom(from_name);
     if (item == nullptr || !item->dispensable) return std::nullopt;
     Partial p = base;
-    const References refs = CollectReferences(p.def, from_name);
     for (int i : refs.select_indexes) {
       if (!p.def.select_items[i].dispensable) return std::nullopt;
     }
@@ -655,13 +659,15 @@ class ViewSynchronizer::Impl {
   // --- Complex (CVS-style) pair substitution -------------------------------
 
   std::vector<Partial> CvsPairStrategies(const Partial& base,
-                                         const std::string& from_name) const {
+                                         const std::string& from_name,
+                                         const References& refs) const {
     std::vector<Partial> out;
     const FromItem* item = base.def.FindFrom(from_name);
     if (item == nullptr || !item->replaceable) return out;
     const auto id = ResolveFromId(*item);
     if (!id.ok()) return out;
-    const std::vector<PcEdge> edges = mkb_.PcEdgesFromTransitive(id.value(), options_.max_pc_hops);
+    const std::vector<PcEdge>& edges =
+        mkb_.PcEdgesFromTransitive(id.value(), options_.max_pc_hops);
     for (size_t i = 0; i < edges.size(); ++i) {
       for (size_t j = 0; j < edges.size(); ++j) {
         if (i == j) continue;
@@ -674,7 +680,7 @@ class ViewSynchronizer::Impl {
         }
         const auto jcs = mkb_.FindJoinConstraints(e1.target, e2.target);
         for (const JoinConstraint* jc : jcs) {
-          auto p = TryCvsPair(base, from_name, e1, e2, *jc);
+          auto p = TryCvsPair(base, from_name, refs, e1, e2, *jc);
           if (p.has_value()) out.push_back(std::move(*p));
         }
       }
@@ -684,7 +690,8 @@ class ViewSynchronizer::Impl {
 
   std::optional<Partial> TryCvsPair(const Partial& base,
                                     const std::string& from_name,
-                                    const PcEdge& e1, const PcEdge& e2,
+                                    const References& refs, const PcEdge& e1,
+                                    const PcEdge& e2,
                                     const JoinConstraint& jc) const {
     Partial p = base;
     const std::string name1 = FreshFromName(p.def, e1.target.relation);
@@ -700,7 +707,6 @@ class ViewSynchronizer::Impl {
     std::map<std::string, RelAttr> merged;
     std::map<std::string, std::string> used1;
     std::map<std::string, std::string> used2;
-    const References refs = CollectReferences(p.def, from_name);
     for (const std::string& a : refs.attributes) {
       if (const auto it = e1.attribute_map.find(a); it != e1.attribute_map.end()) {
         merged[a] = RelAttr{name1, it->second};
@@ -852,13 +858,22 @@ class ViewSynchronizer::Impl {
   }
 
   Result<SynchronizationResult> Finish(SynchronizationResult result) const {
-    // Keep only legal rewritings, dedupe by rendered definition, cap.
+    // Keep only legal rewritings, dedupe structurally, cap.  Candidates are
+    // bucketed by StructuralHash and compared with StructurallyEqual inside
+    // a bucket, so dedup needs no string rendering and survives hash
+    // collisions.
     std::vector<Rewriting> kept;
-    std::set<std::string> seen;
+    std::unordered_map<size_t, std::vector<size_t>> buckets;
     for (Rewriting& rw : result.rewritings) {
       if (!CheckLegality(original_, rw).ok()) continue;
-      std::string key = PrintViewCompact(rw.definition);
-      if (!seen.insert(std::move(key)).second) continue;
+      const size_t hash = StructuralHash(rw.definition);
+      std::vector<size_t>& bucket = buckets[hash];
+      const bool duplicate =
+          std::any_of(bucket.begin(), bucket.end(), [&](size_t i) {
+            return StructurallyEqual(kept[i].definition, rw.definition);
+          });
+      if (duplicate) continue;
+      bucket.push_back(kept.size());
       kept.push_back(std::move(rw));
       if (static_cast<int>(kept.size()) >= options_.max_rewritings) break;
     }

@@ -59,6 +59,11 @@ class Value {
   std::variant<std::monostate, int64_t, double, std::string> rep_;
 };
 
+/// Hash functor for Value containers (consistent with operator==).
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
 }  // namespace eve
 
 #endif  // EVE_TYPES_VALUE_H_

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bench_util/bench_json.h"
 #include "bench_util/distributions.h"
 #include "bench_util/experiment_common.h"
 #include "bench_util/table_printer.h"
@@ -78,6 +79,24 @@ TEST(UniformInput, PlacesRelationsSiteMajor) {
   EXPECT_EQ(input.relations[5].id.site, "IS2");
   EXPECT_EQ(input.SiteCount(), 2);
   EXPECT_DOUBLE_EQ(input.join_selectivity, 0.005);
+}
+
+TEST(BenchJson, RendersRecordsAndEscapes) {
+  std::vector<BenchRecord> records;
+  records.push_back(BenchRecord{"BM_Foo/256", 1234.5, 100});
+  records.push_back(BenchRecord{"BM_\"quoted\"", 2.0, 7});
+  const std::string json = BenchRecordsToJson(records);
+  EXPECT_NE(json.find("\"name\": \"BM_Foo/256\""), std::string::npos);
+  EXPECT_NE(json.find("\"ns_per_op\": 1234.500"), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\": 100"), std::string::npos);
+  EXPECT_NE(json.find("BM_\\\"quoted\\\""), std::string::npos);
+  // The two records are separated by exactly one comma line.
+  EXPECT_NE(json.find("},"), std::string::npos);
+}
+
+TEST(BenchJson, EmptyRecordListIsValid) {
+  const std::string json = BenchRecordsToJson({});
+  EXPECT_EQ(json, "{\n  \"benchmarks\": [\n  ]\n}\n");
 }
 
 TEST(UniformInput, FirstSiteAveraging) {

@@ -453,5 +453,172 @@ TEST(LegalityTest, RejectsUnrecordedSubstitution) {
   EXPECT_FALSE(CheckLegality(original, sneaky).ok());
 }
 
+// --- Equivalence: memoized PC closure & structural dedup -----------------------
+//
+// The MKB memoizes PcEdgesFromTransitive and the synchronizer deduplicates
+// structurally instead of by rendered string.  Re-running a synchronization
+// (warm memo), running it on a freshly built identical MKB (cold memo), and
+// mutating the MKB in between must all produce the expected rewriting sets,
+// across every schema-change kind and a multi-join view.
+
+// Canonical fingerprint of a rewriting set, order-insensitive.
+std::vector<std::string> RewritingFingerprints(
+    const SynchronizationResult& result) {
+  std::vector<std::string> out;
+  for (const Rewriting& rw : result.rewritings) {
+    out.push_back(rw.strategy + " | " + PrintViewCompact(rw.definition) +
+                  " | " + std::string(ExtentRelToString(rw.extent_relation)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class ClosureEquivalenceTest : public ::testing::Test {
+ protected:
+  // A multi-join view over R1, R2 with a PC chain R2 -> S1 -> S2 -> S3 and
+  // join constraints, so replace-relation, join-in, and cvs-pair all fire.
+  static void Build(MetaKnowledgeBase* mkb) {
+    ASSERT_TRUE(mkb->RegisterRelationWithStats(RelationId{"IS0", "R1"},
+                                               IntSchema({"K"}), 400)
+                    .ok());
+    ASSERT_TRUE(mkb->RegisterRelationWithStats(RelationId{"IS1", "R2"},
+                                               IntSchema({"A", "B", "C"}), 4000)
+                    .ok());
+    for (int i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(mkb->RegisterRelationWithStats(
+                          RelationId{"IS" + std::to_string(i + 1),
+                                     "S" + std::to_string(i)},
+                          IntSchema({"A", "B", "C"}), 1000 * i)
+                      .ok());
+    }
+    auto pc = [&](RelationId a, RelationId b, PcRelationType t) {
+      ASSERT_TRUE(
+          mkb->AddPcConstraint(MakeProjectionPc(a, b, {"A", "B", "C"}, t)).ok());
+    };
+    pc({"IS1", "R2"}, {"IS2", "S1"}, PcRelationType::kEquivalent);
+    pc({"IS2", "S1"}, {"IS3", "S2"}, PcRelationType::kSubset);
+    pc({"IS3", "S2"}, {"IS4", "S3"}, PcRelationType::kSubset);
+    auto jc = [&](RelationId a, const std::string& an, RelationId b,
+                  const std::string& bn) {
+      JoinConstraint j;
+      j.left = a;
+      j.right = b;
+      j.condition.Add(PrimitiveClause::AttrAttr(
+          RelAttr{an, "A"}, CompOp::kEqual, RelAttr{bn, "A"}));
+      ASSERT_TRUE(mkb->AddJoinConstraint(j).ok());
+    };
+    jc({"IS1", "R2"}, "R2", {"IS2", "S1"}, "S1");
+    jc({"IS2", "S1"}, "S1", {"IS3", "S2"}, "S2");
+  }
+
+  static ViewDefinition View() {
+    return Parse(
+        "CREATE VIEW V AS SELECT R2.A (AR=true), R2.B (AD=true, AR=true), "
+        "R2.C (AD=true, AR=true) FROM R1, R2 (RD=true, RR=true) "
+        "WHERE (R1.K = R2.A) (CD=true, CR=true) AND (R2.B > 5) "
+        "(CD=true, CR=true)");
+  }
+
+  static std::vector<SchemaChange> AllChangeKinds() {
+    return {
+        SchemaChange(DeleteAttribute{RelationId{"IS1", "R2"}, "B"}),
+        SchemaChange(DeleteRelation{RelationId{"IS1", "R2"}}),
+        SchemaChange(RenameAttribute{RelationId{"IS1", "R2"}, "B", "B2"}),
+        SchemaChange(RenameRelation{RelationId{"IS1", "R2"}, "R2x"}),
+        SchemaChange(AddAttribute{RelationId{"IS1", "R2"},
+                                  Attribute::Make("D", DataType::kInt64)}),
+    };
+  }
+};
+
+TEST_F(ClosureEquivalenceTest, WarmMemoMatchesColdAcrossAllChangeKinds) {
+  MetaKnowledgeBase warm_mkb;
+  Build(&warm_mkb);
+  ViewSynchronizer warm(warm_mkb);
+  for (const SchemaChange& change : AllChangeKinds()) {
+    // Cold: a fresh MKB with empty memo per change.
+    MetaKnowledgeBase cold_mkb;
+    Build(&cold_mkb);
+    const auto cold = ViewSynchronizer(cold_mkb).Synchronize(View(), change);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+    // Warm: the same synchronizer re-used, first and second run.
+    const auto first = warm.Synchronize(View(), change);
+    const auto second = warm.Synchronize(View(), change);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(RewritingFingerprints(*first), RewritingFingerprints(*cold));
+    EXPECT_EQ(RewritingFingerprints(*second), RewritingFingerprints(*cold));
+  }
+}
+
+TEST_F(ClosureEquivalenceTest, MemoInvalidatedByConstraintRegistration) {
+  MetaKnowledgeBase mkb;
+  Build(&mkb);
+  const SchemaChange change(DeleteRelation{RelationId{"IS1", "R2"}});
+  ViewSynchronizer synchronizer(mkb);
+  const auto before = synchronizer.Synchronize(View(), change);
+  ASSERT_TRUE(before.ok());
+
+  // A new equivalent target reachable only through the new constraint.
+  ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"IS9", "Z"},
+                                            IntSchema({"A", "B", "C"}), 500)
+                  .ok());
+  ASSERT_TRUE(mkb.AddPcConstraint(
+                     MakeProjectionPc(RelationId{"IS1", "R2"},
+                                      RelationId{"IS9", "Z"}, {"A", "B", "C"},
+                                      PcRelationType::kEquivalent))
+                  .ok());
+  const auto after = synchronizer.Synchronize(View(), change);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->rewritings.size(), before->rewritings.size())
+      << "stale closure memo: new PC constraint not visible";
+  bool replaced_z = false;
+  for (const Rewriting& rw : after->rewritings) {
+    for (const ReplacementRecord& rec : rw.replacements) {
+      replaced_z = replaced_z || rec.replacement.relation == "Z";
+    }
+  }
+  EXPECT_TRUE(replaced_z);
+}
+
+TEST_F(ClosureEquivalenceTest, StructuralDedupKeepsDistinctFlagVariants) {
+  // Two candidate-producing runs must not merge rewritings that differ only
+  // in evolution parameters or extent provenance; conversely identical
+  // definitions must collapse to one.
+  MetaKnowledgeBase mkb;
+  Build(&mkb);
+  ViewSynchronizer synchronizer(mkb);
+  const auto result = synchronizer.Synchronize(
+      View(), SchemaChange(DeleteRelation{RelationId{"IS1", "R2"}}));
+  ASSERT_TRUE(result.ok());
+  // No two surviving rewritings may be structurally equal.
+  for (size_t i = 0; i < result->rewritings.size(); ++i) {
+    for (size_t j = i + 1; j < result->rewritings.size(); ++j) {
+      EXPECT_FALSE(StructurallyEqual(result->rewritings[i].definition,
+                                     result->rewritings[j].definition))
+          << PrintViewCompact(result->rewritings[i].definition);
+    }
+  }
+}
+
+TEST(StructuralHashTest, EqualDefinitionsHashAlikeAcrossDefaultSpellings) {
+  // StructurallyEqual must imply equal StructuralHash, in particular across
+  // the printed-form normalization: an explicit output name / alias equal
+  // to its default spells the same definition.
+  const ViewDefinition a =
+      Parse("CREATE VIEW V AS SELECT R.A FROM R WHERE R.A > 3");
+  ViewDefinition b = a;
+  b.select_items[0].output_name = "A";  // Explicit default output name.
+  b.from_items[0].alias = "R";          // Explicit default alias.
+  EXPECT_TRUE(StructurallyEqual(a, b));
+  EXPECT_EQ(StructuralHash(a), StructuralHash(b));
+
+  // And a real difference must break equality (flags are significant).
+  ViewDefinition c = a;
+  c.select_items[0].dispensable = true;
+  EXPECT_FALSE(StructurallyEqual(a, c));
+}
+
 }  // namespace
 }  // namespace eve
