@@ -20,11 +20,16 @@
 
 using namespace eve;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("%s", Banner("Experiment 2 / Figure 13: #sites vs cost factors").c_str());
 
   const UniformParams params;  // Table 1 defaults.
   const CostModelOptions options = MakeUniformOptions(params);
+  // The sweep is parallel across distributions; results are reduced in
+  // input order, so stdout is identical for every thread count (the count
+  // itself goes to stderr to keep it that way).
+  const int threads = SweepThreads(argc, argv);
+  std::fprintf(stderr, "[sweep threads: %d]\n", threads);
 
   std::vector<std::string> x_labels;
   std::vector<double> msgs, bytes, ios;
@@ -32,18 +37,17 @@ int main() {
   TablePrinter table({"sites (m)", "#distributions", "CF_M/update",
                       "CF_T/update (bytes)", "CF_IO/update"});
   for (int m = 1; m <= params.num_relations; ++m) {
-    CostFactors sum;
-    int count = 0;
-    for (const std::vector<int>& dist : Compositions(params.num_relations, m)) {
-      const auto cf =
-          SiteAveragedUpdateCost(MakeUniformInput(dist, params), options);
-      if (!cf.ok()) {
-        std::fprintf(stderr, "%s\n", cf.status().ToString().c_str());
-        return 1;
-      }
-      sum += *cf;
-      ++count;
+    const std::vector<std::vector<int>> dists =
+        Compositions(params.num_relations, m);
+    const auto cfs =
+        SweepSiteAveragedUpdateCost(dists, params, options, threads);
+    if (!cfs.ok()) {
+      std::fprintf(stderr, "%s\n", cfs.status().ToString().c_str());
+      return 1;
     }
+    CostFactors sum;
+    for (const CostFactors& cf : *cfs) sum += cf;
+    const int count = static_cast<int>(dists.size());
     const CostFactors avg = sum * (1.0 / count);
     table.AddRow({FormatDouble(m), FormatDouble(count),
                   FormatDouble(avg.messages, 2), FormatDouble(avg.bytes, 1),

@@ -2,6 +2,10 @@
 //   * E-SQL parsing (lexer + parser + validation)
 //   * view execution (hash joins over the in-memory engine), optimized
 //     row-id engine vs the seed's reference executor
+//   * prepared-plan replay (PrepareView once + ExecutePrepared per round,
+//     the PlanCache path, and one shared plan across benchmark threads)
+//   * extent comparison over cached per-relation tuple-hash columns
+//   * parallel scenario sweeps through the analytic cost model
 //   * transitive PC-edge closure, memoized vs uncached
 //   * rewriting generation (synchronizer, transitive PC discovery)
 //   * QC ranking (quality estimation + cost model + normalization)
@@ -21,11 +25,14 @@
 #include <vector>
 
 #include "bench_util/bench_json.h"
+#include "bench_util/distributions.h"
+#include "bench_util/experiment_common.h"
 #include "common/random.h"
 #include "esql/parser.h"
 #include "algebra/executor.h"
 #include "maintenance/maintainer.h"
 #include "misd/mkb.h"
+#include "plan/plan_cache.h"
 #include "qc/ranking.h"
 #include "space/information_space.h"
 #include "storage/generator.h"
@@ -149,6 +156,77 @@ void BM_ExecuteMultiJoinView_Baseline(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecuteMultiJoinView_Baseline)->Arg(256)->Arg(1024)->Arg(4096);
 
+// Plan-reuse replay loop: prepare once, execute per round -- the shape of
+// the exp1-exp5 scenario sweeps.  Compare against BM_ExecuteMultiJoinView
+// (same work with per-call planning) for the amortization win.
+void BM_ExecuteMultiJoinView_Prepared(benchmark::State& state) {
+  MultiJoinFixture fixture(state.range(0));
+  auto plan = PrepareView(fixture.view, fixture.space).value();
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = ExecutePrepared(*plan);
+    tuples += result.ok() ? result->cardinality() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(tuples);
+}
+BENCHMARK(BM_ExecuteMultiJoinView_Prepared)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Planning alone (resolution, binding, pushdown, join ordering): the cost
+// that plan reuse amortizes away.
+void BM_PrepareMultiJoinView(benchmark::State& state) {
+  MultiJoinFixture fixture(state.range(0));
+  for (auto _ : state) {
+    auto plan = PrepareView(fixture.view, fixture.space);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PrepareMultiJoinView)->Arg(256)->Arg(1024)->Arg(4096);
+
+// The PlanCache replay path: Get() revalidates relation versions on every
+// round, then executes the cached plan.  The gap to _Prepared is the price
+// of automatic invalidation.
+void BM_ExecuteMultiJoinView_PlanCache(benchmark::State& state) {
+  MultiJoinFixture fixture(state.range(0));
+  PlanCache cache;
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = cache.Execute(fixture.view, fixture.space);
+    tuples += result.ok() ? result->cardinality() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(tuples);
+}
+BENCHMARK(BM_ExecuteMultiJoinView_PlanCache)->Arg(256)->Arg(1024)->Arg(4096);
+
+// One prepared plan executed from N benchmark threads concurrently: the
+// thread-safety contract of ExecutePrepared (const plan, internally
+// synchronized per-Relation caches) under real contention.  The fixture is
+// shared across the ThreadRange runs; the plan stays valid throughout
+// because nothing mutates the relations.
+struct SharedPreparedState {
+  MultiJoinFixture fixture{1024};
+  std::shared_ptr<const PreparedView> plan =
+      PrepareView(fixture.view, fixture.space).value();
+};
+
+SharedPreparedState& GetSharedPreparedState() {
+  static SharedPreparedState* state = new SharedPreparedState();
+  return *state;
+}
+
+void BM_ExecutePreparedConcurrent(benchmark::State& state) {
+  SharedPreparedState& shared = GetSharedPreparedState();
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = ExecutePrepared(*shared.plan);
+    tuples += result.ok() ? result->cardinality() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(tuples);
+}
+BENCHMARK(BM_ExecutePreparedConcurrent)->ThreadRange(1, 4)->UseRealTime();
+
 struct SynchFixture {
   MetaKnowledgeBase mkb;
   ViewDefinition view;
@@ -227,6 +305,50 @@ void BM_QcRanking(benchmark::State& state) {
 }
 BENCHMARK(BM_QcRanking);
 
+// Extent comparison with cached per-relation tuple-hash columns: after the
+// first round both sides' hash columns are warm, so SetEquals only probes
+// buckets.  This is the hot loop of the experiments' extent equivalence
+// checks.
+void BM_RelationSetEquals(benchmark::State& state) {
+  Random rng(11);
+  GeneratorOptions gen;
+  gen.cardinality = state.range(0);
+  gen.num_attributes = 3;
+  gen.key_domain = state.range(0) / 2;
+  const Relation a = GenerateRelation("R", gen, &rng);
+  const Relation b = a;
+  int64_t rounds = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetEquals(a, b));
+    ++rounds;
+  }
+  state.SetItemsProcessed(rounds * state.range(0));
+}
+BENCHMARK(BM_RelationSetEquals)->Arg(1024)->Arg(4096);
+
+// The parallel scenario sweep of the experiment drivers: the full
+// six-relation distribution grid (all m) through the analytic cost model,
+// across Arg threads.
+void BM_ParallelCostSweep(benchmark::State& state) {
+  const UniformParams params;
+  const CostModelOptions options = MakeUniformOptions(params);
+  std::vector<std::vector<int>> dists;
+  for (int m = 1; m <= params.num_relations; ++m) {
+    for (std::vector<int>& d : Compositions(params.num_relations, m)) {
+      dists.push_back(std::move(d));
+    }
+  }
+  const int threads = static_cast<int>(state.range(0));
+  int64_t scenarios = 0;
+  for (auto _ : state) {
+    auto results = SweepSiteAveragedUpdateCost(dists, params, options, threads);
+    benchmark::DoNotOptimize(results);
+    scenarios += static_cast<int64_t>(dists.size());
+  }
+  state.SetItemsProcessed(scenarios);
+}
+BENCHMARK(BM_ParallelCostSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 void BM_IncrementalMaintenance(benchmark::State& state) {
   ExecFixture fixture(state.range(0));
   ViewMaintainer maintainer(fixture.space);
@@ -277,6 +399,7 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
       record.name = run.benchmark_name();
       record.ns_per_op = run.GetAdjustedRealTime();
       record.iterations = run.iterations;
+      record.threads = run.threads;
       records_.push_back(std::move(record));
     }
     ConsoleReporter::ReportRuns(runs);

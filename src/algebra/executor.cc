@@ -2,24 +2,140 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <limits>
-#include <map>
 #include <numeric>
 #include <optional>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
-#include "common/str_util.h"
-#include "expr/selectivity.h"
+#include "expr/comp_op.h"
 #include "storage/hash_index.h"
 
 namespace eve {
 
+Result<Relation> ExecutePrepared(const PreparedView& plan) {
+  const int n = static_cast<int>(plan.from.size());
+  const std::vector<int>& owner_of_col = plan.owner_of_col;
+  const std::vector<int>& pos_of_item = plan.pos_of_item;
+
+  // Working set: flat vector of row-id combinations, `width` ids per combo,
+  // combo position pos_of_item[k] holding the row of FROM item k.  Base
+  // tuples are dereferenced only for predicate columns; nothing is
+  // materialized until the final projection.
+  std::vector<int64_t> current;
+  int width = 0;
+
+  auto value_at = [&](const int64_t* combo, int col) -> const Value& {
+    const int owner = owner_of_col[col];
+    return plan.from[owner].rel->tuple(combo[pos_of_item[owner]])
+        .at(col - plan.from[owner].offset);
+  };
+
+  for (int s = 0; s < n; ++s) {
+    const PlannedJoinStep& step = plan.steps[s];
+    const int k = step.item;
+    const Relation& rel = *plan.from[k].rel;
+
+    if (s == 0) {
+      if (plan.filtered[k].empty() && plan.passes[k].empty()) {
+        current.resize(rel.cardinality());
+        std::iota(current.begin(), current.end(), int64_t{0});
+      } else {
+        current = plan.filtered[k];
+      }
+      width = 1;
+      if (current.empty()) break;
+      continue;
+    }
+
+    std::vector<int64_t> next;
+    std::vector<int64_t> scratch(width + 1);
+    auto emit = [&](const int64_t* prefix, int64_t row) {
+      std::copy(prefix, prefix + width, scratch.begin());
+      scratch[width] = row;
+      for (const BoundClause& c : step.residual) {
+        const Value& lhs = value_at(scratch.data(), c.lhs_column);
+        const Value& rhs = c.rhs_column >= 0
+                               ? value_at(scratch.data(), c.rhs_column)
+                               : c.rhs_value;
+        if (!EvalCompOp(c.op, lhs, rhs)) return;
+      }
+      next.insert(next.end(), scratch.begin(), scratch.end());
+    };
+
+    if (step.key_right_local >= 0) {
+      std::optional<HashIndex> scoped_index;
+      const HashIndex* index;
+      if (plan.options.use_index_cache) {
+        index = &rel.Index(step.key_right_local);
+      } else {
+        scoped_index.emplace(rel, step.key_right_local);
+        index = &*scoped_index;
+      }
+      for (size_t base = 0; base < current.size();
+           base += static_cast<size_t>(width)) {
+        const int64_t* prefix = &current[base];
+        for (int64_t row :
+             index->Lookup(value_at(prefix, step.key_left_global))) {
+          if (!plan.passes[k].empty() && !plan.passes[k][row]) continue;
+          emit(prefix, row);
+        }
+      }
+    } else {
+      // Nested loop over the prefiltered rows (cross product + residuals).
+      const bool unfiltered =
+          plan.filtered[k].empty() && plan.passes[k].empty();
+      for (size_t base = 0; base < current.size();
+           base += static_cast<size_t>(width)) {
+        if (unfiltered) {
+          for (int64_t row = 0; row < rel.cardinality(); ++row) {
+            emit(&current[base], row);
+          }
+        } else {
+          for (int64_t row : plan.filtered[k]) emit(&current[base], row);
+        }
+      }
+    }
+    current = std::move(next);
+    width += 1;
+    if (current.empty()) break;  // Later joins cannot resurrect tuples.
+  }
+
+  // Materialize, fusing the distinct pass into the projection so duplicate
+  // rows are never copied into the result.
+  Relation result(plan.view_name, plan.out_schema);
+  std::unordered_set<Tuple, TupleHash> seen;
+  if (!current.empty() && width == n) {
+    for (size_t base = 0; base < current.size();
+         base += static_cast<size_t>(n)) {
+      std::vector<Value> values;
+      values.reserve(plan.out_cols.size());
+      for (const PreparedView::OutCol& oc : plan.out_cols) {
+        values.push_back(plan.from[oc.item]
+                             .rel->tuple(current[base + pos_of_item[oc.item]])
+                             .at(oc.local));
+      }
+      Tuple t(std::move(values));
+      if (plan.options.distinct && !seen.insert(t).second) continue;
+      result.InsertUnchecked(std::move(t));
+    }
+  }
+  return result;
+}
+
+Result<Relation> ExecuteView(const ViewDefinition& view,
+                             const RelationProvider& provider,
+                             const ExecOptions& options) {
+  EVE_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedView> plan,
+                       PrepareView(view, provider, options));
+  return ExecutePrepared(*plan);
+}
+
 namespace {
 
-// One FROM item resolved against the provider with its column offset in the
-// concatenated join layout.
+// The reference executor is the seed's implementation kept frozen as an
+// oracle, so it carries its own FROM resolution and binding construction
+// instead of sharing the planner's.
 struct ResolvedFrom {
   const FromItem* item;
   const Relation* relation;
@@ -51,105 +167,6 @@ Result<Binding> MakeBinding(const std::vector<ResolvedFrom>& resolved) {
   return binding;
 }
 
-// Global column -> owning FROM item, precomputed for O(1) lookups on the
-// join hot path.
-std::vector<int> OwnerTable(const std::vector<ResolvedFrom>& resolved) {
-  std::vector<int> owner;
-  for (size_t i = 0; i < resolved.size(); ++i) {
-    owner.insert(owner.end(), resolved[i].relation->schema().size(),
-                 static_cast<int>(i));
-  }
-  return owner;
-}
-
-// A bound cross-item WHERE clause annotated with the FROM items it
-// references; applied at the first join step where all of them are joined.
-struct AnnotatedClause {
-  BoundClause bound;
-  std::vector<int> items;  // Sorted, unique owner item indexes (size 2).
-  bool applied = false;
-};
-
-// Greedy cost-ordered join selection: start from the smallest filtered
-// relation, then repeatedly add the item with the smallest estimated
-// intermediate result, preferring items connected to the joined prefix by
-// an evaluable clause (equi-join selectivity estimated as 1/V(join column)
-// through `estimator`).  Ties break toward FROM order, so plans are
-// deterministic.
-template <typename SelectivityEstimator>
-std::vector<int> GreedyJoinOrder(const std::vector<ResolvedFrom>& resolved,
-                                 const std::vector<int>& owner_of_col,
-                                 const std::vector<AnnotatedClause>& cross,
-                                 const std::vector<int64_t>& live,
-                                 SelectivityEstimator&& estimator) {
-  const int n = static_cast<int>(resolved.size());
-  std::vector<int> order;
-  std::vector<bool> joined(n, false);
-
-  std::map<std::pair<int, int>, double> sel_cache;
-  auto eq_sel = [&](int item, int local_col) {
-    const auto key = std::make_pair(item, local_col);
-    auto it = sel_cache.find(key);
-    if (it == sel_cache.end()) {
-      it = sel_cache.emplace(key, estimator(item, local_col)).first;
-    }
-    return it->second;
-  };
-
-  int first = 0;
-  for (int k = 1; k < n; ++k) {
-    if (live[k] < live[first]) first = k;
-  }
-  order.push_back(first);
-  joined[first] = true;
-  double est_rows = static_cast<double>(live[first]);
-
-  while (static_cast<int>(order.size()) < n) {
-    int best = -1;
-    double best_cost = std::numeric_limits<double>::infinity();
-    double best_est = 0.0;
-    for (int cand = 0; cand < n; ++cand) {
-      if (joined[cand]) continue;
-      double sel = 1.0;
-      bool connected = false;
-      for (const AnnotatedClause& c : cross) {
-        bool refs_cand = false;
-        bool rest_joined = true;
-        for (int item : c.items) {
-          if (item == cand) {
-            refs_cand = true;
-          } else if (!joined[item]) {
-            rest_joined = false;
-          }
-        }
-        if (!refs_cand || !rest_joined) continue;
-        connected = true;
-        if (c.bound.op == CompOp::kEqual && c.bound.rhs_column >= 0) {
-          const int cand_col = owner_of_col[c.bound.lhs_column] == cand
-                                   ? c.bound.lhs_column
-                                   : c.bound.rhs_column;
-          sel = std::min(sel, eq_sel(cand, cand_col - resolved[cand].offset));
-        } else {
-          sel = std::min(sel, 0.5);  // Conservative theta-join guess.
-        }
-      }
-      const double est = est_rows * static_cast<double>(live[cand]) * sel;
-      // Cross products only when nothing connects; the penalty keeps any
-      // connected item ahead of any unconnected one.
-      const double cost = connected ? est : (est + 1.0) * 1e12;
-      if (cost < best_cost) {
-        best_cost = cost;
-        best_est = est;
-        best = cand;
-      }
-    }
-    joined[best] = true;
-    order.push_back(best);
-    est_rows = std::max(1.0, best_est);
-  }
-  return order;
-}
-
 // An equality clause usable as a hash-join key between the accumulated
 // prefix and the relation being joined (reference executor).
 struct JoinKey {
@@ -158,238 +175,6 @@ struct JoinKey {
 };
 
 }  // namespace
-
-Result<Binding> MakeJoinBinding(const ViewDefinition& view,
-                                const RelationProvider& provider) {
-  EVE_ASSIGN_OR_RETURN(std::vector<ResolvedFrom> resolved,
-                       ResolveAll(view, provider));
-  return MakeBinding(resolved);
-}
-
-Result<Relation> ExecuteView(const ViewDefinition& view,
-                             const RelationProvider& provider,
-                             const ExecOptions& options) {
-  EVE_RETURN_IF_ERROR(view.Validate());
-  EVE_ASSIGN_OR_RETURN(std::vector<ResolvedFrom> resolved,
-                       ResolveAll(view, provider));
-  EVE_ASSIGN_OR_RETURN(Binding binding, MakeBinding(resolved));
-  const int n = static_cast<int>(resolved.size());
-  const std::vector<int> owner_of_col = OwnerTable(resolved);
-
-  // Bind every WHERE clause up front so reference errors surface regardless
-  // of join order or early termination, splitting local (single-item)
-  // selections from cross-item join predicates.
-  std::vector<std::vector<BoundClause>> local(n);  // Columns rebased to item.
-  std::vector<AnnotatedClause> cross;
-  for (const ConditionItem& c : view.where) {
-    EVE_ASSIGN_OR_RETURN(BoundClause bc, Bind(c.clause, binding));
-    std::vector<int> items{owner_of_col[bc.lhs_column]};
-    if (bc.rhs_column >= 0) items.push_back(owner_of_col[bc.rhs_column]);
-    std::sort(items.begin(), items.end());
-    items.erase(std::unique(items.begin(), items.end()), items.end());
-    if (items.size() == 1) {
-      const int k = items[0];
-      BoundClause rebased = bc;
-      rebased.lhs_column -= resolved[k].offset;
-      if (rebased.rhs_column >= 0) rebased.rhs_column -= resolved[k].offset;
-      local[k].push_back(std::move(rebased));
-    } else {
-      cross.push_back(AnnotatedClause{std::move(bc), std::move(items), false});
-    }
-  }
-
-  // Selection pushdown: per-item filtered row-id lists plus a membership
-  // mask for probing index lookups.  Relations without local predicates
-  // keep empty lists/masks ("every row passes") so unfiltered base tables
-  // cost nothing to prepare, regardless of cardinality.
-  std::vector<std::vector<int64_t>> filtered(n);  // Empty when all pass.
-  std::vector<std::vector<uint8_t>> passes(n);    // Empty when all pass.
-  std::vector<int64_t> live(n);                   // Passing-row counts.
-  for (int k = 0; k < n; ++k) {
-    const Relation& rel = *resolved[k].relation;
-    if (local[k].empty()) {
-      live[k] = rel.cardinality();
-      continue;
-    }
-    passes[k].assign(rel.cardinality(), 0);
-    for (int64_t row = 0; row < rel.cardinality(); ++row) {
-      if (EvalAll(local[k], rel.tuple(row))) {
-        passes[k][row] = 1;
-        filtered[k].push_back(row);
-      }
-    }
-    live[k] = static_cast<int64_t>(filtered[k].size());
-  }
-
-  std::vector<int> order(n);
-  for (int i = 0; i < n; ++i) order[i] = i;
-  if (options.reorder_joins && n > 1) {
-    // With the index cache on, distinct-count estimates come from the
-    // cached per-column indexes (amortized across calls, and the join will
-    // reuse the same index); otherwise measure over the filtered rows.
-    auto estimator = [&](int item, int local_col) -> double {
-      if (options.use_index_cache) {
-        const int64_t keys =
-            resolved[item].relation->Index(local_col).DistinctKeys();
-        return keys > 0 ? 1.0 / static_cast<double>(keys) : 1.0;
-      }
-      return EstimateEqJoinSelectivity(
-          *resolved[item].relation, local_col,
-          local[item].empty() ? nullptr : &filtered[item]);
-    };
-    order = GreedyJoinOrder(resolved, owner_of_col, cross, live, estimator);
-  }
-
-  // Working set: flat vector of row-id combinations, `width` ids per combo,
-  // combo position s holding the row of FROM item order[s].  Base tuples
-  // are dereferenced only for predicate columns; nothing is materialized
-  // until the final projection.
-  std::vector<int> pos_of_item(n, -1);
-  std::vector<int64_t> current;
-  int width = 0;
-
-  auto value_at = [&](const int64_t* combo, int col) -> const Value& {
-    const int owner = owner_of_col[col];
-    return resolved[owner].relation->tuple(combo[pos_of_item[owner]])
-        .at(col - resolved[owner].offset);
-  };
-
-  for (int s = 0; s < n; ++s) {
-    const int k = order[s];
-    const Relation& rel = *resolved[k].relation;
-    pos_of_item[k] = s;
-
-    if (s == 0) {
-      if (local[k].empty()) {
-        current.resize(rel.cardinality());
-        std::iota(current.begin(), current.end(), int64_t{0});
-      } else {
-        current = filtered[k];
-      }
-      width = 1;
-      if (current.empty()) break;
-      continue;
-    }
-
-    // Clauses that become evaluable once `k` joins the prefix.
-    std::vector<AnnotatedClause*> applicable;
-    for (AnnotatedClause& c : cross) {
-      if (c.applied) continue;
-      const bool ready = std::all_of(c.items.begin(), c.items.end(),
-                                     [&](int i) { return pos_of_item[i] >= 0; });
-      if (ready) {
-        c.applied = true;
-        applicable.push_back(&c);
-      }
-    }
-
-    // Pick one equality clause as the hash-join key (prefix column vs a
-    // column of `k`); the rest are residual predicates.
-    const AnnotatedClause* key = nullptr;
-    int key_left_global = -1;
-    int key_right_local = -1;
-    std::vector<const AnnotatedClause*> residual;
-    for (const AnnotatedClause* c : applicable) {
-      const bool lhs_in_k = owner_of_col[c->bound.lhs_column] == k;
-      const bool rhs_is_col = c->bound.rhs_column >= 0;
-      const bool rhs_in_k = rhs_is_col && owner_of_col[c->bound.rhs_column] == k;
-      if (key == nullptr && c->bound.op == CompOp::kEqual && rhs_is_col &&
-          lhs_in_k != rhs_in_k) {
-        key = c;
-        key_left_global = lhs_in_k ? c->bound.rhs_column : c->bound.lhs_column;
-        key_right_local = (lhs_in_k ? c->bound.lhs_column : c->bound.rhs_column) -
-                          resolved[k].offset;
-      } else {
-        residual.push_back(c);
-      }
-    }
-
-    std::vector<int64_t> next;
-    std::vector<int64_t> scratch(width + 1);
-    auto emit = [&](const int64_t* prefix, int64_t row) {
-      std::copy(prefix, prefix + width, scratch.begin());
-      scratch[width] = row;
-      for (const AnnotatedClause* c : residual) {
-        const Value& lhs = value_at(scratch.data(), c->bound.lhs_column);
-        const Value& rhs = c->bound.rhs_column >= 0
-                               ? value_at(scratch.data(), c->bound.rhs_column)
-                               : c->bound.rhs_value;
-        if (!EvalCompOp(c->bound.op, lhs, rhs)) return;
-      }
-      next.insert(next.end(), scratch.begin(), scratch.end());
-    };
-
-    if (key != nullptr) {
-      std::optional<HashIndex> scoped_index;
-      const HashIndex* index;
-      if (options.use_index_cache) {
-        index = &rel.Index(key_right_local);
-      } else {
-        scoped_index.emplace(rel, key_right_local);
-        index = &*scoped_index;
-      }
-      for (size_t base = 0; base < current.size(); base += width) {
-        const int64_t* prefix = &current[base];
-        for (int64_t row : index->Lookup(value_at(prefix, key_left_global))) {
-          if (!passes[k].empty() && !passes[k][row]) continue;
-          emit(prefix, row);
-        }
-      }
-    } else {
-      // Nested loop over the prefiltered rows (cross product + residuals).
-      for (size_t base = 0; base < current.size(); base += width) {
-        if (local[k].empty()) {
-          for (int64_t row = 0; row < rel.cardinality(); ++row) {
-            emit(&current[base], row);
-          }
-        } else {
-          for (int64_t row : filtered[k]) emit(&current[base], row);
-        }
-      }
-    }
-    current = std::move(next);
-    width += 1;
-    if (current.empty()) break;  // Later joins cannot resurrect tuples.
-  }
-
-  // Projection onto the SELECT list, reusing the already-resolved FROM
-  // vector and binding (no per-item provider lookups or schema scans).
-  struct OutCol {
-    int item;
-    int local;
-  };
-  std::vector<OutCol> out_cols;
-  std::vector<Attribute> out_attrs;
-  for (const SelectItem& s : view.select_items) {
-    EVE_ASSIGN_OR_RETURN(const int col, binding.Resolve(s.source));
-    const int owner = owner_of_col[col];
-    Attribute a =
-        resolved[owner].relation->schema().attribute(col - resolved[owner].offset);
-    a.name = s.name();
-    out_attrs.push_back(std::move(a));
-    out_cols.push_back(OutCol{owner, col - resolved[owner].offset});
-  }
-
-  // Materialize, fusing the distinct pass into the projection so duplicate
-  // rows are never copied into the result.
-  Relation result(view.name, Schema(std::move(out_attrs)));
-  std::unordered_set<Tuple, TupleHash> seen;
-  if (!current.empty() && width == n) {
-    for (size_t base = 0; base < current.size(); base += n) {
-      std::vector<Value> values;
-      values.reserve(out_cols.size());
-      for (const OutCol& oc : out_cols) {
-        values.push_back(resolved[oc.item]
-                             .relation->tuple(current[base + pos_of_item[oc.item]])
-                             .at(oc.local));
-      }
-      Tuple t(std::move(values));
-      if (options.distinct && !seen.insert(t).second) continue;
-      result.InsertUnchecked(std::move(t));
-    }
-  }
-  return result;
-}
 
 // The seed's executor, kept verbatim as the equivalence oracle and the
 // benchmark baseline: fixed FROM-order left-deep joins, per-call index

@@ -1,15 +1,19 @@
 // Executor: evaluates an E-SQL view definition over an information space,
 // producing the view extent.
 //
-// Plan shape: resolve each FROM relation, push its local selection down to a
-// prefiltered row-id set, pick a greedy cost-ordered join order (driven by
-// filtered cardinalities and equi-join selectivity estimates), then join
-// over row-id vectors against the base relations (hash join on equality
-// clauses through per-Relation cached indexes, nested-loop otherwise), and
-// materialize tuples only for the final projection.  Data volumes in this
-// library are experiment-scale, but exp1-exp5 replay thousands of
-// synchronize+execute rounds, so the hot path avoids per-step tuple
-// materialization entirely.
+// Since the plan/execute split, this header holds only the execution half:
+// ExecutePrepared replays a PreparedView (resolved FROM items, bound
+// clauses, pushdown sets, cost-ordered join order -- see plan/planner.h),
+// joining over row-id vectors against the base relations (hash join on
+// equality clauses through per-Relation cached indexes, nested-loop
+// otherwise) and materializing tuples only for the final projection.
+// ExecuteView is the one-shot convenience wrapper (prepare + execute);
+// replay loops should prepare once -- directly or through a PlanCache --
+// and execute per round.
+//
+// ExecutePrepared is const over the plan and the relations (per-Relation
+// caches are internally synchronized), so one plan may be executed from
+// many threads concurrently as long as nothing mutates the base data.
 
 #ifndef EVE_ALGEBRA_EXECUTOR_H_
 #define EVE_ALGEBRA_EXECUTOR_H_
@@ -18,26 +22,22 @@
 #include "common/result.h"
 #include "esql/ast.h"
 #include "expr/eval.h"
+#include "plan/planner.h"
+#include "plan/prepared_view.h"
 #include "storage/relation.h"
 
 namespace eve {
 
-/// Execution options.
-struct ExecOptions {
-  /// Deduplicate the result (set semantics).  The paper's extent
-  /// comparisons assume duplicates are removed (§5.3).
-  bool distinct = true;
-  /// Greedy cost-ordered join selection (smallest estimated intermediate
-  /// first).  Off: join in FROM order, as the reference executor does.
-  bool reorder_joins = true;
-  /// Reuse per-Relation cached hash indexes for equi joins instead of
-  /// rebuilding an index on every call.
-  bool use_index_cache = true;
-};
+/// Executes a prepared plan (see plan/planner.h).  The caller is
+/// responsible for plan freshness: a plan over mutated relations must be
+/// re-prepared first (PreparedView::Validate, or use PlanCache which
+/// revalidates automatically).  Result tuple *sets* are independent of the
+/// plan's options; only row order may differ.
+Result<Relation> ExecutePrepared(const PreparedView& plan);
 
 /// Evaluates `view` against `provider`; the result relation's schema is the
-/// view interface (output names, source attribute types).  Result tuple
-/// *sets* are independent of the options; only row order may differ.
+/// view interface (output names, source attribute types).  Equivalent to
+/// PrepareView + ExecutePrepared.
 Result<Relation> ExecuteView(const ViewDefinition& view,
                              const RelationProvider& provider,
                              const ExecOptions& options = {});
@@ -48,12 +48,6 @@ Result<Relation> ExecuteView(const ViewDefinition& view,
 Result<Relation> ExecuteViewReference(const ViewDefinition& view,
                                       const RelationProvider& provider,
                                       const ExecOptions& options = {});
-
-/// Builds the Binding that maps "fromName.attr" references to columns of
-/// the concatenated tuple layout of `view`'s FROM items, in FROM order.
-/// Exposed for the maintenance simulator, which evaluates partial joins.
-Result<Binding> MakeJoinBinding(const ViewDefinition& view,
-                                const RelationProvider& provider);
 
 }  // namespace eve
 

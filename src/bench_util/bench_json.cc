@@ -45,9 +45,10 @@ std::string BenchRecordsToJson(const std::vector<BenchRecord>& records) {
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     out += StrFormat(
-        "    {\"name\": \"%s\", \"ns_per_op\": %.3f, \"iterations\": %lld}%s\n",
+        "    {\"name\": \"%s\", \"ns_per_op\": %.3f, \"iterations\": %lld, "
+        "\"threads\": %d}%s\n",
         EscapeJson(r.name).c_str(), r.ns_per_op,
-        static_cast<long long>(r.iterations),
+        static_cast<long long>(r.iterations), r.threads,
         i + 1 < records.size() ? "," : "");
   }
   out += "  ]\n}\n";

@@ -19,6 +19,7 @@ struct BenchRecord {
   std::string name;       ///< e.g. "BM_ExecuteJoinView/4096".
   double ns_per_op = 0;   ///< Adjusted real time per iteration, nanoseconds.
   int64_t iterations = 0;
+  int threads = 1;        ///< Concurrent benchmark threads (->Threads(n)).
 };
 
 /// Serializes `records` as the BENCH_micro.json document (see

@@ -1,11 +1,40 @@
 #include "bench_util/experiment_common.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <map>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/str_util.h"
 
 namespace eve {
+
+namespace {
+
+// Evaluates `eval(i)` for every distribution index across `threads`
+// workers, collecting per-index values and surfacing the first error after
+// the join (workers never throw; see ParallelFor's contract).
+template <typename T, typename Eval>
+Result<std::vector<T>> SweepImpl(size_t n, int threads, const Eval& eval) {
+  std::vector<T> out(n);
+  std::vector<Status> statuses(n);
+  ParallelFor(static_cast<int64_t>(n), threads, [&](int64_t i) {
+    Result<T> r = eval(i);
+    if (r.ok()) {
+      out[i] = std::move(r).value();
+    } else {
+      statuses[i] = r.status();
+    }
+  });
+  for (Status& s : statuses) {
+    if (!s.ok()) return std::move(s);
+  }
+  return out;
+}
+
+}  // namespace
 
 ViewCostInput MakeUniformInput(const std::vector<int>& distribution,
                                const UniformParams& params) {
@@ -67,6 +96,50 @@ Result<CostFactors> FirstSiteUpdateCost(const ViewCostInput& input,
     ++count;
   }
   return total * (1.0 / count);
+}
+
+int SweepThreads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const int parsed = std::atoi(argv[i] + 10);
+      return parsed > 0 ? parsed : 1;
+    }
+  }
+  if (const char* env = std::getenv("EVE_BENCH_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return DefaultThreadCount();
+}
+
+Result<std::vector<CostFactors>> SweepSiteAveragedUpdateCost(
+    const std::vector<std::vector<int>>& distributions,
+    const UniformParams& params, const CostModelOptions& options,
+    int threads) {
+  return SweepImpl<CostFactors>(distributions.size(), threads, [&](int64_t i) {
+    return SiteAveragedUpdateCost(MakeUniformInput(distributions[i], params),
+                                  options);
+  });
+}
+
+Result<std::vector<CostFactors>> SweepFirstSiteUpdateCost(
+    const std::vector<std::vector<int>>& distributions,
+    const UniformParams& params, const CostModelOptions& options,
+    int threads) {
+  return SweepImpl<CostFactors>(distributions.size(), threads, [&](int64_t i) {
+    return FirstSiteUpdateCost(MakeUniformInput(distributions[i], params),
+                               options);
+  });
+}
+
+Result<std::vector<WorkloadCost>> SweepWorkloadCost(
+    const std::vector<std::vector<int>>& distributions,
+    const UniformParams& params, const WorkloadOptions& workload,
+    const CostModelOptions& options, int threads) {
+  return SweepImpl<WorkloadCost>(distributions.size(), threads, [&](int64_t i) {
+    return ComputeWorkloadCost(MakeUniformInput(distributions[i], params),
+                               workload, options);
+  });
 }
 
 }  // namespace eve

@@ -1,6 +1,11 @@
 // Shared setup for the paper's experiments: the uniform cost-model inputs
 // of Table 1 and the distribution-averaged cost sweeps behind Figs. 13/14
 // and Tables 5/6.
+//
+// The Sweep* helpers evaluate the analytic cost model over a whole
+// distribution grid, across threads (common/parallel.h): the model is pure,
+// so results are indexed exactly like the input list and the drivers'
+// stdout is byte-identical regardless of thread count.
 
 #ifndef EVE_BENCH_UTIL_EXPERIMENT_COMMON_H_
 #define EVE_BENCH_UTIL_EXPERIMENT_COMMON_H_
@@ -8,6 +13,7 @@
 #include <vector>
 
 #include "qc/cost_model.h"
+#include "qc/workload.h"
 
 namespace eve {
 
@@ -41,6 +47,29 @@ Result<CostFactors> SiteAveragedUpdateCost(const ViewCostInput& input,
 /// distributed evenly over that site's relations (Experiment 3).
 Result<CostFactors> FirstSiteUpdateCost(const ViewCostInput& input,
                                         const CostModelOptions& options);
+
+/// Thread count for a driver's scenario sweep: the first `--threads=N`
+/// argument, else the EVE_BENCH_THREADS environment variable, else
+/// DefaultThreadCount().  Values below 1 fall back to 1.
+int SweepThreads(int argc, char** argv);
+
+/// SiteAveragedUpdateCost(MakeUniformInput(d, params), options) for every
+/// distribution `d`, evaluated across `threads` workers; result i belongs
+/// to distributions[i].
+Result<std::vector<CostFactors>> SweepSiteAveragedUpdateCost(
+    const std::vector<std::vector<int>>& distributions,
+    const UniformParams& params, const CostModelOptions& options, int threads);
+
+/// FirstSiteUpdateCost over every distribution (Experiment 3 sweep).
+Result<std::vector<CostFactors>> SweepFirstSiteUpdateCost(
+    const std::vector<std::vector<int>>& distributions,
+    const UniformParams& params, const CostModelOptions& options, int threads);
+
+/// ComputeWorkloadCost over every distribution (Experiment 5 sweeps).
+Result<std::vector<WorkloadCost>> SweepWorkloadCost(
+    const std::vector<std::vector<int>>& distributions,
+    const UniformParams& params, const WorkloadOptions& workload,
+    const CostModelOptions& options, int threads);
 
 }  // namespace eve
 

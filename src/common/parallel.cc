@@ -1,0 +1,44 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace eve {
+
+void ParallelFor(int64_t n, int threads,
+                 const std::function<void(int64_t)>& body) {
+  if (n <= 0) return;
+  const int workers =
+      static_cast<int>(std::min<int64_t>(std::max(threads, 1), n));
+  if (workers == 1) {
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<int64_t> cursor{0};
+  auto drain = [&] {
+    for (int64_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (int t = 0; t < workers - 1; ++t) pool.emplace_back(drain);
+  drain();  // The calling thread is the last worker.
+  for (std::thread& t : pool) t.join();
+}
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("EVE_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace eve

@@ -1,0 +1,33 @@
+// ParallelFor: a minimal fork-join loop for embarrassingly parallel index
+// spaces (scenario sweeps over distribution grids, parallel view
+// executions).  No work stealing, no task graph: an atomic cursor hands out
+// indexes to `threads` workers until the range is drained.
+//
+// Determinism contract: the body receives each index exactly once, so a
+// caller that writes result[i] from body(i) gets output independent of the
+// thread count -- the property the experiment drivers rely on to keep
+// multi-threaded stdout identical to the single-threaded run.
+
+#ifndef EVE_COMMON_PARALLEL_H_
+#define EVE_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace eve {
+
+/// Invokes `body(i)` for every i in [0, n) across up to `threads` worker
+/// threads (the calling thread included).  `threads <= 1` runs the loop
+/// inline with no thread creation.  `body` must be safe to call
+/// concurrently for distinct indexes and must not throw.
+void ParallelFor(int64_t n, int threads,
+                 const std::function<void(int64_t)>& body);
+
+/// Thread count for parallel sections: the EVE_THREADS environment variable
+/// when set to a positive integer, else std::thread::hardware_concurrency()
+/// (at least 1).
+int DefaultThreadCount();
+
+}  // namespace eve
+
+#endif  // EVE_COMMON_PARALLEL_H_

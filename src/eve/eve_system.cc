@@ -74,7 +74,7 @@ Status EveSystem::DefineView(ViewDefinition definition) {
 
 Status EveSystem::Materialize(const std::string& view_name) {
   EVE_ASSIGN_OR_RETURN(const ViewEntry* entry, vkb_.Get(view_name));
-  ViewMaintainer maintainer(space_, options_.maintainer);
+  ViewMaintainer maintainer(space_, options_.maintainer, &plan_cache_);
   EVE_ASSIGN_OR_RETURN(Relation extent,
                        maintainer.Recompute(entry->definition));
   return vkb_.SetExtent(view_name, std::move(extent));
@@ -162,9 +162,11 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
     report.views.push_back(std::move(view_report));
   }
 
-  // 4. Apply the change to space + MKB.
+  // 4. Apply the change to space + MKB.  Every prepared plan may reference
+  // restructured relations, so the plan cache starts a fresh epoch.
   EVE_ASSIGN_OR_RETURN(report.mkb_constraints_dropped,
                        space_.ApplySchemaChange(change, &mkb_));
+  plan_cache_.Clear();
 
   // 5. Adopt rewritings and rematerialize; record deaths.
   for (const std::string& view_name : deaths) {

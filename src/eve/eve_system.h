@@ -23,6 +23,7 @@
 #include "esql/ast.h"
 #include "maintenance/maintainer.h"
 #include "misd/mkb.h"
+#include "plan/plan_cache.h"
 #include "qc/ranking.h"
 #include "space/information_space.h"
 #include "synch/synchronizer.h"
@@ -117,6 +118,10 @@ class EveSystem {
   const ViewKnowledgeBase& vkb() const { return vkb_; }
   const EveOptions& options() const { return options_; }
   EveOptions& options() { return options_; }
+  /// Prepared plans for (re)materialization.  Cleared on every schema
+  /// change; stale entries from data updates revalidate lazily against
+  /// relation versions.
+  const PlanCache& plan_cache() const { return plan_cache_; }
 
  private:
   Status Materialize(const std::string& view_name);
@@ -125,6 +130,7 @@ class EveSystem {
   InformationSpace space_;
   MetaKnowledgeBase mkb_;
   ViewKnowledgeBase vkb_;
+  PlanCache plan_cache_;
 };
 
 }  // namespace eve

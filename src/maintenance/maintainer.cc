@@ -7,6 +7,7 @@
 #include "algebra/executor.h"
 #include "common/str_util.h"
 #include "expr/eval.h"
+#include "plan/plan_cache.h"
 #include "storage/hash_index.h"
 
 namespace eve {
@@ -46,6 +47,7 @@ Result<Relation> ViewMaintainer::Recompute(const ViewDefinition& view) const {
   // use Distinct() for set-level comparisons.
   ExecOptions opts;
   opts.distinct = false;
+  if (plan_cache_ != nullptr) return plan_cache_->Execute(view, space_, opts);
   return ExecuteView(view, space_, opts);
 }
 

@@ -51,11 +51,17 @@ struct MaintainerOptions {
   IoBoundPolicy io_policy = IoBoundPolicy::kLower;
 };
 
+class PlanCache;
+
 /// The view maintainer.
 class ViewMaintainer {
  public:
-  ViewMaintainer(const InformationSpace& space, MaintainerOptions options = {})
-      : space_(space), options_(options) {}
+  /// With a non-null `plan_cache`, Recompute plans through it (prepared
+  /// plans amortized across rematerializations; the cache revalidates
+  /// against relation versions).  The cache must outlive the maintainer.
+  ViewMaintainer(const InformationSpace& space, MaintainerOptions options = {},
+                 PlanCache* plan_cache = nullptr)
+      : space_(space), options_(options), plan_cache_(plan_cache) {}
 
   /// Processes one data update against `view`, updating `extent` (the
   /// materialized view extent, set semantics) in place.  The update must
@@ -73,6 +79,7 @@ class ViewMaintainer {
  private:
   const InformationSpace& space_;
   MaintainerOptions options_;
+  PlanCache* plan_cache_ = nullptr;
 };
 
 }  // namespace eve

@@ -1,0 +1,76 @@
+#include "plan/plan_cache.h"
+
+#include <utility>
+
+#include "algebra/executor.h"
+#include "esql/printer.h"
+
+namespace eve {
+
+namespace {
+
+std::string CacheKey(const ViewDefinition& view, const ExecOptions& options) {
+  std::string key = PrintViewCompact(view);
+  key += options.distinct ? "|d1" : "|d0";
+  key += options.reorder_joins ? "r1" : "r0";
+  key += options.use_index_cache ? "c1" : "c0";
+  return key;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const PreparedView>> PlanCache::Get(
+    const ViewDefinition& view, const RelationProvider& provider,
+    const ExecOptions& options) {
+  const std::string key = CacheKey(view, options);
+  bool stale = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      if (it->second->Validate(provider)) {
+        ++stats_.hits;
+        return it->second;
+      }
+      stale = true;
+    }
+  }
+  // Plan outside the lock: planning walks relations and builds indexes, and
+  // concurrent misses on distinct views should not serialize.  If two
+  // threads race on the same key, both plans are equivalent; last wins.
+  EVE_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedView> plan,
+                       PrepareView(view, provider, options));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stale) {
+    ++stats_.replans;
+  } else {
+    ++stats_.misses;
+  }
+  plans_[key] = plan;
+  return plan;
+}
+
+Result<Relation> PlanCache::Execute(const ViewDefinition& view,
+                                    const RelationProvider& provider,
+                                    const ExecOptions& options) {
+  EVE_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedView> plan,
+                       Get(view, provider, options));
+  return ExecutePrepared(*plan);
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+}
+
+int64_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(plans_.size());
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace eve

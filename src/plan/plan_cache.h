@@ -1,0 +1,78 @@
+// PlanCache: memoizes PreparedView plans per (view definition, execution
+// options) so replay loops -- exp1-exp5 sweep thousands of
+// synchronize+execute rounds -- pay for planning once per schema epoch.
+//
+// Keying: the compact E-SQL rendering of the definition plus the option
+// bits.  The rendering captures everything plan-relevant (FROM items,
+// WHERE clauses, SELECT list), so an evolved view that keeps its name still
+// gets a fresh entry.
+//
+// Invalidation: Get() revalidates the cached plan against the provider
+// (PreparedView::Validate compares relation identity + version), so
+// relation mutations replan lazily on the next use.  Schema changes
+// restructure the space wholesale; EveSystem::NotifySchemaChange calls
+// Clear() after applying one.
+//
+// Thread-safe: all members may be called concurrently (the returned
+// shared_ptr keeps a plan alive even if another thread replaces it), with
+// the same single-writer caveat as Relation: mutating a base relation
+// concurrently with Get/Execute over it requires external synchronization
+// -- the stamps read by revalidation are atomic, but the tuple store a
+// racing execution would scan is not.
+
+#ifndef EVE_PLAN_PLAN_CACHE_H_
+#define EVE_PLAN_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "esql/ast.h"
+#include "plan/planner.h"
+#include "plan/prepared_view.h"
+#include "storage/relation.h"
+
+namespace eve {
+
+/// Hit/miss counters of a PlanCache (monotonic; for tests and telemetry).
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;    ///< No entry for the key.
+  int64_t replans = 0;   ///< Entry found but stale (failed validation).
+};
+
+/// A concurrent cache of prepared view plans.
+class PlanCache {
+ public:
+  /// Returns a valid plan for (view, options), reusing the cached one when
+  /// its relation snapshot still matches and replanning otherwise.
+  Result<std::shared_ptr<const PreparedView>> Get(
+      const ViewDefinition& view, const RelationProvider& provider,
+      const ExecOptions& options = {});
+
+  /// Plans (or reuses) and executes in one call; the cached counterpart of
+  /// ExecuteView.
+  Result<Relation> Execute(const ViewDefinition& view,
+                           const RelationProvider& provider,
+                           const ExecOptions& options = {});
+
+  /// Drops every cached plan (schema epoch change).
+  void Clear();
+
+  /// Number of cached plans.
+  int64_t size() const;
+
+  PlanCacheStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const PreparedView>> plans_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_PLAN_PLAN_CACHE_H_

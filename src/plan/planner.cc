@@ -1,0 +1,315 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "expr/selectivity.h"
+#include "storage/hash_index.h"
+
+namespace eve {
+
+namespace {
+
+// One FROM item resolved against the provider with its column offset in the
+// concatenated join layout.
+struct ResolvedFrom {
+  const FromItem* item;
+  const Relation* relation;
+  int offset;  // First column of this relation in the joined tuple.
+};
+
+Result<std::vector<ResolvedFrom>> ResolveAll(const ViewDefinition& view,
+                                             const RelationProvider& provider) {
+  std::vector<ResolvedFrom> out;
+  int offset = 0;
+  for (const FromItem& f : view.from_items) {
+    EVE_ASSIGN_OR_RETURN(const Relation* rel,
+                         provider.Resolve(f.site, f.relation));
+    out.push_back(ResolvedFrom{&f, rel, offset});
+    offset += rel->schema().size();
+  }
+  return out;
+}
+
+Result<Binding> MakeBinding(const std::vector<ResolvedFrom>& resolved) {
+  Binding binding;
+  for (const ResolvedFrom& rf : resolved) {
+    const Schema& schema = rf.relation->schema();
+    for (int i = 0; i < schema.size(); ++i) {
+      EVE_RETURN_IF_ERROR(binding.Register(
+          RelAttr{rf.item->name(), schema.attribute(i).name}, rf.offset + i));
+    }
+  }
+  return binding;
+}
+
+// Global column -> owning FROM item, precomputed for O(1) lookups on the
+// join hot path.
+std::vector<int> OwnerTable(const std::vector<ResolvedFrom>& resolved) {
+  std::vector<int> owner;
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    owner.insert(owner.end(), resolved[i].relation->schema().size(),
+                 static_cast<int>(i));
+  }
+  return owner;
+}
+
+// A bound cross-item WHERE clause annotated with the FROM items it
+// references; assigned to the first join step where all of them are joined.
+struct AnnotatedClause {
+  BoundClause bound;
+  std::vector<int> items;  // Sorted, unique owner item indexes (size 2).
+  bool applied = false;
+};
+
+// Greedy cost-ordered join selection: start from the smallest filtered
+// relation, then repeatedly add the item with the smallest estimated
+// intermediate result, preferring items connected to the joined prefix by
+// an evaluable clause (equi-join selectivity estimated as 1/V(join column)
+// through `estimator`).  Ties break toward FROM order, so plans are
+// deterministic.
+template <typename SelectivityEstimator>
+std::vector<int> GreedyJoinOrder(const std::vector<ResolvedFrom>& resolved,
+                                 const std::vector<int>& owner_of_col,
+                                 const std::vector<AnnotatedClause>& cross,
+                                 const std::vector<int64_t>& live,
+                                 SelectivityEstimator&& estimator) {
+  const int n = static_cast<int>(resolved.size());
+  std::vector<int> order;
+  std::vector<bool> joined(n, false);
+
+  std::map<std::pair<int, int>, double> sel_cache;
+  auto eq_sel = [&](int item, int local_col) {
+    const auto key = std::make_pair(item, local_col);
+    auto it = sel_cache.find(key);
+    if (it == sel_cache.end()) {
+      it = sel_cache.emplace(key, estimator(item, local_col)).first;
+    }
+    return it->second;
+  };
+
+  int first = 0;
+  for (int k = 1; k < n; ++k) {
+    if (live[k] < live[first]) first = k;
+  }
+  order.push_back(first);
+  joined[first] = true;
+  double est_rows = static_cast<double>(live[first]);
+
+  while (static_cast<int>(order.size()) < n) {
+    int best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    double best_est = 0.0;
+    for (int cand = 0; cand < n; ++cand) {
+      if (joined[cand]) continue;
+      double sel = 1.0;
+      bool connected = false;
+      for (const AnnotatedClause& c : cross) {
+        bool refs_cand = false;
+        bool rest_joined = true;
+        for (int item : c.items) {
+          if (item == cand) {
+            refs_cand = true;
+          } else if (!joined[item]) {
+            rest_joined = false;
+          }
+        }
+        if (!refs_cand || !rest_joined) continue;
+        connected = true;
+        if (c.bound.op == CompOp::kEqual && c.bound.rhs_column >= 0) {
+          const int cand_col = owner_of_col[c.bound.lhs_column] == cand
+                                   ? c.bound.lhs_column
+                                   : c.bound.rhs_column;
+          sel = std::min(sel, eq_sel(cand, cand_col - resolved[cand].offset));
+        } else {
+          sel = std::min(sel, 0.5);  // Conservative theta-join guess.
+        }
+      }
+      const double est = est_rows * static_cast<double>(live[cand]) * sel;
+      // Cross products only when nothing connects; the penalty keeps any
+      // connected item ahead of any unconnected one.
+      const double cost = connected ? est : (est + 1.0) * 1e12;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_est = est;
+        best = cand;
+      }
+    }
+    joined[best] = true;
+    order.push_back(best);
+    est_rows = std::max(1.0, best_est);
+  }
+  return order;
+}
+
+}  // namespace
+
+bool PreparedView::Validate(const RelationProvider& provider) const {
+  for (const PlannedFrom& pf : from) {
+    const auto resolved = provider.Resolve(pf.site, pf.relation);
+    if (!resolved.ok()) return false;
+    // Pointer first (a replaced relation must not be dereferenced through
+    // the stale plan pointer), then identity (same address may be a
+    // rebuilt object), then the mutation counter.
+    if (resolved.value() != pf.rel) return false;
+    if (resolved.value()->identity() != pf.identity) return false;
+    if (resolved.value()->version() != pf.version) return false;
+  }
+  return true;
+}
+
+Result<std::shared_ptr<const PreparedView>> PrepareView(
+    const ViewDefinition& view, const RelationProvider& provider,
+    const ExecOptions& options) {
+  EVE_RETURN_IF_ERROR(view.Validate());
+  EVE_ASSIGN_OR_RETURN(std::vector<ResolvedFrom> resolved,
+                       ResolveAll(view, provider));
+  EVE_ASSIGN_OR_RETURN(Binding binding, MakeBinding(resolved));
+  const int n = static_cast<int>(resolved.size());
+
+  auto plan = std::make_shared<PreparedView>();
+  plan->view_name = view.name;
+  plan->options = options;
+  plan->owner_of_col = OwnerTable(resolved);
+  const std::vector<int>& owner_of_col = plan->owner_of_col;
+  for (const ResolvedFrom& rf : resolved) {
+    plan->from.push_back(PlannedFrom{rf.item->site, rf.item->relation,
+                                     rf.relation, rf.relation->identity(),
+                                     rf.relation->version(), rf.offset});
+  }
+
+  // Bind every WHERE clause up front so reference errors surface regardless
+  // of join order or early termination, splitting local (single-item)
+  // selections from cross-item join predicates.
+  std::vector<std::vector<BoundClause>> local(n);  // Columns rebased to item.
+  std::vector<AnnotatedClause> cross;
+  for (const ConditionItem& c : view.where) {
+    EVE_ASSIGN_OR_RETURN(BoundClause bc, Bind(c.clause, binding));
+    std::vector<int> items{owner_of_col[bc.lhs_column]};
+    if (bc.rhs_column >= 0) items.push_back(owner_of_col[bc.rhs_column]);
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    if (items.size() == 1) {
+      const int k = items[0];
+      BoundClause rebased = bc;
+      rebased.lhs_column -= resolved[k].offset;
+      if (rebased.rhs_column >= 0) rebased.rhs_column -= resolved[k].offset;
+      local[k].push_back(std::move(rebased));
+    } else {
+      cross.push_back(AnnotatedClause{std::move(bc), std::move(items), false});
+    }
+  }
+
+  // Selection pushdown: per-item filtered row-id lists plus a membership
+  // mask for probing index lookups.  Relations without local predicates
+  // keep empty lists/masks ("every row passes") so unfiltered base tables
+  // cost nothing to prepare, regardless of cardinality.  `live` (passing-
+  // row counts) only drives the join-order heuristic below, so it stays
+  // local instead of bloating the cached plan.
+  plan->filtered.resize(n);
+  plan->passes.resize(n);
+  std::vector<int64_t> live(n);
+  for (int k = 0; k < n; ++k) {
+    const Relation& rel = *resolved[k].relation;
+    if (local[k].empty()) {
+      live[k] = rel.cardinality();
+      continue;
+    }
+    plan->passes[k].assign(rel.cardinality(), 0);
+    for (int64_t row = 0; row < rel.cardinality(); ++row) {
+      if (EvalAll(local[k], rel.tuple(row))) {
+        plan->passes[k][row] = 1;
+        plan->filtered[k].push_back(row);
+      }
+    }
+    live[k] = static_cast<int64_t>(plan->filtered[k].size());
+  }
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  if (options.reorder_joins && n > 1) {
+    // With the index cache on, distinct-count estimates come from the
+    // cached per-column indexes (amortized across calls, and the join will
+    // reuse the same index); otherwise measure over the filtered rows.
+    auto estimator = [&](int item, int local_col) -> double {
+      if (options.use_index_cache) {
+        const int64_t keys =
+            resolved[item].relation->Index(local_col).DistinctKeys();
+        return keys > 0 ? 1.0 / static_cast<double>(keys) : 1.0;
+      }
+      return EstimateEqJoinSelectivity(
+          *resolved[item].relation, local_col,
+          local[item].empty() ? nullptr : &plan->filtered[item]);
+    };
+    order = GreedyJoinOrder(resolved, owner_of_col, cross, live, estimator);
+  }
+
+  // Fix the per-step join strategy along the chosen order: which clauses
+  // first become evaluable at each step, and which of them serves as the
+  // hash-join key (prefix column vs a column of the step's relation).
+  plan->pos_of_item.assign(n, -1);
+  for (int s = 0; s < n; ++s) {
+    const int k = order[s];
+    plan->pos_of_item[k] = s;
+    PlannedJoinStep step;
+    step.item = k;
+    if (s > 0) {
+      for (AnnotatedClause& c : cross) {
+        if (c.applied) continue;
+        const bool ready =
+            std::all_of(c.items.begin(), c.items.end(), [&](int i) {
+              return plan->pos_of_item[i] >= 0;
+            });
+        if (!ready) continue;
+        c.applied = true;
+        const bool lhs_in_k = owner_of_col[c.bound.lhs_column] == k;
+        const bool rhs_is_col = c.bound.rhs_column >= 0;
+        const bool rhs_in_k =
+            rhs_is_col && owner_of_col[c.bound.rhs_column] == k;
+        if (step.key_right_local < 0 && c.bound.op == CompOp::kEqual &&
+            rhs_is_col && lhs_in_k != rhs_in_k) {
+          step.key_left_global =
+              lhs_in_k ? c.bound.rhs_column : c.bound.lhs_column;
+          step.key_right_local =
+              (lhs_in_k ? c.bound.lhs_column : c.bound.rhs_column) -
+              resolved[k].offset;
+        } else {
+          step.residual.push_back(c.bound);
+        }
+      }
+    }
+    plan->steps.push_back(std::move(step));
+  }
+
+  // Projection onto the SELECT list, reusing the already-resolved FROM
+  // vector and binding (no per-item provider lookups or schema scans).
+  std::vector<Attribute> out_attrs;
+  for (const SelectItem& s : view.select_items) {
+    EVE_ASSIGN_OR_RETURN(const int col, binding.Resolve(s.source));
+    const int owner = owner_of_col[col];
+    Attribute a = resolved[owner].relation->schema().attribute(
+        col - resolved[owner].offset);
+    a.name = s.name();
+    out_attrs.push_back(std::move(a));
+    plan->out_cols.push_back(
+        PreparedView::OutCol{owner, col - resolved[owner].offset});
+  }
+  plan->out_schema = Schema(std::move(out_attrs));
+
+  if (options.use_index_cache) {
+    // Warm the hash-join indexes the plan will probe, so concurrent first
+    // executions of this plan are pure cache hits.
+    for (const PlannedJoinStep& step : plan->steps) {
+      if (step.key_right_local >= 0) {
+        resolved[step.item].relation->WarmIndexes({step.key_right_local});
+      }
+    }
+  }
+  return std::shared_ptr<const PreparedView>(std::move(plan));
+}
+
+}  // namespace eve

@@ -1,0 +1,39 @@
+// Planner: builds a PreparedView from a view definition and a relation
+// provider.  This is the plan-building half of the former monolithic
+// executor (algebra/executor.cc); the execution half consumes the plan via
+// ExecutePrepared.
+//
+// Plan shape: resolve each FROM relation, push its local selection down to
+// a prefiltered row-id set, pick a greedy cost-ordered join order (driven
+// by filtered cardinalities and equi-join selectivity estimates), and fix
+// the per-step join strategy (hash-join key through per-Relation cached
+// indexes, nested-loop otherwise).  Data volumes in this library are
+// experiment-scale, but exp1-exp5 replay thousands of synchronize+execute
+// rounds, so planning work is meant to be amortized: prepare once, execute
+// per scenario (see plan/plan_cache.h for the cached entry point).
+
+#ifndef EVE_PLAN_PLANNER_H_
+#define EVE_PLAN_PLANNER_H_
+
+#include <memory>
+
+#include "algebra/provider.h"
+#include "common/result.h"
+#include "esql/ast.h"
+#include "expr/eval.h"
+#include "plan/prepared_view.h"
+
+namespace eve {
+
+/// Plans `view` against `provider`.  The returned plan is immutable, safe
+/// to execute concurrently, and valid until any referenced relation
+/// mutates (PreparedView::Validate).  With options.use_index_cache the
+/// hash-join indexes the plan needs are pre-built here (WarmIndexes), so
+/// parallel first executions never race on index construction.
+Result<std::shared_ptr<const PreparedView>> PrepareView(
+    const ViewDefinition& view, const RelationProvider& provider,
+    const ExecOptions& options = {});
+
+}  // namespace eve
+
+#endif  // EVE_PLAN_PLANNER_H_

@@ -1,0 +1,104 @@
+// PreparedView: the immutable artifact of planning a view once so that
+// executing it many times costs only the join work.
+//
+// The planner (plan/planner.h) resolves the FROM items, binds every WHERE
+// clause, pushes single-relation selections down to row-id lists, picks the
+// greedy cost-ordered join order, and fixes the per-step join strategy
+// (hash key vs residual predicates).  All of that is captured here; the
+// executor half (algebra/executor.h, ExecutePrepared) only replays it.
+//
+// A plan snapshots the (pointer, identity, version) triple of every base
+// relation it was built against (see Relation::identity()/version()).
+// Validate() re-resolves the names through the provider and compares all
+// three, so a plan over mutated or replaced relations -- even one rebuilt
+// at the same address -- is detected as stale instead of silently reading
+// outdated pushdown sets.  Plans are immutable after construction and safe
+// to execute from many threads concurrently.
+
+#ifndef EVE_PLAN_PREPARED_VIEW_H_
+#define EVE_PLAN_PREPARED_VIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algebra/provider.h"
+#include "catalog/schema.h"
+#include "expr/eval.h"
+#include "storage/relation.h"
+
+namespace eve {
+
+/// Execution options.
+struct ExecOptions {
+  /// Deduplicate the result (set semantics).  The paper's extent
+  /// comparisons assume duplicates are removed (§5.3).
+  bool distinct = true;
+  /// Greedy cost-ordered join selection (smallest estimated intermediate
+  /// first).  Off: join in FROM order, as the reference executor does.
+  bool reorder_joins = true;
+  /// Reuse per-Relation cached hash indexes for equi joins instead of
+  /// rebuilding an index on every call.  Prepare() additionally pre-builds
+  /// (warms) the indexes its join steps need, so concurrent executions of
+  /// one plan never contend on first-use index builds.
+  bool use_index_cache = true;
+};
+
+/// One FROM item resolved against the provider, with the snapshot the plan
+/// was built from.
+struct PlannedFrom {
+  std::string site;      ///< FROM item's site qualifier (may be empty).
+  std::string relation;  ///< FROM item's relation name.
+  const Relation* rel = nullptr;
+  uint64_t identity = 0;  ///< rel->identity() at plan time.
+  uint64_t version = 0;   ///< rel->version() at plan time.
+  int offset = 0;         ///< First column in the concatenated join layout.
+};
+
+/// One join step of the fixed execution order.
+struct PlannedJoinStep {
+  int item = 0;  ///< FROM item index joined at this step.
+  /// Hash-join key when >= 0 (only for steps after the first): an equality
+  /// clause connecting the joined prefix to `item`.
+  int key_left_global = -1;   ///< Prefix-side column, full-layout index.
+  int key_right_local = -1;   ///< Column within `item`'s relation.
+  /// Residual cross-item predicates that first become evaluable at this
+  /// step (full-layout column indexes).
+  std::vector<BoundClause> residual;
+};
+
+/// The immutable prepared plan.  Produced by PrepareView (plan/planner.h),
+/// consumed by ExecutePrepared (algebra/executor.h) and cached by PlanCache
+/// (plan/plan_cache.h).
+struct PreparedView {
+  std::string view_name;
+  ExecOptions options;  ///< Options the plan was built under.
+
+  std::vector<PlannedFrom> from;
+  std::vector<int> owner_of_col;  ///< Global column -> owning FROM item.
+
+  // Selection pushdown snapshot (content-dependent; guarded by versions).
+  // Items without local predicates keep empty lists/masks ("every row
+  // passes"), so unfiltered base tables cost nothing to prepare.
+  std::vector<std::vector<int64_t>> filtered;  ///< Per item; empty = all pass.
+  std::vector<std::vector<uint8_t>> passes;    ///< Row mask; empty = all pass.
+
+  std::vector<PlannedJoinStep> steps;  ///< steps[0] is the driving scan.
+  std::vector<int> pos_of_item;        ///< FROM item -> position in order.
+
+  struct OutCol {
+    int item = 0;   ///< FROM item owning the projected column.
+    int local = 0;  ///< Column index within that relation.
+  };
+  std::vector<OutCol> out_cols;
+  Schema out_schema;
+
+  /// True iff every planned relation still resolves to the same instance
+  /// with the same version through `provider`.  A false result means the
+  /// plan must be rebuilt (relation mutated, replaced, or dropped).
+  bool Validate(const RelationProvider& provider) const;
+};
+
+}  // namespace eve
+
+#endif  // EVE_PLAN_PREPARED_VIEW_H_

@@ -1,6 +1,7 @@
 #include "storage/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 #include "common/str_util.h"
@@ -22,7 +23,122 @@ bool TypeConforms(DataType declared, DataType actual) {
   return declared_num && actual_num;
 }
 
+// Hash -> row ids of the distinct representatives seen so far.  Equality is
+// confirmed tuple-by-tuple within a bucket, so hash collisions stay correct.
+using HashBuckets = std::unordered_map<size_t, std::vector<int64_t>>;
+
+bool BucketContains(const HashBuckets& buckets, size_t hash,
+                    const std::vector<Tuple>& tuples, const Tuple& t) {
+  const auto it = buckets.find(hash);
+  if (it == buckets.end()) return false;
+  for (const int64_t row : it->second) {
+    if (tuples[row] == t) return true;
+  }
+  return false;
+}
+
+// Records row `i` as a distinct representative unless an equal tuple is
+// already in its bucket; true iff the row was new.  The shared primitive
+// of every hashed dedup path below.
+bool InsertIfDistinct(HashBuckets& buckets, size_t hash,
+                      const std::vector<Tuple>& tuples, int64_t i) {
+  std::vector<int64_t>& bucket = buckets[hash];
+  for (const int64_t j : bucket) {
+    if (tuples[j] == tuples[i]) return false;
+  }
+  bucket.push_back(i);
+  return true;
+}
+
 }  // namespace
+
+uint64_t Relation::NextIdentity() {
+  // Process-unique stamps: a relation rebuilt at the same address with the
+  // same mutation count still gets a different identity, so prepared-plan
+  // revalidation cannot be fooled by address reuse.
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Relation::DropCaches() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  index_cache_.clear();
+  hash_cache_.reset();
+  caches_present_.store(false, std::memory_order_release);
+}
+
+Relation::Relation(const Relation& other)
+    : name_(other.name_),
+      schema_(other.schema_),
+      tuples_(other.tuples_) {
+  std::lock_guard<std::mutex> lock(other.cache_mutex_);
+  index_cache_ = other.index_cache_;
+  hash_cache_ = other.hash_cache_;
+  caches_present_.store(other.caches_present_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  schema_ = other.schema_;
+  tuples_ = other.tuples_;
+  identity_ = NextIdentity();
+  version_ = 0;
+  std::unordered_map<int, std::shared_ptr<const HashIndex>> indexes;
+  std::shared_ptr<const std::vector<size_t>> hashes;
+  {
+    std::lock_guard<std::mutex> lock(other.cache_mutex_);
+    indexes = other.index_cache_;
+    hashes = other.hash_cache_;
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  index_cache_ = std::move(indexes);
+  hash_cache_ = std::move(hashes);
+  caches_present_.store(!index_cache_.empty() || hash_cache_ != nullptr,
+                        std::memory_order_release);
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : name_(std::move(other.name_)),
+      schema_(std::move(other.schema_)),
+      tuples_(std::move(other.tuples_)) {
+  std::lock_guard<std::mutex> lock(other.cache_mutex_);
+  index_cache_ = std::move(other.index_cache_);
+  hash_cache_ = std::move(other.hash_cache_);
+  caches_present_.store(!index_cache_.empty() || hash_cache_ != nullptr,
+                        std::memory_order_release);
+  other.caches_present_.store(false, std::memory_order_release);
+  // The source's tuples were stolen: restamp it so stale plans notice.
+  other.identity_ = NextIdentity();
+  other.version_ = 0;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  schema_ = std::move(other.schema_);
+  tuples_ = std::move(other.tuples_);
+  identity_ = NextIdentity();
+  version_ = 0;
+  std::unordered_map<int, std::shared_ptr<const HashIndex>> indexes;
+  std::shared_ptr<const std::vector<size_t>> hashes;
+  {
+    std::lock_guard<std::mutex> lock(other.cache_mutex_);
+    indexes = std::move(other.index_cache_);
+    hashes = std::move(other.hash_cache_);
+    other.caches_present_.store(false, std::memory_order_release);
+    other.identity_ = NextIdentity();
+    other.version_ = 0;
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  index_cache_ = std::move(indexes);
+  hash_cache_ = std::move(hashes);
+  caches_present_.store(!index_cache_.empty() || hash_cache_ != nullptr,
+                        std::memory_order_release);
+  return *this;
+}
 
 Status Relation::Insert(Tuple t) {
   if (t.size() != schema_.size()) {
@@ -38,7 +154,7 @@ Status Relation::Insert(Tuple t) {
           std::string(DataTypeName(schema_.attribute(i).type)).c_str()));
     }
   }
-  InvalidateIndexes();
+  MarkMutated();
   tuples_.push_back(std::move(t));
   return Status::OK();
 }
@@ -54,18 +170,45 @@ int64_t Relation::Erase(const Tuple& t, bool all_occurrences) {
       ++it;
     }
   }
-  if (removed > 0) InvalidateIndexes();
+  if (removed > 0) MarkMutated();
   return removed;
 }
 
 const HashIndex& Relation::Index(int column) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   auto it = index_cache_.find(column);
   if (it == index_cache_.end()) {
     it = index_cache_
              .emplace(column, std::make_shared<const HashIndex>(*this, column))
              .first;
+    caches_present_.store(true, std::memory_order_release);
   }
   return *it->second;
+}
+
+void Relation::WarmIndexes(const std::vector<int>& columns) const {
+  for (const int column : columns) {
+    if (column < 0 || column >= schema_.size()) continue;
+    (void)Index(column);
+  }
+}
+
+std::shared_ptr<const std::vector<size_t>> Relation::TupleHashes() const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (hash_cache_ != nullptr) return hash_cache_;
+  }
+  // Hash outside the lock; concurrent first calls may both compute, the
+  // first to store wins and the results are identical anyway.
+  auto hashes = std::make_shared<std::vector<size_t>>();
+  hashes->reserve(tuples_.size());
+  for (const Tuple& t : tuples_) hashes->push_back(t.Hash());
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (hash_cache_ == nullptr) {
+    hash_cache_ = std::move(hashes);
+    caches_present_.store(true, std::memory_order_release);
+  }
+  return hash_cache_;
 }
 
 bool Relation::ContainsTuple(const Tuple& t) const {
@@ -75,9 +218,13 @@ bool Relation::ContainsTuple(const Tuple& t) const {
 
 Relation Relation::Distinct() const {
   Relation out(name_, schema_);
-  std::unordered_set<Tuple, TupleHash> seen;
-  for (const Tuple& t : tuples_) {
-    if (seen.insert(t).second) out.InsertUnchecked(t);
+  const auto hashes = TupleHashes();
+  HashBuckets buckets;
+  buckets.reserve(tuples_.size());
+  for (int64_t i = 0; i < static_cast<int64_t>(tuples_.size()); ++i) {
+    if (InsertIfDistinct(buckets, (*hashes)[i], tuples_, i)) {
+      out.InsertUnchecked(tuples_[i]);
+    }
   }
   return out;
 }
@@ -100,8 +247,14 @@ Result<Relation> Relation::ProjectByName(
 }
 
 int64_t Relation::DistinctCount() const {
-  std::unordered_set<Tuple, TupleHash> seen(tuples_.begin(), tuples_.end());
-  return static_cast<int64_t>(seen.size());
+  const auto hashes = TupleHashes();
+  HashBuckets buckets;
+  buckets.reserve(tuples_.size());
+  int64_t distinct = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(tuples_.size()); ++i) {
+    if (InsertIfDistinct(buckets, (*hashes)[i], tuples_, i)) ++distinct;
+  }
+  return distinct;
 }
 
 std::string Relation::ToString(int64_t max_rows) const {
@@ -172,9 +325,30 @@ Result<Relation> SetDifference(const Relation& a, const Relation& b) {
 
 bool SetEquals(const Relation& a, const Relation& b) {
   if (a.schema().size() != b.schema().size()) return false;
-  std::unordered_set<Tuple, TupleHash> sa(a.tuples().begin(), a.tuples().end());
-  std::unordered_set<Tuple, TupleHash> sb(b.tuples().begin(), b.tuples().end());
-  return sa == sb;
+  const auto ha = a.TupleHashes();
+  const auto hb = b.TupleHashes();
+
+  // Distinct representatives of `a`, bucketed by cached hash.
+  HashBuckets buckets_a;
+  buckets_a.reserve(a.tuples().size());
+  int64_t distinct_a = 0;
+  for (int64_t i = 0; i < a.cardinality(); ++i) {
+    if (InsertIfDistinct(buckets_a, (*ha)[i], a.tuples(), i)) ++distinct_a;
+  }
+
+  // b ⊆ a, counting b's distinct tuples along the way: equal distinct
+  // counts plus containment imply set equality.
+  HashBuckets buckets_b;
+  buckets_b.reserve(b.tuples().size());
+  int64_t distinct_b = 0;
+  for (int64_t i = 0; i < b.cardinality(); ++i) {
+    if (!InsertIfDistinct(buckets_b, (*hb)[i], b.tuples(), i)) continue;
+    ++distinct_b;
+    if (!BucketContains(buckets_a, (*hb)[i], a.tuples(), b.tuple(i))) {
+      return false;
+    }
+  }
+  return distinct_a == distinct_b;
 }
 
 }  // namespace eve

@@ -4,11 +4,29 @@
 // Relations use bag semantics by default; Distinct() derives the set-
 // semantics version that the paper's extent comparisons require
 // ("duplicates removed first", §5.3).
+//
+// Concurrency: the tuple store itself is single-writer (mutations are not
+// synchronized), but the lazily built per-column index cache and the
+// tuple-hash column are guarded by a mutex, so any number of threads may
+// execute read-only queries (Index / TupleHashes / Distinct / SetEquals)
+// against the same unchanging relation concurrently.  WarmIndexes() can
+// pre-build the indexes a prepared plan needs so parallel executions never
+// contend on first use.
+//
+// Every relation carries a process-unique identity stamp (assigned at
+// construction and on copy/move, `identity()`) plus a cheap per-instance
+// mutation counter (`version()`).  Prepared query plans snapshot the
+// (pointer, identity, version) triple and revalidate it before reuse, so a
+// stale plan over mutated -- or destroyed-and-rebuilt-at-the-same-address
+// -- data replans instead of reading dropped caches.
 
 #ifndef EVE_STORAGE_RELATION_H_
 #define EVE_STORAGE_RELATION_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +47,15 @@ class Relation {
   Relation(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
 
+  // Copies share the already-built immutable caches (indexes store row ids
+  // only, so they stay valid for the copied tuple vector); each copy gets a
+  // fresh identity stamp because it is a distinct object.  The cache mutex
+  // is per-instance and never copied.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   const Schema& schema() const { return schema_; }
@@ -38,13 +65,27 @@ class Relation {
   const std::vector<Tuple>& tuples() const { return tuples_; }
   const Tuple& tuple(int64_t i) const { return tuples_[i]; }
 
+  /// Process-unique object-identity stamp: fresh per construction, copy,
+  /// and move (a moved-from relation is restamped too, since its tuples
+  /// were stolen).  Together with version() it lets prepared plans detect
+  /// a relation that was destroyed and rebuilt at the same address.
+  uint64_t identity() const { return identity_.load(std::memory_order_acquire); }
+
+  /// Mutation counter of this instance; bumped by every Insert /
+  /// InsertUnchecked / Erase / Clear.  Two observations with equal
+  /// (identity, version) saw identical data.  Stamps are atomic so a
+  /// concurrent plan revalidation reads a consistent value, but a reader
+  /// racing a mutation may see either stamp -- observing the tuple store
+  /// itself still requires the single-writer contract above.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
   /// Appends a tuple after checking arity and type conformance.
   Status Insert(Tuple t);
 
   /// Appends without checks; for internal operators that construct
   /// schema-conforming tuples by construction.
   void InsertUnchecked(Tuple t) {
-    InvalidateIndexes();
+    MarkMutated();
     tuples_.push_back(std::move(t));
   }
 
@@ -53,15 +94,24 @@ class Relation {
   int64_t Erase(const Tuple& t, bool all_occurrences = false);
 
   void Clear() {
-    InvalidateIndexes();
+    MarkMutated();
     tuples_.clear();
   }
 
   /// Cached equality index on `column`, built on first use and dropped by
   /// any mutation (Insert / InsertUnchecked / Erase / Clear).  Copies of the
-  /// relation share the already-built (immutable) indexes.  Not thread-safe:
-  /// concurrent first-use builds on the same instance would race.
+  /// relation share the already-built (immutable) indexes.  Thread-safe:
+  /// concurrent first-use builds are serialized by the cache mutex.
   const HashIndex& Index(int column) const;
+
+  /// Pre-builds the indexes on `columns` (deduplicated) so later concurrent
+  /// Index() calls are pure cache hits.  Out-of-range columns are ignored.
+  void WarmIndexes(const std::vector<int>& columns) const;
+
+  /// Cached per-row tuple hashes (hashes[i] == tuple(i).Hash()), built on
+  /// first use and dropped by any mutation.  The shared_ptr keeps the
+  /// column alive across a concurrent invalidation.  Thread-safe.
+  std::shared_ptr<const std::vector<size_t>> TupleHashes() const;
 
   /// True iff some tuple equals `t`.
   bool ContainsTuple(const Tuple& t) const;
@@ -82,16 +132,36 @@ class Relation {
   std::string ToString(int64_t max_rows = 20) const;
 
  private:
-  void InvalidateIndexes() {
-    if (!index_cache_.empty()) index_cache_.clear();
+  static uint64_t NextIdentity();
+
+  // Mutations are single-writer (class comment), so the version bump is a
+  // load+store (no read-modify-write needed) and the cache clear is
+  // skipped entirely unless a cache was actually built -- result
+  // materialization inserts row by row and must not pay a lock or an
+  // atomic RMW per tuple.
+  void MarkMutated() {
+    version_.store(version_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+    if (caches_present_.load(std::memory_order_acquire)) DropCaches();
   }
+
+  void DropCaches();
 
   std::string name_;
   Schema schema_;
   std::vector<Tuple> tuples_;
+  std::atomic<uint64_t> identity_{NextIdentity()};
+  std::atomic<uint64_t> version_{0};
+  /// Guards index_cache_ and hash_cache_ (not the tuple store).
+  mutable std::mutex cache_mutex_;
+  /// True iff index_cache_ or hash_cache_ holds anything; lets MarkMutated
+  /// skip the lock on cache-free relations.
+  mutable std::atomic<bool> caches_present_{false};
   /// Lazily built per-column equality indexes (see Index()).  Indexes store
   /// row ids only, so copied relations can keep sharing them.
   mutable std::unordered_map<int, std::shared_ptr<const HashIndex>> index_cache_;
+  /// Lazily built per-row tuple hashes (see TupleHashes()).
+  mutable std::shared_ptr<const std::vector<size_t>> hash_cache_;
 };
 
 /// Set operations under set semantics (inputs deduplicated first).  Schemas
@@ -100,7 +170,9 @@ Result<Relation> SetUnion(const Relation& a, const Relation& b);
 Result<Relation> SetIntersect(const Relation& a, const Relation& b);
 Result<Relation> SetDifference(const Relation& a, const Relation& b);
 
-/// True iff the distinct tuple sets are equal.
+/// True iff the distinct tuple sets are equal.  Uses the cached tuple-hash
+/// columns of both inputs, so repeated extent comparisons against
+/// unchanged relations skip re-hashing entirely.
 bool SetEquals(const Relation& a, const Relation& b);
 
 }  // namespace eve

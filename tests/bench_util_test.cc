@@ -83,12 +83,14 @@ TEST(UniformInput, PlacesRelationsSiteMajor) {
 
 TEST(BenchJson, RendersRecordsAndEscapes) {
   std::vector<BenchRecord> records;
-  records.push_back(BenchRecord{"BM_Foo/256", 1234.5, 100});
+  records.push_back(BenchRecord{"BM_Foo/256", 1234.5, 100, 4});
   records.push_back(BenchRecord{"BM_\"quoted\"", 2.0, 7});
   const std::string json = BenchRecordsToJson(records);
   EXPECT_NE(json.find("\"name\": \"BM_Foo/256\""), std::string::npos);
   EXPECT_NE(json.find("\"ns_per_op\": 1234.500"), std::string::npos);
   EXPECT_NE(json.find("\"iterations\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 1"), std::string::npos);
   EXPECT_NE(json.find("BM_\\\"quoted\\\""), std::string::npos);
   // The two records are separated by exactly one comma line.
   EXPECT_NE(json.find("},"), std::string::npos);

@@ -82,6 +82,56 @@ TEST(Relation, SetOperations) {
   EXPECT_FALSE(SetUnion(a, c).ok());
 }
 
+TEST(Relation, VersionChangesOnEveryMutation) {
+  Relation rel("R", Schema({Attribute::Make("A", DataType::kInt64)}));
+  uint64_t v = rel.version();
+  rel.InsertUnchecked(Tuple{Value(1)});
+  EXPECT_NE(rel.version(), v);
+  v = rel.version();
+  ASSERT_TRUE(rel.Insert(Tuple{Value(2)}).ok());
+  EXPECT_NE(rel.version(), v);
+  v = rel.version();
+  EXPECT_EQ(rel.Erase(Tuple{Value(1)}), 1);
+  EXPECT_NE(rel.version(), v);
+  v = rel.version();
+  EXPECT_EQ(rel.Erase(Tuple{Value(99)}), 0);  // No-op erase: no new stamp.
+  EXPECT_EQ(rel.version(), v);
+  rel.Clear();
+  EXPECT_NE(rel.version(), v);
+
+  // Copies are distinct objects with their own identity stamps; moving
+  // steals the tuples, so the source is restamped too.
+  const Relation copy = rel;
+  EXPECT_NE(copy.identity(), rel.identity());
+  const uint64_t source_identity = rel.identity();
+  const Relation moved = std::move(rel);
+  EXPECT_NE(moved.identity(), source_identity);
+  EXPECT_NE(rel.identity(), source_identity);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(Relation, TupleHashCacheReusedAndInvalidated) {
+  Relation rel("R", Schema({Attribute::Make("A", DataType::kInt64)}));
+  for (int v : {3, 1, 3}) rel.InsertUnchecked(Tuple{Value(v)});
+  const auto hashes = rel.TupleHashes();
+  ASSERT_EQ(hashes->size(), 3u);
+  EXPECT_EQ((*hashes)[0], rel.tuple(0).Hash());
+  // Second call returns the same cached column.
+  EXPECT_EQ(rel.TupleHashes().get(), hashes.get());
+
+  // Mutation drops the cache; the old shared_ptr stays readable.
+  rel.InsertUnchecked(Tuple{Value(2)});
+  const auto fresh = rel.TupleHashes();
+  EXPECT_NE(fresh.get(), hashes.get());
+  ASSERT_EQ(fresh->size(), 4u);
+  EXPECT_EQ((*fresh)[3], rel.tuple(3).Hash());
+  EXPECT_EQ(hashes->size(), 3u);
+
+  // The hashed paths stay correct across the mutation.
+  EXPECT_EQ(rel.DistinctCount(), 3);
+  EXPECT_EQ(rel.Distinct().cardinality(), 3);
+  EXPECT_TRUE(SetEquals(rel, rel.Distinct()));
+}
+
 TEST(Relation, ProjectByName) {
   Relation rel = TwoColumn();
   ASSERT_TRUE(rel.Insert(Tuple{Value(1), Value("a")}).ok());
