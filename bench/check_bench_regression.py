@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fails when a benchmark regresses against the checked-in reference run.
+
+Usage:
+    check_bench_regression.py CURRENT.json REFERENCE.json [--max-ratio 2.0]
+
+Both files use the BENCH_micro.json schema written by micro_benchmarks
+(src/bench_util/bench_json.h): {"benchmarks": [{"name", "ns_per_op",
+"iterations", "threads"}, ...]}.
+
+A benchmark "regresses" when current ns_per_op exceeds the reference by
+more than --max-ratio (default 2.0).  The generous threshold absorbs
+machine-to-machine variance between the CI runner and the machine that
+produced the reference; a >2x slide on the same benchmark is almost always
+a real algorithmic regression, not noise.  Benchmarks present on only one
+side are reported but never fail the check, so adding or retiring
+benchmarks does not require touching the reference in the same commit.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for record in doc.get("benchmarks", []):
+        # Multi-threaded variants of one benchmark share a name; key on
+        # (name, threads) so they compare against their own configuration.
+        key = (record["name"], record.get("threads", 1))
+        out[key] = float(record["ns_per_op"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("reference")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current/reference exceeds this")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    reference = load(args.reference)
+
+    regressions = []
+    compared = 0
+    for key, ref_ns in sorted(reference.items()):
+        if key not in current:
+            print(f"note: {key[0]} (threads={key[1]}) missing from current run")
+            continue
+        cur_ns = current[key]
+        compared += 1
+        ratio = cur_ns / ref_ns if ref_ns > 0 else float("inf")
+        marker = "REGRESSION" if ratio > args.max_ratio else "ok"
+        print(f"{marker:>10}  {key[0]} (threads={key[1]}): "
+              f"{cur_ns:.0f} ns vs {ref_ns:.0f} ns ({ratio:.2f}x)")
+        if ratio > args.max_ratio:
+            regressions.append(key)
+    for key in sorted(set(current) - set(reference)):
+        print(f"note: {key[0]} (threads={key[1]}) not in reference (new?)")
+
+    if compared == 0:
+        print("error: no overlapping benchmarks to compare", file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"error: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.max_ratio}x", file=sys.stderr)
+        return 1
+    print(f"all {compared} compared benchmarks within {args.max_ratio}x "
+          "of reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,26 +10,25 @@
 
 #include "expr/comp_op.h"
 #include "storage/hash_index.h"
+#include "storage/row_dedup.h"
 
 namespace eve {
 
 Result<Relation> ExecutePrepared(const PreparedView& plan) {
   const int n = static_cast<int>(plan.from.size());
-  const std::vector<int>& owner_of_col = plan.owner_of_col;
   const std::vector<int>& pos_of_item = plan.pos_of_item;
 
-  // Working set: flat vector of row-id combinations, `width` ids per combo,
-  // combo position pos_of_item[k] holding the row of FROM item k.  Base
-  // tuples are dereferenced only for predicate columns; nothing is
-  // materialized until the final projection.
-  std::vector<int64_t> current;
-  int width = 0;
+  // Struct-of-arrays working set (see JoinWorkingSet): one row-id column
+  // per joined FROM item.  Base tuples are dereferenced only for predicate
+  // columns; nothing is materialized until the final projection.
+  JoinWorkingSet ws;
+  ws.columns.reserve(n);
 
-  auto value_at = [&](const int64_t* combo, int col) -> const Value& {
-    const int owner = owner_of_col[col];
-    return plan.from[owner].rel->tuple(combo[pos_of_item[owner]])
-        .at(col - plan.from[owner].offset);
-  };
+  // Per-step candidate buffers, reused across steps: candidate i is the
+  // pair (parents[i] = combo index in the current working set, rows[i] =
+  // row id of the step's relation).
+  std::vector<int64_t> parents;
+  std::vector<int64_t> rows;
 
   for (int s = 0; s < n; ++s) {
     const PlannedJoinStep& step = plan.steps[s];
@@ -37,31 +36,21 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
     const Relation& rel = *plan.from[k].rel;
 
     if (s == 0) {
+      std::vector<int64_t> driving;
       if (plan.filtered[k].empty() && plan.passes[k].empty()) {
-        current.resize(rel.cardinality());
-        std::iota(current.begin(), current.end(), int64_t{0});
+        driving.resize(rel.cardinality());
+        std::iota(driving.begin(), driving.end(), int64_t{0});
       } else {
-        current = plan.filtered[k];
+        driving = plan.filtered[k];
       }
-      width = 1;
-      if (current.empty()) break;
+      ws.combos = driving.size();
+      ws.columns.push_back(std::move(driving));
+      if (ws.combos == 0) break;
       continue;
     }
 
-    std::vector<int64_t> next;
-    std::vector<int64_t> scratch(width + 1);
-    auto emit = [&](const int64_t* prefix, int64_t row) {
-      std::copy(prefix, prefix + width, scratch.begin());
-      scratch[width] = row;
-      for (const BoundClause& c : step.residual) {
-        const Value& lhs = value_at(scratch.data(), c.lhs_column);
-        const Value& rhs = c.rhs_column >= 0
-                               ? value_at(scratch.data(), c.rhs_column)
-                               : c.rhs_value;
-        if (!EvalCompOp(c.op, lhs, rhs)) return;
-      }
-      next.insert(next.end(), scratch.begin(), scratch.end());
-    };
+    parents.clear();
+    rows.clear();
 
     if (step.key_right_local >= 0) {
       std::optional<HashIndex> scoped_index;
@@ -72,52 +61,134 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
         scoped_index.emplace(rel, step.key_right_local);
         index = &*scoped_index;
       }
-      for (size_t base = 0; base < current.size();
-           base += static_cast<size_t>(width)) {
-        const int64_t* prefix = &current[base];
-        for (int64_t row :
-             index->Lookup(value_at(prefix, step.key_left_global))) {
-          if (!plan.passes[k].empty() && !plan.passes[k][row]) continue;
-          emit(prefix, row);
+      // Batch probe: the key source is one (relation, column) pair over one
+      // row-id column, so everything loop-invariant is hoisted and the scan
+      // touches memory sequentially.
+      const Relation& key_rel = *plan.from[step.key_left_item].rel;
+      const int key_local = step.key_left_local;
+      const std::vector<int64_t>& key_col =
+          ws.columns[pos_of_item[step.key_left_item]];
+      const std::vector<uint8_t>& passes = plan.passes[k];
+      for (size_t i = 0; i < ws.combos; ++i) {
+        const Value& key = key_rel.tuple(key_col[i]).at(key_local);
+        for (int64_t row : index->Lookup(key)) {
+          if (!passes.empty() && !passes[row]) continue;
+          parents.push_back(static_cast<int64_t>(i));
+          rows.push_back(row);
         }
       }
     } else {
       // Nested loop over the prefiltered rows (cross product + residuals).
       const bool unfiltered =
           plan.filtered[k].empty() && plan.passes[k].empty();
-      for (size_t base = 0; base < current.size();
-           base += static_cast<size_t>(width)) {
+      for (size_t i = 0; i < ws.combos; ++i) {
         if (unfiltered) {
           for (int64_t row = 0; row < rel.cardinality(); ++row) {
-            emit(&current[base], row);
+            parents.push_back(static_cast<int64_t>(i));
+            rows.push_back(row);
           }
         } else {
-          for (int64_t row : plan.filtered[k]) emit(&current[base], row);
+          for (int64_t row : plan.filtered[k]) {
+            parents.push_back(static_cast<int64_t>(i));
+            rows.push_back(row);
+          }
         }
       }
     }
-    current = std::move(next);
-    width += 1;
-    if (current.empty()) break;  // Later joins cannot resurrect tuples.
+
+    // Residual predicates filter the candidate pairs in place (no combo
+    // copies yet; values are read through the parent indirection).
+    if (!step.residual.empty()) {
+      size_t kept = 0;
+      for (size_t i = 0; i < parents.size(); ++i) {
+        bool pass = true;
+        for (const PlannedResidual& c : step.residual) {
+          const auto side = [&](int item, int local) -> const Value& {
+            const int64_t row = item == k
+                                    ? rows[i]
+                                    : ws.columns[pos_of_item[item]][parents[i]];
+            return plan.from[item].rel->tuple(row).at(local);
+          };
+          const Value& lhs = side(c.lhs_item, c.lhs_local);
+          const Value& rhs =
+              c.rhs_item >= 0 ? side(c.rhs_item, c.rhs_local) : c.rhs_value;
+          if (!EvalCompOp(c.op, lhs, rhs)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) {
+          parents[kept] = parents[i];
+          rows[kept] = rows[i];
+          ++kept;
+        }
+      }
+      parents.resize(kept);
+      rows.resize(kept);
+    }
+
+    // Gather the surviving parents through every existing column -- one
+    // sequential batch copy per column instead of a scratch copy per
+    // candidate -- then append the new item's rows as its own column.
+    for (std::vector<int64_t>& column : ws.columns) {
+      std::vector<int64_t> gathered;
+      gathered.reserve(parents.size());
+      for (const int64_t p : parents) gathered.push_back(column[p]);
+      column = std::move(gathered);
+    }
+    ws.columns.push_back(std::move(rows));
+    ws.combos = parents.size();
+    if (ws.combos == 0) break;  // Later joins cannot resurrect tuples.
   }
 
-  // Materialize, fusing the distinct pass into the projection so duplicate
-  // rows are never copied into the result.
+  // Materialize, fusing the distinct pass into the projection.  Hashing and
+  // equality run against the base relations through the row-id columns, so
+  // duplicate combos are rejected before any tuple is constructed; only
+  // distinct rows ever allocate.
   Relation result(plan.view_name, plan.out_schema);
-  std::unordered_set<Tuple, TupleHash> seen;
-  if (!current.empty() && width == n) {
-    for (size_t base = 0; base < current.size();
-         base += static_cast<size_t>(n)) {
+  if (ws.combos > 0 && static_cast<int>(ws.columns.size()) == n) {
+    struct OutSrc {
+      const Relation* rel;
+      const std::vector<int64_t>* col;
+      int local;
+    };
+    std::vector<OutSrc> src;
+    src.reserve(plan.out_cols.size());
+    for (const PreparedView::OutCol& oc : plan.out_cols) {
+      src.push_back(OutSrc{plan.from[oc.item].rel,
+                           &ws.columns[pos_of_item[oc.item]], oc.local});
+    }
+    const auto value_of = [&](const OutSrc& s, size_t combo) -> const Value& {
+      return s.rel->tuple((*s.col)[combo]).at(s.local);
+    };
+    const auto emit = [&](size_t combo) {
       std::vector<Value> values;
-      values.reserve(plan.out_cols.size());
-      for (const PreparedView::OutCol& oc : plan.out_cols) {
-        values.push_back(plan.from[oc.item]
-                             .rel->tuple(current[base + pos_of_item[oc.item]])
-                             .at(oc.local));
+      values.reserve(src.size());
+      for (const OutSrc& s : src) values.push_back(value_of(s, combo));
+      result.InsertUnchecked(Tuple(std::move(values)));
+    };
+    if (!plan.options.distinct) {
+      for (size_t i = 0; i < ws.combos; ++i) emit(i);
+    } else {
+      RowDedupTable seen(ws.combos);
+      for (size_t i = 0; i < ws.combos; ++i) {
+        size_t h = 0xcbf29ce484222325ULL;
+        for (const OutSrc& s : src) {
+          h ^= value_of(s, i).Hash();
+          h *= 0x100000001b3ULL;
+        }
+        const int64_t dup = seen.InsertIfAbsent(
+            h, result.cardinality(), [&](int64_t row) {
+              const Tuple& u = result.tuple(row);
+              for (size_t c = 0; c < src.size(); ++c) {
+                if (!(u.at(static_cast<int>(c)) == value_of(src[c], i))) {
+                  return false;
+                }
+              }
+              return true;
+            });
+        if (dup < 0) emit(i);
       }
-      Tuple t(std::move(values));
-      if (plan.options.distinct && !seen.insert(t).second) continue;
-      result.InsertUnchecked(std::move(t));
     }
   }
   return result;

@@ -27,6 +27,7 @@
 #include "qc/ranking.h"
 #include "space/information_space.h"
 #include "synch/synchronizer.h"
+#include "types/string_pool.h"
 #include "vkb/view_knowledge_base.h"
 
 namespace eve {
@@ -122,6 +123,12 @@ class EveSystem {
   /// change; stale entries from data updates revalidate lazily against
   /// relation versions.
   const PlanCache& plan_cache() const { return plan_cache_; }
+  /// This system's string intern pool.  Bulk loaders should intern string
+  /// Values here (`Value(text, system.string_pool())`) so unrelated systems
+  /// never contend on the process-wide default pool; cross-pool Values
+  /// still compare equal by content (see types/string_pool.h).
+  StringPool& string_pool() { return string_pool_; }
+  const StringPool& string_pool() const { return string_pool_; }
 
  private:
   Status Materialize(const std::string& view_name);
@@ -131,6 +138,11 @@ class EveSystem {
   MetaKnowledgeBase mkb_;
   ViewKnowledgeBase vkb_;
   PlanCache plan_cache_;
+  /// Owned intern pool for this system's string data.  Values are trivially
+  /// destructible, so teardown order does not matter; the pool only has to
+  /// outlive reads of the Values interned into it, which it does because
+  /// both live exactly as long as this system.
+  StringPool string_pool_;
 };
 
 }  // namespace eve

@@ -1,6 +1,21 @@
 #include "expr/comp_op.h"
 
+#include <cmath>
+
 namespace eve {
+
+namespace {
+
+// NaN is treated like NULL in predicates: every comparison involving it is
+// false -- including `<>`, which true IEEE semantics would make true --
+// mirroring SQL's unknown-as-false rule one line above.  The total order
+// used for set semantics still places NaN at the ends of the number line
+// (see Value::Compare).
+inline bool IsNaN(const Value& v) {
+  return v.type() == DataType::kDouble && std::isnan(v.AsDouble());
+}
+
+}  // namespace
 
 std::string_view CompOpToString(CompOp op) {
   switch (op) {
@@ -51,6 +66,7 @@ CompOp FlipCompOp(CompOp op) {
 bool EvalCompOp(CompOp op, const Value& lhs, const Value& rhs) {
   if (lhs.is_null() || rhs.is_null()) return false;
   if (!lhs.ComparableWith(rhs)) return false;
+  if (IsNaN(lhs) || IsNaN(rhs)) return false;
   const auto c = lhs.Compare(rhs);
   switch (op) {
     case CompOp::kLess:

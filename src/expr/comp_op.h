@@ -32,7 +32,9 @@ std::optional<CompOp> CompOpFromString(std::string_view text);
 CompOp FlipCompOp(CompOp op);
 
 /// Applies the operator.  Comparisons involving NULL are false (SQL
-/// semantics); incomparable types (number vs string) are false.
+/// semantics); incomparable types (number vs string) are false; comparisons
+/// involving NaN are false like NULL, even `<>` (SQL-style unknown-as-false,
+/// not IEEE, which would make NaN <> x true).
 bool EvalCompOp(CompOp op, const Value& lhs, const Value& rhs);
 
 }  // namespace eve

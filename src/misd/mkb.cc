@@ -422,7 +422,7 @@ struct EdgeSignatureHash {
 
 }  // namespace
 
-const std::vector<PcEdge>& MetaKnowledgeBase::AdjacencyFor(
+const std::vector<PcEdge>& MetaKnowledgeBase::AdjacencyForLocked(
     const RelationId& source) const {
   auto it = adjacency_cache_.find(source);
   if (it == adjacency_cache_.end()) {
@@ -489,6 +489,12 @@ std::vector<PcEdge> ComputeClosure(const RelationId& source, int max_hops,
 
 const std::vector<PcEdge>& MetaKnowledgeBase::PcEdgesFromTransitive(
     const RelationId& source, int max_hops) const {
+  // One lock spans lookup and (on a miss) the closure computation: concurrent
+  // readers serialize only on cold misses, and the returned reference stays
+  // valid because map nodes are stable and only mutators (single-writer)
+  // invalidate.  Holding the lock through ComputeClosure also covers the
+  // AdjacencyForLocked memo the closure search populates.
+  std::lock_guard<std::mutex> lock(memo_mu_);
   const auto cache_key = std::make_pair(source, max_hops);
   if (const auto hit = closure_cache_.find(cache_key);
       hit != closure_cache_.end()) {
@@ -497,7 +503,7 @@ const std::vector<PcEdge>& MetaKnowledgeBase::PcEdgesFromTransitive(
   std::vector<PcEdge> result = ComputeClosure(
       source, max_hops,
       [this](const RelationId& id) -> const std::vector<PcEdge>& {
-        return AdjacencyFor(id);
+        return AdjacencyForLocked(id);
       });
   return closure_cache_.emplace(cache_key, std::move(result)).first->second;
 }

@@ -12,6 +12,7 @@
 #define EVE_MISD_MKB_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -122,6 +123,14 @@ class MetaKnowledgeBase {
   /// same closure up to three times per FROM item per partial
   /// (replace-relation, join-in, cvs-pair), so this memo is the dominant
   /// saving of the rewriting-enumeration hot path.
+  ///
+  /// Thread-safe against other const calls (the memo maps are mutex-
+  /// guarded, mirroring the Relation cache pattern), so extent-replay
+  /// drivers may synchronize independent views against one MKB from
+  /// ParallelFor workers.  The single-writer caveat applies as everywhere:
+  /// mutating the MKB concurrently with readers requires external
+  /// synchronization, since a mutation invalidates memo references a
+  /// reader may still hold.
   const std::vector<PcEdge>& PcEdgesFromTransitive(const RelationId& source,
                                                    int max_hops = 4) const;
 
@@ -160,10 +169,12 @@ class MetaKnowledgeBase {
                                 const std::string* attr);
 
   // Memoized normalized adjacency (PcEdgesFrom) for the closure search.
-  const std::vector<PcEdge>& AdjacencyFor(const RelationId& source) const;
+  // Requires memo_mu_ held.
+  const std::vector<PcEdge>& AdjacencyForLocked(const RelationId& source) const;
 
   // Drops every memoized adjacency/closure entry; called by all mutators.
   void InvalidateDerivedCaches() {
+    std::lock_guard<std::mutex> lock(memo_mu_);
     adjacency_cache_.clear();
     closure_cache_.clear();
   }
@@ -174,7 +185,10 @@ class MetaKnowledgeBase {
   StatisticsStore stats_;
 
   // Lazily built derived state (std::map nodes are stable, so returned
-  // references survive unrelated insertions).  Not thread-safe.
+  // references survive unrelated insertions).  Guarded by memo_mu_ so
+  // concurrent const readers may populate the memos; mutators still follow
+  // the single-writer contract (see PcEdgesFromTransitive).
+  mutable std::mutex memo_mu_;
   mutable std::map<RelationId, std::vector<PcEdge>> adjacency_cache_;
   mutable std::map<std::pair<RelationId, int>, std::vector<PcEdge>>
       closure_cache_;

@@ -3,34 +3,57 @@
 #include <utility>
 
 #include "algebra/executor.h"
-#include "esql/printer.h"
+#include "common/hashing.h"
 
 namespace eve {
 
 namespace {
 
-std::string CacheKey(const ViewDefinition& view, const ExecOptions& options) {
-  std::string key = PrintViewCompact(view);
-  key += options.distinct ? "|d1" : "|d0";
-  key += options.reorder_joins ? "r1" : "r0";
-  key += options.use_index_cache ? "c1" : "c0";
-  return key;
+uint64_t CacheKey(const ViewDefinition& view, const ExecOptions& options) {
+  // Structural AST hash instead of a rendered E-SQL string: no per-call
+  // allocation, and the same normalization StructuralHash guarantees.
+  size_t key = StructuralHash(view);
+  const uint64_t option_bits = (options.distinct ? 1u : 0u) |
+                               (options.reorder_joins ? 2u : 0u) |
+                               (options.use_index_cache ? 4u : 0u);
+  return HashCombine(key, static_cast<size_t>(option_bits));
 }
 
 }  // namespace
 
+PlanCache::PlanCache(int64_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+void PlanCache::PutLocked(uint64_t key,
+                          std::shared_ptr<const PreparedView> plan) {
+  const auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    it->second.plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  if (static_cast<int64_t>(plans_.size()) >= capacity_) {
+    plans_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  plans_.emplace(key, Entry{std::move(plan), lru_.begin()});
+}
+
 Result<std::shared_ptr<const PreparedView>> PlanCache::Get(
     const ViewDefinition& view, const RelationProvider& provider,
     const ExecOptions& options) {
-  const std::string key = CacheKey(view, options);
+  const uint64_t key = CacheKey(view, options);
   bool stale = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = plans_.find(key);
     if (it != plans_.end()) {
-      if (it->second->Validate(provider)) {
+      if (it->second.plan->Validate(provider)) {
         ++stats_.hits;
-        return it->second;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        return it->second.plan;
       }
       stale = true;
     }
@@ -46,7 +69,7 @@ Result<std::shared_ptr<const PreparedView>> PlanCache::Get(
   } else {
     ++stats_.misses;
   }
-  plans_[key] = plan;
+  PutLocked(key, plan);
   return plan;
 }
 
@@ -61,6 +84,7 @@ Result<Relation> PlanCache::Execute(const ViewDefinition& view,
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   plans_.clear();
+  lru_.clear();
 }
 
 int64_t PlanCache::size() const {

@@ -2,10 +2,19 @@
 // options) so replay loops -- exp1-exp5 sweep thousands of
 // synchronize+execute rounds -- pay for planning once per schema epoch.
 //
-// Keying: the compact E-SQL rendering of the definition plus the option
-// bits.  The rendering captures everything plan-relevant (FROM items,
-// WHERE clauses, SELECT list), so an evolved view that keeps its name still
-// gets a fresh entry.
+// Keying: the 64-bit structural hash of the definition (esql/ast.h,
+// StructuralHash) combined with the option bits.  Hashing the AST replaces
+// the seed's full compact E-SQL rendering, so very hot replay loops no
+// longer build a key string per call.  The hash captures everything
+// plan-relevant (FROM items, WHERE clauses, SELECT list), so an evolved
+// view that keeps its name still gets a fresh entry; a 64-bit collision
+// between live views would alias two entries, which at the bounded cache
+// size is vanishingly unlikely (and caught by Validate whenever the views
+// resolve different relations).
+//
+// Bounding: the cache holds at most `capacity` plans and evicts the least
+// recently used entry on overflow (stats().evictions counts these), so
+// production-scale view counts cannot grow the cache without bound.
 //
 // Invalidation: Get() revalidates the cached plan against the provider
 // (PreparedView::Validate compares relation identity + version), so
@@ -14,19 +23,19 @@
 // Clear() after applying one.
 //
 // Thread-safe: all members may be called concurrently (the returned
-// shared_ptr keeps a plan alive even if another thread replaces it), with
-// the same single-writer caveat as Relation: mutating a base relation
-// concurrently with Get/Execute over it requires external synchronization
-// -- the stamps read by revalidation are atomic, but the tuple store a
-// racing execution would scan is not.
+// shared_ptr keeps a plan alive even if another thread replaces or evicts
+// it), with the same single-writer caveat as Relation: mutating a base
+// relation concurrently with Get/Execute over it requires external
+// synchronization -- the stamps read by revalidation are atomic, but the
+// tuple store a racing execution would scan is not.
 
 #ifndef EVE_PLAN_PLAN_CACHE_H_
 #define EVE_PLAN_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
-#include <string>
 #include <unordered_map>
 
 #include "common/result.h"
@@ -37,16 +46,23 @@
 
 namespace eve {
 
-/// Hit/miss counters of a PlanCache (monotonic; for tests and telemetry).
+/// Monotonic counters of a PlanCache (for tests and telemetry).
 struct PlanCacheStats {
   int64_t hits = 0;
-  int64_t misses = 0;    ///< No entry for the key.
-  int64_t replans = 0;   ///< Entry found but stale (failed validation).
+  int64_t misses = 0;     ///< No entry for the key.
+  int64_t replans = 0;    ///< Entry found but stale (failed validation).
+  int64_t evictions = 0;  ///< Entries dropped by the LRU capacity bound.
 };
 
-/// A concurrent cache of prepared view plans.
+/// A concurrent, capacity-bounded LRU cache of prepared view plans.
 class PlanCache {
  public:
+  /// Default capacity: enough for every live view of the experiment sweeps
+  /// while keeping a production system's footprint bounded.
+  static constexpr int64_t kDefaultCapacity = 256;
+
+  explicit PlanCache(int64_t capacity = kDefaultCapacity);
+
   /// Returns a valid plan for (view, options), reusing the cached one when
   /// its relation snapshot still matches and replanning otherwise.
   Result<std::shared_ptr<const PreparedView>> Get(
@@ -59,17 +75,33 @@ class PlanCache {
                            const RelationProvider& provider,
                            const ExecOptions& options = {});
 
-  /// Drops every cached plan (schema epoch change).
+  /// Drops every cached plan (schema epoch change).  Does not count as
+  /// eviction.
   void Clear();
 
   /// Number of cached plans.
   int64_t size() const;
 
+  int64_t capacity() const { return capacity_; }
+
   PlanCacheStats stats() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const PreparedView> plan;
+    /// Position in lru_ (front = most recently used).
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  /// Inserts or replaces `key`, evicting the LRU entry on overflow.
+  /// Requires mu_ held.
+  void PutLocked(uint64_t key, std::shared_ptr<const PreparedView> plan);
+
+  const int64_t capacity_;
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const PreparedView>> plans_;
+  std::unordered_map<uint64_t, Entry> plans_;
+  /// Recency order of the keys in plans_; front = most recently used.
+  std::list<uint64_t> lru_;
   PlanCacheStats stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -251,6 +252,13 @@ Result<std::shared_ptr<const PreparedView>> PrepareView(
   // Fix the per-step join strategy along the chosen order: which clauses
   // first become evaluable at each step, and which of them serves as the
   // hash-join key (prefix column vs a column of the step's relation).
+  // Clause sides are resolved to (FROM item, local column) coordinates here
+  // so the executor's struct-of-arrays working set never maps through the
+  // global column layout per candidate.
+  const auto to_local = [&](int global_col) -> std::pair<int, int> {
+    const int item = owner_of_col[global_col];
+    return {item, global_col - resolved[item].offset};
+  };
   plan->pos_of_item.assign(n, -1);
   for (int s = 0; s < n; ++s) {
     const int k = order[s];
@@ -272,13 +280,21 @@ Result<std::shared_ptr<const PreparedView>> PrepareView(
             rhs_is_col && owner_of_col[c.bound.rhs_column] == k;
         if (step.key_right_local < 0 && c.bound.op == CompOp::kEqual &&
             rhs_is_col && lhs_in_k != rhs_in_k) {
-          step.key_left_global =
-              lhs_in_k ? c.bound.rhs_column : c.bound.lhs_column;
+          std::tie(step.key_left_item, step.key_left_local) =
+              to_local(lhs_in_k ? c.bound.rhs_column : c.bound.lhs_column);
           step.key_right_local =
               (lhs_in_k ? c.bound.lhs_column : c.bound.rhs_column) -
               resolved[k].offset;
         } else {
-          step.residual.push_back(c.bound);
+          PlannedResidual r;
+          std::tie(r.lhs_item, r.lhs_local) = to_local(c.bound.lhs_column);
+          r.op = c.bound.op;
+          if (rhs_is_col) {
+            std::tie(r.rhs_item, r.rhs_local) = to_local(c.bound.rhs_column);
+          } else {
+            r.rhs_value = c.bound.rhs_value;
+          }
+          step.residual.push_back(std::move(r));
         }
       }
     }

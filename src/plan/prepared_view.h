@@ -55,16 +55,33 @@ struct PlannedFrom {
   int offset = 0;         ///< First column in the concatenated join layout.
 };
 
+/// A residual cross-item predicate with both sides resolved to (FROM item,
+/// local column) coordinates at plan time, so the executor reads base
+/// tuples directly from the struct-of-arrays row-id columns without any
+/// global-layout indirection per candidate.
+struct PlannedResidual {
+  int lhs_item = 0;
+  int lhs_local = 0;
+  CompOp op = CompOp::kEqual;
+  /// Column side when rhs_item >= 0; rhs_item < 0 means the constant
+  /// `rhs_value` is compared instead.
+  int rhs_item = -1;
+  int rhs_local = -1;
+  Value rhs_value;
+};
+
 /// One join step of the fixed execution order.
 struct PlannedJoinStep {
   int item = 0;  ///< FROM item index joined at this step.
-  /// Hash-join key when >= 0 (only for steps after the first): an equality
-  /// clause connecting the joined prefix to `item`.
-  int key_left_global = -1;   ///< Prefix-side column, full-layout index.
+  /// Hash-join key when key_right_local >= 0 (only for steps after the
+  /// first): an equality clause connecting the joined prefix to `item`,
+  /// with the prefix side resolved to (FROM item, local column).
+  int key_left_item = -1;     ///< Prefix-side FROM item.
+  int key_left_local = -1;    ///< Column within that item's relation.
   int key_right_local = -1;   ///< Column within `item`'s relation.
   /// Residual cross-item predicates that first become evaluable at this
-  /// step (full-layout column indexes).
-  std::vector<BoundClause> residual;
+  /// step.
+  std::vector<PlannedResidual> residual;
 };
 
 /// The immutable prepared plan.  Produced by PrepareView (plan/planner.h),
@@ -97,6 +114,19 @@ struct PreparedView {
   /// with the same version through `provider`.  A false result means the
   /// plan must be rebuilt (relation mutated, replaced, or dropped).
   bool Validate(const RelationProvider& provider) const;
+};
+
+/// The executor's join working set in struct-of-arrays layout: one row-id
+/// column per already-joined FROM item, in join-step order, all columns of
+/// equal length.  columns[p][i] is the row of FROM item steps[p].item in
+/// combo i (so a column is addressed via pos_of_item).  Each join step
+/// appends candidates as (parent combo, new row) pairs and then gathers the
+/// surviving parents through every existing column -- sequential batch
+/// copies instead of the per-combo scratch copy an array-of-combos layout
+/// pays on every emitted candidate.
+struct JoinWorkingSet {
+  std::vector<std::vector<int64_t>> columns;
+  size_t combos = 0;
 };
 
 }  // namespace eve

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <unordered_set>
 
 #include "common/str_util.h"
 #include "storage/hash_index.h"
+#include "storage/row_dedup.h"
 
 namespace eve {
 
@@ -23,31 +23,14 @@ bool TypeConforms(DataType declared, DataType actual) {
   return declared_num && actual_num;
 }
 
-// Hash -> row ids of the distinct representatives seen so far.  Equality is
-// confirmed tuple-by-tuple within a bucket, so hash collisions stay correct.
-using HashBuckets = std::unordered_map<size_t, std::vector<int64_t>>;
-
-bool BucketContains(const HashBuckets& buckets, size_t hash,
-                    const std::vector<Tuple>& tuples, const Tuple& t) {
-  const auto it = buckets.find(hash);
-  if (it == buckets.end()) return false;
-  for (const int64_t row : it->second) {
-    if (tuples[row] == t) return true;
-  }
-  return false;
-}
-
-// Records row `i` as a distinct representative unless an equal tuple is
-// already in its bucket; true iff the row was new.  The shared primitive
-// of every hashed dedup path below.
-bool InsertIfDistinct(HashBuckets& buckets, size_t hash,
+// Records row `i` of `tuples` as a distinct representative unless an equal
+// tuple is already present; true iff the row was new.  The shared primitive
+// of every hashed dedup path below (flat table, see storage/row_dedup.h).
+bool InsertIfDistinct(RowDedupTable& table, size_t hash,
                       const std::vector<Tuple>& tuples, int64_t i) {
-  std::vector<int64_t>& bucket = buckets[hash];
-  for (const int64_t j : bucket) {
-    if (tuples[j] == tuples[i]) return false;
-  }
-  bucket.push_back(i);
-  return true;
+  return table.InsertIfAbsent(hash, i, [&](int64_t j) {
+           return tuples[j] == tuples[i];
+         }) < 0;
 }
 
 }  // namespace
@@ -219,10 +202,9 @@ bool Relation::ContainsTuple(const Tuple& t) const {
 Relation Relation::Distinct() const {
   Relation out(name_, schema_);
   const auto hashes = TupleHashes();
-  HashBuckets buckets;
-  buckets.reserve(tuples_.size());
+  RowDedupTable table(tuples_.size());
   for (int64_t i = 0; i < static_cast<int64_t>(tuples_.size()); ++i) {
-    if (InsertIfDistinct(buckets, (*hashes)[i], tuples_, i)) {
+    if (InsertIfDistinct(table, (*hashes)[i], tuples_, i)) {
       out.InsertUnchecked(tuples_[i]);
     }
   }
@@ -248,11 +230,10 @@ Result<Relation> Relation::ProjectByName(
 
 int64_t Relation::DistinctCount() const {
   const auto hashes = TupleHashes();
-  HashBuckets buckets;
-  buckets.reserve(tuples_.size());
+  RowDedupTable table(tuples_.size());
   int64_t distinct = 0;
   for (int64_t i = 0; i < static_cast<int64_t>(tuples_.size()); ++i) {
-    if (InsertIfDistinct(buckets, (*hashes)[i], tuples_, i)) ++distinct;
+    if (InsertIfDistinct(table, (*hashes)[i], tuples_, i)) ++distinct;
   }
   return distinct;
 }
@@ -290,35 +271,67 @@ Status CheckUnionCompatible(const Relation& a, const Relation& b) {
 Result<Relation> SetUnion(const Relation& a, const Relation& b) {
   EVE_RETURN_IF_ERROR(CheckUnionCompatible(a, b));
   Relation out(a.name(), a.schema());
-  std::unordered_set<Tuple, TupleHash> seen;
-  for (const Relation* r : {&a, &b}) {
-    for (const Tuple& t : r->tuples()) {
-      if (seen.insert(t).second) out.InsertUnchecked(t);
+  const auto ha = a.TupleHashes();
+  const auto hb = b.TupleHashes();
+  // Dedup against the rows already emitted into `out` (no tuple copies
+  // beyond the one the result owns).
+  RowDedupTable seen(a.tuples().size() + b.tuples().size());
+  const auto add_distinct = [&](const Relation& r,
+                                const std::vector<size_t>& hashes) {
+    for (int64_t i = 0; i < r.cardinality(); ++i) {
+      const Tuple& t = r.tuple(i);
+      if (seen.InsertIfAbsent(hashes[i], out.cardinality(), [&](int64_t j) {
+            return out.tuple(j) == t;
+          }) < 0) {
+        out.InsertUnchecked(t);
+      }
     }
-  }
+  };
+  add_distinct(a, *ha);
+  add_distinct(b, *hb);
   return out;
 }
 
 Result<Relation> SetIntersect(const Relation& a, const Relation& b) {
   EVE_RETURN_IF_ERROR(CheckUnionCompatible(a, b));
-  std::unordered_set<Tuple, TupleHash> in_b(b.tuples().begin(),
-                                            b.tuples().end());
+  const auto ha = a.TupleHashes();
+  const auto hb = b.TupleHashes();
+  RowDedupTable in_b(b.tuples().size());
+  for (int64_t i = 0; i < b.cardinality(); ++i) {
+    InsertIfDistinct(in_b, (*hb)[i], b.tuples(), i);
+  }
   Relation out(a.name(), a.schema());
-  std::unordered_set<Tuple, TupleHash> emitted;
-  for (const Tuple& t : a.tuples()) {
-    if (in_b.count(t) > 0 && emitted.insert(t).second) out.InsertUnchecked(t);
+  RowDedupTable emitted(a.tuples().size());
+  for (int64_t i = 0; i < a.cardinality(); ++i) {
+    const Tuple& t = a.tuple(i);
+    const bool present = in_b.Find((*ha)[i], [&](int64_t j) {
+                           return b.tuple(j) == t;
+                         }) >= 0;
+    if (present && InsertIfDistinct(emitted, (*ha)[i], a.tuples(), i)) {
+      out.InsertUnchecked(t);
+    }
   }
   return out;
 }
 
 Result<Relation> SetDifference(const Relation& a, const Relation& b) {
   EVE_RETURN_IF_ERROR(CheckUnionCompatible(a, b));
-  std::unordered_set<Tuple, TupleHash> in_b(b.tuples().begin(),
-                                            b.tuples().end());
+  const auto ha = a.TupleHashes();
+  const auto hb = b.TupleHashes();
+  RowDedupTable in_b(b.tuples().size());
+  for (int64_t i = 0; i < b.cardinality(); ++i) {
+    InsertIfDistinct(in_b, (*hb)[i], b.tuples(), i);
+  }
   Relation out(a.name(), a.schema());
-  std::unordered_set<Tuple, TupleHash> emitted;
-  for (const Tuple& t : a.tuples()) {
-    if (in_b.count(t) == 0 && emitted.insert(t).second) out.InsertUnchecked(t);
+  RowDedupTable emitted(a.tuples().size());
+  for (int64_t i = 0; i < a.cardinality(); ++i) {
+    const Tuple& t = a.tuple(i);
+    const bool present = in_b.Find((*ha)[i], [&](int64_t j) {
+                           return b.tuple(j) == t;
+                         }) >= 0;
+    if (!present && InsertIfDistinct(emitted, (*ha)[i], a.tuples(), i)) {
+      out.InsertUnchecked(t);
+    }
   }
   return out;
 }
@@ -328,25 +341,24 @@ bool SetEquals(const Relation& a, const Relation& b) {
   const auto ha = a.TupleHashes();
   const auto hb = b.TupleHashes();
 
-  // Distinct representatives of `a`, bucketed by cached hash.
-  HashBuckets buckets_a;
-  buckets_a.reserve(a.tuples().size());
+  // Distinct representatives of `a` in a flat table keyed by cached hash.
+  RowDedupTable table_a(a.tuples().size());
   int64_t distinct_a = 0;
   for (int64_t i = 0; i < a.cardinality(); ++i) {
-    if (InsertIfDistinct(buckets_a, (*ha)[i], a.tuples(), i)) ++distinct_a;
+    if (InsertIfDistinct(table_a, (*ha)[i], a.tuples(), i)) ++distinct_a;
   }
 
   // b ⊆ a, counting b's distinct tuples along the way: equal distinct
   // counts plus containment imply set equality.
-  HashBuckets buckets_b;
-  buckets_b.reserve(b.tuples().size());
+  RowDedupTable table_b(b.tuples().size());
   int64_t distinct_b = 0;
   for (int64_t i = 0; i < b.cardinality(); ++i) {
-    if (!InsertIfDistinct(buckets_b, (*hb)[i], b.tuples(), i)) continue;
+    if (!InsertIfDistinct(table_b, (*hb)[i], b.tuples(), i)) continue;
     ++distinct_b;
-    if (!BucketContains(buckets_a, (*hb)[i], a.tuples(), b.tuple(i))) {
-      return false;
-    }
+    const int64_t in_a = table_a.Find((*hb)[i], [&](int64_t j) {
+      return a.tuple(j) == b.tuple(i);
+    });
+    if (in_a < 0) return false;
   }
   return distinct_a == distinct_b;
 }

@@ -1,0 +1,90 @@
+// RowDedupTable: an open-addressing hash table over row ids for the dedup
+// hot paths (Relation::Distinct / DistinctCount / SetEquals and the
+// executor's fused distinct projection).
+//
+// It replaces the node-based `unordered_map<size_t, vector<int64_t>>`
+// bucket maps: one flat allocation up front, linear probing, and no
+// per-distinct-row node or vector allocations.  The table stores only
+// (hash, row id); equality of candidate rows is confirmed through a
+// caller-supplied predicate, so hash collisions stay correct and the table
+// never touches tuple storage itself.
+
+#ifndef EVE_STORAGE_ROW_DEDUP_H_
+#define EVE_STORAGE_ROW_DEDUP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace eve {
+
+/// Flat hash set of (hash, row id) entries with caller-side equality.
+class RowDedupTable {
+ public:
+  /// Sizes the table for `expected` inserts (load factor <= 0.5).
+  explicit RowDedupTable(size_t expected) {
+    size_t capacity = 16;
+    while (capacity < expected * 2) capacity <<= 1;
+    slots_.assign(capacity, kEmpty);
+    hashes_.resize(capacity);
+    mask_ = capacity - 1;
+  }
+
+  /// Row id of a recorded row with equal hash for which `equal(row)` holds,
+  /// or -1 if none.
+  template <typename EqualFn>
+  int64_t Find(size_t hash, EqualFn&& equal) const {
+    for (size_t slot = hash & mask_;; slot = (slot + 1) & mask_) {
+      const int64_t row = slots_[slot];
+      if (row == kEmpty) return -1;
+      if (hashes_[slot] == hash && equal(row)) return row;
+    }
+  }
+
+  /// Records (hash, row) unless a row with equal hash satisfying
+  /// `equal(existing)` is already present.  Returns the existing row id, or
+  /// -1 when `row` was inserted as a new distinct representative.
+  template <typename EqualFn>
+  int64_t InsertIfAbsent(size_t hash, int64_t row, EqualFn&& equal) {
+    size_t slot = hash & mask_;
+    for (;; slot = (slot + 1) & mask_) {
+      const int64_t existing = slots_[slot];
+      if (existing == kEmpty) break;
+      if (hashes_[slot] == hash && equal(existing)) return existing;
+    }
+    slots_[slot] = row;
+    hashes_[slot] = hash;
+    if (++size_ * 2 > slots_.size()) Grow();
+    return -1;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static constexpr int64_t kEmpty = -1;
+
+  void Grow() {
+    std::vector<int64_t> old_slots = std::move(slots_);
+    std::vector<size_t> old_hashes = std::move(hashes_);
+    slots_.assign(old_slots.size() * 2, kEmpty);
+    hashes_.resize(slots_.size());
+    mask_ = slots_.size() - 1;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_slots[i] == kEmpty) continue;
+      size_t slot = old_hashes[i] & mask_;
+      while (slots_[slot] != kEmpty) slot = (slot + 1) & mask_;
+      slots_[slot] = old_slots[i];
+      hashes_[slot] = old_hashes[i];
+    }
+  }
+
+  std::vector<int64_t> slots_;  ///< Row ids; kEmpty marks a free slot.
+  std::vector<size_t> hashes_;  ///< Full hash per occupied slot.
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace eve
+
+#endif  // EVE_STORAGE_ROW_DEDUP_H_

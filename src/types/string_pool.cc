@@ -1,0 +1,108 @@
+#include "types/string_pool.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace eve {
+
+namespace {
+
+// Process-wide pool registry.  Reads are plain atomic loads, so resolving a
+// Value's pool index is lock-free on the compare/render hot paths; slots of
+// destroyed pools are recycled through a free list so constructing pools in
+// a loop (every EveSystem owns one) never exhausts the registry.  Reusing a
+// slot means a Value that outlives its pool -- already a documented
+// programming error -- may resolve to the successor pool instead of a null
+// pointer; the id-based fast paths stay correct because equality falls back
+// to content whenever pool indexes differ.
+constexpr uint32_t kMaxPools = 1u << 16;
+std::atomic<StringPool*> g_pools[kMaxPools];
+std::atomic<uint32_t> g_next_pool{0};
+std::mutex g_free_mu;
+std::vector<uint32_t> g_free_slots;
+
+uint32_t AcquirePoolSlot() {
+  {
+    std::lock_guard<std::mutex> lock(g_free_mu);
+    if (!g_free_slots.empty()) {
+      const uint32_t slot = g_free_slots.back();
+      g_free_slots.pop_back();
+      return slot;
+    }
+  }
+  return g_next_pool.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ReleasePoolSlot(uint32_t slot) {
+  std::lock_guard<std::mutex> lock(g_free_mu);
+  g_free_slots.push_back(slot);
+}
+
+// FNV-1a over the bytes: deterministic across runs and independent of the
+// interning order, which is what keeps Value::Hash stable (see header).
+uint64_t HashBytes(std::string_view text) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+StringPool::StringPool() {
+  index_ = AcquirePoolSlot();
+  if (index_ >= kMaxPools) {
+    std::fprintf(stderr, "StringPool: %u pools live concurrently\n",
+                 kMaxPools);
+    std::abort();
+  }
+  g_pools[index_].store(this, std::memory_order_release);
+}
+
+StringPool::~StringPool() {
+  g_pools[index_].store(nullptr, std::memory_order_release);
+  ReleasePoolSlot(index_);
+}
+
+uint32_t StringPool::Intern(std::string_view text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(entries_.size());
+  entries_.push_back(Entry{std::string(text), HashBytes(text)});
+  ids_.emplace(std::string_view(entries_.back().text), id);
+  return id;
+}
+
+const std::string& StringPool::Get(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_[id].text;
+}
+
+uint64_t StringPool::ContentHash(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_[id].hash;
+}
+
+int64_t StringPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+StringPool& StringPool::Default() {
+  // Leaked on purpose: the default pool must outlive every static-duration
+  // Value, so it is immortal.
+  static StringPool* pool = new StringPool();
+  return *pool;
+}
+
+StringPool* StringPool::FromIndex(uint32_t index) {
+  if (index >= kMaxPools) return nullptr;
+  return g_pools[index].load(std::memory_order_acquire);
+}
+
+}  // namespace eve

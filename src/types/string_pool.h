@@ -1,0 +1,90 @@
+// StringPool: a hash-consed, append-only store of interned strings.
+//
+// Every STRING Value holds a (pool index, string id) pair instead of an
+// owned std::string, shrinking Value to a 16-byte POD-like payload and
+// turning same-pool string equality into an integer comparison.  Interning
+// is idempotent: a pool returns the existing id when the same text is
+// interned again, so two Values interned from equal text in the same pool
+// always carry the same id.
+//
+// Pools are registered in a process-wide lock-free registry so a Value can
+// resolve its text from the 32-bit pool index it carries.  `Default()` is
+// the immortal process-wide pool every plain `Value(std::string)` uses; an
+// `EveSystem` additionally owns a pool of its own for bulk data loading so
+// unrelated systems do not contend on one intern table.
+//
+// Thread safety: Intern / Get / ContentHash / size may be called from any
+// number of threads concurrently.  Entries are never removed or mutated, so
+// the `const std::string&` returned by Get stays valid for the pool's
+// lifetime.  A pool must outlive every Value interned into it (trivially
+// true for Default()).
+//
+// Hash discipline: ContentHash depends only on the string's bytes -- never
+// on the id or interning order -- so Value::Hash is stable across pools and
+// across runs that intern the same strings in different orders.
+
+#ifndef EVE_TYPES_STRING_POOL_H_
+#define EVE_TYPES_STRING_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace eve {
+
+/// An append-only intern table for string Values.
+class StringPool {
+ public:
+  StringPool();
+  ~StringPool();
+
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Id of `text`, interning it on first sight.  Equal texts always map to
+  /// the same id within one pool.
+  uint32_t Intern(std::string_view text);
+
+  /// The interned text.  The reference stays valid for the pool's lifetime
+  /// (entries are append-only).
+  const std::string& Get(uint32_t id) const;
+
+  /// 64-bit hash of the interned text's bytes (precomputed at intern time;
+  /// independent of id and interning order).
+  uint64_t ContentHash(uint32_t id) const;
+
+  /// Number of distinct strings interned so far.
+  int64_t size() const;
+
+  /// This pool's slot in the process-wide registry (what a Value stores).
+  uint32_t index() const { return index_; }
+
+  /// The immortal process-wide pool used by plain Value construction.
+  static StringPool& Default();
+
+  /// Resolves a registry index back to its pool.  Destroyed pools release
+  /// their slot for reuse, so an index may resolve to null or to a
+  /// successor pool -- either way, a live Value referencing a destroyed
+  /// pool is a programming error (see class comment).
+  static StringPool* FromIndex(uint32_t index);
+
+ private:
+  struct Entry {
+    std::string text;
+    uint64_t hash;
+  };
+
+  mutable std::mutex mu_;
+  /// Append-only store; deque keeps element references stable across growth.
+  std::deque<Entry> entries_;
+  /// Keys are views into entries_ texts (stable, see above).
+  std::unordered_map<std::string_view, uint32_t> ids_;
+  uint32_t index_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_TYPES_STRING_POOL_H_

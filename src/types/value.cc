@@ -1,35 +1,49 @@
 #include "types/value.h"
 
+#include <bit>
 #include <cmath>
-#include <functional>
 
 #include "common/str_util.h"
 
 namespace eve {
 
-DataType Value::type() const {
-  switch (rep_.index()) {
-    case 0:
-      return DataType::kNull;
-    case 1:
-      return DataType::kInt64;
-    case 2:
-      return DataType::kDouble;
-    default:
-      return DataType::kString;
-  }
+namespace {
+
+// splitmix64 finalizer: a full-avalanche 64-bit mix, cheap and branchless.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
 }
 
-double Value::AsDouble() const {
-  if (std::holds_alternative<int64_t>(rep_)) {
-    return static_cast<double>(std::get<int64_t>(rep_));
+// Canonical hash bits of a numeric value.  Everything is canonicalized
+// through its double representation, because Compare promotes INT/DOUBLE
+// comparisons to double: values that compare equal across types therefore
+// share bits, and ±0.0 / NaN classes are collapsed to one representative
+// per weak_order equivalence class.
+inline uint64_t NumericBits(double d) {
+  if (std::isnan(d)) {
+    return std::signbit(d) ? 0xFFF8000000000001ULL : 0x7FF8000000000000ULL;
   }
-  return std::get<double>(rep_);
+  if (d == 0.0) return 0;  // Collapses -0.0 onto +0.0.
+  return std::bit_cast<uint64_t>(d);
 }
 
-bool Value::ComparableWith(const Value& other) const {
-  return AreComparable(type(), other.type());
+// Order doubles by std::weak_order: -NaN < reals (with -0.0 == +0.0) < NaN.
+inline std::strong_ordering OrderDoubles(double a, double b) {
+  const std::weak_ordering w = std::weak_order(a, b);
+  if (w == std::weak_ordering::less) return std::strong_ordering::less;
+  if (w == std::weak_ordering::greater) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
 }
+
+constexpr uint64_t kNullHashSeed = 0x9E3779B97F4A7C15ULL;
+constexpr uint64_t kStringHashSeed = 0xA24BAED4963EE407ULL;
+
+}  // namespace
 
 std::strong_ordering Value::Compare(const Value& other) const {
   const bool a_null = is_null();
@@ -38,56 +52,65 @@ std::strong_ordering Value::Compare(const Value& other) const {
     if (a_null && b_null) return std::strong_ordering::equal;
     return a_null ? std::strong_ordering::less : std::strong_ordering::greater;
   }
-  const DataType ta = type();
-  const DataType tb = other.type();
-  const bool a_num = ta != DataType::kString;
-  const bool b_num = tb != DataType::kString;
-  if (a_num != b_num) {
+  const bool a_str = tag_ == DataType::kString;
+  const bool b_str = other.tag_ == DataType::kString;
+  if (a_str != b_str) {
     // Heterogeneous (number vs string): order numbers first, deterministically.
-    return a_num ? std::strong_ordering::less : std::strong_ordering::greater;
+    return a_str ? std::strong_ordering::greater : std::strong_ordering::less;
   }
-  if (!a_num) {
+  if (a_str) {
+    // Same interned entry: equal without touching the pool.
+    if (payload_.s.pool == other.payload_.s.pool &&
+        payload_.s.id == other.payload_.s.id) {
+      return std::strong_ordering::equal;
+    }
     const int c = AsString().compare(other.AsString());
     if (c < 0) return std::strong_ordering::less;
     if (c > 0) return std::strong_ordering::greater;
     return std::strong_ordering::equal;
   }
-  if (ta == DataType::kInt64 && tb == DataType::kInt64) {
-    const int64_t a = AsInt();
-    const int64_t b = other.AsInt();
+  if (tag_ == DataType::kInt64 && other.tag_ == DataType::kInt64) {
+    const int64_t a = payload_.i;
+    const int64_t b = other.payload_.i;
     if (a < b) return std::strong_ordering::less;
     if (a > b) return std::strong_ordering::greater;
     return std::strong_ordering::equal;
   }
-  const double a = AsDouble();
-  const double b = other.AsDouble();
-  if (a < b) return std::strong_ordering::less;
-  if (a > b) return std::strong_ordering::greater;
-  return std::strong_ordering::equal;
+  return OrderDoubles(AsDouble(), other.AsDouble());
+}
+
+bool Value::operator==(const Value& other) const {
+  if (tag_ == DataType::kString && other.tag_ == DataType::kString) {
+    if (payload_.s.pool == other.payload_.s.pool) {
+      return payload_.s.id == other.payload_.s.id;
+    }
+    // Cross-pool: content hash filters mismatches before the byte compare.
+    if (shash_ != other.shash_) return false;
+    return AsString() == other.AsString();
+  }
+  return Compare(other) == std::strong_ordering::equal;
 }
 
 size_t Value::Hash() const {
-  switch (type()) {
+  switch (tag_) {
     case DataType::kNull:
-      return 0x9E3779B97F4A7C15ULL;
-    case DataType::kInt64: {
-      // Hash ints through double so 3 and 3.0 collide (they compare equal).
-      const double d = static_cast<double>(AsInt());
-      if (static_cast<int64_t>(d) == AsInt()) {
-        return std::hash<double>{}(d);
-      }
-      return std::hash<int64_t>{}(AsInt());
-    }
+      return static_cast<size_t>(kNullHashSeed);
+    case DataType::kInt64:
+      // Through double, matching Compare's cross-type promotion, so INT 3
+      // and DOUBLE 3.0 land in the same bucket.
+      return static_cast<size_t>(
+          Mix64(NumericBits(static_cast<double>(payload_.i))));
     case DataType::kDouble:
-      return std::hash<double>{}(AsDouble());
+      return static_cast<size_t>(Mix64(NumericBits(payload_.d)));
     case DataType::kString:
-      return std::hash<std::string>{}(AsString());
+      // Content-hash based: stable across pools and interning orders.
+      return static_cast<size_t>(Mix64(shash_ ^ kStringHashSeed));
   }
   return 0;
 }
 
 std::string Value::ToString() const {
-  switch (type()) {
+  switch (tag_) {
     case DataType::kNull:
       return "NULL";
     case DataType::kInt64:

@@ -1,63 +1,126 @@
-// Value: a dynamically typed scalar (NULL, INT, DOUBLE, or STRING).
-// Tuples are vectors of Values; primitive clauses compare Values.
+// Value: a dynamically typed scalar (NULL, INT, DOUBLE, or STRING) in a
+// compact 16-byte tagged representation.  Tuples are vectors of Values;
+// primitive clauses compare Values.
+//
+// Strings are not stored inline: a STRING Value carries the (pool index,
+// string id) of an entry interned in a StringPool plus a 32-bit content
+// hash, so tuples stay POD-sized on string workloads, same-pool equality is
+// an integer comparison, and Value::Hash never touches the pool.
 
 #ifndef EVE_TYPES_VALUE_H_
 #define EVE_TYPES_VALUE_H_
 
+#include <cassert>
 #include <compare>
 #include <cstdint>
 #include <string>
-#include <variant>
+#include <string_view>
 
 #include "types/data_type.h"
+#include "types/string_pool.h"
 
 namespace eve {
 
 /// A scalar value.  Comparison across INT and DOUBLE promotes to double;
 /// NULL compares equal to NULL and less than everything else (total order,
 /// used for sorting / set semantics; primitive-clause evaluation treats
-/// comparisons involving NULL as false, as in SQL).
+/// comparisons involving NULL -- and likewise NaN -- as false, as in
+/// SQL).  Doubles are ordered by std::weak_order, so -0.0 and +0.0 stay
+/// equal while NaNs get a defined place at the ends of the number line
+/// instead of the unordered-compares-equal behavior a raw `<` would give.
 class Value {
  public:
   /// NULL value.
-  Value() : rep_(std::monostate{}) {}
+  Value() : tag_(DataType::kNull), shash_(0) { payload_.bits = 0; }
   /// INT value.
-  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(int64_t v) : tag_(DataType::kInt64), shash_(0) {
+    payload_.i = v;
+  }
   /// Convenience for literals: Value(5).
-  explicit Value(int v) : rep_(static_cast<int64_t>(v)) {}
+  explicit Value(int v) : Value(static_cast<int64_t>(v)) {}
   /// DOUBLE value.
-  explicit Value(double v) : rep_(v) {}
-  /// STRING value.
-  explicit Value(std::string v) : rep_(std::move(v)) {}
-  explicit Value(const char* v) : rep_(std::string(v)) {}
+  explicit Value(double v) : tag_(DataType::kDouble), shash_(0) {
+    payload_.d = v;
+  }
+  /// STRING value, interned in `pool` (the process-wide default pool when
+  /// omitted).  The pool must outlive the Value.
+  explicit Value(std::string_view v, StringPool& pool = StringPool::Default())
+      : tag_(DataType::kString) {
+    payload_.s.id = pool.Intern(v);
+    payload_.s.pool = pool.index();
+    shash_ = static_cast<uint32_t>(pool.ContentHash(payload_.s.id));
+  }
+  explicit Value(const std::string& v,
+                 StringPool& pool = StringPool::Default())
+      : Value(std::string_view(v), pool) {}
+  explicit Value(const char* v, StringPool& pool = StringPool::Default())
+      : Value(std::string_view(v), pool) {}
 
-  DataType type() const;
+  DataType type() const { return tag_; }
 
-  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_null() const { return tag_ == DataType::kNull; }
 
   /// Typed accessors; calling the wrong one is a programming error.
-  int64_t AsInt() const { return std::get<int64_t>(rep_); }
-  double AsDouble() const;
-  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  int64_t AsInt() const { return payload_.i; }
+  double AsDouble() const {
+    return tag_ == DataType::kInt64 ? static_cast<double>(payload_.i)
+                                    : payload_.d;
+  }
+  /// The interned text; valid for the owning pool's lifetime.
+  const std::string& AsString() const {
+    assert(tag_ == DataType::kString);
+    return StringPool::FromIndex(payload_.s.pool)->Get(payload_.s.id);
+  }
+
+  /// Interning coordinates of a STRING value (for tests and diagnostics).
+  uint32_t string_id() const { return payload_.s.id; }
+  uint32_t string_pool_index() const { return payload_.s.pool; }
 
   /// True iff the values are comparable (see AreComparable).
-  bool ComparableWith(const Value& other) const;
+  bool ComparableWith(const Value& other) const {
+    return AreComparable(tag_, other.tag_);
+  }
 
   /// Total order used for set semantics; see class comment.
   std::strong_ordering Compare(const Value& other) const;
 
-  bool operator==(const Value& other) const { return Compare(other) == std::strong_ordering::equal; }
-  bool operator<(const Value& other) const { return Compare(other) == std::strong_ordering::less; }
+  bool operator==(const Value& other) const;
+  bool operator<(const Value& other) const {
+    return Compare(other) == std::strong_ordering::less;
+  }
+  bool operator>(const Value& other) const {
+    return Compare(other) == std::strong_ordering::greater;
+  }
+  bool operator<=(const Value& other) const { return !(*this > other); }
+  bool operator>=(const Value& other) const { return !(*this < other); }
 
-  /// Stable hash consistent with operator== (INT 3 and DOUBLE 3.0 hash alike).
+  /// Stable hash consistent with operator== (INT 3 and DOUBLE 3.0 hash
+  /// alike; equal strings hash alike across pools and interning orders).
+  /// Branch-light: one canonicalization plus a 64-bit mix, no pool access.
   size_t Hash() const;
 
   /// Rendering for debugging and table output; strings are quoted.
   std::string ToString() const;
 
  private:
-  std::variant<std::monostate, int64_t, double, std::string> rep_;
+  union Payload {
+    int64_t i;
+    double d;
+    uint64_t bits;
+    struct {
+      uint32_t id;
+      uint32_t pool;
+    } s;
+  };
+
+  Payload payload_;  ///< 8 bytes: int, double bits, or (id, pool).
+  DataType tag_;     ///< Discriminator (1 byte + padding).
+  /// Low 32 bits of the string's content hash; 0 for non-strings.  Lets
+  /// Hash() and equality fast paths skip the pool entirely.
+  uint32_t shash_;
 };
+
+static_assert(sizeof(Value) <= 16, "Value must stay a compact 16-byte scalar");
 
 /// Hash functor for Value containers (consistent with operator==).
 struct ValueHash {

@@ -16,6 +16,7 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "esql/parser.h"
+#include "misd/mkb.h"
 #include "plan/plan_cache.h"
 #include "plan/planner.h"
 #include "storage/generator.h"
@@ -204,6 +205,50 @@ TEST(ConcurrentExecution, SharedTupleHashCache) {
   std::vector<int> equal(8, 0);
   ParallelFor(8, 4, [&](int64_t i) { equal[i] = SetEquals(a, b) ? 1 : 0; });
   for (int i = 0; i < 8; ++i) EXPECT_EQ(equal[i], 1);
+}
+
+// Concurrent closure queries against one const MKB: the memo maps behind
+// PcEdgesFromTransitive are mutex-guarded (like the Relation caches), which
+// is what lets the extent-replay drivers run synchronize rounds from
+// ParallelFor workers.  Every worker must see the full closure regardless
+// of who populates the memo first.
+TEST(ConcurrentExecution, SharedMkbClosureMemo) {
+  MetaKnowledgeBase mkb;
+  const Schema ab({Attribute::Make("A", DataType::kInt64),
+                   Attribute::Make("B", DataType::kInt64)});
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(mkb.RegisterRelationWithStats(
+                       {"IS" + std::to_string(i), "S" + std::to_string(i)},
+                       ab, 1000 + i, 0.5)
+                    .ok());
+  }
+  for (int i = 0; i + 1 < 6; ++i) {
+    ASSERT_TRUE(mkb.AddPcConstraint(MakeProjectionPc(
+                       {"IS" + std::to_string(i), "S" + std::to_string(i)},
+                       {"IS" + std::to_string(i + 1),
+                        "S" + std::to_string(i + 1)},
+                       {"A", "B"}, PcRelationType::kSubset))
+                    .ok());
+  }
+  const MetaKnowledgeBase& shared = mkb;
+  const size_t expected =
+      shared.PcEdgesFromTransitiveUncached({"IS0", "S0"}, 4).size();
+  ASSERT_GT(expected, 1u);  // The chain composes transitively.
+
+  std::vector<size_t> sizes(16, 0);
+  ParallelFor(16, 4, [&](int64_t i) {
+    // Alternate sources so workers race on distinct and identical keys.
+    const std::string n = std::to_string(i % 3);
+    sizes[i] = shared.PcEdgesFromTransitive({"IS" + n, "S" + n}, 4).size();
+  });
+  for (int i = 0; i < 16; ++i) {
+    const size_t direct =
+        shared
+            .PcEdgesFromTransitiveUncached(
+                {"IS" + std::to_string(i % 3), "S" + std::to_string(i % 3)}, 4)
+            .size();
+    EXPECT_EQ(sizes[i], direct) << "worker " << i;
+  }
 }
 
 }  // namespace

@@ -260,6 +260,40 @@ TEST(PlanCache, OptionsAndDefinitionsKeySeparateEntries) {
   EXPECT_EQ(cache.size(), 0);
 }
 
+TEST(PlanCache, LruEvictionBoundsSize) {
+  MapProvider provider;
+  ASSERT_TRUE(provider.Add(MakeRelation("R", {"A"}, {{1}, {2}, {3}})).ok());
+  PlanCache cache(/*capacity=*/2);
+  EXPECT_EQ(cache.capacity(), 2);
+
+  const ViewDefinition v1 = Parse("CREATE VIEW V1 AS SELECT R.A FROM R");
+  const ViewDefinition v2 =
+      Parse("CREATE VIEW V2 AS SELECT R.A FROM R WHERE R.A >= 2");
+  const ViewDefinition v3 =
+      Parse("CREATE VIEW V3 AS SELECT R.A FROM R WHERE R.A >= 3");
+
+  ASSERT_TRUE(cache.Get(v1, provider).ok());
+  ASSERT_TRUE(cache.Get(v2, provider).ok());
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.stats().evictions, 0);
+
+  // Touch v1 so v2 becomes the least recently used, then overflow with v3.
+  ASSERT_TRUE(cache.Get(v1, provider).ok());
+  ASSERT_TRUE(cache.Get(v3, provider).ok());
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.stats().evictions, 1);
+
+  // v1 and v3 are still cached (hits); v2 was evicted (miss on return).
+  const int64_t hits_before = cache.stats().hits;
+  ASSERT_TRUE(cache.Get(v1, provider).ok());
+  ASSERT_TRUE(cache.Get(v3, provider).ok());
+  EXPECT_EQ(cache.stats().hits, hits_before + 2);
+  const int64_t misses_before = cache.stats().misses;
+  ASSERT_TRUE(cache.Get(v2, provider).ok());
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+  EXPECT_EQ(cache.stats().evictions, 2);
+}
+
 TEST(EveSystemPlanCache, MaterializationPopulatesAndSchemaChangeClears) {
   EveSystem system;
   Relation r = MakeRelation("R", {"A", "B"}, {{1, 10}, {2, 20}});

@@ -1,0 +1,181 @@
+// Edge cases of the compact interned Value representation (types/value.h):
+// NULL ordering, cross-type numeric comparison, NaN, the string pool
+// (empty/long strings, pool-identity equality, cross-pool content
+// equality), and hash stability across interning orders.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "expr/comp_op.h"
+#include "storage/relation.h"
+#include "types/string_pool.h"
+#include "types/value.h"
+
+namespace eve {
+namespace {
+
+TEST(Value, StaysCompact) {
+  // The whole point of the representation: tuples are POD-sized even on
+  // string workloads.
+  EXPECT_LE(sizeof(Value), 16u);
+}
+
+TEST(Value, NullOrdering) {
+  const Value null;
+  EXPECT_TRUE(null.is_null());
+  EXPECT_EQ(null.Compare(Value()), std::strong_ordering::equal);
+  EXPECT_EQ(null.Hash(), Value().Hash());
+  // NULL sorts below every non-NULL value, including -inf and strings.
+  EXPECT_LT(null, Value(std::numeric_limits<int64_t>::min()));
+  EXPECT_LT(null, Value(-std::numeric_limits<double>::infinity()));
+  EXPECT_LT(null, Value(""));
+  // ...but predicate comparisons involving NULL are false (SQL semantics).
+  EXPECT_FALSE(EvalCompOp(CompOp::kEqual, null, null));
+  EXPECT_FALSE(EvalCompOp(CompOp::kLess, null, Value(1)));
+}
+
+TEST(Value, CrossTypeNumericCompare) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_EQ(Value(3).Hash(), Value(3.0).Hash());
+  EXPECT_LT(Value(3), Value(3.5));
+  EXPECT_LT(Value(2.5), Value(3));
+  EXPECT_EQ(Value(-0.0), Value(0.0));
+  EXPECT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
+  EXPECT_EQ(Value(0), Value(-0.0));
+  // Numbers order before strings in the heterogeneous total order.
+  EXPECT_LT(Value(999), Value("0"));
+}
+
+TEST(Value, NaNSemantics) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const Value vnan(nan);
+  // Total order (set semantics): NaN equals itself, sits above all reals,
+  // and hashes consistently -- so Distinct() treats NaNs as one value
+  // instead of the unordered-compares-equal confusion a raw `<` gives.
+  EXPECT_EQ(vnan.Compare(Value(nan)), std::strong_ordering::equal);
+  EXPECT_EQ(vnan.Hash(), Value(nan).Hash());
+  EXPECT_GT(vnan, Value(1e308));
+  EXPECT_LT(Value(-nan), Value(-1e308));
+  EXPECT_NE(vnan, Value(1));
+  // Predicates: NaN behaves like NULL -- every comparison is false, even
+  // `<>` (SQL-style unknown-as-false, deliberately not IEEE).
+  EXPECT_FALSE(EvalCompOp(CompOp::kEqual, vnan, vnan));
+  EXPECT_FALSE(EvalCompOp(CompOp::kLess, Value(1), vnan));
+  EXPECT_FALSE(EvalCompOp(CompOp::kGreater, vnan, Value(1)));
+  EXPECT_FALSE(EvalCompOp(CompOp::kNotEqual, vnan, Value(1)));
+}
+
+TEST(Value, EmptyString) {
+  const Value empty("");
+  EXPECT_EQ(empty.type(), DataType::kString);
+  EXPECT_EQ(empty.AsString(), "");
+  EXPECT_EQ(empty, Value(std::string()));
+  EXPECT_LT(empty, Value("a"));
+  EXPECT_EQ(empty.ToString(), "''");
+}
+
+TEST(Value, LongStringsRoundTrip) {
+  // Far longer than any inline/SSO buffer: the pool owns the bytes, the
+  // Value only carries ids.
+  const std::string long_a(100000, 'a');
+  std::string long_b = long_a;
+  long_b.back() = 'b';
+  const Value va(long_a);
+  const Value vb(long_b);
+  EXPECT_EQ(va.AsString(), long_a);
+  EXPECT_EQ(va, Value(long_a));
+  EXPECT_NE(va, vb);
+  EXPECT_LT(va, vb);
+}
+
+TEST(Value, PoolIdentityEqualityAcrossRelations) {
+  // Two relations interning the same text into the same (default) pool
+  // produce Values with identical interning coordinates: equality is id
+  // comparison, and join probes across relations hit without byte compares.
+  Relation r("R", Schema({Attribute::Make("A", DataType::kString, 20)}));
+  Relation s("S", Schema({Attribute::Make("A", DataType::kString, 20)}));
+  ASSERT_TRUE(r.Insert(Tuple{Value("shared-key")}).ok());
+  ASSERT_TRUE(s.Insert(Tuple{Value("shared-key")}).ok());
+  const Value& from_r = r.tuple(0).at(0);
+  const Value& from_s = s.tuple(0).at(0);
+  EXPECT_EQ(from_r.string_pool_index(), from_s.string_pool_index());
+  EXPECT_EQ(from_r.string_id(), from_s.string_id());
+  EXPECT_EQ(from_r, from_s);
+}
+
+TEST(Value, CrossPoolContentEquality) {
+  StringPool pool_a;
+  StringPool pool_b;
+  const Value va("same text", pool_a);
+  const Value vb("same text", pool_b);
+  ASSERT_NE(va.string_pool_index(), vb.string_pool_index());
+  // Different pools, equal content: equal, equal hash, not less-than.
+  EXPECT_EQ(va, vb);
+  EXPECT_EQ(va.Hash(), vb.Hash());
+  EXPECT_EQ(va.Compare(vb), std::strong_ordering::equal);
+  const Value vc("other text", pool_b);
+  EXPECT_NE(va, vc);
+}
+
+TEST(Value, HashStableAcrossInterningOrder) {
+  // Hashes depend on content only, never on interning order or pool: two
+  // pools interning the same strings in opposite orders (hence with
+  // different ids) must agree on every hash.
+  StringPool forward;
+  StringPool backward;
+  const std::string texts[] = {"alpha", "beta", "gamma", ""};
+  for (const std::string& t : texts) (void)Value(t, forward);
+  for (int i = 3; i >= 0; --i) (void)Value(texts[i], backward);
+  for (const std::string& t : texts) {
+    const Value vf(t, forward);
+    const Value vb(t, backward);
+    EXPECT_EQ(vf.Hash(), vb.Hash()) << "text: '" << t << "'";
+    EXPECT_EQ(vf.Hash(), Value(t).Hash()) << "text: '" << t << "'";
+  }
+}
+
+TEST(Value, InterningIsIdempotentPerPool) {
+  StringPool pool;
+  const Value a("dup", pool);
+  const Value b("dup", pool);
+  EXPECT_EQ(a.string_id(), b.string_id());
+  EXPECT_EQ(pool.size(), 1);
+  (void)Value("other", pool);
+  EXPECT_EQ(pool.size(), 2);
+}
+
+TEST(StringPool, ConcurrentInterningIsConsistent) {
+  // Racing interns of overlapping texts must agree on ids and round-trip
+  // every text (exercised under the ThreadSanitizer CI job).
+  StringPool pool;
+  std::vector<uint32_t> ids(64);
+  ParallelFor(64, 8, [&](int64_t i) {
+    const std::string text = "key" + std::to_string(i % 8);
+    const Value v(text, pool);
+    ids[i] = v.string_id();
+    EXPECT_EQ(v.AsString(), text);
+  });
+  EXPECT_EQ(pool.size(), 8);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(ids[i], ids[i % 8]) << "text index " << i;
+  }
+}
+
+TEST(Value, StringDistinctAndIndexAcrossMixedPools) {
+  // A relation whose tuples mix pools still deduplicates by content.
+  StringPool other;
+  Relation rel("R", Schema({Attribute::Make("A", DataType::kString, 20)}));
+  ASSERT_TRUE(rel.Insert(Tuple{Value("x")}).ok());
+  ASSERT_TRUE(rel.Insert(Tuple{Value("x", other)}).ok());
+  ASSERT_TRUE(rel.Insert(Tuple{Value("y")}).ok());
+  EXPECT_EQ(rel.DistinctCount(), 2);
+  EXPECT_EQ(rel.Distinct().cardinality(), 2);
+}
+
+}  // namespace
+}  // namespace eve
