@@ -72,12 +72,16 @@ bool Build(Environment* env) {
   if (!view.ok()) return false;
   env->view = view.value();
 
+  // Delta-native synchronization: candidates are filtered on provenance
+  // and only the five kept single-replacement rewritings materialize.
   ViewSynchronizer synchronizer(env->mkb);
-  auto sync = synchronizer.Synchronize(
+  auto sync = synchronizer.SynchronizeCandidates(
       env->view, SchemaChange(DeleteRelation{RelationId{"IS1", "R2"}}));
   if (!sync.ok() || !sync->affected) return false;
-  for (Rewriting& rw : sync->rewritings) {
-    if (rw.replacements.size() == 1) env->rewritings.push_back(std::move(rw));
+  for (RewriteCandidate& c : sync->candidates) {
+    if (c.replacements.size() == 1) {
+      env->rewritings.push_back(std::move(c).ToRewriting());
+    }
   }
   return env->rewritings.size() == 5;
 }

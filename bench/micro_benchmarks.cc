@@ -271,6 +271,121 @@ void BM_SynchronizeView(benchmark::State& state) {
 }
 BENCHMARK(BM_SynchronizeView);
 
+// Wide delete-change fan-out: a 17-attribute view over a deleted relation
+// with 40 partial-map PC replacements (28 covering the first half of the
+// attributes, 12 the second) and a join constraint between every target
+// pair.  The enumeration attempts ~1600 CVS pair substitutions -- most
+// rejected because both targets cover the same half -- of which ~700
+// succeed and the 256-candidate cap keeps a fraction.  This is the shape
+// where the copy-on-write candidate representation pays: rejected,
+// deduplicated, and over-cap candidates never touch a materialized
+// ViewDefinition, while the eager oracle (the _Eager variant) deep-copies
+// the whole 17-select definition up front for every single attempt.
+struct DeleteFanoutFixture {
+  MetaKnowledgeBase mkb;
+  ViewDefinition view;
+  SchemaChange change{DeleteRelation{RelationId{"IS0", "R"}}};
+  static constexpr int kTargets = 40;
+  static constexpr int kFirstHalfTargets = 28;
+  static constexpr int kSideRelations = 4;  ///< Untouched wide FROM items.
+
+  DeleteFanoutFixture() {
+    auto int_schema = [](const std::vector<std::string>& names) {
+      std::vector<Attribute> attrs;
+      for (const std::string& n : names) {
+        attrs.push_back(Attribute::Make(n, DataType::kInt64, 50));
+      }
+      return Schema(std::move(attrs));
+    };
+    (void)mkb.RegisterRelationWithStats(
+        {"IS0", "R"}, int_schema({"K", "X0", "X1", "X2", "X3"}), 10000, 0.5);
+    // The side relations feed most of the view's interface; rewriting
+    // candidates never touch them (the common case: a wide warehouse view
+    // loses one of many sources).
+    for (int s = 0; s < kSideRelations; ++s) {
+      (void)mkb.RegisterRelationWithStats(
+          {"ISS" + std::to_string(s), "S" + std::to_string(s)},
+          int_schema({"KA", "B0", "B1", "B2"}), 8000, 0.5);
+    }
+    // Each target covers K plus one half of the X attributes; only a pair
+    // of complementary targets can substitute R in full.
+    for (int i = 0; i < kTargets; ++i) {
+      const bool first_half = i < kFirstHalfTargets;
+      const std::vector<std::string> attrs =
+          first_half ? std::vector<std::string>{"K", "X0", "X1"}
+                     : std::vector<std::string>{"K", "X2", "X3"};
+      const RelationId id{"IS" + std::to_string(i + 1),
+                          "U" + std::to_string(i)};
+      (void)mkb.RegisterRelationWithStats(id, int_schema(attrs),
+                                          4000 + 100 * i, 0.5);
+      (void)mkb.AddPcConstraint(MakeProjectionPc(RelationId{"IS0", "R"}, id,
+                                                 attrs,
+                                                 PcRelationType::kEquivalent));
+    }
+    for (int i = 0; i < kTargets; ++i) {
+      for (int j = i + 1; j < kTargets; ++j) {
+        JoinConstraint jc;
+        jc.left = RelationId{"IS" + std::to_string(i + 1),
+                             "U" + std::to_string(i)};
+        jc.right = RelationId{"IS" + std::to_string(j + 1),
+                              "U" + std::to_string(j)};
+        jc.condition.Add(PrimitiveClause::AttrAttr(
+            RelAttr{"U" + std::to_string(i), "K"}, CompOp::kEqual,
+            RelAttr{"U" + std::to_string(j), "K"}));
+        (void)mkb.AddJoinConstraint(jc);
+      }
+    }
+    std::string text = "CREATE VIEW W AS SELECT R.K (AR=true)";
+    for (int a = 0; a < 4; ++a) {
+      text += ", R.X" + std::to_string(a) + " (AD=true, AR=true)";
+    }
+    for (int s = 0; s < kSideRelations; ++s) {
+      for (int b = 0; b < 3; ++b) {
+        text += ", S" + std::to_string(s) + ".B" + std::to_string(b) + " AS S" +
+                std::to_string(s) + "B" + std::to_string(b);
+      }
+    }
+    text += " FROM R (RR=true)";
+    for (int s = 0; s < kSideRelations; ++s) text += ", S" + std::to_string(s);
+    text += " WHERE (R.K = S0.KA) (CR=true)";
+    for (int s = 1; s < kSideRelations; ++s) {
+      text += " AND (S" + std::to_string(s - 1) + ".KA = S" +
+              std::to_string(s) + ".KA)";
+    }
+    view = ParseViewDefinition(text).value();
+  }
+};
+
+void BM_SynchronizeDeleteFanout(benchmark::State& state) {
+  DeleteFanoutFixture fixture;
+  ViewSynchronizer synchronizer(fixture.mkb);
+  int64_t rewritings = 0;
+  for (auto _ : state) {
+    auto result = synchronizer.Synchronize(fixture.view, fixture.change);
+    rewritings += result.ok() ? static_cast<int64_t>(result->rewritings.size())
+                              : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(rewritings);
+}
+BENCHMARK(BM_SynchronizeDeleteFanout);
+
+void BM_SynchronizeDeleteFanout_Eager(benchmark::State& state) {
+  DeleteFanoutFixture fixture;
+  SynchronizerOptions options;
+  options.use_delta_enumeration = false;
+  ViewSynchronizer synchronizer(fixture.mkb, options);
+  int64_t rewritings = 0;
+  for (auto _ : state) {
+    auto result = synchronizer.Synchronize(fixture.view, fixture.change);
+    rewritings += result.ok() ? static_cast<int64_t>(result->rewritings.size())
+                              : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(rewritings);
+}
+BENCHMARK(BM_SynchronizeDeleteFanout_Eager);
+
 // Transitive PC-edge closure on the SynchFixture constraint chain: the
 // memoized path (one map lookup after warm-up) vs the seed's uncached BFS
 // that rescans the constraint store per node.

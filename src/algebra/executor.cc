@@ -24,10 +24,15 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
   JoinWorkingSet ws;
   ws.columns.reserve(n);
 
-  // Per-step candidate buffers, reused across steps: candidate i is the
-  // pair (parents[i] = combo index in the current working set, rows[i] =
-  // row id of the step's relation).
-  std::vector<int64_t> parents;
+  // Per-step candidate buffers: candidate i is the pair (parents[i] =
+  // combo index in the current working set, rows[i] = row id of the
+  // step's relation).  `parents` is thread-local so its capacity (sized
+  // from index statistics below) stays warm across executions -- repeated
+  // sweep queries neither re-allocate it nor bounce a large buffer off
+  // the allocator's mmap threshold.  `rows` stays function-local: it is
+  // moved into the working set as the step's column, so a persistent
+  // buffer could never keep its capacity anyway.
+  static thread_local std::vector<int64_t> parents;
   std::vector<int64_t> rows;
 
   for (int s = 0; s < n; ++s) {
@@ -60,6 +65,25 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
       } else {
         scoped_index.emplace(rel, step.key_right_local);
         index = &*scoped_index;
+      }
+      // Size the candidate buffers from index statistics (expected fanout =
+      // |R| / V(key)), so high-fanout joins append without growth
+      // reallocations.  The estimate assumes every probe key matches, so
+      // it is bounded -- relatively (16x the probe count) and absolutely
+      // (8 MB per buffer) -- to keep selective joins from speculatively
+      // allocating far beyond their real output and pinning it in the
+      // thread-local buffer.
+      const int64_t keys = index->DistinctKeys();
+      if (keys > 0) {
+        const size_t expected =
+            static_cast<size_t>(static_cast<double>(ws.combos) *
+                                static_cast<double>(rel.cardinality()) /
+                                static_cast<double>(keys)) +
+            ws.combos;
+        const size_t bounded = std::min(
+            {expected, ws.combos * 16 + 1024, size_t{1} << 20});
+        parents.reserve(bounded);
+        rows.reserve(bounded);
       }
       // Batch probe: the key source is one (relation, column) pair over one
       // row-id column, so everything loop-invariant is hoisted and the scan
@@ -130,11 +154,13 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
     // Gather the surviving parents through every existing column -- one
     // sequential batch copy per column instead of a scratch copy per
     // candidate -- then append the new item's rows as its own column.
+    // Double-buffered: the gather target is the recycled scratch buffer,
+    // and the swapped-out column becomes the scratch for the next gather.
     for (std::vector<int64_t>& column : ws.columns) {
-      std::vector<int64_t> gathered;
-      gathered.reserve(parents.size());
-      for (const int64_t p : parents) gathered.push_back(column[p]);
-      column = std::move(gathered);
+      ws.scratch.clear();
+      ws.scratch.reserve(parents.size());
+      for (const int64_t p : parents) ws.scratch.push_back(column[p]);
+      std::swap(column, ws.scratch);
     }
     ws.columns.push_back(std::move(rows));
     ws.combos = parents.size();

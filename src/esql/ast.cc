@@ -104,6 +104,7 @@ Conjunction ViewDefinition::LocalConjunction(const std::string& rel_name) const 
 }
 
 Status ViewDefinition::Validate() const {
+  namespace vs = view_structure_internal;
   if (name.empty()) return Status::InvalidArgument("view has no name");
   if (select_items.empty()) {
     return Status::InvalidArgument("view " + name + " selects no attributes");
@@ -113,43 +114,14 @@ Status ViewDefinition::Validate() const {
   }
   std::set<std::string> from_names;
   for (const FromItem& f : from_items) {
-    if (f.relation.empty()) {
-      return Status::InvalidArgument("view " + name + " has an unnamed FROM item");
-    }
-    if (!from_names.insert(f.name()).second) {
-      return Status::InvalidArgument("view " + name +
-                                     ": duplicate FROM name " + f.name());
-    }
+    EVE_RETURN_IF_ERROR(vs::ValidateFrom(name, f, &from_names));
   }
   std::set<std::string> out_names;
   for (const SelectItem& s : select_items) {
-    if (s.source.relation.empty() || s.source.attribute.empty()) {
-      return Status::InvalidArgument(
-          "view " + name + ": SELECT items must be relation-qualified");
-    }
-    if (from_names.count(s.source.relation) == 0) {
-      return Status::InvalidArgument("view " + name + ": SELECT references " +
-                                     s.source.ToString() +
-                                     " but no such FROM item exists");
-    }
-    if (!out_names.insert(s.name()).second) {
-      return Status::InvalidArgument("view " + name +
-                                     ": duplicate output attribute " + s.name());
-    }
+    EVE_RETURN_IF_ERROR(vs::ValidateSelect(name, s, from_names, &out_names));
   }
   for (const ConditionItem& c : where) {
-    for (const RelAttr& a : c.clause.Attributes()) {
-      if (a.relation.empty()) {
-        return Status::InvalidArgument(
-            "view " + name + ": WHERE references unqualified attribute " +
-            a.ToString());
-      }
-      if (from_names.count(a.relation) == 0) {
-        return Status::InvalidArgument("view " + name + ": WHERE references " +
-                                       a.ToString() +
-                                       " but no such FROM item exists");
-      }
-    }
+    EVE_RETURN_IF_ERROR(vs::ValidateCondition(name, c, from_names));
   }
   return Status::OK();
 }
@@ -171,32 +143,113 @@ size_t HashClause(const PrimitiveClause& c) {
 
 }  // namespace
 
-size_t StructuralHash(const ViewDefinition& view) {
+namespace view_structure_internal {
+
+Status ValidateFrom(const std::string& view_name, const FromItem& f,
+                    std::set<std::string>* from_names) {
+  if (f.relation.empty()) {
+    return Status::InvalidArgument("view " + view_name +
+                                   " has an unnamed FROM item");
+  }
+  if (!from_names->insert(f.name()).second) {
+    return Status::InvalidArgument("view " + view_name +
+                                   ": duplicate FROM name " + f.name());
+  }
+  return Status::OK();
+}
+
+Status ValidateSelect(const std::string& view_name, const SelectItem& s,
+                      const std::set<std::string>& from_names,
+                      std::set<std::string>* out_names) {
+  if (s.source.relation.empty() || s.source.attribute.empty()) {
+    return Status::InvalidArgument(
+        "view " + view_name + ": SELECT items must be relation-qualified");
+  }
+  if (from_names.count(s.source.relation) == 0) {
+    return Status::InvalidArgument("view " + view_name +
+                                   ": SELECT references " +
+                                   s.source.ToString() +
+                                   " but no such FROM item exists");
+  }
+  if (!out_names->insert(s.name()).second) {
+    return Status::InvalidArgument("view " + view_name +
+                                   ": duplicate output attribute " + s.name());
+  }
+  return Status::OK();
+}
+
+Status ValidateCondition(const std::string& view_name, const ConditionItem& c,
+                         const std::set<std::string>& from_names) {
+  for (const RelAttr& a : c.clause.Attributes()) {
+    if (a.relation.empty()) {
+      return Status::InvalidArgument(
+          "view " + view_name + ": WHERE references unqualified attribute " +
+          a.ToString());
+    }
+    if (from_names.count(a.relation) == 0) {
+      return Status::InvalidArgument("view " + view_name +
+                                     ": WHERE references " + a.ToString() +
+                                     " but no such FROM item exists");
+    }
+  }
+  return Status::OK();
+}
+
+size_t SeedHash(const ViewDefinition& view) {
   size_t h = HashOf(view.name);
-  h = HashCombine(h, static_cast<size_t>(view.ve));
-  for (const SelectItem& s : view.select_items) {
-    h = HashCombine(h, HashOf(s.source.relation));
-    h = HashCombine(h, HashOf(s.source.attribute));
-    h = HashCombine(h, HashOf(s.name()));  // Normalized output name.
-    h = HashCombine(h, HashOf(s.dispensable));
-    h = HashCombine(h, HashOf(s.replaceable));
-  }
-  for (const FromItem& f : view.from_items) {
-    h = HashCombine(h, HashOf(f.site));
-    h = HashCombine(h, HashOf(f.relation));
-    h = HashCombine(h, HashOf(f.name()));  // Normalized alias.
-    h = HashCombine(h, HashOf(f.dispensable));
-    h = HashCombine(h, HashOf(f.replaceable));
-  }
-  for (const ConditionItem& c : view.where) {
-    h = HashCombine(h, HashClause(c.clause));
-    h = HashCombine(h, HashOf(c.dispensable));
-    h = HashCombine(h, HashOf(c.replaceable));
-  }
+  return HashCombine(h, static_cast<size_t>(view.ve));
+}
+
+size_t CombineSelect(size_t h, const SelectItem& s) {
+  h = HashCombine(h, HashOf(s.source.relation));
+  h = HashCombine(h, HashOf(s.source.attribute));
+  h = HashCombine(h, HashOf(s.name()));  // Normalized output name.
+  h = HashCombine(h, HashOf(s.dispensable));
+  return HashCombine(h, HashOf(s.replaceable));
+}
+
+size_t CombineFrom(size_t h, const FromItem& f) {
+  h = HashCombine(h, HashOf(f.site));
+  h = HashCombine(h, HashOf(f.relation));
+  h = HashCombine(h, HashOf(f.name()));  // Normalized alias.
+  h = HashCombine(h, HashOf(f.dispensable));
+  return HashCombine(h, HashOf(f.replaceable));
+}
+
+size_t CombineCondition(size_t h, const ConditionItem& c) {
+  h = HashCombine(h, HashClause(c.clause));
+  h = HashCombine(h, HashOf(c.dispensable));
+  return HashCombine(h, HashOf(c.replaceable));
+}
+
+bool SelectEqual(const SelectItem& x, const SelectItem& y) {
+  return x.source == y.source && x.name() == y.name() &&
+         x.dispensable == y.dispensable && x.replaceable == y.replaceable;
+}
+
+bool FromEqual(const FromItem& x, const FromItem& y) {
+  return x.site == y.site && x.relation == y.relation && x.name() == y.name() &&
+         x.dispensable == y.dispensable && x.replaceable == y.replaceable;
+}
+
+bool ConditionEqual(const ConditionItem& x, const ConditionItem& y) {
+  return x.clause == y.clause && x.dispensable == y.dispensable &&
+         x.replaceable == y.replaceable;
+}
+
+}  // namespace view_structure_internal
+
+size_t StructuralHash(const ViewDefinition& view) {
+  namespace vs = view_structure_internal;
+  size_t h = vs::SeedHash(view);
+  for (const SelectItem& s : view.select_items) h = vs::CombineSelect(h, s);
+  for (const FromItem& f : view.from_items) h = vs::CombineFrom(h, f);
+  for (const ConditionItem& c : view.where) h = vs::CombineCondition(h, c);
   return h;
 }
 
 bool StructurallyEqual(const ViewDefinition& a, const ViewDefinition& b) {
+  namespace vs = view_structure_internal;
   if (a.name != b.name || a.ve != b.ve ||
       a.select_items.size() != b.select_items.size() ||
       a.from_items.size() != b.from_items.size() ||
@@ -204,28 +257,13 @@ bool StructurallyEqual(const ViewDefinition& a, const ViewDefinition& b) {
     return false;
   }
   for (size_t i = 0; i < a.select_items.size(); ++i) {
-    const SelectItem& x = a.select_items[i];
-    const SelectItem& y = b.select_items[i];
-    if (!(x.source == y.source) || x.name() != y.name() ||
-        x.dispensable != y.dispensable || x.replaceable != y.replaceable) {
-      return false;
-    }
+    if (!vs::SelectEqual(a.select_items[i], b.select_items[i])) return false;
   }
   for (size_t i = 0; i < a.from_items.size(); ++i) {
-    const FromItem& x = a.from_items[i];
-    const FromItem& y = b.from_items[i];
-    if (x.site != y.site || x.relation != y.relation || x.name() != y.name() ||
-        x.dispensable != y.dispensable || x.replaceable != y.replaceable) {
-      return false;
-    }
+    if (!vs::FromEqual(a.from_items[i], b.from_items[i])) return false;
   }
   for (size_t i = 0; i < a.where.size(); ++i) {
-    const ConditionItem& x = a.where[i];
-    const ConditionItem& y = b.where[i];
-    if (!(x.clause == y.clause) || x.dispensable != y.dispensable ||
-        x.replaceable != y.replaceable) {
-      return false;
-    }
+    if (!vs::ConditionEqual(a.where[i], b.where[i])) return false;
   }
   return true;
 }

@@ -12,6 +12,8 @@
 #define EVE_ESQL_AST_H_
 
 #include <optional>
+#include <set>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -76,6 +78,8 @@ struct ConditionItem {
   bool operator==(const ConditionItem& o) const = default;
 };
 
+struct RewriteDelta;  // esql/view_delta.h
+
 /// A complete E-SQL view definition.
 struct ViewDefinition {
   std::string name;
@@ -110,6 +114,11 @@ struct ViewDefinition {
   /// FROM item, output names are unique, at least one SELECT and FROM item.
   Status Validate() const;
 
+  /// Materializes a copy of this definition with the copy-on-write op log
+  /// `ops` applied in order (see esql/view_delta.h).  This definition is
+  /// the immutable base; it is never modified.
+  ViewDefinition Apply(std::span<const RewriteDelta> ops) const;
+
   bool operator==(const ViewDefinition& o) const = default;
 };
 
@@ -123,6 +132,32 @@ size_t StructuralHash(const ViewDefinition& view);
 
 /// Structural equality under the StructuralHash normalization.
 bool StructurallyEqual(const ViewDefinition& a, const ViewDefinition& b);
+
+/// Per-component steps of StructuralHash / StructurallyEqual / Validate,
+/// shared with the copy-on-write overlay (esql/view_delta.h) so hashing or
+/// validating a (base, delta) candidate is guaranteed to agree with its
+/// materialization.
+namespace view_structure_internal {
+/// One FROM item's validation step: checks the item and records its
+/// query-local name in `from_names` (duplicate detection).
+Status ValidateFrom(const std::string& view_name, const FromItem& f,
+                    std::set<std::string>* from_names);
+/// One SELECT item's validation step against the complete FROM name set;
+/// records the output name in `out_names`.
+Status ValidateSelect(const std::string& view_name, const SelectItem& s,
+                      const std::set<std::string>& from_names,
+                      std::set<std::string>* out_names);
+/// One WHERE item's validation step against the complete FROM name set.
+Status ValidateCondition(const std::string& view_name, const ConditionItem& c,
+                         const std::set<std::string>& from_names);
+size_t SeedHash(const ViewDefinition& view);
+size_t CombineSelect(size_t h, const SelectItem& s);
+size_t CombineFrom(size_t h, const FromItem& f);
+size_t CombineCondition(size_t h, const ConditionItem& c);
+bool SelectEqual(const SelectItem& a, const SelectItem& b);
+bool FromEqual(const FromItem& a, const FromItem& b);
+bool ConditionEqual(const ConditionItem& a, const ConditionItem& b);
+}  // namespace view_structure_internal
 
 }  // namespace eve
 

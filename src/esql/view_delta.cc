@@ -1,0 +1,313 @@
+#include "esql/view_delta.h"
+
+#include <set>
+
+namespace eve {
+
+DeltaView::DeltaView(const ViewDefinition& base) : base_(&base) {
+  sel_.base_n = static_cast<int32_t>(base.select_items.size());
+  sel_.slots.resize(sel_.base_n);
+  where_.base_n = static_cast<int32_t>(base.where.size());
+  where_.slots.resize(where_.base_n);
+  from_.base_n = static_cast<int32_t>(base.from_items.size());
+  from_.slots.resize(from_.base_n);
+}
+
+DeltaView::DeltaView(const ViewDefinition& base,
+                     std::span<const RewriteDelta> ops)
+    : DeltaView(base) {
+  Sync(ops);
+}
+
+void DeltaView::Sync(std::span<const RewriteDelta> ops) {
+  ops_ = ops.data();
+  for (size_t i = applied_; i < ops.size(); ++i) ApplyOne(i);
+  applied_ = ops.size();
+}
+
+void DeltaView::ApplyOne(size_t op_index) {
+  const RewriteDelta& d = ops_[op_index];
+  const int32_t owned = static_cast<int32_t>(op_index);
+  // Only drops and appends change which ids are live; in-place overrides
+  // (Set/Replace) keep the position index valid, so they skip the Reindex.
+  switch (d.kind) {
+    case RewriteDelta::Kind::kDropSelect:
+      sel_.slots[d.id].dropped = true;
+      dirty_ = true;
+      break;
+    case RewriteDelta::Kind::kSetSelect:
+      sel_.slots[d.id].owned = owned;
+      break;
+    case RewriteDelta::Kind::kDropCondition:
+      where_.slots[d.id].dropped = true;
+      dirty_ = true;
+      break;
+    case RewriteDelta::Kind::kSetCondition:
+      where_.slots[d.id].owned = owned;
+      break;
+    case RewriteDelta::Kind::kAddCondition:
+      where_.slots.push_back(Slot{owned, false});
+      dirty_ = true;
+      break;
+    case RewriteDelta::Kind::kDropFrom:
+      from_.slots[d.id].dropped = true;
+      dirty_ = true;
+      break;
+    case RewriteDelta::Kind::kReplaceFrom:
+      from_.slots[d.id].owned = owned;
+      break;
+    case RewriteDelta::Kind::kAddFrom:
+      from_.slots.push_back(Slot{owned, false});
+      dirty_ = true;
+      break;
+  }
+}
+
+void DeltaView::Reindex() const {
+  if (!dirty_) return;
+  live_sel_.clear();
+  live_where_.clear();
+  live_from_.clear();
+  for (size_t i = 0; i < sel_.slots.size(); ++i) {
+    if (!sel_.slots[i].dropped) live_sel_.push_back(static_cast<int32_t>(i));
+  }
+  for (size_t i = 0; i < where_.slots.size(); ++i) {
+    if (!where_.slots[i].dropped) {
+      live_where_.push_back(static_cast<int32_t>(i));
+    }
+  }
+  for (size_t i = 0; i < from_.slots.size(); ++i) {
+    if (!from_.slots[i].dropped) live_from_.push_back(static_cast<int32_t>(i));
+  }
+  dirty_ = false;
+}
+
+int DeltaView::select_size() const {
+  Reindex();
+  return static_cast<int>(live_sel_.size());
+}
+const SelectItem& DeltaView::select(int pos) const {
+  Reindex();
+  return sel_.at(live_sel_[pos], base_->select_items, ops_);
+}
+int32_t DeltaView::select_id(int pos) const {
+  Reindex();
+  return live_sel_[pos];
+}
+
+int DeltaView::from_size() const {
+  Reindex();
+  return static_cast<int>(live_from_.size());
+}
+const FromItem& DeltaView::from(int pos) const {
+  Reindex();
+  return from_.at(live_from_[pos], base_->from_items, ops_);
+}
+int32_t DeltaView::from_id(int pos) const {
+  Reindex();
+  return live_from_[pos];
+}
+
+int DeltaView::where_size() const {
+  Reindex();
+  return static_cast<int>(live_where_.size());
+}
+const ConditionItem& DeltaView::where(int pos) const {
+  Reindex();
+  return where_.at(live_where_[pos], base_->where, ops_);
+}
+int32_t DeltaView::where_id(int pos) const {
+  Reindex();
+  return live_where_[pos];
+}
+
+const SelectItem& DeltaView::select_by_id(int32_t id) const {
+  return sel_.at(id, base_->select_items, ops_);
+}
+const ConditionItem& DeltaView::where_by_id(int32_t id) const {
+  return where_.at(id, base_->where, ops_);
+}
+const FromItem& DeltaView::from_by_id(int32_t id) const {
+  return from_.at(id, base_->from_items, ops_);
+}
+
+const FromItem* DeltaView::FindFrom(const std::string& name) const {
+  Reindex();
+  for (const int32_t id : live_from_) {
+    const FromItem& f = from_.at(id, base_->from_items, ops_);
+    if (f.name() == name) return &f;
+  }
+  return nullptr;
+}
+
+const SelectItem* DeltaView::FindSelect(const std::string& output) const {
+  Reindex();
+  for (const int32_t id : live_sel_) {
+    const SelectItem& s = sel_.at(id, base_->select_items, ops_);
+    if (s.name() == output) return &s;
+  }
+  return nullptr;
+}
+
+bool DeltaView::RelationIsUsed(const std::string& rel_name) const {
+  Reindex();
+  for (const int32_t id : live_sel_) {
+    if (sel_.at(id, base_->select_items, ops_).source.relation == rel_name) {
+      return true;
+    }
+  }
+  for (const int32_t id : live_where_) {
+    if (where_.at(id, base_->where, ops_).clause.References(rel_name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Conjunction DeltaView::LocalConjunction(const std::string& rel_name) const {
+  Reindex();
+  Conjunction out;
+  for (const int32_t id : live_where_) {
+    const PrimitiveClause& c = where_.at(id, base_->where, ops_).clause;
+    if (!c.IsJoinClause() && c.lhs.relation == rel_name) out.Add(c);
+  }
+  return out;
+}
+
+Status DeltaView::Validate() const {
+  // The per-component steps are shared with ViewDefinition::Validate
+  // (view_structure_internal), so a candidate is accepted or rejected
+  // exactly as its materialization would be -- without building it.
+  namespace vs = view_structure_internal;
+  Reindex();
+  const std::string& name = base_->name;
+  if (name.empty()) return Status::InvalidArgument("view has no name");
+  if (live_sel_.empty()) {
+    return Status::InvalidArgument("view " + name + " selects no attributes");
+  }
+  if (live_from_.empty()) {
+    return Status::InvalidArgument("view " + name + " has no FROM items");
+  }
+  std::set<std::string> from_names;
+  for (const int32_t id : live_from_) {
+    EVE_RETURN_IF_ERROR(vs::ValidateFrom(
+        name, from_.at(id, base_->from_items, ops_), &from_names));
+  }
+  std::set<std::string> out_names;
+  for (const int32_t id : live_sel_) {
+    EVE_RETURN_IF_ERROR(vs::ValidateSelect(
+        name, sel_.at(id, base_->select_items, ops_), from_names, &out_names));
+  }
+  for (const int32_t id : live_where_) {
+    EVE_RETURN_IF_ERROR(vs::ValidateCondition(
+        name, where_.at(id, base_->where, ops_), from_names));
+  }
+  return Status::OK();
+}
+
+ViewDefinition DeltaView::Materialize() const {
+  Reindex();
+  ViewDefinition out;
+  out.name = base_->name;
+  out.ve = base_->ve;
+  out.select_items.reserve(live_sel_.size());
+  for (const int32_t id : live_sel_) {
+    out.select_items.push_back(sel_.at(id, base_->select_items, ops_));
+  }
+  out.from_items.reserve(live_from_.size());
+  for (const int32_t id : live_from_) {
+    out.from_items.push_back(from_.at(id, base_->from_items, ops_));
+  }
+  out.where.reserve(live_where_.size());
+  for (const int32_t id : live_where_) {
+    out.where.push_back(where_.at(id, base_->where, ops_));
+  }
+  return out;
+}
+
+size_t DeltaView::StructuralHash() const {
+  namespace vs = view_structure_internal;
+  Reindex();
+  size_t h = vs::SeedHash(*base_);  // Name and VE are never delta-edited.
+  for (const int32_t id : live_sel_) {
+    h = vs::CombineSelect(h, sel_.at(id, base_->select_items, ops_));
+  }
+  for (const int32_t id : live_from_) {
+    h = vs::CombineFrom(h, from_.at(id, base_->from_items, ops_));
+  }
+  for (const int32_t id : live_where_) {
+    h = vs::CombineCondition(h, where_.at(id, base_->where, ops_));
+  }
+  return h;
+}
+
+bool DeltaView::StructurallyEquals(const ViewDefinition& def) const {
+  namespace vs = view_structure_internal;
+  Reindex();
+  if (base_->name != def.name || base_->ve != def.ve ||
+      live_sel_.size() != def.select_items.size() ||
+      live_from_.size() != def.from_items.size() ||
+      live_where_.size() != def.where.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < live_sel_.size(); ++i) {
+    if (!vs::SelectEqual(sel_.at(live_sel_[i], base_->select_items, ops_),
+                         def.select_items[i])) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < live_from_.size(); ++i) {
+    if (!vs::FromEqual(from_.at(live_from_[i], base_->from_items, ops_),
+                       def.from_items[i])) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < live_where_.size(); ++i) {
+    if (!vs::ConditionEqual(where_.at(live_where_[i], base_->where, ops_),
+                            def.where[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DeltaView::StructurallyEquals(const DeltaView& other) const {
+  namespace vs = view_structure_internal;
+  Reindex();
+  other.Reindex();
+  if (base_->name != other.base_->name || base_->ve != other.base_->ve ||
+      live_sel_.size() != other.live_sel_.size() ||
+      live_from_.size() != other.live_from_.size() ||
+      live_where_.size() != other.live_where_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < live_sel_.size(); ++i) {
+    if (!vs::SelectEqual(sel_.at(live_sel_[i], base_->select_items, ops_),
+                         other.sel_.at(other.live_sel_[i],
+                                       other.base_->select_items,
+                                       other.ops_))) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < live_from_.size(); ++i) {
+    if (!vs::FromEqual(from_.at(live_from_[i], base_->from_items, ops_),
+                       other.from_.at(other.live_from_[i],
+                                      other.base_->from_items, other.ops_))) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < live_where_.size(); ++i) {
+    if (!vs::ConditionEqual(where_.at(live_where_[i], base_->where, ops_),
+                            other.where_.at(other.live_where_[i],
+                                            other.base_->where, other.ops_))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ViewDefinition ViewDefinition::Apply(std::span<const RewriteDelta> ops) const {
+  return DeltaView(*this, ops).Materialize();
+}
+
+}  // namespace eve

@@ -1,0 +1,194 @@
+// Copy-on-write view editing: RewriteDelta + DeltaView.
+//
+// The rewriting enumeration (synch/synchronizer.h) derives hundreds of
+// candidate view definitions from one base view, and most candidates differ
+// from their parent by a handful of dropped or substituted components.
+// Eagerly deep-copying the `ViewDefinition` per candidate made the
+// representation the dominant cost of the search (ROADMAP; cf. Chirkova &
+// Genesereth on reformulation-space representations).  Instead, a candidate
+// is now a shared immutable base plus an ordered log of `RewriteDelta` ops,
+// and `DeltaView` is the compiled overlay that answers ViewDefinition-style
+// queries over (base, ops) without materializing anything.
+//
+// Stable ids.  Every component of the effective view has a stable id that
+// never shifts as ops are applied:
+//   * ids [0, base_n)  name the base's items by their base index;
+//   * ids >= base_n    name appended items in append order.
+// Drops hide an id (the slot stays), Set/Replace override the payload in
+// place (position preserved), Add allocates the next id.  This mirrors
+// exactly what the eager strategies did with erase / in-place mutation /
+// push_back, so the effective item order -- and therefore the materialized
+// definition -- is byte-identical to the eager result.
+//
+// Storage.  The overlay owns no payloads: overridden and appended items
+// live solely in the op log, and slots store the index of the defining op.
+// Copying an overlay therefore copies a few flat int vectors, never a
+// string.  The caller keeps the op log alive and re-Sync()s the overlay
+// whenever the log's storage may have moved (push_back growth, container
+// copy); `Sync` also folds in any ops appended since the last call.
+//
+// StructuralHash(DeltaView) walks the live overlay with the same per-item
+// hash steps as StructuralHash(ViewDefinition) (see ast.h), so deduplication
+// buckets candidates without rendering or rebuilding an AST; the hash of a
+// DeltaView always equals the hash of its Materialize() result.
+//
+// `ViewDefinition::Apply(ops)` (declared in ast.h, defined here) is the
+// one-shot materialization used for candidates that survive legality,
+// deduplication, and the result cap.
+
+#ifndef EVE_ESQL_VIEW_DELTA_H_
+#define EVE_ESQL_VIEW_DELTA_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "esql/ast.h"
+#include "expr/clause.h"
+
+namespace eve {
+
+/// One copy-on-write edit of a view definition.  Ops reference components
+/// by stable id (see file comment); payload-carrying ops own their payload
+/// (it is the only copy anywhere -- overlays point back into the log).
+struct RewriteDelta {
+  enum class Kind : uint8_t {
+    kDropSelect,     ///< Hide SELECT item `id`.
+    kSetSelect,      ///< Override SELECT item `id` with the payload.
+    kDropCondition,  ///< Hide WHERE item `id`.
+    kSetCondition,   ///< Override WHERE item `id` with the payload.
+    kAddCondition,   ///< Append a WHERE item (allocates the next id).
+    kDropFrom,       ///< Hide FROM item `id`.
+    kReplaceFrom,    ///< Override FROM item `id` in place (position kept).
+    kAddFrom,        ///< Append a FROM item (allocates the next id).
+  };
+
+  Kind kind;
+  int32_t id = -1;  ///< Target id; -1 for appends.
+  std::variant<std::monostate, SelectItem, ConditionItem, FromItem> payload;
+
+  static RewriteDelta DropSelect(int32_t id) {
+    return RewriteDelta{Kind::kDropSelect, id, std::monostate{}};
+  }
+  static RewriteDelta SetSelect(int32_t id, SelectItem item) {
+    return RewriteDelta{Kind::kSetSelect, id, std::move(item)};
+  }
+  static RewriteDelta DropCondition(int32_t id) {
+    return RewriteDelta{Kind::kDropCondition, id, std::monostate{}};
+  }
+  static RewriteDelta SetCondition(int32_t id, ConditionItem item) {
+    return RewriteDelta{Kind::kSetCondition, id, std::move(item)};
+  }
+  static RewriteDelta AddCondition(ConditionItem item) {
+    return RewriteDelta{Kind::kAddCondition, -1, std::move(item)};
+  }
+  static RewriteDelta DropFrom(int32_t id) {
+    return RewriteDelta{Kind::kDropFrom, id, std::monostate{}};
+  }
+  static RewriteDelta ReplaceFrom(int32_t id, FromItem item) {
+    return RewriteDelta{Kind::kReplaceFrom, id, std::move(item)};
+  }
+  static RewriteDelta AddFrom(FromItem item) {
+    return RewriteDelta{Kind::kAddFrom, -1, std::move(item)};
+  }
+};
+
+/// The compiled overlay of (base, ops): a read-only ViewDefinition facade.
+/// Construction from a base alone is the identity overlay (every read
+/// delegates to the base); Sync() folds in the op log.
+///
+/// Both the base and the op log are borrowed: they must outlive the
+/// overlay, and after any operation that may move the log's storage the
+/// caller must Sync() again before reading.  Reads are not thread-safe
+/// with concurrent Sync calls (single-builder discipline, like the eager
+/// code it replaces).
+class DeltaView {
+ public:
+  explicit DeltaView(const ViewDefinition& base);
+  DeltaView(const ViewDefinition& base, std::span<const RewriteDelta> ops);
+
+  /// Re-points the overlay at `ops` and applies ops[applied..) for any ops
+  /// appended since the last Sync.  The prefix ops[0, applied) must be
+  /// value-identical to what was applied before (true whenever the same
+  /// log only grew or was copied verbatim).
+  void Sync(std::span<const RewriteDelta> ops);
+
+  const ViewDefinition& base() const { return *base_; }
+  const std::string& name() const { return base_->name; }
+  ViewExtent ve() const { return base_->ve; }
+
+  // --- Effective (live) components, in materialization order -------------
+  int select_size() const;
+  const SelectItem& select(int pos) const;
+  int32_t select_id(int pos) const;
+
+  int from_size() const;
+  const FromItem& from(int pos) const;
+  int32_t from_id(int pos) const;
+
+  int where_size() const;
+  const ConditionItem& where(int pos) const;
+  int32_t where_id(int pos) const;
+
+  /// Direct id-based access (dropped items remain addressable until
+  /// materialization; callers that iterate live positions never see them).
+  const SelectItem& select_by_id(int32_t id) const;
+  const ConditionItem& where_by_id(int32_t id) const;
+  const FromItem& from_by_id(int32_t id) const;
+
+  // --- ViewDefinition-equivalent queries ---------------------------------
+  const FromItem* FindFrom(const std::string& name) const;
+  const SelectItem* FindSelect(const std::string& output) const;
+  bool RelationIsUsed(const std::string& name) const;
+  Conjunction LocalConjunction(const std::string& name) const;
+  Status Validate() const;
+
+  /// Deep-copies the effective view (the candidate's one-shot
+  /// materialization).  Equal to base().Apply(ops) for the synced op log.
+  ViewDefinition Materialize() const;
+
+  /// Equals StructuralHash(Materialize()) without materializing.
+  size_t StructuralHash() const;
+
+  /// Equals StructurallyEqual(Materialize(), def) without materializing.
+  bool StructurallyEquals(const ViewDefinition& def) const;
+  bool StructurallyEquals(const DeltaView& other) const;
+
+ private:
+  struct Slot {
+    int32_t owned = -1;  ///< Defining op index in the log; -1 = base item.
+    bool dropped = false;
+  };
+
+  template <typename T>
+  struct Section {
+    std::vector<Slot> slots;  ///< Base items first, then appends.
+    int32_t base_n = 0;
+
+    const T& at(int32_t id, const std::vector<T>& base_items,
+                const RewriteDelta* ops) const {
+      const Slot& s = slots[id];
+      return s.owned >= 0 ? std::get<T>(ops[s.owned].payload) : base_items[id];
+    }
+  };
+
+  void ApplyOne(size_t op_index);
+  void Reindex() const;  ///< Rebuilds the live-position vectors if dirty.
+
+  const ViewDefinition* base_;
+  const RewriteDelta* ops_ = nullptr;  ///< Borrowed log storage.
+  size_t applied_ = 0;                 ///< Ops folded into the slots so far.
+  Section<SelectItem> sel_;
+  Section<ConditionItem> where_;
+  Section<FromItem> from_;
+  /// Live slot ids in effective order, rebuilt lazily after edits.
+  mutable std::vector<int32_t> live_sel_, live_where_, live_from_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace eve
+
+#endif  // EVE_ESQL_VIEW_DELTA_H_

@@ -135,23 +135,54 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
     ViewSynchronizationReport view_report;
     view_report.view_name = view_name;
 
-    EVE_ASSIGN_OR_RETURN(SynchronizationResult sync,
-                         synchronizer.Synchronize(entry->definition, change));
-    view_report.affected = sync.affected;
-    if (!sync.affected) {
+    // Delta pipeline (default): candidates stay as (base, op-log) pairs
+    // through scoring; only the ranked output and the adopted definition
+    // ever materialize.  The eager branch is the retained oracle and
+    // produces the identical report (tested).
+    bool affected = false;
+    bool dead = false;
+    ViewDefinition first_legal;
+    if (options_.synchronizer.use_delta_enumeration) {
+      EVE_ASSIGN_OR_RETURN(
+          CandidateSynchronizationResult sync,
+          synchronizer.SynchronizeCandidates(entry->definition, change));
+      affected = sync.affected;
+      dead = sync.affected && sync.candidates.empty();
+      if (!dead && sync.affected) {
+        if (options_.adopt_first_legal) {
+          first_legal = sync.candidates.front().Definition();
+        }
+        EVE_ASSIGN_OR_RETURN(view_report.ranking,
+                             model.RankCandidates(entry->definition,
+                                                  std::move(sync.candidates),
+                                                  mkb_));
+      }
+    } else {
+      EVE_ASSIGN_OR_RETURN(SynchronizationResult sync,
+                           synchronizer.Synchronize(entry->definition, change));
+      affected = sync.affected;
+      dead = sync.affected && sync.rewritings.empty();
+      if (!dead && sync.affected) {
+        if (options_.adopt_first_legal) {
+          first_legal = sync.rewritings.front().definition;
+        }
+        EVE_ASSIGN_OR_RETURN(
+            view_report.ranking,
+            model.Rank(entry->definition, std::move(sync.rewritings), mkb_));
+      }
+    }
+
+    view_report.affected = affected;
+    if (!affected) {
       report.views.push_back(std::move(view_report));
       continue;
     }
-    if (sync.rewritings.empty()) {
+    if (dead) {
       view_report.resulting_state = ViewState::kDead;
       deaths.push_back(view_name);
       report.views.push_back(std::move(view_report));
       continue;
     }
-    const ViewDefinition first_legal = sync.rewritings.front().definition;
-    EVE_ASSIGN_OR_RETURN(
-        view_report.ranking,
-        model.Rank(entry->definition, std::move(sync.rewritings), mkb_));
     view_report.resulting_state = ViewState::kAlive;
     const ViewDefinition& chosen =
         options_.adopt_first_legal

@@ -51,6 +51,15 @@ Result<Relation> ViewMaintainer::Recompute(const ViewDefinition& view) const {
   return ExecuteView(view, space_, opts);
 }
 
+Result<Relation> ViewMaintainer::Recompute(
+    const RewriteCandidate& candidate) const {
+  // Materializes into a local instead of the candidate's lazy cache, so
+  // concurrent what-if sweeps over one shared candidate stay race-free
+  // (Definition()'s cache is not synchronized).
+  if (candidate.ops.empty()) return Recompute(*candidate.base);
+  return Recompute(candidate.base->Apply(candidate.ops));
+}
+
 Result<MaintenanceCounters> ViewMaintainer::ProcessUpdate(
     const ViewDefinition& view, const DataUpdate& update,
     Relation* extent) const {

@@ -19,6 +19,7 @@
 #include "common/result.h"
 #include "esql/ast.h"
 #include "qc/cost_model.h"
+#include "synch/partial.h"
 #include "space/data_update.h"
 #include "space/information_space.h"
 #include "storage/block_model.h"
@@ -75,6 +76,12 @@ class ViewMaintainer {
   /// Recomputes the extent from scratch (for initialization and as a test
   /// oracle against incremental maintenance).
   Result<Relation> Recompute(const ViewDefinition& view) const;
+
+  /// Candidate-consuming variant: recomputes the extent a (base, delta)
+  /// rewriting candidate would materialize, using the candidate's lazy
+  /// one-shot definition.  Lets what-if evaluation of a rewriting (e.g.
+  /// measuring real extents for MeasureQuality) run without adopting it.
+  Result<Relation> Recompute(const RewriteCandidate& candidate) const;
 
  private:
   const InformationSpace& space_;

@@ -356,11 +356,18 @@ Status MetaKnowledgeBase::AddPcConstraint(PcConstraint pc) {
 
 std::vector<const JoinConstraint*> MetaKnowledgeBase::FindJoinConstraints(
     const RelationId& a, const RelationId& b) const {
+  // Normalized pair key: Connects() is symmetric, so both orientations
+  // share one memo entry (and the store-order result is identical).
+  const std::pair<RelationId, RelationId> key =
+      a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  const auto it = jc_pair_cache_.find(key);
+  if (it != jc_pair_cache_.end()) return it->second;
   std::vector<const JoinConstraint*> out;
   for (const JoinConstraint& jc : join_constraints_) {
     if (jc.Connects(a, b)) out.push_back(&jc);
   }
-  return out;
+  return jc_pair_cache_.emplace(key, std::move(out)).first->second;
 }
 
 PcEdge MetaKnowledgeBase::MakeEdge(const PcConstraint& pc, bool flipped) {

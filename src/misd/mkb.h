@@ -100,7 +100,12 @@ class MetaKnowledgeBase {
     return pc_constraints_;
   }
 
-  /// Join constraints connecting `a` and `b` (either orientation).
+  /// Join constraints connecting `a` and `b` (either orientation), in
+  /// store order.  Memoized per normalized pair (the CVS pair search probes
+  /// every target pair of a wide fan-out, which made the former full-store
+  /// scan quadratic in practice); any constraint mutation invalidates the
+  /// memo, and the returned pointers follow the same validity rule as the
+  /// closure memo: valid until the next non-const MKB call.
   std::vector<const JoinConstraint*> FindJoinConstraints(
       const RelationId& a, const RelationId& b) const;
 
@@ -172,11 +177,13 @@ class MetaKnowledgeBase {
   // Requires memo_mu_ held.
   const std::vector<PcEdge>& AdjacencyForLocked(const RelationId& source) const;
 
-  // Drops every memoized adjacency/closure entry; called by all mutators.
+  // Drops every memoized adjacency/closure/JC-pair entry; called by all
+  // mutators.
   void InvalidateDerivedCaches() {
     std::lock_guard<std::mutex> lock(memo_mu_);
     adjacency_cache_.clear();
     closure_cache_.clear();
+    jc_pair_cache_.clear();
   }
 
   std::map<RelationId, Schema> schemas_;
@@ -192,6 +199,9 @@ class MetaKnowledgeBase {
   mutable std::map<RelationId, std::vector<PcEdge>> adjacency_cache_;
   mutable std::map<std::pair<RelationId, int>, std::vector<PcEdge>>
       closure_cache_;
+  mutable std::map<std::pair<RelationId, RelationId>,
+                   std::vector<const JoinConstraint*>>
+      jc_pair_cache_;
 };
 
 }  // namespace eve

@@ -124,8 +124,15 @@ struct PreparedView {
 /// surviving parents through every existing column -- sequential batch
 /// copies instead of the per-combo scratch copy an array-of-combos layout
 /// pays on every emitted candidate.
+///
+/// Gathers are double-buffered through `scratch`: the gathered rows are
+/// built in the scratch buffer and swapped with the column, so the
+/// displaced column's storage becomes the scratch for the next gather and
+/// steady-state joins recycle two buffers per column instead of allocating
+/// a fresh vector per step.
 struct JoinWorkingSet {
   std::vector<std::vector<int64_t>> columns;
+  std::vector<int64_t> scratch;
   size_t combos = 0;
 };
 

@@ -116,11 +116,26 @@ Result<CostFactors> SingleUpdateCost(const ViewCostInput& input,
   return cf;
 }
 
-Result<ViewCostInput> BuildCostInput(const ViewDefinition& view,
-                                     const MetaKnowledgeBase& mkb) {
+namespace {
+
+inline int FromSize(const ViewDefinition& v) {
+  return static_cast<int>(v.from_items.size());
+}
+inline const FromItem& FromAt(const ViewDefinition& v, int i) {
+  return v.from_items[i];
+}
+inline int FromSize(const DeltaView& v) { return v.from_size(); }
+inline const FromItem& FromAt(const DeltaView& v, int i) { return v.from(i); }
+
+// One implementation for the materialized definition and the compiled
+// (base, delta) overlay; both read FROM items and local conjunctions only.
+template <typename View>
+Result<ViewCostInput> BuildCostInputImpl(const View& view,
+                                         const MetaKnowledgeBase& mkb) {
   ViewCostInput input;
   input.join_selectivity = mkb.stats().join_selectivity();
-  for (const FromItem& f : view.from_items) {
+  for (int i = 0; i < FromSize(view); ++i) {
+    const FromItem& f = FromAt(view, i);
     RelationId id;
     if (!f.site.empty()) {
       id = RelationId{f.site, f.relation};
@@ -137,6 +152,18 @@ Result<ViewCostInput> BuildCostInput(const ViewDefinition& view,
     input.relations.push_back(std::move(rel));
   }
   return input;
+}
+
+}  // namespace
+
+Result<ViewCostInput> BuildCostInput(const ViewDefinition& view,
+                                     const MetaKnowledgeBase& mkb) {
+  return BuildCostInputImpl(view, mkb);
+}
+
+Result<ViewCostInput> BuildCostInput(const DeltaView& view,
+                                     const MetaKnowledgeBase& mkb) {
+  return BuildCostInputImpl(view, mkb);
 }
 
 }  // namespace eve

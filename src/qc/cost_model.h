@@ -29,6 +29,7 @@
 #include "catalog/names.h"
 #include "common/result.h"
 #include "esql/ast.h"
+#include "esql/view_delta.h"
 #include "misd/mkb.h"
 #include "qc/parameters.h"
 #include "storage/block_model.h"
@@ -102,6 +103,11 @@ Result<CostFactors> SingleUpdateCost(const ViewCostInput& input,
 /// relation's registered selectivity when the view places at least one
 /// local condition on it (1.0 otherwise).
 Result<ViewCostInput> BuildCostInput(const ViewDefinition& view,
+                                     const MetaKnowledgeBase& mkb);
+
+/// Delta-native variant over a compiled (base, delta) overlay
+/// (esql/view_delta.h), so candidate scoring never materializes the view.
+Result<ViewCostInput> BuildCostInput(const DeltaView& view,
                                      const MetaKnowledgeBase& mkb);
 
 /// The closed-form message count of §6.2 (excludes the notification):

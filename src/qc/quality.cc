@@ -29,10 +29,24 @@ double InterfaceQuality(const ViewDefinition& view, const QcParameters& params) 
 
 namespace {
 
+// Uniform FROM-item access over a materialized definition or a compiled
+// (base, delta) overlay, so the size/overlap estimators below have exactly
+// one implementation for both.
+inline int FromSize(const ViewDefinition& v) {
+  return static_cast<int>(v.from_items.size());
+}
+inline const FromItem& FromAt(const ViewDefinition& v, int i) {
+  return v.from_items[i];
+}
+inline int FromSize(const DeltaView& v) { return v.from_size(); }
+inline const FromItem& FromAt(const DeltaView& v, int i) { return v.from(i); }
+
 // Q_Vi: dispensable attributes of the ORIGINAL view still exposed by the
-// rewriting, weighted by their original category.
+// rewriting, weighted by their original category.  `View` is ViewDefinition
+// or DeltaView (both expose FindSelect).
+template <typename View>
 double RewritingInterfaceQuality(const ViewDefinition& original,
-                                 const ViewDefinition& rewriting,
+                                 const View& rewriting,
                                  const QcParameters& params) {
   double q = 0.0;
   for (const SelectItem& s : original.select_items) {
@@ -56,14 +70,14 @@ void FillTotals(QualityBreakdown* q, const QcParameters& params) {
   q->dd = params.rho_attr * q->dd_attr + params.rho_ext * q->dd_ext;
 }
 
-}  // namespace
-
-Result<double> EstimateViewSize(const ViewDefinition& view,
-                                const MetaKnowledgeBase& mkb) {
+template <typename View>
+Result<double> EstimateViewSizeImpl(const View& view,
+                                    const MetaKnowledgeBase& mkb) {
   double size = 1.0;
   const double js = mkb.stats().join_selectivity();
   int m = 0;
-  for (const FromItem& f : view.from_items) {
+  for (int i = 0; i < FromSize(view); ++i) {
+    const FromItem& f = FromAt(view, i);
     RelationId id;
     if (!f.site.empty()) {
       id = RelationId{f.site, f.relation};
@@ -81,6 +95,18 @@ Result<double> EstimateViewSize(const ViewDefinition& view,
   return size;
 }
 
+}  // namespace
+
+Result<double> EstimateViewSize(const ViewDefinition& view,
+                                const MetaKnowledgeBase& mkb) {
+  return EstimateViewSizeImpl(view, mkb);
+}
+
+Result<double> EstimateViewSize(const DeltaView& view,
+                                const MetaKnowledgeBase& mkb) {
+  return EstimateViewSizeImpl(view, mkb);
+}
+
 namespace {
 
 // Estimated |V cap~ Vi|: the new view's size with each replaced relation's
@@ -88,15 +114,26 @@ namespace {
 // "the size of the overlap is computed by the size of the overlap between
 // the original and replacing relations, joined with any other relation
 // that appears in the view query").
+// Uniform edge access for the overlap loop: self-contained records embed
+// the edge, lean candidate records borrow it.  The intersection estimator
+// reads only the edge's type / selectivities / selections, which a CVS
+// pair's reduced attribute map never changes, so both record forms produce
+// identical estimates.
+inline const PcEdge& EdgeOf(const ReplacementRecord& rec) { return rec.edge; }
+inline const PcEdge& EdgeOf(const CandidateReplacement& rec) {
+  return *rec.edge;
+}
+
+template <typename View, typename Record>
 Result<std::pair<double, bool>> EstimateOverlapSize(
-    const ViewDefinition& rewritten, const Rewriting& rewriting,
+    const View& rewritten, const std::vector<Record>& replacements,
     const MetaKnowledgeBase& mkb) {
   // Replacement overlap per replacement-relation id.
   std::map<RelationId, OverlapEstimate> overlap_of;
   bool exact = true;
-  for (const ReplacementRecord& rec : rewriting.replacements) {
+  for (const Record& rec : replacements) {
     EVE_ASSIGN_OR_RETURN(OverlapEstimate est,
-                         EstimateIntersection(mkb, rec.edge));
+                         EstimateIntersection(mkb, EdgeOf(rec)));
     exact = exact && est.exact;
     overlap_of[rec.replacement] = est;
   }
@@ -104,7 +141,8 @@ Result<std::pair<double, bool>> EstimateOverlapSize(
   const double js = mkb.stats().join_selectivity();
   double size = 1.0;
   int m = 0;
-  for (const FromItem& f : rewritten.from_items) {
+  for (int i = 0; i < FromSize(rewritten); ++i) {
+    const FromItem& f = FromAt(rewritten, i);
     RelationId id;
     if (!f.site.empty()) {
       id = RelationId{f.site, f.relation};
@@ -133,26 +171,26 @@ double SafeRatio(double num, double den) {
   return std::clamp(num / den, 0.0, 1.0);
 }
 
-}  // namespace
-
-Result<QualityBreakdown> EstimateQuality(const ViewDefinition& original,
-                                         const Rewriting& rewriting,
-                                         const MetaKnowledgeBase& mkb,
-                                         const QcParameters& params) {
+// The shared estimation core (paper Eqs. 13-17): `view` is the rewriting's
+// materialized definition or its compiled overlay, provenance is passed
+// alongside so both entry points compute bit-identical numbers.
+template <typename View, typename Record>
+Result<QualityBreakdown> EstimateQualityImpl(
+    const ViewDefinition& original, const View& view, ExtentRel extent_relation,
+    bool extent_exact, const std::vector<Record>& replacements,
+    const MetaKnowledgeBase& mkb, const QcParameters& params) {
   EVE_RETURN_IF_ERROR(params.Validate());
   QualityBreakdown q;
   q.q_original = InterfaceQuality(original, params);
-  q.q_rewriting =
-      RewritingInterfaceQuality(original, rewriting.definition, params);
+  q.q_rewriting = RewritingInterfaceQuality(original, view, params);
 
   // Extent divergence.  The known extent relationship short-circuits the
   // expensive overlap estimation (paper Eqs. 16/17: for subset/superset
   // rewritings only one term needs computing, from sizes alone).
   EVE_ASSIGN_OR_RETURN(const double size_old, EstimateViewSize(original, mkb));
-  EVE_ASSIGN_OR_RETURN(const double size_new,
-                       EstimateViewSize(rewriting.definition, mkb));
-  q.exact = rewriting.extent_exact;
-  switch (rewriting.extent_relation) {
+  EVE_ASSIGN_OR_RETURN(const double size_new, EstimateViewSizeImpl(view, mkb));
+  q.exact = extent_exact;
+  switch (extent_relation) {
     case ExtentRel::kEqual:
       q.dd_ext_d1 = 0.0;
       q.dd_ext_d2 = 0.0;
@@ -169,7 +207,7 @@ Result<QualityBreakdown> EstimateQuality(const ViewDefinition& original,
       break;
     case ExtentRel::kUnknown: {
       EVE_ASSIGN_OR_RETURN(const auto overlap,
-                           EstimateOverlapSize(rewriting.definition, rewriting, mkb));
+                           EstimateOverlapSize(view, replacements, mkb));
       q.exact = q.exact && overlap.second;
       q.dd_ext_d1 = 1.0 - SafeRatio(overlap.first, size_old);
       q.dd_ext_d2 = 1.0 - SafeRatio(overlap.first, size_new);
@@ -178,6 +216,27 @@ Result<QualityBreakdown> EstimateQuality(const ViewDefinition& original,
   }
   FillTotals(&q, params);
   return q;
+}
+
+}  // namespace
+
+Result<QualityBreakdown> EstimateQuality(const ViewDefinition& original,
+                                         const Rewriting& rewriting,
+                                         const MetaKnowledgeBase& mkb,
+                                         const QcParameters& params) {
+  return EstimateQualityImpl(original, rewriting.definition,
+                             rewriting.extent_relation, rewriting.extent_exact,
+                             rewriting.replacements, mkb, params);
+}
+
+Result<QualityBreakdown> EstimateQuality(const ViewDefinition& original,
+                                         const RewriteCandidate& candidate,
+                                         const DeltaView& view,
+                                         const MetaKnowledgeBase& mkb,
+                                         const QcParameters& params) {
+  return EstimateQualityImpl(original, view, candidate.extent_relation,
+                             candidate.extent_exact, candidate.replacements,
+                             mkb, params);
 }
 
 Result<QualityBreakdown> MeasureQuality(const ViewDefinition& original,

@@ -26,9 +26,11 @@
 
 #include "common/result.h"
 #include "esql/ast.h"
+#include "esql/view_delta.h"
 #include "misd/mkb.h"
 #include "qc/parameters.h"
 #include "storage/relation.h"
+#include "synch/partial.h"
 #include "synch/rewriting.h"
 
 namespace eve {
@@ -59,6 +61,16 @@ Result<QualityBreakdown> EstimateQuality(const ViewDefinition& original,
                                          const MetaKnowledgeBase& mkb,
                                          const QcParameters& params);
 
+/// Delta-native variant: scores a (base, delta) candidate directly over its
+/// compiled overlay, so quality estimation never forces materialization.
+/// `view` must be `candidate`'s compiled overlay (candidate.View()).
+/// Produces bit-identical numbers to scoring the materialized rewriting.
+Result<QualityBreakdown> EstimateQuality(const ViewDefinition& original,
+                                         const RewriteCandidate& candidate,
+                                         const DeltaView& view,
+                                         const MetaKnowledgeBase& mkb,
+                                         const QcParameters& params);
+
 /// Computes the quality from materialized extents (ground truth).
 /// `old_extent` / `new_extent` must carry the views' interface schemas.
 Result<QualityBreakdown> MeasureQuality(const ViewDefinition& original,
@@ -72,6 +84,10 @@ Result<QualityBreakdown> MeasureQuality(const ViewDefinition& original,
 /// (§5.4.3, "the size of a view can be estimated by looking at its view
 /// definition").
 Result<double> EstimateViewSize(const ViewDefinition& view,
+                                const MetaKnowledgeBase& mkb);
+
+/// Delta-native variant over a compiled (base, delta) overlay.
+Result<double> EstimateViewSize(const DeltaView& view,
                                 const MetaKnowledgeBase& mkb);
 
 }  // namespace eve

@@ -25,6 +25,40 @@ QcModel::QcModel(QcParameters params, CostModelOptions cost_options,
                  WorkloadOptions workload)
     : params_(params), cost_options_(cost_options), workload_(workload) {}
 
+namespace {
+
+// Eq. 25/26 normalization + ordering over already-scored rewritings
+// (shared by the materialized and the delta-native entry points).
+std::vector<RankedRewriting> FinishRanking(std::vector<RankedRewriting> out,
+                                           const QcParameters& params) {
+  std::vector<double> costs;
+  costs.reserve(out.size());
+  for (const RankedRewriting& r : out) costs.push_back(r.weighted_cost);
+  const std::vector<double> normalized = NormalizeCosts(costs);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].normalized_cost = normalized[i];
+    out[i].qc = 1.0 - (params.rho_quality * out[i].quality.dd +
+                       params.rho_cost * out[i].normalized_cost);
+  }
+
+  // Rank by descending QC; break ties by lower divergence, then input order.
+  std::vector<size_t> order(out.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (out[a].qc != out[b].qc) return out[a].qc > out[b].qc;
+    return out[a].quality.dd < out[b].quality.dd;
+  });
+  std::vector<RankedRewriting> sorted;
+  sorted.reserve(out.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    out[order[i]].rank = static_cast<int>(i) + 1;
+    sorted.push_back(std::move(out[order[i]]));
+  }
+  return sorted;
+}
+
+}  // namespace
+
 Result<std::vector<RankedRewriting>> QcModel::Rank(
     const ViewDefinition& original, std::vector<Rewriting> rewritings,
     const MetaKnowledgeBase& mkb) const {
@@ -43,31 +77,29 @@ Result<std::vector<RankedRewriting>> QcModel::Rank(
     ranked.rewriting = std::move(rw);
     out.push_back(std::move(ranked));
   }
+  return FinishRanking(std::move(out), params_);
+}
 
-  std::vector<double> costs;
-  costs.reserve(out.size());
-  for (const RankedRewriting& r : out) costs.push_back(r.weighted_cost);
-  const std::vector<double> normalized = NormalizeCosts(costs);
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i].normalized_cost = normalized[i];
-    out[i].qc = 1.0 - (params_.rho_quality * out[i].quality.dd +
-                       params_.rho_cost * out[i].normalized_cost);
+Result<std::vector<RankedRewriting>> QcModel::RankCandidates(
+    const ViewDefinition& original, std::vector<RewriteCandidate> candidates,
+    const MetaKnowledgeBase& mkb) const {
+  EVE_RETURN_IF_ERROR(params_.Validate());
+  std::vector<RankedRewriting> out;
+  out.reserve(candidates.size());
+  for (RewriteCandidate& c : candidates) {
+    RankedRewriting ranked;
+    // Score over the compiled overlay; materialize once for the result.
+    const DeltaView view = c.View();
+    EVE_ASSIGN_OR_RETURN(ranked.quality,
+                         EstimateQuality(original, c, view, mkb, params_));
+    EVE_ASSIGN_OR_RETURN(ViewCostInput input, BuildCostInput(view, mkb));
+    EVE_ASSIGN_OR_RETURN(ranked.cost,
+                         ComputeWorkloadCost(input, workload_, cost_options_));
+    ranked.weighted_cost = ranked.cost.Weighted(params_);
+    ranked.rewriting = std::move(c).ToRewriting(view.Materialize());
+    out.push_back(std::move(ranked));
   }
-
-  // Rank by descending QC; break ties by lower divergence, then input order.
-  std::vector<size_t> order(out.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (out[a].qc != out[b].qc) return out[a].qc > out[b].qc;
-    return out[a].quality.dd < out[b].quality.dd;
-  });
-  std::vector<RankedRewriting> sorted;
-  sorted.reserve(out.size());
-  for (size_t i = 0; i < order.size(); ++i) {
-    out[order[i]].rank = static_cast<int>(i) + 1;
-    sorted.push_back(std::move(out[order[i]]));
-  }
-  return sorted;
+  return FinishRanking(std::move(out), params_);
 }
 
 std::string QcModel::FormatRanking(const std::vector<RankedRewriting>& ranking) {

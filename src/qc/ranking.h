@@ -53,6 +53,15 @@ class QcModel {
       const ViewDefinition& original, std::vector<Rewriting> rewritings,
       const MetaKnowledgeBase& mkb) const;
 
+  /// Delta-native ranking: quality and cost are computed over each
+  /// candidate's compiled (base, delta) overlay -- no materialization on
+  /// the scoring path -- and each candidate is materialized exactly once
+  /// into the returned RankedRewriting.  Produces the same ranking, scores,
+  /// and definitions as Rank() over the materialized rewritings (tested).
+  Result<std::vector<RankedRewriting>> RankCandidates(
+      const ViewDefinition& original, std::vector<RewriteCandidate> candidates,
+      const MetaKnowledgeBase& mkb) const;
+
   /// Renders a ranking as an ASCII table (used by reports and examples).
   static std::string FormatRanking(const std::vector<RankedRewriting>& ranking);
 

@@ -3,14 +3,80 @@
 namespace eve {
 
 HashIndex::HashIndex(const Relation& relation, int column) : column_(column) {
-  for (int64_t row = 0; row < relation.cardinality(); ++row) {
-    map_[relation.tuple(row).at(column)].push_back(row);
+  const int64_t n = relation.cardinality();
+  if (n == 0) return;
+
+  size_t capacity = 16;
+  while (capacity < static_cast<size_t>(n) * 2) capacity <<= 1;
+  slots_.resize(capacity);
+  mask_ = capacity - 1;
+
+  // Pass 1: count rows per key.  The per-row hash is cached so pass 2
+  // probes without re-hashing.
+  std::vector<size_t> hashes(static_cast<size_t>(n));
+  for (int64_t row = 0; row < n; ++row) {
+    const Value& v = relation.tuple(row).at(column);
+    const size_t h = v.Hash();
+    hashes[static_cast<size_t>(row)] = h;
+    for (size_t slot = h & mask_;; slot = (slot + 1) & mask_) {
+      Slot& s = slots_[slot];
+      if (s.count == 0) {
+        s.hash = h;
+        s.key = v;
+        s.row_or_offset = row;  // Inline storage for single-row keys.
+        s.count = 1;
+        ++keys_;
+        break;
+      }
+      if (s.hash == h && s.key == v) {
+        ++s.count;
+        break;
+      }
+    }
+  }
+
+  // Assign arena offsets for duplicate keys (single-row keys stay inline
+  // and never touch the arena).
+  int64_t total = 0;
+  std::vector<int64_t> cursor(capacity, 0);
+  for (size_t slot = 0; slot < capacity; ++slot) {
+    Slot& s = slots_[slot];
+    if (s.count > 1) {
+      s.row_or_offset = total;
+      cursor[slot] = total;
+      total += s.count;
+    }
+  }
+  if (total == 0) return;
+  rows_.resize(static_cast<size_t>(total));
+
+  // Pass 2: place duplicate-key rows, preserving ascending row order within
+  // each key (the iteration order the old bucket vectors provided).
+  for (int64_t row = 0; row < n; ++row) {
+    const size_t h = hashes[static_cast<size_t>(row)];
+    const Value& v = relation.tuple(row).at(column);
+    for (size_t slot = h & mask_;; slot = (slot + 1) & mask_) {
+      Slot& s = slots_[slot];
+      if (s.hash == h && s.key == v) {
+        if (s.count > 1) rows_[static_cast<size_t>(cursor[slot]++)] = row;
+        break;
+      }
+    }
   }
 }
 
-const std::vector<int64_t>& HashIndex::Lookup(const Value& key) const {
-  const auto it = map_.find(key);
-  return it == map_.end() ? empty_ : it->second;
+HashIndex::RowRange HashIndex::Lookup(const Value& key) const {
+  if (slots_.empty()) return RowRange{};
+  const size_t h = key.Hash();
+  for (size_t slot = h & mask_;; slot = (slot + 1) & mask_) {
+    const Slot& s = slots_[slot];
+    if (s.count == 0) return RowRange{};
+    if (s.hash == h && s.key == key) {
+      if (s.count == 1) return RowRange{&s.row_or_offset, 1};
+      return RowRange{rows_.data() + s.row_or_offset,
+                      static_cast<size_t>(s.count)};
+    }
+  }
 }
 
 }  // namespace eve

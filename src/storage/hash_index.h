@@ -2,11 +2,24 @@
 // executor's hash joins and by the maintenance simulator to model
 // index-assisted delta joins (paper Appendix A assumes an index on every
 // join attribute).
+//
+// Layout: a flat open-addressing table (linear probing, load factor <= 0.5,
+// same scheme as RowDedupTable) instead of the former node-based
+// unordered_map<Value, vector<int64_t>>.  Each slot stores the full key
+// hash, the key Value (16-byte scalar; keeps the index self-contained so
+// relation copies can share it), and either the single matching row id
+// inline -- the common case for key-like join columns, zero extra
+// allocations -- or an offset into one contiguous row-id arena for
+// duplicate keys.  The build is two passes over the column (count, then
+// place), so the whole index is exactly two allocations regardless of the
+// key distribution, and rows within a key keep ascending row order (the
+// same order the bucket vectors used to have).
 
 #ifndef EVE_STORAGE_HASH_INDEX_H_
 #define EVE_STORAGE_HASH_INDEX_H_
 
-#include <unordered_map>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "storage/relation.h"
@@ -17,22 +30,43 @@ namespace eve {
 /// Maps a key value to the row ids of matching tuples.
 class HashIndex {
  public:
+  /// A borrowed, contiguous run of row ids; valid for the index's lifetime.
+  struct RowRange {
+    const int64_t* first = nullptr;
+    size_t count = 0;
+
+    const int64_t* begin() const { return first; }
+    const int64_t* end() const { return first + count; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+  };
+
   /// Builds an index over column `column` of `relation`.  The relation must
-  /// outlive the index and not be mutated while the index is in use.
+  /// not be mutated while the index is in use (the index itself stays valid
+  /// if the relation is destroyed -- keys are stored inline).
   HashIndex(const Relation& relation, int column);
 
-  /// Row ids whose key equals `key` (empty vector if none).
-  const std::vector<int64_t>& Lookup(const Value& key) const;
+  /// Row ids whose key equals `key` (empty range if none).
+  RowRange Lookup(const Value& key) const;
 
   /// Number of distinct keys.
-  int64_t DistinctKeys() const { return static_cast<int64_t>(map_.size()); }
+  int64_t DistinctKeys() const { return keys_; }
 
   int column() const { return column_; }
 
  private:
+  struct Slot {
+    size_t hash = 0;
+    Value key;             ///< NULL for empty slots; `count` disambiguates.
+    int64_t row_or_offset = 0;  ///< Row id (count == 1) or arena offset.
+    int64_t count = 0;          ///< 0 = empty slot.
+  };
+
   int column_;
-  std::unordered_map<Value, std::vector<int64_t>, ValueHash> map_;
-  std::vector<int64_t> empty_;
+  int64_t keys_ = 0;
+  size_t mask_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<int64_t> rows_;  ///< Arena for keys with more than one row.
 };
 
 }  // namespace eve

@@ -9,21 +9,48 @@ namespace eve {
 
 namespace {
 
+const std::map<RelAttr, RelAttr> kNoAttrMap;
+const std::map<std::string, std::string> kNoRelMap;
+const std::vector<CandidateReplacement> kNoReplacements;
+
+// Uniform read adapter over a materialized ViewDefinition, so the templated
+// legality core compiles to the same direct field accesses the pre-delta
+// implementation had.  DeltaView natively satisfies the same interface.
+struct DefReader {
+  const ViewDefinition* def;
+
+  const std::string& name() const { return def->name; }
+  ViewExtent ve() const { return def->ve; }
+  int where_size() const { return static_cast<int>(def->where.size()); }
+  const ConditionItem& where(int i) const { return def->where[i]; }
+  int from_size() const { return static_cast<int>(def->from_items.size()); }
+  const FromItem& from(int i) const { return def->from_items[i]; }
+  const FromItem* FindFrom(const std::string& n) const {
+    return def->FindFrom(n);
+  }
+  const SelectItem* FindSelect(const std::string& n) const {
+    return def->FindSelect(n);
+  }
+  Status Validate() const { return def->Validate(); }
+};
+
 // The rename substitution map: renames preserve identity exactly, so they
 // never require replaceable flags.  Relation renames expand to one entry
 // per referenced attribute of the renamed FROM item.
-std::map<RelAttr, RelAttr> RenameMap(const ViewDefinition& original,
-                                     const Rewriting& rewriting) {
-  std::map<RelAttr, RelAttr> out = rewriting.renamed_attributes;
-  if (rewriting.renamed_relations.empty()) return out;
+std::map<RelAttr, RelAttr> RenameMap(
+    const ViewDefinition& original,
+    const std::map<RelAttr, RelAttr>& renamed_attributes,
+    const std::map<std::string, std::string>& renamed_relations) {
+  std::map<RelAttr, RelAttr> out = renamed_attributes;
+  if (renamed_relations.empty()) return out;
   auto add = [&](const RelAttr& a) {
-    const auto it = rewriting.renamed_relations.find(a.relation);
-    if (it == rewriting.renamed_relations.end()) return;
+    const auto it = renamed_relations.find(a.relation);
+    if (it == renamed_relations.end()) return;
     RelAttr renamed = a;
     renamed.relation = it->second;
     // An attribute rename may chain with the relation rename.
-    const auto attr_it = rewriting.renamed_attributes.find(a);
-    if (attr_it != rewriting.renamed_attributes.end()) {
+    const auto attr_it = renamed_attributes.find(a);
+    if (attr_it != renamed_attributes.end()) {
       renamed.attribute = attr_it->second.attribute;
     }
     out[a] = renamed;
@@ -35,12 +62,14 @@ std::map<RelAttr, RelAttr> RenameMap(const ViewDefinition& original,
   return out;
 }
 
-// The attribute substitution map implied by the rewriting's replacement
+// The attribute substitution map implied by the candidate's replacement
 // records: old "fromName.attr" -> new "fromName.attr".
-std::map<RelAttr, RelAttr> SubstitutionMap(const ViewDefinition& original,
-                                           const Rewriting& rewriting) {
+template <typename View>
+std::map<RelAttr, RelAttr> SubstitutionMap(
+    const ViewDefinition& original, const View& view,
+    const std::vector<CandidateReplacement>& replacements) {
   std::map<RelAttr, RelAttr> out;
-  for (const ReplacementRecord& rec : rewriting.replacements) {
+  for (const CandidateReplacement& rec : replacements) {
     // The FROM name of the replaced relation in the original view: prefer
     // the explicitly recorded name (required for self-joins), fall back to
     // scanning by relation identity.
@@ -54,10 +83,11 @@ std::map<RelAttr, RelAttr> SubstitutionMap(const ViewDefinition& original,
         }
       }
     }
-    // The FROM name of the replacement in the rewriting.
+    // The FROM name of the replacement in the candidate.
     std::string new_name = rec.replacement_from_name;
     if (new_name.empty()) {
-      for (const FromItem& f : rewriting.definition.from_items) {
+      for (int i = 0; i < view.from_size(); ++i) {
+        const FromItem& f = view.from(i);
         if (f.relation == rec.replacement.relation &&
             (f.site.empty() || f.site == rec.replacement.site)) {
           new_name = f.name();
@@ -66,34 +96,45 @@ std::map<RelAttr, RelAttr> SubstitutionMap(const ViewDefinition& original,
       }
     }
     if (old_name.empty() || new_name.empty()) continue;
-    for (const auto& [from_attr, to_attr] : rec.edge.attribute_map) {
+    for (const auto& [from_attr, to_attr] : rec.attribute_map()) {
       out[RelAttr{old_name, from_attr}] = RelAttr{new_name, to_attr};
     }
   }
   return out;
 }
 
-}  // namespace
+template <typename View>
+Status CheckLegalityImpl(const ViewDefinition& original, const View& view,
+                         const CandidateFacts& facts) {
+  const std::vector<CandidateReplacement>& replacements =
+      facts.replacements != nullptr ? *facts.replacements : kNoReplacements;
+  const std::map<RelAttr, RelAttr>& renamed_attributes =
+      facts.renamed_attributes != nullptr ? *facts.renamed_attributes
+                                          : kNoAttrMap;
+  const std::map<std::string, std::string>& renamed_relations =
+      facts.renamed_relations != nullptr ? *facts.renamed_relations
+                                         : kNoRelMap;
 
-Status CheckLegality(const ViewDefinition& original, const Rewriting& rewriting) {
-  EVE_RETURN_IF_ERROR(rewriting.definition.Validate());
-  if (rewriting.definition.name != original.name) {
+  EVE_RETURN_IF_ERROR(view.Validate());
+  if (view.name() != original.name) {
     return Status::FailedPrecondition("rewriting renames the view");
   }
-  if (rewriting.definition.ve != original.ve) {
+  if (view.ve() != original.ve) {
     return Status::FailedPrecondition("rewriting changes the VE parameter");
   }
 
-  const std::map<RelAttr, RelAttr> renames = RenameMap(original, rewriting);
-  const std::map<RelAttr, RelAttr> subst = SubstitutionMap(original, rewriting);
+  const std::map<RelAttr, RelAttr> renames =
+      RenameMap(original, renamed_attributes, renamed_relations);
+  const std::map<RelAttr, RelAttr> subst =
+      SubstitutionMap(original, view, replacements);
 
   // 1. Indispensable SELECT items.
   for (const SelectItem& s : original.select_items) {
-    const SelectItem* kept = rewriting.definition.FindSelect(s.name());
+    const SelectItem* kept = view.FindSelect(s.name());
     if (kept == nullptr) {
       if (!s.dispensable) {
-        return Status::FailedPrecondition(
-            "indispensable attribute " + s.name() + " not preserved");
+        return Status::FailedPrecondition("indispensable attribute " +
+                                          s.name() + " not preserved");
       }
       continue;
     }
@@ -112,8 +153,8 @@ Status CheckLegality(const ViewDefinition& original, const Rewriting& rewriting)
           " maps to an unrelated source in the rewriting");
     }
     if (!s.replaceable) {
-      return Status::FailedPrecondition(
-          "non-replaceable attribute " + s.name() + " was substituted");
+      return Status::FailedPrecondition("non-replaceable attribute " +
+                                        s.name() + " was substituted");
     }
   }
 
@@ -122,7 +163,8 @@ Status CheckLegality(const ViewDefinition& original, const Rewriting& rewriting)
     const PrimitiveClause renamed = c.clause.Substitute(renames);
     const PrimitiveClause rewritten = c.clause.Substitute(subst);
     bool preserved = false;
-    for (const ConditionItem& nc : rewriting.definition.where) {
+    for (int i = 0; i < view.where_size(); ++i) {
+      const ConditionItem& nc = view.where(i);
       if (nc.clause == c.clause || nc.clause == renamed) {
         preserved = true;
         break;
@@ -130,9 +172,9 @@ Status CheckLegality(const ViewDefinition& original, const Rewriting& rewriting)
       if (nc.clause == rewritten) {
         preserved = true;
         if (!c.replaceable) {
-          return Status::FailedPrecondition(
-              "non-replaceable condition (" + c.clause.ToString() +
-              ") was substituted");
+          return Status::FailedPrecondition("non-replaceable condition (" +
+                                            c.clause.ToString() +
+                                            ") was substituted");
         }
         break;
       }
@@ -146,7 +188,7 @@ Status CheckLegality(const ViewDefinition& original, const Rewriting& rewriting)
 
   // 3. Indispensable FROM items.
   std::set<std::string> replaced_names;
-  for (const ReplacementRecord& rec : rewriting.replacements) {
+  for (const CandidateReplacement& rec : replacements) {
     if (rec.joined_in) continue;
     if (!rec.replaced_from_name.empty()) {
       replaced_names.insert(rec.replaced_from_name);
@@ -158,18 +200,17 @@ Status CheckLegality(const ViewDefinition& original, const Rewriting& rewriting)
   }
   for (const FromItem& f : original.from_items) {
     // A renamed FROM item counts as present under its new name.
-    if (const auto rn = rewriting.renamed_relations.find(f.name());
-        rn != rewriting.renamed_relations.end() &&
-        rewriting.definition.FindFrom(rn->second) != nullptr) {
+    if (const auto rn = renamed_relations.find(f.name());
+        rn != renamed_relations.end() && view.FindFrom(rn->second) != nullptr) {
       continue;
     }
-    const bool present = rewriting.definition.FindFrom(f.name()) != nullptr ||
+    const bool present = view.FindFrom(f.name()) != nullptr ||
                          [&] {
                            // Renamed relation may appear under a new name but
                            // same site+relation id? Treat identical relation
                            // ids as present.
-                           for (const FromItem& nf :
-                                rewriting.definition.from_items) {
+                           for (int i = 0; i < view.from_size(); ++i) {
+                             const FromItem& nf = view.from(i);
                              if (nf.relation == f.relation &&
                                  nf.site == f.site) {
                                return true;
@@ -192,13 +233,44 @@ Status CheckLegality(const ViewDefinition& original, const Rewriting& rewriting)
   }
 
   // 4. VE discipline.
-  if (!SatisfiesViewExtent(rewriting.extent_relation, original.ve)) {
-    return Status::FailedPrecondition(
-        StrFormat("extent relationship '%s' violates VE '%s'",
-                  std::string(ExtentRelToString(rewriting.extent_relation)).c_str(),
-                  std::string(ViewExtentToString(original.ve)).c_str()));
+  if (!SatisfiesViewExtent(facts.extent_relation, original.ve)) {
+    return Status::FailedPrecondition(StrFormat(
+        "extent relationship '%s' violates VE '%s'",
+        std::string(ExtentRelToString(facts.extent_relation)).c_str(),
+        std::string(ViewExtentToString(original.ve)).c_str()));
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status CheckLegality(const ViewDefinition& original, const DeltaView& view,
+                     const CandidateFacts& facts) {
+  return CheckLegalityImpl(original, view, facts);
+}
+
+Status CheckLegality(const ViewDefinition& original,
+                     const Rewriting& rewriting) {
+  // Wrap the self-contained records in the lean borrowing form (the edge
+  // pointers reference the records themselves, so no MKB lifetime applies).
+  std::vector<CandidateReplacement> replacements;
+  replacements.reserve(rewriting.replacements.size());
+  for (const ReplacementRecord& rec : rewriting.replacements) {
+    CandidateReplacement lean;
+    lean.replaced = rec.replaced;
+    lean.replacement = rec.replacement;
+    lean.replaced_from_name = rec.replaced_from_name;
+    lean.replacement_from_name = rec.replacement_from_name;
+    lean.edge = &rec.edge;
+    lean.joined_in = rec.joined_in;
+    replacements.push_back(std::move(lean));
+  }
+  CandidateFacts facts;
+  facts.extent_relation = rewriting.extent_relation;
+  facts.replacements = &replacements;
+  facts.renamed_attributes = &rewriting.renamed_attributes;
+  facts.renamed_relations = &rewriting.renamed_relations;
+  return CheckLegalityImpl(original, DefReader{&rewriting.definition}, facts);
 }
 
 }  // namespace eve

@@ -19,11 +19,34 @@
 #ifndef EVE_SYNCH_LEGALITY_H_
 #define EVE_SYNCH_LEGALITY_H_
 
+#include <map>
+#include <vector>
+
 #include "common/status.h"
 #include "esql/ast.h"
+#include "esql/view_delta.h"
+#include "synch/partial.h"
 #include "synch/rewriting.h"
 
 namespace eve {
+
+/// The provenance a legality decision needs, detached from the rewriting's
+/// materialized definition so the check can run over a (base, delta)
+/// candidate before -- and instead of -- materialization.  All pointers are
+/// non-owning and must outlive the call.
+struct CandidateFacts {
+  ExtentRel extent_relation = ExtentRel::kUnknown;
+  const std::vector<CandidateReplacement>* replacements = nullptr;
+  const std::map<RelAttr, RelAttr>* renamed_attributes = nullptr;
+  const std::map<std::string, std::string>* renamed_relations = nullptr;
+};
+
+/// Returns OK iff the candidate described by (view, facts) is a legal
+/// rewriting of `original`.  This is the single implementation; the
+/// Rewriting overload wraps the materialized definition in an identity
+/// overlay and delegates here.
+Status CheckLegality(const ViewDefinition& original, const DeltaView& view,
+                     const CandidateFacts& facts);
 
 /// Returns OK iff `rewriting` is a legal rewriting of `original`.
 /// On failure the status message names the violated requirement.

@@ -1,0 +1,109 @@
+#include "synch/partial.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+namespace {
+
+// Strategy tags joined with '+', deduplicated preserving first-seen order
+// (identical to the eager pipeline's ToRewriting).
+std::string JoinStrategies(const std::vector<std::string>& strategies) {
+  std::vector<std::string> tags;
+  for (const std::string& s : strategies) {
+    if (std::find(tags.begin(), tags.end(), s) == tags.end()) tags.push_back(s);
+  }
+  return Join(tags, "+");
+}
+
+}  // namespace
+
+ReplacementRecord CandidateReplacement::Materialize() const {
+  ReplacementRecord record;
+  record.replaced = replaced;
+  record.replacement = replacement;
+  record.replaced_from_name = replaced_from_name;
+  record.replacement_from_name = replacement_from_name;
+  record.edge = *edge;
+  if (!reduced_map.empty()) record.edge.attribute_map = reduced_map;
+  record.joined_in = joined_in;
+  return record;
+}
+
+const ViewDefinition& RewriteCandidate::Definition() const {
+  if (materialized_ == nullptr) {
+    if (ops.empty()) {
+      materialized_ = base;  // Identity candidate: share the base outright.
+    } else {
+      materialized_ = std::make_shared<const ViewDefinition>(base->Apply(ops));
+    }
+  }
+  return *materialized_;
+}
+
+namespace {
+
+// One materialization, bypassing the cache when it is cold so conversion
+// never pays a second deep copy on top of Apply().
+ViewDefinition MaterializeOnce(
+    const std::shared_ptr<const ViewDefinition>& cached,
+    const std::shared_ptr<const ViewDefinition>& base,
+    std::span<const RewriteDelta> ops) {
+  if (cached != nullptr) return *cached;
+  if (ops.empty()) return *base;
+  return base->Apply(ops);
+}
+
+}  // namespace
+
+namespace {
+
+std::vector<ReplacementRecord> MaterializeReplacements(
+    const std::vector<CandidateReplacement>& replacements) {
+  std::vector<ReplacementRecord> out;
+  out.reserve(replacements.size());
+  for (const CandidateReplacement& r : replacements) {
+    out.push_back(r.Materialize());
+  }
+  return out;
+}
+
+}  // namespace
+
+Rewriting RewriteCandidate::ToRewriting() const& {
+  Rewriting out;
+  out.definition = MaterializeOnce(materialized_, base, ops);
+  out.extent_relation = extent_relation;
+  out.extent_exact = extent_exact;
+  out.replacements = MaterializeReplacements(replacements);
+  out.renamed_attributes = renamed_attributes;
+  out.renamed_relations = renamed_relations;
+  out.dropped_attributes = dropped_attributes;
+  out.dropped_conditions = dropped_conditions;
+  out.notes = notes;
+  out.strategy = JoinStrategies(strategies);
+  return out;
+}
+
+Rewriting RewriteCandidate::ToRewriting() && {
+  return std::move(*this).ToRewriting(MaterializeOnce(materialized_, base, ops));
+}
+
+Rewriting RewriteCandidate::ToRewriting(ViewDefinition definition) && {
+  Rewriting out;
+  out.definition = std::move(definition);
+  out.extent_relation = extent_relation;
+  out.extent_exact = extent_exact;
+  out.replacements = MaterializeReplacements(replacements);
+  out.renamed_attributes = std::move(renamed_attributes);
+  out.renamed_relations = std::move(renamed_relations);
+  out.dropped_attributes = std::move(dropped_attributes);
+  out.dropped_conditions = std::move(dropped_conditions);
+  out.notes = std::move(notes);
+  out.strategy = JoinStrategies(strategies);
+  return out;
+}
+
+}  // namespace eve

@@ -1,84 +1,113 @@
+// Copy-on-write rewriting enumeration (the default pipeline).
+//
+// Candidates are (shared base, RewriteDelta op log) pairs -- see
+// synch/partial.h -- so deriving a strategy candidate copies a handful of
+// ops and provenance strings instead of the whole ViewDefinition, and
+// candidates pruned by legality, structural deduplication, or the result
+// cap are never materialized at all.  The legality check and the
+// structural hash both run over the compiled DeltaView overlay.
+//
+// Every strategy mirrors the eager implementation
+// (synchronizer_eager.cc) op for op: drops are recorded in descending
+// component order, substitutions override items in place, and appended
+// FROM items / conditions keep their append order, so the materialized
+// survivors are byte-identical to the eager oracle's output (asserted by
+// the corpus equivalence tests).
+
 #include "synch/synchronizer.h"
 
 #include <algorithm>
 #include <optional>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "common/str_util.h"
 #include "synch/legality.h"
+#include "synch/partial.h"
 
 namespace eve {
 
 namespace {
 
-// A partially synchronized view: the working definition plus accumulated
-// provenance.  Strategies transform partials; for changes affecting several
-// FROM items the partials are folded item by item.
+// A partially synchronized candidate: the (base, ops) candidate plus its
+// compiled overlay.  The overlay borrows the op log's storage, so every
+// copy/move re-Syncs it against the new owner's log (a pointer repoint --
+// the op contents are identical).
 struct Partial {
-  ViewDefinition def;
-  ExtentRel rel = ExtentRel::kEqual;
-  bool exact = true;
-  std::vector<ReplacementRecord> replacements;
-  std::vector<std::string> dropped_attributes;
-  std::vector<std::string> dropped_conditions;
-  std::vector<std::string> notes;
-  std::vector<std::string> strategies;
+  RewriteCandidate cand;
+  DeltaView view;
 
-  void Compose(ExtentRel r, bool r_exact) {
-    rel = ComposeExtentRel(rel, r);
-    exact = exact && r_exact;
+  explicit Partial(std::shared_ptr<const ViewDefinition> base) : view(*base) {
+    cand.base = std::move(base);
   }
+
+  Partial(const Partial& o) : cand(o.cand), view(o.view) {
+    // Strategy derivation appends a handful of ops right after copying;
+    // reserving once here avoids the variant-moving growth reallocations.
+    cand.ops.reserve(cand.ops.size() + 8);
+    view.Sync(cand.ops);
+  }
+  // Moves steal the op log's buffer, so the overlay's borrowed pointer
+  // stays valid and no re-Sync is needed.
+  Partial(Partial&&) noexcept = default;
+  Partial& operator=(Partial&&) noexcept = default;
+  Partial& operator=(const Partial& o) {
+    cand = o.cand;
+    view = o.view;
+    view.Sync(cand.ops);
+    return *this;
+  }
+
+  void Push(RewriteDelta d) {
+    cand.ops.push_back(std::move(d));
+    view.Sync(cand.ops);
+  }
+
+  // In-place op construction: payload-carrying ops are built directly in
+  // the log slot (one item copy total, no variant move chain).  The op is
+  // invisible to the overlay until Commit().
+  RewriteDelta& StartOp(RewriteDelta::Kind kind, int32_t id) {
+    cand.ops.push_back(RewriteDelta{kind, id, std::monostate{}});
+    return cand.ops.back();
+  }
+  void Commit() { view.Sync(cand.ops); }
+
+  void Compose(ExtentRel r, bool r_exact) { cand.Compose(r, r_exact); }
 };
 
-Rewriting ToRewriting(Partial p) {
-  Rewriting out;
-  out.definition = std::move(p.def);
-  out.extent_relation = p.rel;
-  out.extent_exact = p.exact;
-  out.replacements = std::move(p.replacements);
-  out.dropped_attributes = std::move(p.dropped_attributes);
-  out.dropped_conditions = std::move(p.dropped_conditions);
-  out.notes = std::move(p.notes);
-  // Deduplicate strategy tags, preserving order.
-  std::vector<std::string> tags;
-  for (std::string& s : p.strategies) {
-    if (std::find(tags.begin(), tags.end(), s) == tags.end()) {
-      tags.push_back(std::move(s));
-    }
-  }
-  out.strategy = Join(tags, "+");
-  return out;
-}
-
-std::string FreshFromName(const ViewDefinition& def, const std::string& base) {
-  if (def.FindFrom(base) == nullptr) return base;
+std::string FreshFromName(const DeltaView& view, const std::string& base) {
+  if (view.FindFrom(base) == nullptr) return base;
   for (int i = 2;; ++i) {
     const std::string candidate = StrFormat("%s_%d", base.c_str(), i);
-    if (def.FindFrom(candidate) == nullptr) return candidate;
+    if (view.FindFrom(candidate) == nullptr) return candidate;
   }
 }
 
-// References (SELECT items / WHERE clauses) of `from_name` within `def`.
+// References (SELECT items / WHERE clauses) of `from_name` within `view`,
+// by stable delta id.  Ids are monotone in effective position, so ordering
+// by id reproduces the eager pipeline's index ordering exactly.
 struct References {
-  std::vector<int> select_indexes;                 // Items sourced from it.
-  std::vector<int> where_indexes;                  // Clauses touching it.
-  std::set<std::string> attributes;                // Attribute names used.
+  std::vector<int32_t> select_ids;  ///< Items sourced from it.
+  std::vector<int32_t> where_ids;   ///< Clauses touching it.
+  std::set<std::string> attributes;  ///< Attribute names used.
 };
 
-References CollectReferences(const ViewDefinition& def,
+References CollectReferences(const DeltaView& view,
                              const std::string& from_name) {
   References out;
-  for (size_t i = 0; i < def.select_items.size(); ++i) {
-    if (def.select_items[i].source.relation == from_name) {
-      out.select_indexes.push_back(static_cast<int>(i));
-      out.attributes.insert(def.select_items[i].source.attribute);
+  for (int i = 0; i < view.select_size(); ++i) {
+    const SelectItem& s = view.select(i);
+    if (s.source.relation == from_name) {
+      out.select_ids.push_back(view.select_id(i));
+      out.attributes.insert(s.source.attribute);
     }
   }
-  for (size_t i = 0; i < def.where.size(); ++i) {
-    if (def.where[i].clause.References(from_name)) {
-      out.where_indexes.push_back(static_cast<int>(i));
-      for (const RelAttr& a : def.where[i].clause.Attributes()) {
+  for (int i = 0; i < view.where_size(); ++i) {
+    const ConditionItem& c = view.where(i);
+    if (c.clause.References(from_name)) {
+      out.where_ids.push_back(view.where_id(i));
+      for (const RelAttr& a : c.clause.Attributes()) {
         if (a.relation == from_name) out.attributes.insert(a.attribute);
       }
     }
@@ -86,27 +115,92 @@ References CollectReferences(const ViewDefinition& def,
   return out;
 }
 
-// Removes the SELECT items / WHERE clauses at the given indexes, recording
-// drops and extent contributions.  A dropped local condition or join
-// condition widens the extent (superset); a dropped SELECT item leaves the
-// extent on the common attributes untouched.
-void ApplyDrops(Partial* p, const std::vector<int>& select_indexes,
-                const std::vector<int>& where_indexes) {
-  // Erase from the back so indexes stay valid.
-  std::vector<int> sel = select_indexes;
-  std::sort(sel.rbegin(), sel.rend());
-  for (int i : sel) {
-    p->dropped_attributes.push_back(p->def.select_items[i].name());
-    p->def.select_items.erase(p->def.select_items.begin() + i);
+// Removes the SELECT items / WHERE clauses with the given ids, recording
+// drops in descending order (the eager pipeline erased from the back) and
+// extent contributions.  A dropped local or join condition widens the
+// extent (superset); a dropped SELECT item leaves the extent on the common
+// attributes untouched.
+void ApplyDrops(Partial* p, std::vector<int32_t> select_ids,
+                std::vector<int32_t> where_ids) {
+  std::sort(select_ids.rbegin(), select_ids.rend());
+  for (const int32_t id : select_ids) {
+    p->cand.dropped_attributes.push_back(p->view.select_by_id(id).name());
+    p->Push(RewriteDelta::DropSelect(id));
   }
-  std::vector<int> whe = where_indexes;
-  std::sort(whe.rbegin(), whe.rend());
-  for (int i : whe) {
-    p->dropped_conditions.push_back(p->def.where[i].clause.ToString());
-    p->def.where.erase(p->def.where.begin() + i);
+  std::sort(where_ids.rbegin(), where_ids.rend());
+  for (const int32_t id : where_ids) {
+    p->cand.dropped_conditions.push_back(
+        p->view.where_by_id(id).clause.ToString());
+    p->Push(RewriteDelta::DropCondition(id));
     p->Compose(ExtentRel::kSuperset, /*exact=*/true);
   }
 }
+
+// Live component ids, snapshotted so edit loops never re-walk a dirty
+// overlay per access.
+std::vector<int32_t> LiveSelectIds(const DeltaView& view) {
+  std::vector<int32_t> ids(view.select_size());
+  for (int i = 0; i < view.select_size(); ++i) ids[i] = view.select_id(i);
+  return ids;
+}
+
+std::vector<int32_t> LiveWhereIds(const DeltaView& view) {
+  std::vector<int32_t> ids(view.where_size());
+  for (int i = 0; i < view.where_size(); ++i) ids[i] = view.where_id(i);
+  return ids;
+}
+
+// Rewrites surviving references through `subst`: SELECT items found in the
+// map get their exposed name pinned and their source swapped; every WHERE
+// clause is substituted (a no-op substitution appends no op).  Mirrors the
+// eager post-drop substitution loops.  Set ops never change liveness, so
+// iterating by position while pushing is safe and Reindex-free.
+void SubstituteAll(Partial* p, const std::map<RelAttr, RelAttr>& subst) {
+  const int select_n = p->view.select_size();
+  for (int i = 0; i < select_n; ++i) {
+    const SelectItem& s = p->view.select(i);
+    const auto it = subst.find(s.source);
+    if (it == subst.end()) continue;
+    // Copy before StartOp: an overlay reference may resolve into the op
+    // log, which StartOp's push_back can reallocate.
+    SelectItem ns = s;
+    // Keep the exposed interface name stable across the substitution.
+    if (ns.output_name.empty()) ns.output_name = ns.source.attribute;
+    ns.source = it->second;
+    RewriteDelta& op =
+        p->StartOp(RewriteDelta::Kind::kSetSelect, p->view.select_id(i));
+    op.payload.emplace<SelectItem>(std::move(ns));
+    p->Commit();
+  }
+  const int where_n = p->view.where_size();
+  for (int i = 0; i < where_n; ++i) {
+    const ConditionItem& c = p->view.where(i);
+    // Substitute only clauses that actually reference a substituted
+    // attribute; untouched clauses stay shared with the base.
+    const bool touched =
+        subst.count(c.clause.lhs) > 0 ||
+        (c.clause.rhs_is_attr() && subst.count(c.clause.rhs_attr()) > 0);
+    if (!touched) continue;
+    ConditionItem nc = c;  // Copy before StartOp (see above).
+    nc.clause = nc.clause.Substitute(subst);
+    RewriteDelta& op =
+        p->StartOp(RewriteDelta::Kind::kSetCondition, p->view.where_id(i));
+    op.payload.emplace<ConditionItem>(std::move(nc));
+    p->Commit();
+  }
+}
+
+}  // namespace
+
+namespace {
+
+// Enumeration output: the surviving partials with their compiled overlays,
+// so consumers can materialize straight from the overlay (Synchronize) or
+// strip it (SynchronizeCandidates).
+struct PartialSet {
+  bool affected = false;
+  std::vector<Partial> partials;
+};
 
 }  // namespace
 
@@ -114,11 +208,14 @@ class ViewSynchronizer::Impl {
  public:
   Impl(const MetaKnowledgeBase& mkb, const SynchronizerOptions& options,
        const ViewDefinition& view, const SchemaChange& change)
-      : mkb_(mkb), options_(options), original_(view), change_(change) {}
+      : mkb_(mkb),
+        options_(options),
+        original_(std::make_shared<const ViewDefinition>(view)),
+        change_(change) {}
 
-  Result<SynchronizationResult> Run() {
-    SynchronizationResult result;
-    EVE_RETURN_IF_ERROR(original_.Validate());
+  Result<PartialSet> Run() {
+    PartialSet result;
+    EVE_RETURN_IF_ERROR(original_->Validate());
 
     const RelationId& changed = ChangedRelation(change_);
     const std::vector<std::string> affected_names = AffectedFromNames(changed);
@@ -128,23 +225,25 @@ class ViewSynchronizer::Impl {
       return result;  // Additions never invalidate existing views.
     }
 
+    const DeltaView original_view(*original_);
+
     if (const auto* ra = std::get_if<RenameAttribute>(&change_)) {
       bool uses = false;
       for (const std::string& fn : affected_names) {
-        const References refs = CollectReferences(original_, fn);
+        const References refs = CollectReferences(original_view, fn);
         uses = uses || refs.attributes.count(ra->from) > 0;
       }
       if (!uses) return result;
-      result.affected = true;
-      result.rewritings.push_back(RenameAttributeRewriting(*ra, affected_names));
-      return Finish(std::move(result));
+      std::vector<Partial> partials;
+      partials.push_back(RenameAttributeCandidate(*ra, affected_names));
+      return Finish(/*affected=*/true, std::move(partials));
     }
 
     if (const auto* rr = std::get_if<RenameRelation>(&change_)) {
       if (affected_names.empty()) return result;
-      result.affected = true;
-      result.rewritings.push_back(RenameRelationRewriting(*rr, affected_names));
-      return Finish(std::move(result));
+      std::vector<Partial> partials;
+      partials.push_back(RenameRelationCandidate(*rr, affected_names));
+      return Finish(/*affected=*/true, std::move(partials));
     }
 
     std::optional<std::string> deleted_attr;
@@ -157,33 +256,40 @@ class ViewSynchronizer::Impl {
     std::vector<std::string> to_fix;
     for (const std::string& fn : affected_names) {
       if (deleted_attr.has_value()) {
-        const References refs = CollectReferences(original_, fn);
+        const References refs = CollectReferences(original_view, fn);
         if (refs.attributes.count(*deleted_attr) > 0) to_fix.push_back(fn);
       } else {
         to_fix.push_back(fn);
       }
     }
     if (to_fix.empty()) return result;
-    result.affected = true;
 
-    Partial seed;
-    seed.def = original_;
-    std::vector<Partial> partials{std::move(seed)};
-    for (const std::string& fn : to_fix) {
+    std::vector<Partial> partials;
+    partials.emplace_back(original_);
+    const size_t rounds = to_fix.size();
+    for (size_t fi = 0; fi < rounds && !partials.empty(); ++fi) {
+      // The last fold round streams straight into the legality / dedup /
+      // cap sink (unless drop-subset enumeration still needs the full
+      // candidate set): enumeration stops the moment the cap is full.
+      if (fi + 1 == rounds && !options_.enumerate_drop_subsets) {
+        FinishSink sink(*this);
+        for (const Partial& p : partials) {
+          if (sink.full()) break;
+          ResolveItem(p, to_fix[fi], deleted_attr, &sink);
+        }
+        result.affected = true;
+        result.partials = sink.Take();
+        return result;
+      }
       std::vector<Partial> next;
+      CollectSink collect{&next};
       for (const Partial& p : partials) {
-        std::vector<Partial> fixed = ResolveItem(p, fn, deleted_attr);
-        next.insert(next.end(), std::make_move_iterator(fixed.begin()),
-                    std::make_move_iterator(fixed.end()));
+        ResolveItem(p, to_fix[fi], deleted_attr, &collect);
       }
       partials = std::move(next);
-      if (partials.empty()) break;
     }
-    for (Partial& p : partials) {
-      result.rewritings.push_back(ToRewriting(std::move(p)));
-    }
-    if (options_.enumerate_drop_subsets) EnumerateDropSubsets(&result);
-    return Finish(std::move(result));
+    if (options_.enumerate_drop_subsets) EnumerateDropSubsets(&partials);
+    return Finish(/*affected=*/true, std::move(partials));
   }
 
  private:
@@ -193,7 +299,7 @@ class ViewSynchronizer::Impl {
 
   std::vector<std::string> AffectedFromNames(const RelationId& changed) const {
     std::vector<std::string> out;
-    for (const FromItem& f : original_.from_items) {
+    for (const FromItem& f : original_->from_items) {
       if (f.relation != changed.relation) continue;
       if (!f.site.empty() && f.site != changed.site) continue;
       out.push_back(f.name());
@@ -201,130 +307,140 @@ class ViewSynchronizer::Impl {
     return out;
   }
 
-  Rewriting RenameAttributeRewriting(
+  Partial RenameAttributeCandidate(
       const RenameAttribute& ra,
       const std::vector<std::string>& from_names) const {
-    Partial p;
-    p.def = original_;
+    Partial p(original_);
     std::map<RelAttr, RelAttr> subst;
     for (const std::string& fn : from_names) {
       subst[RelAttr{fn, ra.from}] = RelAttr{fn, ra.to};
     }
-    for (SelectItem& s : p.def.select_items) {
-      const auto it = subst.find(s.source);
-      if (it != subst.end()) {
-        // Keep the exposed interface name stable across the rename.
-        if (s.output_name.empty()) s.output_name = s.source.attribute;
-        s.source = it->second;
-      }
-    }
-    for (ConditionItem& c : p.def.where) c.clause = c.clause.Substitute(subst);
-    p.strategies.push_back("rename");
-    p.notes.push_back("attribute " + ra.from + " renamed to " + ra.to);
-    Rewriting out = ToRewriting(std::move(p));
-    out.renamed_attributes = subst;
-    return out;
+    SubstituteAll(&p, subst);
+    p.cand.strategies.push_back("rename");
+    p.cand.notes.push_back("attribute " + ra.from + " renamed to " + ra.to);
+    p.cand.renamed_attributes = std::move(subst);
+    return p;
   }
 
-  Rewriting RenameRelationRewriting(
+  Partial RenameRelationCandidate(
       const RenameRelation& rr,
       const std::vector<std::string>& from_names) const {
-    Partial p;
-    p.def = original_;
+    Partial p(original_);
     std::map<std::string, std::string> rel_map;
-    for (FromItem& f : p.def.from_items) {
+    for (int i = 0; i < p.view.from_size(); ++i) {
+      const FromItem& f = p.view.from(i);
       if (f.relation != rr.relation.relation) continue;
       if (!f.site.empty() && f.site != rr.relation.site) continue;
       const std::string old_name = f.name();
-      f.relation = rr.new_name;
+      // Copy before StartOp: an overlay reference may resolve into the op
+      // log, which StartOp's push_back can reallocate.
+      FromItem nf = f;
+      nf.relation = rr.new_name;
       if (f.alias.empty()) rel_map[old_name] = rr.new_name;
+      RewriteDelta& op =
+          p.StartOp(RewriteDelta::Kind::kReplaceFrom, p.view.from_id(i));
+      op.payload.emplace<FromItem>(std::move(nf));
+      p.Commit();
     }
-    for (SelectItem& s : p.def.select_items) {
+    for (const int32_t id : LiveSelectIds(p.view)) {
+      const SelectItem& s = p.view.select_by_id(id);
       const auto it = rel_map.find(s.source.relation);
-      if (it != rel_map.end()) s.source.relation = it->second;
+      if (it == rel_map.end()) continue;
+      SelectItem ns = s;  // Copy before StartOp (see above).
+      ns.source.relation = it->second;
+      RewriteDelta& op = p.StartOp(RewriteDelta::Kind::kSetSelect, id);
+      op.payload.emplace<SelectItem>(std::move(ns));
+      p.Commit();
     }
-    for (ConditionItem& c : p.def.where) {
-      c.clause = c.clause.RenameRelations(rel_map);
+    for (const int32_t id : LiveWhereIds(p.view)) {
+      const ConditionItem& c = p.view.where_by_id(id);
+      PrimitiveClause renamed = c.clause.RenameRelations(rel_map);
+      if (renamed == c.clause) continue;
+      ConditionItem nc = c;  // Copy before StartOp (see above).
+      nc.clause = std::move(renamed);
+      RewriteDelta& op = p.StartOp(RewriteDelta::Kind::kSetCondition, id);
+      op.payload.emplace<ConditionItem>(std::move(nc));
+      p.Commit();
     }
     (void)from_names;
-    p.strategies.push_back("rename");
-    p.notes.push_back("relation " + rr.relation.ToString() + " renamed to " +
-                      rr.new_name);
-    Rewriting out = ToRewriting(std::move(p));
-    out.renamed_relations = rel_map;
-    return out;
+    p.cand.strategies.push_back("rename");
+    p.cand.notes.push_back("relation " + rr.relation.ToString() +
+                           " renamed to " + rr.new_name);
+    p.cand.renamed_relations = std::move(rel_map);
+    return p;
   }
 
   // ---------------------------------------------------------------------
   // Per-item resolution
   // ---------------------------------------------------------------------
 
-  std::vector<Partial> ResolveItem(const Partial& base,
-                                   const std::string& from_name,
-                                   const std::optional<std::string>& attr) const {
-    std::vector<Partial> out;
-    auto append = [&out](std::optional<Partial> p) {
-      if (p.has_value()) out.push_back(std::move(*p));
-    };
-    auto extend = [&out](std::vector<Partial> ps) {
-      out.insert(out.end(), std::make_move_iterator(ps.begin()),
-                 std::make_move_iterator(ps.end()));
+  template <typename Sink>
+  void ResolveItem(const Partial& base, const std::string& from_name,
+                   const std::optional<std::string>& attr, Sink* out) const {
+    auto append = [out](std::optional<Partial> p) {
+      if (p.has_value()) out->Offer(std::move(*p));
     };
 
     // Collected once per (partial, FROM item); every strategy below reads
-    // the same reference set instead of re-scanning the definition.
-    const References refs = CollectReferences(base.def, from_name);
+    // the same reference set instead of re-scanning the overlay.
+    const References refs = CollectReferences(base.view, from_name);
 
     if (attr.has_value()) {
       append(DropStrategyForAttribute(base, from_name, *attr));
-      if (options_.enable_join_in) {
-        extend(JoinInStrategies(base, from_name, *attr));
+      if (options_.enable_join_in && !out->full()) {
+        JoinInStrategies(base, from_name, *attr, out);
       }
     } else {
       append(DropStrategyForRelation(base, from_name, refs));
     }
-    if (options_.enable_relation_replacement) {
-      extend(ReplaceRelationStrategies(base, from_name));
+    if (options_.enable_relation_replacement && !out->full()) {
+      ReplaceRelationStrategies(base, from_name, out);
     }
-    if (options_.enable_cvs_pairs) {
-      extend(CvsPairStrategies(base, from_name, refs));
+    if (options_.enable_cvs_pairs && !out->full()) {
+      CvsPairStrategies(base, from_name, refs, out);
     }
-    return out;
   }
 
   // --- Drop strategies ---------------------------------------------------
 
-  // delete-attribute: drop exactly the references to from_name.attr.
+  // delete-attribute: drop exactly the references to from_name.attr.  All
+  // eligibility checks run over the parent's overlay; the child candidate
+  // is only derived once the strategy is known to apply.
   std::optional<Partial> DropStrategyForAttribute(const Partial& base,
                                                   const std::string& from_name,
                                                   const std::string& attr) const {
-    Partial p = base;
-    std::vector<int> sel;
-    std::vector<int> whe;
+    const DeltaView& v = base.view;
+    std::vector<int32_t> sel;
+    std::vector<int32_t> whe;
     const RelAttr target{from_name, attr};
-    for (size_t i = 0; i < p.def.select_items.size(); ++i) {
-      if (p.def.select_items[i].source == target) {
-        if (!p.def.select_items[i].dispensable) return std::nullopt;
-        sel.push_back(static_cast<int>(i));
+    for (int i = 0; i < v.select_size(); ++i) {
+      const SelectItem& s = v.select(i);
+      if (s.source == target) {
+        if (!s.dispensable) return std::nullopt;
+        sel.push_back(v.select_id(i));
       }
     }
-    for (size_t i = 0; i < p.def.where.size(); ++i) {
+    for (int i = 0; i < v.where_size(); ++i) {
+      const ConditionItem& c = v.where(i);
       bool touches = false;
-      for (const RelAttr& a : p.def.where[i].clause.Attributes()) {
+      for (const RelAttr& a : c.clause.Attributes()) {
         if (a == target) touches = true;
       }
       if (touches) {
-        if (!p.def.where[i].dispensable) return std::nullopt;
-        whe.push_back(static_cast<int>(i));
+        if (!c.dispensable) return std::nullopt;
+        whe.push_back(v.where_id(i));
       }
     }
     if (sel.empty() && whe.empty()) return std::nullopt;
-    ApplyDrops(&p, sel, whe);
-    if (p.def.select_items.empty()) return std::nullopt;
+    if (sel.size() >= static_cast<size_t>(v.select_size())) {
+      return std::nullopt;  // Would drop every output attribute.
+    }
+    Partial p = base;
+    ApplyDrops(&p, std::move(sel), std::move(whe));
     MaybeDropUnusedFrom(&p, from_name);
-    p.strategies.push_back("drop");
-    p.notes.push_back("dropped references to deleted attribute " + from_name +
-                      "." + attr);
+    p.cand.strategies.push_back("drop");
+    p.cand.notes.push_back("dropped references to deleted attribute " +
+                           from_name + "." + attr);
     return p;
   }
 
@@ -332,39 +448,45 @@ class ViewSynchronizer::Impl {
   std::optional<Partial> DropStrategyForRelation(
       const Partial& base, const std::string& from_name,
       const References& refs) const {
-    const FromItem* item = base.def.FindFrom(from_name);
+    const DeltaView& v = base.view;
+    const FromItem* item = v.FindFrom(from_name);
     if (item == nullptr || !item->dispensable) return std::nullopt;
-    Partial p = base;
-    for (int i : refs.select_indexes) {
-      if (!p.def.select_items[i].dispensable) return std::nullopt;
+    for (const int32_t id : refs.select_ids) {
+      if (!v.select_by_id(id).dispensable) return std::nullopt;
     }
-    for (int i : refs.where_indexes) {
-      if (!p.def.where[i].dispensable) return std::nullopt;
+    for (const int32_t id : refs.where_ids) {
+      if (!v.where_by_id(id).dispensable) return std::nullopt;
     }
-    if (refs.select_indexes.size() >= p.def.select_items.size()) {
+    if (refs.select_ids.size() >= static_cast<size_t>(v.select_size())) {
       return std::nullopt;  // Would drop every output attribute.
     }
-    if (p.def.from_items.size() <= 1) return std::nullopt;
-    ApplyDrops(&p, refs.select_indexes, refs.where_indexes);
-    std::erase_if(p.def.from_items,
-                  [&](const FromItem& f) { return f.name() == from_name; });
+    if (v.from_size() <= 1) return std::nullopt;
+    Partial p = base;
+    ApplyDrops(&p, refs.select_ids, refs.where_ids);
+    p.Push(RewriteDelta::DropFrom(FromIdOf(p.view, from_name)));
     // Removing a (joined) relation widens the extent on common attributes.
     p.Compose(ExtentRel::kSuperset, /*exact=*/true);
-    p.strategies.push_back("drop");
-    p.notes.push_back("dropped deleted relation " + from_name);
+    p.cand.strategies.push_back("drop");
+    p.cand.notes.push_back("dropped deleted relation " + from_name);
     return p;
+  }
+
+  static int32_t FromIdOf(const DeltaView& view, const std::string& name) {
+    for (int i = 0; i < view.from_size(); ++i) {
+      if (view.from(i).name() == name) return view.from_id(i);
+    }
+    return -1;
   }
 
   // Drops the FROM item if nothing references it anymore and it is
   // dispensable; a dangling dispensable relation only multiplies tuples.
   void MaybeDropUnusedFrom(Partial* p, const std::string& from_name) const {
-    if (p->def.RelationIsUsed(from_name)) return;
-    const FromItem* item = p->def.FindFrom(from_name);
+    if (p->view.RelationIsUsed(from_name)) return;
+    const FromItem* item = p->view.FindFrom(from_name);
     if (item == nullptr || !item->dispensable) return;
-    if (p->def.from_items.size() <= 1) return;
-    std::erase_if(p->def.from_items,
-                  [&](const FromItem& f) { return f.name() == from_name; });
-    p->notes.push_back("dropped now-unreferenced relation " + from_name);
+    if (p->view.from_size() <= 1) return;
+    p->Push(RewriteDelta::DropFrom(FromIdOf(p->view, from_name)));
+    p->cand.notes.push_back("dropped now-unreferenced relation " + from_name);
     p->Compose(ExtentRel::kSuperset, /*exact=*/true);
   }
 
@@ -375,49 +497,51 @@ class ViewSynchronizer::Impl {
     return mkb_.ResolveName(item.relation);
   }
 
-  std::vector<Partial> ReplaceRelationStrategies(
-      const Partial& base, const std::string& from_name) const {
-    std::vector<Partial> out;
-    const FromItem* item = base.def.FindFrom(from_name);
-    if (item == nullptr || !item->replaceable) return out;
+  template <typename Sink>
+  void ReplaceRelationStrategies(const Partial& base,
+                                 const std::string& from_name,
+                                 Sink* out) const {
+    const FromItem* item = base.view.FindFrom(from_name);
+    if (item == nullptr || !item->replaceable) return;
     const auto id = ResolveFromId(*item);
-    if (!id.ok()) return out;
-    for (const PcEdge& edge : mkb_.PcEdgesFromTransitive(id.value(), options_.max_pc_hops)) {
+    if (!id.ok()) return;
+    for (const PcEdge& edge :
+         mkb_.PcEdgesFromTransitive(id.value(), options_.max_pc_hops)) {
+      if (out->full()) return;
       if (edge.target == ChangedRelation(change_)) continue;
       auto p = TryReplaceRelation(base, from_name, edge);
-      if (p.has_value()) out.push_back(std::move(*p));
+      if (p.has_value()) out->Offer(std::move(*p));
     }
-    return out;
   }
 
   std::optional<Partial> TryReplaceRelation(const Partial& base,
                                             const std::string& from_name,
                                             const PcEdge& edge) const {
-    Partial p = base;
-    const std::string new_name = FreshFromName(p.def, edge.target.relation);
+    const DeltaView& v = base.view;
+    const std::string new_name = FreshFromName(v, edge.target.relation);
 
     // Map / drop SELECT items sourced from the replaced relation.
     std::map<RelAttr, RelAttr> subst;
-    std::vector<int> dropped_sel;
+    std::vector<int32_t> dropped_sel;
     bool anything_mapped = false;
-    for (size_t i = 0; i < p.def.select_items.size(); ++i) {
-      SelectItem& s = p.def.select_items[i];
+    for (int i = 0; i < v.select_size(); ++i) {
+      const SelectItem& s = v.select(i);
       if (s.source.relation != from_name) continue;
       const auto mapped = edge.attribute_map.find(s.source.attribute);
       if (mapped != edge.attribute_map.end() && s.replaceable) {
         subst[s.source] = RelAttr{new_name, mapped->second};
         anything_mapped = true;
       } else if (s.dispensable) {
-        dropped_sel.push_back(static_cast<int>(i));
+        dropped_sel.push_back(v.select_id(i));
       } else {
         return std::nullopt;  // Indispensable and not substitutable.
       }
     }
 
     // Map / drop WHERE clauses touching the replaced relation.
-    std::vector<int> dropped_whe;
-    for (size_t i = 0; i < p.def.where.size(); ++i) {
-      ConditionItem& c = p.def.where[i];
+    std::vector<int32_t> dropped_whe;
+    for (int i = 0; i < v.where_size(); ++i) {
+      const ConditionItem& c = v.where(i);
       if (!c.clause.References(from_name)) continue;
       bool mappable = c.replaceable;
       for (const RelAttr& a : c.clause.Attributes()) {
@@ -434,32 +558,30 @@ class ViewSynchronizer::Impl {
         }
         anything_mapped = true;
       } else if (c.dispensable) {
-        dropped_whe.push_back(static_cast<int>(i));
+        dropped_whe.push_back(v.where_id(i));
       } else {
         return std::nullopt;
       }
     }
     if (!anything_mapped) return std::nullopt;  // Degenerate: plain drop.
 
-    ApplyDrops(&p, dropped_sel, dropped_whe);
+    Partial p = base;
+    ApplyDrops(&p, std::move(dropped_sel), std::move(dropped_whe));
     // Rewrite surviving references.
-    for (SelectItem& s : p.def.select_items) {
-      const auto it = subst.find(s.source);
-      if (it != subst.end()) {
-        if (s.output_name.empty()) s.output_name = s.source.attribute;
-        s.source = it->second;
-      }
-    }
-    for (ConditionItem& c : p.def.where) c.clause = c.clause.Substitute(subst);
+    SubstituteAll(&p, subst);
 
-    // Swap the FROM item.
-    for (FromItem& f : p.def.from_items) {
-      if (f.name() == from_name) {
-        f.site = edge.target.site;
-        f.relation = edge.target.relation;
-        f.alias = new_name == edge.target.relation ? "" : new_name;
-        break;
-      }
+    // Swap the FROM item (position preserved).
+    {
+      const int32_t fid = FromIdOf(p.view, from_name);
+      // Copy before StartOp: the overlay read may resolve into the op
+      // log, which StartOp's push_back can reallocate.
+      FromItem nf = p.view.from_by_id(fid);
+      nf.site = edge.target.site;
+      nf.relation = edge.target.relation;
+      nf.alias = new_name == edge.target.relation ? "" : new_name;
+      RewriteDelta& op = p.StartOp(RewriteDelta::Kind::kReplaceFrom, fid);
+      op.payload.emplace<FromItem>(std::move(nf));
+      p.Commit();
     }
 
     // Optionally pin the replacement to the constrained fragment.
@@ -470,28 +592,28 @@ class ViewSynchronizer::Impl {
           {edge.target.relation, new_name}};
       const Conjunction renamed = edge.target_selection.RenameRelations(rel_map);
       for (const PrimitiveClause& clause : renamed.clauses()) {
-        ConditionItem ci;
-        ci.clause = clause;
-        p.def.where.push_back(std::move(ci));
+        RewriteDelta& op = p.StartOp(RewriteDelta::Kind::kAddCondition, -1);
+        op.payload.emplace<ConditionItem>().clause = clause;
+        p.Commit();
       }
       applied_selection = true;
-      p.notes.push_back("added PC fragment condition on " + new_name);
+      p.cand.notes.push_back("added PC fragment condition on " + new_name);
     }
 
     p.Compose(ReplacementExtentRel(edge, applied_selection),
               ReplacementExtentExact(edge, applied_selection));
 
-    ReplacementRecord record;
+    CandidateReplacement record;
     record.replaced = edge.source;
     record.replacement = edge.target;
     record.replaced_from_name = from_name;
     record.replacement_from_name = new_name;
-    record.edge = edge;
+    record.edge = &edge;
     record.joined_in = false;
-    p.replacements.push_back(std::move(record));
-    p.strategies.push_back("replace-relation");
-    p.notes.push_back("replaced " + edge.source.ToString() + " by " +
-                      edge.target.ToString());
+    p.cand.replacements.push_back(std::move(record));
+    p.cand.strategies.push_back("replace-relation");
+    p.cand.notes.push_back("replaced " + edge.source.ToString() + " by " +
+                           edge.target.ToString());
     return p;
   }
 
@@ -539,27 +661,28 @@ class ViewSynchronizer::Impl {
 
   // --- Join-in replacement (attribute-level) -------------------------------
 
-  std::vector<Partial> JoinInStrategies(const Partial& base,
-                                        const std::string& from_name,
-                                        const std::string& attr) const {
-    std::vector<Partial> out;
-    const FromItem* item = base.def.FindFrom(from_name);
-    if (item == nullptr) return out;
+  template <typename Sink>
+  void JoinInStrategies(const Partial& base, const std::string& from_name,
+                        const std::string& attr, Sink* out) const {
+    const FromItem* item = base.view.FindFrom(from_name);
+    if (item == nullptr) return;
     const auto id = ResolveFromId(*item);
-    if (!id.ok()) return out;
+    if (!id.ok()) return;
 
     // Every SELECT item losing the attribute must be replaceable; clauses
     // must be replaceable or dispensable (checked in TryJoinIn).
-    for (const PcEdge& edge : mkb_.PcEdgesFromTransitive(id.value(), options_.max_pc_hops)) {
+    for (const PcEdge& edge :
+         mkb_.PcEdgesFromTransitive(id.value(), options_.max_pc_hops)) {
+      if (out->full()) return;
       if (edge.attribute_map.count(attr) == 0) continue;
       if (edge.target == id.value()) continue;
       const auto jcs = mkb_.FindJoinConstraints(id.value(), edge.target);
       for (const JoinConstraint* jc : jcs) {
+        if (out->full()) return;
         auto p = TryJoinIn(base, from_name, attr, edge, *jc);
-        if (p.has_value()) out.push_back(std::move(*p));
+        if (p.has_value()) out->Offer(std::move(*p));
       }
     }
-    return out;
   }
 
   std::optional<Partial> TryJoinIn(const Partial& base,
@@ -572,58 +695,83 @@ class ViewSynchronizer::Impl {
         return std::nullopt;
       }
     }
-    Partial p = base;
-    const std::string new_name = FreshFromName(p.def, edge.target.relation);
+    const DeltaView& v = base.view;
+    const std::string new_name = FreshFromName(v, edge.target.relation);
     const RelAttr lost{from_name, attr};
     const RelAttr found{new_name, edge.attribute_map.at(attr)};
 
+    // Planned edits, applied only once the whole scan has succeeded.
+    std::vector<std::pair<int32_t, SelectItem>> set_sel;
+    std::vector<std::pair<int32_t, ConditionItem>> set_whe;
+    std::vector<int32_t> dropped_whe;
+
     bool anything = false;
-    for (SelectItem& s : p.def.select_items) {
+    for (int i = 0; i < v.select_size(); ++i) {
+      const SelectItem& s = v.select(i);
       if (s.source == lost) {
         if (!s.replaceable) return std::nullopt;
-        if (s.output_name.empty()) s.output_name = s.source.attribute;
-        s.source = found;
+        SelectItem ns = s;
+        if (ns.output_name.empty()) ns.output_name = ns.source.attribute;
+        ns.source = found;
+        set_sel.emplace_back(v.select_id(i), std::move(ns));
         anything = true;
       }
     }
-    std::vector<int> dropped_whe;
     const std::map<RelAttr, RelAttr> subst{{lost, found}};
-    for (size_t i = 0; i < p.def.where.size(); ++i) {
-      ConditionItem& c = p.def.where[i];
+    for (int i = 0; i < v.where_size(); ++i) {
+      const ConditionItem& c = v.where(i);
       bool touches = false;
       for (const RelAttr& a : c.clause.Attributes()) {
         if (a == lost) touches = true;
       }
       if (!touches) continue;
       if (c.replaceable) {
-        c.clause = c.clause.Substitute(subst);
+        ConditionItem nc = c;
+        nc.clause = nc.clause.Substitute(subst);
+        set_whe.emplace_back(v.where_id(i), std::move(nc));
         anything = true;
       } else if (c.dispensable) {
-        dropped_whe.push_back(static_cast<int>(i));
+        dropped_whe.push_back(v.where_id(i));
       } else {
         return std::nullopt;
       }
     }
     if (!anything) return std::nullopt;
-    ApplyDrops(&p, {}, dropped_whe);
+
+    Partial p = base;
+    for (auto& [sid, item] : set_sel) {
+      RewriteDelta& op = p.StartOp(RewriteDelta::Kind::kSetSelect, sid);
+      op.payload.emplace<SelectItem>(std::move(item));
+      p.Commit();
+    }
+    for (auto& [wid, item] : set_whe) {
+      RewriteDelta& op = p.StartOp(RewriteDelta::Kind::kSetCondition, wid);
+      op.payload.emplace<ConditionItem>(std::move(item));
+      p.Commit();
+    }
+    ApplyDrops(&p, {}, std::move(dropped_whe));
 
     // Join the auxiliary relation in via the JC.
-    FromItem aux;
-    aux.site = edge.target.site;
-    aux.relation = edge.target.relation;
-    aux.alias = new_name == edge.target.relation ? "" : new_name;
-    aux.dispensable = false;
-    aux.replaceable = true;
-    p.def.from_items.push_back(std::move(aux));
+    {
+      RewriteDelta& op = p.StartOp(RewriteDelta::Kind::kAddFrom, -1);
+      FromItem& aux = op.payload.emplace<FromItem>();
+      aux.site = edge.target.site;
+      aux.relation = edge.target.relation;
+      aux.alias = new_name == edge.target.relation ? "" : new_name;
+      aux.dispensable = false;
+      aux.replaceable = true;
+      p.Commit();
+    }
 
     const std::map<std::string, std::string> rel_map{
         {edge.source.relation, from_name}, {edge.target.relation, new_name}};
     const Conjunction renamed_jc = jc.condition.RenameRelations(rel_map);
     for (const PrimitiveClause& clause : renamed_jc.clauses()) {
-      ConditionItem ci;
+      RewriteDelta& op = p.StartOp(RewriteDelta::Kind::kAddCondition, -1);
+      ConditionItem& ci = op.payload.emplace<ConditionItem>();
       ci.clause = clause;
       ci.replaceable = true;
-      p.def.where.push_back(std::move(ci));
+      p.Commit();
     }
 
     // Extent estimate: with the lost fragment contained in the target
@@ -642,50 +790,79 @@ class ViewSynchronizer::Impl {
         break;
     }
 
-    ReplacementRecord record;
+    CandidateReplacement record;
     record.replaced = edge.source;
     record.replacement = edge.target;
     record.replaced_from_name = from_name;
     record.replacement_from_name = new_name;
-    record.edge = edge;
+    record.edge = &edge;
     record.joined_in = true;
-    p.replacements.push_back(std::move(record));
-    p.strategies.push_back("join-in");
-    p.notes.push_back("recovered " + from_name + "." + attr + " from " +
-                      edge.target.ToString() + " via " + jc.ToString());
+    p.cand.replacements.push_back(std::move(record));
+    p.cand.strategies.push_back("join-in");
+    p.cand.notes.push_back("recovered " + from_name + "." + attr + " from " +
+                           edge.target.ToString() + " via " + jc.ToString());
     return p;
   }
 
   // --- Complex (CVS-style) pair substitution -------------------------------
 
-  std::vector<Partial> CvsPairStrategies(const Partial& base,
-                                         const std::string& from_name,
-                                         const References& refs) const {
-    std::vector<Partial> out;
-    const FromItem* item = base.def.FindFrom(from_name);
-    if (item == nullptr || !item->replaceable) return out;
+  template <typename Sink>
+  void CvsPairStrategies(const Partial& base, const std::string& from_name,
+                         const References& refs, Sink* out) const {
+    const FromItem* item = base.view.FindFrom(from_name);
+    if (item == nullptr || !item->replaceable) return;
     const auto id = ResolveFromId(*item);
-    if (!id.ok()) return out;
+    if (!id.ok()) return;
     const std::vector<PcEdge>& edges =
         mkb_.PcEdgesFromTransitive(id.value(), options_.max_pc_hops);
+
+    // Per-edge coverage of the referenced attributes as bitsets, so the
+    // quadratic pair loop rejects non-viable pairs (TryCvsPair's
+    // used1/used2-empty cases) before any JC lookup or candidate
+    // derivation.  Views referencing more than 64 attributes of one FROM
+    // item skip the precheck and fall back to per-pair evaluation.
+    const bool precheck = refs.attributes.size() <= 64;
+    std::vector<uint64_t> covered;
+    if (precheck) {
+      covered.resize(edges.size(), 0);
+      for (size_t i = 0; i < edges.size(); ++i) {
+        uint64_t bits = 0;
+        uint64_t bit = 1;
+        for (const std::string& a : refs.attributes) {
+          if (edges[i].attribute_map.count(a) > 0) bits |= bit;
+          bit <<= 1;
+        }
+        covered[i] = bits;
+      }
+    }
+
     for (size_t i = 0; i < edges.size(); ++i) {
       for (size_t j = 0; j < edges.size(); ++j) {
+        if (out->full()) return;
         if (i == j) continue;
         const PcEdge& e1 = edges[i];
         const PcEdge& e2 = edges[j];
         if (e1.target == e2.target) continue;
+        if (precheck) {
+          // used1 = referenced attrs e1 maps; used2 = referenced attrs
+          // only e2 maps (merged prefers e1).  Either empty means
+          // TryCvsPair returns nullopt for every JC -- skip the pair.
+          const uint64_t used1 = covered[i];
+          const uint64_t used2 = covered[j] & ~covered[i];
+          if (used1 == 0 || used2 == 0) continue;
+        }
         if (e1.target == ChangedRelation(change_) ||
             e2.target == ChangedRelation(change_)) {
           continue;
         }
         const auto jcs = mkb_.FindJoinConstraints(e1.target, e2.target);
         for (const JoinConstraint* jc : jcs) {
+          if (out->full()) return;
           auto p = TryCvsPair(base, from_name, refs, e1, e2, *jc);
-          if (p.has_value()) out.push_back(std::move(*p));
+          if (p.has_value()) out->Offer(std::move(*p));
         }
       }
     }
-    return out;
   }
 
   std::optional<Partial> TryCvsPair(const Partial& base,
@@ -693,14 +870,14 @@ class ViewSynchronizer::Impl {
                                     const References& refs, const PcEdge& e1,
                                     const PcEdge& e2,
                                     const JoinConstraint& jc) const {
-    Partial p = base;
-    const std::string name1 = FreshFromName(p.def, e1.target.relation);
+    const DeltaView& v = base.view;
+    const std::string name1 = FreshFromName(v, e1.target.relation);
     // Reserve name1 before computing name2 (relations could share names
     // only across sites; FreshFromName needs the updated def, so fake it).
     const std::string name2 =
         e2.target.relation == name1
-            ? FreshFromName(p.def, e2.target.relation + "_b")
-            : FreshFromName(p.def, e2.target.relation);
+            ? FreshFromName(v, e2.target.relation + "_b")
+            : FreshFromName(v, e2.target.relation);
 
     // Per-attribute target choice: prefer e1, fall back to e2.  The records
     // carry reduced maps so the legality oracle sees a consistent picture.
@@ -722,22 +899,22 @@ class ViewSynchronizer::Impl {
     }
 
     std::map<RelAttr, RelAttr> subst;
-    std::vector<int> dropped_sel;
-    for (size_t i = 0; i < p.def.select_items.size(); ++i) {
-      SelectItem& s = p.def.select_items[i];
+    std::vector<int32_t> dropped_sel;
+    for (int i = 0; i < v.select_size(); ++i) {
+      const SelectItem& s = v.select(i);
       if (s.source.relation != from_name) continue;
       const auto it = merged.find(s.source.attribute);
       if (it != merged.end() && s.replaceable) {
         subst[s.source] = it->second;
       } else if (s.dispensable) {
-        dropped_sel.push_back(static_cast<int>(i));
+        dropped_sel.push_back(v.select_id(i));
       } else {
         return std::nullopt;
       }
     }
-    std::vector<int> dropped_whe;
-    for (size_t i = 0; i < p.def.where.size(); ++i) {
-      ConditionItem& c = p.def.where[i];
+    std::vector<int32_t> dropped_whe;
+    for (int i = 0; i < v.where_size(); ++i) {
+      const ConditionItem& c = v.where(i);
       if (!c.clause.References(from_name)) continue;
       bool mappable = c.replaceable;
       for (const RelAttr& a : c.clause.Attributes()) {
@@ -750,45 +927,46 @@ class ViewSynchronizer::Impl {
           if (a.relation == from_name) subst[a] = merged.at(a.attribute);
         }
       } else if (c.dispensable) {
-        dropped_whe.push_back(static_cast<int>(i));
+        dropped_whe.push_back(v.where_id(i));
       } else {
         return std::nullopt;
       }
     }
-    ApplyDrops(&p, dropped_sel, dropped_whe);
-    for (SelectItem& s : p.def.select_items) {
-      const auto it = subst.find(s.source);
-      if (it != subst.end()) {
-        if (s.output_name.empty()) s.output_name = s.source.attribute;
-        s.source = it->second;
-      }
-    }
-    for (ConditionItem& c : p.def.where) c.clause = c.clause.Substitute(subst);
+
+    Partial p = base;
+    ApplyDrops(&p, std::move(dropped_sel), std::move(dropped_whe));
+    SubstituteAll(&p, subst);
 
     // Replace the FROM item by the first target; append the second.
-    for (FromItem& f : p.def.from_items) {
-      if (f.name() == from_name) {
-        f.site = e1.target.site;
-        f.relation = e1.target.relation;
-        f.alias = name1 == e1.target.relation ? "" : name1;
-        break;
-      }
+    {
+      const int32_t fid = FromIdOf(p.view, from_name);
+      FromItem nf = p.view.from_by_id(fid);  // Copy before StartOp.
+      nf.site = e1.target.site;
+      nf.relation = e1.target.relation;
+      nf.alias = name1 == e1.target.relation ? "" : name1;
+      RewriteDelta& op = p.StartOp(RewriteDelta::Kind::kReplaceFrom, fid);
+      op.payload.emplace<FromItem>(std::move(nf));
+      p.Commit();
     }
-    FromItem second;
-    second.site = e2.target.site;
-    second.relation = e2.target.relation;
-    second.alias = name2 == e2.target.relation ? "" : name2;
-    second.replaceable = true;
-    p.def.from_items.push_back(std::move(second));
+    {
+      RewriteDelta& op = p.StartOp(RewriteDelta::Kind::kAddFrom, -1);
+      FromItem& second = op.payload.emplace<FromItem>();
+      second.site = e2.target.site;
+      second.relation = e2.target.relation;
+      second.alias = name2 == e2.target.relation ? "" : name2;
+      second.replaceable = true;
+      p.Commit();
+    }
 
     const std::map<std::string, std::string> rel_map{
         {e1.target.relation, name1}, {e2.target.relation, name2}};
     const Conjunction renamed_jc = jc.condition.RenameRelations(rel_map);
     for (const PrimitiveClause& clause : renamed_jc.clauses()) {
-      ConditionItem ci;
+      RewriteDelta& op = p.StartOp(RewriteDelta::Kind::kAddCondition, -1);
+      ConditionItem& ci = op.payload.emplace<ConditionItem>();
       ci.clause = clause;
       ci.replaceable = true;
-      p.def.where.push_back(std::move(ci));
+      p.Commit();
     }
 
     const bool both_equivalent = e1.type == PcRelationType::kEquivalent &&
@@ -801,89 +979,125 @@ class ViewSynchronizer::Impl {
               /*exact=*/false);
 
     for (const auto& [edge, used, nm] :
-         {std::tuple<const PcEdge*, const std::map<std::string, std::string>*,
+         {std::tuple<const PcEdge*, std::map<std::string, std::string>*,
                      const std::string*>{&e1, &used1, &name1},
           {&e2, &used2, &name2}}) {
-      ReplacementRecord record;
+      CandidateReplacement record;
       record.replaced = edge->source;
       record.replacement = edge->target;
       record.replaced_from_name = from_name;
       record.replacement_from_name = *nm;
-      record.edge = *edge;
-      record.edge.attribute_map =
-          std::map<std::string, std::string>(used->begin(), used->end());
+      record.edge = edge;
+      record.reduced_map = std::move(*used);
       record.joined_in = false;
-      p.replacements.push_back(std::move(record));
+      p.cand.replacements.push_back(std::move(record));
     }
-    p.strategies.push_back("cvs-pair");
-    p.notes.push_back("replaced " + from_name + " by join of " +
-                      e1.target.ToString() + " and " + e2.target.ToString());
+    p.cand.strategies.push_back("cvs-pair");
+    p.cand.notes.push_back("replaced " + from_name + " by join of " +
+                           e1.target.ToString() + " and " + e2.target.ToString());
     return p;
   }
 
   // --- Post-processing ------------------------------------------------------
 
-  void EnumerateDropSubsets(SynchronizationResult* result) const {
-    std::vector<Rewriting> extra;
-    for (const Rewriting& rw : result->rewritings) {
-      std::vector<int> droppable;
-      for (size_t i = 0; i < rw.definition.select_items.size(); ++i) {
-        if (rw.definition.select_items[i].dispensable) {
-          droppable.push_back(static_cast<int>(i));
+  void EnumerateDropSubsets(std::vector<Partial>* partials) const {
+    std::vector<Partial> extra;
+    for (const Partial& p : *partials) {
+      std::vector<int32_t> droppable;
+      for (int i = 0; i < p.view.select_size(); ++i) {
+        if (p.view.select(i).dispensable) {
+          droppable.push_back(p.view.select_id(i));
         }
       }
       const int n = static_cast<int>(droppable.size());
       if (n == 0 || n > 10) continue;
+      const size_t select_count = static_cast<size_t>(p.view.select_size());
       for (int mask = 1; mask < (1 << n); ++mask) {
-        Rewriting variant = rw;
-        std::vector<int> to_drop;
+        std::vector<int32_t> to_drop;
         for (int b = 0; b < n; ++b) {
           if (mask & (1 << b)) to_drop.push_back(droppable[b]);
         }
-        if (to_drop.size() >= rw.definition.select_items.size()) continue;
+        if (to_drop.size() >= select_count) continue;
         std::sort(to_drop.rbegin(), to_drop.rend());
-        for (int i : to_drop) {
-          variant.dropped_attributes.push_back(
-              variant.definition.select_items[i].name());
-          variant.definition.select_items.erase(
-              variant.definition.select_items.begin() + i);
+        Partial variant = p;
+        for (const int32_t id : to_drop) {
+          variant.cand.dropped_attributes.push_back(
+              variant.view.select_by_id(id).name());
+          variant.Push(RewriteDelta::DropSelect(id));
         }
-        variant.strategy += "+drop-subset";
+        variant.cand.strategies.push_back("drop-subset");
         extra.push_back(std::move(variant));
       }
     }
-    result->rewritings.insert(result->rewritings.end(),
-                              std::make_move_iterator(extra.begin()),
-                              std::make_move_iterator(extra.end()));
+    partials->insert(partials->end(), std::make_move_iterator(extra.begin()),
+                     std::make_move_iterator(extra.end()));
   }
 
-  Result<SynchronizationResult> Finish(SynchronizationResult result) const {
-    // Keep only legal rewritings, dedupe structurally, cap.  Candidates are
-    // bucketed by StructuralHash and compared with StructurallyEqual inside
-    // a bucket, so dedup needs no string rendering and survives hash
-    // collisions.
-    std::vector<Rewriting> kept;
-    std::unordered_map<size_t, std::vector<size_t>> buckets;
-    for (Rewriting& rw : result.rewritings) {
-      if (!CheckLegality(original_, rw).ok()) continue;
-      const size_t hash = StructuralHash(rw.definition);
-      std::vector<size_t>& bucket = buckets[hash];
+  // Accumulates candidates of an intermediate fold round; never full.
+  struct CollectSink {
+    std::vector<Partial>* out;
+    void Offer(Partial p) { out->push_back(std::move(p)); }
+    bool full() const { return false; }
+  };
+
+  // Streaming legality / structural-dedup / cap sink: candidates are
+  // checked over their compiled overlays as the strategies produce them --
+  // pruned candidates are never rendered or materialized -- and once the
+  // result cap is full, full() stops the enumeration loops outright, so a
+  // wide fan-out never derives candidates the cap would discard anyway.
+  // (Processing order equals enumeration order, so the kept set is exactly
+  // what the batch formulation kept.)
+  class FinishSink {
+   public:
+    explicit FinishSink(const Impl& impl) : impl_(impl) {}
+
+    void Offer(Partial p) {
+      if (full()) return;
+      CandidateFacts facts;
+      facts.extent_relation = p.cand.extent_relation;
+      facts.replacements = &p.cand.replacements;
+      facts.renamed_attributes = &p.cand.renamed_attributes;
+      facts.renamed_relations = &p.cand.renamed_relations;
+      if (!CheckLegality(*impl_.original_, p.view, facts).ok()) return;
+      const size_t hash = p.view.StructuralHash();
+      std::vector<size_t>& bucket = buckets_[hash];
       const bool duplicate =
           std::any_of(bucket.begin(), bucket.end(), [&](size_t i) {
-            return StructurallyEqual(kept[i].definition, rw.definition);
+            return kept_[i].view.StructurallyEquals(p.view);
           });
-      if (duplicate) continue;
-      bucket.push_back(kept.size());
-      kept.push_back(std::move(rw));
-      if (static_cast<int>(kept.size()) >= options_.max_rewritings) break;
+      if (duplicate) return;
+      bucket.push_back(kept_.size());
+      kept_.push_back(std::move(p));
     }
-    result.rewritings = std::move(kept);
+
+    bool full() const {
+      return static_cast<int>(kept_.size()) >= impl_.options_.max_rewritings;
+    }
+
+    std::vector<Partial> Take() { return std::move(kept_); }
+
+   private:
+    const Impl& impl_;
+    std::vector<Partial> kept_;
+    std::unordered_map<size_t, std::vector<size_t>> buckets_;
+  };
+
+  Result<PartialSet> Finish(bool affected,
+                            std::vector<Partial> partials) const {
+    PartialSet result;
+    result.affected = affected;
+    FinishSink sink(*this);
+    for (Partial& p : partials) {
+      if (sink.full()) break;
+      sink.Offer(std::move(p));
+    }
+    result.partials = sink.Take();
     return result;
   }
 
   const MetaKnowledgeBase& mkb_;
   const SynchronizerOptions& options_;
-  const ViewDefinition& original_;
+  std::shared_ptr<const ViewDefinition> original_;
   const SchemaChange& change_;
 };
 
@@ -893,7 +1107,31 @@ ViewSynchronizer::ViewSynchronizer(const MetaKnowledgeBase& mkb,
 
 Result<SynchronizationResult> ViewSynchronizer::Synchronize(
     const ViewDefinition& view, const SchemaChange& change) const {
-  return Impl(mkb_, options_, view, change).Run();
+  if (!options_.use_delta_enumeration) {
+    return internal::SynchronizeEager(mkb_, options_, view, change);
+  }
+  EVE_ASSIGN_OR_RETURN(PartialSet set, Impl(mkb_, options_, view, change).Run());
+  SynchronizationResult result;
+  result.affected = set.affected;
+  result.rewritings.reserve(set.partials.size());
+  for (Partial& p : set.partials) {
+    // Survivors materialize once, straight from the compiled overlay.
+    result.rewritings.push_back(
+        std::move(p.cand).ToRewriting(p.view.Materialize()));
+  }
+  return result;
+}
+
+Result<CandidateSynchronizationResult> ViewSynchronizer::SynchronizeCandidates(
+    const ViewDefinition& view, const SchemaChange& change) const {
+  EVE_ASSIGN_OR_RETURN(PartialSet set, Impl(mkb_, options_, view, change).Run());
+  CandidateSynchronizationResult result;
+  result.affected = set.affected;
+  result.candidates.reserve(set.partials.size());
+  for (Partial& p : set.partials) {
+    result.candidates.push_back(std::move(p.cand));
+  }
+  return result;
 }
 
 }  // namespace eve

@@ -32,6 +32,7 @@
 #include "esql/ast.h"
 #include "misd/mkb.h"
 #include "space/schema_change.h"
+#include "synch/partial.h"
 #include "synch/rewriting.h"
 
 namespace eve {
@@ -58,6 +59,12 @@ struct SynchronizerOptions {
   /// Replacement discovery follows chains of up to this many PC constraints
   /// (transitively derived edges; 1 = direct constraints only).
   int max_pc_hops = 4;
+  /// Enumerate candidates as a shared base + RewriteDelta op log
+  /// (copy-on-write; see synch/partial.h) instead of deep-copying the whole
+  /// ViewDefinition per strategy candidate.  Off falls back to the seed's
+  /// eager implementation, retained as the equivalence oracle -- both paths
+  /// produce byte-identical SynchronizationResults (tested).
+  bool use_delta_enumeration = true;
 };
 
 /// The view synchronizer.
@@ -67,15 +74,39 @@ class ViewSynchronizer {
   explicit ViewSynchronizer(const MetaKnowledgeBase& mkb,
                             SynchronizerOptions options = {});
 
-  /// Generates the legal rewritings of `view` under `change`.
+  /// Generates the legal rewritings of `view` under `change`.  With
+  /// use_delta_enumeration (the default) this materializes the surviving
+  /// candidates of SynchronizeCandidates; otherwise it runs the eager
+  /// oracle.
   Result<SynchronizationResult> Synchronize(const ViewDefinition& view,
                                             const SchemaChange& change) const;
+
+  /// Delta-native API: generates the legal rewriting candidates of `view`
+  /// under `change` as (base, op-log) pairs, leaving materialization to the
+  /// consumer (it is lazy and one-shot per candidate).  Candidates are
+  /// already legality-checked, deduplicated, and capped -- converting each
+  /// with RewriteCandidate::ToRewriting yields exactly Synchronize()'s
+  /// result.
+  Result<CandidateSynchronizationResult> SynchronizeCandidates(
+      const ViewDefinition& view, const SchemaChange& change) const;
 
  private:
   class Impl;
   const MetaKnowledgeBase& mkb_;
   SynchronizerOptions options_;
 };
+
+namespace internal {
+
+/// The seed's eager (deep-copy-per-candidate) synchronizer, kept verbatim
+/// as the equivalence oracle for the delta pipeline.  Reached through
+/// SynchronizerOptions::use_delta_enumeration = false.
+Result<SynchronizationResult> SynchronizeEager(const MetaKnowledgeBase& mkb,
+                                               const SynchronizerOptions& options,
+                                               const ViewDefinition& view,
+                                               const SchemaChange& change);
+
+}  // namespace internal
 
 }  // namespace eve
 

@@ -66,31 +66,52 @@ StringPool::StringPool() {
 StringPool::~StringPool() {
   g_pools[index_].store(nullptr, std::memory_order_release);
   ReleasePoolSlot(index_);
+  for (std::atomic<Entry*>& seg : segments_) {
+    delete[] seg.load(std::memory_order_acquire);
+  }
 }
 
 uint32_t StringPool::Intern(std::string_view text) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = ids_.find(text);
   if (it != ids_.end()) return it->second;
-  const uint32_t id = static_cast<uint32_t>(entries_.size());
-  entries_.push_back(Entry{std::string(text), HashBytes(text)});
-  ids_.emplace(std::string_view(entries_.back().text), id);
+  const uint32_t id =
+      static_cast<uint32_t>(count_.load(std::memory_order_relaxed));
+  const uint32_t k = SegmentOf(id);
+  Entry* seg = segments_[k].load(std::memory_order_relaxed);
+  if (seg == nullptr) {
+    // First entry of this segment: allocate and publish.  Readers only
+    // dereference ids they received from a completed Intern, so the
+    // release store paired with their acquire load suffices.
+    seg = new Entry[SegmentSize(k)];
+    segments_[k].store(seg, std::memory_order_release);
+  }
+  Entry& entry = seg[id - SegmentStart(k)];
+  entry.text = std::string(text);
+  entry.hash = HashBytes(text);
+  ids_.emplace(std::string_view(entry.text), id);
+  // Publish the count last: an id becomes visible to size() only after its
+  // entry is fully constructed.
+  count_.store(static_cast<int64_t>(id) + 1, std::memory_order_release);
   return id;
 }
 
+const StringPool::Entry& StringPool::EntryOf(uint32_t id) const {
+  const uint32_t k = SegmentOf(id);
+  const Entry* seg = segments_[k].load(std::memory_order_acquire);
+  return seg[id - SegmentStart(k)];
+}
+
 const std::string& StringPool::Get(uint32_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_[id].text;
+  return EntryOf(id).text;
 }
 
 uint64_t StringPool::ContentHash(uint32_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_[id].hash;
+  return EntryOf(id).hash;
 }
 
 int64_t StringPool::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(entries_.size());
+  return count_.load(std::memory_order_acquire);
 }
 
 StringPool& StringPool::Default() {

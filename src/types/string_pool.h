@@ -19,6 +19,13 @@
 // lifetime.  A pool must outlive every Value interned into it (trivially
 // true for Default()).
 //
+// Reads are lock-free: entries live in append-only exponentially-growing
+// segments published through atomic pointers, so Get / ContentHash resolve
+// an id with two loads and no mutex.  Only Intern takes the writer mutex.
+// This matters on sort paths -- lexicographic Value compares resolve both
+// strings through Get, and a mutex there serialized every multi-threaded
+// sort and merge over string columns behind one lock (ROADMAP).
+//
 // Hash discipline: ContentHash depends only on the string's bytes -- never
 // on the id or interning order -- so Value::Hash is stable across pools and
 // across runs that intern the same strings in different orders.
@@ -26,8 +33,8 @@
 #ifndef EVE_TYPES_STRING_POOL_H_
 #define EVE_TYPES_STRING_POOL_H_
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -74,13 +81,37 @@ class StringPool {
  private:
   struct Entry {
     std::string text;
-    uint64_t hash;
+    uint64_t hash = 0;
   };
 
-  mutable std::mutex mu_;
-  /// Append-only store; deque keeps element references stable across growth.
-  std::deque<Entry> entries_;
-  /// Keys are views into entries_ texts (stable, see above).
+  /// Segment k holds kSegment0Size << k entries starting at id
+  /// kSegment0Size * (2^k - 1); 26 segments cover > 2 billion strings.
+  /// Segments are allocated under the writer mutex and published with a
+  /// release store; readers locate (segment, offset) from the id with bit
+  /// arithmetic and an acquire load -- entries never move.
+  static constexpr uint32_t kSegment0Shift = 5;  // 32 entries in segment 0.
+  static constexpr uint32_t kSegmentCount = 26;
+
+  static uint32_t SegmentOf(uint32_t id) {
+    uint32_t q = (id >> kSegment0Shift) + 1;
+    uint32_t k = 0;
+    while (q > 1) {
+      q >>= 1;
+      ++k;
+    }
+    return k;
+  }
+  static uint32_t SegmentStart(uint32_t k) {
+    return ((1u << k) - 1u) << kSegment0Shift;
+  }
+  static uint32_t SegmentSize(uint32_t k) { return 1u << (kSegment0Shift + k); }
+
+  const Entry& EntryOf(uint32_t id) const;
+
+  mutable std::mutex mu_;  ///< Guards interning (ids_, segment allocation).
+  std::atomic<Entry*> segments_[kSegmentCount] = {};
+  std::atomic<int64_t> count_{0};
+  /// Keys are views into segment entry texts (stable, see above).
   std::unordered_map<std::string_view, uint32_t> ids_;
   uint32_t index_;
 };

@@ -1,0 +1,210 @@
+// Unit tests for the copy-on-write view editing layer (esql/view_delta.h):
+// RewriteDelta application order, stable-id semantics for appended items,
+// DeltaView parity with the materialized definition (queries, Validate,
+// StructuralHash), and the candidate's lazy one-shot materialization.
+
+#include <gtest/gtest.h>
+
+#include "esql/parser.h"
+#include "esql/printer.h"
+#include "esql/view_delta.h"
+#include "synch/partial.h"
+
+namespace eve {
+namespace {
+
+ViewDefinition Parse(const std::string& text) {
+  auto result = ParseViewDefinition(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+const ViewDefinition kBase = Parse(
+    "CREATE VIEW V AS SELECT R.A, R.B (AD=true), S.C AS X (AR=true) "
+    "FROM R, S (RD=true) WHERE (R.A = S.A) (CR=true) AND (R.B > 5) (CD=true)");
+
+ConditionItem MakeCondition(const std::string& rel, const std::string& attr,
+                            int64_t value) {
+  ConditionItem ci;
+  ci.clause = PrimitiveClause::AttrConst(RelAttr{rel, attr}, CompOp::kEqual,
+                                         Value(value));
+  return ci;
+}
+
+TEST(RewriteDelta, DropSelectHidesItemAndKeepsOrder) {
+  std::vector<RewriteDelta> ops{RewriteDelta::DropSelect(1)};
+  const ViewDefinition out = kBase.Apply(ops);
+  ASSERT_EQ(out.select_items.size(), 2u);
+  EXPECT_EQ(out.select_items[0].name(), "A");
+  EXPECT_EQ(out.select_items[1].name(), "X");
+  EXPECT_EQ(out.from_items, kBase.from_items);
+  EXPECT_EQ(out.where, kBase.where);
+}
+
+TEST(RewriteDelta, SetOverridesInPlace) {
+  SelectItem ns = kBase.select_items[0];
+  ns.source = RelAttr{"R", "Z"};
+  std::vector<RewriteDelta> ops{RewriteDelta::SetSelect(0, ns)};
+  const ViewDefinition out = kBase.Apply(ops);
+  EXPECT_EQ(out.select_items[0].source.attribute, "Z");
+  EXPECT_EQ(out.select_items[1], kBase.select_items[1]);  // Untouched.
+}
+
+TEST(RewriteDelta, ApplicationOrderMatters) {
+  // Set then drop hides the override; drop then set (on the same id) keeps
+  // the slot hidden too -- but setting a *different* item after a drop
+  // leaves both effects in place, in op order.
+  SelectItem ns = kBase.select_items[2];
+  ns.output_name = "Y";
+  const ViewDefinition set_then_drop = kBase.Apply(std::vector<RewriteDelta>{
+      RewriteDelta::SetSelect(2, ns), RewriteDelta::DropSelect(2)});
+  EXPECT_EQ(set_then_drop.select_items.size(), 2u);
+  EXPECT_EQ(set_then_drop.FindSelect("Y"), nullptr);
+
+  const ViewDefinition drop_then_set = kBase.Apply(std::vector<RewriteDelta>{
+      RewriteDelta::DropSelect(0), RewriteDelta::SetSelect(2, ns)});
+  ASSERT_EQ(drop_then_set.select_items.size(), 2u);
+  EXPECT_EQ(drop_then_set.select_items[1].name(), "Y");
+
+  // Two Sets on one id: the later op wins.
+  SelectItem ns2 = kBase.select_items[2];
+  ns2.output_name = "Z";
+  const ViewDefinition twice = kBase.Apply(std::vector<RewriteDelta>{
+      RewriteDelta::SetSelect(2, ns), RewriteDelta::SetSelect(2, ns2)});
+  EXPECT_EQ(twice.select_items[2].name(), "Z");
+}
+
+TEST(RewriteDelta, AppendedItemsGetStableIdsPastBaseSize) {
+  // base has 2 conditions -> the first append takes id 2 and can be edited
+  // and dropped through that id by later ops.
+  std::vector<RewriteDelta> ops{
+      RewriteDelta::AddCondition(MakeCondition("R", "A", 1)),
+      RewriteDelta::AddCondition(MakeCondition("R", "A", 2))};
+  DeltaView view(kBase, ops);
+  ASSERT_EQ(view.where_size(), 4);
+  EXPECT_EQ(view.where_id(2), 2);
+  EXPECT_EQ(view.where_id(3), 3);
+
+  ops.push_back(RewriteDelta::SetCondition(2, MakeCondition("R", "A", 9)));
+  ops.push_back(RewriteDelta::DropCondition(3));
+  const ViewDefinition out = kBase.Apply(ops);
+  ASSERT_EQ(out.where.size(), 3u);
+  EXPECT_EQ(out.where[2].clause.ToString(), "R.A = 9");
+}
+
+TEST(RewriteDelta, ReplaceFromKeepsPositionAddFromAppends) {
+  FromItem nf = kBase.from_items[0];
+  nf.relation = "T";
+  FromItem extra;
+  extra.relation = "U";
+  const ViewDefinition out = kBase.Apply(std::vector<RewriteDelta>{
+      RewriteDelta::ReplaceFrom(0, nf), RewriteDelta::AddFrom(extra)});
+  ASSERT_EQ(out.from_items.size(), 3u);
+  EXPECT_EQ(out.from_items[0].relation, "T");
+  EXPECT_EQ(out.from_items[1].relation, "S");
+  EXPECT_EQ(out.from_items[2].relation, "U");
+}
+
+TEST(DeltaView, QueriesMatchMaterializedDefinition) {
+  FromItem aux;
+  aux.relation = "U";
+  std::vector<RewriteDelta> ops{
+      RewriteDelta::DropSelect(1),
+      RewriteDelta::DropCondition(1),
+      RewriteDelta::AddFrom(aux),
+      RewriteDelta::AddCondition(MakeCondition("U", "K", 3)),
+  };
+  const DeltaView view(kBase, ops);
+  const ViewDefinition out = view.Materialize();
+
+  EXPECT_EQ(view.select_size(), static_cast<int>(out.select_items.size()));
+  EXPECT_EQ(view.from_size(), static_cast<int>(out.from_items.size()));
+  EXPECT_EQ(view.where_size(), static_cast<int>(out.where.size()));
+  for (const char* name : {"R", "S", "U", "missing"}) {
+    const FromItem* a = view.FindFrom(name);
+    const FromItem* b = out.FindFrom(name);
+    ASSERT_EQ(a == nullptr, b == nullptr) << name;
+    if (a != nullptr) EXPECT_EQ(*a, *b);
+  }
+  for (const char* name : {"A", "B", "X", "missing"}) {
+    EXPECT_EQ(view.FindSelect(name) == nullptr, out.FindSelect(name) == nullptr)
+        << name;
+  }
+  for (const char* name : {"R", "S", "U"}) {
+    EXPECT_EQ(view.RelationIsUsed(name), out.RelationIsUsed(name)) << name;
+    EXPECT_EQ(view.LocalConjunction(name).ToString(),
+              out.LocalConjunction(name).ToString())
+        << name;
+  }
+  EXPECT_EQ(view.Validate().ok(), out.Validate().ok());
+}
+
+TEST(DeltaView, StructuralHashMatchesMaterializedHash) {
+  // Identity overlay.
+  EXPECT_EQ(DeltaView(kBase).StructuralHash(), StructuralHash(kBase));
+
+  // Edited overlay: hash equals the hash of the materialization, and
+  // equality agrees in both directions.
+  SelectItem ns = kBase.select_items[2];
+  ns.source = RelAttr{"S", "D"};
+  std::vector<RewriteDelta> ops{
+      RewriteDelta::SetSelect(2, ns),
+      RewriteDelta::DropCondition(1),
+      RewriteDelta::AddCondition(MakeCondition("S", "D", 7)),
+  };
+  const DeltaView view(kBase, ops);
+  const ViewDefinition out = view.Materialize();
+  EXPECT_EQ(view.StructuralHash(), StructuralHash(out));
+  EXPECT_TRUE(view.StructurallyEquals(out));
+  EXPECT_TRUE(view.StructurallyEquals(DeltaView(out)));
+  EXPECT_FALSE(view.StructurallyEquals(kBase));
+  EXPECT_NE(view.StructuralHash(), StructuralHash(kBase));
+}
+
+TEST(DeltaView, ValidateMirrorsMaterializedValidate) {
+  // Dropping every SELECT item is invalid, exactly as materialized.
+  std::vector<RewriteDelta> ops{RewriteDelta::DropSelect(0),
+                                RewriteDelta::DropSelect(1),
+                                RewriteDelta::DropSelect(2)};
+  const DeltaView view(kBase, ops);
+  const Status direct = view.Validate();
+  const Status materialized = view.Materialize().Validate();
+  EXPECT_FALSE(direct.ok());
+  EXPECT_EQ(direct.ToString(), materialized.ToString());
+
+  // Dropping a FROM item that is still referenced is invalid too.
+  std::vector<RewriteDelta> dangling{RewriteDelta::DropFrom(1)};
+  const DeltaView bad(kBase, dangling);
+  EXPECT_FALSE(bad.Validate().ok());
+  EXPECT_EQ(bad.Validate().ToString(), bad.Materialize().Validate().ToString());
+}
+
+TEST(RewriteCandidate, LazyMaterializationIsIdempotent) {
+  RewriteCandidate cand;
+  cand.base = std::make_shared<const ViewDefinition>(kBase);
+  cand.ops.push_back(RewriteDelta::DropSelect(1));
+
+  const ViewDefinition& first = cand.Definition();
+  const ViewDefinition& second = cand.Definition();
+  EXPECT_EQ(&first, &second);  // One-shot: same cached object.
+  EXPECT_EQ(first, cand.base->Apply(cand.ops));
+
+  // An identity candidate shares the base outright (no deep copy at all).
+  RewriteCandidate identity;
+  identity.base = cand.base;
+  EXPECT_EQ(&identity.Definition(), cand.base.get());
+}
+
+TEST(RewriteCandidate, ToRewritingJoinsStrategyTags) {
+  RewriteCandidate cand;
+  cand.base = std::make_shared<const ViewDefinition>(kBase);
+  cand.strategies = {"drop", "replace-relation", "drop", "drop-subset"};
+  cand.dropped_attributes = {"B"};
+  const Rewriting rw = cand.ToRewriting();
+  EXPECT_EQ(rw.strategy, "drop+replace-relation+drop-subset");
+  EXPECT_EQ(rw.dropped_attributes, cand.dropped_attributes);
+  EXPECT_EQ(rw.definition, kBase);
+}
+
+}  // namespace
+}  // namespace eve
