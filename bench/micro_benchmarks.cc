@@ -35,6 +35,7 @@
 #include "plan/plan_cache.h"
 #include "qc/ranking.h"
 #include "space/information_space.h"
+#include "storage/column_kernel.h"
 #include "storage/generator.h"
 #include "storage/hash_index.h"
 #include "synch/synchronizer.h"
@@ -445,7 +446,8 @@ void BM_Distinct(benchmark::State& state) {
 }
 BENCHMARK(BM_Distinct)->Arg(1024)->Arg(4096)->Arg(16384);
 
-// Tuple hashing alone (the cold half of Distinct / SetEquals).
+// Tuple hashing alone (the cold half of Distinct / SetEquals): the
+// column-wise FNV mixing pass that builds the cached hash column.
 void BM_TupleHashColumn(benchmark::State& state) {
   Random rng(31);
   GeneratorOptions gen;
@@ -455,14 +457,39 @@ void BM_TupleHashColumn(benchmark::State& state) {
   const Relation rel = GenerateRelation("R", gen, &rng);
   int64_t rounds = 0;
   for (auto _ : state) {
-    size_t h = 0;
-    for (const Tuple& t : rel.tuples()) h ^= t.Hash();
-    benchmark::DoNotOptimize(h);
+    std::vector<size_t> hashes = rel.ComputeTupleHashes();
+    benchmark::DoNotOptimize(hashes.data());
     ++rounds;
   }
   state.SetItemsProcessed(rounds * state.range(0));
 }
 BENCHMARK(BM_TupleHashColumn)->Arg(4096);
+
+// Columnar scan kernel: one mask-compare pass over a contiguous value
+// column plus the survivor count -- the primitive behind selection
+// pushdown, residual filtering, and MeasureSelectivity.
+void BM_ColumnScan(benchmark::State& state) {
+  Random rng(47);
+  GeneratorOptions gen;
+  gen.cardinality = state.range(0);
+  gen.num_attributes = 2;
+  gen.value_domain = 1000;
+  const Relation rel = GenerateRelation("R", gen, &rng);
+  std::vector<uint8_t> mask;
+  int64_t rounds = 0;
+  for (auto _ : state) {
+    mask.assign(static_cast<size_t>(rel.cardinality()), 1);
+    AndCompareColumnConst(CompOp::kGreaterEqual, rel.ColumnData(1),
+                          rel.cardinality(), Value(500),
+                          rel.ColumnAllInt64(1), mask.data());
+    int64_t hits = 0;
+    for (const uint8_t m : mask) hits += m;
+    benchmark::DoNotOptimize(hits);
+    ++rounds;
+  }
+  state.SetItemsProcessed(rounds * state.range(0));
+}
+BENCHMARK(BM_ColumnScan)->Arg(4096)->Arg(65536);
 
 // Hash-index build: one Value hashed + one bucket append per row.
 void BM_HashIndexBuild(benchmark::State& state) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "expr/comp_op.h"
+#include "storage/column_kernel.h"
 #include "storage/hash_index.h"
 #include "storage/row_dedup.h"
 
@@ -85,16 +86,16 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
         parents.reserve(bounded);
         rows.reserve(bounded);
       }
-      // Batch probe: the key source is one (relation, column) pair over one
-      // row-id column, so everything loop-invariant is hoisted and the scan
-      // touches memory sequentially.
-      const Relation& key_rel = *plan.from[step.key_left_item].rel;
-      const int key_local = step.key_left_local;
+      // Batch probe: the key source is one contiguous value column of one
+      // relation addressed through one row-id column, so everything
+      // loop-invariant is hoisted and the scan touches memory sequentially.
+      const Value* key_vals =
+          plan.from[step.key_left_item].rel->ColumnData(step.key_left_local);
       const std::vector<int64_t>& key_col =
           ws.columns[pos_of_item[step.key_left_item]];
       const std::vector<uint8_t>& passes = plan.passes[k];
       for (size_t i = 0; i < ws.combos; ++i) {
-        const Value& key = key_rel.tuple(key_col[i]).at(key_local);
+        const Value& key = key_vals[key_col[i]];
         for (int64_t row : index->Lookup(key)) {
           if (!passes.empty() && !passes[row]) continue;
           parents.push_back(static_cast<int64_t>(i));
@@ -120,32 +121,61 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
       }
     }
 
-    // Residual predicates filter the candidate pairs in place (no combo
-    // copies yet; values are read through the parent indirection).
-    if (!step.residual.empty()) {
+    // Residual predicates filter the candidate pairs clause by clause
+    // through a byte mask: each clause is one kernel pass over contiguous
+    // row-id arrays against contiguous value columns (the operator dispatch
+    // and column pointers hoisted out of the candidate loop), then the
+    // survivors compact once.
+    if (!step.residual.empty() && !parents.empty()) {
+      static thread_local std::vector<uint8_t> res_mask;
+      static thread_local std::vector<std::vector<int64_t>> side_buffers;
+      const size_t m = parents.size();
+      res_mask.assign(m, 1);
+      // Row ids of `item` per candidate: the step's own rows directly, or
+      // the item's working-set column gathered through the parent ids.
+      // Gathers are memoized per item for the duration of this step, so
+      // several clauses over one item (or one clause comparing two of its
+      // columns) pay a single O(m) pass.
+      std::vector<std::pair<int, const int64_t*>> gathered;
+      const auto side_rows = [&](int item) -> const int64_t* {
+        if (item == k) return rows.data();
+        for (const auto& [done, ptr] : gathered) {
+          if (done == item) return ptr;
+        }
+        if (side_buffers.size() <= gathered.size()) side_buffers.emplace_back();
+        std::vector<int64_t>& scratch = side_buffers[gathered.size()];
+        const std::vector<int64_t>& col = ws.columns[pos_of_item[item]];
+        scratch.resize(m);
+        for (size_t i = 0; i < m; ++i) scratch[i] = col[parents[i]];
+        gathered.emplace_back(item, scratch.data());
+        return scratch.data();
+      };
+      for (const PlannedResidual& c : step.residual) {
+        const Relation& lhs_rel = *plan.from[c.lhs_item].rel;
+        const int64_t* lrows = side_rows(c.lhs_item);
+        if (c.rhs_item >= 0) {
+          const Relation& rhs_rel = *plan.from[c.rhs_item].rel;
+          AndCompareGather(c.op, lhs_rel.ColumnData(c.lhs_local), lrows,
+                           rhs_rel.ColumnData(c.rhs_local),
+                           side_rows(c.rhs_item),
+                           /*rhs_const=*/nullptr, static_cast<int64_t>(m),
+                           lhs_rel.ColumnAllInt64(c.lhs_local) &&
+                               rhs_rel.ColumnAllInt64(c.rhs_local),
+                           res_mask.data());
+        } else {
+          AndCompareGather(c.op, lhs_rel.ColumnData(c.lhs_local), lrows,
+                           /*rcol=*/nullptr, /*rrows=*/nullptr, &c.rhs_value,
+                           static_cast<int64_t>(m),
+                           lhs_rel.ColumnAllInt64(c.lhs_local),
+                           res_mask.data());
+        }
+      }
       size_t kept = 0;
-      for (size_t i = 0; i < parents.size(); ++i) {
-        bool pass = true;
-        for (const PlannedResidual& c : step.residual) {
-          const auto side = [&](int item, int local) -> const Value& {
-            const int64_t row = item == k
-                                    ? rows[i]
-                                    : ws.columns[pos_of_item[item]][parents[i]];
-            return plan.from[item].rel->tuple(row).at(local);
-          };
-          const Value& lhs = side(c.lhs_item, c.lhs_local);
-          const Value& rhs =
-              c.rhs_item >= 0 ? side(c.rhs_item, c.rhs_local) : c.rhs_value;
-          if (!EvalCompOp(c.op, lhs, rhs)) {
-            pass = false;
-            break;
-          }
-        }
-        if (pass) {
-          parents[kept] = parents[i];
-          rows[kept] = rows[i];
-          ++kept;
-        }
+      for (size_t i = 0; i < m; ++i) {
+        if (!res_mask[i]) continue;
+        parents[kept] = parents[i];
+        rows[kept] = rows[i];
+        ++kept;
       }
       parents.resize(kept);
       rows.resize(kept);
@@ -167,57 +197,78 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
     if (ws.combos == 0) break;  // Later joins cannot resurrect tuples.
   }
 
-  // Materialize, fusing the distinct pass into the projection.  Hashing and
-  // equality run against the base relations through the row-id columns, so
-  // duplicate combos are rejected before any tuple is constructed; only
-  // distinct rows ever allocate.
-  Relation result(plan.view_name, plan.out_schema);
-  if (ws.combos > 0 && static_cast<int>(ws.columns.size()) == n) {
-    struct OutSrc {
-      const Relation* rel;
-      const std::vector<int64_t>* col;
-      int local;
-    };
-    std::vector<OutSrc> src;
-    src.reserve(plan.out_cols.size());
-    for (const PreparedView::OutCol& oc : plan.out_cols) {
-      src.push_back(OutSrc{plan.from[oc.item].rel,
-                           &ws.columns[pos_of_item[oc.item]], oc.local});
-    }
-    const auto value_of = [&](const OutSrc& s, size_t combo) -> const Value& {
-      return s.rel->tuple((*s.col)[combo]).at(s.local);
-    };
-    const auto emit = [&](size_t combo) {
-      std::vector<Value> values;
-      values.reserve(src.size());
-      for (const OutSrc& s : src) values.push_back(value_of(s, combo));
-      result.InsertUnchecked(Tuple(std::move(values)));
-    };
-    if (!plan.options.distinct) {
-      for (size_t i = 0; i < ws.combos; ++i) emit(i);
-    } else {
-      RowDedupTable seen(ws.combos);
+  // Materialize column by column.  Each output column is one contiguous
+  // gather from its base relation's value column through the row-id column;
+  // no Tuple is ever constructed.  The distinct pass dedups combo ids
+  // first (hashing and equality run against the base columns), so only
+  // surviving combos are gathered at all.
+  if (ws.combos == 0 || static_cast<int>(ws.columns.size()) != n) {
+    return Relation(plan.view_name, plan.out_schema);
+  }
+  struct OutSrc {
+    const Value* col;                   ///< Base relation's value column.
+    const std::vector<int64_t>* rows;   ///< Its row-id working-set column.
+  };
+  std::vector<OutSrc> src;
+  src.reserve(plan.out_cols.size());
+  // Gathered columns inherit their source column's tag-uniformity flag
+  // (conservative for subsets), so FromColumns below skips its re-scan.
+  std::vector<uint8_t> out_flags;
+  out_flags.reserve(plan.out_cols.size());
+  for (const PreparedView::OutCol& oc : plan.out_cols) {
+    src.push_back(OutSrc{plan.from[oc.item].rel->ColumnData(oc.local),
+                         &ws.columns[pos_of_item[oc.item]]});
+    out_flags.push_back(plan.from[oc.item].rel->ColumnAllInt64(oc.local) ? 1
+                                                                         : 0);
+  }
+  const auto value_of = [&](const OutSrc& s, int64_t combo) -> const Value& {
+    return s.col[(*s.rows)[combo]];
+  };
+
+  if (!plan.options.distinct) {
+    // Every combo survives: gather each output column directly.
+    std::vector<std::vector<Value>> out_columns(src.size());
+    for (size_t c = 0; c < src.size(); ++c) {
+      std::vector<Value>& out = out_columns[c];
+      out.reserve(ws.combos);
       for (size_t i = 0; i < ws.combos; ++i) {
-        size_t h = 0xcbf29ce484222325ULL;
-        for (const OutSrc& s : src) {
-          h ^= value_of(s, i).Hash();
-          h *= 0x100000001b3ULL;
-        }
-        const int64_t dup = seen.InsertIfAbsent(
-            h, result.cardinality(), [&](int64_t row) {
-              const Tuple& u = result.tuple(row);
-              for (size_t c = 0; c < src.size(); ++c) {
-                if (!(u.at(static_cast<int>(c)) == value_of(src[c], i))) {
-                  return false;
-                }
-              }
-              return true;
-            });
-        if (dup < 0) emit(i);
+        out.push_back(value_of(src[c], static_cast<int64_t>(i)));
       }
     }
+    return Relation::FromColumns(plan.view_name, plan.out_schema,
+                                 std::move(out_columns), std::move(out_flags));
   }
-  return result;
+
+  std::vector<int64_t> keep;  // Surviving combo ids, in combo order.
+  {
+    // Per-combo output hash, one gather-and-mix pass per output column
+    // (matches Tuple::Hash of the projected row).
+    std::vector<size_t> hashes(ws.combos, kTupleHashBasis);
+    for (const OutSrc& s : src) {
+      MixHashColumnGather(s.col, s.rows->data(),
+                          static_cast<int64_t>(ws.combos), hashes.data());
+    }
+    RowDedupTable seen(ws.combos);
+    for (size_t i = 0; i < ws.combos; ++i) {
+      const int64_t combo = static_cast<int64_t>(i);
+      const int64_t dup = seen.InsertIfAbsent(hashes[i], combo, [&](int64_t j) {
+        for (const OutSrc& s : src) {
+          if (!(value_of(s, j) == value_of(s, combo))) return false;
+        }
+        return true;
+      });
+      if (dup < 0) keep.push_back(combo);
+    }
+  }
+
+  std::vector<std::vector<Value>> out_columns(src.size());
+  for (size_t c = 0; c < src.size(); ++c) {
+    std::vector<Value>& out = out_columns[c];
+    out.reserve(keep.size());
+    for (const int64_t combo : keep) out.push_back(value_of(src[c], combo));
+  }
+  return Relation::FromColumns(plan.view_name, plan.out_schema,
+                               std::move(out_columns), std::move(out_flags));
 }
 
 Result<Relation> ExecuteView(const ViewDefinition& view,
@@ -334,22 +385,23 @@ Result<Relation> ExecuteViewReference(const ViewDefinition& view,
     std::vector<Tuple> next;
     if (k == 0) {
       // Base scan with local selection.
-      for (const Tuple& t : rel.tuples()) {
-        if (EvalAll(bound, t)) next.push_back(t);
+      for (int64_t row = 0; row < rel.cardinality(); ++row) {
+        Tuple t = rel.TupleAt(row);
+        if (EvalAll(bound, t)) next.push_back(std::move(t));
       }
     } else if (key.has_value()) {
       HashIndex index(rel, key->right_column);
       for (const Tuple& acc : current) {
         for (int64_t row : index.Lookup(acc.at(key->left_column))) {
-          Tuple joined = acc.Concat(rel.tuple(row));
+          Tuple joined = rel.ConcatRow(acc, row);
           if (EvalAll(residual, joined)) next.push_back(std::move(joined));
         }
       }
     } else {
       // Nested-loop join (cross product + residual predicates).
       for (const Tuple& acc : current) {
-        for (const Tuple& t : rel.tuples()) {
-          Tuple joined = acc.Concat(t);
+        for (int64_t row = 0; row < rel.cardinality(); ++row) {
+          Tuple joined = rel.ConcatRow(acc, row);
           if (EvalAll(residual, joined)) next.push_back(std::move(joined));
         }
       }

@@ -8,22 +8,37 @@
 
 namespace eve {
 
+namespace {
+
+// Set for every thread (workers and the caller) while it runs bodies of a
+// multi-threaded ParallelFor; see InParallelRegion().
+thread_local bool in_parallel_region = false;
+
+}  // namespace
+
+bool InParallelRegion() { return in_parallel_region; }
+
 void ParallelFor(int64_t n, int threads,
                  const std::function<void(int64_t)>& body) {
   if (n <= 0) return;
   const int workers =
       static_cast<int>(std::min<int64_t>(std::max(threads, 1), n));
   if (workers == 1) {
+    // Inline execution is not a parallel region: a nested section under a
+    // serial outer loop may still fan out.
     for (int64_t i = 0; i < n; ++i) body(i);
     return;
   }
 
   std::atomic<int64_t> cursor{0};
   auto drain = [&] {
+    const bool was_parallel = in_parallel_region;
+    in_parallel_region = true;
     for (int64_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < n;
          i = cursor.fetch_add(1, std::memory_order_relaxed)) {
       body(i);
     }
+    in_parallel_region = was_parallel;  // Restore for the calling thread.
   };
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);

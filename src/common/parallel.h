@@ -28,6 +28,12 @@ void ParallelFor(int64_t n, int threads,
 /// (at least 1).
 int DefaultThreadCount();
 
+/// True while the calling thread is executing a body inside a
+/// multi-threaded ParallelFor.  Nested parallel sections use this to stay
+/// serial instead of oversubscribing the machine with
+/// outer-threads x hardware-concurrency workers.
+bool InParallelRegion();
+
 }  // namespace eve
 
 #endif  // EVE_COMMON_PARALLEL_H_

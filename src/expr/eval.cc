@@ -1,5 +1,8 @@
 #include "expr/eval.h"
 
+#include "storage/column_kernel.h"
+#include "storage/relation.h"
+
 namespace eve {
 
 Status Binding::Register(const RelAttr& attr, int column) {
@@ -70,6 +73,21 @@ bool EvalAll(const std::vector<BoundClause>& clauses, const Tuple& t) {
     if (!c.Eval(t)) return false;
   }
   return true;
+}
+
+void AndClauseMask(const BoundClause& clause, const Relation& rel,
+                   uint8_t* mask) {
+  if (clause.rhs_column >= 0) {
+    AndCompareColumns(clause.op, rel.ColumnData(clause.lhs_column),
+                      rel.ColumnData(clause.rhs_column), rel.cardinality(),
+                      rel.ColumnAllInt64(clause.lhs_column) &&
+                          rel.ColumnAllInt64(clause.rhs_column),
+                      mask);
+  } else {
+    AndCompareColumnConst(clause.op, rel.ColumnData(clause.lhs_column),
+                          rel.cardinality(), clause.rhs_value,
+                          rel.ColumnAllInt64(clause.lhs_column), mask);
+  }
 }
 
 Result<bool> EvalConjunction(const Conjunction& conjunction,

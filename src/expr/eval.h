@@ -60,6 +60,15 @@ Result<std::vector<BoundClause>> BindAll(const Conjunction& conjunction,
 /// True iff every bound clause holds on `t`.
 bool EvalAll(const std::vector<BoundClause>& clauses, const Tuple& t);
 
+class Relation;
+
+/// ANDs `clause`'s result on every row of `rel` into `mask` (length
+/// rel.cardinality()): one compare-kernel pass over the contiguous
+/// column(s), see storage/column_kernel.h.  `clause` columns must be local
+/// to `rel`.  Shared by selection pushdown and selectivity measurement.
+void AndClauseMask(const BoundClause& clause, const Relation& rel,
+                   uint8_t* mask);
+
 /// One-shot evaluation (binds then evaluates); convenient for tests.
 Result<bool> EvalConjunction(const Conjunction& conjunction,
                              const Binding& binding, const Tuple& t);

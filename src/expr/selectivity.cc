@@ -16,20 +16,24 @@ Result<double> MeasureSelectivity(const Relation& rel,
   }
   EVE_ASSIGN_OR_RETURN(std::vector<BoundClause> bound,
                        BindAll(conjunction, binding));
+  // One mask kernel pass per clause over the contiguous columns.
+  std::vector<uint8_t> mask(static_cast<size_t>(rel.cardinality()), 1);
+  for (const BoundClause& bc : bound) AndClauseMask(bc, rel, mask.data());
   int64_t hits = 0;
-  for (const Tuple& t : rel.tuples()) {
-    if (EvalAll(bound, t)) ++hits;
-  }
+  for (const uint8_t pass : mask) hits += pass;
   return static_cast<double>(hits) / static_cast<double>(rel.cardinality());
 }
 
 double EstimateEqJoinSelectivity(const Relation& rel, int column,
                                  const std::vector<int64_t>* rows) {
   std::unordered_set<Value, ValueHash> distinct;
+  const Value* col = rel.ColumnData(column);
   if (rows == nullptr) {
-    for (const Tuple& t : rel.tuples()) distinct.insert(t.at(column));
+    for (int64_t row = 0; row < rel.cardinality(); ++row) {
+      distinct.insert(col[row]);
+    }
   } else {
-    for (int64_t row : *rows) distinct.insert(rel.tuple(row).at(column));
+    for (int64_t row : *rows) distinct.insert(col[row]);
   }
   if (distinct.empty()) return 1.0;
   return 1.0 / static_cast<double>(distinct.size());

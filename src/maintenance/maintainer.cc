@@ -211,7 +211,7 @@ Result<MaintenanceCounters> ViewMaintainer::ProcessUpdate(
               probe_ios += std::max<int64_t>(1, matched);
               break;
           }
-          for (int64_t row : rows) next.push_back(t.Concat(rel.tuple(row)));
+          for (int64_t row : rows) next.push_back(rel.ConcatRow(t, row));
         }
         counters.ios += working.empty() ? 0 : std::min(scan_ios, probe_ios);
         applied[key_clause] = true;
@@ -219,7 +219,9 @@ Result<MaintenanceCounters> ViewMaintainer::ProcessUpdate(
         // No usable equality clause: the site scans the relation.
         counters.ios += working.empty() ? 0 : scan_ios;
         for (const Tuple& t : working) {
-          for (const Tuple& u : rel.tuples()) next.push_back(t.Concat(u));
+          for (int64_t row = 0; row < rel.cardinality(); ++row) {
+            next.push_back(rel.ConcatRow(t, row));
+          }
         }
       }
       working = std::move(next);

@@ -220,13 +220,15 @@ Result<std::shared_ptr<const PreparedView>> PrepareView(
       live[k] = rel.cardinality();
       continue;
     }
-    plan->passes[k].assign(rel.cardinality(), 0);
+    // Each local clause is one mask kernel pass over the relation's
+    // contiguous value column(s); the surviving mask doubles as the plan's
+    // membership mask.
+    std::vector<uint8_t> mask(static_cast<size_t>(rel.cardinality()), 1);
+    for (const BoundClause& bc : local[k]) AndClauseMask(bc, rel, mask.data());
     for (int64_t row = 0; row < rel.cardinality(); ++row) {
-      if (EvalAll(local[k], rel.tuple(row))) {
-        plan->passes[k][row] = 1;
-        plan->filtered[k].push_back(row);
-      }
+      if (mask[row]) plan->filtered[k].push_back(row);
     }
+    plan->passes[k] = std::move(mask);
     live[k] = static_cast<int64_t>(plan->filtered[k].size());
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "common/str_util.h"
 #include "esql/printer.h"
 
@@ -82,22 +83,53 @@ Result<std::vector<RankedRewriting>> QcModel::Rank(
 
 Result<std::vector<RankedRewriting>> QcModel::RankCandidates(
     const ViewDefinition& original, std::vector<RewriteCandidate> candidates,
-    const MetaKnowledgeBase& mkb) const {
+    const MetaKnowledgeBase& mkb, int threads) const {
   EVE_RETURN_IF_ERROR(params_.Validate());
-  std::vector<RankedRewriting> out;
-  out.reserve(candidates.size());
-  for (RewriteCandidate& c : candidates) {
-    RankedRewriting ranked;
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  // Candidate scores are independent (the MKB memos the scorers share are
+  // internally synchronized), so wide fan-outs -- up to the synchronizer's
+  // 256-candidate cap per view -- score under ParallelFor.  An explicit
+  // `threads` wins; the default engages extra workers only when the set is
+  // wide enough to amortize thread startup AND this call is not already
+  // running inside a parallel sweep (the experiment drivers ParallelFor
+  // their scenario loops; nesting would oversubscribe the machine).
+  constexpr int64_t kParallelThreshold = 32;
+  const int workers =
+      threads > 0
+          ? threads
+          : (n >= kParallelThreshold && !InParallelRegion()
+                 ? DefaultThreadCount()
+                 : 1);
+  std::vector<RankedRewriting> out(candidates.size());
+  std::vector<Status> statuses(candidates.size(), Status::OK());
+  ParallelFor(n, workers, [&](int64_t i) {
+    RewriteCandidate& c = candidates[i];
+    RankedRewriting& ranked = out[i];
     // Score over the compiled overlay; materialize once for the result.
     const DeltaView view = c.View();
-    EVE_ASSIGN_OR_RETURN(ranked.quality,
-                         EstimateQuality(original, c, view, mkb, params_));
-    EVE_ASSIGN_OR_RETURN(ViewCostInput input, BuildCostInput(view, mkb));
-    EVE_ASSIGN_OR_RETURN(ranked.cost,
-                         ComputeWorkloadCost(input, workload_, cost_options_));
+    auto quality = EstimateQuality(original, c, view, mkb, params_);
+    if (!quality.ok()) {
+      statuses[i] = quality.status();
+      return;
+    }
+    ranked.quality = std::move(quality).value();
+    auto input = BuildCostInput(view, mkb);
+    if (!input.ok()) {
+      statuses[i] = input.status();
+      return;
+    }
+    auto cost = ComputeWorkloadCost(*input, workload_, cost_options_);
+    if (!cost.ok()) {
+      statuses[i] = cost.status();
+      return;
+    }
+    ranked.cost = std::move(cost).value();
     ranked.weighted_cost = ranked.cost.Weighted(params_);
     ranked.rewriting = std::move(c).ToRewriting(view.Materialize());
-    out.push_back(std::move(ranked));
+  });
+  // First failure in candidate order wins, independent of scheduling.
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
   }
   return FinishRanking(std::move(out), params_);
 }

@@ -58,9 +58,16 @@ class QcModel {
   /// the scoring path -- and each candidate is materialized exactly once
   /// into the returned RankedRewriting.  Produces the same ranking, scores,
   /// and definitions as Rank() over the materialized rewritings (tested).
+  ///
+  /// Per-candidate scoring is independent and runs under ParallelFor:
+  /// `threads` > 0 forces that worker count, 0 picks DefaultThreadCount()
+  /// for wide candidate sets and stays serial for narrow ones.  Output is
+  /// deterministic regardless of the thread count (each index is scored
+  /// exactly once into its slot; normalization and ordering run serially
+  /// afterwards).
   Result<std::vector<RankedRewriting>> RankCandidates(
       const ViewDefinition& original, std::vector<RewriteCandidate> candidates,
-      const MetaKnowledgeBase& mkb) const;
+      const MetaKnowledgeBase& mkb, int threads = 0) const;
 
   /// Renders a ranking as an ASCII table (used by reports and examples).
   static std::string FormatRanking(const std::vector<RankedRewriting>& ranking);

@@ -68,15 +68,9 @@ Status InformationSource::AddAttribute(const std::string& relation,
     return Status::AlreadyExists("attribute " + attribute.name +
                                  " already in relation " + relation);
   }
-  std::vector<Attribute> attrs = rel->schema().attributes();
-  attrs.push_back(attribute);
-  Relation widened(relation, Schema(std::move(attrs)));
-  for (const Tuple& t : rel->tuples()) {
-    Tuple wide = t;
-    wide.Append(Value());  // NULL for pre-existing tuples.
-    widened.InsertUnchecked(std::move(wide));
-  }
-  *rel = std::move(widened);
+  // In-place columnar widen: existing columns untouched, the new
+  // attribute back-fills with one NULL column.
+  rel->AddNullColumn(attribute);
   return Status::OK();
 }
 
@@ -94,9 +88,8 @@ Status InformationSource::RenameAttribute(const std::string& relation,
   }
   std::vector<Attribute> attrs = rel->schema().attributes();
   attrs[*idx].name = to;
-  Relation renamed(relation, Schema(std::move(attrs)));
-  for (const Tuple& t : rel->tuples()) renamed.InsertUnchecked(t);
-  *rel = std::move(renamed);
+  // Only metadata changes: the columns stay in place.
+  rel->ReplaceSchema(Schema(std::move(attrs)));
   return Status::OK();
 }
 

@@ -1,0 +1,127 @@
+#include "storage/column_kernel.h"
+
+#include <cmath>
+
+namespace eve {
+
+namespace {
+
+// Instantiates `body` with the comparator for `op`, hoisting the operator
+// switch out of the row loop.
+template <typename Body>
+inline void DispatchOp(CompOp op, Body&& body) {
+  switch (op) {
+    case CompOp::kLess:
+      body([](auto a, auto b) { return a < b; });
+      return;
+    case CompOp::kLessEqual:
+      body([](auto a, auto b) { return a <= b; });
+      return;
+    case CompOp::kEqual:
+      body([](auto a, auto b) { return a == b; });
+      return;
+    case CompOp::kGreaterEqual:
+      body([](auto a, auto b) { return a >= b; });
+      return;
+    case CompOp::kGreater:
+      body([](auto a, auto b) { return a > b; });
+      return;
+    case CompOp::kNotEqual:
+      body([](auto a, auto b) { return a != b; });
+      return;
+  }
+}
+
+}  // namespace
+
+void AndCompareColumnConst(CompOp op, const Value* col, int64_t n,
+                           const Value& rhs, bool col_all_int64,
+                           uint8_t* mask) {
+  if (col_all_int64 && rhs.type() == DataType::kInt64) {
+    const int64_t r = rhs.AsInt();
+    DispatchOp(op, [&](auto cmp) {
+      for (int64_t i = 0; i < n; ++i) {
+        mask[i] &= static_cast<uint8_t>(cmp(col[i].AsInt(), r));
+      }
+    });
+    return;
+  }
+  if (col_all_int64 && rhs.type() == DataType::kDouble &&
+      !std::isnan(rhs.AsDouble())) {
+    const double r = rhs.AsDouble();
+    DispatchOp(op, [&](auto cmp) {
+      for (int64_t i = 0; i < n; ++i) {
+        mask[i] &=
+            static_cast<uint8_t>(cmp(static_cast<double>(col[i].AsInt()), r));
+      }
+    });
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    mask[i] &= static_cast<uint8_t>(EvalCompOp(op, col[i], rhs));
+  }
+}
+
+void AndCompareColumns(CompOp op, const Value* lhs, const Value* rhs,
+                       int64_t n, bool all_int64, uint8_t* mask) {
+  if (all_int64) {
+    DispatchOp(op, [&](auto cmp) {
+      for (int64_t i = 0; i < n; ++i) {
+        mask[i] &= static_cast<uint8_t>(cmp(lhs[i].AsInt(), rhs[i].AsInt()));
+      }
+    });
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    mask[i] &= static_cast<uint8_t>(EvalCompOp(op, lhs[i], rhs[i]));
+  }
+}
+
+void AndCompareGather(CompOp op, const Value* lcol, const int64_t* lrows,
+                      const Value* rcol, const int64_t* rrows,
+                      const Value* rhs_const, int64_t n, bool all_int64,
+                      uint8_t* mask) {
+  if (rcol != nullptr) {
+    if (all_int64) {
+      DispatchOp(op, [&](auto cmp) {
+        for (int64_t i = 0; i < n; ++i) {
+          mask[i] &= static_cast<uint8_t>(
+              cmp(lcol[lrows[i]].AsInt(), rcol[rrows[i]].AsInt()));
+        }
+      });
+      return;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      mask[i] &=
+          static_cast<uint8_t>(EvalCompOp(op, lcol[lrows[i]], rcol[rrows[i]]));
+    }
+    return;
+  }
+  if (all_int64 && rhs_const->type() == DataType::kInt64) {
+    const int64_t r = rhs_const->AsInt();
+    DispatchOp(op, [&](auto cmp) {
+      for (int64_t i = 0; i < n; ++i) {
+        mask[i] &= static_cast<uint8_t>(cmp(lcol[lrows[i]].AsInt(), r));
+      }
+    });
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    mask[i] &= static_cast<uint8_t>(EvalCompOp(op, lcol[lrows[i]], *rhs_const));
+  }
+}
+
+void MixHashColumn(const Value* col, int64_t n, size_t* acc) {
+  for (int64_t i = 0; i < n; ++i) {
+    acc[i] = (acc[i] ^ col[i].Hash()) * kTupleHashPrime;
+  }
+}
+
+void MixHashColumnGather(const Value* col, const int64_t* rows, int64_t n,
+                         size_t* acc) {
+  for (int64_t i = 0; i < n; ++i) {
+    acc[i] = (acc[i] ^ col[rows[i]].Hash()) * kTupleHashPrime;
+  }
+}
+
+}  // namespace eve

@@ -76,7 +76,7 @@ Result<std::vector<Relation>> GenerateContainmentChain(
   GeneratorOptions big = opts;
   big.cardinality = cards.back();
   Relation largest = GenerateRelation(names.back(), big, rng);
-  std::vector<Tuple> pool = largest.tuples();
+  std::vector<Tuple> pool = largest.CopyTuples();
   rng->Shuffle(&pool);
 
   std::vector<Relation> out;
@@ -93,8 +93,9 @@ double MeasureJoinSelectivity(const Relation& a, int col_a, const Relation& b,
   if (a.empty() || b.empty()) return 0.0;
   HashIndex index(b, col_b);
   int64_t matches = 0;
-  for (const Tuple& t : a.tuples()) {
-    matches += static_cast<int64_t>(index.Lookup(t.at(col_a)).size());
+  const Value* keys = a.ColumnData(col_a);
+  for (int64_t row = 0; row < a.cardinality(); ++row) {
+    matches += static_cast<int64_t>(index.Lookup(keys[row]).size());
   }
   return static_cast<double>(matches) /
          (static_cast<double>(a.cardinality()) *

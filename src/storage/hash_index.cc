@@ -11,11 +11,14 @@ HashIndex::HashIndex(const Relation& relation, int column) : column_(column) {
   slots_.resize(capacity);
   mask_ = capacity - 1;
 
+  // Both passes read the key column as one contiguous scan.
+  const Value* keys = relation.ColumnData(column);
+
   // Pass 1: count rows per key.  The per-row hash is cached so pass 2
   // probes without re-hashing.
   std::vector<size_t> hashes(static_cast<size_t>(n));
   for (int64_t row = 0; row < n; ++row) {
-    const Value& v = relation.tuple(row).at(column);
+    const Value& v = keys[row];
     const size_t h = v.Hash();
     hashes[static_cast<size_t>(row)] = h;
     for (size_t slot = h & mask_;; slot = (slot + 1) & mask_) {
@@ -54,7 +57,7 @@ HashIndex::HashIndex(const Relation& relation, int column) : column_(column) {
   // each key (the iteration order the old bucket vectors provided).
   for (int64_t row = 0; row < n; ++row) {
     const size_t h = hashes[static_cast<size_t>(row)];
-    const Value& v = relation.tuple(row).at(column);
+    const Value& v = keys[row];
     for (size_t slot = h & mask_;; slot = (slot + 1) & mask_) {
       Slot& s = slots_[slot];
       if (s.hash == h && s.key == v) {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/check.h"
 #include "common/str_util.h"
+#include "storage/column_kernel.h"
 #include "storage/hash_index.h"
 #include "storage/row_dedup.h"
 
@@ -23,13 +25,14 @@ bool TypeConforms(DataType declared, DataType actual) {
   return declared_num && actual_num;
 }
 
-// Records row `i` of `tuples` as a distinct representative unless an equal
-// tuple is already present; true iff the row was new.  The shared primitive
-// of every hashed dedup path below (flat table, see storage/row_dedup.h).
-bool InsertIfDistinct(RowDedupTable& table, size_t hash,
-                      const std::vector<Tuple>& tuples, int64_t i) {
+// Records row `i` of `rel` as a distinct representative unless an equal row
+// is already present; true iff the row was new.  The shared primitive of
+// every hashed dedup path below (flat table, see storage/row_dedup.h);
+// equality confirms through columnar row compares.
+bool InsertIfDistinct(RowDedupTable& table, size_t hash, const Relation& rel,
+                      int64_t i) {
   return table.InsertIfAbsent(hash, i, [&](int64_t j) {
-           return tuples[j] == tuples[i];
+           return rel.RowEquals(j, rel, i);
          }) < 0;
 }
 
@@ -53,7 +56,9 @@ void Relation::DropCaches() {
 Relation::Relation(const Relation& other)
     : name_(other.name_),
       schema_(other.schema_),
-      tuples_(other.tuples_) {
+      columns_(other.columns_),
+      col_all_int64_(other.col_all_int64_),
+      rows_(other.rows_) {
   std::lock_guard<std::mutex> lock(other.cache_mutex_);
   index_cache_ = other.index_cache_;
   hash_cache_ = other.hash_cache_;
@@ -65,7 +70,9 @@ Relation& Relation::operator=(const Relation& other) {
   if (this == &other) return *this;
   name_ = other.name_;
   schema_ = other.schema_;
-  tuples_ = other.tuples_;
+  columns_ = other.columns_;
+  col_all_int64_ = other.col_all_int64_;
+  rows_ = other.rows_;
   identity_ = NextIdentity();
   version_ = 0;
   std::unordered_map<int, std::shared_ptr<const HashIndex>> indexes;
@@ -86,14 +93,17 @@ Relation& Relation::operator=(const Relation& other) {
 Relation::Relation(Relation&& other) noexcept
     : name_(std::move(other.name_)),
       schema_(std::move(other.schema_)),
-      tuples_(std::move(other.tuples_)) {
+      columns_(std::move(other.columns_)),
+      col_all_int64_(std::move(other.col_all_int64_)),
+      rows_(other.rows_) {
+  other.rows_ = 0;
   std::lock_guard<std::mutex> lock(other.cache_mutex_);
   index_cache_ = std::move(other.index_cache_);
   hash_cache_ = std::move(other.hash_cache_);
   caches_present_.store(!index_cache_.empty() || hash_cache_ != nullptr,
                         std::memory_order_release);
   other.caches_present_.store(false, std::memory_order_release);
-  // The source's tuples were stolen: restamp it so stale plans notice.
+  // The source's columns were stolen: restamp it so stale plans notice.
   other.identity_ = NextIdentity();
   other.version_ = 0;
 }
@@ -102,7 +112,10 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   if (this == &other) return *this;
   name_ = std::move(other.name_);
   schema_ = std::move(other.schema_);
-  tuples_ = std::move(other.tuples_);
+  columns_ = std::move(other.columns_);
+  col_all_int64_ = std::move(other.col_all_int64_);
+  rows_ = other.rows_;
+  other.rows_ = 0;
   identity_ = NextIdentity();
   version_ = 0;
   std::unordered_map<int, std::shared_ptr<const HashIndex>> indexes;
@@ -123,6 +136,76 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   return *this;
 }
 
+Relation Relation::FromColumns(std::string name, Schema schema,
+                               std::vector<std::vector<Value>> columns) {
+  std::vector<uint8_t> flags(columns.size(), 1);
+  for (size_t c = 0; c < columns.size(); ++c) {
+    for (const Value& v : columns[c]) {
+      if (v.type() != DataType::kInt64) {
+        flags[c] = 0;
+        break;
+      }
+    }
+  }
+  return FromColumns(std::move(name), std::move(schema), std::move(columns),
+                     std::move(flags));
+}
+
+Relation Relation::FromColumns(std::string name, Schema schema,
+                               std::vector<std::vector<Value>> columns,
+                               std::vector<uint8_t> all_int64_flags) {
+  EVE_CHECK(static_cast<int>(columns.size()) == schema.size());
+  EVE_CHECK(all_int64_flags.size() == columns.size());
+  Relation out(std::move(name), std::move(schema));
+  const int64_t rows =
+      columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+  for (const std::vector<Value>& col : columns) {
+    EVE_CHECK(static_cast<int64_t>(col.size()) == rows);
+  }
+  out.col_all_int64_ = std::move(all_int64_flags);
+  out.columns_ = std::move(columns);
+  out.rows_ = rows;
+  return out;
+}
+
+Tuple Relation::TupleAt(int64_t row) const {
+  std::vector<Value> values;
+  values.reserve(columns_.size());
+  for (const std::vector<Value>& col : columns_) values.push_back(col[row]);
+  return Tuple(std::move(values));
+}
+
+std::vector<Tuple> Relation::CopyTuples() const {
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>(rows_));
+  for (int64_t row = 0; row < rows_; ++row) out.push_back(TupleAt(row));
+  return out;
+}
+
+Tuple Relation::ConcatRow(const Tuple& prefix, int64_t row) const {
+  std::vector<Value> values;
+  values.reserve(prefix.values().size() + columns_.size());
+  values.insert(values.end(), prefix.values().begin(), prefix.values().end());
+  for (const std::vector<Value>& col : columns_) values.push_back(col[row]);
+  return Tuple(std::move(values));
+}
+
+void Relation::ReplaceSchema(Schema schema) {
+  EVE_CHECK(schema.size() == schema_.size());
+  MarkMutated();
+  schema_ = std::move(schema);
+}
+
+void Relation::AddNullColumn(const Attribute& attribute) {
+  MarkMutated();
+  std::vector<Attribute> attrs = schema_.attributes();
+  attrs.push_back(attribute);
+  schema_ = Schema(std::move(attrs));
+  columns_.emplace_back(static_cast<size_t>(rows_), Value());
+  // NULLs break tag uniformity (vacuously uniform only while empty).
+  col_all_int64_.push_back(rows_ == 0 ? 1 : 0);
+}
+
 Status Relation::Insert(Tuple t) {
   if (t.size() != schema_.size()) {
     return Status::InvalidArgument(StrFormat(
@@ -137,24 +220,73 @@ Status Relation::Insert(Tuple t) {
           std::string(DataTypeName(schema_.attribute(i).type)).c_str()));
     }
   }
-  MarkMutated();
-  tuples_.push_back(std::move(t));
+  AddTuple(std::move(t));
   return Status::OK();
 }
 
-int64_t Relation::Erase(const Tuple& t, bool all_occurrences) {
-  int64_t removed = 0;
-  for (auto it = tuples_.begin(); it != tuples_.end();) {
-    if (*it == t) {
-      it = tuples_.erase(it);
-      ++removed;
-      if (!all_occurrences) break;
-    } else {
-      ++it;
-    }
+void Relation::AddTuple(Tuple t) {
+  // A hard check, not an assert: in a Release build a short tuple would
+  // otherwise read past its value vector while splitting into columns.
+  EVE_CHECK(t.size() == static_cast<int>(columns_.size()));
+  MarkMutated();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Value& v = t.at(static_cast<int>(c));
+    col_all_int64_[c] &=
+        static_cast<uint8_t>(v.type() == DataType::kInt64);
+    columns_[c].push_back(v);
   }
-  if (removed > 0) MarkMutated();
-  return removed;
+  ++rows_;
+}
+
+int64_t Relation::Erase(const Tuple& t, bool all_occurrences) {
+  // Pass 1: collect the doomed rows in scan order (first match only unless
+  // `all_occurrences`).
+  std::vector<int64_t> doomed;
+  for (int64_t row = 0; row < rows_; ++row) {
+    if (!RowEqualsTuple(row, t)) continue;
+    doomed.push_back(row);
+    if (!all_occurrences) break;
+  }
+  if (doomed.empty()) return 0;
+  MarkMutated();
+  // Pass 2: stable compaction of every column around the doomed rows.
+  for (std::vector<Value>& col : columns_) {
+    size_t next_doomed = 0;
+    int64_t kept = 0;
+    for (int64_t row = 0; row < rows_; ++row) {
+      if (next_doomed < doomed.size() && doomed[next_doomed] == row) {
+        ++next_doomed;
+        continue;
+      }
+      col[kept++] = col[row];
+    }
+    col.resize(static_cast<size_t>(kept));
+  }
+  rows_ -= static_cast<int64_t>(doomed.size());
+  return static_cast<int64_t>(doomed.size());
+}
+
+void Relation::Clear() {
+  MarkMutated();
+  for (std::vector<Value>& col : columns_) col.clear();
+  std::fill(col_all_int64_.begin(), col_all_int64_.end(), uint8_t{1});
+  rows_ = 0;
+}
+
+bool Relation::RowEquals(int64_t row, const Relation& other,
+                         int64_t other_row) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (!(columns_[c][row] == other.columns_[c][other_row])) return false;
+  }
+  return true;
+}
+
+bool Relation::RowEqualsTuple(int64_t row, const Tuple& t) const {
+  if (t.size() != static_cast<int>(columns_.size())) return false;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (!(columns_[c][row] == t.at(static_cast<int>(c)))) return false;
+  }
+  return true;
 }
 
 const HashIndex& Relation::Index(int column) const {
@@ -176,6 +308,17 @@ void Relation::WarmIndexes(const std::vector<int>& columns) const {
   }
 }
 
+std::vector<size_t> Relation::ComputeTupleHashes() const {
+  // Column-wise FNV mixing: seeding with Tuple::Hash's offset basis and
+  // folding the columns left to right makes hashes[i] == TupleAt(i).Hash(),
+  // with every pass a contiguous column scan.
+  std::vector<size_t> hashes(static_cast<size_t>(rows_), kTupleHashBasis);
+  for (const std::vector<Value>& col : columns_) {
+    MixHashColumn(col.data(), rows_, hashes.data());
+  }
+  return hashes;
+}
+
 std::shared_ptr<const std::vector<size_t>> Relation::TupleHashes() const {
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -183,9 +326,7 @@ std::shared_ptr<const std::vector<size_t>> Relation::TupleHashes() const {
   }
   // Hash outside the lock; concurrent first calls may both compute, the
   // first to store wins and the results are identical anyway.
-  auto hashes = std::make_shared<std::vector<size_t>>();
-  hashes->reserve(tuples_.size());
-  for (const Tuple& t : tuples_) hashes->push_back(t.Hash());
+  auto hashes = std::make_shared<std::vector<size_t>>(ComputeTupleHashes());
   std::lock_guard<std::mutex> lock(cache_mutex_);
   if (hash_cache_ == nullptr) {
     hash_cache_ = std::move(hashes);
@@ -195,45 +336,63 @@ std::shared_ptr<const std::vector<size_t>> Relation::TupleHashes() const {
 }
 
 bool Relation::ContainsTuple(const Tuple& t) const {
-  return std::any_of(tuples_.begin(), tuples_.end(),
-                     [&](const Tuple& u) { return u == t; });
+  for (int64_t row = 0; row < rows_; ++row) {
+    if (RowEqualsTuple(row, t)) return true;
+  }
+  return false;
+}
+
+void Relation::AppendGathered(const Relation& src,
+                              const std::vector<int64_t>& rows) {
+  // Self-gather would reallocate the column under the source reference.
+  EVE_CHECK(&src != this);
+  MarkMutated();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const std::vector<Value>& from = src.columns_[c];
+    std::vector<Value>& to = columns_[c];
+    to.reserve(to.size() + rows.size());
+    for (const int64_t row : rows) to.push_back(from[row]);
+    col_all_int64_[c] &= src.col_all_int64_[c];
+  }
+  rows_ += static_cast<int64_t>(rows.size());
 }
 
 Relation Relation::Distinct() const {
-  Relation out(name_, schema_);
   const auto hashes = TupleHashes();
-  RowDedupTable table(tuples_.size());
-  for (int64_t i = 0; i < static_cast<int64_t>(tuples_.size()); ++i) {
-    if (InsertIfDistinct(table, (*hashes)[i], tuples_, i)) {
-      out.InsertUnchecked(tuples_[i]);
-    }
+  RowDedupTable table(static_cast<size_t>(rows_));
+  std::vector<int64_t> keep;
+  for (int64_t i = 0; i < rows_; ++i) {
+    if (InsertIfDistinct(table, (*hashes)[i], *this, i)) keep.push_back(i);
   }
+  Relation out(name_, schema_);
+  out.AppendGathered(*this, keep);
   return out;
 }
 
 Result<Relation> Relation::ProjectByName(
     const std::vector<std::string>& names) const {
-  std::vector<int> indexes;
   std::vector<Attribute> attrs;
+  std::vector<std::vector<Value>> cols;
+  std::vector<uint8_t> flags;
   for (const std::string& n : names) {
     const auto idx = schema_.IndexOf(n);
     if (!idx.has_value()) {
       return Status::NotFound("attribute " + n + " not in relation " + name_);
     }
-    indexes.push_back(*idx);
     attrs.push_back(schema_.attribute(*idx));
+    cols.push_back(columns_[*idx]);  // One contiguous column copy.
+    flags.push_back(col_all_int64_[*idx]);
   }
-  Relation out(name_, Schema(std::move(attrs)));
-  for (const Tuple& t : tuples_) out.InsertUnchecked(t.Project(indexes));
-  return out;
+  return FromColumns(name_, Schema(std::move(attrs)), std::move(cols),
+                     std::move(flags));
 }
 
 int64_t Relation::DistinctCount() const {
   const auto hashes = TupleHashes();
-  RowDedupTable table(tuples_.size());
+  RowDedupTable table(static_cast<size_t>(rows_));
   int64_t distinct = 0;
-  for (int64_t i = 0; i < static_cast<int64_t>(tuples_.size()); ++i) {
-    if (InsertIfDistinct(table, (*hashes)[i], tuples_, i)) ++distinct;
+  for (int64_t i = 0; i < rows_; ++i) {
+    if (InsertIfDistinct(table, (*hashes)[i], *this, i)) ++distinct;
   }
   return distinct;
 }
@@ -242,7 +401,7 @@ std::string Relation::ToString(int64_t max_rows) const {
   std::string out = name_ + schema_.ToString() + " [" +
                     StrFormat("%lld", static_cast<long long>(cardinality())) +
                     " tuples]\n";
-  std::vector<Tuple> sorted = tuples_;
+  std::vector<Tuple> sorted = CopyTuples();
   std::sort(sorted.begin(), sorted.end());
   int64_t shown = 0;
   for (const Tuple& t : sorted) {
@@ -270,70 +429,74 @@ Status CheckUnionCompatible(const Relation& a, const Relation& b) {
 
 Result<Relation> SetUnion(const Relation& a, const Relation& b) {
   EVE_RETURN_IF_ERROR(CheckUnionCompatible(a, b));
-  Relation out(a.name(), a.schema());
   const auto ha = a.TupleHashes();
   const auto hb = b.TupleHashes();
-  // Dedup against the rows already emitted into `out` (no tuple copies
-  // beyond the one the result owns).
-  RowDedupTable seen(a.tuples().size() + b.tuples().size());
-  const auto add_distinct = [&](const Relation& r,
-                                const std::vector<size_t>& hashes) {
+  // Dedup across both inputs in one table: rows of `a` keep their ids, rows
+  // of `b` are offset by |a|; the keep lists then gather column-wise.
+  const int64_t na = a.cardinality();
+  RowDedupTable seen(static_cast<size_t>(na + b.cardinality()));
+  std::vector<int64_t> keep_a;
+  std::vector<int64_t> keep_b;
+  const auto row_of = [&](int64_t id) -> std::pair<const Relation*, int64_t> {
+    return id < na ? std::make_pair(&a, id) : std::make_pair(&b, id - na);
+  };
+  const auto add_distinct = [&](const Relation& r, int64_t id_offset,
+                                const std::vector<size_t>& hashes,
+                                std::vector<int64_t>& keep) {
     for (int64_t i = 0; i < r.cardinality(); ++i) {
-      const Tuple& t = r.tuple(i);
-      if (seen.InsertIfAbsent(hashes[i], out.cardinality(), [&](int64_t j) {
-            return out.tuple(j) == t;
+      if (seen.InsertIfAbsent(hashes[i], id_offset + i, [&](int64_t j) {
+            const auto [rel, row] = row_of(j);
+            return rel->RowEquals(row, r, i);
           }) < 0) {
-        out.InsertUnchecked(t);
+        keep.push_back(i);
       }
     }
   };
-  add_distinct(a, *ha);
-  add_distinct(b, *hb);
+  add_distinct(a, 0, *ha, keep_a);
+  add_distinct(b, na, *hb, keep_b);
+  Relation out(a.name(), a.schema());
+  out.AppendGathered(a, keep_a);
+  out.AppendGathered(b, keep_b);
   return out;
 }
 
-Result<Relation> SetIntersect(const Relation& a, const Relation& b) {
-  EVE_RETURN_IF_ERROR(CheckUnionCompatible(a, b));
+namespace {
+
+// Shared skeleton of SetIntersect / SetDifference: the distinct rows of `a`
+// that are (present=true) or are not (present=false) in `b`.
+Relation FilterByMembership(const Relation& a, const Relation& b,
+                            bool want_present) {
   const auto ha = a.TupleHashes();
   const auto hb = b.TupleHashes();
-  RowDedupTable in_b(b.tuples().size());
+  RowDedupTable in_b(static_cast<size_t>(b.cardinality()));
   for (int64_t i = 0; i < b.cardinality(); ++i) {
-    InsertIfDistinct(in_b, (*hb)[i], b.tuples(), i);
+    InsertIfDistinct(in_b, (*hb)[i], b, i);
   }
-  Relation out(a.name(), a.schema());
-  RowDedupTable emitted(a.tuples().size());
+  RowDedupTable emitted(static_cast<size_t>(a.cardinality()));
+  std::vector<int64_t> keep;
   for (int64_t i = 0; i < a.cardinality(); ++i) {
-    const Tuple& t = a.tuple(i);
     const bool present = in_b.Find((*ha)[i], [&](int64_t j) {
-                           return b.tuple(j) == t;
+                           return b.RowEquals(j, a, i);
                          }) >= 0;
-    if (present && InsertIfDistinct(emitted, (*ha)[i], a.tuples(), i)) {
-      out.InsertUnchecked(t);
+    if (present == want_present && InsertIfDistinct(emitted, (*ha)[i], a, i)) {
+      keep.push_back(i);
     }
   }
+  Relation out(a.name(), a.schema());
+  out.AppendGathered(a, keep);
   return out;
+}
+
+}  // namespace
+
+Result<Relation> SetIntersect(const Relation& a, const Relation& b) {
+  EVE_RETURN_IF_ERROR(CheckUnionCompatible(a, b));
+  return FilterByMembership(a, b, /*want_present=*/true);
 }
 
 Result<Relation> SetDifference(const Relation& a, const Relation& b) {
   EVE_RETURN_IF_ERROR(CheckUnionCompatible(a, b));
-  const auto ha = a.TupleHashes();
-  const auto hb = b.TupleHashes();
-  RowDedupTable in_b(b.tuples().size());
-  for (int64_t i = 0; i < b.cardinality(); ++i) {
-    InsertIfDistinct(in_b, (*hb)[i], b.tuples(), i);
-  }
-  Relation out(a.name(), a.schema());
-  RowDedupTable emitted(a.tuples().size());
-  for (int64_t i = 0; i < a.cardinality(); ++i) {
-    const Tuple& t = a.tuple(i);
-    const bool present = in_b.Find((*ha)[i], [&](int64_t j) {
-                           return b.tuple(j) == t;
-                         }) >= 0;
-    if (!present && InsertIfDistinct(emitted, (*ha)[i], a.tuples(), i)) {
-      out.InsertUnchecked(t);
-    }
-  }
-  return out;
+  return FilterByMembership(a, b, /*want_present=*/false);
 }
 
 bool SetEquals(const Relation& a, const Relation& b) {
@@ -342,21 +505,21 @@ bool SetEquals(const Relation& a, const Relation& b) {
   const auto hb = b.TupleHashes();
 
   // Distinct representatives of `a` in a flat table keyed by cached hash.
-  RowDedupTable table_a(a.tuples().size());
+  RowDedupTable table_a(static_cast<size_t>(a.cardinality()));
   int64_t distinct_a = 0;
   for (int64_t i = 0; i < a.cardinality(); ++i) {
-    if (InsertIfDistinct(table_a, (*ha)[i], a.tuples(), i)) ++distinct_a;
+    if (InsertIfDistinct(table_a, (*ha)[i], a, i)) ++distinct_a;
   }
 
   // b ⊆ a, counting b's distinct tuples along the way: equal distinct
   // counts plus containment imply set equality.
-  RowDedupTable table_b(b.tuples().size());
+  RowDedupTable table_b(static_cast<size_t>(b.cardinality()));
   int64_t distinct_b = 0;
   for (int64_t i = 0; i < b.cardinality(); ++i) {
-    if (!InsertIfDistinct(table_b, (*hb)[i], b.tuples(), i)) continue;
+    if (!InsertIfDistinct(table_b, (*hb)[i], b, i)) continue;
     ++distinct_b;
     const int64_t in_a = table_a.Find((*hb)[i], [&](int64_t j) {
-      return a.tuple(j) == b.tuple(i);
+      return a.RowEquals(j, b, i);
     });
     if (in_a < 0) return false;
   }

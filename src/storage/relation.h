@@ -1,6 +1,16 @@
 // Relation: an in-memory table (schema + tuples).  This is the storage unit
 // hosted by information sources and the result type of the query executor.
 //
+// Storage is columnar: one contiguous vector<Value> per attribute, so the
+// hot consumers (hash-index builds, dedup hashing, the prepared executor's
+// batch probes / residual filters / per-column gathers) read memory
+// sequentially instead of hopping across row-major Tuple vectors.  The
+// row-oriented API survives as an adapter (TupleAt / AddTuple / CopyTuples
+// materialize rows on demand) so callers migrate incrementally; per-column
+// access goes through Column / ColumnData / ValueAt.  Each column also
+// carries a tag-uniformity flag (ColumnAllInt64) that lets the compare
+// kernels in storage/column_kernel.h skip per-row type checks.
+//
 // Relations use bag semantics by default; Distinct() derives the set-
 // semantics version that the paper's extent comparisons require
 // ("duplicates removed first", §5.3).
@@ -40,15 +50,18 @@ namespace eve {
 
 class HashIndex;
 
-/// An in-memory relation instance.
+/// An in-memory relation instance (columnar tuple store).
 class Relation {
  public:
   Relation() = default;
   Relation(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        columns_(schema_.size()),
+        col_all_int64_(schema_.size(), 1) {}
 
   // Copies share the already-built immutable caches (indexes store row ids
-  // only, so they stay valid for the copied tuple vector); each copy gets a
+  // only, so they stay valid for the copied column store); each copy gets a
   // fresh identity stamp because it is a distinct object.  The cache mutex
   // is per-instance and never copied.
   Relation(const Relation& other);
@@ -56,27 +69,74 @@ class Relation {
   Relation(Relation&& other) noexcept;
   Relation& operator=(Relation&& other) noexcept;
 
+  /// Adopts ready-made columns (all of equal length, one per schema
+  /// attribute) without any row materialization -- the columnar result path
+  /// of the executor.  Column values are not type-checked against the
+  /// schema (as InsertUnchecked); sizes are.  The first overload scans each
+  /// column to recover the tag-uniformity flags; the second adopts
+  /// caller-supplied flags (one per column, 1 only if every value in that
+  /// column has tag INT64 -- gather sources propagate their own flags).
+  static Relation FromColumns(std::string name, Schema schema,
+                              std::vector<std::vector<Value>> columns);
+  static Relation FromColumns(std::string name, Schema schema,
+                              std::vector<std::vector<Value>> columns,
+                              std::vector<uint8_t> all_int64_flags);
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   const Schema& schema() const { return schema_; }
 
-  int64_t cardinality() const { return static_cast<int64_t>(tuples_.size()); }
-  bool empty() const { return tuples_.empty(); }
-  const std::vector<Tuple>& tuples() const { return tuples_; }
-  const Tuple& tuple(int64_t i) const { return tuples_[i]; }
+  /// Replaces the schema without touching the stored columns (attribute
+  /// renames); arities must match.  Counts as a mutation, so cached
+  /// indexes, hash columns, and prepared plans are invalidated.
+  void ReplaceSchema(Schema schema);
+
+  /// Widens the relation by one attribute backed by an all-NULL column
+  /// (schema evolution's add-attribute back-fill); in place, no copies of
+  /// the existing columns.  Counts as a mutation.
+  void AddNullColumn(const Attribute& attribute);
+
+  int64_t cardinality() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+  /// Number of columns (schema arity).
+  int width() const { return static_cast<int>(columns_.size()); }
+
+  /// The contiguous value column of attribute `c`.
+  const std::vector<Value>& Column(int c) const { return columns_[c]; }
+  const Value* ColumnData(int c) const { return columns_[c].data(); }
+  const Value& ValueAt(int64_t row, int col) const {
+    return columns_[col][row];
+  }
+
+  /// True iff every value in column `c` has tag INT64 (no NULLs, doubles,
+  /// or strings); enables the compare kernels' tag-free fast path.  The
+  /// flag is maintained on append and conservatively preserved by erase.
+  bool ColumnAllInt64(int c) const { return col_all_int64_[c] != 0; }
+
+  /// Row-adapter: materializes row `row` as a Tuple (one allocation).
+  Tuple TupleAt(int64_t row) const;
+
+  /// Row-adapter: materializes every row (for shuffles, sorts, and golden
+  /// comparisons in tests).
+  std::vector<Tuple> CopyTuples() const;
+
+  /// `prefix` concatenated with row `row` of this relation, in one
+  /// allocation (the join-materialization shape of the maintenance
+  /// simulator and the reference executor).
+  Tuple ConcatRow(const Tuple& prefix, int64_t row) const;
 
   /// Process-unique object-identity stamp: fresh per construction, copy,
-  /// and move (a moved-from relation is restamped too, since its tuples
+  /// and move (a moved-from relation is restamped too, since its columns
   /// were stolen).  Together with version() it lets prepared plans detect
   /// a relation that was destroyed and rebuilt at the same address.
   uint64_t identity() const { return identity_.load(std::memory_order_acquire); }
 
-  /// Mutation counter of this instance; bumped by every Insert /
-  /// InsertUnchecked / Erase / Clear.  Two observations with equal
-  /// (identity, version) saw identical data.  Stamps are atomic so a
-  /// concurrent plan revalidation reads a consistent value, but a reader
-  /// racing a mutation may see either stamp -- observing the tuple store
-  /// itself still requires the single-writer contract above.
+  /// Mutation counter of this instance; bumped by every AddTuple / Insert /
+  /// Erase / Clear.  Two observations with equal (identity, version) saw
+  /// identical data.  Stamps are atomic so a concurrent plan revalidation
+  /// reads a consistent value, but a reader racing a mutation may see
+  /// either stamp -- observing the tuple store itself still requires the
+  /// single-writer contract above.
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   /// Appends a tuple after checking arity and type conformance.
@@ -84,22 +144,26 @@ class Relation {
 
   /// Appends without checks; for internal operators that construct
   /// schema-conforming tuples by construction.
-  void InsertUnchecked(Tuple t) {
-    MarkMutated();
-    tuples_.push_back(std::move(t));
-  }
+  void AddTuple(Tuple t);
+
+  /// Historic name of AddTuple, kept so call sites migrate incrementally.
+  void InsertUnchecked(Tuple t) { AddTuple(std::move(t)); }
 
   /// Removes (one occurrence of) each tuple equal to `t`; returns the number
   /// of removed tuples (0 or 1 with `all_occurrences` false).
   int64_t Erase(const Tuple& t, bool all_occurrences = false);
 
-  void Clear() {
-    MarkMutated();
-    tuples_.clear();
-  }
+  void Clear();
+
+  /// True iff row `row` of this relation equals row `other_row` of `other`
+  /// column by column (arities must match).
+  bool RowEquals(int64_t row, const Relation& other, int64_t other_row) const;
+
+  /// True iff row `row` equals tuple `t` (arities must match).
+  bool RowEqualsTuple(int64_t row, const Tuple& t) const;
 
   /// Cached equality index on `column`, built on first use and dropped by
-  /// any mutation (Insert / InsertUnchecked / Erase / Clear).  Copies of the
+  /// any mutation (Insert / AddTuple / Erase / Clear).  Copies of the
   /// relation share the already-built (immutable) indexes.  Thread-safe:
   /// concurrent first-use builds are serialized by the cache mutex.
   const HashIndex& Index(int column) const;
@@ -108,10 +172,14 @@ class Relation {
   /// Index() calls are pure cache hits.  Out-of-range columns are ignored.
   void WarmIndexes(const std::vector<int>& columns) const;
 
-  /// Cached per-row tuple hashes (hashes[i] == tuple(i).Hash()), built on
+  /// Cached per-row tuple hashes (hashes[i] == TupleAt(i).Hash()), built on
   /// first use and dropped by any mutation.  The shared_ptr keeps the
   /// column alive across a concurrent invalidation.  Thread-safe.
   std::shared_ptr<const std::vector<size_t>> TupleHashes() const;
+
+  /// Uncached hash-column computation (column-wise FNV mixing; what
+  /// TupleHashes builds and caches).
+  std::vector<size_t> ComputeTupleHashes() const;
 
   /// True iff some tuple equals `t`.
   bool ContainsTuple(const Tuple& t) const;
@@ -119,7 +187,8 @@ class Relation {
   /// Set-semantics copy: duplicates removed, input order preserved.
   Relation Distinct() const;
 
-  /// Projection onto named attributes; fails on unknown names.
+  /// Projection onto named attributes; fails on unknown names.  Columnar:
+  /// each projected column is one contiguous copy.
   Result<Relation> ProjectByName(const std::vector<std::string>& names) const;
 
   /// Number of distinct tuples.
@@ -130,6 +199,10 @@ class Relation {
 
   /// Sorted-by-tuple rendering for stable golden tests.
   std::string ToString(int64_t max_rows = 20) const;
+
+  /// Appends the `rows` of `src` (same arity) as one contiguous gather per
+  /// column; a single mutation stamp for the whole batch.
+  void AppendGathered(const Relation& src, const std::vector<int64_t>& rows);
 
  private:
   static uint64_t NextIdentity();
@@ -149,7 +222,11 @@ class Relation {
 
   std::string name_;
   Schema schema_;
-  std::vector<Tuple> tuples_;
+  /// One contiguous value vector per attribute, all of length rows_.
+  std::vector<std::vector<Value>> columns_;
+  /// Per-column: 1 iff every appended value so far had tag INT64.
+  std::vector<uint8_t> col_all_int64_;
+  int64_t rows_ = 0;
   std::atomic<uint64_t> identity_{NextIdentity()};
   std::atomic<uint64_t> version_{0};
   /// Guards index_cache_ and hash_cache_ (not the tuple store).

@@ -36,10 +36,10 @@ bool Tuple::operator<(const Tuple& o) const {
 }
 
 size_t Tuple::Hash() const {
-  size_t h = 0xcbf29ce484222325ULL;
+  size_t h = kTupleHashBasis;
   for (const Value& v : values_) {
     h ^= v.Hash();
-    h *= 0x100000001b3ULL;
+    h *= kTupleHashPrime;
   }
   return h;
 }

@@ -11,6 +11,13 @@
 
 namespace eve {
 
+/// FNV-1a parameters of Tuple::Hash.  The columnar hash kernels
+/// (storage/column_kernel.h) and the cached hash column
+/// (Relation::ComputeTupleHashes) mix with the same scheme, so
+/// hashes[i] == TupleAt(i).Hash() holds by construction.
+inline constexpr size_t kTupleHashBasis = 0xcbf29ce484222325ULL;
+inline constexpr size_t kTupleHashPrime = 0x100000001b3ULL;
+
 /// A row.  Tuples are plain value containers; schema conformance is checked
 /// at insertion into a Relation.
 class Tuple {

@@ -147,9 +147,11 @@ TEST(Executor, RandomizedJoinOracle) {
     ASSERT_TRUE(result.ok()) << result.status().ToString();
 
     Relation oracle("oracle", result->schema());
-    for (const Tuple& tr : r.tuples()) {
+    const std::vector<Tuple> r_tuples = r.CopyTuples();
+    const std::vector<Tuple> s_tuples = s.CopyTuples();
+    for (const Tuple& tr : r_tuples) {
       if (tr.at(1).AsInt() < 10) continue;
-      for (const Tuple& ts : s.tuples()) {
+      for (const Tuple& ts : s_tuples) {
         if (tr.at(0) == ts.at(0)) {
           oracle.InsertUnchecked(Tuple{tr.at(0), tr.at(1), ts.at(1)});
         }

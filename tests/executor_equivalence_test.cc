@@ -42,7 +42,7 @@ Relation MakeRelation(const std::string& name,
 
 // Sorted distinct-tuple rendering, as a canonical comparison key.
 std::vector<Tuple> SortedTuples(const Relation& rel) {
-  std::vector<Tuple> tuples = rel.tuples();
+  std::vector<Tuple> tuples = rel.CopyTuples();
   std::sort(tuples.begin(), tuples.end());
   return tuples;
 }

@@ -125,7 +125,7 @@ struct JoinFixture {
 };
 
 std::vector<Tuple> SortedTuples(const Relation& rel) {
-  std::vector<Tuple> tuples = rel.tuples();
+  std::vector<Tuple> tuples = rel.CopyTuples();
   std::sort(tuples.begin(), tuples.end());
   return tuples;
 }

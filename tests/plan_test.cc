@@ -44,7 +44,7 @@ Relation MakeRelation(const std::string& name,
 }
 
 std::vector<Tuple> SortedTuples(const Relation& rel) {
-  std::vector<Tuple> tuples = rel.tuples();
+  std::vector<Tuple> tuples = rel.CopyTuples();
   std::sort(tuples.begin(), tuples.end());
   return tuples;
 }

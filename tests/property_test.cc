@@ -55,7 +55,7 @@ std::unique_ptr<Scenario> MakeScenario(uint64_t seed) {
   // Re-key column A into the join domain so P joins R.
   auto rekey = [&](Relation* rel) {
     Relation out(rel->name(), rel->schema());
-    for (const Tuple& t : rel->tuples()) {
+    for (const Tuple& t : rel->CopyTuples()) {
       Tuple u = t;
       u.at(0) = Value(t.at(0).AsInt() % 40);
       out.InsertUnchecked(std::move(u));

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "esql/parser.h"
+#include "esql/printer.h"
 #include "misd/mkb.h"
 #include "qc/ranking.h"
 #include "synch/synchronizer.h"
@@ -168,6 +169,98 @@ TEST_F(Exp4RankingTest, RanksAreDenseAndSorted) {
     EXPECT_EQ(ranking[i].rank, static_cast<int>(i) + 1);
     if (i > 0) {
       EXPECT_GE(ranking[i - 1].qc, ranking[i].qc);
+    }
+  }
+}
+
+// A delete fan-out wide enough that RankCandidates' default path would go
+// parallel: 12 partial-map replacement targets (6 covering each half of the
+// deleted relation's attributes) with pairwise join constraints, so CVS
+// pair substitutions alone yield dozens of candidates.
+class ParallelRankingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto int_schema = [](const std::vector<std::string>& names) {
+      std::vector<Attribute> attrs;
+      for (const std::string& n : names) {
+        attrs.push_back(Attribute::Make(n, DataType::kInt64, 50));
+      }
+      return Schema(std::move(attrs));
+    };
+    ASSERT_TRUE(mkb_.RegisterRelationWithStats(
+                        {"IS0", "R"}, int_schema({"K", "X0", "X1", "X2", "X3"}),
+                        10000, 0.5)
+                    .ok());
+    constexpr int kTargets = 12;
+    for (int i = 0; i < kTargets; ++i) {
+      const std::vector<std::string> attrs =
+          i < kTargets / 2 ? std::vector<std::string>{"K", "X0", "X1"}
+                           : std::vector<std::string>{"K", "X2", "X3"};
+      const RelationId id{"IS" + std::to_string(i + 1),
+                          "U" + std::to_string(i)};
+      ASSERT_TRUE(
+          mkb_.RegisterRelationWithStats(id, int_schema(attrs), 4000 + 100 * i,
+                                         0.5)
+              .ok());
+      ASSERT_TRUE(mkb_.AddPcConstraint(
+                          MakeProjectionPc(RelationId{"IS0", "R"}, id, attrs,
+                                           PcRelationType::kEquivalent))
+                      .ok());
+    }
+    for (int i = 0; i < kTargets; ++i) {
+      for (int j = i + 1; j < kTargets; ++j) {
+        JoinConstraint jc;
+        jc.left = RelationId{"IS" + std::to_string(i + 1),
+                             "U" + std::to_string(i)};
+        jc.right = RelationId{"IS" + std::to_string(j + 1),
+                              "U" + std::to_string(j)};
+        jc.condition.Add(PrimitiveClause::AttrAttr(
+            RelAttr{"U" + std::to_string(i), "K"}, CompOp::kEqual,
+            RelAttr{"U" + std::to_string(j), "K"}));
+        ASSERT_TRUE(mkb_.AddJoinConstraint(jc).ok());
+      }
+    }
+    view_ = Parse(
+        "CREATE VIEW W AS SELECT R.K (AR=true), R.X0 (AD=true, AR=true), "
+        "R.X1 (AD=true, AR=true), R.X2 (AD=true, AR=true), "
+        "R.X3 (AD=true, AR=true) FROM R (RR=true)");
+  }
+
+  MetaKnowledgeBase mkb_;
+  ViewDefinition view_;
+};
+
+// Parallel ranking must be deterministic: any thread count produces the
+// serial ranking bit for bit (scores, ranks, and rendered definitions).
+TEST_F(ParallelRankingTest, RankCandidatesDeterministicAcrossThreadCounts) {
+  const ViewSynchronizer synchronizer(mkb_);
+  const SchemaChange change(DeleteRelation{RelationId{"IS0", "R"}});
+  auto candidates = synchronizer.SynchronizeCandidates(view_, change);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_GE(candidates->candidates.size(), 32u)
+      << "fixture too narrow to exercise the parallel path";
+
+  const QcModel model(QcParameters{}, CostModelOptions{}, WorkloadOptions{});
+  auto serial = model.RankCandidates(view_, candidates->candidates, mkb_,
+                                     /*threads=*/1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (const int threads : {2, 4}) {
+    SCOPED_TRACE(threads);
+    auto parallel = model.RankCandidates(view_, candidates->candidates, mkb_,
+                                         threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_EQ(parallel->size(), serial->size());
+    for (size_t i = 0; i < serial->size(); ++i) {
+      SCOPED_TRACE(i);
+      const RankedRewriting& a = (*serial)[i];
+      const RankedRewriting& b = (*parallel)[i];
+      EXPECT_EQ(a.rank, b.rank);
+      EXPECT_EQ(a.qc, b.qc);
+      EXPECT_EQ(a.weighted_cost, b.weighted_cost);
+      EXPECT_EQ(a.normalized_cost, b.normalized_cost);
+      EXPECT_EQ(a.quality.dd, b.quality.dd);
+      EXPECT_EQ(PrintViewCompact(a.rewriting.definition),
+                PrintViewCompact(b.rewriting.definition));
     }
   }
 }

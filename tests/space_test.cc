@@ -58,7 +58,7 @@ TEST(InformationSpace, SchemaChangesMigrateData) {
                   .ok());
   r = space.Resolve("IS1", "R").value();
   EXPECT_EQ(r->schema().size(), 2);
-  EXPECT_TRUE(r->tuple(0).at(1).is_null());
+  EXPECT_TRUE(r->TupleAt(0).at(1).is_null());
 
   // rename-attribute and rename-relation.
   ASSERT_TRUE(space

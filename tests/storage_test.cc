@@ -62,8 +62,8 @@ TEST(Relation, DistinctAndCounts) {
   const Relation d = rel.Distinct();
   EXPECT_EQ(d.cardinality(), 3);
   // Input order preserved: 3, 1, 2.
-  EXPECT_EQ(d.tuple(0), Tuple{Value(3)});
-  EXPECT_EQ(d.tuple(1), Tuple{Value(1)});
+  EXPECT_EQ(d.TupleAt(0), Tuple{Value(3)});
+  EXPECT_EQ(d.TupleAt(1), Tuple{Value(1)});
 }
 
 TEST(Relation, SetOperations) {
@@ -114,7 +114,7 @@ TEST(Relation, TupleHashCacheReusedAndInvalidated) {
   for (int v : {3, 1, 3}) rel.InsertUnchecked(Tuple{Value(v)});
   const auto hashes = rel.TupleHashes();
   ASSERT_EQ(hashes->size(), 3u);
-  EXPECT_EQ((*hashes)[0], rel.tuple(0).Hash());
+  EXPECT_EQ((*hashes)[0], rel.TupleAt(0).Hash());
   // Second call returns the same cached column.
   EXPECT_EQ(rel.TupleHashes().get(), hashes.get());
 
@@ -123,7 +123,7 @@ TEST(Relation, TupleHashCacheReusedAndInvalidated) {
   const auto fresh = rel.TupleHashes();
   EXPECT_NE(fresh.get(), hashes.get());
   ASSERT_EQ(fresh->size(), 4u);
-  EXPECT_EQ((*fresh)[3], rel.tuple(3).Hash());
+  EXPECT_EQ((*fresh)[3], rel.TupleAt(3).Hash());
   EXPECT_EQ(hashes->size(), 3u);
 
   // The hashed paths stay correct across the mutation.
@@ -132,13 +132,122 @@ TEST(Relation, TupleHashCacheReusedAndInvalidated) {
   EXPECT_TRUE(SetEquals(rel, rel.Distinct()));
 }
 
+TEST(Relation, ColumnarAccessorsMatchRowAdapter) {
+  Relation rel("R", Schema({Attribute::Make("A", DataType::kInt64),
+                            Attribute::Make("B", DataType::kString, 20),
+                            Attribute::Make("C", DataType::kDouble)}));
+  rel.InsertUnchecked(Tuple{Value(1), Value("x"), Value(1.5)});
+  rel.InsertUnchecked(Tuple{Value(2), Value("y"), Value(2.5)});
+  rel.InsertUnchecked(Tuple{Value(3), Value("z"), Value()});
+  ASSERT_EQ(rel.width(), 3);
+  for (int c = 0; c < rel.width(); ++c) {
+    ASSERT_EQ(rel.Column(c).size(), 3u);
+    EXPECT_EQ(rel.ColumnData(c), rel.Column(c).data());
+    for (int64_t row = 0; row < rel.cardinality(); ++row) {
+      EXPECT_EQ(rel.Column(c)[row], rel.TupleAt(row).at(c));
+      EXPECT_EQ(rel.ValueAt(row, c), rel.TupleAt(row).at(c));
+    }
+  }
+  const std::vector<Tuple> copies = rel.CopyTuples();
+  ASSERT_EQ(copies.size(), 3u);
+  EXPECT_EQ(copies[1], (Tuple{Value(2), Value("y"), Value(2.5)}));
+  EXPECT_EQ(rel.ConcatRow(Tuple{Value(9)}, 0),
+            (Tuple{Value(9), Value(1), Value("x"), Value(1.5)}));
+}
+
+TEST(Relation, ColumnAllInt64Tracking) {
+  Relation rel("R", Schema({Attribute::Make("A", DataType::kInt64),
+                            Attribute::Make("B", DataType::kDouble)}));
+  EXPECT_TRUE(rel.ColumnAllInt64(0));  // Vacuously uniform while empty.
+  rel.InsertUnchecked(Tuple{Value(1), Value(2.0)});
+  EXPECT_TRUE(rel.ColumnAllInt64(0));
+  EXPECT_FALSE(rel.ColumnAllInt64(1));
+  rel.InsertUnchecked(Tuple{Value(), Value(3.0)});  // NULL breaks uniformity.
+  EXPECT_FALSE(rel.ColumnAllInt64(0));
+  rel.Clear();
+  EXPECT_TRUE(rel.ColumnAllInt64(0));
+  EXPECT_TRUE(rel.ColumnAllInt64(1));
+}
+
+TEST(Relation, FromColumnsAdoptsColumns) {
+  const Schema schema({Attribute::Make("A", DataType::kInt64),
+                       Attribute::Make("B", DataType::kInt64)});
+  std::vector<std::vector<Value>> columns(2);
+  for (int v : {5, 6, 5}) {
+    columns[0].push_back(Value(v));
+    columns[1].push_back(Value(v * 10));
+  }
+  const Relation rel = Relation::FromColumns("R", schema, std::move(columns));
+  EXPECT_EQ(rel.cardinality(), 3);
+  EXPECT_TRUE(rel.ColumnAllInt64(0));
+  EXPECT_EQ(rel.TupleAt(2), (Tuple{Value(5), Value(50)}));
+  EXPECT_EQ(rel.DistinctCount(), 2);
+  EXPECT_TRUE(rel.ContainsTuple(Tuple{Value(6), Value(60)}));
+}
+
+// Interleaved appends and erases against the columnar store must keep the
+// cached hash column and the per-column indexes coherent: every mutation
+// drops them, every re-read rebuilds them against the current rows.
+TEST(Relation, InterleavedMutationKeepsIndexAndHashesCoherent) {
+  Relation rel("R", Schema({Attribute::Make("K", DataType::kInt64),
+                            Attribute::Make("V", DataType::kInt64)}));
+  Random rng(7);
+  std::vector<Tuple> shadow;  // Row-major oracle of the expected contents.
+  const auto check = [&](int step) {
+    SCOPED_TRACE(step);
+    ASSERT_EQ(rel.cardinality(), static_cast<int64_t>(shadow.size()));
+    const auto hashes = rel.TupleHashes();
+    ASSERT_EQ(hashes->size(), shadow.size());
+    for (size_t i = 0; i < shadow.size(); ++i) {
+      EXPECT_EQ(rel.TupleAt(static_cast<int64_t>(i)), shadow[i]);
+      EXPECT_EQ((*hashes)[i], shadow[i].Hash());
+    }
+    // The key index reflects exactly the current rows.
+    const HashIndex& index = rel.Index(0);
+    for (int64_t key = 0; key < 6; ++key) {
+      size_t expected = 0;
+      for (const Tuple& t : shadow) {
+        if (t.at(0) == Value(key)) ++expected;
+      }
+      EXPECT_EQ(index.Lookup(Value(key)).size(), expected) << "key " << key;
+    }
+  };
+  for (int step = 0; step < 60; ++step) {
+    const bool erase = !shadow.empty() && rng.Uniform(3) == 0;
+    if (erase) {
+      const Tuple victim =
+          shadow[static_cast<size_t>(rng.Uniform(shadow.size()))];
+      const bool all = rng.Uniform(2) == 0;
+      const int64_t removed = rel.Erase(victim, all);
+      int64_t expected_removed = 0;
+      for (auto it = shadow.begin(); it != shadow.end();) {
+        if (*it == victim && (all || expected_removed == 0)) {
+          it = shadow.erase(it);
+          ++expected_removed;
+        } else {
+          ++it;
+        }
+      }
+      EXPECT_EQ(removed, expected_removed);
+    } else {
+      Tuple t{Value(static_cast<int64_t>(rng.Uniform(6))),
+              Value(static_cast<int64_t>(rng.Uniform(4)))};
+      shadow.push_back(t);
+      rel.AddTuple(std::move(t));
+    }
+    if (step % 5 == 0) check(step);
+  }
+  check(60);
+  EXPECT_EQ(rel.Distinct().cardinality(), rel.DistinctCount());
+}
+
 TEST(Relation, ProjectByName) {
   Relation rel = TwoColumn();
   ASSERT_TRUE(rel.Insert(Tuple{Value(1), Value("a")}).ok());
   const auto projected = rel.ProjectByName({"B"});
   ASSERT_TRUE(projected.ok());
   EXPECT_EQ(projected->schema().size(), 1);
-  EXPECT_EQ(projected->tuple(0).at(0), Value("a"));
+  EXPECT_EQ(projected->TupleAt(0).at(0), Value("a"));
   EXPECT_FALSE(rel.ProjectByName({"Z"}).ok());
 }
 

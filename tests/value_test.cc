@@ -101,8 +101,9 @@ TEST(Value, PoolIdentityEqualityAcrossRelations) {
   Relation s("S", Schema({Attribute::Make("A", DataType::kString, 20)}));
   ASSERT_TRUE(r.Insert(Tuple{Value("shared-key")}).ok());
   ASSERT_TRUE(s.Insert(Tuple{Value("shared-key")}).ok());
-  const Value& from_r = r.tuple(0).at(0);
-  const Value& from_s = s.tuple(0).at(0);
+  // By value: TupleAt materializes a row from the columnar store.
+  const Value from_r = r.TupleAt(0).at(0);
+  const Value from_s = s.TupleAt(0).at(0);
   EXPECT_EQ(from_r.string_pool_index(), from_s.string_pool_index());
   EXPECT_EQ(from_r.string_id(), from_s.string_id());
   EXPECT_EQ(from_r, from_s);
