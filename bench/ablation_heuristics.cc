@@ -164,9 +164,16 @@ int main(int argc, char** argv) {
   using SectionFn = std::string (*)();
   const SectionFn sections[] = {H1FewerSites, H2SmallerReplacement,
                                 H3ClosestSize, H4FewerRelations};
+  // Optional --deadline_ms= / EVE_DEADLINE_MS governance, polled between
+  // sections; unlimited (and stdout byte-identical) when unset.
   std::string rendered[4];
-  ParallelFor(4, SweepThreads(argc, argv),
-              [&](int64_t i) { rendered[i] = sections[i](); });
+  ExitIfDeadline(ParallelForStatus(
+      4, SweepThreads(argc, argv),
+      [&](int64_t i) -> Status {
+        rendered[i] = sections[i]();
+        return Status::OK();
+      },
+      ExperimentContext(argc, argv)));
   for (const std::string& section : rendered) {
     std::printf("%s", section.c_str());
   }

@@ -125,10 +125,16 @@ int main(int argc, char** argv) {
       {"--- branch w2 > w1 (0.3 / 0.7): prefer non-replaceable B ---\n", 0.3,
        0.7},
   };
+  // Optional --deadline_ms= / EVE_DEADLINE_MS governance, polled between
+  // branches; unlimited (and stdout byte-identical) when unset.
   BranchResult results[2];
-  ParallelFor(2, SweepThreads(argc, argv),
-              [&](int64_t i) { results[i] = RunBranch(branches[i].w1,
-                                                      branches[i].w2); });
+  ExitIfDeadline(ParallelForStatus(
+      2, SweepThreads(argc, argv),
+      [&](int64_t i) -> Status {
+        results[i] = RunBranch(branches[i].w1, branches[i].w2);
+        return Status::OK();
+      },
+      ExperimentContext(argc, argv)));
   for (int i = 0; i < 2; ++i) {
     const BranchResult& r = results[i];
     std::printf("%s", branches[i].header);

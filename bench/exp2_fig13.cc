@@ -30,6 +30,9 @@ int main(int argc, char** argv) {
   // itself goes to stderr to keep it that way).
   const int threads = SweepThreads(argc, argv);
   std::fprintf(stderr, "[sweep threads: %d]\n", threads);
+  // Optional --deadline_ms= / EVE_DEADLINE_MS governance; unlimited (and
+  // stdout byte-identical) when unset.
+  const ExecContext& ctx = ExperimentContext(argc, argv);
 
   std::vector<std::string> x_labels;
   std::vector<double> msgs, bytes, ios;
@@ -40,8 +43,9 @@ int main(int argc, char** argv) {
     const std::vector<std::vector<int>> dists =
         Compositions(params.num_relations, m);
     const auto cfs =
-        SweepSiteAveragedUpdateCost(dists, params, options, threads);
+        SweepSiteAveragedUpdateCost(dists, params, options, threads, ctx);
     if (!cfs.ok()) {
+      ExitIfDeadline(cfs.status());
       std::fprintf(stderr, "%s\n", cfs.status().ToString().c_str());
       return 1;
     }

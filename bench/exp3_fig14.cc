@@ -31,6 +31,9 @@ int main(int argc, char** argv) {
   // every thread count.
   const int threads = SweepThreads(argc, argv);
   std::fprintf(stderr, "[sweep threads: %d]\n", threads);
+  // Optional --deadline_ms= / EVE_DEADLINE_MS governance; unlimited (and
+  // stdout byte-identical) when unset.
+  const ExecContext& ctx = ExperimentContext(argc, argv);
 
   for (const double js : {0.001, 0.0022, 0.005}) {
     UniformParams params;
@@ -46,8 +49,10 @@ int main(int argc, char** argv) {
     for (int m = 2; m <= 4; ++m) {
       const std::vector<std::vector<int>> dists =
           Compositions(params.num_relations, m);
-      const auto cfs = SweepFirstSiteUpdateCost(dists, params, options, threads);
+      const auto cfs =
+          SweepFirstSiteUpdateCost(dists, params, options, threads, ctx);
       if (!cfs.ok()) {
+        ExitIfDeadline(cfs.status());
         std::fprintf(stderr, "%s\n", cfs.status().ToString().c_str());
         return 1;
       }

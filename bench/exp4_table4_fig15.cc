@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_util/experiment_common.h"
 #include "bench_util/table_printer.h"
 #include "common/str_util.h"
 #include "esql/parser.h"
@@ -101,15 +102,20 @@ double R1OriginCost(const MetaKnowledgeBase& mkb, const ViewDefinition& def,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("%s",
               Banner("Experiment 4 / Tables 3-4, Figure 15: relation cardinality").c_str());
+
+  // Optional --deadline_ms= / EVE_DEADLINE_MS governance, polled between
+  // sections; unlimited (and stdout byte-identical) when unset.
+  const ExecContext& ctx = ExperimentContext(argc, argv);
 
   Environment env;
   if (!Build(&env)) {
     std::fprintf(stderr, "environment construction failed\n");
     return 1;
   }
+  ExitIfDeadline(ctx.CheckNow());
 
   std::printf("Table 3 environment: R2(A,B,C) 4000 tuples; replacements\n"
               "S1..S5 = 2000/3000/4000/5000/6000; S1 c S2 c S3 = R2 c S4 c S5\n\n");
@@ -165,6 +171,7 @@ int main() {
               "0.898/0.855, rating 3/2/1/4/5 (* = corrected, see header).\n\n");
 
   // --- Figure 15: three trade-off cases ----------------------------------------
+  ExitIfDeadline(ctx.CheckNow());
   for (const auto& [label, rq, rc] :
        std::vector<std::tuple<const char*, double, double>>{
            {"Case 1 (qual 0.9, cost 0.1)", 0.9, 0.1},

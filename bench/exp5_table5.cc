@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_util/experiment_common.h"
 #include "bench_util/table_printer.h"
 #include "common/str_util.h"
 #include "esql/parser.h"
@@ -83,14 +84,19 @@ bool Build(Environment* env) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("%s", Banner("Experiment 5 / Table 5: workload model M1").c_str());
+
+  // Optional --deadline_ms= / EVE_DEADLINE_MS governance, polled between
+  // sections; unlimited (and stdout byte-identical) when unset.
+  const ExecContext& ctx = ExperimentContext(argc, argv);
 
   Environment env;
   if (!Build(&env)) {
     std::fprintf(stderr, "environment construction failed\n");
     return 1;
   }
+  ExitIfDeadline(ctx.CheckNow());
   QcParameters params;  // rho_quality = 0.9, rho_cost = 0.1 (Table 5 uses
                         // the case-1 setting of Experiment 4).
   CostModelOptions cost;

@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
   // identical for every thread count; the count itself goes to stderr).
   const int threads = SweepThreads(argc, argv);
   std::fprintf(stderr, "[sweep threads: %d]\n", threads);
+  // Optional --deadline_ms= / EVE_DEADLINE_MS governance; unlimited (and
+  // stdout byte-identical) when unset.
+  const ExecContext& ctx = ExperimentContext(argc, argv);
 
   TablePrinter table({"Rewriting", "#sites", "#updates", "CF_M", "CF_T",
                       "CF_IO"});
@@ -42,8 +45,9 @@ int main(int argc, char** argv) {
     const std::vector<std::vector<int>> dists =
         Compositions(params.num_relations, m);
     const auto totals =
-        SweepWorkloadCost(dists, params, workload, options, threads);
+        SweepWorkloadCost(dists, params, workload, options, threads, ctx);
     if (!totals.ok()) {
+      ExitIfDeadline(totals.status());
       std::fprintf(stderr, "%s\n", totals.status().ToString().c_str());
       return 1;
     }

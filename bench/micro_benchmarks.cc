@@ -174,6 +174,40 @@ void BM_ExecuteMultiJoinView_Prepared(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecuteMultiJoinView_Prepared)->Arg(256)->Arg(1024)->Arg(4096);
 
+// Governance overhead pair: the same prepared replay, once with the
+// default unlimited context (compile-time no-op) and once under an
+// ExecContext whose row budget is active but never binds.  The delta is
+// the full price of amortized budget/deadline accounting on the hot
+// execution path; the regression gate keeps it under 2x, the target is
+// within 5%.
+void BM_ExecutePreparedUngoverned(benchmark::State& state) {
+  MultiJoinFixture fixture(state.range(0));
+  auto plan = PrepareView(fixture.view, fixture.space).value();
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = ExecutePrepared(*plan);
+    tuples += result.ok() ? result->cardinality() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(tuples);
+}
+BENCHMARK(BM_ExecutePreparedUngoverned)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ExecutePreparedGoverned(benchmark::State& state) {
+  MultiJoinFixture fixture(state.range(0));
+  auto plan = PrepareView(fixture.view, fixture.space).value();
+  ExecContext ctx;
+  ctx.WithRowBudget(int64_t{1} << 60);  // limited() == true, never binds.
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = ExecutePrepared(*plan, ctx);
+    tuples += result.ok() ? result->cardinality() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(tuples);
+}
+BENCHMARK(BM_ExecutePreparedGoverned)->Arg(256)->Arg(1024)->Arg(4096);
+
 // Planning alone (resolution, binding, pushdown, join ordering): the cost
 // that plan reuse amortizes away.
 void BM_PrepareMultiJoinView(benchmark::State& state) {

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "expr/comp_op.h"
 #include "storage/column_kernel.h"
 #include "storage/hash_index.h"
@@ -15,7 +16,9 @@
 
 namespace eve {
 
-Result<Relation> ExecutePrepared(const PreparedView& plan) {
+Result<Relation> ExecutePrepared(const PreparedView& plan,
+                                 const ExecContext& ctx) {
+  ExecGovernor gov(ctx);
   const int n = static_cast<int>(plan.from.size());
   const std::vector<int>& pos_of_item = plan.pos_of_item;
 
@@ -51,10 +54,12 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
       }
       ws.combos = driving.size();
       ws.columns.push_back(std::move(driving));
+      EVE_RETURN_IF_ERROR(gov.Charge(static_cast<int64_t>(ws.combos)));
       if (ws.combos == 0) break;
       continue;
     }
 
+    EVE_FAULT_POINT("executor.probe");
     parents.clear();
     rows.clear();
 
@@ -94,6 +99,11 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
       const std::vector<int64_t>& key_col =
           ws.columns[pos_of_item[step.key_left_item]];
       const std::vector<uint8_t>& passes = plan.passes[k];
+      // The governed variant charges each probed combo plus its emitted
+      // candidates, so a pathological fan-out trips the budget/deadline
+      // mid-probe instead of after materializing the whole cross product.
+      const bool governed = gov.active();
+      size_t charged = 0;
       for (size_t i = 0; i < ws.combos; ++i) {
         const Value& key = key_vals[key_col[i]];
         for (int64_t row : index->Lookup(key)) {
@@ -101,11 +111,18 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
           parents.push_back(static_cast<int64_t>(i));
           rows.push_back(row);
         }
+        if (governed) {
+          EVE_RETURN_IF_ERROR(
+              gov.Charge(static_cast<int64_t>(rows.size() - charged) + 1));
+          charged = rows.size();
+        }
       }
     } else {
       // Nested loop over the prefiltered rows (cross product + residuals).
       const bool unfiltered =
           plan.filtered[k].empty() && plan.passes[k].empty();
+      const bool governed = gov.active();
+      size_t charged = 0;
       for (size_t i = 0; i < ws.combos; ++i) {
         if (unfiltered) {
           for (int64_t row = 0; row < rel.cardinality(); ++row) {
@@ -117,6 +134,11 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
             parents.push_back(static_cast<int64_t>(i));
             rows.push_back(row);
           }
+        }
+        if (governed) {
+          EVE_RETURN_IF_ERROR(
+              gov.Charge(static_cast<int64_t>(rows.size() - charged) + 1));
+          charged = rows.size();
         }
       }
     }
@@ -130,6 +152,9 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
       static thread_local std::vector<uint8_t> res_mask;
       static thread_local std::vector<std::vector<int64_t>> side_buffers;
       const size_t m = parents.size();
+      // One work unit per (candidate, clause) kernel evaluation.
+      EVE_RETURN_IF_ERROR(
+          gov.Charge(static_cast<int64_t>(m * step.residual.size())));
       res_mask.assign(m, 1);
       // Row ids of `item` per candidate: the step's own rows directly, or
       // the item's working-set column gathered through the parent ids.
@@ -186,6 +211,14 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
     // candidate -- then append the new item's rows as its own column.
     // Double-buffered: the gather target is the recycled scratch buffer,
     // and the swapped-out column becomes the scratch for the next gather.
+    EVE_FAULT_POINT("executor.gather");
+    EVE_RETURN_IF_ERROR(gov.Charge(
+        static_cast<int64_t>(parents.size() * ws.columns.size())));
+    if (ctx.limited()) {
+      // The step's working set: one int64 per (column, candidate).
+      EVE_RETURN_IF_ERROR(ctx.ConsumeMemory(static_cast<int64_t>(
+          parents.size() * (ws.columns.size() + 1) * sizeof(int64_t))));
+    }
     for (std::vector<int64_t>& column : ws.columns) {
       ws.scratch.clear();
       ws.scratch.reserve(parents.size());
@@ -202,9 +235,11 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
   // no Tuple is ever constructed.  The distinct pass dedups combo ids
   // first (hashing and equality run against the base columns), so only
   // surviving combos are gathered at all.
+  EVE_RETURN_IF_ERROR(gov.Flush());  // Charge the tail before materializing.
   if (ws.combos == 0 || static_cast<int>(ws.columns.size()) != n) {
     return Relation(plan.view_name, plan.out_schema);
   }
+  EVE_FAULT_POINT("executor.materialize");
   struct OutSrc {
     const Value* col;                   ///< Base relation's value column.
     const std::vector<int64_t>* rows;   ///< Its row-id working-set column.
@@ -224,6 +259,15 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
   const auto value_of = [&](const OutSrc& s, int64_t combo) -> const Value& {
     return s.col[(*s.rows)[combo]];
   };
+
+  // Output cells: one gathered Value per (output column, combo).
+  EVE_RETURN_IF_ERROR(
+      gov.Charge(static_cast<int64_t>(ws.combos * src.size())));
+  EVE_RETURN_IF_ERROR(gov.Flush());
+  if (ctx.limited()) {
+    EVE_RETURN_IF_ERROR(ctx.ConsumeMemory(
+        static_cast<int64_t>(ws.combos * src.size() * sizeof(Value))));
+  }
 
   if (!plan.options.distinct) {
     // Every combo survives: gather each output column directly.
@@ -273,10 +317,11 @@ Result<Relation> ExecutePrepared(const PreparedView& plan) {
 
 Result<Relation> ExecuteView(const ViewDefinition& view,
                              const RelationProvider& provider,
-                             const ExecOptions& options) {
+                             const ExecOptions& options,
+                             const ExecContext& ctx) {
   EVE_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedView> plan,
-                       PrepareView(view, provider, options));
-  return ExecutePrepared(*plan);
+                       PrepareView(view, provider, options, ctx));
+  return ExecutePrepared(*plan, ctx);
 }
 
 namespace {
@@ -329,7 +374,10 @@ struct JoinKey {
 // builds, and full materialization of every intermediate tuple.
 Result<Relation> ExecuteViewReference(const ViewDefinition& view,
                                       const RelationProvider& provider,
-                                      const ExecOptions& options) {
+                                      const ExecOptions& options,
+                                      const ExecContext& ctx) {
+  EVE_FAULT_POINT("executor.reference");
+  ExecGovernor gov(ctx);
   EVE_RETURN_IF_ERROR(view.Validate());
   EVE_ASSIGN_OR_RETURN(std::vector<ResolvedFrom> resolved,
                        ResolveAll(view, provider));
@@ -386,6 +434,7 @@ Result<Relation> ExecuteViewReference(const ViewDefinition& view,
     if (k == 0) {
       // Base scan with local selection.
       for (int64_t row = 0; row < rel.cardinality(); ++row) {
+        EVE_RETURN_IF_ERROR(gov.Charge());
         Tuple t = rel.TupleAt(row);
         if (EvalAll(bound, t)) next.push_back(std::move(t));
       }
@@ -393,6 +442,7 @@ Result<Relation> ExecuteViewReference(const ViewDefinition& view,
       HashIndex index(rel, key->right_column);
       for (const Tuple& acc : current) {
         for (int64_t row : index.Lookup(acc.at(key->left_column))) {
+          EVE_RETURN_IF_ERROR(gov.Charge());
           Tuple joined = rel.ConcatRow(acc, row);
           if (EvalAll(residual, joined)) next.push_back(std::move(joined));
         }
@@ -401,6 +451,7 @@ Result<Relation> ExecuteViewReference(const ViewDefinition& view,
       // Nested-loop join (cross product + residual predicates).
       for (const Tuple& acc : current) {
         for (int64_t row = 0; row < rel.cardinality(); ++row) {
+          EVE_RETURN_IF_ERROR(gov.Charge());
           Tuple joined = rel.ConcatRow(acc, row);
           if (EvalAll(residual, joined)) next.push_back(std::move(joined));
         }
@@ -408,6 +459,9 @@ Result<Relation> ExecuteViewReference(const ViewDefinition& view,
     }
     current = std::move(next);
   }
+  // Charge the sub-stride tail so a small input still honors its
+  // deadline/budget before results materialize.
+  EVE_RETURN_IF_ERROR(gov.Flush());
 
   // Projection onto the SELECT list.
   std::vector<int> out_columns;

@@ -19,6 +19,7 @@
 #define EVE_ALGEBRA_EXECUTOR_H_
 
 #include "algebra/provider.h"
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "esql/ast.h"
 #include "expr/eval.h"
@@ -33,21 +34,34 @@ namespace eve {
 /// re-prepared first (PreparedView::Validate, or use PlanCache which
 /// revalidates automatically).  Result tuple *sets* are independent of the
 /// plan's options; only row order may differ.
-Result<Relation> ExecutePrepared(const PreparedView& plan);
+///
+/// Governance: a limited `ctx` bounds the execution -- row-level work
+/// (combos scanned, candidates emitted, residual evaluations, gathers) is
+/// charged against the row budget with amortized deadline/cancellation
+/// checks, and working-set/materialization footprints are charged against
+/// the memory budget.  Violations surface as
+/// DeadlineExceeded/Cancelled/ResourceExhausted; the default unlimited
+/// context adds no per-row work.
+Result<Relation> ExecutePrepared(
+    const PreparedView& plan,
+    const ExecContext& ctx = ExecContext::Unlimited());
 
 /// Evaluates `view` against `provider`; the result relation's schema is the
 /// view interface (output names, source attribute types).  Equivalent to
-/// PrepareView + ExecutePrepared.
+/// PrepareView + ExecutePrepared (both governed by `ctx`).
 Result<Relation> ExecuteView(const ViewDefinition& view,
                              const RelationProvider& provider,
-                             const ExecOptions& options = {});
+                             const ExecOptions& options = {},
+                             const ExecContext& ctx = ExecContext::Unlimited());
 
 /// The pre-optimization reference executor: fixed FROM-order left-deep
 /// joins materializing every intermediate tuple.  Kept as the equivalence
-/// oracle for tests and as the benchmark baseline.
-Result<Relation> ExecuteViewReference(const ViewDefinition& view,
-                                      const RelationProvider& provider,
-                                      const ExecOptions& options = {});
+/// oracle for tests and as the benchmark baseline.  Governed per scanned /
+/// joined tuple.
+Result<Relation> ExecuteViewReference(
+    const ViewDefinition& view, const RelationProvider& provider,
+    const ExecOptions& options = {},
+    const ExecContext& ctx = ExecContext::Unlimited());
 
 }  // namespace eve
 

@@ -1,5 +1,7 @@
 #include "bench_util/experiment_common.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -14,25 +16,25 @@ namespace eve {
 namespace {
 
 // Evaluates `eval(i)` for every distribution index across `threads`
-// workers, collecting per-index values and surfacing the first error after
-// the join (workers never throw; see ParallelFor's contract).
+// workers, collecting per-index values; the first failure (lowest index
+// kept) cancels the remaining grid points, and `ctx` is polled before each
+// point so a sweep never outlives its deadline by more than one point.
 template <typename T, typename Eval>
-Result<std::vector<T>> SweepImpl(size_t n, int threads, const Eval& eval) {
+Result<std::vector<T>> SweepImpl(size_t n, int threads, const Eval& eval,
+                                 const ExecContext& ctx) {
   std::vector<T> out(n);
-  std::vector<Status> statuses(n);
-  ParallelFor(static_cast<int64_t>(n), threads, [&](int64_t i) {
-    Result<T> r = eval(i);
-    if (r.ok()) {
-      out[i] = std::move(r).value();
-    } else {
-      statuses[i] = r.status();
-    }
-  });
-  for (Status& s : statuses) {
-    if (!s.ok()) return std::move(s);
-  }
+  EVE_RETURN_IF_ERROR(ParallelForStatus(
+      static_cast<int64_t>(n), threads,
+      [&](int64_t i) -> Status {
+        EVE_ASSIGN_OR_RETURN(out[i], eval(i));
+        return Status::OK();
+      },
+      ctx));
   return out;
 }
+
+// Installed by ExperimentContext(argc, argv); process lifetime.
+const ExecContext* g_experiment_ctx = nullptr;
 
 }  // namespace
 
@@ -112,34 +114,86 @@ int SweepThreads(int argc, char** argv) {
   return DefaultThreadCount();
 }
 
+const ExecContext& ExperimentContext() {
+  return g_experiment_ctx != nullptr ? *g_experiment_ctx
+                                     : ExecContext::Unlimited();
+}
+
+const ExecContext& ExperimentContext(int argc, char** argv) {
+  if (g_experiment_ctx == nullptr) {
+    long long ms = 0;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--deadline_ms=", 14) == 0) {
+        ms = std::atoll(argv[i] + 14);
+        break;
+      }
+    }
+    if (ms <= 0) {
+      if (const char* env = std::getenv("EVE_DEADLINE_MS")) ms = std::atoll(env);
+    }
+    if (ms > 0) {
+      // Leaked on purpose: governed code may hold the reference until exit.
+      auto* ctx = new ExecContext();
+      ctx->WithDeadlineAfter(std::chrono::milliseconds(ms));
+      g_experiment_ctx = ctx;
+    } else {
+      g_experiment_ctx = &ExecContext::Unlimited();
+    }
+  }
+  return *g_experiment_ctx;
+}
+
+void ExitIfDeadline(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kCancelled:
+      // stderr only: a cut-off run must not perturb the stdout tables.
+      std::fprintf(stderr, "experiment cut off: %s\n",
+                   status.ToString().c_str());
+      std::exit(kDeadlineExitCode);
+    default:
+      return;
+  }
+}
+
 Result<std::vector<CostFactors>> SweepSiteAveragedUpdateCost(
     const std::vector<std::vector<int>>& distributions,
-    const UniformParams& params, const CostModelOptions& options,
-    int threads) {
-  return SweepImpl<CostFactors>(distributions.size(), threads, [&](int64_t i) {
-    return SiteAveragedUpdateCost(MakeUniformInput(distributions[i], params),
-                                  options);
-  });
+    const UniformParams& params, const CostModelOptions& options, int threads,
+    const ExecContext& ctx) {
+  return SweepImpl<CostFactors>(
+      distributions.size(), threads,
+      [&](int64_t i) {
+        return SiteAveragedUpdateCost(
+            MakeUniformInput(distributions[i], params), options);
+      },
+      ctx);
 }
 
 Result<std::vector<CostFactors>> SweepFirstSiteUpdateCost(
     const std::vector<std::vector<int>>& distributions,
-    const UniformParams& params, const CostModelOptions& options,
-    int threads) {
-  return SweepImpl<CostFactors>(distributions.size(), threads, [&](int64_t i) {
-    return FirstSiteUpdateCost(MakeUniformInput(distributions[i], params),
-                               options);
-  });
+    const UniformParams& params, const CostModelOptions& options, int threads,
+    const ExecContext& ctx) {
+  return SweepImpl<CostFactors>(
+      distributions.size(), threads,
+      [&](int64_t i) {
+        return FirstSiteUpdateCost(MakeUniformInput(distributions[i], params),
+                                   options);
+      },
+      ctx);
 }
 
 Result<std::vector<WorkloadCost>> SweepWorkloadCost(
     const std::vector<std::vector<int>>& distributions,
     const UniformParams& params, const WorkloadOptions& workload,
-    const CostModelOptions& options, int threads) {
-  return SweepImpl<WorkloadCost>(distributions.size(), threads, [&](int64_t i) {
-    return ComputeWorkloadCost(MakeUniformInput(distributions[i], params),
-                               workload, options);
-  });
+    const CostModelOptions& options, int threads, const ExecContext& ctx) {
+  return SweepImpl<WorkloadCost>(
+      distributions.size(), threads,
+      [&](int64_t i) {
+        return ComputeWorkloadCost(MakeUniformInput(distributions[i], params),
+                                   workload, options);
+      },
+      ctx);
 }
 
 }  // namespace eve

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/exec_context.h"
 #include "qc/cost_model.h"
 #include "qc/workload.h"
 
@@ -53,23 +54,47 @@ Result<CostFactors> FirstSiteUpdateCost(const ViewCostInput& input,
 /// DefaultThreadCount().  Values below 1 fall back to 1.
 int SweepThreads(int argc, char** argv);
 
+/// Exit code of an experiment driver whose deadline expired (the timeout(1)
+/// convention), so harness scripts can tell "cut off" from "failed".
+inline constexpr int kDeadlineExitCode = 124;
+
+/// Installs and returns the process-wide experiment governance context.
+/// The deadline comes from the first `--deadline_ms=N` argument, else the
+/// EVE_DEADLINE_MS environment variable; without either the context is
+/// ExecContext::Unlimited() and every driver behaves exactly as before
+/// (stdout byte-identical).  First call parses; later calls return the
+/// installed context regardless of arguments.
+const ExecContext& ExperimentContext(int argc, char** argv);
+
+/// The installed context (Unlimited until the argv overload ran).
+const ExecContext& ExperimentContext();
+
+/// Terminates the process with kDeadlineExitCode -- message on stderr only,
+/// never stdout -- when `status` is a governance stop (deadline, budget, or
+/// cancellation).  Any other status, including OK, just returns.
+void ExitIfDeadline(const Status& status);
+
 /// SiteAveragedUpdateCost(MakeUniformInput(d, params), options) for every
 /// distribution `d`, evaluated across `threads` workers; result i belongs
-/// to distributions[i].
+/// to distributions[i].  `ctx` governs the sweep (deadline/cancellation
+/// polled per grid point, first failure cancels the remaining work).
 Result<std::vector<CostFactors>> SweepSiteAveragedUpdateCost(
     const std::vector<std::vector<int>>& distributions,
-    const UniformParams& params, const CostModelOptions& options, int threads);
+    const UniformParams& params, const CostModelOptions& options, int threads,
+    const ExecContext& ctx = ExecContext::Unlimited());
 
 /// FirstSiteUpdateCost over every distribution (Experiment 3 sweep).
 Result<std::vector<CostFactors>> SweepFirstSiteUpdateCost(
     const std::vector<std::vector<int>>& distributions,
-    const UniformParams& params, const CostModelOptions& options, int threads);
+    const UniformParams& params, const CostModelOptions& options, int threads,
+    const ExecContext& ctx = ExecContext::Unlimited());
 
 /// ComputeWorkloadCost over every distribution (Experiment 5 sweeps).
 Result<std::vector<WorkloadCost>> SweepWorkloadCost(
     const std::vector<std::vector<int>>& distributions,
     const UniformParams& params, const WorkloadOptions& workload,
-    const CostModelOptions& options, int threads);
+    const CostModelOptions& options, int threads,
+    const ExecContext& ctx = ExecContext::Unlimited());
 
 }  // namespace eve
 

@@ -1,0 +1,82 @@
+#include "common/exec_context.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+const ExecContext& ExecContext::Unlimited() {
+  // Leaked singleton: immune to destruction-order issues from governed
+  // static fixtures.
+  static const ExecContext* unlimited = new ExecContext();
+  return *unlimited;
+}
+
+Status ExecContext::CheckNow() const {
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Status::Cancelled("operation cancelled via CancelToken");
+  }
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    return Status::DeadlineExceeded("operation deadline exceeded");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status Exhausted(const char* what, int64_t used, int64_t budget) {
+  return Status::ResourceExhausted(StrFormat(
+      "%s budget exhausted: %lld used of %lld", what,
+      static_cast<long long>(used), static_cast<long long>(budget)));
+}
+
+}  // namespace
+
+Status ExecContext::ConsumeRows(int64_t n) const {
+  const int64_t used = rows_used_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (used > row_budget_) return Exhausted("row", used, row_budget_);
+  return Status::OK();
+}
+
+Status ExecContext::ConsumeCandidates(int64_t n) const {
+  const int64_t used =
+      candidates_used_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (used > candidate_budget_) {
+    return Exhausted("candidate", used, candidate_budget_);
+  }
+  return Status::OK();
+}
+
+Status ExecContext::ConsumeMemory(int64_t bytes) const {
+  const int64_t used =
+      memory_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (used > memory_budget_) return Exhausted("memory", used, memory_budget_);
+  return Status::OK();
+}
+
+int64_t ExecContext::RowsRemaining() const {
+  if (row_budget_ == kUnlimited) return kUnlimited;
+  return std::max<int64_t>(0, row_budget_ - rows_used());
+}
+
+Status ExecGovernor::Flush() {
+  if (!active_) return Status::OK();
+  const int64_t n = pending_;
+  pending_ = 0;
+  if (n > 0) {
+    EVE_RETURN_IF_ERROR(ctx_->ConsumeRows(n));
+  }
+  EVE_RETURN_IF_ERROR(ctx_->CheckNow());
+  stride_ = NextStride();
+  return Status::OK();
+}
+
+int64_t ExecGovernor::NextStride() const {
+  const int64_t remaining = ctx_->RowsRemaining();
+  if (remaining >= ExecContext::kCheckStride) return ExecContext::kCheckStride;
+  // Trip on the first charge past the budget (never a zero stride).
+  return remaining + 1;
+}
+
+}  // namespace eve

@@ -1,0 +1,200 @@
+// ExecContext: cooperative resource governance for long-running operations.
+//
+// Every potentially unbounded path in the library (planning, prepared
+// execution, the reference executor, rewriting enumeration, the MKB
+// transitive closure, maintenance recomputation, parallel sweeps) accepts a
+// `const ExecContext&` and periodically consults it.  A context carries
+//
+//   * a steady-clock deadline             -> Status::DeadlineExceeded,
+//   * a cooperative CancelToken           -> Status::Cancelled,
+//   * row / candidate / memory budgets    -> Status::ResourceExhausted.
+//
+// The default `ExecContext::Unlimited()` never fails and costs one branch
+// per (amortized) check, so ungoverned callers pay essentially nothing.
+//
+// Checking discipline: hot row loops do not consult the clock per row.
+// They charge an ExecGovernor, which accumulates counts locally and only
+// every ~kCheckStride rows (tightened to the remaining row budget) consumes
+// the context and reads the clock.  This keeps governance overhead on the
+// prepared executor inside the bench regression gate while still bounding
+// overshoot to one stride.
+//
+// Semantics by site (see docs/ERROR_MODEL.md):
+//   * cancellation is always a hard error;
+//   * deadline / budget exhaustion during *execution* is a hard error;
+//   * deadline / candidate-budget exhaustion during rewriting *enumeration*
+//     degrades to a truncated best-so-far result instead of failing.
+
+#ifndef EVE_COMMON_EXEC_CONTEXT_H_
+#define EVE_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace eve {
+
+/// A shared cooperative cancellation flag.  One token may govern many
+/// contexts / operations; `Cancel()` is safe from any thread, including
+/// concurrently with governed execution.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Deadline, cancellation, and budgets for one governed operation tree.
+///
+/// Configure with the With* setters (chainable; call before handing the
+/// context to governed code), then pass by const reference -- consumption
+/// accounting is internally atomic, so one context may be shared by
+/// concurrent shards of the same operation.  Non-copyable; contexts are
+/// cheap to construct per operation.
+class ExecContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Sentinel for "no budget".
+  static constexpr int64_t kUnlimited = INT64_MAX;
+  /// Amortization stride of governed row loops: at most this many rows are
+  /// processed between deadline/cancellation checks.
+  static constexpr int64_t kCheckStride = 4096;
+
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// The process-wide ungoverned context: no deadline, no budgets, never
+  /// cancelled.  Used as the default argument of every governed API.
+  static const ExecContext& Unlimited();
+
+  ExecContext& WithDeadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+    return *this;
+  }
+  ExecContext& WithDeadlineAfter(std::chrono::nanoseconds timeout) {
+    return WithDeadline(Clock::now() + timeout);
+  }
+  /// Budget on row-level work units (rows scanned/emitted/gathered,
+  /// closure edges expanded).
+  ExecContext& WithRowBudget(int64_t rows) {
+    row_budget_ = rows;
+    return *this;
+  }
+  /// Budget on rewriting candidates admitted during enumeration.
+  ExecContext& WithCandidateBudget(int64_t candidates) {
+    candidate_budget_ = candidates;
+    return *this;
+  }
+  /// Budget on bytes of transient working-set memory.
+  ExecContext& WithMemoryBudget(int64_t bytes) {
+    memory_budget_ = bytes;
+    return *this;
+  }
+  /// `token` must outlive every operation governed by this context.
+  ExecContext& WithCancelToken(const CancelToken* token) {
+    cancel_ = token;
+    return *this;
+  }
+
+  /// True when any governance knob is set -- callers may skip per-row
+  /// accounting entirely when false.
+  bool limited() const {
+    return has_deadline_ || cancel_ != nullptr || row_budget_ != kUnlimited ||
+           candidate_budget_ != kUnlimited || memory_budget_ != kUnlimited;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  /// Point check of cancellation then deadline (reads the clock).
+  Status CheckNow() const;
+
+  /// Charges `n` work units against the corresponding budget.  Returns
+  /// ResourceExhausted once the cumulative consumption exceeds the budget;
+  /// counters keep counting past exhaustion so the message reports the true
+  /// overshoot.  Thread-safe; callable on a const shared context.
+  Status ConsumeRows(int64_t n) const;
+  Status ConsumeCandidates(int64_t n) const;
+  Status ConsumeMemory(int64_t bytes) const;
+
+  int64_t rows_used() const { return rows_used_.load(std::memory_order_relaxed); }
+  int64_t candidates_used() const {
+    return candidates_used_.load(std::memory_order_relaxed);
+  }
+  int64_t memory_used() const {
+    return memory_used_.load(std::memory_order_relaxed);
+  }
+  int64_t row_budget() const { return row_budget_; }
+  int64_t candidate_budget() const { return candidate_budget_; }
+  int64_t memory_budget() const { return memory_budget_; }
+
+  /// Rows still chargeable before ConsumeRows fails (kUnlimited when no row
+  /// budget is set, 0 once exhausted).
+  int64_t RowsRemaining() const;
+
+ private:
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  const CancelToken* cancel_ = nullptr;
+  int64_t row_budget_ = kUnlimited;
+  int64_t candidate_budget_ = kUnlimited;
+  int64_t memory_budget_ = kUnlimited;
+  // Mutable: consumption accounting must work through the const reference
+  // that governed code receives; atomics make it safe for shared contexts.
+  mutable std::atomic<int64_t> rows_used_{0};
+  mutable std::atomic<int64_t> candidates_used_{0};
+  mutable std::atomic<int64_t> memory_used_{0};
+};
+
+/// Amortized per-loop charging front end for an ExecContext.
+///
+/// One governor per governed loop nest (NOT shared between threads; each
+/// shard builds its own over the shared context).  `Charge(n)` is the
+/// per-row/per-batch hot call: it only bumps a local counter until a stride
+/// boundary, then flushes -- consuming the context's row budget and
+/// checking cancellation + deadline.  The stride starts at
+/// ExecContext::kCheckStride and tightens to the remaining row budget so
+/// small budgets trip within one flush.  Call `Flush()` once after the loop
+/// so the tail is charged before results are returned.
+class ExecGovernor {
+ public:
+  explicit ExecGovernor(const ExecContext& ctx)
+      : ctx_(&ctx), active_(ctx.limited()) {
+    if (active_) stride_ = NextStride();
+  }
+
+  bool active() const { return active_; }
+
+  Status Charge(int64_t n = 1) {
+    if (!active_) return Status::OK();
+    pending_ += n;
+    if (pending_ < stride_) return Status::OK();
+    return Flush();
+  }
+
+  /// Consumes the pending charge and performs a point check.
+  Status Flush();
+
+ private:
+  int64_t NextStride() const;
+
+  const ExecContext* ctx_;
+  bool active_;
+  int64_t pending_ = 0;
+  int64_t stride_ = ExecContext::kCheckStride;
+};
+
+}  // namespace eve
+
+#endif  // EVE_COMMON_EXEC_CONTEXT_H_

@@ -1,0 +1,185 @@
+#include "common/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/result.h"
+#include "common/str_util.h"
+
+namespace eve {
+namespace {
+
+// SplitMix64: a deterministic 64-bit mixer; good enough to turn (seed,
+// site, hit) into an unbiased coin.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double DeterministicCoin(uint64_t seed, const std::string& site, int64_t hit) {
+  uint64_t h = seed;
+  for (char c : site) h = Mix64(h ^ static_cast<unsigned char>(c));
+  h = Mix64(h ^ static_cast<uint64_t>(hit));
+  // 53 mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Result<StatusCode> ParseCode(const std::string& name) {
+  if (name == "internal") return StatusCode::kInternal;
+  if (name == "deadline") return StatusCode::kDeadlineExceeded;
+  if (name == "cancelled") return StatusCode::kCancelled;
+  if (name == "resource") return StatusCode::kResourceExhausted;
+  if (name == "failed") return StatusCode::kFailedPrecondition;
+  if (name == "notfound") return StatusCode::kNotFound;
+  return Status::InvalidArgument("unknown fault code '" + name + "'");
+}
+
+}  // namespace
+
+FaultInjection& FaultInjection::Instance() {
+  static FaultInjection* instance = new FaultInjection();
+  return *instance;
+}
+
+FaultInjection::FaultInjection() {
+  const char* env = std::getenv("EVE_FAULT_SPEC");
+  if (env != nullptr && *env != '\0') {
+    // Constructor context: nothing to return an error to; a malformed env
+    // spec must not silently disable chaos, so fail loudly.
+    const Status s = ArmFromString(env);
+    if (!s.ok()) {
+      std::fprintf(stderr, "EVE_FAULT_SPEC invalid: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+void FaultInjection::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sites_.insert_or_assign(site, SiteState{spec, 0, 0});
+  (void)it;
+  if (inserted) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status FaultInjection::ArmFromString(const std::string& spec_text) {
+  for (const std::string& raw : Split(spec_text, ';')) {
+    const std::string entry(StripWhitespace(raw));
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' is not site=rule");
+    }
+    const std::string site = entry.substr(0, eq);
+    std::string rule = entry.substr(eq + 1);
+    FaultSpec spec;
+    const size_t colon = rule.rfind(':');
+    if (colon != std::string::npos) {
+      EVE_ASSIGN_OR_RETURN(spec.code, ParseCode(rule.substr(colon + 1)));
+      rule = rule.substr(0, colon);
+    }
+    if (rule.empty()) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' has an empty rule");
+    }
+    if (rule[0] == 'p') {
+      // Probabilistic: p<prob>@<seed>
+      const size_t at = rule.find('@');
+      if (at == std::string::npos) {
+        return Status::InvalidArgument("probabilistic fault rule '" + rule +
+                                       "' needs @<seed>");
+      }
+      char* end = nullptr;
+      spec.probability = std::strtod(rule.c_str() + 1, &end);
+      if (end != rule.c_str() + at || spec.probability < 0.0 ||
+          spec.probability > 1.0) {
+        return Status::InvalidArgument("bad fault probability in '" + rule + "'");
+      }
+      spec.seed = std::strtoull(rule.c_str() + at + 1, &end, 10);
+      if (*end != '\0') {
+        return Status::InvalidArgument("bad fault seed in '" + rule + "'");
+      }
+    } else {
+      // Count window: <after>[+<count>], '*' count = unlimited.
+      char* end = nullptr;
+      spec.after = std::strtoll(rule.c_str(), &end, 10);
+      if (end == rule.c_str() || spec.after < 0) {
+        return Status::InvalidArgument("bad fault offset in '" + rule + "'");
+      }
+      if (*end == '+') {
+        const char* count_text = end + 1;
+        if (std::string(count_text) == "*") {
+          spec.count = -1;
+        } else {
+          spec.count = std::strtoll(count_text, &end, 10);
+          if (end == count_text || *end != '\0' || spec.count < 1) {
+            return Status::InvalidArgument("bad fault count in '" + rule + "'");
+          }
+        }
+      } else if (*end != '\0') {
+        return Status::InvalidArgument("trailing junk in fault rule '" + rule +
+                                       "'");
+      }
+    }
+    Arm(site, spec);
+  }
+  return Status::OK();
+}
+
+void FaultInjection::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.erase(site) > 0) {
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjection::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+Status FaultInjection::OnHit(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return Status::OK();
+  SiteState& state = it->second;
+  const int64_t hit = state.hits++;
+  bool fire;
+  if (state.spec.probability < 1.0) {
+    fire = DeterministicCoin(state.spec.seed, it->first, hit) <
+           state.spec.probability;
+  } else {
+    fire = hit >= state.spec.after &&
+           (state.spec.count < 0 || hit < state.spec.after + state.spec.count);
+  }
+  if (!fire) return Status::OK();
+  ++state.fired;
+  return Status(state.spec.code,
+                StrFormat("injected fault at %s (hit %lld)", site,
+                          static_cast<long long>(hit + 1)));
+}
+
+int64_t FaultInjection::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultInjection::FiredCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+std::vector<std::string> FaultInjection::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, state] : sites_) out.push_back(site);
+  return out;
+}
+
+}  // namespace eve

@@ -1,0 +1,132 @@
+// Deterministic fault injection for chaos testing.
+//
+// Long-running paths declare named fault points:
+//
+//   Status Execute(...) {
+//     EVE_FAULT_POINT("executor.probe");   // may `return` an injected error
+//     ...
+//   }
+//
+// With nothing armed the macro costs one relaxed atomic load and a
+// predictable branch -- effectively free in release builds.  Tests (or an
+// operator, via the EVE_FAULT_SPEC environment variable) arm specific sites
+// with either count-window triggering ("fail the 3rd hit") or seeded
+// probabilistic triggering ("fail 10% of hits, deterministically derived
+// from a seed"), so every chaos run is reproducible.
+//
+// Spec grammar (EVE_FAULT_SPEC, ';'-separated entries):
+//   site=<after>[+<count>][:<code>]   count window: skip <after> hits, then
+//                                     fail <count> hits (default 1, '*' =
+//                                     every later hit)
+//   site=p<prob>@<seed>[:<code>]      probabilistic: fail with probability
+//                                     <prob>, coin derived from (seed, site,
+//                                     hit index)
+// Codes: internal (default), deadline, cancelled, resource, failed,
+// notfound.  Example:
+//   EVE_FAULT_SPEC="executor.gather=0;mkb.closure=p0.25@42:resource"
+//
+// Fault points sit *before* the state mutations of their site, so an
+// injected failure never leaves torn state -- re-running the operation
+// after disarming must succeed byte-identically (asserted by the chaos
+// suite).
+
+#ifndef EVE_COMMON_FAULT_INJECTION_H_
+#define EVE_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eve {
+
+/// Triggering rule for one armed site.
+struct FaultSpec {
+  /// Hits to let pass before firing (count-window mode).
+  int64_t after = 0;
+  /// Consecutive hits to fail once triggered; -1 = every hit from `after`.
+  int64_t count = 1;
+  /// Error category of the injected Status.
+  StatusCode code = StatusCode::kInternal;
+  /// When < 1.0, probabilistic mode: each hit fails with this probability,
+  /// decided by a deterministic hash of (seed, site, hit index); `after`
+  /// and `count` are ignored.
+  double probability = 1.0;
+  uint64_t seed = 0;
+};
+
+/// Process-wide fault-point registry.  All methods are thread-safe.
+class FaultInjection {
+ public:
+  static FaultInjection& Instance();
+
+  /// Convenience for call sites that cannot use EVE_FAULT_POINT (e.g.
+  /// inside retry loops where returning is wrong): the enabled()-gated
+  /// probe, returning the injected Status or OK.
+  static Status Probe(const char* site) {
+    FaultInjection& fi = Instance();
+    if (!fi.enabled()) return Status::OK();
+    return fi.OnHit(site);
+  }
+
+  /// True when at least one site is armed (relaxed load; the macro's fast
+  /// path).
+  bool enabled() const {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms `site` with `spec` (re-arming replaces the spec and resets the
+  /// site's hit counters).
+  void Arm(const std::string& site, FaultSpec spec);
+
+  /// Parses and arms an EVE_FAULT_SPEC-grammar string (see file comment).
+  Status ArmFromString(const std::string& spec_text);
+
+  void Disarm(const std::string& site);
+
+  /// Disarms every site and clears all counters.
+  void Reset();
+
+  /// Records a hit on `site`; returns the injected Status when the site is
+  /// armed and its rule fires, OK otherwise.
+  Status OnHit(const char* site);
+
+  /// Total hits observed on `site` while armed (0 when never armed).
+  int64_t HitCount(const std::string& site) const;
+  /// Hits on `site` that actually injected a failure.
+  int64_t FiredCount(const std::string& site) const;
+
+  std::vector<std::string> ArmedSites() const;
+
+ private:
+  FaultInjection();  // Arms from EVE_FAULT_SPEC when set.
+
+  struct SiteState {
+    FaultSpec spec;
+    int64_t hits = 0;
+    int64_t fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+  std::atomic<int64_t> armed_sites_{0};
+};
+
+}  // namespace eve
+
+/// Declares a named fault point: when armed and triggered, returns the
+/// injected error Status from the enclosing function.  Expands to a
+/// complete if/else chain (single-statement-safe, no dangling else).
+#define EVE_FAULT_POINT(site)                                        \
+  if (!::eve::FaultInjection::Instance().enabled()) {                \
+  } else if (::eve::Status _eve_fault_status__ =                     \
+                 ::eve::FaultInjection::Instance().OnHit(site);      \
+             _eve_fault_status__.ok()) {                             \
+  } else /* NOLINT(readability/braces) */                            \
+    return _eve_fault_status__
+
+#endif  // EVE_COMMON_FAULT_INJECTION_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace eve {
@@ -45,6 +47,63 @@ void ParallelFor(int64_t n, int threads,
   for (int t = 0; t < workers - 1; ++t) pool.emplace_back(drain);
   drain();  // The calling thread is the last worker.
   for (std::thread& t : pool) t.join();
+}
+
+Status ParallelForStatus(int64_t n, int threads,
+                         const std::function<Status(int64_t)>& body,
+                         const ExecContext& ctx) {
+  if (n <= 0) return Status::OK();
+  const int workers =
+      static_cast<int>(std::min<int64_t>(std::max(threads, 1), n));
+
+  std::atomic<bool> stop{false};
+  std::mutex error_mu;
+  int64_t error_index = -1;
+  Status first_error;
+  auto record_error = [&](int64_t i, Status s) {
+    stop.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (error_index < 0 || i < error_index) {
+      error_index = i;
+      first_error = std::move(s);
+    }
+  };
+  auto run_one = [&](int64_t i) {
+    if (ctx.limited()) {
+      Status s = ctx.CheckNow();
+      if (!s.ok()) {
+        record_error(i, std::move(s));
+        return;
+      }
+    }
+    Status s = body(i);
+    if (!s.ok()) record_error(i, std::move(s));
+  };
+
+  if (workers == 1) {
+    for (int64_t i = 0; i < n && !stop.load(std::memory_order_relaxed); ++i) {
+      run_one(i);
+    }
+    return first_error;
+  }
+
+  std::atomic<int64_t> cursor{0};
+  auto drain = [&] {
+    const bool was_parallel = in_parallel_region;
+    in_parallel_region = true;
+    for (int64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+         i < n && !stop.load(std::memory_order_relaxed);
+         i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      run_one(i);
+    }
+    in_parallel_region = was_parallel;  // Restore for the calling thread.
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (int t = 0; t < workers - 1; ++t) pool.emplace_back(drain);
+  drain();
+  for (std::thread& t : pool) t.join();
+  return first_error;
 }
 
 int DefaultThreadCount() {

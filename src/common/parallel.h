@@ -14,6 +14,9 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/exec_context.h"
+#include "common/status.h"
+
 namespace eve {
 
 /// Invokes `body(i)` for every i in [0, n) across up to `threads` worker
@@ -22,6 +25,17 @@ namespace eve {
 /// concurrently for distinct indexes and must not throw.
 void ParallelFor(int64_t n, int threads,
                  const std::function<void(int64_t)>& body);
+
+/// Status-propagating ParallelFor: the first failure cancels the sibling
+/// shards -- workers finish the body they are in, un-started indexes are
+/// skipped -- and is returned (among concurrent failures, the one with the
+/// lowest index wins, so single-threaded and multi-threaded runs report the
+/// same error for deterministic bodies).  A limited `ctx` is re-checked
+/// before each body, so cancellation and deadlines stop the sweep the same
+/// way.  Determinism contract for OK runs: identical to ParallelFor.
+Status ParallelForStatus(int64_t n, int threads,
+                         const std::function<Status(int64_t)>& body,
+                         const ExecContext& ctx = ExecContext::Unlimited());
 
 /// Thread count for parallel sections: the EVE_THREADS environment variable
 /// when set to a positive integer, else std::thread::hardware_concurrency()

@@ -49,8 +49,13 @@ class Result {
   T* operator->() { return &value(); }
 
   /// Returns the value or `fallback` if this Result holds an error.
-  T value_or(T fallback) const {
+  T value_or(T fallback) const& {
     return ok() ? *value_ : std::move(fallback);
+  }
+  /// Rvalue overload: moves the contained value out instead of copying it,
+  /// so `std::move(result).value_or(fb)` is cheap for heavy payloads.
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
   }
 
  private:
@@ -62,16 +67,28 @@ class Result {
 
 /// Evaluates a Result<T> expression; on error returns the Status, otherwise
 /// assigns the value to `lhs` (which may be a declaration).
-#define EVE_ASSIGN_OR_RETURN(lhs, expr)                       \
-  EVE_ASSIGN_OR_RETURN_IMPL_(                                 \
-      EVE_RESULT_CONCAT_(_eve_result__, __LINE__), lhs, expr)
+///
+/// Because `lhs` may be a declaration, the expansion is necessarily more
+/// than one statement and REQUIRES an enclosing block.  Using it as the
+/// body of a brace-less `if`/`else`/loop is a compile error (the temporary
+/// named eve_assign_or_return_requires_block_scope_<line> goes out of scope
+/// before its use) rather than a silent misbehavior, and the internal error
+/// check is a complete if/else so a trailing user `else` can never bind
+/// into the macro.
+#define EVE_ASSIGN_OR_RETURN(lhs, expr)           \
+  EVE_ASSIGN_OR_RETURN_IMPL_(                     \
+      EVE_RESULT_CONCAT_(                         \
+          eve_assign_or_return_requires_block_scope_, __LINE__), \
+      lhs, expr)
 
 #define EVE_RESULT_CONCAT_INNER_(a, b) a##b
 #define EVE_RESULT_CONCAT_(a, b) EVE_RESULT_CONCAT_INNER_(a, b)
 
 #define EVE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
   auto tmp = (expr);                               \
-  if (!tmp.ok()) return tmp.status();              \
+  if (tmp.ok()) {                                  \
+  } else /* NOLINT(readability/braces) */          \
+    return tmp.status();                           \
   lhs = std::move(tmp).value()
 
 #endif  // EVE_COMMON_RESULT_H_

@@ -36,6 +36,12 @@ enum class StatusCode {
   kInternal,
   /// The requested feature is recognized but not implemented.
   kUnimplemented,
+  /// An ExecContext deadline expired before the operation finished.
+  kDeadlineExceeded,
+  /// The operation was cancelled cooperatively through a CancelToken.
+  kCancelled,
+  /// An ExecContext row/candidate/memory budget was exhausted.
+  kResourceExhausted,
 };
 
 /// Returns the canonical spelling of a status code, e.g. "NotFound".
@@ -66,6 +72,9 @@ class Status {
   static Status ParseError(std::string msg);
   static Status Internal(std::string msg);
   static Status Unimplemented(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
+  static Status Cancelled(std::string msg);
+  static Status ResourceExhausted(std::string msg);
 
   /// True iff this status represents success.
   bool ok() const { return rep_ == nullptr; }
@@ -94,10 +103,14 @@ class Status {
 }  // namespace eve
 
 /// Propagates an error status out of the enclosing function.
-#define EVE_RETURN_IF_ERROR(expr)                \
-  do {                                           \
-    ::eve::Status _eve_status__ = (expr);        \
-    if (!_eve_status__.ok()) return _eve_status__; \
-  } while (false)
+///
+/// Expands to a complete if/else statement, so it is safe as the body of a
+/// brace-less `if`/`else`/loop and a trailing user `else` cannot bind into
+/// it (the classic dangling-else hazard of `do { } while (false)`-free
+/// multi-statement macros).
+#define EVE_RETURN_IF_ERROR(expr)                                    \
+  if (::eve::Status _eve_status__ = (expr); _eve_status__.ok()) {    \
+  } else /* NOLINT(readability/braces) */                            \
+    return _eve_status__
 
 #endif  // EVE_COMMON_STATUS_H_

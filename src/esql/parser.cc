@@ -233,7 +233,9 @@ class Parser {
     ConditionItem item;
     const bool parenthesized = ConsumeIf(TokenType::kLParen);
     EVE_ASSIGN_OR_RETURN(item.clause, ParseClause());
-    if (parenthesized) EVE_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    if (parenthesized) {
+      EVE_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    }
     if (Check(TokenType::kLParen) && LooksLikeParams()) {
       EVE_ASSIGN_OR_RETURN(ParamList params, ParseParams());
       for (const Param& p : params) {

@@ -1,5 +1,6 @@
 #include "eve/eve_system.h"
 
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "esql/constraint_parser.h"
 #include "esql/parser.h"
@@ -11,6 +12,8 @@ std::string ViewSynchronizationReport::ToString() const {
   std::string out = "view " + view_name + ": ";
   if (!affected) return out + "unaffected";
   out += std::string(ViewStateToString(resulting_state));
+  // Only governed runs can truncate, so ungoverned reports are unchanged.
+  if (truncated) out += " [truncated]";
   if (!ranking.empty()) {
     out += StrFormat(" (%d legal rewritings)\n",
                      static_cast<int>(ranking.size()));
@@ -73,10 +76,12 @@ Status EveSystem::DefineView(ViewDefinition definition) {
 }
 
 Status EveSystem::Materialize(const std::string& view_name) {
+  // Before the recompute: a fault here leaves the previous extent intact.
+  EVE_FAULT_POINT("eve.materialize");
   EVE_ASSIGN_OR_RETURN(const ViewEntry* entry, vkb_.Get(view_name));
   ViewMaintainer maintainer(space_, options_.maintainer, &plan_cache_);
   EVE_ASSIGN_OR_RETURN(Relation extent,
-                       maintainer.Recompute(entry->definition));
+                       maintainer.Recompute(entry->definition, ExecCtx()));
   return vkb_.SetExtent(view_name, std::move(extent));
 }
 
@@ -141,14 +146,21 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
     // produces the identical report (tested).
     bool affected = false;
     bool dead = false;
+    bool truncated = false;
+    std::string truncation_reason;
     ViewDefinition first_legal;
     if (options_.synchronizer.use_delta_enumeration) {
-      EVE_ASSIGN_OR_RETURN(
-          CandidateSynchronizationResult sync,
-          synchronizer.SynchronizeCandidates(entry->definition, change));
+      EVE_ASSIGN_OR_RETURN(CandidateSynchronizationResult sync,
+                           synchronizer.SynchronizeCandidates(
+                               entry->definition, change, ExecCtx()));
       affected = sync.affected;
-      dead = sync.affected && sync.candidates.empty();
-      if (!dead && sync.affected) {
+      truncated = sync.truncated;
+      truncation_reason = std::move(sync.truncation_reason);
+      // A truncated empty result proves nothing: the view may well have
+      // rewritings the budget never reached, so death is only declared
+      // from a COMPLETE enumeration (checked below).
+      dead = sync.affected && sync.candidates.empty() && !truncated;
+      if (!dead && sync.affected && !sync.candidates.empty()) {
         if (options_.adopt_first_legal) {
           first_legal = sync.candidates.front().Definition();
         }
@@ -171,8 +183,18 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
             model.Rank(entry->definition, std::move(sync.rewritings), mkb_));
       }
     }
+    if (affected && truncated && view_report.ranking.empty() &&
+        first_legal.name.empty()) {
+      // Neither adoption nor death can be decided for this view; fail the
+      // whole change BEFORE any state mutation (steps 4-5 have not run).
+      return Status::ResourceExhausted(
+          "synchronization of view " + view_name +
+          " was cut off before any legal rewriting was found (" +
+          truncation_reason + "); raise the budget/deadline and renotify");
+    }
 
     view_report.affected = affected;
+    view_report.truncated = truncated;
     if (!affected) {
       report.views.push_back(std::move(view_report));
       continue;
@@ -195,6 +217,10 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
 
   // 4. Apply the change to space + MKB.  Every prepared plan may reference
   // restructured relations, so the plan cache starts a fresh epoch.
+  // Last cancellation/deadline poll before the commit point: steps 4-5
+  // mutate space, MKB, and VKB, and must run to completion once started
+  // (rematerialization failures below are therefore not suppressed either).
+  EVE_RETURN_IF_ERROR(ExecCtx().CheckNow());
   EVE_ASSIGN_OR_RETURN(report.mkb_constraints_dropped,
                        space_.ApplySchemaChange(change, &mkb_));
   plan_cache_.Clear();
@@ -206,7 +232,9 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
   for (Pending& p : adoptions) {
     EVE_RETURN_IF_ERROR(
         vkb_.ReplaceDefinition(p.view, std::move(p.new_def), report.change));
-    if (options_.materialize) EVE_RETURN_IF_ERROR(Materialize(p.view));
+    if (options_.materialize) {
+      EVE_RETURN_IF_ERROR(Materialize(p.view));
+    }
   }
   return report;
 }
@@ -225,9 +253,9 @@ Result<MaintenanceCounters> EveSystem::NotifyDataUpdate(
   for (const std::string& view_name : vkb_.ViewNames()) {
     EVE_ASSIGN_OR_RETURN(ViewEntry * entry, vkb_.GetMutable(view_name));
     if (entry->state != ViewState::kAlive || !entry->materialized) continue;
-    EVE_ASSIGN_OR_RETURN(
-        MaintenanceCounters counters,
-        maintainer.ProcessUpdate(entry->definition, update, &entry->extent));
+    EVE_ASSIGN_OR_RETURN(MaintenanceCounters counters,
+                         maintainer.ProcessUpdate(entry->definition, update,
+                                                  &entry->extent, ExecCtx()));
     total += counters;
   }
   if (update.kind == UpdateKind::kDelete) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "esql/ast.h"
 #include "maintenance/maintainer.h"
@@ -36,6 +37,10 @@ namespace eve {
 struct ViewSynchronizationReport {
   std::string view_name;
   bool affected = false;
+  /// True when the governed rewriting enumeration stopped early (deadline /
+  /// candidate budget): the ranking covers the best-so-far legal rewritings
+  /// only.  Never set when the system runs ungoverned.
+  bool truncated = false;
   ViewState resulting_state = ViewState::kAlive;
   /// Ranked legal rewritings (best first); empty when unaffected or dead.
   std::vector<RankedRewriting> ranking;
@@ -68,6 +73,17 @@ struct EveOptions {
   /// EVE prototype (paper §8) and exists for head-to-head comparisons; the
   /// ranking is still computed for reporting.
   bool adopt_first_legal = false;
+  /// Optional resource governance for every long-running path the system
+  /// drives (synchronization, materialization, maintenance).  Borrowed, not
+  /// owned -- must outlive the system.  Null runs ungoverned.
+  ///
+  /// Degradation semantics: a deadline or candidate-budget stop during
+  /// rewriting enumeration adopts the best rewriting found in time and
+  /// marks the report truncated; it never falsely declares a view dead (a
+  /// truncated enumeration with NO rewriting found is an error, since
+  /// neither adoption nor death can be decided).  Stops during execution /
+  /// materialization are hard errors, raised before any state mutation.
+  const ExecContext* exec = nullptr;
 };
 
 /// The EVE system facade.
@@ -132,6 +148,11 @@ class EveSystem {
 
  private:
   Status Materialize(const std::string& view_name);
+
+  /// The governing context (Unlimited when options_.exec is null).
+  const ExecContext& ExecCtx() const {
+    return options_.exec != nullptr ? *options_.exec : ExecContext::Unlimited();
+  }
 
   EveOptions options_;
   InformationSpace space_;

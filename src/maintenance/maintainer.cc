@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "algebra/executor.h"
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "expr/eval.h"
 #include "plan/plan_cache.h"
@@ -41,30 +43,56 @@ struct Resolved {
 
 }  // namespace
 
-Result<Relation> ViewMaintainer::Recompute(const ViewDefinition& view) const {
+Result<Relation> ViewMaintainer::Recompute(const ViewDefinition& view,
+                                           const ExecContext& ctx) const {
   // Bag semantics: the materialized extent keeps one row per derivation so
   // that incremental deletes stay correct (the counting approach); readers
   // use Distinct() for set-level comparisons.
   ExecOptions opts;
   opts.distinct = false;
-  if (plan_cache_ != nullptr) return plan_cache_->Execute(view, space_, opts);
-  return ExecuteView(view, space_, opts);
+  auto run_once = [&]() -> Result<Relation> {
+    EVE_RETURN_IF_ERROR(FaultInjection::Probe("maintainer.recompute"));
+    if (plan_cache_ != nullptr) {
+      return plan_cache_->Execute(view, space_, opts, ctx);
+    }
+    return ExecuteView(view, space_, opts, ctx);
+  };
+  Result<Relation> result = run_once();
+  // Bounded retry with doubling backoff, for transient (Internal) faults
+  // only: governance errors, invalid views, etc. are deterministic and
+  // retrying them would just burn the deadline.
+  std::chrono::microseconds backoff = options_.recompute_retry_backoff;
+  for (int attempt = 1; attempt < std::max(1, options_.max_recompute_attempts);
+       ++attempt) {
+    if (result.ok() || result.status().code() != StatusCode::kInternal) break;
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+    // The backoff sleep may have crossed the deadline; never start an
+    // attempt a governed caller no longer wants.
+    EVE_RETURN_IF_ERROR(ctx.CheckNow());
+    result = run_once();
+  }
+  return result;
 }
 
-Result<Relation> ViewMaintainer::Recompute(
-    const RewriteCandidate& candidate) const {
+Result<Relation> ViewMaintainer::Recompute(const RewriteCandidate& candidate,
+                                           const ExecContext& ctx) const {
   // Materializes into a local instead of the candidate's lazy cache, so
   // concurrent what-if sweeps over one shared candidate stay race-free
   // (Definition()'s cache is not synchronized).
-  if (candidate.ops.empty()) return Recompute(*candidate.base);
-  return Recompute(candidate.base->Apply(candidate.ops));
+  if (candidate.ops.empty()) return Recompute(*candidate.base, ctx);
+  return Recompute(candidate.base->Apply(candidate.ops), ctx);
 }
 
 Result<MaintenanceCounters> ViewMaintainer::ProcessUpdate(
-    const ViewDefinition& view, const DataUpdate& update,
-    Relation* extent) const {
+    const ViewDefinition& view, const DataUpdate& update, Relation* extent,
+    const ExecContext& ctx) const {
   MaintenanceCounters counters;
   EVE_RETURN_IF_ERROR(view.Validate());
+  // Before any state mutation: a fault or governance stop here leaves the
+  // extent untouched, so the caller can recover by re-notifying.
+  EVE_FAULT_POINT("maintainer.update");
+  ExecGovernor gov(ctx);
 
   // Resolve FROM items and locate the updated relation within the view.
   std::vector<Resolved> resolved;
@@ -226,10 +254,15 @@ Result<MaintenanceCounters> ViewMaintainer::ProcessUpdate(
       }
       working = std::move(next);
       width += rel.TupleBytes();
+      EVE_RETURN_IF_ERROR(gov.Charge(static_cast<int64_t>(working.size()) + 1));
       EVE_RETURN_IF_ERROR(apply_evaluable());
     }
     counters.bytes += static_cast<int64_t>(working.size()) * width;
   }
+
+  // Final governance poll BEFORE mutating the extent: past this point the
+  // update applies atomically (all delta tuples or none).
+  EVE_RETURN_IF_ERROR(gov.Flush());
 
   // Project the delta onto the view interface and apply it to the extent.
   std::vector<int> out_cols;

@@ -13,9 +13,11 @@
 #ifndef EVE_MAINTENANCE_MAINTAINER_H_
 #define EVE_MAINTENANCE_MAINTAINER_H_
 
+#include <chrono>
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "esql/ast.h"
 #include "qc/cost_model.h"
@@ -50,6 +52,13 @@ struct MaintainerOptions {
   /// Join I/O accounting: the per-site "optimizer" charges the cheaper of a
   /// full scan and clustered index lookups per delta tuple.
   IoBoundPolicy io_policy = IoBoundPolicy::kLower;
+  /// Recompute retries transient (Internal) execution failures up to this
+  /// many total attempts; deterministic failures and governance errors
+  /// never retry.
+  int max_recompute_attempts = 3;
+  /// Sleep before the first retry; doubles per further attempt.  Zero
+  /// disables the sleep (retries still happen).
+  std::chrono::microseconds recompute_retry_backoff{100};
 };
 
 class PlanCache;
@@ -69,19 +78,32 @@ class ViewMaintainer {
   /// already have been applied to the information space for inserts, or not
   /// yet removed for deletes; the maintainer only evaluates joins against
   /// the *other* relations, so either order works for them.
-  Result<MaintenanceCounters> ProcessUpdate(const ViewDefinition& view,
-                                            const DataUpdate& update,
-                                            Relation* extent) const;
+  ///
+  /// `ctx` governs the delta join: every intermediate delta tuple charges
+  /// the row budget, and deadline/cancellation are polled at the usual
+  /// amortized stride.
+  Result<MaintenanceCounters> ProcessUpdate(
+      const ViewDefinition& view, const DataUpdate& update, Relation* extent,
+      const ExecContext& ctx = ExecContext::Unlimited()) const;
 
   /// Recomputes the extent from scratch (for initialization and as a test
-  /// oracle against incremental maintenance).
-  Result<Relation> Recompute(const ViewDefinition& view) const;
+  /// oracle against incremental maintenance).  Transient (Internal)
+  /// execution failures are retried up to
+  /// MaintainerOptions::max_recompute_attempts times with doubling backoff;
+  /// governance failures (deadline, budget, cancellation) fail immediately
+  /// and are re-checked between attempts so a retry loop can never outlive
+  /// its deadline.
+  Result<Relation> Recompute(
+      const ViewDefinition& view,
+      const ExecContext& ctx = ExecContext::Unlimited()) const;
 
   /// Candidate-consuming variant: recomputes the extent a (base, delta)
   /// rewriting candidate would materialize, using the candidate's lazy
   /// one-shot definition.  Lets what-if evaluation of a rewriting (e.g.
   /// measuring real extents for MeasureQuality) run without adopting it.
-  Result<Relation> Recompute(const RewriteCandidate& candidate) const;
+  Result<Relation> Recompute(
+      const RewriteCandidate& candidate,
+      const ExecContext& ctx = ExecContext::Unlimited()) const;
 
  private:
   const InformationSpace& space_;

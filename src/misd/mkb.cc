@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "common/hashing.h"
 #include "common/str_util.h"
 
@@ -442,10 +443,15 @@ namespace {
 
 // Breadth-first closure over `adjacency` (a callable RelationId -> edge
 // list); shortest derivation wins the structural dedup because the search
-// is breadth-first.
+// is breadth-first.  A non-null `gov` charges one work unit per expanded
+// frontier edge and per composed edge, bounding pathological closures under
+// a governed context (the error aborts the search; callers must not cache
+// the partial result).
 template <typename AdjacencyFn>
-std::vector<PcEdge> ComputeClosure(const RelationId& source, int max_hops,
-                                   AdjacencyFn&& adjacency) {
+Result<std::vector<PcEdge>> ComputeClosure(const RelationId& source,
+                                           int max_hops,
+                                           AdjacencyFn&& adjacency,
+                                           ExecGovernor* gov) {
   std::vector<PcEdge> result;
   std::unordered_set<EdgeSignature, EdgeSignatureHash> seen;
 
@@ -454,6 +460,9 @@ std::vector<PcEdge> ComputeClosure(const RelationId& source, int max_hops,
   for (int hop = 1; hop <= max_hops && !frontier.empty(); ++hop) {
     std::vector<PcEdge> next;
     for (const PcEdge& edge : frontier) {
+      if (gov != nullptr) {
+        EVE_RETURN_IF_ERROR(gov->Charge());
+      }
       if (seen.insert(EdgeSignature{edge.target, edge.type, edge.attribute_map})
               .second) {
         result.push_back(edge);
@@ -484,6 +493,9 @@ std::vector<PcEdge> ComputeClosure(const RelationId& source, int max_hops,
         composed.target_selectivity = ext.target_selectivity;
         composed.source_selection = edge.source_selection;
         composed.target_selection = ext.target_selection;
+        if (gov != nullptr) {
+          EVE_RETURN_IF_ERROR(gov->Charge());
+        }
         next.push_back(std::move(composed));
       }
     }
@@ -507,19 +519,50 @@ const std::vector<PcEdge>& MetaKnowledgeBase::PcEdgesFromTransitive(
       hit != closure_cache_.end()) {
     return hit->second;
   }
-  std::vector<PcEdge> result = ComputeClosure(
-      source, max_hops,
-      [this](const RelationId& id) -> const std::vector<PcEdge>& {
-        return AdjacencyForLocked(id);
-      });
+  std::vector<PcEdge> result =
+      ComputeClosure(
+          source, max_hops,
+          [this](const RelationId& id) -> const std::vector<PcEdge>& {
+            return AdjacencyForLocked(id);
+          },
+          /*gov=*/nullptr)
+          .value();  // Ungoverned closure cannot fail.
   return closure_cache_.emplace(cache_key, std::move(result)).first->second;
+}
+
+Result<const std::vector<PcEdge>*>
+MetaKnowledgeBase::PcEdgesFromTransitiveGoverned(const RelationId& source,
+                                                 int max_hops,
+                                                 const ExecContext& ctx) const {
+  EVE_FAULT_POINT("mkb.closure");
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  const auto cache_key = std::make_pair(source, max_hops);
+  if (const auto hit = closure_cache_.find(cache_key);
+      hit != closure_cache_.end()) {
+    return &hit->second;
+  }
+  ExecGovernor gov(ctx);
+  EVE_ASSIGN_OR_RETURN(
+      std::vector<PcEdge> result,
+      ComputeClosure(
+          source, max_hops,
+          [this](const RelationId& id) -> const std::vector<PcEdge>& {
+            return AdjacencyForLocked(id);
+          },
+          &gov));
+  EVE_RETURN_IF_ERROR(gov.Flush());
+  const std::vector<PcEdge>* memoized =
+      &closure_cache_.emplace(cache_key, std::move(result)).first->second;
+  return memoized;
 }
 
 std::vector<PcEdge> MetaKnowledgeBase::PcEdgesFromTransitiveUncached(
     const RelationId& source, int max_hops) const {
-  return ComputeClosure(source, max_hops, [this](const RelationId& id) {
-    return PcEdgesFrom(id);
-  });
+  return ComputeClosure(
+             source, max_hops,
+             [this](const RelationId& id) { return PcEdgesFrom(id); },
+             /*gov=*/nullptr)
+      .value();
 }
 
 std::vector<TypeConstraint> MetaKnowledgeBase::TypeConstraints() const {

@@ -19,6 +19,7 @@
 
 #include "catalog/names.h"
 #include "catalog/schema.h"
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "misd/constraints.h"
 #include "misd/statistics.h"
@@ -138,6 +139,15 @@ class MetaKnowledgeBase {
   /// reader may still hold.
   const std::vector<PcEdge>& PcEdgesFromTransitive(const RelationId& source,
                                                    int max_hops = 4) const;
+
+  /// Governed variant of PcEdgesFromTransitive: a memo hit is returned
+  /// as-is (free); a miss runs the closure search charging one row-budget
+  /// work unit per expanded/composed edge against `ctx` and honoring its
+  /// deadline and cancellation.  A governance failure caches nothing, so
+  /// the memo never holds a partial closure.  The returned pointer follows
+  /// the same validity rule as PcEdgesFromTransitive's reference.
+  Result<const std::vector<PcEdge>*> PcEdgesFromTransitiveGoverned(
+      const RelationId& source, int max_hops, const ExecContext& ctx) const;
 
   /// The same closure computed without any memoization, rebuilding the
   /// adjacency lists by scanning the constraint store per node (the seed's

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "algebra/executor.h"
+#include "common/fault_injection.h"
 #include "common/hashing.h"
 
 namespace eve {
@@ -43,7 +44,8 @@ void PlanCache::PutLocked(uint64_t key,
 
 Result<std::shared_ptr<const PreparedView>> PlanCache::Get(
     const ViewDefinition& view, const RelationProvider& provider,
-    const ExecOptions& options) {
+    const ExecOptions& options, const ExecContext& ctx) {
+  EVE_FAULT_POINT("plan_cache.get");
   const uint64_t key = CacheKey(view, options);
   bool stale = false;
   {
@@ -62,7 +64,7 @@ Result<std::shared_ptr<const PreparedView>> PlanCache::Get(
   // concurrent misses on distinct views should not serialize.  If two
   // threads race on the same key, both plans are equivalent; last wins.
   EVE_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedView> plan,
-                       PrepareView(view, provider, options));
+                       PrepareView(view, provider, options, ctx));
   std::lock_guard<std::mutex> lock(mu_);
   if (stale) {
     ++stats_.replans;
@@ -75,10 +77,28 @@ Result<std::shared_ptr<const PreparedView>> PlanCache::Get(
 
 Result<Relation> PlanCache::Execute(const ViewDefinition& view,
                                     const RelationProvider& provider,
-                                    const ExecOptions& options) {
+                                    const ExecOptions& options,
+                                    const ExecContext& ctx) {
   EVE_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedView> plan,
-                       Get(view, provider, options));
-  return ExecutePrepared(*plan);
+                       Get(view, provider, options, ctx));
+  Result<Relation> result = ExecutePrepared(*plan, ctx);
+  if (result.ok() || result.status().code() != StatusCode::kInternal) {
+    return result;
+  }
+  // Quarantine: an Internal execution failure may implicate the cached
+  // plan itself (stale snapshot the validator missed, planner bug), so
+  // evict it and replan exactly once.  A second failure propagates.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = plans_.find(CacheKey(view, options));
+    if (it != plans_.end()) {
+      lru_.erase(it->second.lru_pos);
+      plans_.erase(it);
+    }
+    ++stats_.quarantines;
+  }
+  EVE_ASSIGN_OR_RETURN(plan, Get(view, provider, options, ctx));
+  return ExecutePrepared(*plan, ctx);
 }
 
 void PlanCache::Clear() {

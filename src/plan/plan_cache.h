@@ -52,6 +52,9 @@ struct PlanCacheStats {
   int64_t misses = 0;     ///< No entry for the key.
   int64_t replans = 0;    ///< Entry found but stale (failed validation).
   int64_t evictions = 0;  ///< Entries dropped by the LRU capacity bound.
+  /// Plans evicted because executing them failed with an Internal error
+  /// (possible plan poisoning); Execute replans once after a quarantine.
+  int64_t quarantines = 0;
 };
 
 /// A concurrent, capacity-bounded LRU cache of prepared view plans.
@@ -65,15 +68,22 @@ class PlanCache {
 
   /// Returns a valid plan for (view, options), reusing the cached one when
   /// its relation snapshot still matches and replanning otherwise.
+  /// Planning work on a miss is governed by `ctx`.
   Result<std::shared_ptr<const PreparedView>> Get(
       const ViewDefinition& view, const RelationProvider& provider,
-      const ExecOptions& options = {});
+      const ExecOptions& options = {},
+      const ExecContext& ctx = ExecContext::Unlimited());
 
   /// Plans (or reuses) and executes in one call; the cached counterpart of
-  /// ExecuteView.
+  /// ExecuteView.  When execution fails with an Internal error, the cached
+  /// plan is quarantined -- evicted and replanned once -- before the error
+  /// is propagated (stats().quarantines counts these).  Governance errors
+  /// (deadline/cancel/budget) never quarantine: they implicate the caller's
+  /// limits, not the plan.
   Result<Relation> Execute(const ViewDefinition& view,
                            const RelationProvider& provider,
-                           const ExecOptions& options = {});
+                           const ExecOptions& options = {},
+                           const ExecContext& ctx = ExecContext::Unlimited());
 
   /// Drops every cached plan (schema epoch change).  Does not count as
   /// eviction.

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "expr/selectivity.h"
 #include "storage/hash_index.h"
 
@@ -165,7 +166,9 @@ bool PreparedView::Validate(const RelationProvider& provider) const {
 
 Result<std::shared_ptr<const PreparedView>> PrepareView(
     const ViewDefinition& view, const RelationProvider& provider,
-    const ExecOptions& options) {
+    const ExecOptions& options, const ExecContext& ctx) {
+  EVE_FAULT_POINT("planner.prepare");
+  ExecGovernor gov(ctx);
   EVE_RETURN_IF_ERROR(view.Validate());
   EVE_ASSIGN_OR_RETURN(std::vector<ResolvedFrom> resolved,
                        ResolveAll(view, provider));
@@ -214,12 +217,16 @@ Result<std::shared_ptr<const PreparedView>> PrepareView(
   plan->filtered.resize(n);
   plan->passes.resize(n);
   std::vector<int64_t> live(n);
+  EVE_FAULT_POINT("planner.pushdown");
   for (int k = 0; k < n; ++k) {
     const Relation& rel = *resolved[k].relation;
     if (local[k].empty()) {
       live[k] = rel.cardinality();
       continue;
     }
+    // (clauses + mask-to-list) passes over the relation.
+    EVE_RETURN_IF_ERROR(
+        gov.Charge(rel.cardinality() * (local[k].size() + 1)));
     // Each local clause is one mask kernel pass over the relation's
     // contiguous value column(s); the surviving mask doubles as the plan's
     // membership mask.
@@ -327,6 +334,7 @@ Result<std::shared_ptr<const PreparedView>> PrepareView(
       }
     }
   }
+  EVE_RETURN_IF_ERROR(gov.Flush());
   return std::shared_ptr<const PreparedView>(std::move(plan));
 }
 

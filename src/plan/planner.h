@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "algebra/provider.h"
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "esql/ast.h"
 #include "expr/eval.h"
@@ -30,9 +31,15 @@ namespace eve {
 /// mutates (PreparedView::Validate).  With options.use_index_cache the
 /// hash-join indexes the plan needs are pre-built here (WarmIndexes), so
 /// parallel first executions never race on index construction.
+///
+/// A limited `ctx` governs the row-level planning work (selection-pushdown
+/// scans) against its deadline/cancellation/row budget.  ExecContext is a
+/// per-call parameter, never part of the plan: cached plans are shared by
+/// callers with different budgets.
 Result<std::shared_ptr<const PreparedView>> PrepareView(
     const ViewDefinition& view, const RelationProvider& provider,
-    const ExecOptions& options = {});
+    const ExecOptions& options = {},
+    const ExecContext& ctx = ExecContext::Unlimited());
 
 }  // namespace eve
 

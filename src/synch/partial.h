@@ -111,6 +111,9 @@ struct RewriteCandidate {
 struct CandidateSynchronizationResult {
   bool affected = false;
   std::vector<RewriteCandidate> candidates;
+  /// Best-so-far degradation marker; see SynchronizationResult::truncated.
+  bool truncated = false;
+  std::string truncation_reason;
 };
 
 }  // namespace eve

@@ -74,8 +74,17 @@ struct SynchronizationResult {
   /// rewritings vector is then empty and the view stays untouched).
   bool affected = false;
   /// Legal rewritings, unranked (the QC-Model orders them).  Empty with
-  /// affected == true means the view cannot be preserved (it is dead).
+  /// affected == true AND truncated == false means the view cannot be
+  /// preserved (it is dead).
   std::vector<Rewriting> rewritings;
+  /// True when a governed enumeration stopped early (candidate budget or
+  /// deadline of the ExecContext): `rewritings` holds the legal best-so-far
+  /// candidates -- the paper's quality/cost trade-off as a degradation
+  /// mode, not an error.  An empty truncated result proves nothing about
+  /// view death.
+  bool truncated = false;
+  /// Human-readable cause when truncated (e.g. the budget status message).
+  std::string truncation_reason;
 };
 
 }  // namespace eve

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "synch/legality.h"
 #include "synch/partial.h"
@@ -200,6 +201,10 @@ namespace {
 struct PartialSet {
   bool affected = false;
   std::vector<Partial> partials;
+  // Set when a governed enumeration stopped early (candidate budget or
+  // deadline): `partials` holds the legal best-so-far candidates.
+  bool truncated = false;
+  std::string truncation_reason;
 };
 
 }  // namespace
@@ -207,13 +212,16 @@ struct PartialSet {
 class ViewSynchronizer::Impl {
  public:
   Impl(const MetaKnowledgeBase& mkb, const SynchronizerOptions& options,
-       const ViewDefinition& view, const SchemaChange& change)
+       const ViewDefinition& view, const SchemaChange& change,
+       const ExecContext& ctx)
       : mkb_(mkb),
         options_(options),
         original_(std::make_shared<const ViewDefinition>(view)),
-        change_(change) {}
+        change_(change),
+        ctx_(ctx) {}
 
   Result<PartialSet> Run() {
+    EVE_FAULT_POINT("synch.run");
     PartialSet result;
     EVE_RETURN_IF_ERROR(original_->Validate());
 
@@ -268,6 +276,12 @@ class ViewSynchronizer::Impl {
     partials.emplace_back(original_);
     const size_t rounds = to_fix.size();
     for (size_t fi = 0; fi < rounds && !partials.empty(); ++fi) {
+      // Governance: a budget/deadline stop mid-fold abandons the remaining
+      // rounds; Finish() then reports whatever was fully resolved so far
+      // (unresolved partials fail legality or are dropped) with the
+      // truncated flag set.  A hard error (cancellation, injected fault)
+      // propagates from Finish() instead.
+      if (StopRequested()) break;
       // The last fold round streams straight into the legality / dedup /
       // cap sink (unless drop-subset enumeration still needs the full
       // candidate set): enumeration stops the moment the cap is full.
@@ -277,13 +291,17 @@ class ViewSynchronizer::Impl {
           if (sink.full()) break;
           ResolveItem(p, to_fix[fi], deleted_attr, &sink);
         }
+        EVE_RETURN_IF_ERROR(hard_error_);
         result.affected = true;
         result.partials = sink.Take();
+        result.truncated = truncated_;
+        result.truncation_reason = truncation_reason_;
         return result;
       }
       std::vector<Partial> next;
-      CollectSink collect{&next};
+      CollectSink collect{this, &next};
       for (const Partial& p : partials) {
+        if (collect.full()) break;
         ResolveItem(p, to_fix[fi], deleted_attr, &collect);
       }
       partials = std::move(next);
@@ -505,8 +523,9 @@ class ViewSynchronizer::Impl {
     if (item == nullptr || !item->replaceable) return;
     const auto id = ResolveFromId(*item);
     if (!id.ok()) return;
-    for (const PcEdge& edge :
-         mkb_.PcEdgesFromTransitive(id.value(), options_.max_pc_hops)) {
+    const std::vector<PcEdge>* edges = TransitiveEdges(id.value());
+    if (edges == nullptr) return;
+    for (const PcEdge& edge : *edges) {
       if (out->full()) return;
       if (edge.target == ChangedRelation(change_)) continue;
       auto p = TryReplaceRelation(base, from_name, edge);
@@ -671,8 +690,9 @@ class ViewSynchronizer::Impl {
 
     // Every SELECT item losing the attribute must be replaceable; clauses
     // must be replaceable or dispensable (checked in TryJoinIn).
-    for (const PcEdge& edge :
-         mkb_.PcEdgesFromTransitive(id.value(), options_.max_pc_hops)) {
+    const std::vector<PcEdge>* edges = TransitiveEdges(id.value());
+    if (edges == nullptr) return;
+    for (const PcEdge& edge : *edges) {
       if (out->full()) return;
       if (edge.attribute_map.count(attr) == 0) continue;
       if (edge.target == id.value()) continue;
@@ -813,8 +833,9 @@ class ViewSynchronizer::Impl {
     if (item == nullptr || !item->replaceable) return;
     const auto id = ResolveFromId(*item);
     if (!id.ok()) return;
-    const std::vector<PcEdge>& edges =
-        mkb_.PcEdgesFromTransitive(id.value(), options_.max_pc_hops);
+    const std::vector<PcEdge>* edges_ptr = TransitiveEdges(id.value());
+    if (edges_ptr == nullptr) return;
+    const std::vector<PcEdge>& edges = *edges_ptr;
 
     // Per-edge coverage of the referenced attributes as bitsets, so the
     // quadratic pair loop rejects non-viable pairs (TryCvsPair's
@@ -1033,11 +1054,70 @@ class ViewSynchronizer::Impl {
                      std::make_move_iterator(extra.end()));
   }
 
-  // Accumulates candidates of an intermediate fold round; never full.
+  // ---------------------------------------------------------------------
+  // Governance
+  // ---------------------------------------------------------------------
+  //
+  // Degradation policy: a candidate-budget or deadline stop during
+  // enumeration is NOT an error -- the enumeration returns the legal
+  // best-so-far candidates with PartialSet::truncated set (the caller may
+  // still adopt the best rewriting found in time).  Cancellation and
+  // injected faults are hard errors and propagate as non-OK Status.
+  // The flags are mutable because sinks and strategies run under const
+  // methods; one Impl is single-threaded by construction.
+
+  // True once enumeration must stop (soft truncation or hard error).
+  bool StopRequested() const { return truncated_ || !hard_error_.ok(); }
+
+  // Routes a governance/fault failure: deadline + budget exhaustion become
+  // truncation, everything else (cancellation, injected faults) the first
+  // hard error.
+  void HandleGovernance(Status s) const {
+    if (s.ok()) return;
+    if (s.code() == StatusCode::kDeadlineExceeded ||
+        s.code() == StatusCode::kResourceExhausted) {
+      if (!truncated_) {
+        truncated_ = true;
+        truncation_reason_ = s.message();
+      }
+      return;
+    }
+    if (hard_error_.ok()) hard_error_ = std::move(s);
+  }
+
+  // Charges one derived candidate against the budget and polls
+  // deadline/cancellation.  False means the candidate must be discarded
+  // and enumeration stops (StopRequested() is now true).
+  bool AdmitCandidate() const {
+    if (StopRequested()) return false;
+    if (!ctx_.limited()) return true;
+    Status s = ctx_.ConsumeCandidates(1);
+    if (s.ok()) s = ctx_.CheckNow();
+    if (s.ok()) return true;
+    HandleGovernance(std::move(s));
+    return false;
+  }
+
+  // Governed MKB closure lookup; nullptr means the strategy must bail
+  // (StopRequested() tells the caller why via Finish()).
+  const std::vector<PcEdge>* TransitiveEdges(const RelationId& id) const {
+    Result<const std::vector<PcEdge>*> edges =
+        mkb_.PcEdgesFromTransitiveGoverned(id, options_.max_pc_hops, ctx_);
+    if (edges.ok()) return edges.value();
+    HandleGovernance(edges.status());
+    return nullptr;
+  }
+
+  // Accumulates candidates of an intermediate fold round; full only when
+  // governance stops the enumeration.
   struct CollectSink {
+    const Impl* impl;
     std::vector<Partial>* out;
-    void Offer(Partial p) { out->push_back(std::move(p)); }
-    bool full() const { return false; }
+    void Offer(Partial p) {
+      if (!impl->AdmitCandidate()) return;
+      out->push_back(std::move(p));
+    }
+    bool full() const { return impl->StopRequested(); }
   };
 
   // Streaming legality / structural-dedup / cap sink: candidates are
@@ -1053,6 +1133,12 @@ class ViewSynchronizer::Impl {
 
     void Offer(Partial p) {
       if (full()) return;
+      if (Status injected = FaultInjection::Probe("synch.finish");
+          !injected.ok()) {
+        impl_.HandleGovernance(std::move(injected));
+        return;
+      }
+      if (!impl_.AdmitCandidate()) return;
       CandidateFacts facts;
       facts.extent_relation = p.cand.extent_relation;
       facts.replacements = &p.cand.replacements;
@@ -1071,7 +1157,8 @@ class ViewSynchronizer::Impl {
     }
 
     bool full() const {
-      return static_cast<int>(kept_.size()) >= impl_.options_.max_rewritings;
+      return static_cast<int>(kept_.size()) >= impl_.options_.max_rewritings ||
+             impl_.StopRequested();
     }
 
     std::vector<Partial> Take() { return std::move(kept_); }
@@ -1091,7 +1178,10 @@ class ViewSynchronizer::Impl {
       if (sink.full()) break;
       sink.Offer(std::move(p));
     }
+    EVE_RETURN_IF_ERROR(hard_error_);
     result.partials = sink.Take();
+    result.truncated = truncated_;
+    result.truncation_reason = truncation_reason_;
     return result;
   }
 
@@ -1099,6 +1189,12 @@ class ViewSynchronizer::Impl {
   const SynchronizerOptions& options_;
   std::shared_ptr<const ViewDefinition> original_;
   const SchemaChange& change_;
+  const ExecContext& ctx_;
+  // Governance outcome; mutable so the const enumeration path can record
+  // it (see the Governance section above).
+  mutable Status hard_error_;
+  mutable bool truncated_ = false;
+  mutable std::string truncation_reason_;
 };
 
 ViewSynchronizer::ViewSynchronizer(const MetaKnowledgeBase& mkb,
@@ -1106,13 +1202,19 @@ ViewSynchronizer::ViewSynchronizer(const MetaKnowledgeBase& mkb,
     : mkb_(mkb), options_(options) {}
 
 Result<SynchronizationResult> ViewSynchronizer::Synchronize(
-    const ViewDefinition& view, const SchemaChange& change) const {
+    const ViewDefinition& view, const SchemaChange& change,
+    const ExecContext& ctx) const {
   if (!options_.use_delta_enumeration) {
+    // The eager oracle is the ungoverned equivalence baseline; ctx is
+    // intentionally not threaded through it.
     return internal::SynchronizeEager(mkb_, options_, view, change);
   }
-  EVE_ASSIGN_OR_RETURN(PartialSet set, Impl(mkb_, options_, view, change).Run());
+  EVE_ASSIGN_OR_RETURN(PartialSet set,
+                       Impl(mkb_, options_, view, change, ctx).Run());
   SynchronizationResult result;
   result.affected = set.affected;
+  result.truncated = set.truncated;
+  result.truncation_reason = std::move(set.truncation_reason);
   result.rewritings.reserve(set.partials.size());
   for (Partial& p : set.partials) {
     // Survivors materialize once, straight from the compiled overlay.
@@ -1123,10 +1225,14 @@ Result<SynchronizationResult> ViewSynchronizer::Synchronize(
 }
 
 Result<CandidateSynchronizationResult> ViewSynchronizer::SynchronizeCandidates(
-    const ViewDefinition& view, const SchemaChange& change) const {
-  EVE_ASSIGN_OR_RETURN(PartialSet set, Impl(mkb_, options_, view, change).Run());
+    const ViewDefinition& view, const SchemaChange& change,
+    const ExecContext& ctx) const {
+  EVE_ASSIGN_OR_RETURN(PartialSet set,
+                       Impl(mkb_, options_, view, change, ctx).Run());
   CandidateSynchronizationResult result;
   result.affected = set.affected;
+  result.truncated = set.truncated;
+  result.truncation_reason = std::move(set.truncation_reason);
   result.candidates.reserve(set.partials.size());
   for (Partial& p : set.partials) {
     result.candidates.push_back(std::move(p.cand));

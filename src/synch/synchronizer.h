@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "esql/ast.h"
 #include "misd/mkb.h"
@@ -78,17 +79,27 @@ class ViewSynchronizer {
   /// use_delta_enumeration (the default) this materializes the surviving
   /// candidates of SynchronizeCandidates; otherwise it runs the eager
   /// oracle.
-  Result<SynchronizationResult> Synchronize(const ViewDefinition& view,
-                                            const SchemaChange& change) const;
+  ///
+  /// Governance (`ctx`): each derived candidate charges one unit of the
+  /// candidate budget, and MKB closure misses charge the row budget.  When
+  /// the candidate budget or the deadline runs out mid-enumeration the call
+  /// still SUCCEEDS, returning the legal best-so-far rewritings with
+  /// `truncated` set (graceful degradation); cancellation and injected
+  /// faults surface as hard errors.  The eager oracle path ignores `ctx`
+  /// (it exists as the ungoverned equivalence baseline).
+  Result<SynchronizationResult> Synchronize(
+      const ViewDefinition& view, const SchemaChange& change,
+      const ExecContext& ctx = ExecContext::Unlimited()) const;
 
   /// Delta-native API: generates the legal rewriting candidates of `view`
   /// under `change` as (base, op-log) pairs, leaving materialization to the
   /// consumer (it is lazy and one-shot per candidate).  Candidates are
   /// already legality-checked, deduplicated, and capped -- converting each
   /// with RewriteCandidate::ToRewriting yields exactly Synchronize()'s
-  /// result.
+  /// result.  Governance semantics match Synchronize().
   Result<CandidateSynchronizationResult> SynchronizeCandidates(
-      const ViewDefinition& view, const SchemaChange& change) const;
+      const ViewDefinition& view, const SchemaChange& change,
+      const ExecContext& ctx = ExecContext::Unlimited()) const;
 
  private:
   class Impl;

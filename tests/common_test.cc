@@ -24,6 +24,28 @@ TEST(Status, OkAndErrors) {
   EXPECT_EQ(copy, err);
 }
 
+TEST(Status, GovernanceCodesRoundTrip) {
+  const Status deadline = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: too slow");
+  const Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: caller gave up");
+  const Status exhausted = Status::ResourceExhausted("row budget");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.ToString(), "ResourceExhausted: row budget");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  // The three governance codes are distinct from each other and from the
+  // pre-existing failure codes, so retry/quarantine logic can dispatch.
+  EXPECT_NE(deadline.code(), cancelled.code());
+  EXPECT_NE(cancelled.code(), exhausted.code());
+  EXPECT_NE(deadline.code(), StatusCode::kInternal);
+}
+
 Result<int> ParsePositive(int v) {
   if (v <= 0) return Status::InvalidArgument("not positive");
   return v;
@@ -40,6 +62,19 @@ TEST(Result, ValueAndErrorPropagation) {
   EXPECT_FALSE(err.ok());
   EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(Result, ValueOrRvalueOverloadMoves) {
+  Result<std::string> big(std::string(4096, 'q'));
+  const std::string taken = std::move(big).value_or("fb");
+  EXPECT_EQ(taken.size(), 4096u);
+  EXPECT_EQ(taken.front(), 'q');
+  Result<std::string> bad = Status::Internal("x");
+  EXPECT_EQ(std::move(bad).value_or("fb"), "fb");
+  // The lvalue overload still copies and leaves the Result usable.
+  const Result<std::string> keep(std::string("kept"));
+  EXPECT_EQ(keep.value_or("fb"), "kept");
+  EXPECT_EQ(keep.value(), "kept");
 }
 
 TEST(StrUtil, FormatJoinSplit) {

@@ -1,0 +1,63 @@
+// Compile-fail corpus for the error-propagation macros, driven by
+// -DEVE_MACRO_MISUSE_CASE=<n> from CMake compile-only tests:
+//
+//   case 0  valid usage              -> MUST compile (guards the harness:
+//                                      proves failures come from the
+//                                      misuse, not from this file)
+//   case 1  EVE_ASSIGN_OR_RETURN as a brace-less if body   -> MUST NOT
+//   case 2  EVE_ASSIGN_OR_RETURN as a brace-less loop body -> MUST NOT
+//
+// The macro declares a scoped temporary, so a brace-less use splits the
+// declaration from the assignment that reads it -- an ill-formed program,
+// caught at compile time instead of misbehaving at run time.  Cases 1-2
+// are registered with WILL_FAIL in CMakeLists.txt.
+//
+// This file deliberately does not match the tests/*_test.cc glob: it is
+// compiled with -fsyntax-only by the macro_hygiene_fail_* ctest entries,
+// never linked.
+
+#include "common/result.h"
+#include "common/status.h"
+
+#ifndef EVE_MACRO_MISUSE_CASE
+#define EVE_MACRO_MISUSE_CASE 0
+#endif
+
+namespace eve {
+
+Result<int> Source() { return 1; }
+
+#if EVE_MACRO_MISUSE_CASE == 0
+
+Result<int> ValidUse(bool flag) {
+  if (flag) {
+    EVE_ASSIGN_OR_RETURN(const int v, Source());
+    return v;
+  }
+  EVE_ASSIGN_OR_RETURN(const int w, Source());
+  return w + 1;
+}
+
+#elif EVE_MACRO_MISUSE_CASE == 1
+
+Result<int> BracelessIf(bool flag) {
+  int v = 0;
+  if (flag)
+    EVE_ASSIGN_OR_RETURN(v, Source());  // ERROR: needs a block.
+  return v;
+}
+
+#elif EVE_MACRO_MISUSE_CASE == 2
+
+Result<int> BracelessLoop() {
+  int v = 0;
+  for (int i = 0; i < 3; ++i)
+    EVE_ASSIGN_OR_RETURN(v, Source());  // ERROR: needs a block.
+  return v;
+}
+
+#else
+#error "unknown EVE_MACRO_MISUSE_CASE"
+#endif
+
+}  // namespace eve
