@@ -456,22 +456,47 @@ void BM_QcRanking(benchmark::State& state) {
 }
 BENCHMARK(BM_QcRanking);
 
+// Rebuilds `rel` with every column forced into the legacy tagged layout.
+// Relations normally promote to packed segments on append, so this is how
+// the *_Packed benchmarks get their tagged baseline twin to measure
+// against (it reproduces the pre-segment storage exactly, including the
+// tag-uniform fast paths the old kernels had).
+Relation ForceTagged(const Relation& rel) {
+  std::vector<ColumnSegment> cols;
+  cols.reserve(static_cast<size_t>(rel.width()));
+  for (int c = 0; c < rel.width(); ++c) {
+    std::vector<Value> values;
+    values.reserve(static_cast<size_t>(rel.cardinality()));
+    for (int64_t row = 0; row < rel.cardinality(); ++row) {
+      values.push_back(rel.ValueAt(row, c));
+    }
+    cols.push_back(ColumnSegment::TaggedFromValues(std::move(values)));
+  }
+  return Relation::FromSegments(rel.name(), rel.schema(), std::move(cols));
+}
+
 // Value-representation benchmarks: Distinct() and hash-index builds are
-// dominated by Value::Hash / Value::operator== over full tuples, so they
-// measure the tagged-compact representation directly.  The relation mixes
-// duplicates in (key_domain < cardinality) so dedup does real bucket work.
-void BM_Distinct(benchmark::State& state) {
+// dominated by value hashing / equality over full tuples.  BM_Distinct
+// keeps the historic tagged layout (the baseline); BM_Distinct_Packed runs
+// the same workload over naturally promoted packed segments.  The relation
+// mixes duplicates in (key_domain < cardinality) so dedup does real bucket
+// work.
+Relation DistinctBenchInput(int64_t cardinality) {
   Random rng(23);
   GeneratorOptions gen;
-  gen.cardinality = state.range(0);
+  gen.cardinality = cardinality;
   gen.num_attributes = 3;
-  gen.key_domain = std::max<int64_t>(2, state.range(0) / 4);
+  gen.key_domain = std::max<int64_t>(2, cardinality / 4);
   gen.value_domain = 64;
-  Relation rel = GenerateRelation("R", gen, &rng);
+  return GenerateRelation("R", gen, &rng);
+}
+
+void BM_Distinct(benchmark::State& state) {
+  Relation rel = ForceTagged(DistinctBenchInput(state.range(0)));
   int64_t rounds = 0;
   for (auto _ : state) {
-    // Copy first: Distinct() reuses the cached tuple-hash column, which is
-    // exactly the warm path the sweeps hit; the copy shares the cache.
+    // Distinct() reuses the cached tuple-hash column, which is exactly the
+    // warm path the sweeps hit.
     Relation distinct = rel.Distinct();
     benchmark::DoNotOptimize(distinct);
     ++rounds;
@@ -479,6 +504,18 @@ void BM_Distinct(benchmark::State& state) {
   state.SetItemsProcessed(rounds * state.range(0));
 }
 BENCHMARK(BM_Distinct)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Distinct_Packed(benchmark::State& state) {
+  Relation rel = DistinctBenchInput(state.range(0));
+  int64_t rounds = 0;
+  for (auto _ : state) {
+    Relation distinct = rel.Distinct();
+    benchmark::DoNotOptimize(distinct);
+    ++rounds;
+  }
+  state.SetItemsProcessed(rounds * state.range(0));
+}
+BENCHMARK(BM_Distinct_Packed)->Arg(1024)->Arg(4096)->Arg(16384);
 
 // Tuple hashing alone (the cold half of Distinct / SetEquals): the
 // column-wise FNV mixing pass that builds the cached hash column.
@@ -499,31 +536,101 @@ void BM_TupleHashColumn(benchmark::State& state) {
 }
 BENCHMARK(BM_TupleHashColumn)->Arg(4096);
 
-// Columnar scan kernel: one mask-compare pass over a contiguous value
-// column plus the survivor count -- the primitive behind selection
-// pushdown, residual filtering, and MeasureSelectivity.
-void BM_ColumnScan(benchmark::State& state) {
+// Columnar scan kernel: one mask-compare pass over a contiguous column
+// plus the survivor count -- the primitive behind selection pushdown,
+// residual filtering, and MeasureSelectivity.  BM_ColumnScan keeps the
+// historic 16-byte tagged layout (the baseline); BM_ColumnScan_Packed
+// scans the same data as a promoted vector<int64_t> segment.
+Relation ColumnScanBenchInput(int64_t cardinality) {
   Random rng(47);
   GeneratorOptions gen;
-  gen.cardinality = state.range(0);
+  gen.cardinality = cardinality;
   gen.num_attributes = 2;
   gen.value_domain = 1000;
-  const Relation rel = GenerateRelation("R", gen, &rng);
-  std::vector<uint8_t> mask;
+  return GenerateRelation("R", gen, &rng);
+}
+
+void ColumnScanLoop(benchmark::State& state, const Relation& rel) {
+  // The AND-fold of a fixed predicate is idempotent (every pass compares
+  // and writes all rows regardless of mask content), so the mask
+  // initialization and the survivor count hoist out of the timed loop and
+  // the measurement isolates the kernel itself.
+  std::vector<uint8_t> mask(static_cast<size_t>(rel.cardinality()), 1);
   int64_t rounds = 0;
   for (auto _ : state) {
-    mask.assign(static_cast<size_t>(rel.cardinality()), 1);
-    AndCompareColumnConst(CompOp::kGreaterEqual, rel.ColumnData(1),
-                          rel.cardinality(), Value(500),
-                          rel.ColumnAllInt64(1), mask.data());
-    int64_t hits = 0;
-    for (const uint8_t m : mask) hits += m;
-    benchmark::DoNotOptimize(hits);
+    AndCompareColumnConst(CompOp::kGreaterEqual, rel.Segment(1), Value(500),
+                          mask.data());
+    benchmark::DoNotOptimize(mask.data());
+    benchmark::ClobberMemory();
     ++rounds;
   }
+  int64_t hits = 0;
+  for (const uint8_t m : mask) hits += m;
+  benchmark::DoNotOptimize(hits);
   state.SetItemsProcessed(rounds * state.range(0));
 }
+
+void BM_ColumnScan(benchmark::State& state) {
+  const Relation rel = ForceTagged(ColumnScanBenchInput(state.range(0)));
+  ColumnScanLoop(state, rel);
+}
 BENCHMARK(BM_ColumnScan)->Arg(4096)->Arg(65536);
+
+void BM_ColumnScan_Packed(benchmark::State& state) {
+  const Relation rel = ColumnScanBenchInput(state.range(0));
+  ColumnScanLoop(state, rel);
+}
+BENCHMARK(BM_ColumnScan_Packed)->Arg(4096)->Arg(65536);
+
+// Multi-tuple erase: the maintenance delete sweeps remove a projected
+// victim list from a view extent.  BM_ErasePerTuple is the historic
+// one-full-scan-per-victim loop; BM_BatchedErase removes the same victims
+// through one hash-bucketed scan + one compaction per column.
+Relation EraseBenchInput(int64_t cardinality, std::vector<Tuple>* victims) {
+  Random rng(53);
+  GeneratorOptions gen;
+  gen.cardinality = cardinality;
+  gen.num_attributes = 2;
+  gen.key_domain = cardinality;
+  const Relation base = GenerateRelation("R", gen, &rng);
+  for (int64_t row = 0; row < base.cardinality(); row += 8) {
+    victims->push_back(base.TupleAt(row));
+  }
+  return base;
+}
+
+void BM_ErasePerTuple(benchmark::State& state) {
+  std::vector<Tuple> victims;
+  const Relation base = EraseBenchInput(state.range(0), &victims);
+  int64_t rounds = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Relation rel = base;
+    state.ResumeTiming();
+    int64_t removed = 0;
+    for (const Tuple& t : victims) removed += rel.Erase(t);
+    benchmark::DoNotOptimize(removed);
+    ++rounds;
+  }
+  state.SetItemsProcessed(rounds * static_cast<int64_t>(victims.size()));
+}
+BENCHMARK(BM_ErasePerTuple)->Arg(4096);
+
+void BM_BatchedErase(benchmark::State& state) {
+  std::vector<Tuple> victims;
+  const Relation base = EraseBenchInput(state.range(0), &victims);
+  int64_t rounds = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Relation rel = base;
+    state.ResumeTiming();
+    const int64_t removed = rel.EraseBatch(victims);
+    benchmark::DoNotOptimize(removed);
+    ++rounds;
+  }
+  state.SetItemsProcessed(rounds * static_cast<int64_t>(victims.size()));
+}
+BENCHMARK(BM_BatchedErase)->Arg(4096);
 
 // Hash-index build: one Value hashed + one bucket append per row.
 void BM_HashIndexBuild(benchmark::State& state) {

@@ -91,11 +91,11 @@ Result<Relation> ExecutePrepared(const PreparedView& plan,
         parents.reserve(bounded);
         rows.reserve(bounded);
       }
-      // Batch probe: the key source is one contiguous value column of one
+      // Batch probe: the key source is one contiguous column segment of one
       // relation addressed through one row-id column, so everything
       // loop-invariant is hoisted and the scan touches memory sequentially.
-      const Value* key_vals =
-          plan.from[step.key_left_item].rel->ColumnData(step.key_left_local);
+      const ColumnSegment& key_vals =
+          plan.from[step.key_left_item].rel->Segment(step.key_left_local);
       const std::vector<int64_t>& key_col =
           ws.columns[pos_of_item[step.key_left_item]];
       const std::vector<uint8_t>& passes = plan.passes[k];
@@ -105,7 +105,7 @@ Result<Relation> ExecutePrepared(const PreparedView& plan,
       const bool governed = gov.active();
       size_t charged = 0;
       for (size_t i = 0; i < ws.combos; ++i) {
-        const Value& key = key_vals[key_col[i]];
+        const Value key = key_vals.ValueAt(key_col[i]);
         for (int64_t row : index->Lookup(key)) {
           if (!passes.empty() && !passes[row]) continue;
           parents.push_back(static_cast<int64_t>(i));
@@ -180,19 +180,15 @@ Result<Relation> ExecutePrepared(const PreparedView& plan,
         const int64_t* lrows = side_rows(c.lhs_item);
         if (c.rhs_item >= 0) {
           const Relation& rhs_rel = *plan.from[c.rhs_item].rel;
-          AndCompareGather(c.op, lhs_rel.ColumnData(c.lhs_local), lrows,
-                           rhs_rel.ColumnData(c.rhs_local),
+          AndCompareGather(c.op, lhs_rel.Segment(c.lhs_local), lrows,
+                           &rhs_rel.Segment(c.rhs_local),
                            side_rows(c.rhs_item),
                            /*rhs_const=*/nullptr, static_cast<int64_t>(m),
-                           lhs_rel.ColumnAllInt64(c.lhs_local) &&
-                               rhs_rel.ColumnAllInt64(c.rhs_local),
                            res_mask.data());
         } else {
-          AndCompareGather(c.op, lhs_rel.ColumnData(c.lhs_local), lrows,
+          AndCompareGather(c.op, lhs_rel.Segment(c.lhs_local), lrows,
                            /*rcol=*/nullptr, /*rrows=*/nullptr, &c.rhs_value,
-                           static_cast<int64_t>(m),
-                           lhs_rel.ColumnAllInt64(c.lhs_local),
-                           res_mask.data());
+                           static_cast<int64_t>(m), res_mask.data());
         }
       }
       size_t kept = 0;
@@ -241,23 +237,17 @@ Result<Relation> ExecutePrepared(const PreparedView& plan,
   }
   EVE_FAULT_POINT("executor.materialize");
   struct OutSrc {
-    const Value* col;                   ///< Base relation's value column.
+    const ColumnSegment* col;           ///< Base relation's column segment.
     const std::vector<int64_t>* rows;   ///< Its row-id working-set column.
   };
   std::vector<OutSrc> src;
   src.reserve(plan.out_cols.size());
-  // Gathered columns inherit their source column's tag-uniformity flag
-  // (conservative for subsets), so FromColumns below skips its re-scan.
-  std::vector<uint8_t> out_flags;
-  out_flags.reserve(plan.out_cols.size());
   for (const PreparedView::OutCol& oc : plan.out_cols) {
-    src.push_back(OutSrc{plan.from[oc.item].rel->ColumnData(oc.local),
+    src.push_back(OutSrc{&plan.from[oc.item].rel->Segment(oc.local),
                          &ws.columns[pos_of_item[oc.item]]});
-    out_flags.push_back(plan.from[oc.item].rel->ColumnAllInt64(oc.local) ? 1
-                                                                         : 0);
   }
-  const auto value_of = [&](const OutSrc& s, int64_t combo) -> const Value& {
-    return s.col[(*s.rows)[combo]];
+  const auto value_of = [&](const OutSrc& s, int64_t combo) -> Value {
+    return s.col->ValueAt((*s.rows)[combo]);
   };
 
   // Output cells: one gathered Value per (output column, combo).
@@ -270,17 +260,15 @@ Result<Relation> ExecutePrepared(const PreparedView& plan,
   }
 
   if (!plan.options.distinct) {
-    // Every combo survives: gather each output column directly.
-    std::vector<std::vector<Value>> out_columns(src.size());
+    // Every combo survives: each output column is one segment gather, so a
+    // packed source column materializes as a packed output column.
+    std::vector<ColumnSegment> out_columns(src.size());
     for (size_t c = 0; c < src.size(); ++c) {
-      std::vector<Value>& out = out_columns[c];
-      out.reserve(ws.combos);
-      for (size_t i = 0; i < ws.combos; ++i) {
-        out.push_back(value_of(src[c], static_cast<int64_t>(i)));
-      }
+      out_columns[c].AppendGathered(*src[c].col, src[c].rows->data(),
+                                    ws.combos);
     }
-    return Relation::FromColumns(plan.view_name, plan.out_schema,
-                                 std::move(out_columns), std::move(out_flags));
+    return Relation::FromSegments(plan.view_name, plan.out_schema,
+                                  std::move(out_columns));
   }
 
   std::vector<int64_t> keep;  // Surviving combo ids, in combo order.
@@ -289,7 +277,7 @@ Result<Relation> ExecutePrepared(const PreparedView& plan,
     // (matches Tuple::Hash of the projected row).
     std::vector<size_t> hashes(ws.combos, kTupleHashBasis);
     for (const OutSrc& s : src) {
-      MixHashColumnGather(s.col, s.rows->data(),
+      MixHashColumnGather(*s.col, s.rows->data(),
                           static_cast<int64_t>(ws.combos), hashes.data());
     }
     RowDedupTable seen(ws.combos);
@@ -305,14 +293,18 @@ Result<Relation> ExecutePrepared(const PreparedView& plan,
     }
   }
 
-  std::vector<std::vector<Value>> out_columns(src.size());
+  std::vector<ColumnSegment> out_columns(src.size());
+  std::vector<int64_t> gather_rows(keep.size());
   for (size_t c = 0; c < src.size(); ++c) {
-    std::vector<Value>& out = out_columns[c];
-    out.reserve(keep.size());
-    for (const int64_t combo : keep) out.push_back(value_of(src[c], combo));
+    const std::vector<int64_t>& combo_rows = *src[c].rows;
+    for (size_t i = 0; i < keep.size(); ++i) {
+      gather_rows[i] = combo_rows[static_cast<size_t>(keep[i])];
+    }
+    out_columns[c].AppendGathered(*src[c].col, gather_rows.data(),
+                                  keep.size());
   }
-  return Relation::FromColumns(plan.view_name, plan.out_schema,
-                               std::move(out_columns), std::move(out_flags));
+  return Relation::FromSegments(plan.view_name, plan.out_schema,
+                                std::move(out_columns));
 }
 
 Result<Relation> ExecuteView(const ViewDefinition& view,

@@ -78,15 +78,11 @@ bool EvalAll(const std::vector<BoundClause>& clauses, const Tuple& t) {
 void AndClauseMask(const BoundClause& clause, const Relation& rel,
                    uint8_t* mask) {
   if (clause.rhs_column >= 0) {
-    AndCompareColumns(clause.op, rel.ColumnData(clause.lhs_column),
-                      rel.ColumnData(clause.rhs_column), rel.cardinality(),
-                      rel.ColumnAllInt64(clause.lhs_column) &&
-                          rel.ColumnAllInt64(clause.rhs_column),
-                      mask);
+    AndCompareColumns(clause.op, rel.Segment(clause.lhs_column),
+                      rel.Segment(clause.rhs_column), mask);
   } else {
-    AndCompareColumnConst(clause.op, rel.ColumnData(clause.lhs_column),
-                          rel.cardinality(), clause.rhs_value,
-                          rel.ColumnAllInt64(clause.lhs_column), mask);
+    AndCompareColumnConst(clause.op, rel.Segment(clause.lhs_column),
+                          clause.rhs_value, mask);
   }
 }
 

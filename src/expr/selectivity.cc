@@ -27,13 +27,13 @@ Result<double> MeasureSelectivity(const Relation& rel,
 double EstimateEqJoinSelectivity(const Relation& rel, int column,
                                  const std::vector<int64_t>* rows) {
   std::unordered_set<Value, ValueHash> distinct;
-  const Value* col = rel.ColumnData(column);
+  const ColumnSegment& col = rel.Segment(column);
   if (rows == nullptr) {
     for (int64_t row = 0; row < rel.cardinality(); ++row) {
-      distinct.insert(col[row]);
+      distinct.insert(col.ValueAt(row));
     }
   } else {
-    for (int64_t row : *rows) distinct.insert(col[row]);
+    for (int64_t row : *rows) distinct.insert(col.ValueAt(row));
   }
   if (distinct.empty()) return 1.0;
   return 1.0 / static_cast<double>(distinct.size());

@@ -270,14 +270,19 @@ Result<MaintenanceCounters> ViewMaintainer::ProcessUpdate(
     EVE_ASSIGN_OR_RETURN(const int col, binding.Resolve(s.source));
     out_cols.push_back(col);
   }
-  for (const Tuple& t : working) {
-    Tuple projected = t.Project(out_cols);
-    if (update.kind == UpdateKind::kInsert) {
-      extent->InsertUnchecked(std::move(projected));
+  if (update.kind == UpdateKind::kInsert) {
+    for (const Tuple& t : working) {
+      extent->InsertUnchecked(t.Project(out_cols));
       counters.tuples_added += 1;
-    } else {
-      counters.tuples_removed += extent->Erase(projected);
     }
+  } else if (!working.empty()) {
+    // Delete sweep: project every victim first, then erase them in ONE
+    // batched pass (hash-bucketed scan + one compaction per column)
+    // instead of a full extent scan per victim.
+    std::vector<Tuple> victims;
+    victims.reserve(working.size());
+    for (const Tuple& t : working) victims.push_back(t.Project(out_cols));
+    counters.tuples_removed += extent->EraseBatch(victims);
   }
   return counters;
 }

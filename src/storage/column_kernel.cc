@@ -1,6 +1,16 @@
 #include "storage/column_kernel.h"
 
 #include <cmath>
+#include <cstring>
+
+// The packed int64-vs-constant run loop is hand-vectorized where the build
+// ISA has 64-bit SIMD compares and mask-to-byte moves (AVX-512 F+BW+VL;
+// see EVE_NATIVE_KERNELS in CMakeLists.txt).  Baseline x86-64 has neither,
+// so the compiler's scalar loop is what the fallback costs.
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+#include <immintrin.h>
+#define EVE_KERNEL_AVX512 1
+#endif
 
 namespace eve {
 
@@ -32,95 +42,531 @@ inline void DispatchOp(CompOp op, Body&& body) {
   }
 }
 
+// Calls packed(begin, end) for each maximal exception-free row range of
+// `col` and exc(row, value) for each exception row, ascending.  The packed
+// calls may read col.words() directly.
+template <typename PackedFn, typename ExcFn>
+inline void ForEachRun(const ColumnSegment& col, PackedFn&& packed,
+                       ExcFn&& exc) {
+  const auto& rows = col.exception_rows();
+  const auto& vals = col.exception_values();
+  int64_t begin = 0;
+  for (size_t k = 0; k < rows.size(); ++k) {
+    if (rows[k] > begin) packed(begin, rows[k]);
+    exc(rows[k], vals[k]);
+    begin = rows[k] + 1;
+  }
+  if (begin < col.size()) packed(begin, col.size());
+}
+
+// Two-column variant: packed(begin, end) covers ranges exception-free in
+// BOTH segments; exc(row) fires for rows carried by either sidecar.
+template <typename PackedFn, typename ExcFn>
+inline void ForEachRun2(const ColumnSegment& a, const ColumnSegment& b,
+                        PackedFn&& packed, ExcFn&& exc) {
+  const auto& ra = a.exception_rows();
+  const auto& rb = b.exception_rows();
+  size_t ia = 0;
+  size_t ib = 0;
+  int64_t begin = 0;
+  while (ia < ra.size() || ib < rb.size()) {
+    int64_t r;
+    if (ib >= rb.size() || (ia < ra.size() && ra[ia] <= rb[ib])) {
+      r = ra[ia];
+    } else {
+      r = rb[ib];
+    }
+    if (r > begin) packed(begin, r);
+    exc(r);
+    if (ia < ra.size() && ra[ia] == r) ++ia;
+    if (ib < rb.size() && rb[ib] == r) ++ib;
+    begin = r + 1;
+  }
+  if (begin < a.size()) packed(begin, a.size());
+}
+
+inline void ZeroRun(uint8_t* mask, int64_t begin, int64_t end) {
+  std::memset(mask + begin, 0, static_cast<size_t>(end - begin));
+}
+
+inline Value UnpackStringWord(int64_t word, uint32_t pool) {
+  const uint64_t w = static_cast<uint64_t>(word);
+  return Value::FromInterned(static_cast<uint32_t>(w & 0xFFFFFFFFu), pool,
+                             static_cast<uint32_t>(w >> 32));
+}
+
+inline size_t HashStringWord(int64_t word) {
+  return value_hash::HashStringContent(
+      static_cast<uint32_t>(static_cast<uint64_t>(word) >> 32));
+}
+
+// A STRING rhs of col's pool can word-compare for equality ops; every
+// other op needs real string ordering.
+inline bool StringEqualityOp(CompOp op) {
+  return op == CompOp::kEqual || op == CompOp::kNotEqual;
+}
+
+#ifdef EVE_KERNEL_AVX512
+
+// mask[i] &= (w[i] PRED r) over [begin, end), 16 rows per step: two 8-lane
+// compares fold into one 16-bit k-mask, which expands to 0/1 bytes and
+// ANDs into the mask in one 128-bit op.
+template <int kPred>
+inline void AndWordsConstAvx512(const int64_t* w, int64_t begin, int64_t end,
+                                int64_t rhs, uint8_t* mask) {
+  const __m512i r = _mm512_set1_epi64(rhs);
+  const __m128i ones = _mm_set1_epi8(1);
+  int64_t i = begin;
+  for (; i + 16 <= end; i += 16) {
+    const __m512i a0 = _mm512_loadu_si512(w + i);
+    const __m512i a1 = _mm512_loadu_si512(w + i + 8);
+    const __mmask8 k0 = _mm512_cmp_epi64_mask(a0, r, kPred);
+    const __mmask8 k1 = _mm512_cmp_epi64_mask(a1, r, kPred);
+    const __mmask16 k = _mm512_kunpackb(k1, k0);
+    const __m128i bytes = _mm_maskz_mov_epi8(k, ones);
+    const __m128i m =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(mask + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(mask + i),
+                     _mm_and_si128(m, bytes));
+  }
+  for (; i < end; ++i) {
+    bool t;
+    if constexpr (kPred == _MM_CMPINT_LT) t = w[i] < rhs;
+    if constexpr (kPred == _MM_CMPINT_LE) t = w[i] <= rhs;
+    if constexpr (kPred == _MM_CMPINT_EQ) t = w[i] == rhs;
+    if constexpr (kPred == _MM_CMPINT_NLT) t = w[i] >= rhs;
+    if constexpr (kPred == _MM_CMPINT_NLE) t = w[i] > rhs;
+    if constexpr (kPred == _MM_CMPINT_NE) t = w[i] != rhs;
+    mask[i] &= static_cast<uint8_t>(t);
+  }
+}
+
+#endif  // EVE_KERNEL_AVX512
+
+// mask[i] &= (w[i] op r) over [begin, end): the innermost loop of integer
+// selection pushdown.  SIMD when compiled in, the scalar fold otherwise.
+inline void AndWordsConst(CompOp op, const int64_t* w, int64_t begin,
+                          int64_t end, int64_t rhs, uint8_t* mask) {
+#ifdef EVE_KERNEL_AVX512
+  switch (op) {
+    case CompOp::kLess:
+      AndWordsConstAvx512<_MM_CMPINT_LT>(w, begin, end, rhs, mask);
+      return;
+    case CompOp::kLessEqual:
+      AndWordsConstAvx512<_MM_CMPINT_LE>(w, begin, end, rhs, mask);
+      return;
+    case CompOp::kEqual:
+      AndWordsConstAvx512<_MM_CMPINT_EQ>(w, begin, end, rhs, mask);
+      return;
+    case CompOp::kGreaterEqual:
+      AndWordsConstAvx512<_MM_CMPINT_NLT>(w, begin, end, rhs, mask);
+      return;
+    case CompOp::kGreater:
+      AndWordsConstAvx512<_MM_CMPINT_NLE>(w, begin, end, rhs, mask);
+      return;
+    case CompOp::kNotEqual:
+      AndWordsConstAvx512<_MM_CMPINT_NE>(w, begin, end, rhs, mask);
+      return;
+  }
+#else
+  DispatchOp(op, [&](auto cmp) {
+    for (int64_t i = begin; i < end; ++i) {
+      mask[i] &= static_cast<uint8_t>(cmp(w[i], rhs));
+    }
+  });
+#endif
+}
+
 }  // namespace
 
-void AndCompareColumnConst(CompOp op, const Value* col, int64_t n,
-                           const Value& rhs, bool col_all_int64,
-                           uint8_t* mask) {
-  if (col_all_int64 && rhs.type() == DataType::kInt64) {
-    const int64_t r = rhs.AsInt();
-    DispatchOp(op, [&](auto cmp) {
-      for (int64_t i = 0; i < n; ++i) {
-        mask[i] &= static_cast<uint8_t>(cmp(col[i].AsInt(), r));
+void AndCompareColumnConst(CompOp op, const ColumnSegment& col,
+                           const Value& rhs, uint8_t* mask) {
+  const int64_t n = col.size();
+  switch (col.encoding()) {
+    case ColumnSegment::Encoding::kInt64: {
+      const int64_t* w = col.words();
+      if (rhs.type() == DataType::kInt64) {
+        const int64_t r = rhs.AsInt();
+        ForEachRun(
+            col,
+            [&](int64_t b, int64_t e) { AndWordsConst(op, w, b, e, r, mask); },
+            [&](int64_t row, const Value& v) {
+              mask[row] &= static_cast<uint8_t>(EvalCompOp(op, v, rhs));
+            });
+        return;
       }
-    });
-    return;
-  }
-  if (col_all_int64 && rhs.type() == DataType::kDouble &&
-      !std::isnan(rhs.AsDouble())) {
-    const double r = rhs.AsDouble();
-    DispatchOp(op, [&](auto cmp) {
-      for (int64_t i = 0; i < n; ++i) {
-        mask[i] &=
-            static_cast<uint8_t>(cmp(static_cast<double>(col[i].AsInt()), r));
+      if (rhs.type() == DataType::kDouble && !std::isnan(rhs.AsDouble())) {
+        const double r = rhs.AsDouble();
+        DispatchOp(op, [&](auto cmp) {
+          ForEachRun(
+              col,
+              [&](int64_t b, int64_t e) {
+                for (int64_t i = b; i < e; ++i) {
+                  mask[i] &=
+                      static_cast<uint8_t>(cmp(static_cast<double>(w[i]), r));
+                }
+              },
+              [&](int64_t row, const Value& v) {
+                mask[row] &= static_cast<uint8_t>(EvalCompOp(op, v, rhs));
+              });
+        });
+        return;
       }
-    });
-    return;
-  }
-  for (int64_t i = 0; i < n; ++i) {
-    mask[i] &= static_cast<uint8_t>(EvalCompOp(op, col[i], rhs));
+      // NULL, NaN, or a string rhs: false against every packed int row.
+      ForEachRun(
+          col, [&](int64_t b, int64_t e) { ZeroRun(mask, b, e); },
+          [&](int64_t row, const Value& v) {
+            mask[row] &= static_cast<uint8_t>(EvalCompOp(op, v, rhs));
+          });
+      return;
+    }
+    case ColumnSegment::Encoding::kString: {
+      const int64_t* w = col.words();
+      if (rhs.type() == DataType::kString) {
+        if (rhs.string_pool_index() == col.pool() && StringEqualityOp(op)) {
+          const int64_t r = ColumnSegment::StringWord(rhs);
+          DispatchOp(op, [&](auto cmp) {
+            ForEachRun(
+                col,
+                [&](int64_t b, int64_t e) {
+                  for (int64_t i = b; i < e; ++i) {
+                    mask[i] &= static_cast<uint8_t>(cmp(w[i], r));
+                  }
+                },
+                [&](int64_t row, const Value& v) {
+                  mask[row] &= static_cast<uint8_t>(EvalCompOp(op, v, rhs));
+                });
+          });
+          return;
+        }
+        // Ordered / cross-pool string compare: per row, but still skipping
+        // the sidecar lookup on packed rows.
+        const uint32_t pool = col.pool();
+        ForEachRun(
+            col,
+            [&](int64_t b, int64_t e) {
+              for (int64_t i = b; i < e; ++i) {
+                mask[i] &= static_cast<uint8_t>(
+                    EvalCompOp(op, UnpackStringWord(w[i], pool), rhs));
+              }
+            },
+            [&](int64_t row, const Value& v) {
+              mask[row] &= static_cast<uint8_t>(EvalCompOp(op, v, rhs));
+            });
+        return;
+      }
+      // Numeric or NULL rhs: false against every packed string row.
+      ForEachRun(
+          col, [&](int64_t b, int64_t e) { ZeroRun(mask, b, e); },
+          [&](int64_t row, const Value& v) {
+            mask[row] &= static_cast<uint8_t>(EvalCompOp(op, v, rhs));
+          });
+      return;
+    }
+    case ColumnSegment::Encoding::kTagged: {
+      const Value* col_v = col.tagged();
+      if (col.tagged_all_int64() && rhs.type() == DataType::kInt64) {
+        const int64_t r = rhs.AsInt();
+        DispatchOp(op, [&](auto cmp) {
+          for (int64_t i = 0; i < n; ++i) {
+            mask[i] &= static_cast<uint8_t>(cmp(col_v[i].AsInt(), r));
+          }
+        });
+        return;
+      }
+      if (col.tagged_all_int64() && rhs.type() == DataType::kDouble &&
+          !std::isnan(rhs.AsDouble())) {
+        const double r = rhs.AsDouble();
+        DispatchOp(op, [&](auto cmp) {
+          for (int64_t i = 0; i < n; ++i) {
+            mask[i] &= static_cast<uint8_t>(
+                cmp(static_cast<double>(col_v[i].AsInt()), r));
+          }
+        });
+        return;
+      }
+      for (int64_t i = 0; i < n; ++i) {
+        mask[i] &= static_cast<uint8_t>(EvalCompOp(op, col_v[i], rhs));
+      }
+      return;
+    }
   }
 }
 
-void AndCompareColumns(CompOp op, const Value* lhs, const Value* rhs,
-                       int64_t n, bool all_int64, uint8_t* mask) {
-  if (all_int64) {
+void AndCompareColumns(CompOp op, const ColumnSegment& lhs,
+                       const ColumnSegment& rhs, uint8_t* mask) {
+  const int64_t n = lhs.size();
+  const auto generic_row = [&](int64_t row) {
+    mask[row] &= static_cast<uint8_t>(
+        EvalCompOp(op, lhs.ValueAt(row), rhs.ValueAt(row)));
+  };
+  if (lhs.encoding() == ColumnSegment::Encoding::kInt64 &&
+      rhs.encoding() == ColumnSegment::Encoding::kInt64) {
+    const int64_t* lw = lhs.words();
+    const int64_t* rw = rhs.words();
+    DispatchOp(op, [&](auto cmp) {
+      ForEachRun2(
+          lhs, rhs,
+          [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i) {
+              mask[i] &= static_cast<uint8_t>(cmp(lw[i], rw[i]));
+            }
+          },
+          generic_row);
+    });
+    return;
+  }
+  if (lhs.encoding() == ColumnSegment::Encoding::kString &&
+      rhs.encoding() == ColumnSegment::Encoding::kString &&
+      lhs.pool() == rhs.pool() && StringEqualityOp(op)) {
+    const int64_t* lw = lhs.words();
+    const int64_t* rw = rhs.words();
+    DispatchOp(op, [&](auto cmp) {
+      ForEachRun2(
+          lhs, rhs,
+          [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i) {
+              mask[i] &= static_cast<uint8_t>(cmp(lw[i], rw[i]));
+            }
+          },
+          generic_row);
+    });
+    return;
+  }
+  if (lhs.packed() && rhs.packed() && lhs.encoding() != rhs.encoding()) {
+    // Packed int vs packed string rows are never comparable; only the
+    // sidecar rows can hold cross-type surprises.
+    ForEachRun2(
+        lhs, rhs, [&](int64_t b, int64_t e) { ZeroRun(mask, b, e); },
+        generic_row);
+    return;
+  }
+  if (lhs.encoding() == ColumnSegment::Encoding::kInt64 &&
+      rhs.tagged_all_int64()) {
+    const int64_t* lw = lhs.words();
+    const Value* rv = rhs.tagged();
+    DispatchOp(op, [&](auto cmp) {
+      ForEachRun(
+          lhs,
+          [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i) {
+              mask[i] &= static_cast<uint8_t>(cmp(lw[i], rv[i].AsInt()));
+            }
+          },
+          [&](int64_t row, const Value&) { generic_row(row); });
+    });
+    return;
+  }
+  if (rhs.encoding() == ColumnSegment::Encoding::kInt64 &&
+      lhs.tagged_all_int64()) {
+    const Value* lv = lhs.tagged();
+    const int64_t* rw = rhs.words();
+    DispatchOp(op, [&](auto cmp) {
+      ForEachRun(
+          rhs,
+          [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i) {
+              mask[i] &= static_cast<uint8_t>(cmp(lv[i].AsInt(), rw[i]));
+            }
+          },
+          [&](int64_t row, const Value&) { generic_row(row); });
+    });
+    return;
+  }
+  if (lhs.tagged_all_int64() && rhs.tagged_all_int64()) {
+    const Value* lv = lhs.tagged();
+    const Value* rv = rhs.tagged();
     DispatchOp(op, [&](auto cmp) {
       for (int64_t i = 0; i < n; ++i) {
-        mask[i] &= static_cast<uint8_t>(cmp(lhs[i].AsInt(), rhs[i].AsInt()));
+        mask[i] &= static_cast<uint8_t>(cmp(lv[i].AsInt(), rv[i].AsInt()));
       }
     });
     return;
   }
-  for (int64_t i = 0; i < n; ++i) {
-    mask[i] &= static_cast<uint8_t>(EvalCompOp(op, lhs[i], rhs[i]));
+  if (lhs.encoding() == ColumnSegment::Encoding::kTagged &&
+      rhs.encoding() == ColumnSegment::Encoding::kTagged) {
+    const Value* lv = lhs.tagged();
+    const Value* rv = rhs.tagged();
+    for (int64_t i = 0; i < n; ++i) {
+      mask[i] &= static_cast<uint8_t>(EvalCompOp(op, lv[i], rv[i]));
+    }
+    return;
   }
+  for (int64_t i = 0; i < n; ++i) generic_row(i);
 }
 
-void AndCompareGather(CompOp op, const Value* lcol, const int64_t* lrows,
-                      const Value* rcol, const int64_t* rrows,
-                      const Value* rhs_const, int64_t n, bool all_int64,
+void AndCompareGather(CompOp op, const ColumnSegment& lcol,
+                      const int64_t* lrows, const ColumnSegment* rcol,
+                      const int64_t* rrows, const Value* rhs_const, int64_t n,
                       uint8_t* mask) {
   if (rcol != nullptr) {
-    if (all_int64) {
+    const bool both_int =
+        lcol.encoding() == ColumnSegment::Encoding::kInt64 &&
+        rcol->encoding() == ColumnSegment::Encoding::kInt64 &&
+        !lcol.has_exceptions() && !rcol->has_exceptions();
+    if (both_int) {
+      const int64_t* lw = lcol.words();
+      const int64_t* rw = rcol->words();
+      DispatchOp(op, [&](auto cmp) {
+        for (int64_t i = 0; i < n; ++i) {
+          mask[i] &= static_cast<uint8_t>(cmp(lw[lrows[i]], rw[rrows[i]]));
+        }
+      });
+      return;
+    }
+    const bool both_same_pool_strings =
+        lcol.encoding() == ColumnSegment::Encoding::kString &&
+        rcol->encoding() == ColumnSegment::Encoding::kString &&
+        lcol.pool() == rcol->pool() && !lcol.has_exceptions() &&
+        !rcol->has_exceptions() && StringEqualityOp(op);
+    if (both_same_pool_strings) {
+      const int64_t* lw = lcol.words();
+      const int64_t* rw = rcol->words();
+      DispatchOp(op, [&](auto cmp) {
+        for (int64_t i = 0; i < n; ++i) {
+          mask[i] &= static_cast<uint8_t>(cmp(lw[lrows[i]], rw[rrows[i]]));
+        }
+      });
+      return;
+    }
+    if (lcol.tagged_all_int64() && rcol->tagged_all_int64()) {
+      const Value* lv = lcol.tagged();
+      const Value* rv = rcol->tagged();
       DispatchOp(op, [&](auto cmp) {
         for (int64_t i = 0; i < n; ++i) {
           mask[i] &= static_cast<uint8_t>(
-              cmp(lcol[lrows[i]].AsInt(), rcol[rrows[i]].AsInt()));
+              cmp(lv[lrows[i]].AsInt(), rv[rrows[i]].AsInt()));
         }
       });
       return;
     }
     for (int64_t i = 0; i < n; ++i) {
-      mask[i] &=
-          static_cast<uint8_t>(EvalCompOp(op, lcol[lrows[i]], rcol[rrows[i]]));
+      mask[i] &= static_cast<uint8_t>(
+          EvalCompOp(op, lcol.ValueAt(lrows[i]), rcol->ValueAt(rrows[i])));
     }
     return;
   }
-  if (all_int64 && rhs_const->type() == DataType::kInt64) {
+  if (lcol.encoding() == ColumnSegment::Encoding::kInt64 &&
+      !lcol.has_exceptions() && rhs_const->type() == DataType::kInt64) {
+    const int64_t* w = lcol.words();
     const int64_t r = rhs_const->AsInt();
     DispatchOp(op, [&](auto cmp) {
       for (int64_t i = 0; i < n; ++i) {
-        mask[i] &= static_cast<uint8_t>(cmp(lcol[lrows[i]].AsInt(), r));
+        mask[i] &= static_cast<uint8_t>(cmp(w[lrows[i]], r));
+      }
+    });
+    return;
+  }
+  if (lcol.encoding() == ColumnSegment::Encoding::kString &&
+      !lcol.has_exceptions() && rhs_const->type() == DataType::kString &&
+      rhs_const->string_pool_index() == lcol.pool() && StringEqualityOp(op)) {
+    const int64_t* w = lcol.words();
+    const int64_t r = ColumnSegment::StringWord(*rhs_const);
+    DispatchOp(op, [&](auto cmp) {
+      for (int64_t i = 0; i < n; ++i) {
+        mask[i] &= static_cast<uint8_t>(cmp(w[lrows[i]], r));
+      }
+    });
+    return;
+  }
+  if (lcol.tagged_all_int64() && rhs_const->type() == DataType::kInt64) {
+    const Value* lv = lcol.tagged();
+    const int64_t r = rhs_const->AsInt();
+    DispatchOp(op, [&](auto cmp) {
+      for (int64_t i = 0; i < n; ++i) {
+        mask[i] &= static_cast<uint8_t>(cmp(lv[lrows[i]].AsInt(), r));
       }
     });
     return;
   }
   for (int64_t i = 0; i < n; ++i) {
-    mask[i] &= static_cast<uint8_t>(EvalCompOp(op, lcol[lrows[i]], *rhs_const));
+    mask[i] &= static_cast<uint8_t>(
+        EvalCompOp(op, lcol.ValueAt(lrows[i]), *rhs_const));
   }
 }
 
-void MixHashColumn(const Value* col, int64_t n, size_t* acc) {
-  for (int64_t i = 0; i < n; ++i) {
-    acc[i] = (acc[i] ^ col[i].Hash()) * kTupleHashPrime;
+namespace {
+
+// Shared shape of HashColumn / MixHashColumn: store(i, hash) receives every
+// row's value hash in one pass, packed rows without Value materialization.
+template <typename StoreFn>
+inline void ForEachRowHash(const ColumnSegment& col, StoreFn&& store) {
+  switch (col.encoding()) {
+    case ColumnSegment::Encoding::kInt64: {
+      const int64_t* w = col.words();
+      ForEachRun(
+          col,
+          [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i) {
+              store(i, value_hash::HashInt64(w[i]));
+            }
+          },
+          [&](int64_t row, const Value& v) { store(row, v.Hash()); });
+      return;
+    }
+    case ColumnSegment::Encoding::kString: {
+      const int64_t* w = col.words();
+      ForEachRun(
+          col,
+          [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i) store(i, HashStringWord(w[i]));
+          },
+          [&](int64_t row, const Value& v) { store(row, v.Hash()); });
+      return;
+    }
+    case ColumnSegment::Encoding::kTagged: {
+      const Value* tv = col.tagged();
+      const int64_t n = col.size();
+      for (int64_t i = 0; i < n; ++i) store(i, tv[i].Hash());
+      return;
+    }
   }
 }
 
-void MixHashColumnGather(const Value* col, const int64_t* rows, int64_t n,
-                         size_t* acc) {
+}  // namespace
+
+void HashColumn(const ColumnSegment& col, size_t* out) {
+  ForEachRowHash(col, [&](int64_t i, size_t h) { out[i] = h; });
+}
+
+void MixHashColumn(const ColumnSegment& col, size_t* acc) {
+  ForEachRowHash(col, [&](int64_t i, size_t h) {
+    acc[i] = (acc[i] ^ h) * kTupleHashPrime;
+  });
+}
+
+void MixHashColumnGather(const ColumnSegment& col, const int64_t* rows,
+                         int64_t n, size_t* acc) {
+  switch (col.encoding()) {
+    case ColumnSegment::Encoding::kInt64:
+      if (!col.has_exceptions()) {
+        const int64_t* w = col.words();
+        for (int64_t i = 0; i < n; ++i) {
+          acc[i] = (acc[i] ^ value_hash::HashInt64(w[rows[i]])) *
+                   kTupleHashPrime;
+        }
+        return;
+      }
+      break;
+    case ColumnSegment::Encoding::kString:
+      if (!col.has_exceptions()) {
+        const int64_t* w = col.words();
+        for (int64_t i = 0; i < n; ++i) {
+          acc[i] = (acc[i] ^ HashStringWord(w[rows[i]])) * kTupleHashPrime;
+        }
+        return;
+      }
+      break;
+    case ColumnSegment::Encoding::kTagged: {
+      const Value* tv = col.tagged();
+      for (int64_t i = 0; i < n; ++i) {
+        acc[i] = (acc[i] ^ tv[rows[i]].Hash()) * kTupleHashPrime;
+      }
+      return;
+    }
+  }
   for (int64_t i = 0; i < n; ++i) {
-    acc[i] = (acc[i] ^ col[rows[i]].Hash()) * kTupleHashPrime;
+    acc[i] = (acc[i] ^ col.ValueAt(rows[i]).Hash()) * kTupleHashPrime;
   }
 }
 

@@ -1,0 +1,314 @@
+#include "storage/column_segment.h"
+
+#include <utility>
+
+namespace eve {
+
+namespace {
+
+/// Removes the (sorted, unique, in-range) positions in `doomed` from `v`
+/// in one stable pass.
+template <typename T>
+void CompactVector(std::vector<T>& v, const std::vector<int64_t>& doomed) {
+  size_t di = 0;
+  size_t out = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (di < doomed.size() && static_cast<int64_t>(i) == doomed[di]) {
+      ++di;
+      continue;
+    }
+    if (out != i) v[out] = std::move(v[i]);
+    ++out;
+  }
+  v.resize(out);
+}
+
+}  // namespace
+
+ColumnSegment ColumnSegment::FromValues(std::vector<Value> values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  ColumnSegment seg;
+  if (n == 0) return seg;
+
+  // One scan decides the encoding.  Strings pack against the FIRST string's
+  // pool; minority-pool strings ride in the exception sidecar like any
+  // other stray value (the same graceful degradation Append gives).
+  int64_t ints = 0;
+  int64_t strs = 0;
+  uint32_t pool = 0;
+  bool pool_set = false;
+  for (const Value& v : values) {
+    if (v.type() == DataType::kInt64) {
+      ++ints;
+    } else if (v.type() == DataType::kString) {
+      if (!pool_set) {
+        pool = v.string_pool_index();
+        pool_set = true;
+      }
+      if (v.string_pool_index() == pool) ++strs;
+    }
+  }
+
+  const int64_t max_exc = MaxExceptions(n);
+  if (ints > 0 && ints >= strs && n - ints <= max_exc) {
+    seg.enc_ = Encoding::kInt64;
+    seg.words_.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const Value& v = values[static_cast<size_t>(i)];
+      if (v.type() == DataType::kInt64) {
+        seg.words_.push_back(v.AsInt());
+      } else {
+        seg.exc_rows_.push_back(i);
+        seg.exc_vals_.push_back(v);
+        seg.words_.push_back(0);
+      }
+    }
+    seg.size_ = n;
+    return seg;
+  }
+  if (pool_set && n - strs <= max_exc) {
+    seg.enc_ = Encoding::kString;
+    seg.pool_ = pool;
+    seg.words_.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const Value& v = values[static_cast<size_t>(i)];
+      if (v.type() == DataType::kString && v.string_pool_index() == pool) {
+        seg.words_.push_back(StringWord(v));
+      } else {
+        seg.exc_rows_.push_back(i);
+        seg.exc_vals_.push_back(v);
+        seg.words_.push_back(0);
+      }
+    }
+    seg.size_ = n;
+    return seg;
+  }
+  return TaggedFromValues(std::move(values));
+}
+
+ColumnSegment ColumnSegment::TaggedFromValues(std::vector<Value> values) {
+  ColumnSegment seg;
+  seg.enc_ = Encoding::kTagged;
+  seg.tagged_all_int64_ = true;
+  for (const Value& v : values) {
+    if (v.type() != DataType::kInt64) {
+      seg.tagged_all_int64_ = false;
+      break;
+    }
+  }
+  seg.size_ = static_cast<int64_t>(values.size());
+  seg.tagged_ = std::move(values);
+  return seg;
+}
+
+void ColumnSegment::InitFrom(const Value& v) {
+  switch (v.type()) {
+    case DataType::kInt64:
+      enc_ = Encoding::kInt64;
+      words_.push_back(v.AsInt());
+      break;
+    case DataType::kString:
+      enc_ = Encoding::kString;
+      pool_ = v.string_pool_index();
+      words_.push_back(StringWord(v));
+      break;
+    default:
+      enc_ = Encoding::kTagged;
+      tagged_all_int64_ = false;
+      tagged_.push_back(v);
+      break;
+  }
+  size_ = 1;
+}
+
+void ColumnSegment::Append(const Value& v) {
+  if (pristine()) {
+    InitFrom(v);
+    return;
+  }
+  switch (enc_) {
+    case Encoding::kInt64:
+      if (v.type() == DataType::kInt64) {
+        words_.push_back(v.AsInt());
+        ++size_;
+        return;
+      }
+      AppendException(v);
+      return;
+    case Encoding::kString:
+      if (v.type() == DataType::kString && v.string_pool_index() == pool_) {
+        words_.push_back(StringWord(v));
+        ++size_;
+        return;
+      }
+      AppendException(v);
+      return;
+    case Encoding::kTagged:
+      tagged_.push_back(v);
+      tagged_all_int64_ =
+          tagged_all_int64_ && v.type() == DataType::kInt64;
+      ++size_;
+      return;
+  }
+}
+
+void ColumnSegment::AppendException(const Value& v) {
+  if (static_cast<int64_t>(exc_rows_.size()) + 1 > MaxExceptions(size_ + 1)) {
+    Demote();
+    Append(v);
+    return;
+  }
+  exc_rows_.push_back(size_);
+  exc_vals_.push_back(v);
+  words_.push_back(0);
+  ++size_;
+}
+
+void ColumnSegment::Demote() {
+  std::vector<Value> t;
+  t.reserve(static_cast<size_t>(size_));
+  for (int64_t i = 0; i < size_; ++i) t.push_back(ValueAt(i));
+  tagged_ = std::move(t);
+  words_.clear();
+  words_.shrink_to_fit();
+  exc_rows_.clear();
+  exc_vals_.clear();
+  enc_ = Encoding::kTagged;
+  tagged_all_int64_ = false;
+  pool_ = 0;
+}
+
+void ColumnSegment::AdoptEncodingOf(const ColumnSegment& src) {
+  enc_ = src.enc_;
+  pool_ = src.pool_;
+  // An empty tagged target is vacuously all-int64; appends AND it down.
+  tagged_all_int64_ = enc_ == Encoding::kTagged;
+}
+
+void ColumnSegment::AppendGathered(const ColumnSegment& src,
+                                   const int64_t* rows, size_t n) {
+  if (n == 0) return;
+  if (pristine()) AdoptEncodingOf(src);
+  if (enc_ == Encoding::kTagged && src.enc_ == Encoding::kTagged) {
+    tagged_.reserve(tagged_.size() + n);
+    const Value* tv = src.tagged_.data();
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = tv[rows[i]];
+      tagged_.push_back(v);
+      tagged_all_int64_ =
+          tagged_all_int64_ && v.type() == DataType::kInt64;
+    }
+    size_ += static_cast<int64_t>(n);
+    return;
+  }
+  if (enc_ == src.enc_ && packed() &&
+      (enc_ != Encoding::kString || pool_ == src.pool_)) {
+    if (!src.has_exceptions()) {
+      const int64_t* w = src.words();
+      words_.reserve(words_.size() + n);
+      for (size_t i = 0; i < n; ++i) words_.push_back(w[rows[i]]);
+      size_ += static_cast<int64_t>(n);
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (enc_ != src.enc_) {
+        // A sidecar overflow demoted us mid-gather; finish generically.
+        for (; i < n; ++i) Append(src.ValueAt(rows[i]));
+        return;
+      }
+      if (const Value* e = src.FindException(rows[i])) {
+        Append(*e);
+      } else {
+        words_.push_back(src.words()[rows[i]]);
+        ++size_;
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) Append(src.ValueAt(rows[i]));
+}
+
+void ColumnSegment::EraseRows(const std::vector<int64_t>& doomed) {
+  if (doomed.empty()) return;
+  if (enc_ == Encoding::kTagged) {
+    CompactVector(tagged_, doomed);
+    size_ -= static_cast<int64_t>(doomed.size());
+    // tagged_all_int64_ stays conservative, like the old per-column flag.
+    return;
+  }
+  if (!exc_rows_.empty()) {
+    std::vector<int64_t> new_rows;
+    std::vector<Value> new_vals;
+    new_rows.reserve(exc_rows_.size());
+    new_vals.reserve(exc_vals_.size());
+    size_t di = 0;
+    for (size_t k = 0; k < exc_rows_.size(); ++k) {
+      const int64_t r = exc_rows_[k];
+      while (di < doomed.size() && doomed[di] < r) ++di;
+      if (di < doomed.size() && doomed[di] == r) continue;  // Row dies.
+      // di doomed rows sit strictly below r; the survivor shifts by them.
+      new_rows.push_back(r - static_cast<int64_t>(di));
+      new_vals.push_back(exc_vals_[k]);
+    }
+    exc_rows_ = std::move(new_rows);
+    exc_vals_ = std::move(new_vals);
+  }
+  CompactVector(words_, doomed);
+  size_ -= static_cast<int64_t>(doomed.size());
+  if (size_ == 0) Clear();
+}
+
+void ColumnSegment::Clear() {
+  enc_ = Encoding::kInt64;
+  tagged_all_int64_ = false;
+  pool_ = 0;
+  size_ = 0;
+  words_.clear();
+  tagged_.clear();
+  exc_rows_.clear();
+  exc_vals_.clear();
+}
+
+void ColumnSegment::Reserve(int64_t n) {
+  if (enc_ == Encoding::kTagged) {
+    tagged_.reserve(static_cast<size_t>(n));
+  } else {
+    words_.reserve(static_cast<size_t>(n));
+  }
+}
+
+bool ColumnSegment::RowEqualsValue(int64_t row, const Value& v) const {
+  if (enc_ == Encoding::kTagged) {
+    return tagged_[static_cast<size_t>(row)] == v;
+  }
+  if (!exc_rows_.empty()) {
+    if (const Value* e = FindException(row)) return *e == v;
+  }
+  const int64_t w = words_[static_cast<size_t>(row)];
+  if (enc_ == Encoding::kInt64) {
+    if (v.type() == DataType::kInt64) return w == v.AsInt();
+    return Value(w) == v;  // INT 3 == DOUBLE 3.0 and the like.
+  }
+  if (v.type() == DataType::kString && v.string_pool_index() == pool_) {
+    return w == StringWord(v);
+  }
+  return UnpackString(w) == v;
+}
+
+bool ColumnSegment::RowEqualsRow(int64_t row, const ColumnSegment& other,
+                                 int64_t other_row) const {
+  if (enc_ == other.enc_ && packed() &&
+      (enc_ != Encoding::kString || pool_ == other.pool_)) {
+    const Value* e1 =
+        exc_rows_.empty() ? nullptr : FindException(row);
+    const Value* e2 =
+        other.exc_rows_.empty() ? nullptr : other.FindException(other_row);
+    if (e1 == nullptr && e2 == nullptr) {
+      return words_[static_cast<size_t>(row)] ==
+             other.words_[static_cast<size_t>(other_row)];
+    }
+  }
+  return ValueAt(row) == other.ValueAt(other_row);
+}
+
+}  // namespace eve

@@ -1,0 +1,207 @@
+// ColumnSegment: one attribute's values in a typed, packed layout.
+//
+// Relation stores one segment per attribute.  A segment holds its rows in
+// one of three encodings:
+//
+//   * kInt64  -- packed vector<int64_t> of the raw integer payloads
+//                (8 bytes/row instead of a 16-byte tagged Value).
+//   * kString -- packed vector<int64_t> of string words over ONE interned
+//                StringPool (the pool index lives in the segment header):
+//                word = (content_hash << 32) | interned id.  Equality
+//                within the segment is a full-word integer compare (equal
+//                ids imply equal words, distinct ids differ in the low 32
+//                bits) and the value hash needs only the high half --
+//                dictionary encoding for free, no pool access on the hot
+//                paths.
+//   * kTagged -- plain vector<Value>, the legacy layout kept as the
+//                fallback for genuinely mixed columns.
+//
+// Packed segments degrade gracefully instead of demoting on the first
+// stray value: a compact exception sidecar (sorted row ids + their full
+// Values) carries NULLs, doubles-in-int-columns, and cross-pool strings,
+// with a zero placeholder in the packed word array.  The branch-free
+// kernels in storage/column_kernel.h iterate the runs between exception
+// rows and patch the exceptions generically, so a column with one NULL in
+// a million rows still scans at packed speed.  When exceptions exceed
+// MaxExceptions (~1/8 of the rows) the segment demotes to kTagged.
+//
+// Encoding decisions are automatic: an empty segment adopts the encoding
+// of its first appended value (the promotion signal that used to be the
+// per-column ColumnAllInt64 flag), FromValues scans a ready-made column
+// once, and TaggedFromValues forces the legacy layout (baseline benches
+// and differential tests).  all_int64() preserves the historic flag
+// semantics: true iff every stored value has tag INT64 (vacuously true
+// while empty).
+
+#ifndef EVE_STORAGE_COLUMN_SEGMENT_H_
+#define EVE_STORAGE_COLUMN_SEGMENT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "types/value.h"
+
+namespace eve {
+
+/// One attribute's value column in a typed packed layout (see file
+/// comment).  Copyable; copies are independent.
+class ColumnSegment {
+ public:
+  enum class Encoding : uint8_t {
+    kInt64,   ///< words() holds raw int64 payloads.
+    kString,  ///< words() holds (content_hash << 32 | id) over pool().
+    kTagged,  ///< tagged() holds full Values.
+  };
+
+  ColumnSegment() = default;
+
+  /// Adopts a ready-made column, choosing the best encoding in one scan:
+  /// packed when the uniform values dominate (exceptions under
+  /// MaxExceptions), tagged otherwise.
+  static ColumnSegment FromValues(std::vector<Value> values);
+
+  /// Adopts a ready-made column in the legacy tagged layout regardless of
+  /// content (differential tests and the tagged-baseline benchmarks).
+  /// Tag-uniform INT64 content is still detected so the tagged fast-path
+  /// kernels run exactly as they did before packed segments existed.
+  static ColumnSegment TaggedFromValues(std::vector<Value> values);
+
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Encoding encoding() const { return enc_; }
+  bool packed() const { return enc_ != Encoding::kTagged; }
+
+  /// True iff every stored value has tag INT64 (vacuously true while
+  /// empty): the historic ColumnAllInt64 promotion flag.
+  bool all_int64() const {
+    return enc_ == Encoding::kInt64 ? exc_rows_.empty()
+                                    : (enc_ == Encoding::kTagged &&
+                                       tagged_all_int64_);
+  }
+
+  /// True iff this is a tagged segment whose every value has tag INT64
+  /// (the legacy uniform layout; enables the old tagged fast paths).
+  bool tagged_all_int64() const {
+    return enc_ == Encoding::kTagged && tagged_all_int64_;
+  }
+
+  bool has_exceptions() const { return !exc_rows_.empty(); }
+
+  /// Pool of a kString segment's packed words (meaningless otherwise).
+  uint32_t pool() const { return pool_; }
+
+  /// The word a kString segment packs for `v` (which must be a STRING of
+  /// this segment's pool).
+  static int64_t StringWord(const Value& v) {
+    return static_cast<int64_t>(
+        (static_cast<uint64_t>(v.string_content_hash()) << 32) |
+        v.string_id());
+  }
+
+  /// Row `row` as a full Value (reconstructed from the packed word, the
+  /// exception sidecar, or the tagged store).
+  Value ValueAt(int64_t row) const {
+    switch (enc_) {
+      case Encoding::kInt64:
+        if (!exc_rows_.empty()) {
+          if (const Value* e = FindException(row)) return *e;
+        }
+        return Value(words_[static_cast<size_t>(row)]);
+      case Encoding::kString:
+        if (!exc_rows_.empty()) {
+          if (const Value* e = FindException(row)) return *e;
+        }
+        return UnpackString(words_[static_cast<size_t>(row)]);
+      case Encoding::kTagged:
+        return tagged_[static_cast<size_t>(row)];
+    }
+    return Value();
+  }
+
+  /// The sidecar Value stored at `row`, or nullptr when `row` holds a
+  /// packed word (kernels patch exceptions through this).
+  const Value* FindException(int64_t row) const {
+    const auto it = std::lower_bound(exc_rows_.begin(), exc_rows_.end(), row);
+    if (it == exc_rows_.end() || *it != row) return nullptr;
+    return &exc_vals_[static_cast<size_t>(it - exc_rows_.begin())];
+  }
+
+  /// Appends one value, promoting an empty segment to the value's natural
+  /// encoding, routing mismatches into the exception sidecar, and demoting
+  /// to kTagged past MaxExceptions.
+  void Append(const Value& v);
+
+  /// Appends `n` gathered rows of `src` (any encodings); packed sources
+  /// gather word-by-word into a packed target.
+  void AppendGathered(const ColumnSegment& src, const int64_t* rows,
+                      size_t n);
+
+  /// Removes the rows listed in `doomed` (sorted ascending, in range,
+  /// duplicate-free) in one stable compaction pass; packing and the
+  /// exception sidecar are preserved (a segment whose last exceptions die
+  /// becomes fully packed again).
+  void EraseRows(const std::vector<int64_t>& doomed);
+
+  /// Drops all rows and resets to the pristine empty state (encoding is
+  /// re-chosen by the next append).
+  void Clear();
+
+  void Reserve(int64_t n);
+
+  /// Value equality of row `row` against `v` / against a row of another
+  /// segment; same-encoding packed segments compare words directly.
+  bool RowEqualsValue(int64_t row, const Value& v) const;
+  bool RowEqualsRow(int64_t row, const ColumnSegment& other,
+                    int64_t other_row) const;
+
+  /// Raw views for the kernels in storage/column_kernel.h.  words() is
+  /// valid for packed encodings (exception rows hold a placeholder);
+  /// tagged() for kTagged.
+  const int64_t* words() const { return words_.data(); }
+  const Value* tagged() const { return tagged_.data(); }
+  const std::vector<int64_t>& exception_rows() const { return exc_rows_; }
+  const std::vector<Value>& exception_values() const { return exc_vals_; }
+
+  /// Sidecar capacity before a packed segment of `size` rows demotes.
+  static int64_t MaxExceptions(int64_t size) { return size / 8 + 4; }
+
+ private:
+  Value UnpackString(int64_t word) const {
+    const uint64_t w = static_cast<uint64_t>(word);
+    return Value::FromInterned(static_cast<uint32_t>(w & 0xFFFFFFFFu), pool_,
+                               static_cast<uint32_t>(w >> 32));
+  }
+
+  /// True while nothing was ever appended (encoding still undecided).
+  bool pristine() const {
+    return size_ == 0 && enc_ == Encoding::kInt64 && exc_rows_.empty();
+  }
+
+  /// Chooses the encoding from the first appended value.
+  void InitFrom(const Value& v);
+
+  /// Adopts `src`'s encoding (gather into a pristine target).
+  void AdoptEncodingOf(const ColumnSegment& src);
+
+  /// Appends `v` into the sidecar of a packed segment (placeholder word),
+  /// demoting first when the sidecar is full.
+  void AppendException(const Value& v);
+
+  /// Rewrites a packed segment as kTagged (sidecar folded back in).
+  void Demote();
+
+  Encoding enc_ = Encoding::kInt64;
+  /// kTagged only: every value has tag INT64 (the legacy uniform layout).
+  bool tagged_all_int64_ = false;
+  uint32_t pool_ = 0;  ///< kString only: pool of the packed words.
+  int64_t size_ = 0;
+  std::vector<int64_t> words_;   ///< Packed payloads (kInt64 / kString).
+  std::vector<Value> tagged_;    ///< Full values (kTagged).
+  std::vector<int64_t> exc_rows_;  ///< Sorted rows carried by the sidecar.
+  std::vector<Value> exc_vals_;    ///< Their values, parallel to exc_rows_.
+};
+
+}  // namespace eve
+
+#endif  // EVE_STORAGE_COLUMN_SEGMENT_H_

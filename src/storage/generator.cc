@@ -93,9 +93,9 @@ double MeasureJoinSelectivity(const Relation& a, int col_a, const Relation& b,
   if (a.empty() || b.empty()) return 0.0;
   HashIndex index(b, col_b);
   int64_t matches = 0;
-  const Value* keys = a.ColumnData(col_a);
+  const ColumnSegment& keys = a.Segment(col_a);
   for (int64_t row = 0; row < a.cardinality(); ++row) {
-    matches += static_cast<int64_t>(index.Lookup(keys[row]).size());
+    matches += static_cast<int64_t>(index.Lookup(keys.ValueAt(row)).size());
   }
   return static_cast<double>(matches) /
          (static_cast<double>(a.cardinality()) *

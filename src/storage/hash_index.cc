@@ -1,5 +1,7 @@
 #include "storage/hash_index.h"
 
+#include "storage/column_kernel.h"
+
 namespace eve {
 
 HashIndex::HashIndex(const Relation& relation, int column) : column_(column) {
@@ -11,16 +13,18 @@ HashIndex::HashIndex(const Relation& relation, int column) : column_(column) {
   slots_.resize(capacity);
   mask_ = capacity - 1;
 
-  // Both passes read the key column as one contiguous scan.
-  const Value* keys = relation.ColumnData(column);
+  // Both passes read the key column segment; packed segments hash without
+  // materializing a Value per row.
+  const ColumnSegment& keys = relation.Segment(column);
 
-  // Pass 1: count rows per key.  The per-row hash is cached so pass 2
-  // probes without re-hashing.
+  // Pass 1: count rows per key.  The per-row hash is computed in one
+  // branch-free column sweep and cached so pass 2 probes without
+  // re-hashing.
   std::vector<size_t> hashes(static_cast<size_t>(n));
+  HashColumn(keys, hashes.data());
   for (int64_t row = 0; row < n; ++row) {
-    const Value& v = keys[row];
-    const size_t h = v.Hash();
-    hashes[static_cast<size_t>(row)] = h;
+    const size_t h = hashes[static_cast<size_t>(row)];
+    const Value v = keys.ValueAt(row);
     for (size_t slot = h & mask_;; slot = (slot + 1) & mask_) {
       Slot& s = slots_[slot];
       if (s.count == 0) {
@@ -57,7 +61,7 @@ HashIndex::HashIndex(const Relation& relation, int column) : column_(column) {
   // each key (the iteration order the old bucket vectors provided).
   for (int64_t row = 0; row < n; ++row) {
     const size_t h = hashes[static_cast<size_t>(row)];
-    const Value& v = keys[row];
+    const Value v = keys.ValueAt(row);
     for (size_t slot = h & mask_;; slot = (slot + 1) & mask_) {
       Slot& s = slots_[slot];
       if (s.hash == h && s.key == v) {

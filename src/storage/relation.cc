@@ -57,7 +57,6 @@ Relation::Relation(const Relation& other)
     : name_(other.name_),
       schema_(other.schema_),
       columns_(other.columns_),
-      col_all_int64_(other.col_all_int64_),
       rows_(other.rows_) {
   std::lock_guard<std::mutex> lock(other.cache_mutex_);
   index_cache_ = other.index_cache_;
@@ -71,7 +70,6 @@ Relation& Relation::operator=(const Relation& other) {
   name_ = other.name_;
   schema_ = other.schema_;
   columns_ = other.columns_;
-  col_all_int64_ = other.col_all_int64_;
   rows_ = other.rows_;
   identity_ = NextIdentity();
   version_ = 0;
@@ -94,7 +92,6 @@ Relation::Relation(Relation&& other) noexcept
     : name_(std::move(other.name_)),
       schema_(std::move(other.schema_)),
       columns_(std::move(other.columns_)),
-      col_all_int64_(std::move(other.col_all_int64_)),
       rows_(other.rows_) {
   other.rows_ = 0;
   std::lock_guard<std::mutex> lock(other.cache_mutex_);
@@ -113,7 +110,6 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   name_ = std::move(other.name_);
   schema_ = std::move(other.schema_);
   columns_ = std::move(other.columns_);
-  col_all_int64_ = std::move(other.col_all_int64_);
   rows_ = other.rows_;
   other.rows_ = 0;
   identity_ = NextIdentity();
@@ -138,31 +134,23 @@ Relation& Relation::operator=(Relation&& other) noexcept {
 
 Relation Relation::FromColumns(std::string name, Schema schema,
                                std::vector<std::vector<Value>> columns) {
-  std::vector<uint8_t> flags(columns.size(), 1);
-  for (size_t c = 0; c < columns.size(); ++c) {
-    for (const Value& v : columns[c]) {
-      if (v.type() != DataType::kInt64) {
-        flags[c] = 0;
-        break;
-      }
-    }
+  std::vector<ColumnSegment> segments;
+  segments.reserve(columns.size());
+  for (std::vector<Value>& col : columns) {
+    segments.push_back(ColumnSegment::FromValues(std::move(col)));
   }
-  return FromColumns(std::move(name), std::move(schema), std::move(columns),
-                     std::move(flags));
+  return FromSegments(std::move(name), std::move(schema),
+                      std::move(segments));
 }
 
-Relation Relation::FromColumns(std::string name, Schema schema,
-                               std::vector<std::vector<Value>> columns,
-                               std::vector<uint8_t> all_int64_flags) {
+Relation Relation::FromSegments(std::string name, Schema schema,
+                                std::vector<ColumnSegment> columns) {
   EVE_CHECK(static_cast<int>(columns.size()) == schema.size());
-  EVE_CHECK(all_int64_flags.size() == columns.size());
   Relation out(std::move(name), std::move(schema));
-  const int64_t rows =
-      columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
-  for (const std::vector<Value>& col : columns) {
-    EVE_CHECK(static_cast<int64_t>(col.size()) == rows);
+  const int64_t rows = columns.empty() ? 0 : columns[0].size();
+  for (const ColumnSegment& col : columns) {
+    EVE_CHECK(col.size() == rows);
   }
-  out.col_all_int64_ = std::move(all_int64_flags);
   out.columns_ = std::move(columns);
   out.rows_ = rows;
   return out;
@@ -171,7 +159,7 @@ Relation Relation::FromColumns(std::string name, Schema schema,
 Tuple Relation::TupleAt(int64_t row) const {
   std::vector<Value> values;
   values.reserve(columns_.size());
-  for (const std::vector<Value>& col : columns_) values.push_back(col[row]);
+  for (const ColumnSegment& col : columns_) values.push_back(col.ValueAt(row));
   return Tuple(std::move(values));
 }
 
@@ -186,7 +174,7 @@ Tuple Relation::ConcatRow(const Tuple& prefix, int64_t row) const {
   std::vector<Value> values;
   values.reserve(prefix.values().size() + columns_.size());
   values.insert(values.end(), prefix.values().begin(), prefix.values().end());
-  for (const std::vector<Value>& col : columns_) values.push_back(col[row]);
+  for (const ColumnSegment& col : columns_) values.push_back(col.ValueAt(row));
   return Tuple(std::move(values));
 }
 
@@ -201,9 +189,10 @@ void Relation::AddNullColumn(const Attribute& attribute) {
   std::vector<Attribute> attrs = schema_.attributes();
   attrs.push_back(attribute);
   schema_ = Schema(std::move(attrs));
-  columns_.emplace_back(static_cast<size_t>(rows_), Value());
-  // NULLs break tag uniformity (vacuously uniform only while empty).
-  col_all_int64_.push_back(rows_ == 0 ? 1 : 0);
+  // An all-NULL back-fill is a tagged segment (NULLs break tag uniformity;
+  // vacuously uniform only while empty, as before).
+  columns_.push_back(ColumnSegment::TaggedFromValues(
+      std::vector<Value>(static_cast<size_t>(rows_))));
 }
 
 Status Relation::Insert(Tuple t) {
@@ -230,10 +219,7 @@ void Relation::AddTuple(Tuple t) {
   EVE_CHECK(t.size() == static_cast<int>(columns_.size()));
   MarkMutated();
   for (size_t c = 0; c < columns_.size(); ++c) {
-    const Value& v = t.at(static_cast<int>(c));
-    col_all_int64_[c] &=
-        static_cast<uint8_t>(v.type() == DataType::kInt64);
-    columns_[c].push_back(v);
+    columns_[c].Append(t.at(static_cast<int>(c)));
   }
   ++rows_;
 }
@@ -249,34 +235,67 @@ int64_t Relation::Erase(const Tuple& t, bool all_occurrences) {
   }
   if (doomed.empty()) return 0;
   MarkMutated();
-  // Pass 2: stable compaction of every column around the doomed rows.
-  for (std::vector<Value>& col : columns_) {
-    size_t next_doomed = 0;
-    int64_t kept = 0;
-    for (int64_t row = 0; row < rows_; ++row) {
-      if (next_doomed < doomed.size() && doomed[next_doomed] == row) {
-        ++next_doomed;
-        continue;
-      }
-      col[kept++] = col[row];
-    }
-    col.resize(static_cast<size_t>(kept));
+  // Pass 2: one stable compaction per column segment.
+  for (ColumnSegment& col : columns_) col.EraseRows(doomed);
+  rows_ -= static_cast<int64_t>(doomed.size());
+  return static_cast<int64_t>(doomed.size());
+}
+
+int64_t Relation::EraseBatch(const std::vector<Tuple>& victims) {
+  if (victims.empty() || rows_ == 0) return 0;
+  // Bucket the victims by tuple hash.  Equal victims stay separate entries:
+  // the scan below consumes the first non-exhausted equal entry per
+  // matching row, which removes exactly the first count(v) occurrences of
+  // each distinct victim in row order -- the same multiset repeated single
+  // Erase calls would remove, in one pass.
+  struct Want {
+    const Tuple* tuple;
+    bool used;
+  };
+  std::unordered_map<size_t, std::vector<Want>> wanted;
+  wanted.reserve(victims.size());
+  size_t eligible = 0;
+  for (const Tuple& t : victims) {
+    if (t.size() != static_cast<int>(columns_.size())) continue;
+    wanted[t.Hash()].push_back(Want{&t, false});
+    ++eligible;
   }
+  if (eligible == 0) return 0;
+  // One hash column for the whole scan; computed fresh rather than through
+  // TupleHashes() so a no-op batch leaves the caches untouched.
+  const std::vector<size_t> hashes = ComputeTupleHashes();
+  std::vector<int64_t> doomed;
+  size_t remaining = eligible;
+  for (int64_t row = 0; row < rows_ && remaining > 0; ++row) {
+    const auto it = wanted.find(hashes[static_cast<size_t>(row)]);
+    if (it == wanted.end()) continue;
+    for (Want& w : it->second) {
+      if (w.used || !RowEqualsTuple(row, *w.tuple)) continue;
+      w.used = true;
+      --remaining;
+      doomed.push_back(row);
+      break;
+    }
+  }
+  if (doomed.empty()) return 0;  // No version bump for a no-op batch.
+  MarkMutated();
+  for (ColumnSegment& col : columns_) col.EraseRows(doomed);
   rows_ -= static_cast<int64_t>(doomed.size());
   return static_cast<int64_t>(doomed.size());
 }
 
 void Relation::Clear() {
   MarkMutated();
-  for (std::vector<Value>& col : columns_) col.clear();
-  std::fill(col_all_int64_.begin(), col_all_int64_.end(), uint8_t{1});
+  for (ColumnSegment& col : columns_) col.Clear();
   rows_ = 0;
 }
 
 bool Relation::RowEquals(int64_t row, const Relation& other,
                          int64_t other_row) const {
   for (size_t c = 0; c < columns_.size(); ++c) {
-    if (!(columns_[c][row] == other.columns_[c][other_row])) return false;
+    if (!columns_[c].RowEqualsRow(row, other.columns_[c], other_row)) {
+      return false;
+    }
   }
   return true;
 }
@@ -284,7 +303,9 @@ bool Relation::RowEquals(int64_t row, const Relation& other,
 bool Relation::RowEqualsTuple(int64_t row, const Tuple& t) const {
   if (t.size() != static_cast<int>(columns_.size())) return false;
   for (size_t c = 0; c < columns_.size(); ++c) {
-    if (!(columns_[c][row] == t.at(static_cast<int>(c)))) return false;
+    if (!columns_[c].RowEqualsValue(row, t.at(static_cast<int>(c)))) {
+      return false;
+    }
   }
   return true;
 }
@@ -311,10 +332,11 @@ void Relation::WarmIndexes(const std::vector<int>& columns) const {
 std::vector<size_t> Relation::ComputeTupleHashes() const {
   // Column-wise FNV mixing: seeding with Tuple::Hash's offset basis and
   // folding the columns left to right makes hashes[i] == TupleAt(i).Hash(),
-  // with every pass a contiguous column scan.
+  // with every pass a contiguous column scan (packed words hash without
+  // materializing Values).
   std::vector<size_t> hashes(static_cast<size_t>(rows_), kTupleHashBasis);
-  for (const std::vector<Value>& col : columns_) {
-    MixHashColumn(col.data(), rows_, hashes.data());
+  for (const ColumnSegment& col : columns_) {
+    MixHashColumn(col, hashes.data());
   }
   return hashes;
 }
@@ -348,11 +370,7 @@ void Relation::AppendGathered(const Relation& src,
   EVE_CHECK(&src != this);
   MarkMutated();
   for (size_t c = 0; c < columns_.size(); ++c) {
-    const std::vector<Value>& from = src.columns_[c];
-    std::vector<Value>& to = columns_[c];
-    to.reserve(to.size() + rows.size());
-    for (const int64_t row : rows) to.push_back(from[row]);
-    col_all_int64_[c] &= src.col_all_int64_[c];
+    columns_[c].AppendGathered(src.columns_[c], rows.data(), rows.size());
   }
   rows_ += static_cast<int64_t>(rows.size());
 }
@@ -372,19 +390,16 @@ Relation Relation::Distinct() const {
 Result<Relation> Relation::ProjectByName(
     const std::vector<std::string>& names) const {
   std::vector<Attribute> attrs;
-  std::vector<std::vector<Value>> cols;
-  std::vector<uint8_t> flags;
+  std::vector<ColumnSegment> cols;
   for (const std::string& n : names) {
     const auto idx = schema_.IndexOf(n);
     if (!idx.has_value()) {
       return Status::NotFound("attribute " + n + " not in relation " + name_);
     }
     attrs.push_back(schema_.attribute(*idx));
-    cols.push_back(columns_[*idx]);  // One contiguous column copy.
-    flags.push_back(col_all_int64_[*idx]);
+    cols.push_back(columns_[*idx]);  // One segment copy, encoding kept.
   }
-  return FromColumns(name_, Schema(std::move(attrs)), std::move(cols),
-                     std::move(flags));
+  return FromSegments(name_, Schema(std::move(attrs)), std::move(cols));
 }
 
 int64_t Relation::DistinctCount() const {

@@ -1,15 +1,18 @@
 // Relation: an in-memory table (schema + tuples).  This is the storage unit
 // hosted by information sources and the result type of the query executor.
 //
-// Storage is columnar: one contiguous vector<Value> per attribute, so the
-// hot consumers (hash-index builds, dedup hashing, the prepared executor's
-// batch probes / residual filters / per-column gathers) read memory
-// sequentially instead of hopping across row-major Tuple vectors.  The
-// row-oriented API survives as an adapter (TupleAt / AddTuple / CopyTuples
-// materialize rows on demand) so callers migrate incrementally; per-column
-// access goes through Column / ColumnData / ValueAt.  Each column also
-// carries a tag-uniformity flag (ColumnAllInt64) that lets the compare
-// kernels in storage/column_kernel.h skip per-row type checks.
+// Storage is columnar and typed: one ColumnSegment per attribute
+// (storage/column_segment.h).  Tag-uniform INT64 columns are packed
+// vector<int64_t> segments, uniform interned-string columns pack to
+// (hash, id) word segments (dictionary encoding for free), and mixed
+// columns fall back to the tagged vector<Value> layout -- with a compact
+// exception sidecar in between, so one stray NULL does not demote a packed
+// column.  The hot consumers (hash-index builds, dedup hashing, the
+// prepared executor's batch probes / residual filters / per-column
+// gathers) read the packed words branch-free through the kernels in
+// storage/column_kernel.h.  The row-oriented API survives as an adapter
+// (TupleAt / AddTuple / CopyTuples materialize rows on demand) so callers
+// migrate incrementally; per-column access goes through Segment / ValueAt.
 //
 // Relations use bag semantics by default; Distinct() derives the set-
 // semantics version that the paper's extent comparisons require
@@ -44,21 +47,21 @@
 #include "catalog/schema.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/column_segment.h"
 #include "storage/tuple.h"
 
 namespace eve {
 
 class HashIndex;
 
-/// An in-memory relation instance (columnar tuple store).
+/// An in-memory relation instance (typed columnar tuple store).
 class Relation {
  public:
   Relation() = default;
   Relation(std::string name, Schema schema)
       : name_(std::move(name)),
         schema_(std::move(schema)),
-        columns_(schema_.size()),
-        col_all_int64_(schema_.size(), 1) {}
+        columns_(schema_.size()) {}
 
   // Copies share the already-built immutable caches (indexes store row ids
   // only, so they stay valid for the copied column store); each copy gets a
@@ -70,17 +73,16 @@ class Relation {
   Relation& operator=(Relation&& other) noexcept;
 
   /// Adopts ready-made columns (all of equal length, one per schema
-  /// attribute) without any row materialization -- the columnar result path
-  /// of the executor.  Column values are not type-checked against the
-  /// schema (as InsertUnchecked); sizes are.  The first overload scans each
-  /// column to recover the tag-uniformity flags; the second adopts
-  /// caller-supplied flags (one per column, 1 only if every value in that
-  /// column has tag INT64 -- gather sources propagate their own flags).
+  /// attribute) without any row materialization -- each column is scanned
+  /// once to pick its segment encoding.  Column values are not type-checked
+  /// against the schema (as InsertUnchecked); sizes are.
   static Relation FromColumns(std::string name, Schema schema,
                               std::vector<std::vector<Value>> columns);
-  static Relation FromColumns(std::string name, Schema schema,
-                              std::vector<std::vector<Value>> columns,
-                              std::vector<uint8_t> all_int64_flags);
+
+  /// Adopts ready-made segments (all of equal length, one per schema
+  /// attribute) -- the zero-rescan result path of the executor's gathers.
+  static Relation FromSegments(std::string name, Schema schema,
+                               std::vector<ColumnSegment> columns);
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -101,17 +103,18 @@ class Relation {
   /// Number of columns (schema arity).
   int width() const { return static_cast<int>(columns_.size()); }
 
-  /// The contiguous value column of attribute `c`.
-  const std::vector<Value>& Column(int c) const { return columns_[c]; }
-  const Value* ColumnData(int c) const { return columns_[c].data(); }
-  const Value& ValueAt(int64_t row, int col) const {
-    return columns_[col][row];
+  /// The typed column segment of attribute `c`.
+  const ColumnSegment& Segment(int c) const { return columns_[c]; }
+  /// Row `row` of column `col` as a full Value (reconstructed on demand
+  /// from the packed word on packed segments).
+  Value ValueAt(int64_t row, int col) const {
+    return columns_[col].ValueAt(row);
   }
 
   /// True iff every value in column `c` has tag INT64 (no NULLs, doubles,
-  /// or strings); enables the compare kernels' tag-free fast path.  The
-  /// flag is maintained on append and conservatively preserved by erase.
-  bool ColumnAllInt64(int c) const { return col_all_int64_[c] != 0; }
+  /// or strings); the historic promotion signal, now derived from the
+  /// segment encoding.
+  bool ColumnAllInt64(int c) const { return columns_[c].all_int64(); }
 
   /// Row-adapter: materializes row `row` as a Tuple (one allocation).
   Tuple TupleAt(int64_t row) const;
@@ -132,11 +135,11 @@ class Relation {
   uint64_t identity() const { return identity_.load(std::memory_order_acquire); }
 
   /// Mutation counter of this instance; bumped by every AddTuple / Insert /
-  /// Erase / Clear.  Two observations with equal (identity, version) saw
-  /// identical data.  Stamps are atomic so a concurrent plan revalidation
-  /// reads a consistent value, but a reader racing a mutation may see
-  /// either stamp -- observing the tuple store itself still requires the
-  /// single-writer contract above.
+  /// Erase / EraseBatch / Clear.  Two observations with equal (identity,
+  /// version) saw identical data.  Stamps are atomic so a concurrent plan
+  /// revalidation reads a consistent value, but a reader racing a mutation
+  /// may see either stamp -- observing the tuple store itself still
+  /// requires the single-writer contract above.
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   /// Appends a tuple after checking arity and type conformance.
@@ -152,6 +155,15 @@ class Relation {
   /// Removes (one occurrence of) each tuple equal to `t`; returns the number
   /// of removed tuples (0 or 1 with `all_occurrences` false).
   int64_t Erase(const Tuple& t, bool all_occurrences = false);
+
+  /// Removes one occurrence per victim (first matching row in scan order,
+  /// exactly as repeated single Erase calls would) in ONE compaction pass:
+  /// victims are hash-bucketed, matching rows are tombstoned during a
+  /// single scan against the fresh tuple-hash column, and every column
+  /// compacts once.  Returns the number of removed rows; a batch that
+  /// matches nothing is a no-op (no version bump).  The maintenance delete
+  /// sweeps call this instead of O(victims) full scans.
+  int64_t EraseBatch(const std::vector<Tuple>& victims);
 
   void Clear();
 
@@ -188,7 +200,7 @@ class Relation {
   Relation Distinct() const;
 
   /// Projection onto named attributes; fails on unknown names.  Columnar:
-  /// each projected column is one contiguous copy.
+  /// each projected column is one segment copy, encoding preserved.
   Result<Relation> ProjectByName(const std::vector<std::string>& names) const;
 
   /// Number of distinct tuples.
@@ -201,7 +213,8 @@ class Relation {
   std::string ToString(int64_t max_rows = 20) const;
 
   /// Appends the `rows` of `src` (same arity) as one contiguous gather per
-  /// column; a single mutation stamp for the whole batch.
+  /// column (packed sources gather word-by-word); a single mutation stamp
+  /// for the whole batch.
   void AppendGathered(const Relation& src, const std::vector<int64_t>& rows);
 
  private:
@@ -222,10 +235,8 @@ class Relation {
 
   std::string name_;
   Schema schema_;
-  /// One contiguous value vector per attribute, all of length rows_.
-  std::vector<std::vector<Value>> columns_;
-  /// Per-column: 1 iff every appended value so far had tag INT64.
-  std::vector<uint8_t> col_all_int64_;
+  /// One typed column segment per attribute, all of length rows_.
+  std::vector<ColumnSegment> columns_;
   int64_t rows_ = 0;
   std::atomic<uint64_t> identity_{NextIdentity()};
   std::atomic<uint64_t> version_{0};

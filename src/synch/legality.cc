@@ -2,6 +2,8 @@
 
 #include <map>
 #include <set>
+#include <string_view>
+#include <unordered_map>
 
 #include "common/str_util.h"
 
@@ -31,6 +33,8 @@ struct DefReader {
   const SelectItem* FindSelect(const std::string& n) const {
     return def->FindSelect(n);
   }
+  int select_size() const { return static_cast<int>(def->select_items.size()); }
+  const SelectItem& select(int i) const { return def->select_items[i]; }
   Status Validate() const { return def->Validate(); }
 };
 
@@ -128,9 +132,21 @@ Status CheckLegalityImpl(const ViewDefinition& original, const View& view,
   const std::map<RelAttr, RelAttr> subst =
       SubstitutionMap(original, view, replacements);
 
-  // 1. Indispensable SELECT items.
+  // 1. Indispensable SELECT items.  The candidate's SELECT list is probed
+  // once per original item, so index it up front instead of rescanning
+  // (FindSelect is O(|view|); enumeration legality-checks every candidate).
+  // emplace keeps the first occurrence per name, matching FindSelect's
+  // first-match scan order.
+  std::unordered_map<std::string_view, const SelectItem*> select_index;
+  select_index.reserve(static_cast<size_t>(view.select_size()));
+  for (int i = 0; i < view.select_size(); ++i) {
+    const SelectItem& s = view.select(i);
+    select_index.emplace(std::string_view(s.name()), &s);
+  }
   for (const SelectItem& s : original.select_items) {
-    const SelectItem* kept = view.FindSelect(s.name());
+    const auto kept_it = select_index.find(std::string_view(s.name()));
+    const SelectItem* kept =
+        kept_it != select_index.end() ? kept_it->second : nullptr;
     if (kept == nullptr) {
       if (!s.dispensable) {
         return Status::FailedPrecondition("indispensable attribute " +

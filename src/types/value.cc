@@ -9,29 +9,6 @@ namespace eve {
 
 namespace {
 
-// splitmix64 finalizer: a full-avalanche 64-bit mix, cheap and branchless.
-inline uint64_t Mix64(uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return x;
-}
-
-// Canonical hash bits of a numeric value.  Everything is canonicalized
-// through its double representation, because Compare promotes INT/DOUBLE
-// comparisons to double: values that compare equal across types therefore
-// share bits, and ±0.0 / NaN classes are collapsed to one representative
-// per weak_order equivalence class.
-inline uint64_t NumericBits(double d) {
-  if (std::isnan(d)) {
-    return std::signbit(d) ? 0xFFF8000000000001ULL : 0x7FF8000000000000ULL;
-  }
-  if (d == 0.0) return 0;  // Collapses -0.0 onto +0.0.
-  return std::bit_cast<uint64_t>(d);
-}
-
 // Order doubles by std::weak_order: -NaN < reals (with -0.0 == +0.0) < NaN.
 inline std::strong_ordering OrderDoubles(double a, double b) {
   const std::weak_ordering w = std::weak_order(a, b);
@@ -39,9 +16,6 @@ inline std::strong_ordering OrderDoubles(double a, double b) {
   if (w == std::weak_ordering::greater) return std::strong_ordering::greater;
   return std::strong_ordering::equal;
 }
-
-constexpr uint64_t kNullHashSeed = 0x9E3779B97F4A7C15ULL;
-constexpr uint64_t kStringHashSeed = 0xA24BAED4963EE407ULL;
 
 }  // namespace
 
@@ -94,17 +68,17 @@ bool Value::operator==(const Value& other) const {
 size_t Value::Hash() const {
   switch (tag_) {
     case DataType::kNull:
-      return static_cast<size_t>(kNullHashSeed);
+      return static_cast<size_t>(value_hash::kNullHashSeed);
     case DataType::kInt64:
       // Through double, matching Compare's cross-type promotion, so INT 3
       // and DOUBLE 3.0 land in the same bucket.
-      return static_cast<size_t>(
-          Mix64(NumericBits(static_cast<double>(payload_.i))));
+      return value_hash::HashInt64(payload_.i);
     case DataType::kDouble:
-      return static_cast<size_t>(Mix64(NumericBits(payload_.d)));
+      return static_cast<size_t>(
+          value_hash::Mix64(value_hash::NumericBits(payload_.d)));
     case DataType::kString:
       // Content-hash based: stable across pools and interning orders.
-      return static_cast<size_t>(Mix64(shash_ ^ kStringHashSeed));
+      return value_hash::HashStringContent(shash_);
   }
   return 0;
 }

@@ -10,7 +10,9 @@
 #ifndef EVE_TYPES_VALUE_H_
 #define EVE_TYPES_VALUE_H_
 
+#include <bit>
 #include <cassert>
+#include <cmath>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -20,6 +22,50 @@
 #include "types/string_pool.h"
 
 namespace eve {
+
+/// The hash primitives behind Value::Hash, exposed so the packed column
+/// segments (storage/column_segment.h) can hash int64 words and interned
+/// string ids branch-free without materializing a Value per row.  Any
+/// change here changes every stored tuple hash.
+namespace value_hash {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix, cheap and branchless.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Canonical hash bits of a numeric value.  Everything is canonicalized
+/// through its double representation, because Value::Compare promotes
+/// INT/DOUBLE comparisons to double: values that compare equal across types
+/// therefore share bits, and ±0.0 / NaN classes are collapsed to one
+/// representative per weak_order equivalence class.
+inline uint64_t NumericBits(double d) {
+  if (std::isnan(d)) {
+    return std::signbit(d) ? 0xFFF8000000000001ULL : 0x7FF8000000000000ULL;
+  }
+  if (d == 0.0) return 0;  // Collapses -0.0 onto +0.0.
+  return std::bit_cast<uint64_t>(d);
+}
+
+inline constexpr uint64_t kNullHashSeed = 0x9E3779B97F4A7C15ULL;
+inline constexpr uint64_t kStringHashSeed = 0xA24BAED4963EE407ULL;
+
+/// Value(i).Hash() without the Value.
+inline size_t HashInt64(int64_t i) {
+  return static_cast<size_t>(Mix64(NumericBits(static_cast<double>(i))));
+}
+
+/// The hash of a STRING value from its 32-bit content hash alone.
+inline size_t HashStringContent(uint32_t content_hash) {
+  return static_cast<size_t>(Mix64(content_hash ^ kStringHashSeed));
+}
+
+}  // namespace value_hash
 
 /// A scalar value.  Comparison across INT and DOUBLE promotes to double;
 /// NULL compares equal to NULL and less than everything else (total order,
@@ -75,6 +121,23 @@ class Value {
   /// Interning coordinates of a STRING value (for tests and diagnostics).
   uint32_t string_id() const { return payload_.s.id; }
   uint32_t string_pool_index() const { return payload_.s.pool; }
+  /// Low 32 bits of a STRING's content hash (0 for non-strings).
+  uint32_t string_content_hash() const { return shash_; }
+
+  /// Reconstructs an already-interned STRING value from its interning
+  /// coordinates without touching the pool.  Storage-internal: packed
+  /// string segments store (content hash, id) words plus the pool index
+  /// once per column and rebuild Values on demand.  The coordinates must
+  /// come from a live Value of the same pool.
+  static Value FromInterned(uint32_t id, uint32_t pool_index,
+                            uint32_t content_hash) {
+    Value v;
+    v.tag_ = DataType::kString;
+    v.payload_.s.id = id;
+    v.payload_.s.pool = pool_index;
+    v.shash_ = content_hash;
+    return v;
+  }
 
   /// True iff the values are comparable (see AreComparable).
   bool ComparableWith(const Value& other) const {

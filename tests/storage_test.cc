@@ -141,10 +141,9 @@ TEST(Relation, ColumnarAccessorsMatchRowAdapter) {
   rel.InsertUnchecked(Tuple{Value(3), Value("z"), Value()});
   ASSERT_EQ(rel.width(), 3);
   for (int c = 0; c < rel.width(); ++c) {
-    ASSERT_EQ(rel.Column(c).size(), 3u);
-    EXPECT_EQ(rel.ColumnData(c), rel.Column(c).data());
+    ASSERT_EQ(rel.Segment(c).size(), 3);
     for (int64_t row = 0; row < rel.cardinality(); ++row) {
-      EXPECT_EQ(rel.Column(c)[row], rel.TupleAt(row).at(c));
+      EXPECT_EQ(rel.Segment(c).ValueAt(row), rel.TupleAt(row).at(c));
       EXPECT_EQ(rel.ValueAt(row, c), rel.TupleAt(row).at(c));
     }
   }
