@@ -4,6 +4,9 @@
 //     row-id engine vs the seed's reference executor
 //   * prepared-plan replay (PrepareView once + ExecutePrepared per round,
 //     the PlanCache path, and one shared plan across benchmark threads)
+//   * serving-layer throughput (ServingFrontEnd round trips across
+//     benchmark threads with concurrent schema changes) and the cost of
+//     one epoch turnover (SystemSnapshot capture + publish)
 //   * extent comparison over cached per-relation tuple-hash columns
 //   * parallel scenario sweeps through the analytic cost model
 //   * transitive PC-edge closure, memoized vs uncached
@@ -20,6 +23,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -30,6 +35,8 @@
 #include "common/random.h"
 #include "esql/parser.h"
 #include "algebra/executor.h"
+#include "eve/eve_system.h"
+#include "serve/frontend.h"
 #include "maintenance/maintainer.h"
 #include "misd/mkb.h"
 #include "plan/plan_cache.h"
@@ -262,6 +269,87 @@ void BM_ExecutePreparedConcurrent(benchmark::State& state) {
   state.SetItemsProcessed(tuples);
 }
 BENCHMARK(BM_ExecutePreparedConcurrent)->ThreadRange(1, 4)->UseRealTime();
+
+// Serving-layer throughput: N benchmark threads doing synchronous
+// QueryView round trips through one shared ServingFrontEnd (admission
+// queue -> worker pool -> PlanCache against the pinned epoch), while
+// thread 0 interleaves schema changes so epochs actually turn over under
+// the readers.  The renamed attribute (C) is not referenced by the view,
+// so every flip runs the full synchronization + snapshot publication
+// path without altering the served result -- the measured work per
+// request stays comparable across thread counts.
+struct SharedServeState {
+  EveSystem system;
+  std::unique_ptr<ServingFrontEnd> frontend;
+  bool renamed = false;  ///< Only touched by benchmark thread 0.
+
+  SharedServeState() {
+    Random rng(61);
+    GeneratorOptions gen;
+    gen.cardinality = 1024;
+    gen.num_attributes = 3;
+    gen.key_domain = 512;
+    (void)system.RegisterRelation("IS1", GenerateRelation("R", gen, &rng));
+    (void)system.RegisterRelation("IS2", GenerateRelation("S", gen, &rng));
+    (void)system.DefineView(
+        "CREATE VIEW V AS SELECT R.A, R.B, S.B AS SB FROM R, S "
+        "WHERE R.A = S.A");
+    frontend = std::make_unique<ServingFrontEnd>(system);
+  }
+};
+
+SharedServeState& GetSharedServeState() {
+  static SharedServeState* state = new SharedServeState();
+  return *state;
+}
+
+void BM_ServeThroughput(benchmark::State& state) {
+  SharedServeState& shared = GetSharedServeState();
+  int64_t tuples = 0;
+  int64_t round = 0;
+  for (auto _ : state) {
+    if (state.thread_index() == 0 && (++round % 64) == 0) {
+      // One schema-change epoch turnover per 64 requests of thread 0
+      // (EveSystem mutations are single-writer, so only this thread
+      // mutates).
+      const std::string from = shared.renamed ? "C2" : "C";
+      const std::string to = shared.renamed ? "C" : "C2";
+      shared.renamed = !shared.renamed;
+      SchemaChange change{RenameAttribute{RelationId{"IS1", "R"}, from, to}};
+      auto report = shared.system.NotifySchemaChange(change);
+      benchmark::DoNotOptimize(report);
+    }
+    ServeResult result = shared.frontend->QueryView("V");
+    tuples += result.status.ok() ? result.relation.cardinality() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(tuples);
+}
+BENCHMARK(BM_ServeThroughput)->ThreadRange(1, 32)->UseRealTime();
+
+// Cost of one epoch turnover -- SystemSnapshot::Capture (one CoW Relation
+// copy per site relation, O(total columns), never O(rows)) plus the
+// atomic Publish -- as a function of how many relations the space hosts.
+void BM_SnapshotSwap(benchmark::State& state) {
+  EveSystem system;
+  Random rng(67);
+  GeneratorOptions gen;
+  gen.cardinality = 512;
+  gen.num_attributes = 2;
+  gen.key_domain = 256;
+  for (int64_t r = 0; r < state.range(0); ++r) {
+    (void)system.RegisterRelation(
+        "IS1", GenerateRelation("R" + std::to_string(r), gen, &rng));
+  }
+  int64_t swaps = 0;
+  for (auto _ : state) {
+    Status status = system.RefreshSnapshot();
+    benchmark::DoNotOptimize(status);
+    ++swaps;
+  }
+  state.SetItemsProcessed(swaps);
+}
+BENCHMARK(BM_SnapshotSwap)->Arg(4)->Arg(64);
 
 struct SynchFixture {
   MetaKnowledgeBase mkb;

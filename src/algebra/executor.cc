@@ -66,7 +66,10 @@ Result<Relation> ExecutePrepared(const PreparedView& plan,
     if (step.key_right_local >= 0) {
       std::optional<HashIndex> scoped_index;
       const HashIndex* index;
-      if (plan.options.use_index_cache) {
+      if (step.index != nullptr) {
+        // Plan-captured index (plan/planner.cc): zero locks per execution.
+        index = step.index.get();
+      } else if (plan.options.use_index_cache) {
         index = &rel.Index(step.key_right_local);
       } else {
         scoped_index.emplace(rel, step.key_right_local);

@@ -23,6 +23,14 @@ class RelationProvider {
   /// `site` is empty the name must be unambiguous across sites).
   virtual Result<const Relation*> Resolve(const std::string& site,
                                           const std::string& relation) const = 0;
+
+  /// Non-zero iff this provider is an immutable published snapshot (see
+  /// serve/snapshot.h), in which case the value is the process-unique
+  /// epoch id.  PlanCache uses it to skip per-relation revalidation on
+  /// same-epoch hits: an immutable epoch cannot invalidate a plan built
+  /// from it.  The default (0) means "live, mutable space" -- always
+  /// revalidate.
+  virtual uint64_t SnapshotEpoch() const { return 0; }
 };
 
 /// A provider backed by an in-memory map, keyed by bare relation name.

@@ -1,0 +1,35 @@
+// ExponentialBackoff: the retry-delay schedule used by the serving front
+// end's bounded kInternal retries (serve/frontend.h) and available to any
+// other retry loop.  Deterministic (no jitter): delays double from
+// `initial` up to `max`, so tests can assert the exact schedule and the
+// fault-injection walks stay reproducible.
+
+#ifndef EVE_COMMON_BACKOFF_H_
+#define EVE_COMMON_BACKOFF_H_
+
+#include <chrono>
+
+namespace eve {
+
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff(std::chrono::nanoseconds initial,
+                     std::chrono::nanoseconds max)
+      : next_(initial), max_(max) {}
+
+  /// The delay to wait before the next attempt; each call doubles the
+  /// following one, saturating at the configured maximum.
+  std::chrono::nanoseconds Next() {
+    const std::chrono::nanoseconds current = next_;
+    next_ = next_ * 2 > max_ ? max_ : next_ * 2;
+    return current;
+  }
+
+ private:
+  std::chrono::nanoseconds next_;
+  const std::chrono::nanoseconds max_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_COMMON_BACKOFF_H_

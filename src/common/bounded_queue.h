@@ -1,0 +1,92 @@
+// BoundedQueue: a small MPMC FIFO with a hard capacity bound and explicit
+// close semantics, used as the serving front end's admission queue
+// (serve/frontend.h).
+//
+// Admission never blocks: TryPush rejects immediately when the queue is
+// full or closed, so overload turns into a load-shedding decision at the
+// caller instead of unbounded queueing.  Consumers block in Pop until an
+// item arrives or the queue is closed AND drained -- close-then-drain lets
+// a shutting-down worker pool finish the requests it already admitted.
+//
+// This is deliberately a mutex+condvar queue, not a lock-free ring: the
+// queue sits on the admission path (thousands of ops/sec), not the
+// execution path (the lock-free epoch snapshots own that), and the simple
+// form is easy to prove correct.
+
+#ifndef EVE_COMMON_BOUNDED_QUEUE_H_
+#define EVE_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace eve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item` unless the queue is full or closed; never blocks.
+  /// Returns whether the item was admitted; on false the item is NOT
+  /// moved from, so the caller can still complete/reroute it (the
+  /// load-shedding path needs the rejected request back).
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest item, blocking while the queue is open but empty.
+  /// Returns nullopt once the queue is closed and fully drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects all future pushes and wakes every blocked consumer; already
+  /// queued items remain poppable (drain-then-exit shutdown).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace eve
+
+#endif  // EVE_COMMON_BOUNDED_QUEUE_H_

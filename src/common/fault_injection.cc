@@ -33,6 +33,7 @@ Result<StatusCode> ParseCode(const std::string& name) {
   if (name == "resource") return StatusCode::kResourceExhausted;
   if (name == "failed") return StatusCode::kFailedPrecondition;
   if (name == "notfound") return StatusCode::kNotFound;
+  if (name == "unavailable") return StatusCode::kUnavailable;
   return Status::InvalidArgument("unknown fault code '" + name + "'");
 }
 

@@ -42,6 +42,11 @@ enum class StatusCode {
   kCancelled,
   /// An ExecContext row/candidate/memory budget was exhausted.
   kResourceExhausted,
+  /// The service is temporarily unable to take the request (admission
+  /// queue past high-water, snapshot pinned too far behind the publisher,
+  /// shutdown in progress).  Retryable by the client after backing off;
+  /// never the plan's fault, so it must not quarantine a cached plan.
+  kUnavailable,
 };
 
 /// Returns the canonical spelling of a status code, e.g. "NotFound".
@@ -75,6 +80,7 @@ class Status {
   static Status DeadlineExceeded(std::string msg);
   static Status Cancelled(std::string msg);
   static Status ResourceExhausted(std::string msg);
+  static Status Unavailable(std::string msg);
 
   /// True iff this status represents success.
   bool ok() const { return rep_ == nullptr; }

@@ -32,12 +32,40 @@ std::string ChangeReport::ToString() const {
   return out;
 }
 
-EveSystem::EveSystem(EveOptions options) : options_(std::move(options)) {}
+EveSystem::EveSystem(EveOptions options) : options_(std::move(options)) {
+  // Epoch 1 exists from birth so snapshots().Current() is never null; an
+  // empty space is a perfectly valid (empty) snapshot.  Fault injection is
+  // per-site armed state, so this cannot fail outside armed tests; a
+  // failure here simply leaves the publisher stale until the first
+  // successful mutation publish.
+  (void)PublishSnapshot();
+}
+
+Status EveSystem::PublishSnapshot() {
+  // The fault point sits BEFORE the capture/swap: an injected failure
+  // leaves the previous epoch fully intact (nothing half-swapped), the
+  // triggering mutation committed, and the publisher marked stale so
+  // callers know Current() lags the live space.
+  const Status faulted = [&]() -> Status {
+    EVE_FAULT_POINT("eve.snapshot_swap");
+    return Status::OK();
+  }();
+  if (!faulted.ok()) {
+    publisher_.MarkStale();
+    return faulted;
+  }
+  publisher_.Publish(SystemSnapshot::Capture(space_, &vkb_));
+  return Status::OK();
+}
+
+Status EveSystem::RefreshSnapshot() { return PublishSnapshot(); }
 
 Status EveSystem::RegisterRelation(const std::string& site, Relation relation,
                                    double local_selectivity) {
-  return space_.AddRelation(site, std::move(relation), &mkb_,
-                            local_selectivity);
+  EVE_RETURN_IF_ERROR(space_.AddRelation(site, std::move(relation), &mkb_,
+                                         local_selectivity));
+  (void)PublishSnapshot();  // Failure degrades to a stale epoch, not an error.
+  return Status::OK();
 }
 
 Status EveSystem::AddJoinConstraint(JoinConstraint jc) {
@@ -72,6 +100,7 @@ Status EveSystem::DefineView(ViewDefinition definition) {
       return status;
     }
   }
+  (void)PublishSnapshot();
   return Status::OK();
 }
 
@@ -236,6 +265,11 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
       EVE_RETURN_IF_ERROR(Materialize(p.view));
     }
   }
+  // Publish the post-change epoch.  Readers pinned to the pre-change epoch
+  // keep serving the OLD space and view definitions (graceful degradation
+  // during evolutions); a failed publish leaves them on that old epoch and
+  // marks the publisher stale, never tears the committed change.
+  (void)PublishSnapshot();
   return report;
 }
 
@@ -261,6 +295,7 @@ Result<MaintenanceCounters> EveSystem::NotifyDataUpdate(
   if (update.kind == UpdateKind::kDelete) {
     EVE_RETURN_IF_ERROR(space_.ApplyDataUpdate(update));
   }
+  (void)PublishSnapshot();
   return total;
 }
 

@@ -26,6 +26,7 @@
 #include "misd/mkb.h"
 #include "plan/plan_cache.h"
 #include "qc/ranking.h"
+#include "serve/snapshot.h"
 #include "space/information_space.h"
 #include "synch/synchronizer.h"
 #include "types/string_pool.h"
@@ -146,8 +147,29 @@ class EveSystem {
   StringPool& string_pool() { return string_pool_; }
   const StringPool& string_pool() const { return string_pool_; }
 
+  // --- Snapshot publication (serve/snapshot.h) ---------------------------------
+
+  /// The epoch publisher: every successful registration, view definition,
+  /// schema change, and data update captures and atomically publishes a
+  /// fresh immutable SystemSnapshot here.  Concurrent readers (the serving
+  /// front end, serve/frontend.h) pin epochs with snapshots().Current()
+  /// and never touch the live space.
+  const SnapshotPublisher& snapshots() const { return publisher_; }
+
+  /// Re-attempts snapshot publication (recovery after a failed swap left
+  /// snapshots() stale).  Idempotent; fails only when capture/swap fails
+  /// again, in which case the old epoch keeps serving.
+  Status RefreshSnapshot();
+
  private:
   Status Materialize(const std::string& view_name);
+
+  /// Captures and publishes the current space + alive views as a new
+  /// epoch.  On failure (fault site `eve.snapshot_swap`) the triggering
+  /// mutation STAYS COMMITTED: the publisher is marked stale, the old
+  /// epoch keeps serving, and the next successful publish recovers --
+  /// graceful degradation instead of a torn mutation.
+  Status PublishSnapshot();
 
   /// The governing context (Unlimited when options_.exec is null).
   const ExecContext& ExecCtx() const {
@@ -159,6 +181,7 @@ class EveSystem {
   MetaKnowledgeBase mkb_;
   ViewKnowledgeBase vkb_;
   PlanCache plan_cache_;
+  SnapshotPublisher publisher_;
   /// Owned intern pool for this system's string data.  Values are trivially
   /// destructible, so teardown order does not matter; the pool only has to
   /// outlive reads of the Values interned into it, which it does because

@@ -26,10 +26,12 @@ PlanCache::PlanCache(int64_t capacity)
     : capacity_(capacity > 0 ? capacity : 1) {}
 
 void PlanCache::PutLocked(uint64_t key,
-                          std::shared_ptr<const PreparedView> plan) {
+                          std::shared_ptr<const PreparedView> plan,
+                          uint64_t epoch) {
   const auto it = plans_.find(key);
   if (it != plans_.end()) {
     it->second.plan = std::move(plan);
+    it->second.epoch = epoch;
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return;
   }
@@ -39,7 +41,7 @@ void PlanCache::PutLocked(uint64_t key,
     ++stats_.evictions;
   }
   lru_.push_front(key);
-  plans_.emplace(key, Entry{std::move(plan), lru_.begin()});
+  plans_.emplace(key, Entry{std::move(plan), lru_.begin(), epoch});
 }
 
 Result<std::shared_ptr<const PreparedView>> PlanCache::Get(
@@ -47,17 +49,30 @@ Result<std::shared_ptr<const PreparedView>> PlanCache::Get(
     const ExecOptions& options, const ExecContext& ctx) {
   EVE_FAULT_POINT("plan_cache.get");
   const uint64_t key = CacheKey(view, options);
+  const uint64_t epoch = provider.SnapshotEpoch();
   bool stale = false;
+  bool epoch_swap = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = plans_.find(key);
     if (it != plans_.end()) {
+      // Epoch fast path: an entry validated against this exact immutable
+      // snapshot cannot have gone stale -- skip per-relation Validate.
+      if (epoch != 0 && it->second.epoch == epoch) {
+        ++stats_.hits;
+        ++stats_.snapshot_hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        return it->second.plan;
+      }
       if (it->second.plan->Validate(provider)) {
         ++stats_.hits;
+        it->second.epoch = epoch;
         lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
         return it->second.plan;
       }
       stale = true;
+      epoch_swap = epoch != 0 && it->second.epoch != 0 &&
+                   it->second.epoch != epoch;
     }
   }
   // Plan outside the lock: planning walks relations and builds indexes, and
@@ -68,10 +83,11 @@ Result<std::shared_ptr<const PreparedView>> PlanCache::Get(
   std::lock_guard<std::mutex> lock(mu_);
   if (stale) {
     ++stats_.replans;
+    if (epoch_swap) ++stats_.epoch_replans;
   } else {
     ++stats_.misses;
   }
-  PutLocked(key, plan);
+  PutLocked(key, plan, epoch);
   return plan;
 }
 

@@ -55,6 +55,15 @@ struct PlanCacheStats {
   /// Plans evicted because executing them failed with an Internal error
   /// (possible plan poisoning); Execute replans once after a quarantine.
   int64_t quarantines = 0;
+  /// Hits served on the epoch fast path: the provider is an immutable
+  /// snapshot (RelationProvider::SnapshotEpoch() != 0) whose epoch equals
+  /// the one the entry was planned/validated against, so per-relation
+  /// revalidation was skipped entirely.  Subset of `hits`.
+  int64_t snapshot_hits = 0;
+  /// Replans whose staleness was an epoch swap: the entry was planned
+  /// against one published snapshot and requested against a different one
+  /// (reader moved to a newer epoch).  Subset of `replans`.
+  int64_t epoch_replans = 0;
 };
 
 /// A concurrent, capacity-bounded LRU cache of prepared view plans.
@@ -101,11 +110,16 @@ class PlanCache {
     std::shared_ptr<const PreparedView> plan;
     /// Position in lru_ (front = most recently used).
     std::list<uint64_t>::iterator lru_pos;
+    /// SnapshotEpoch() of the provider this plan was last planned or
+    /// validated against; 0 for the live space.  A same-epoch request
+    /// skips Validate (the snapshot is immutable).
+    uint64_t epoch = 0;
   };
 
   /// Inserts or replaces `key`, evicting the LRU entry on overflow.
   /// Requires mu_ held.
-  void PutLocked(uint64_t key, std::shared_ptr<const PreparedView> plan);
+  void PutLocked(uint64_t key, std::shared_ptr<const PreparedView> plan,
+                 uint64_t epoch);
 
   const int64_t capacity_;
   mutable std::mutex mu_;

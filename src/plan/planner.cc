@@ -326,11 +326,14 @@ Result<std::shared_ptr<const PreparedView>> PrepareView(
   plan->out_schema = Schema(std::move(out_attrs));
 
   if (options.use_index_cache) {
-    // Warm the hash-join indexes the plan will probe, so concurrent first
-    // executions of this plan are pure cache hits.
-    for (const PlannedJoinStep& step : plan->steps) {
+    // Capture the hash-join indexes the plan will probe directly into the
+    // steps: executions then touch no per-relation cache lock at all, and
+    // the captured indexes stay consistent for exactly as long as the
+    // plan itself validates (same identity+version snapshot).
+    for (PlannedJoinStep& step : plan->steps) {
       if (step.key_right_local >= 0) {
-        resolved[step.item].relation->WarmIndexes({step.key_right_local});
+        step.index =
+            resolved[step.item].relation->IndexShared(step.key_right_local);
       }
     }
   }

@@ -19,6 +19,7 @@
 #define EVE_PLAN_PREPARED_VIEW_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,15 @@ struct PlannedJoinStep {
   int key_left_item = -1;     ///< Prefix-side FROM item.
   int key_left_local = -1;    ///< Column within that item's relation.
   int key_right_local = -1;   ///< Column within `item`'s relation.
+  /// The build-side hash index on (item, key_right_local), captured at
+  /// plan time when options.use_index_cache is set.  Executions probe this
+  /// directly -- no per-execution lock on the relation's index cache, so
+  /// the read path is lock-free end to end.  Consistency is the plan's
+  /// own staleness contract: the index was built from the exact (identity,
+  /// version) the plan snapshotted, and Validate() rejects the plan before
+  /// the index could go stale.  The shared_ptr keeps the index alive even
+  /// after a mutation drops the relation's own cache.
+  std::shared_ptr<const HashIndex> index;
   /// Residual cross-item predicates that first become evaluable at this
   /// step.
   std::vector<PlannedResidual> residual;

@@ -1,0 +1,182 @@
+// ServingFrontEnd: the concurrent E-SQL serving layer over a shared
+// EveSystem (ROADMAP item 1, serving half 2).
+//
+// Request path:
+//
+//   Submit ──EVE_FAULT_POINT(serve.admit)──> bounded admission queue
+//     │  (queue past high-water, or closed: kUnavailable + retry-after)
+//     v
+//   worker pool (options.workers threads)
+//     │ pin current epoch  <- snapshots().Current(), wait-free
+//     │ watchdog lag check <- fail requests pinned > max_epoch_lag swaps
+//     │                       behind the publisher with kUnavailable
+//     │ parse / resolve view against the PINNED epoch
+//     v
+//   PlanCache::Execute against the pinned SystemSnapshot, governed by an
+//   ExecContext carrying the request deadline and the watchdog's cancel
+//   token ──EVE_FAULT_POINT(serve.execute)──> bounded retry with
+//   exponential backoff on kInternal (the plan-quarantine path already
+//   evicted the suspect plan).
+//
+// Degradation semantics (docs/SERVING.md):
+//   * overload        -> shed at admission, kUnavailable, client retries;
+//   * evolution       -> readers keep serving the epoch they pinned; the
+//                        watchdog converts "pinned too far behind" into
+//                        kUnavailable instead of letting stale reads block
+//                        the system or serve arbitrarily old data;
+//   * kInternal       -> retried max_retries times with doubling backoff
+//                        (each retry replans via the quarantine path);
+//   * kUnavailable    -> NEVER quarantines a plan and is never retried
+//                        server-side; it is the client's signal to back
+//                        off and resubmit.
+//
+// All members are thread-safe.  Shutdown() closes admission, drains the
+// queue, and joins the workers; queued requests still complete.
+
+#ifndef EVE_SERVE_FRONTEND_H_
+#define EVE_SERVE_FRONTEND_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/exec_context.h"
+#include "common/result.h"
+#include "eve/eve_system.h"
+#include "plan/plan_cache.h"
+
+namespace eve {
+
+/// Tuning knobs of a ServingFrontEnd.
+struct ServingOptions {
+  /// Worker threads executing admitted requests.
+  int workers = 4;
+  /// Hard bound of the admission queue; TryPush past it is impossible.
+  size_t queue_capacity = 256;
+  /// Shed new requests once the queue holds this many (0 = 3/4 capacity).
+  size_t high_water = 0;
+  /// Per-request deadline applied when the request carries none (0 = no
+  /// deadline).
+  std::chrono::nanoseconds default_deadline{0};
+  /// Extra attempts after a kInternal execution failure (each one replans
+  /// through the PlanCache quarantine path).
+  int max_retries = 2;
+  /// First retry delay; doubles per retry (common/backoff.h).
+  std::chrono::nanoseconds initial_backoff = std::chrono::microseconds(100);
+  std::chrono::nanoseconds max_backoff = std::chrono::milliseconds(10);
+  /// Retry-after hint returned with shed requests.
+  std::chrono::nanoseconds retry_after = std::chrono::milliseconds(1);
+  /// Watchdog: fail a request whose pinned epoch has fallen more than this
+  /// many publications behind the publisher, instead of blocking on it.
+  uint64_t max_epoch_lag = 8;
+  /// Watchdog scan period.
+  std::chrono::nanoseconds watchdog_period = std::chrono::microseconds(500);
+  /// Plan/execution options for served queries.
+  ExecOptions exec;
+};
+
+/// Outcome of one served request.
+struct ServeResult {
+  Status status;
+  Relation relation;  ///< Valid iff status.ok().
+  uint64_t epoch = 0;     ///< Epoch the request was served from (0 = none).
+  uint64_t sequence = 0;  ///< Publication sequence of that epoch.
+  int attempts = 0;       ///< Execution attempts (>1 means retried).
+  /// With kUnavailable: how long the client should wait before retrying.
+  std::chrono::nanoseconds retry_after{0};
+};
+
+/// Monotonic serving counters (telemetry; all approximate under races only
+/// in their relative interleaving, each counter itself is exact).
+struct ServingStats {
+  int64_t admitted = 0;
+  int64_t shed = 0;            ///< Rejected at admission (high-water/closed).
+  int64_t completed = 0;       ///< Requests finished OK.
+  int64_t failed = 0;          ///< Requests finished with an error.
+  int64_t retries = 0;         ///< Extra execution attempts after kInternal.
+  int64_t watchdog_kills = 0;  ///< Requests failed for pinning a lagged epoch.
+};
+
+class ServingFrontEnd {
+ public:
+  /// `system` must outlive the front end.  Workers (and the watchdog)
+  /// start immediately.
+  explicit ServingFrontEnd(EveSystem& system, ServingOptions options = {});
+  ~ServingFrontEnd();
+
+  ServingFrontEnd(const ServingFrontEnd&) = delete;
+  ServingFrontEnd& operator=(const ServingFrontEnd&) = delete;
+
+  /// Submits an ad-hoc E-SQL query ("CREATE VIEW q AS SELECT ...").  The
+  /// future resolves when a worker finishes (or immediately with
+  /// kUnavailable when shed at admission).
+  std::future<ServeResult> Submit(std::string esql);
+
+  /// Submits a query of a named view, resolved against the epoch the
+  /// serving worker pins (so mid-evolution readers see the OLD definition
+  /// until the new epoch publishes).
+  std::future<ServeResult> SubmitView(std::string view_name);
+
+  /// Synchronous conveniences.
+  ServeResult Query(std::string esql) { return Submit(std::move(esql)).get(); }
+  ServeResult QueryView(std::string view_name) {
+    return SubmitView(std::move(view_name)).get();
+  }
+
+  /// Closes admission, drains already-admitted requests, joins workers.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  ServingStats stats() const;
+  /// The front end's own plan cache (per-epoch stats observability).
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct Request {
+    std::string esql;       ///< Ad-hoc query text (empty for view requests).
+    std::string view_name;  ///< Named-view request (empty for ad-hoc).
+    bool has_deadline = false;
+    ExecContext::Clock::time_point deadline{};
+    std::promise<ServeResult> done;
+  };
+
+  /// One request in execution, visible to the watchdog.
+  struct InFlight {
+    uint64_t pinned_sequence = 0;
+    CancelToken cancel;
+    std::atomic<bool> watchdog_fired{false};
+  };
+
+  std::future<ServeResult> Enqueue(Request request);
+  void WorkerLoop();
+  void WatchdogLoop();
+  ServeResult Process(Request& request);
+  /// One execution attempt against a freshly pinned epoch.
+  ServeResult ExecuteOnce(const Request& request);
+
+  EveSystem& system_;
+  const ServingOptions options_;
+  const size_t high_water_;
+  PlanCache plan_cache_;
+  BoundedQueue<std::unique_ptr<Request>> queue_;
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex inflight_mu_;
+  std::vector<std::shared_ptr<InFlight>> inflight_;
+
+  mutable std::mutex stats_mu_;
+  ServingStats stats_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_SERVE_FRONTEND_H_

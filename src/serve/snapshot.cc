@@ -1,0 +1,109 @@
+#include "serve/snapshot.h"
+
+#include "space/information_space.h"
+#include "vkb/view_knowledge_base.h"
+
+namespace eve {
+
+namespace {
+
+uint64_t NextEpoch() {
+  // Process-unique, never 0: 0 is RelationProvider's "live space" value.
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+SystemSnapshot::SystemSnapshot() : epoch_(NextEpoch()) {}
+
+std::shared_ptr<SystemSnapshot> SystemSnapshot::Capture(
+    const InformationSpace& space, const ViewKnowledgeBase* vkb) {
+  auto snap = std::shared_ptr<SystemSnapshot>(new SystemSnapshot());
+  for (const std::string& site : space.SiteNames()) {
+    const auto source = space.GetSource(site);
+    if (!source.ok()) continue;  // Racing drop; sites are capture-best-effort.
+    for (const std::string& name : source.value()->RelationNames()) {
+      const auto rel = source.value()->GetRelation(name);
+      if (!rel.ok()) continue;
+      RelationSnapshot rs;
+      rs.site = site;
+      rs.name = name;
+      rs.source_identity = rel.value()->identity();
+      rs.source_version = rel.value()->version();
+      // The copy shares column segments and already-built index/hash
+      // caches (CoW); later mutations of the live relation clone instead
+      // of touching this frozen copy.
+      rs.relation = std::make_shared<const Relation>(*rel.value());
+      const size_t idx = snap->relations_.size();
+      snap->relations_.push_back(std::move(rs));
+      snap->by_site_[site][name] = idx;
+      const auto [it, inserted] = snap->by_name_.emplace(name, idx);
+      if (!inserted) it->second = kAmbiguous;
+    }
+  }
+  if (vkb != nullptr) {
+    for (const std::string& name : vkb->ViewNames()) {
+      const auto entry = vkb->Get(name);
+      if (!entry.ok() || entry.value()->state != ViewState::kAlive) continue;
+      snap->views_.emplace(name, entry.value()->definition);
+    }
+  }
+  return snap;
+}
+
+Result<const Relation*> SystemSnapshot::Resolve(
+    const std::string& site, const std::string& relation) const {
+  // Error spellings mirror InformationSpace::Resolve so callers cannot
+  // tell the two providers apart.
+  if (!site.empty()) {
+    const auto sit = by_site_.find(site);
+    if (sit == by_site_.end()) {
+      return Status::NotFound("no information source named " + site);
+    }
+    const auto rit = sit->second.find(relation);
+    if (rit == sit->second.end()) {
+      return Status::NotFound("relation " + relation + " not at source " +
+                              site);
+    }
+    return relations_[rit->second].relation.get();
+  }
+  const auto it = by_name_.find(relation);
+  if (it == by_name_.end()) {
+    return Status::NotFound("relation " + relation + " not in any source");
+  }
+  if (it->second == kAmbiguous) {
+    return Status::FailedPrecondition("relation name " + relation +
+                                      " is ambiguous across sites");
+  }
+  return relations_[it->second].relation.get();
+}
+
+Result<ViewDefinition> SystemSnapshot::View(const std::string& name) const {
+  const auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view " + name + " not alive in epoch " +
+                            std::to_string(epoch_));
+  }
+  return it->second;
+}
+
+void SnapshotPublisher::Publish(std::shared_ptr<SystemSnapshot> snapshot) {
+  // Single-publisher: sequence_ needs no RMW ordering games, the swap's
+  // release pairs with readers' acquire loads.
+  const uint64_t seq = sequence_.load(std::memory_order_relaxed) + 1;
+  snapshot->sequence_ = seq;
+#if defined(__SANITIZE_THREAD__)
+  {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    current_ = std::shared_ptr<const SystemSnapshot>(std::move(snapshot));
+  }
+#else
+  current_.store(std::shared_ptr<const SystemSnapshot>(std::move(snapshot)),
+                 std::memory_order_release);
+#endif
+  sequence_.store(seq, std::memory_order_release);
+  stale_.store(false, std::memory_order_release);
+}
+
+}  // namespace eve

@@ -145,11 +145,23 @@ Relation Relation::FromColumns(std::string name, Schema schema,
 
 Relation Relation::FromSegments(std::string name, Schema schema,
                                 std::vector<ColumnSegment> columns) {
+  std::vector<std::shared_ptr<ColumnSegment>> shared;
+  shared.reserve(columns.size());
+  for (ColumnSegment& col : columns) {
+    shared.push_back(std::make_shared<ColumnSegment>(std::move(col)));
+  }
+  return FromSharedSegments(std::move(name), std::move(schema),
+                            std::move(shared));
+}
+
+Relation Relation::FromSharedSegments(
+    std::string name, Schema schema,
+    std::vector<std::shared_ptr<ColumnSegment>> columns) {
   EVE_CHECK(static_cast<int>(columns.size()) == schema.size());
   Relation out(std::move(name), std::move(schema));
-  const int64_t rows = columns.empty() ? 0 : columns[0].size();
-  for (const ColumnSegment& col : columns) {
-    EVE_CHECK(col.size() == rows);
+  const int64_t rows = columns.empty() ? 0 : columns[0]->size();
+  for (const std::shared_ptr<ColumnSegment>& col : columns) {
+    EVE_CHECK(col != nullptr && col->size() == rows);
   }
   out.columns_ = std::move(columns);
   out.rows_ = rows;
@@ -159,7 +171,7 @@ Relation Relation::FromSegments(std::string name, Schema schema,
 Tuple Relation::TupleAt(int64_t row) const {
   std::vector<Value> values;
   values.reserve(columns_.size());
-  for (const ColumnSegment& col : columns_) values.push_back(col.ValueAt(row));
+  for (const auto& col : columns_) values.push_back(col->ValueAt(row));
   return Tuple(std::move(values));
 }
 
@@ -174,7 +186,7 @@ Tuple Relation::ConcatRow(const Tuple& prefix, int64_t row) const {
   std::vector<Value> values;
   values.reserve(prefix.values().size() + columns_.size());
   values.insert(values.end(), prefix.values().begin(), prefix.values().end());
-  for (const ColumnSegment& col : columns_) values.push_back(col.ValueAt(row));
+  for (const auto& col : columns_) values.push_back(col->ValueAt(row));
   return Tuple(std::move(values));
 }
 
@@ -191,8 +203,9 @@ void Relation::AddNullColumn(const Attribute& attribute) {
   schema_ = Schema(std::move(attrs));
   // An all-NULL back-fill is a tagged segment (NULLs break tag uniformity;
   // vacuously uniform only while empty, as before).
-  columns_.push_back(ColumnSegment::TaggedFromValues(
-      std::vector<Value>(static_cast<size_t>(rows_))));
+  columns_.push_back(std::make_shared<ColumnSegment>(
+      ColumnSegment::TaggedFromValues(
+          std::vector<Value>(static_cast<size_t>(rows_)))));
 }
 
 Status Relation::Insert(Tuple t) {
@@ -219,7 +232,7 @@ void Relation::AddTuple(Tuple t) {
   EVE_CHECK(t.size() == static_cast<int>(columns_.size()));
   MarkMutated();
   for (size_t c = 0; c < columns_.size(); ++c) {
-    columns_[c].Append(t.at(static_cast<int>(c)));
+    MutCol(c).Append(t.at(static_cast<int>(c)));
   }
   ++rows_;
 }
@@ -236,7 +249,7 @@ int64_t Relation::Erase(const Tuple& t, bool all_occurrences) {
   if (doomed.empty()) return 0;
   MarkMutated();
   // Pass 2: one stable compaction per column segment.
-  for (ColumnSegment& col : columns_) col.EraseRows(doomed);
+  for (size_t c = 0; c < columns_.size(); ++c) MutCol(c).EraseRows(doomed);
   rows_ -= static_cast<int64_t>(doomed.size());
   return static_cast<int64_t>(doomed.size());
 }
@@ -279,21 +292,29 @@ int64_t Relation::EraseBatch(const std::vector<Tuple>& victims) {
   }
   if (doomed.empty()) return 0;  // No version bump for a no-op batch.
   MarkMutated();
-  for (ColumnSegment& col : columns_) col.EraseRows(doomed);
+  for (size_t c = 0; c < columns_.size(); ++c) MutCol(c).EraseRows(doomed);
   rows_ -= static_cast<int64_t>(doomed.size());
   return static_cast<int64_t>(doomed.size());
 }
 
 void Relation::Clear() {
   MarkMutated();
-  for (ColumnSegment& col : columns_) col.Clear();
+  for (std::shared_ptr<ColumnSegment>& col : columns_) {
+    // A shared segment is dropped, not cloned-then-cleared: Clear resets
+    // to the pristine state, which a fresh segment already is.
+    if (col.use_count() > 1) {
+      col = std::make_shared<ColumnSegment>();
+    } else {
+      col->Clear();
+    }
+  }
   rows_ = 0;
 }
 
 bool Relation::RowEquals(int64_t row, const Relation& other,
                          int64_t other_row) const {
   for (size_t c = 0; c < columns_.size(); ++c) {
-    if (!columns_[c].RowEqualsRow(row, other.columns_[c], other_row)) {
+    if (!columns_[c]->RowEqualsRow(row, *other.columns_[c], other_row)) {
       return false;
     }
   }
@@ -303,7 +324,7 @@ bool Relation::RowEquals(int64_t row, const Relation& other,
 bool Relation::RowEqualsTuple(int64_t row, const Tuple& t) const {
   if (t.size() != static_cast<int>(columns_.size())) return false;
   for (size_t c = 0; c < columns_.size(); ++c) {
-    if (!columns_[c].RowEqualsValue(row, t.at(static_cast<int>(c)))) {
+    if (!columns_[c]->RowEqualsValue(row, t.at(static_cast<int>(c)))) {
       return false;
     }
   }
@@ -322,6 +343,18 @@ const HashIndex& Relation::Index(int column) const {
   return *it->second;
 }
 
+std::shared_ptr<const HashIndex> Relation::IndexShared(int column) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = index_cache_.find(column);
+  if (it == index_cache_.end()) {
+    it = index_cache_
+             .emplace(column, std::make_shared<const HashIndex>(*this, column))
+             .first;
+    caches_present_.store(true, std::memory_order_release);
+  }
+  return it->second;
+}
+
 void Relation::WarmIndexes(const std::vector<int>& columns) const {
   for (const int column : columns) {
     if (column < 0 || column >= schema_.size()) continue;
@@ -335,8 +368,8 @@ std::vector<size_t> Relation::ComputeTupleHashes() const {
   // with every pass a contiguous column scan (packed words hash without
   // materializing Values).
   std::vector<size_t> hashes(static_cast<size_t>(rows_), kTupleHashBasis);
-  for (const ColumnSegment& col : columns_) {
-    MixHashColumn(col, hashes.data());
+  for (const auto& col : columns_) {
+    MixHashColumn(*col, hashes.data());
   }
   return hashes;
 }
@@ -370,7 +403,9 @@ void Relation::AppendGathered(const Relation& src,
   EVE_CHECK(&src != this);
   MarkMutated();
   for (size_t c = 0; c < columns_.size(); ++c) {
-    columns_[c].AppendGathered(src.columns_[c], rows.data(), rows.size());
+    // MutCol clones first when this column is shared -- including shared
+    // with `src` itself, so the gather never reallocates under its source.
+    MutCol(c).AppendGathered(*src.columns_[c], rows.data(), rows.size());
   }
   rows_ += static_cast<int64_t>(rows.size());
 }
@@ -390,16 +425,16 @@ Relation Relation::Distinct() const {
 Result<Relation> Relation::ProjectByName(
     const std::vector<std::string>& names) const {
   std::vector<Attribute> attrs;
-  std::vector<ColumnSegment> cols;
+  std::vector<std::shared_ptr<ColumnSegment>> cols;
   for (const std::string& n : names) {
     const auto idx = schema_.IndexOf(n);
     if (!idx.has_value()) {
       return Status::NotFound("attribute " + n + " not in relation " + name_);
     }
     attrs.push_back(schema_.attribute(*idx));
-    cols.push_back(columns_[*idx]);  // One segment copy, encoding kept.
+    cols.push_back(columns_[*idx]);  // Shared, zero-copy (CoW on mutation).
   }
-  return FromSegments(name_, Schema(std::move(attrs)), std::move(cols));
+  return FromSharedSegments(name_, Schema(std::move(attrs)), std::move(cols));
 }
 
 int64_t Relation::DistinctCount() const {

@@ -26,6 +26,14 @@
 // pre-build the indexes a prepared plan needs so parallel executions never
 // contend on first use.
 //
+// Segments are held by shared_ptr and copy-on-write: copies, projections,
+// and snapshots (serve/snapshot.h) share the immutable segment storage,
+// and a mutation clones only the segments some other owner still holds
+// (`MutCol`).  The use_count check is race-free under the single-writer
+// contract because new shares of a segment are only ever handed out by
+// the owning writer thread (snapshot capture, Relation copies); readers
+// hold refs obtained before the mutation began.
+//
 // Every relation carries a process-unique identity stamp (assigned at
 // construction and on copy/move, `identity()`) plus a cheap per-instance
 // mutation counter (`version()`).  Prepared query plans snapshot the
@@ -59,9 +67,12 @@ class Relation {
  public:
   Relation() = default;
   Relation(std::string name, Schema schema)
-      : name_(std::move(name)),
-        schema_(std::move(schema)),
-        columns_(schema_.size()) {}
+      : name_(std::move(name)), schema_(std::move(schema)) {
+    columns_.reserve(static_cast<size_t>(schema_.size()));
+    for (int c = 0; c < schema_.size(); ++c) {
+      columns_.push_back(std::make_shared<ColumnSegment>());
+    }
+  }
 
   // Copies share the already-built immutable caches (indexes store row ids
   // only, so they stay valid for the copied column store); each copy gets a
@@ -84,6 +95,13 @@ class Relation {
   static Relation FromSegments(std::string name, Schema schema,
                                std::vector<ColumnSegment> columns);
 
+  /// Adopts already-shared segments without copying their storage (the
+  /// projection path).  The new relation co-owns the segments; a later
+  /// mutation of either owner clones first (MutCol).
+  static Relation FromSharedSegments(
+      std::string name, Schema schema,
+      std::vector<std::shared_ptr<ColumnSegment>> columns);
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   const Schema& schema() const { return schema_; }
@@ -104,17 +122,23 @@ class Relation {
   int width() const { return static_cast<int>(columns_.size()); }
 
   /// The typed column segment of attribute `c`.
-  const ColumnSegment& Segment(int c) const { return columns_[c]; }
+  const ColumnSegment& Segment(int c) const { return *columns_[c]; }
+  /// Shared handle on the segment of attribute `c` (snapshot capture and
+  /// zero-copy projections); keeps the storage alive across a later
+  /// mutation of this relation, which clones rather than edits in place.
+  std::shared_ptr<const ColumnSegment> SegmentShared(int c) const {
+    return columns_[static_cast<size_t>(c)];
+  }
   /// Row `row` of column `col` as a full Value (reconstructed on demand
   /// from the packed word on packed segments).
   Value ValueAt(int64_t row, int col) const {
-    return columns_[col].ValueAt(row);
+    return columns_[col]->ValueAt(row);
   }
 
   /// True iff every value in column `c` has tag INT64 (no NULLs, doubles,
   /// or strings); the historic promotion signal, now derived from the
   /// segment encoding.
-  bool ColumnAllInt64(int c) const { return columns_[c].all_int64(); }
+  bool ColumnAllInt64(int c) const { return columns_[c]->all_int64(); }
 
   /// Row-adapter: materializes row `row` as a Tuple (one allocation).
   Tuple TupleAt(int64_t row) const;
@@ -180,6 +204,12 @@ class Relation {
   /// concurrent first-use builds are serialized by the cache mutex.
   const HashIndex& Index(int column) const;
 
+  /// As Index(), but returns the shared handle so a prepared plan or a
+  /// snapshot can pin the index past a later mutation of this relation
+  /// (mutations drop the cache; the shared_ptr keeps the built index
+  /// alive for whoever captured it).
+  std::shared_ptr<const HashIndex> IndexShared(int column) const;
+
   /// Pre-builds the indexes on `columns` (deduplicated) so later concurrent
   /// Index() calls are pure cache hits.  Out-of-range columns are ignored.
   void WarmIndexes(const std::vector<int>& columns) const;
@@ -233,10 +263,22 @@ class Relation {
 
   void DropCaches();
 
+  /// Mutable access to column `c`, cloning first when the segment is
+  /// shared with a copy, projection, or snapshot (copy-on-write).  The
+  /// use_count probe is sound because shares are only handed out from the
+  /// writer thread (see the concurrency comment above).
+  ColumnSegment& MutCol(size_t c) {
+    std::shared_ptr<ColumnSegment>& col = columns_[c];
+    if (col.use_count() > 1) col = std::make_shared<ColumnSegment>(*col);
+    return *col;
+  }
+
   std::string name_;
   Schema schema_;
-  /// One typed column segment per attribute, all of length rows_.
-  std::vector<ColumnSegment> columns_;
+  /// One typed column segment per attribute, all of length rows_; held by
+  /// shared_ptr so copies/snapshots share storage (copy-on-write via
+  /// MutCol).  Pointers are never null.
+  std::vector<std::shared_ptr<ColumnSegment>> columns_;
   int64_t rows_ = 0;
   std::atomic<uint64_t> identity_{NextIdentity()};
   std::atomic<uint64_t> version_{0};

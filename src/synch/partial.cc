@@ -20,6 +20,109 @@ std::string JoinStrategies(const std::vector<std::string>& strategies) {
 
 }  // namespace
 
+NoteTemplate NoteTemplate::AttributeRenamed(std::string from, std::string to) {
+  NoteTemplate n;
+  n.kind = Kind::kAttributeRenamed;
+  n.a = std::move(from);
+  n.b = std::move(to);
+  return n;
+}
+
+NoteTemplate NoteTemplate::RelationRenamed(RelationId old_id,
+                                           std::string new_name) {
+  NoteTemplate n;
+  n.kind = Kind::kRelationRenamed;
+  n.id = std::move(old_id);
+  n.a = std::move(new_name);
+  return n;
+}
+
+NoteTemplate NoteTemplate::DroppedAttributeRefs(std::string from_name,
+                                                std::string attr) {
+  NoteTemplate n;
+  n.kind = Kind::kDroppedAttributeRefs;
+  n.a = std::move(from_name);
+  n.b = std::move(attr);
+  return n;
+}
+
+NoteTemplate NoteTemplate::DroppedRelation(std::string from_name) {
+  NoteTemplate n;
+  n.kind = Kind::kDroppedRelation;
+  n.a = std::move(from_name);
+  return n;
+}
+
+NoteTemplate NoteTemplate::DroppedUnreferenced(std::string from_name) {
+  NoteTemplate n;
+  n.kind = Kind::kDroppedUnreferenced;
+  n.a = std::move(from_name);
+  return n;
+}
+
+NoteTemplate NoteTemplate::PcFragmentCondition(std::string new_name) {
+  NoteTemplate n;
+  n.kind = Kind::kPcFragmentCondition;
+  n.a = std::move(new_name);
+  return n;
+}
+
+NoteTemplate NoteTemplate::ReplacedRelation(const PcEdge* edge) {
+  NoteTemplate n;
+  n.kind = Kind::kReplacedRelation;
+  n.edge = edge;
+  return n;
+}
+
+NoteTemplate NoteTemplate::JoinInRecovered(std::string from_name,
+                                           std::string attr, const PcEdge* edge,
+                                           const JoinConstraint* jc) {
+  NoteTemplate n;
+  n.kind = Kind::kJoinInRecovered;
+  n.a = std::move(from_name);
+  n.b = std::move(attr);
+  n.edge = edge;
+  n.jc = jc;
+  return n;
+}
+
+NoteTemplate NoteTemplate::CvsPairReplaced(std::string from_name,
+                                           const PcEdge* e1, const PcEdge* e2) {
+  NoteTemplate n;
+  n.kind = Kind::kCvsPairReplaced;
+  n.a = std::move(from_name);
+  n.edge = e1;
+  n.edge2 = e2;
+  return n;
+}
+
+std::string NoteTemplate::Render() const {
+  switch (kind) {
+    case Kind::kAttributeRenamed:
+      return "attribute " + a + " renamed to " + b;
+    case Kind::kRelationRenamed:
+      return "relation " + id.ToString() + " renamed to " + a;
+    case Kind::kDroppedAttributeRefs:
+      return "dropped references to deleted attribute " + a + "." + b;
+    case Kind::kDroppedRelation:
+      return "dropped deleted relation " + a;
+    case Kind::kDroppedUnreferenced:
+      return "dropped now-unreferenced relation " + a;
+    case Kind::kPcFragmentCondition:
+      return "added PC fragment condition on " + a;
+    case Kind::kReplacedRelation:
+      return "replaced " + edge->source.ToString() + " by " +
+             edge->target.ToString();
+    case Kind::kJoinInRecovered:
+      return "recovered " + a + "." + b + " from " + edge->target.ToString() +
+             " via " + jc->ToString();
+    case Kind::kCvsPairReplaced:
+      return "replaced " + a + " by join of " + edge->target.ToString() +
+             " and " + edge2->target.ToString();
+  }
+  return {};
+}
+
 ReplacementRecord CandidateReplacement::Materialize() const {
   ReplacementRecord record;
   record.replaced = replaced;
@@ -70,6 +173,15 @@ std::vector<ReplacementRecord> MaterializeReplacements(
   return out;
 }
 
+// Renders the surviving candidate's note templates; the only place note
+// strings are ever built on the delta pipeline.
+std::vector<std::string> RenderNotes(const std::vector<NoteTemplate>& notes) {
+  std::vector<std::string> out;
+  out.reserve(notes.size());
+  for (const NoteTemplate& n : notes) out.push_back(n.Render());
+  return out;
+}
+
 }  // namespace
 
 Rewriting RewriteCandidate::ToRewriting() const& {
@@ -82,7 +194,7 @@ Rewriting RewriteCandidate::ToRewriting() const& {
   out.renamed_relations = renamed_relations;
   out.dropped_attributes = dropped_attributes;
   out.dropped_conditions = dropped_conditions;
-  out.notes = notes;
+  out.notes = RenderNotes(notes);
   out.strategy = JoinStrategies(strategies);
   return out;
 }
@@ -101,7 +213,7 @@ Rewriting RewriteCandidate::ToRewriting(ViewDefinition definition) && {
   out.renamed_relations = std::move(renamed_relations);
   out.dropped_attributes = std::move(dropped_attributes);
   out.dropped_conditions = std::move(dropped_conditions);
-  out.notes = std::move(notes);
+  out.notes = RenderNotes(notes);
   out.strategy = JoinStrategies(strategies);
   return out;
 }

@@ -62,6 +62,57 @@ struct CandidateReplacement {
   ReplacementRecord Materialize() const;
 };
 
+/// A provenance note in unrendered form: the strategy that produced it plus
+/// the handful of values the note interpolates.  Enumeration used to build
+/// the full note string per derived candidate; since most candidates are
+/// pruned by legality, deduplication, or the result cap, those
+/// concatenations were pure waste.  Render() produces the string -- byte
+/// for byte the one the eager pipeline emits -- and only runs for
+/// candidates that survive to a Rewriting (ToRewriting).
+///
+/// Lifetime: `edge`, `edge2`, and `jc` follow the same MKB memo rule as
+/// CandidateReplacement::edge -- valid until the next non-const
+/// MetaKnowledgeBase call, which the rank-then-adopt order satisfies by
+/// construction.
+struct NoteTemplate {
+  enum class Kind {
+    kAttributeRenamed,      ///< "attribute <a> renamed to <b>"
+    kRelationRenamed,       ///< "relation <id> renamed to <a>"
+    kDroppedAttributeRefs,  ///< "dropped references to deleted attribute <a>.<b>"
+    kDroppedRelation,       ///< "dropped deleted relation <a>"
+    kDroppedUnreferenced,   ///< "dropped now-unreferenced relation <a>"
+    kPcFragmentCondition,   ///< "added PC fragment condition on <a>"
+    kReplacedRelation,      ///< "replaced <edge.source> by <edge.target>"
+    kJoinInRecovered,       ///< "recovered <a>.<b> from <edge.target> via <jc>"
+    kCvsPairReplaced,  ///< "replaced <a> by join of <edge.target> and <edge2.target>"
+  };
+
+  Kind kind = Kind::kAttributeRenamed;
+  std::string a;  ///< First interpolated name (SSO-sized in practice).
+  std::string b;  ///< Second interpolated name, when the note has one.
+  RelationId id;  ///< Pre-rename identity (kRelationRenamed only).
+  const PcEdge* edge = nullptr;
+  const PcEdge* edge2 = nullptr;  ///< Second edge of a CVS pair.
+  const JoinConstraint* jc = nullptr;
+
+  static NoteTemplate AttributeRenamed(std::string from, std::string to);
+  static NoteTemplate RelationRenamed(RelationId old_id, std::string new_name);
+  static NoteTemplate DroppedAttributeRefs(std::string from_name,
+                                           std::string attr);
+  static NoteTemplate DroppedRelation(std::string from_name);
+  static NoteTemplate DroppedUnreferenced(std::string from_name);
+  static NoteTemplate PcFragmentCondition(std::string new_name);
+  static NoteTemplate ReplacedRelation(const PcEdge* edge);
+  static NoteTemplate JoinInRecovered(std::string from_name, std::string attr,
+                                      const PcEdge* edge,
+                                      const JoinConstraint* jc);
+  static NoteTemplate CvsPairReplaced(std::string from_name, const PcEdge* e1,
+                                      const PcEdge* e2);
+
+  /// The human-readable note, identical to the eager pipeline's string.
+  std::string Render() const;
+};
+
 /// One (base, delta) rewriting candidate with provenance.
 struct RewriteCandidate {
   std::shared_ptr<const ViewDefinition> base;
@@ -74,7 +125,7 @@ struct RewriteCandidate {
   std::map<std::string, std::string> renamed_relations;
   std::vector<std::string> dropped_attributes;
   std::vector<std::string> dropped_conditions;
-  std::vector<std::string> notes;
+  std::vector<NoteTemplate> notes;      ///< Rendered only in ToRewriting.
   std::vector<std::string> strategies;  ///< Raw tags; joined + deduped later.
 
   /// Lattice composition of one more transformation (as the old Partial).

@@ -335,7 +335,7 @@ class ViewSynchronizer::Impl {
     }
     SubstituteAll(&p, subst);
     p.cand.strategies.push_back("rename");
-    p.cand.notes.push_back("attribute " + ra.from + " renamed to " + ra.to);
+    p.cand.notes.push_back(NoteTemplate::AttributeRenamed(ra.from, ra.to));
     p.cand.renamed_attributes = std::move(subst);
     return p;
   }
@@ -382,8 +382,8 @@ class ViewSynchronizer::Impl {
     }
     (void)from_names;
     p.cand.strategies.push_back("rename");
-    p.cand.notes.push_back("relation " + rr.relation.ToString() +
-                           " renamed to " + rr.new_name);
+    p.cand.notes.push_back(
+        NoteTemplate::RelationRenamed(rr.relation, rr.new_name));
     p.cand.renamed_relations = std::move(rel_map);
     return p;
   }
@@ -457,8 +457,8 @@ class ViewSynchronizer::Impl {
     ApplyDrops(&p, std::move(sel), std::move(whe));
     MaybeDropUnusedFrom(&p, from_name);
     p.cand.strategies.push_back("drop");
-    p.cand.notes.push_back("dropped references to deleted attribute " +
-                           from_name + "." + attr);
+    p.cand.notes.push_back(
+        NoteTemplate::DroppedAttributeRefs(from_name, attr));
     return p;
   }
 
@@ -485,7 +485,7 @@ class ViewSynchronizer::Impl {
     // Removing a (joined) relation widens the extent on common attributes.
     p.Compose(ExtentRel::kSuperset, /*exact=*/true);
     p.cand.strategies.push_back("drop");
-    p.cand.notes.push_back("dropped deleted relation " + from_name);
+    p.cand.notes.push_back(NoteTemplate::DroppedRelation(from_name));
     return p;
   }
 
@@ -504,7 +504,7 @@ class ViewSynchronizer::Impl {
     if (item == nullptr || !item->dispensable) return;
     if (p->view.from_size() <= 1) return;
     p->Push(RewriteDelta::DropFrom(FromIdOf(p->view, from_name)));
-    p->cand.notes.push_back("dropped now-unreferenced relation " + from_name);
+    p->cand.notes.push_back(NoteTemplate::DroppedUnreferenced(from_name));
     p->Compose(ExtentRel::kSuperset, /*exact=*/true);
   }
 
@@ -616,7 +616,7 @@ class ViewSynchronizer::Impl {
         p.Commit();
       }
       applied_selection = true;
-      p.cand.notes.push_back("added PC fragment condition on " + new_name);
+      p.cand.notes.push_back(NoteTemplate::PcFragmentCondition(new_name));
     }
 
     p.Compose(ReplacementExtentRel(edge, applied_selection),
@@ -631,8 +631,7 @@ class ViewSynchronizer::Impl {
     record.joined_in = false;
     p.cand.replacements.push_back(std::move(record));
     p.cand.strategies.push_back("replace-relation");
-    p.cand.notes.push_back("replaced " + edge.source.ToString() + " by " +
-                           edge.target.ToString());
+    p.cand.notes.push_back(NoteTemplate::ReplacedRelation(&edge));
     return p;
   }
 
@@ -819,8 +818,8 @@ class ViewSynchronizer::Impl {
     record.joined_in = true;
     p.cand.replacements.push_back(std::move(record));
     p.cand.strategies.push_back("join-in");
-    p.cand.notes.push_back("recovered " + from_name + "." + attr + " from " +
-                           edge.target.ToString() + " via " + jc.ToString());
+    p.cand.notes.push_back(
+        NoteTemplate::JoinInRecovered(from_name, attr, &edge, &jc));
     return p;
   }
 
@@ -1014,8 +1013,7 @@ class ViewSynchronizer::Impl {
       p.cand.replacements.push_back(std::move(record));
     }
     p.cand.strategies.push_back("cvs-pair");
-    p.cand.notes.push_back("replaced " + from_name + " by join of " +
-                           e1.target.ToString() + " and " + e2.target.ToString());
+    p.cand.notes.push_back(NoteTemplate::CvsPairReplaced(from_name, &e1, &e2));
     return p;
   }
 

@@ -294,6 +294,63 @@ TEST(PlanCache, LruEvictionBoundsSize) {
   EXPECT_EQ(cache.stats().evictions, 2);
 }
 
+TEST(PlanCache, SnapshotEpochFastPathSkipsValidationAndCountsReplans) {
+  EveSystem system;
+  Relation r = MakeRelation("R", {"A", "B"}, {{1, 10}, {2, 20}});
+  ASSERT_TRUE(system.RegisterRelation("IS1", std::move(r)).ok());
+  const ViewDefinition view = Parse("CREATE VIEW Q AS SELECT R.A, R.B FROM R");
+
+  PlanCache cache;
+  const std::shared_ptr<const SystemSnapshot> snap1 =
+      system.snapshots().Current();
+  ASSERT_NE(snap1, nullptr);
+  ASSERT_NE(snap1->SnapshotEpoch(), 0u);
+
+  ASSERT_TRUE(cache.Execute(view, *snap1).ok());
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().snapshot_hits, 0);
+
+  // Same pinned epoch: the entry cannot have gone stale, so repeats take
+  // the fast path that skips per-relation Validate.
+  ASSERT_TRUE(cache.Execute(view, *snap1).ok());
+  ASSERT_TRUE(cache.Execute(view, *snap1).ok());
+  EXPECT_EQ(cache.stats().hits, 2);
+  EXPECT_EQ(cache.stats().snapshot_hits, 2);
+  EXPECT_EQ(cache.stats().replans, 0);
+
+  // A mutation publishes a new epoch; executing against it replans, and
+  // the staleness is attributed to the epoch swap.
+  ASSERT_TRUE(system
+                  .NotifyDataUpdate(DataUpdate{
+                      UpdateKind::kInsert, RelationId{"IS1", "R"},
+                      Tuple{Value(static_cast<int64_t>(3)),
+                            Value(static_cast<int64_t>(30))}})
+                  .ok());
+  const std::shared_ptr<const SystemSnapshot> snap2 =
+      system.snapshots().Current();
+  ASSERT_NE(snap2, nullptr);
+  EXPECT_NE(snap2->SnapshotEpoch(), snap1->SnapshotEpoch());
+  const auto after = cache.Execute(view, *snap2);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->cardinality(), 3);
+  EXPECT_EQ(cache.stats().replans, 1);
+  EXPECT_EQ(cache.stats().epoch_replans, 1);
+
+  // The refreshed entry serves the new epoch from the fast path again.
+  ASSERT_TRUE(cache.Execute(view, *snap2).ok());
+  EXPECT_EQ(cache.stats().snapshot_hits, 3);
+
+  // Non-snapshot providers (epoch 0) never take the fast path.
+  MapProvider plain;
+  ASSERT_TRUE(
+      plain.Add(MakeRelation("R", {"A", "B"}, {{1, 10}, {2, 20}})).ok());
+  PlanCache uncached;
+  ASSERT_TRUE(uncached.Execute(view, plain).ok());
+  ASSERT_TRUE(uncached.Execute(view, plain).ok());
+  EXPECT_EQ(uncached.stats().hits, 1);
+  EXPECT_EQ(uncached.stats().snapshot_hits, 0);
+}
+
 TEST(EveSystemPlanCache, MaterializationPopulatesAndSchemaChangeClears) {
   EveSystem system;
   Relation r = MakeRelation("R", {"A", "B"}, {{1, 10}, {2, 20}});
