@@ -32,6 +32,7 @@
 #include "bench_util/bench_json.h"
 #include "bench_util/distributions.h"
 #include "bench_util/experiment_common.h"
+#include "bench_util/scenario.h"
 #include "common/random.h"
 #include "esql/parser.h"
 #include "algebra/executor.h"
@@ -801,6 +802,74 @@ void BM_IncrementalMaintenance(benchmark::State& state) {
   state.SetItemsProcessed(processed);
 }
 BENCHMARK(BM_IncrementalMaintenance)->Arg(256)->Arg(1024);
+
+// --- Evolution-stream scenario (bench_util/scenario.h) -----------------------
+
+ScenarioOptions EvolutionScenario() {
+  ScenarioOptions scenario;
+  scenario.views = 32;
+  scenario.replicas_per_family = 8;
+  scenario.snowflake = true;
+  // Small extents: the stream measures metadata churn, not row movement.
+  scenario.dimension_rows = 256;
+  scenario.fact_rows = 256;
+  return scenario;
+}
+
+// Replays a >=1k-event stream (capability changes + data updates + re-links)
+// against 32 views over snowflake replica chains, with the per-event
+// replaceability sweep every monitored warehouse runs.  With delta-aware
+// invalidation the sweep's closures stay memoized across events (O(stream)
+// total closure work); `selective = false` flips the MKB to whole-memo
+// flushes, recomputing every closure after every capability change
+// (O(stream^2)) -- the mode BM_EvolutionStream_FullFlush measures.
+void RunEvolutionStream(benchmark::State& state, bool selective) {
+  const ScenarioOptions scenario = EvolutionScenario();
+  const int num_events = static_cast<int>(state.range(0));
+  const std::vector<ScenarioEvent> stream =
+      GenerateEventStream(scenario, num_events, scenario.seed + 1);
+  EveOptions eve_options;
+  eve_options.materialize = false;
+  int64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto system = BuildScenarioSystem(scenario, eve_options).value();
+    system->mkb().set_selective_invalidation(selective);
+    state.ResumeTiming();
+    auto result = ReplayScenario(*system, stream);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    events += result->events_applied;
+  }
+  state.SetItemsProcessed(events);
+}
+
+void BM_EvolutionStream(benchmark::State& state) {
+  RunEvolutionStream(state, /*selective=*/true);
+}
+BENCHMARK(BM_EvolutionStream)->Arg(1024);
+
+void BM_EvolutionStream_FullFlush(benchmark::State& state) {
+  RunEvolutionStream(state, /*selective=*/false);
+}
+BENCHMARK(BM_EvolutionStream_FullFlush)->Arg(1024);
+
+// Scenario construction alone: space + PC/JC declarations + views + one
+// batched snapshot, and the deterministic stream generator.
+void BM_ScenarioGen(benchmark::State& state) {
+  const ScenarioOptions scenario = EvolutionScenario();
+  EveOptions eve_options;
+  eve_options.materialize = false;
+  for (auto _ : state) {
+    auto system = BuildScenarioSystem(scenario, eve_options).value();
+    auto stream = GenerateEventStream(scenario, 1024, scenario.seed + 1);
+    benchmark::DoNotOptimize(system);
+    benchmark::DoNotOptimize(stream);
+  }
+}
+BENCHMARK(BM_ScenarioGen);
 
 // google-benchmark replaced Run::error_occurred with Run::skipped in 1.8;
 // detect whichever member this library version has so the reporter builds

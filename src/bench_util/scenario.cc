@@ -1,0 +1,541 @@
+#include "bench_util/scenario.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/random.h"
+#include "storage/generator.h"
+
+namespace eve {
+namespace {
+
+// --- Naming ------------------------------------------------------------------
+// Sites: one "Hub" (facts + churn) and one "Mirror{r}" per replica rank.
+// Relations: fact "F{f}", churn "C{i}", dimension replica "D{f}_{r}",
+// snowflake replica "S{f}_{r}".  Rename toggles append "x" to a relation
+// name and "r" to an attribute name.
+
+std::string FactName(int f) { return "F" + std::to_string(f); }
+std::string ChurnName(int i) { return "C" + std::to_string(i); }
+std::string ReplicaName(int f, int r) {
+  return "D" + std::to_string(f) + "_" + std::to_string(r);
+}
+std::string SnowName(int f, int r) {
+  return "S" + std::to_string(f) + "_" + std::to_string(r);
+}
+std::string MirrorSite(int r) { return "Mirror" + std::to_string(r); }
+
+std::vector<std::string> DimensionAttrs(const ScenarioOptions& o) {
+  std::vector<std::string> attrs = {"K"};
+  for (int v = 0; v < o.dimension_value_attrs; ++v) {
+    attrs.push_back("V" + std::to_string(v));
+  }
+  return attrs;
+}
+
+Schema DimensionSchema(const ScenarioOptions& o) {
+  std::vector<Attribute> attrs;
+  for (const std::string& a : DimensionAttrs(o)) {
+    attrs.push_back(Attribute::Make(a, DataType::kInt64, 50));
+  }
+  return Schema(std::move(attrs));
+}
+
+GeneratorOptions DimensionGen(const ScenarioOptions& o) {
+  GeneratorOptions gen;
+  gen.cardinality = o.dimension_rows;
+  gen.num_attributes = 1 + o.dimension_value_attrs;
+  gen.attribute_names = DimensionAttrs(o);
+  gen.key_domain = std::max<int64_t>(16, o.dimension_rows / 2);
+  return gen;
+}
+
+constexpr int64_t kFactValueDomain = 1000;
+
+}  // namespace
+
+std::string ScenarioEvent::ToString() const {
+  struct Visitor {
+    std::string operator()(const SchemaChange& c) const {
+      return SchemaChangeToString(c);
+    }
+    std::string operator()(const DataUpdate& u) const { return u.ToString(); }
+    std::string operator()(const PcConstraint& pc) const {
+      return "relink " + pc.ToString();
+    }
+  };
+  return std::visit(Visitor{}, op);
+}
+
+Result<std::unique_ptr<EveSystem>> BuildScenarioSystem(
+    const ScenarioOptions& options, EveOptions eve_options) {
+  auto system = std::make_unique<EveSystem>(std::move(eve_options));
+  EveSystem::SnapshotBatch batch(*system);
+  Random rng(options.seed);
+
+  // Facts and churn relations live at the hub.
+  for (int f = 0; f < options.families; ++f) {
+    GeneratorOptions gen;
+    gen.cardinality = options.fact_rows;
+    gen.num_attributes = 3;
+    gen.attribute_names = {"K", "M0", "M1"};
+    gen.key_domain = std::max<int64_t>(16, options.dimension_rows / 2);
+    EVE_RETURN_IF_ERROR(system->RegisterRelation(
+        "Hub", GenerateRelation(FactName(f), gen, &rng)));
+  }
+  for (int c = 0; c < options.churn_relations; ++c) {
+    GeneratorOptions gen;
+    gen.cardinality = options.churn_rows;
+    gen.num_attributes = 3;
+    gen.attribute_names = {"K", "X0", "X1"};
+    EVE_RETURN_IF_ERROR(system->RegisterRelation(
+        "Hub", GenerateRelation(ChurnName(c), gen, &rng)));
+  }
+
+  // Replica chains: identical content at every rank (copies share column
+  // storage), PC-equivalent rank r <-> r+1, and a fact JC per rank so the
+  // join-in / CVS strategies have material.
+  const std::vector<std::string> dim_attrs = DimensionAttrs(options);
+  for (int f = 0; f < options.families; ++f) {
+    const Relation base =
+        GenerateRelation(ReplicaName(f, 0), DimensionGen(options), &rng);
+    for (int r = 0; r < options.replicas_per_family; ++r) {
+      Relation replica = base;
+      replica.set_name(ReplicaName(f, r));
+      EVE_RETURN_IF_ERROR(
+          system->RegisterRelation(MirrorSite(r), std::move(replica)));
+    }
+    for (int r = 0; r + 1 < options.replicas_per_family; ++r) {
+      EVE_RETURN_IF_ERROR(system->AddPcConstraint(MakeProjectionPc(
+          RelationId{MirrorSite(r), ReplicaName(f, r)},
+          RelationId{MirrorSite(r + 1), ReplicaName(f, r + 1)}, dim_attrs,
+          PcRelationType::kEquivalent)));
+    }
+    for (int r = 0; r < options.replicas_per_family; ++r) {
+      EVE_RETURN_IF_ERROR(system->DeclareConstraint(
+          "JOIN CONSTRAINT " + FactName(f) + ", " + ReplicaName(f, r) +
+          " ON " + FactName(f) + ".K = " + ReplicaName(f, r) + ".K"));
+    }
+    if (options.snowflake) {
+      // A second-level chain hung off the family tail deepens the closure
+      // every replacement search walks; no view references it.
+      const Relation sbase =
+          GenerateRelation(SnowName(f, 0), DimensionGen(options), &rng);
+      for (int r = 0; r < options.snowflake_replicas; ++r) {
+        Relation replica = sbase;
+        replica.set_name(SnowName(f, r));
+        EVE_RETURN_IF_ERROR(system->RegisterRelation(
+            MirrorSite(r % options.replicas_per_family), std::move(replica)));
+      }
+      EVE_RETURN_IF_ERROR(system->AddPcConstraint(MakeProjectionPc(
+          RelationId{MirrorSite(options.replicas_per_family - 1),
+                     ReplicaName(f, options.replicas_per_family - 1)},
+          RelationId{MirrorSite(0), SnowName(f, 0)}, dim_attrs,
+          PcRelationType::kIncomparable)));
+      for (int r = 0; r + 1 < options.snowflake_replicas; ++r) {
+        EVE_RETURN_IF_ERROR(system->AddPcConstraint(MakeProjectionPc(
+            RelationId{MirrorSite(r % options.replicas_per_family),
+                       SnowName(f, r)},
+            RelationId{MirrorSite((r + 1) % options.replicas_per_family),
+                       SnowName(f, r + 1)},
+            dim_attrs, PcRelationType::kEquivalent)));
+      }
+    }
+  }
+
+  // Views: round-robin over families; odd indexes join the family fact.
+  for (int v = 0; v < options.views; ++v) {
+    const int f = v % options.families;
+    const std::string dim = ReplicaName(f, 0);
+    std::string ddl;
+    if (v % 2 == 0) {
+      ddl = "CREATE VIEW V" + std::to_string(v) + " AS SELECT " + dim +
+            ".K (AD=true, AR=true), " + dim + ".V0 (AD=true, AR=true) FROM " +
+            dim + " (RR=true)";
+    } else {
+      ddl = "CREATE VIEW V" + std::to_string(v) + " AS SELECT " + FactName(f) +
+            ".M0 (AD=true, AR=true), " + dim + ".V0 (AD=true, AR=true) FROM " +
+            FactName(f) + " (RR=true), " + dim + " (RR=true) WHERE (" +
+            FactName(f) + ".K = " + dim + ".K) (CR=true)";
+    }
+    EVE_RETURN_IF_ERROR(system->DefineView(ddl));
+  }
+  return system;
+}
+
+namespace {
+
+// The generator's simulation of the space's name shape.  Only names and
+// liveness are tracked -- enough to guarantee every emitted event is
+// applicable when replayed in order.
+struct SlotState {
+  std::string name;  ///< Replica names are stable (re-adds restore them).
+  bool alive = true;
+  bool v0_renamed = false;     ///< Projected attribute V0 toggled to V0r.
+  bool vattr_renamed = false;  ///< Last value attribute toggled to name + "r".
+
+  /// The slot's current attribute names, rename toggles applied.
+  std::vector<std::string> CurrentAttrs(const ScenarioOptions& o) const {
+    std::vector<std::string> attrs = DimensionAttrs(o);
+    if (v0_renamed) attrs[1] += "r";
+    if (vattr_renamed && o.dimension_value_attrs >= 2) attrs.back() += "r";
+    return attrs;
+  }
+};
+
+struct FamilyState {
+  std::vector<SlotState> replicas;
+  std::vector<int> pending_readd;   ///< Deleted, awaiting add-relation.
+  std::vector<int> pending_relink;  ///< Re-added, awaiting the PC re-link.
+
+  int AliveCount() const {
+    int n = 0;
+    for (const SlotState& s : replicas) n += s.alive ? 1 : 0;
+    return n;
+  }
+  int LowestAlive() const {
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      if (replicas[i].alive) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  /// A uniformly random alive slot: views migrate to an unknown replica
+  /// when their host dies, so uniform targeting keeps hitting whichever
+  /// replica they currently reference.
+  int RandomAlive(Random& rng) const {
+    std::vector<int> alive;
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      if (replicas[i].alive) alive.push_back(static_cast<int>(i));
+    }
+    if (alive.empty()) return -1;
+    return alive[rng.Uniform(alive.size())];
+  }
+};
+
+struct ChurnState {
+  std::string base;
+  bool renamed = false;
+  bool attr_renamed = false;  ///< X0 <-> X0r.
+  bool extra_attr = false;    ///< Transient attribute E present.
+  std::string CurrentName() const { return renamed ? base + "x" : base; }
+};
+
+}  // namespace
+
+std::vector<ScenarioEvent> GenerateEventStream(const ScenarioOptions& options,
+                                               int num_events, uint64_t seed) {
+  Random rng(seed);
+  std::vector<FamilyState> families(
+      static_cast<size_t>(std::max(options.families, 0)));
+  for (int f = 0; f < options.families; ++f) {
+    for (int r = 0; r < options.replicas_per_family; ++r) {
+      families[f].replicas.push_back(SlotState{ReplicaName(f, r)});
+    }
+  }
+  std::vector<ChurnState> churn(options.churn_relations);
+  for (int c = 0; c < options.churn_relations; ++c) {
+    churn[c].base = ChurnName(c);
+  }
+  // Tuples the stream itself inserted into each fact (eligible for delete).
+  std::vector<std::vector<Tuple>> fact_inserted(options.families);
+  const std::string last_vattr =
+      "V" + std::to_string(options.dimension_value_attrs - 1);
+  const int64_t key_domain = std::max<int64_t>(16, options.dimension_rows / 2);
+
+  std::vector<ScenarioEvent> out;
+  out.reserve(static_cast<size_t>(num_events));
+
+  const auto fact_insert = [&]() -> ScenarioEvent {
+    const int f = static_cast<int>(rng.Uniform(options.families));
+    Tuple t{Value(rng.UniformInt(0, key_domain - 1)),
+            Value(rng.UniformInt(0, kFactValueDomain - 1)),
+            Value(rng.UniformInt(0, kFactValueDomain - 1))};
+    fact_inserted[f].push_back(t);
+    return ScenarioEvent{DataUpdate{UpdateKind::kInsert,
+                                    RelationId{"Hub", FactName(f)},
+                                    std::move(t)}};
+  };
+
+  while (static_cast<int>(out.size()) < num_events) {
+    const double r = rng.UniformDouble();
+    if (r < 0.28) {
+      // Fact insert: maintenance traffic, no MKB interaction.
+      out.push_back(fact_insert());
+    } else if (r < 0.50 && !churn.empty()) {
+      // Churn attribute rename toggle: invalidation with no affected views.
+      ChurnState& c = churn[rng.Uniform(churn.size())];
+      const std::string from = c.attr_renamed ? "X0r" : "X0";
+      const std::string to = c.attr_renamed ? "X0" : "X0r";
+      c.attr_renamed = !c.attr_renamed;
+      out.push_back(ScenarioEvent{SchemaChange(
+          RenameAttribute{RelationId{"Hub", c.CurrentName()}, from, to})});
+    } else if (r < 0.64 && !churn.empty()) {
+      // Churn add/delete-attribute toggle.
+      ChurnState& c = churn[rng.Uniform(churn.size())];
+      const RelationId id{"Hub", c.CurrentName()};
+      if (c.extra_attr) {
+        out.push_back(ScenarioEvent{SchemaChange(DeleteAttribute{id, "E"})});
+      } else {
+        out.push_back(ScenarioEvent{SchemaChange(
+            AddAttribute{id, Attribute::Make("E", DataType::kInt64, 50)})});
+      }
+      c.extra_attr = !c.extra_attr;
+    } else if (r < 0.74 && !churn.empty()) {
+      // Churn relation rename toggle.
+      ChurnState& c = churn[rng.Uniform(churn.size())];
+      const std::string from = c.CurrentName();
+      c.renamed = !c.renamed;
+      out.push_back(ScenarioEvent{SchemaChange(
+          RenameRelation{RelationId{"Hub", from}, c.CurrentName()})});
+    } else if (r < 0.82) {
+      // Replica value-attribute rename toggle: selective drops confined to
+      // the family's chain component; referencing views are untouched (they
+      // never project the last value attribute).  Needs >= 2 value
+      // attributes, else this toggle would collide with the V0 one below.
+      if (options.dimension_value_attrs < 2) {
+        out.push_back(fact_insert());
+        continue;
+      }
+      FamilyState& fam = families[rng.Uniform(families.size())];
+      const int slot = fam.RandomAlive(rng);
+      if (slot < 0) continue;
+      SlotState& s = fam.replicas[slot];
+      const std::string from = s.vattr_renamed ? last_vattr + "r" : last_vattr;
+      const std::string to = s.vattr_renamed ? last_vattr : last_vattr + "r";
+      s.vattr_renamed = !s.vattr_renamed;
+      out.push_back(ScenarioEvent{SchemaChange(RenameAttribute{
+          RelationId{MirrorSite(slot), s.name}, from, to})});
+    } else if (r < 0.88) {
+      // Projected-attribute rename toggle on a replica views reference: a
+      // transparent synchronization (rename-through, full enumerate + rank)
+      // of every view projecting it -- the RenameIsTransparent lifecycle.
+      FamilyState& fam = families[rng.Uniform(families.size())];
+      const int slot = fam.RandomAlive(rng);
+      if (slot < 0) continue;
+      SlotState& s = fam.replicas[slot];
+      const std::string from = s.v0_renamed ? "V0r" : "V0";
+      const std::string to = s.v0_renamed ? "V0" : "V0r";
+      s.v0_renamed = !s.v0_renamed;
+      out.push_back(ScenarioEvent{SchemaChange(RenameAttribute{
+          RelationId{MirrorSite(slot), s.name}, from, to})});
+    } else if (r < 0.92) {
+      // Replica deletion: replacement discovery through the PC closure for
+      // every referencing view.  Keep >= 2 replicas alive so views survive.
+      FamilyState& fam = families[rng.Uniform(families.size())];
+      if (fam.AliveCount() <= 2) {
+        out.push_back(fact_insert());
+        continue;
+      }
+      const int slot = fam.RandomAlive(rng);
+      SlotState& s = fam.replicas[slot];
+      s.alive = false;
+      // A pending re-link for this slot (from an earlier delete/re-add
+      // round) is now moot -- the slot is dead again.
+      std::erase(fam.pending_relink, slot);
+      fam.pending_readd.push_back(slot);
+      out.push_back(ScenarioEvent{SchemaChange(
+          DeleteRelation{RelationId{MirrorSite(slot), s.name}})});
+    } else if (r < 0.96) {
+      // Repair: re-add one deleted replica (empty, original name), then on a
+      // later repair tick re-link it as a SUBSET of a surviving replica --
+      // vacuously true of an empty extent, and it keeps long streams from
+      // exhausting the chains.
+      bool emitted = false;
+      for (FamilyState& fam : families) {
+        if (!fam.pending_relink.empty()) {
+          const int slot = fam.pending_relink.front();
+          fam.pending_relink.erase(fam.pending_relink.begin());
+          const int target = fam.LowestAlive();
+          if (target >= 0 && target != slot) {
+            // Declared full equivalence (positionally aligned, each side
+            // under its current attribute names) so the re-added replica is
+            // a first-class replacement host again.  The re-add is empty --
+            // the equivalence is an MISD assertion about information type,
+            // exactly the trust the paper places in declared constraints.
+            PcConstraint pc;
+            pc.left.relation =
+                RelationId{MirrorSite(slot), fam.replicas[slot].name};
+            pc.left.attributes = fam.replicas[slot].CurrentAttrs(options);
+            pc.right.relation =
+                RelationId{MirrorSite(target), fam.replicas[target].name};
+            pc.right.attributes = fam.replicas[target].CurrentAttrs(options);
+            pc.type = PcRelationType::kEquivalent;
+            out.push_back(ScenarioEvent{std::move(pc)});
+            emitted = true;
+          }
+          break;
+        }
+        if (!fam.pending_readd.empty()) {
+          const int slot = fam.pending_readd.front();
+          fam.pending_readd.erase(fam.pending_readd.begin());
+          SlotState& s = fam.replicas[slot];
+          s.alive = true;
+          s.v0_renamed = false;
+          s.vattr_renamed = false;
+          out.push_back(ScenarioEvent{SchemaChange(AddRelation{
+              RelationId{MirrorSite(slot), s.name}, DimensionSchema(options)})});
+          fam.pending_relink.push_back(slot);
+          emitted = true;
+          break;
+        }
+      }
+      if (!emitted) out.push_back(fact_insert());
+    } else {
+      // Fact delete of a tuple the stream inserted earlier.
+      const int f = static_cast<int>(rng.Uniform(options.families));
+      if (fact_inserted[f].empty()) {
+        out.push_back(fact_insert());
+        continue;
+      }
+      Tuple t = std::move(fact_inserted[f].back());
+      fact_inserted[f].pop_back();
+      out.push_back(ScenarioEvent{DataUpdate{
+          UpdateKind::kDelete, RelationId{"Hub", FactName(f)}, std::move(t)}});
+    }
+  }
+  return out;
+}
+
+std::string ReplayResult::CurvesCsv() const {
+  std::ostringstream os;
+  os << "event,kind,alive_views,affected,mean_qc,mean_cost,replaceability,"
+        "closure_hits,closure_misses,survivals,drops,full_flushes,micros\n";
+  for (const ReplaySample& s : samples) {
+    os << s.event_index << ',' << s.kind << ',' << s.alive_views << ','
+       << s.affected_views << ',' << s.mean_adopted_qc << ','
+       << s.mean_adopted_cost << ',' << s.mean_replaceability << ','
+       << s.memo.closure_hits << ','
+       << s.memo.closure_misses << ',' << s.memo.memo_survivals << ','
+       << s.memo.selective_drops << ',' << s.memo.full_flushes << ','
+       << s.micros << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+// Reachable replacement edges over every FROM relation of `def`: the
+// redundancy that decides whether the view survives its next capability
+// change.  Relations the MKB cannot resolve contribute nothing.
+int64_t ViewReplaceability(const EveSystem& system, const ViewDefinition& def,
+                           int hops) {
+  int64_t edges = 0;
+  for (const FromItem& item : def.from_items) {
+    Result<RelationId> id =
+        item.site.empty()
+            ? system.mkb().ResolveName(item.relation)
+            : Result<RelationId>(RelationId{item.site, item.relation});
+    if (!id.ok()) continue;
+    edges += static_cast<int64_t>(
+        system.mkb().PcEdgesFromTransitive(*id, hops).size());
+  }
+  return edges;
+}
+
+}  // namespace
+
+Result<ReplayResult> ReplayScenario(EveSystem& system,
+                                    const std::vector<ScenarioEvent>& events,
+                                    const ReplayOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  ReplayResult out;
+  out.alive_views = 0;
+  std::vector<std::string> alive_names;
+  for (const std::string& name : system.vkb().ViewNames()) {
+    EVE_ASSIGN_OR_RETURN(ViewState state, system.GetViewState(name));
+    if (state == ViewState::kAlive) {
+      ++out.alive_views;
+      alive_names.push_back(name);
+    }
+  }
+  const int stride = options.sample_stride < 1 ? 1 : options.sample_stride;
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    ReplaySample sample;
+    sample.event_index = static_cast<int>(i);
+    const auto start = Clock::now();
+
+    if (const auto* change = std::get_if<SchemaChange>(&events[i].op)) {
+      sample.kind = 's';
+      auto report_or = system.NotifySchemaChange(*change);
+      if (!report_or.ok()) {
+        return Status(report_or.status().code(),
+                      "event " + std::to_string(i) + " (" +
+                          events[i].ToString() +
+                          "): " + report_or.status().message());
+      }
+      ChangeReport report = std::move(*report_or);
+      ++out.schema_changes;
+      double qc_sum = 0, cost_sum = 0;
+      int adopted = 0;
+      for (const ViewSynchronizationReport& view : report.views) {
+        if (!view.affected) continue;
+        ++sample.affected_views;
+        if (view.resulting_state == ViewState::kDead) {
+          --out.alive_views;
+          ++out.dead_views;
+          std::erase(alive_names, view.view_name);
+        } else if (!view.ranking.empty()) {
+          qc_sum += view.ranking.front().qc;
+          cost_sum += view.ranking.front().weighted_cost;
+          ++adopted;
+        }
+      }
+      if (adopted > 0) {
+        sample.mean_adopted_qc = qc_sum / adopted;
+        sample.mean_adopted_cost = cost_sum / adopted;
+      }
+    } else if (const auto* update = std::get_if<DataUpdate>(&events[i].op)) {
+      sample.kind = 'd';
+      const Status status = system.NotifyDataUpdate(*update).status();
+      if (!status.ok()) {
+        return Status(status.code(), "event " + std::to_string(i) + " (" +
+                                         events[i].ToString() +
+                                         "): " + status.message());
+      }
+      ++out.data_updates;
+    } else {
+      sample.kind = 'c';
+      const Status status =
+          system.AddPcConstraint(std::get<PcConstraint>(events[i].op));
+      if (!status.ok()) {
+        return Status(status.code(), "event " + std::to_string(i) + " (" +
+                                         events[i].ToString() +
+                                         "): " + status.message());
+      }
+      ++out.relinks;
+    }
+
+    // The monitoring sweep: every live view's replaceability, recomputed
+    // after every event inside the timed window.  This is where the two
+    // invalidation modes diverge -- selective drops leave all but the
+    // mutated relation's closures memoized, full flush recomputes them all.
+    if (options.track_replaceability && !alive_names.empty()) {
+      int64_t edges = 0;
+      for (const std::string& name : alive_names) {
+        EVE_ASSIGN_OR_RETURN(ViewDefinition def,
+                             system.GetViewDefinition(name));
+        edges += ViewReplaceability(system, def, options.replaceability_hops);
+      }
+      sample.mean_replaceability =
+          static_cast<double>(edges) / static_cast<double>(alive_names.size());
+    }
+
+    sample.micros = std::chrono::duration<double, std::micro>(Clock::now() -
+                                                              start)
+                        .count();
+    out.total_micros += sample.micros;
+    ++out.events_applied;
+    if (i % static_cast<size_t>(stride) == 0 || i + 1 == events.size()) {
+      sample.alive_views = out.alive_views;
+      sample.memo = system.mkb().memo_stats();
+      out.samples.push_back(std::move(sample));
+    }
+  }
+  out.final_memo = system.mkb().memo_stats();
+  return out;
+}
+
+}  // namespace eve

@@ -1,0 +1,147 @@
+// Evolution-stream scenario engine: seeded generation of star/snowflake
+// information spaces and long streams of interleaved capability changes and
+// data updates, plus a replay driver that records survival / quality / cost
+// curves and MKB memo statistics over the stream.
+//
+// The spaces follow the paper's replication idiom (Experiment 4's S1..S5
+// containment chain, generalized): each "family" is a chain of PC-equivalent
+// dimension replicas spread over mirror sites, joined to a hub fact
+// relation.  Views reference the chain head, so deleting a replica forces
+// replacement discovery through the transitive PC closure -- exactly the
+// workload the delta-aware memo invalidation (misd/mkb.h) accelerates.
+//
+// Everything is deterministic: the same ScenarioOptions and seed produce
+// the same space, the same stream, and (modulo wall-clock fields) the same
+// replay curves, on any thread count.
+
+#ifndef EVE_BENCH_UTIL_SCENARIO_H_
+#define EVE_BENCH_UTIL_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "eve/eve_system.h"
+#include "misd/constraints.h"
+#include "space/data_update.h"
+#include "space/schema_change.h"
+
+namespace eve {
+
+/// Shape of a generated evolution scenario.
+struct ScenarioOptions {
+  uint64_t seed = 42;
+  /// Dimension families; each is a PC-equivalent replica chain + one fact.
+  int families = 6;
+  /// Replicas per family chain (>= 2; views reference replica 0).
+  int replicas_per_family = 6;
+  /// Hub relations that no view references; their churn exercises the
+  /// invalidation path without any synchronization work.
+  int churn_relations = 6;
+  /// Views, assigned round-robin over families; odd indexes join the fact.
+  int views = 32;
+  int64_t dimension_rows = 512;
+  int64_t fact_rows = 512;
+  int64_t churn_rows = 32;
+  /// Value attributes per dimension replica beyond the join key K.
+  int dimension_value_attrs = 2;
+  /// Snowflake: hang a second-level replica chain off each family's chain
+  /// tail (deepens the PC closure without adding views).
+  bool snowflake = false;
+  int snowflake_replicas = 3;
+};
+
+/// One replayable event: a capability change, a data update, or a PC
+/// re-link (issued after a deleted replica is re-added, declaring the empty
+/// re-add a subset of a surviving replica -- vacuously true, and it keeps
+/// the closure graph growing over long streams).
+struct ScenarioEvent {
+  std::variant<SchemaChange, DataUpdate, PcConstraint> op;
+
+  std::string ToString() const;
+};
+
+/// Builds the EveSystem for `options`: registers every relation (with
+/// generated data), declares the PC chains and fact JCs, defines the views,
+/// and publishes ONE snapshot for the whole bulk load
+/// (EveSystem::SnapshotBatch).  `eve_options.materialize` is honored;
+/// benchmarks typically pass false.
+Result<std::unique_ptr<EveSystem>> BuildScenarioSystem(
+    const ScenarioOptions& options, EveOptions eve_options = {});
+
+/// Generates a deterministic stream of `num_events` events for the space
+/// that BuildScenarioSystem(options) produces.  The generator simulates the
+/// space's name shape (alive relations, toggled names/attributes), so every
+/// event is applicable when replayed in order; which views each event
+/// affects is emergent.  Mix: mostly fact inserts and churn-relation
+/// attribute/rename toggles, periodic replica renames (transparent
+/// synchronization of the referencing views) and replica deletions
+/// (replacement discovery through the PC closure), plus re-add/re-link
+/// repairs so long streams never exhaust a family.
+std::vector<ScenarioEvent> GenerateEventStream(const ScenarioOptions& options,
+                                               int num_events, uint64_t seed);
+
+/// One point of the replay curves.
+struct ReplaySample {
+  int event_index = 0;
+  char kind = '?';  ///< 's'chema change / 'd'ata update / 'c'onstraint.
+  int alive_views = 0;
+  /// Views the event affected (synchronized); 0 for non-schema events.
+  int affected_views = 0;
+  /// Mean QC (Eq. 26) of the rewritings adopted at this event; 0 when none.
+  double mean_adopted_qc = 0;
+  /// Mean workload-weighted cost (Eq. 24) of the adopted rewritings.
+  double mean_adopted_cost = 0;
+  /// Mean replaceability of the live views: reachable PC-closure edges
+  /// summed over each view's FROM relations (see ReplayOptions).
+  double mean_replaceability = 0;
+  /// Cumulative MKB memo statistics as of after this event.
+  MkbMemoStats memo;
+  double micros = 0;  ///< Wall time of this event.
+};
+
+struct ReplayOptions {
+  /// Record a ReplaySample every `sample_stride` events (1 = every event).
+  int sample_stride = 1;
+  /// After every event, recompute each live view's replaceability: the
+  /// number of transitively PC-reachable replacement edges over its FROM
+  /// relations (the paper's redundancy that decides survival).  This is the
+  /// steady closure consumer of a monitored warehouse; with delta-aware
+  /// invalidation the queries are memo hits except for the relations the
+  /// event touched, while full-flush mode recomputes every closure after
+  /// every capability change -- the O(stream) vs O(stream^2) gap
+  /// BM_EvolutionStream measures.
+  bool track_replaceability = true;
+  /// Hop bound for the replaceability closure (matches the synchronizer's
+  /// max_pc_hops by default).
+  int replaceability_hops = 4;
+};
+
+/// Outcome of replaying a stream.
+struct ReplayResult {
+  std::vector<ReplaySample> samples;
+  int events_applied = 0;
+  int schema_changes = 0;
+  int data_updates = 0;
+  int relinks = 0;
+  int alive_views = 0;
+  int dead_views = 0;
+  double total_micros = 0;
+  MkbMemoStats final_memo;
+
+  /// The curves as CSV (header + one row per sample).
+  std::string CurvesCsv() const;
+};
+
+/// Replays `events` against `system` in order, collecting curves.  Fails
+/// fast on the first hard error (a governed ResourceExhausted stop included
+/// -- replay is meant to run ungoverned).
+Result<ReplayResult> ReplayScenario(EveSystem& system,
+                                    const std::vector<ScenarioEvent>& events,
+                                    const ReplayOptions& options = {});
+
+}  // namespace eve
+
+#endif  // EVE_BENCH_UTIL_SCENARIO_H_

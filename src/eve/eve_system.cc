@@ -1,6 +1,7 @@
 #include "eve/eve_system.h"
 
 #include "common/fault_injection.h"
+#include "common/parallel.h"
 #include "common/str_util.h"
 #include "esql/constraint_parser.h"
 #include "esql/parser.h"
@@ -42,6 +43,12 @@ EveSystem::EveSystem(EveOptions options) : options_(std::move(options)) {
 }
 
 Status EveSystem::PublishSnapshot() {
+  if (snapshot_batch_depth_ > 0) {
+    // Bulk load in progress: remember that an epoch is owed and let the
+    // closing SnapshotBatch publish once for the whole batch.
+    snapshot_batch_dirty_ = true;
+    return Status::OK();
+  }
   // The fault point sits BEFORE the capture/swap: an injected failure
   // leaves the previous epoch fully intact (nothing half-swapped), the
   // triggering mutation committed, and the publisher marked stale so
@@ -145,28 +152,32 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
   ChangeReport report;
   report.change = SchemaChangeToString(change);
 
-  // 1. Affected views (site resolution via the current space).
-  std::map<std::string, std::string> site_of;
-  for (const std::string& site : space_.SiteNames()) {
-    EVE_ASSIGN_OR_RETURN(const InformationSource* src, space_.GetSource(site));
-    for (const std::string& rel : src->RelationNames()) site_of[rel] = site;
-  }
+  // 1. Affected views.  Site resolution uses the space's cached name map,
+  // rebuilt only after relation-level changes instead of rescanning every
+  // source on every notification.
+  const auto site_of = space_.RelationSiteMap();
   const std::vector<std::string> candidates =
-      vkb_.ViewsReferencing(ChangedRelation(change), site_of);
+      vkb_.ViewsReferencing(ChangedRelation(change), *site_of);
 
-  // 2-3. Synchronize against the PRE-change MKB and rank.
+  // 2-3. Synchronize against the PRE-change MKB and rank.  The per-view
+  // work is read-only and independent (the MKB memos are mutex-populated),
+  // so it runs under ParallelFor into fixed outcome slots; the serial
+  // assembly below walks the slots in candidate order, which keeps the
+  // report byte-identical to the serial loop regardless of thread count.
   ViewSynchronizer synchronizer(mkb_, options_.synchronizer);
   QcModel model(options_.qc, options_.cost, options_.workload);
-  struct Pending {
-    std::string view;
-    ViewDefinition new_def;
-  };
-  std::vector<Pending> adoptions;
-  std::vector<std::string> deaths;
-
-  for (const std::string& view_name : candidates) {
-    EVE_ASSIGN_OR_RETURN(const ViewEntry* entry, vkb_.Get(view_name));
+  struct Outcome {
     ViewSynchronizationReport view_report;
+    bool dead = false;
+    ViewDefinition chosen;  ///< The adopted definition (affected && !dead).
+  };
+  std::vector<Outcome> outcomes(candidates.size());
+
+  const auto synchronize_one = [&](int64_t index) -> Status {
+    const std::string& view_name = candidates[index];
+    Outcome& out = outcomes[index];
+    EVE_ASSIGN_OR_RETURN(const ViewEntry* entry, vkb_.Get(view_name));
+    ViewSynchronizationReport& view_report = out.view_report;
     view_report.view_name = view_name;
 
     // Delta pipeline (default): candidates stay as (base, op-log) pairs
@@ -224,24 +235,51 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
 
     view_report.affected = affected;
     view_report.truncated = truncated;
-    if (!affected) {
-      report.views.push_back(std::move(view_report));
-      continue;
-    }
+    if (!affected) return Status::OK();
     if (dead) {
       view_report.resulting_state = ViewState::kDead;
-      deaths.push_back(view_name);
-      report.views.push_back(std::move(view_report));
-      continue;
+      out.dead = true;
+      return Status::OK();
     }
     view_report.resulting_state = ViewState::kAlive;
-    const ViewDefinition& chosen =
-        options_.adopt_first_legal
-            ? first_legal
-            : view_report.ranking.front().rewriting.definition;
-    view_report.adopted = PrintViewCompact(chosen);
-    adoptions.push_back(Pending{view_name, chosen});
-    report.views.push_back(std::move(view_report));
+    out.chosen = options_.adopt_first_legal
+                     ? std::move(first_legal)
+                     : view_report.ranking.front().rewriting.definition;
+    view_report.adopted = PrintViewCompact(out.chosen);
+    return Status::OK();
+  };
+
+  // Determinism guards: governed runs share budget/deadline state across
+  // views in notification order, and armed fault sites fire on exact hit
+  // counts -- both must see the serial order.  Nested parallel sections
+  // stay serial as everywhere (ranking's inner ParallelFor does the same).
+  int workers = options_.synchronize_threads > 0 ? options_.synchronize_threads
+                                                 : DefaultThreadCount();
+  if (candidates.size() < 2 || ExecCtx().limited() ||
+      FaultInjection::Instance().enabled() || InParallelRegion()) {
+    workers = 1;
+  }
+  // Among concurrent failures the lowest candidate index wins, so the
+  // reported error matches the serial loop's.
+  EVE_RETURN_IF_ERROR(ParallelForStatus(
+      static_cast<int64_t>(candidates.size()), workers, synchronize_one));
+
+  struct Pending {
+    std::string view;
+    ViewDefinition new_def;
+  };
+  std::vector<Pending> adoptions;
+  std::vector<std::string> deaths;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    Outcome& out = outcomes[i];
+    if (out.view_report.affected) {
+      if (out.dead) {
+        deaths.push_back(candidates[i]);
+      } else {
+        adoptions.push_back(Pending{candidates[i], std::move(out.chosen)});
+      }
+    }
+    report.views.push_back(std::move(out.view_report));
   }
 
   // 4. Apply the change to space + MKB.  Every prepared plan may reference

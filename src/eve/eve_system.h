@@ -74,6 +74,16 @@ struct EveOptions {
   /// EVE prototype (paper §8) and exists for head-to-head comparisons; the
   /// ranking is still computed for reporting.
   bool adopt_first_legal = false;
+  /// Worker threads for the per-view enumerate+rank loop of
+  /// NotifySchemaChange (the views are independent: each synchronizes
+  /// against the same PRE-change MKB, whose memos are mutex-populated).
+  /// 0 picks DefaultThreadCount(); 1 forces the serial loop.  Parallelism
+  /// only engages for ungoverned runs with no armed fault sites and when
+  /// not already inside a parallel region -- in every such case the
+  /// ChangeReport is byte-identical to the serial loop's (reports are
+  /// collected in deterministic candidate order and the lowest-index hard
+  /// error wins), so the serial path stays the equivalence oracle.
+  int synchronize_threads = 0;
   /// Optional resource governance for every long-running path the system
   /// drives (synchronization, materialization, maintenance).  Borrowed, not
   /// owned -- must outlive the system.  Null runs ungoverned.
@@ -161,6 +171,31 @@ class EveSystem {
   /// again, in which case the old epoch keeps serving.
   Status RefreshSnapshot();
 
+  /// RAII suppression of per-mutation snapshot publication for bulk loads.
+  /// Capture is O(columns across the whole space), so registering N
+  /// relations publishes O(N^2) column handles; a batch defers to ONE
+  /// publish when the scope closes (only if any suppressed publish was
+  /// requested).  Committed mutations are never deferred -- only their
+  /// epoch publication is.  Single-writer, like every mutating entry point.
+  class SnapshotBatch {
+   public:
+    explicit SnapshotBatch(EveSystem& system) : system_(system) {
+      ++system_.snapshot_batch_depth_;
+    }
+    ~SnapshotBatch() {
+      if (--system_.snapshot_batch_depth_ == 0 &&
+          system_.snapshot_batch_dirty_) {
+        system_.snapshot_batch_dirty_ = false;
+        (void)system_.PublishSnapshot();
+      }
+    }
+    SnapshotBatch(const SnapshotBatch&) = delete;
+    SnapshotBatch& operator=(const SnapshotBatch&) = delete;
+
+   private:
+    EveSystem& system_;
+  };
+
  private:
   Status Materialize(const std::string& view_name);
 
@@ -182,6 +217,8 @@ class EveSystem {
   ViewKnowledgeBase vkb_;
   PlanCache plan_cache_;
   SnapshotPublisher publisher_;
+  int snapshot_batch_depth_ = 0;
+  bool snapshot_batch_dirty_ = false;
   /// Owned intern pool for this system's string data.  Values are trivially
   /// destructible, so teardown order does not matter; the pool only has to
   /// outlive reads of the Values interned into it, which it does because

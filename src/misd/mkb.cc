@@ -11,6 +11,91 @@
 
 namespace eve {
 
+namespace {
+
+// True when `m` (a small mutation set) contains `id`.
+bool Touches(const std::vector<RelationId>& m, const RelationId& id) {
+  return std::find(m.begin(), m.end(), id) != m.end();
+}
+
+// True when the mutation set intersects the touched set of a cached edge
+// list keyed by `source`: {source} + every edge target.  The soundness
+// argument lives on InvalidateTouching's declaration.
+bool TouchesEdges(const std::vector<RelationId>& m, const RelationId& source,
+                  const std::vector<PcEdge>& edges) {
+  if (Touches(m, source)) return true;
+  for (const PcEdge& e : edges) {
+    if (Touches(m, e.target)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void MetaKnowledgeBase::InvalidateTouching(
+    const std::vector<RelationId>& pc_mutated,
+    const std::vector<RelationId>& jc_mutated) {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  if (!selective_invalidation_) {
+    // The oracle mode reproduces the seed exactly: every mutator flushes
+    // everything, even ones (RegisterRelation, AddAttribute) that cannot
+    // affect any derived entry.
+    adjacency_cache_.clear();
+    closure_cache_.clear();
+    jc_pair_cache_.clear();
+    ++memo_stats_.full_flushes;
+    return;
+  }
+  if (!pc_mutated.empty()) {
+    for (auto it = adjacency_cache_.begin(); it != adjacency_cache_.end();) {
+      if (TouchesEdges(pc_mutated, it->first, it->second)) {
+        it = adjacency_cache_.erase(it);
+        ++memo_stats_.selective_drops;
+      } else {
+        ++memo_stats_.memo_survivals;
+        ++it;
+      }
+    }
+    for (auto it = closure_cache_.begin(); it != closure_cache_.end();) {
+      if (TouchesEdges(pc_mutated, it->first.first, it->second)) {
+        it = closure_cache_.erase(it);
+        ++memo_stats_.selective_drops;
+        ++memo_stats_.closure_drops;
+      } else {
+        ++memo_stats_.memo_survivals;
+        ++memo_stats_.closure_survivals;
+        ++it;
+      }
+    }
+  }
+  if (!jc_mutated.empty()) {
+    for (auto it = jc_pair_cache_.begin(); it != jc_pair_cache_.end();) {
+      if (Touches(jc_mutated, it->first.first) ||
+          Touches(jc_mutated, it->first.second)) {
+        it = jc_pair_cache_.erase(it);
+        ++memo_stats_.selective_drops;
+      } else {
+        ++memo_stats_.memo_survivals;
+        ++it;
+      }
+    }
+  }
+}
+
+std::vector<RelationId> MetaKnowledgeBase::PcNeighborhood(
+    const RelationId& id) const {
+  std::vector<RelationId> out{id};
+  for (const PcEdge& e : PcEdgesFrom(id)) {
+    if (!Touches(out, e.target)) out.push_back(e.target);
+  }
+  return out;
+}
+
+MkbMemoStats MetaKnowledgeBase::memo_stats() const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  return memo_stats_;
+}
+
 Status MetaKnowledgeBase::RegisterRelation(const RelationId& id,
                                            const Schema& schema) {
   if (schemas_.count(id) > 0) {
@@ -21,7 +106,9 @@ Status MetaKnowledgeBase::RegisterRelation(const RelationId& id,
     return Status::InvalidArgument("relation " + id.ToString() +
                                    " must have at least one attribute");
   }
-  InvalidateDerivedCaches();
+  // A freshly registered relation cannot be referenced by any constraint
+  // yet, so no derived memo entry can depend on it: nothing to drop.
+  InvalidateTouching({}, {});
   schemas_.emplace(id, schema);
   return Status::OK();
 }
@@ -79,7 +166,9 @@ Result<int> MetaKnowledgeBase::UnregisterRelation(const RelationId& id) {
   if (schemas_.count(id) == 0) {
     return Status::NotFound("relation " + id.ToString() + " not in MKB");
   }
-  InvalidateDerivedCaches();
+  // Dropping id's constraints and installing bridges between its PC
+  // partners touches id and every one of those partners.
+  InvalidateTouching(PcNeighborhood(id), {id});
   BridgeConstraintsThrough(id, /*attr=*/nullptr);
   schemas_.erase(id);
   int dropped = 0;
@@ -115,7 +204,8 @@ Result<int> MetaKnowledgeBase::RemoveAttribute(const RelationId& id,
         "removing the last attribute of " + id.ToString() +
         "; use UnregisterRelation instead");
   }
-  InvalidateDerivedCaches();
+  // Conservative superset of the attr-doomed constraints' endpoints.
+  InvalidateTouching(PcNeighborhood(id), {id});
   BridgeConstraintsThrough(id, &attr);
   it->second = Schema(std::move(attrs));
 
@@ -145,7 +235,10 @@ Status MetaKnowledgeBase::AddAttribute(const RelationId& id,
   }
   std::vector<Attribute> attrs = it->second.attributes();
   attrs.push_back(attribute);
-  InvalidateDerivedCaches();
+  // Adding an attribute changes no constraint, and the derived memos read
+  // only the constraint stores: every entry stays warm.  (The full-flush
+  // oracle still flushes here, matching the seed.)
+  InvalidateTouching({}, {});
   it->second = Schema(std::move(attrs));
   return Status::OK();
 }
@@ -161,7 +254,9 @@ Status MetaKnowledgeBase::RenameRelation(const RelationId& from,
     return Status::AlreadyExists("relation " + to.ToString() +
                                  " already registered in MKB");
   }
-  InvalidateDerivedCaches();
+  // Constraints involving `from` are rewritten in place; nothing can
+  // reference `to` yet, but it joins the set for symmetry.
+  InvalidateTouching({from, to}, {from, to});
   Schema schema = it->second;
   schemas_.erase(it);
   schemas_.emplace(to, std::move(schema));
@@ -202,7 +297,10 @@ Status MetaKnowledgeBase::RenameAttribute(const RelationId& id,
     return Status::AlreadyExists("attribute " + to + " already in relation " +
                                  id.ToString());
   }
-  InvalidateDerivedCaches();
+  // Only constraints involving id are rewritten; cached edges not touching
+  // id cannot mention the attribute (attribute maps pair SOURCE and TARGET
+  // attrs, and id is neither for a surviving entry).
+  InvalidateTouching({id}, {id});
   std::vector<Attribute> attrs = it->second.attributes();
   attrs[*idx].name = to;
   it->second = Schema(std::move(attrs));
@@ -329,7 +427,9 @@ Status MetaKnowledgeBase::AddJoinConstraint(JoinConstraint jc) {
     return Status::InvalidArgument(
         "join constraint must have at least one clause");
   }
-  InvalidateDerivedCaches();
+  // The PC-derived memos never read join constraints: only the JC-pair
+  // entries for the new endpoints can change.
+  InvalidateTouching({}, {jc.left, jc.right});
   join_constraints_.push_back(std::move(jc));
   return Status::OK();
 }
@@ -350,7 +450,9 @@ Status MetaKnowledgeBase::AddPcConstraint(PcConstraint pc) {
       }
     }
   }
-  InvalidateDerivedCaches();
+  // A new PC edge between these endpoints can extend any closure that
+  // reached either of them; join constraints are untouched.
+  InvalidateTouching({pc.left.relation, pc.right.relation}, {});
   pc_constraints_.push_back(std::move(pc));
   return Status::OK();
 }
@@ -358,17 +460,24 @@ Status MetaKnowledgeBase::AddPcConstraint(PcConstraint pc) {
 std::vector<const JoinConstraint*> MetaKnowledgeBase::FindJoinConstraints(
     const RelationId& a, const RelationId& b) const {
   // Normalized pair key: Connects() is symmetric, so both orientations
-  // share one memo entry (and the store-order result is identical).
+  // share one memo entry (and the store-order result is identical).  The
+  // entry holds copies in a stable map node, so the returned pointers
+  // survive both store reallocation and selective drops of other entries.
   const std::pair<RelationId, RelationId> key =
       a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   std::lock_guard<std::mutex> lock(memo_mu_);
-  const auto it = jc_pair_cache_.find(key);
-  if (it != jc_pair_cache_.end()) return it->second;
-  std::vector<const JoinConstraint*> out;
-  for (const JoinConstraint& jc : join_constraints_) {
-    if (jc.Connects(a, b)) out.push_back(&jc);
+  auto it = jc_pair_cache_.find(key);
+  if (it == jc_pair_cache_.end()) {
+    std::vector<JoinConstraint> found;
+    for (const JoinConstraint& jc : join_constraints_) {
+      if (jc.Connects(a, b)) found.push_back(jc);
+    }
+    it = jc_pair_cache_.emplace(key, std::move(found)).first;
   }
-  return jc_pair_cache_.emplace(key, std::move(out)).first->second;
+  std::vector<const JoinConstraint*> out;
+  out.reserve(it->second.size());
+  for (const JoinConstraint& jc : it->second) out.push_back(&jc);
+  return out;
 }
 
 PcEdge MetaKnowledgeBase::MakeEdge(const PcConstraint& pc, bool flipped) {
@@ -517,8 +626,10 @@ const std::vector<PcEdge>& MetaKnowledgeBase::PcEdgesFromTransitive(
   const auto cache_key = std::make_pair(source, max_hops);
   if (const auto hit = closure_cache_.find(cache_key);
       hit != closure_cache_.end()) {
+    ++memo_stats_.closure_hits;
     return hit->second;
   }
+  ++memo_stats_.closure_misses;
   std::vector<PcEdge> result =
       ComputeClosure(
           source, max_hops,
@@ -539,8 +650,10 @@ MetaKnowledgeBase::PcEdgesFromTransitiveGoverned(const RelationId& source,
   const auto cache_key = std::make_pair(source, max_hops);
   if (const auto hit = closure_cache_.find(cache_key);
       hit != closure_cache_.end()) {
+    ++memo_stats_.closure_hits;
     return &hit->second;
   }
+  ++memo_stats_.closure_misses;
   ExecGovernor gov(ctx);
   EVE_ASSIGN_OR_RETURN(
       std::vector<PcEdge> result,

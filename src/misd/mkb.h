@@ -26,6 +26,26 @@
 
 namespace eve {
 
+/// Counters describing the behavior of the MKB's derived-state memos under
+/// mutation (see MetaKnowledgeBase::set_selective_invalidation).  Snapshot
+/// via MetaKnowledgeBase::memo_stats(); all counters are cumulative.
+struct MkbMemoStats {
+  /// Closure (PcEdgesFromTransitive) memo hits / misses.
+  int64_t closure_hits = 0;
+  int64_t closure_misses = 0;
+  /// Memo entries (all three caches) that survived a mutation because the
+  /// mutated relation set did not intersect their touched set, vs entries
+  /// dropped by the delta-aware sweep.
+  int64_t memo_survivals = 0;
+  int64_t selective_drops = 0;
+  /// Closure-cache-only split of the above (the survival fraction of the
+  /// enumeration hot path, reported by the evolution-stream harness).
+  int64_t closure_survivals = 0;
+  int64_t closure_drops = 0;
+  /// Full-flush invalidations (selective invalidation disabled).
+  int64_t full_flushes = 0;
+};
+
 /// A PC-derived replacement edge, normalized so that `source` is the
 /// relation being replaced and `target` the candidate replacement.
 struct PcEdge {
@@ -104,8 +124,9 @@ class MetaKnowledgeBase {
   /// Join constraints connecting `a` and `b` (either orientation), in
   /// store order.  Memoized per normalized pair (the CVS pair search probes
   /// every target pair of a wide fan-out, which made the former full-store
-  /// scan quadratic in practice); any constraint mutation invalidates the
-  /// memo, and the returned pointers follow the same validity rule as the
+  /// scan quadratic in practice); a constraint mutation touching `a` or `b`
+  /// invalidates the entry (every mutation, with selective invalidation
+  /// off), and the returned pointers follow the same validity rule as the
   /// closure memo: valid until the next non-const MKB call.
   std::vector<const JoinConstraint*> FindJoinConstraints(
       const RelationId& a, const RelationId& b) const;
@@ -123,8 +144,10 @@ class MetaKnowledgeBase {
   /// Direct (1-hop) edges are included.  Results are deduplicated, keeping
   /// the shortest derivation per (target, type, attribute map).
   ///
-  /// The closure is memoized per (source, max_hops); any schema or
-  /// constraint mutation invalidates the memo.  The returned reference is
+  /// The closure is memoized per (source, max_hops); a mutation touching a
+  /// relation the closure reached invalidates the entry -- unrelated
+  /// mutations leave it warm (see set_selective_invalidation; with the
+  /// flag off, any mutation flushes everything).  The returned reference is
   /// valid until the next non-const MKB call.  The synchronizer queries the
   /// same closure up to three times per FROM item per partial
   /// (replace-relation, join-in, cvs-pair), so this memo is the dominant
@@ -172,6 +195,21 @@ class MetaKnowledgeBase {
   /// Human-readable dump (for examples and debugging).
   std::string ToString() const;
 
+  // --- Derived-memo invalidation policy ------------------------------------
+
+  /// Delta-aware invalidation (the default): every mutator computes the set
+  /// of relations it touches and drops only the memo entries whose touched
+  /// set intersects it, keeping closures warm across unrelated changes --
+  /// the difference between O(stream) and O(stream^2) closure work on long
+  /// evolution streams.  Off restores the seed's drop-everything behavior,
+  /// kept as the equivalence oracle (both modes answer every query
+  /// identically; only the amount of recomputation differs).
+  void set_selective_invalidation(bool on) { selective_invalidation_ = on; }
+  bool selective_invalidation() const { return selective_invalidation_; }
+
+  /// Snapshot of the memo behavior counters.
+  MkbMemoStats memo_stats() const;
+
  private:
   static PcEdge MakeEdge(const PcConstraint& pc, bool flipped);
 
@@ -187,31 +225,47 @@ class MetaKnowledgeBase {
   // Requires memo_mu_ held.
   const std::vector<PcEdge>& AdjacencyForLocked(const RelationId& source) const;
 
-  // Drops every memoized adjacency/closure/JC-pair entry; called by all
-  // mutators.
-  void InvalidateDerivedCaches() {
-    std::lock_guard<std::mutex> lock(memo_mu_);
-    adjacency_cache_.clear();
-    closure_cache_.clear();
-    jc_pair_cache_.clear();
-  }
+  // Delta-aware invalidation: drops the adjacency/closure entries whose
+  // touched relation set intersects `pc_mutated` and the JC-pair entries
+  // whose pair intersects `jc_mutated`.  An entry's touched set is derived
+  // from its contents -- {key source} + every cached edge target -- which
+  // is sound because any constraint the closure search ever examined
+  // involves a relation that ended up in that set (see mkb.cc).  With
+  // selective invalidation disabled, any non-empty mutation set degrades to
+  // the seed's full flush.  Counts survivals/drops into memo_stats_.
+  void InvalidateTouching(const std::vector<RelationId>& pc_mutated,
+                          const std::vector<RelationId>& jc_mutated);
+
+  // The relations whose PC memo entries a mutation of `id`'s constraint set
+  // can affect: {id} + the targets of every current PC edge at `id`.
+  // Covers the bridge constraints UnregisterRelation/RemoveAttribute
+  // install between pairs of those targets.  Call BEFORE mutating.
+  std::vector<RelationId> PcNeighborhood(const RelationId& id) const;
 
   std::map<RelationId, Schema> schemas_;
   std::vector<JoinConstraint> join_constraints_;
   std::vector<PcConstraint> pc_constraints_;
   StatisticsStore stats_;
+  bool selective_invalidation_ = true;
 
   // Lazily built derived state (std::map nodes are stable, so returned
-  // references survive unrelated insertions).  Guarded by memo_mu_ so
-  // concurrent const readers may populate the memos; mutators still follow
-  // the single-writer contract (see PcEdgesFromTransitive).
+  // references survive unrelated insertions AND selective drops of other
+  // entries).  Guarded by memo_mu_ so concurrent const readers may populate
+  // the memos; mutators still follow the single-writer contract (see
+  // PcEdgesFromTransitive).  The JC-pair cache stores constraint COPIES:
+  // the backing join_constraints_ vector reallocates on insert and
+  // compacts on erase, so surviving entries must not point into it; the
+  // copies in stable map nodes extend the returned pointers' validity to
+  // "until the entry is dropped", which subsumes the documented
+  // next-non-const-call rule.
   mutable std::mutex memo_mu_;
   mutable std::map<RelationId, std::vector<PcEdge>> adjacency_cache_;
   mutable std::map<std::pair<RelationId, int>, std::vector<PcEdge>>
       closure_cache_;
   mutable std::map<std::pair<RelationId, RelationId>,
-                   std::vector<const JoinConstraint*>>
+                   std::vector<JoinConstraint>>
       jc_pair_cache_;
+  mutable MkbMemoStats memo_stats_;
 };
 
 }  // namespace eve

@@ -5,6 +5,7 @@ namespace eve {
 InformationSource& InformationSpace::AddSource(const std::string& site) {
   const auto it = sources_.find(site);
   if (it != sources_.end()) return it->second;
+  ++name_version_;
   return sources_.emplace(site, InformationSource(site)).first->second;
 }
 
@@ -24,6 +25,7 @@ Status InformationSpace::AddRelation(const std::string& site, Relation relation,
   const Schema schema = relation.schema();
   const int64_t card = relation.cardinality();
   EVE_RETURN_IF_ERROR(source.AddRelation(std::move(relation)));
+  ++name_version_;
   if (mkb != nullptr) {
     EVE_RETURN_IF_ERROR(
         mkb->RegisterRelationWithStats(id, schema, card, local_selectivity));
@@ -89,13 +91,38 @@ struct ChangeApplier {
 
 Result<int> InformationSpace::ApplySchemaChange(const SchemaChange& change,
                                                 MetaKnowledgeBase* mkb) {
-  return std::visit(ChangeApplier{this, mkb}, change);
+  EVE_ASSIGN_OR_RETURN(int dropped,
+                       std::visit(ChangeApplier{this, mkb}, change));
+  // Only relation-level changes alter which names live where (AddRelation
+  // bumps inside AddSource/AddRelation already, but a second bump is
+  // harmless -- the stamp is monotonic, not dense).
+  if (std::holds_alternative<DeleteRelation>(change) ||
+      std::holds_alternative<RenameRelation>(change)) {
+    ++name_version_;
+  }
+  return dropped;
 }
 
 Status InformationSpace::ApplyDataUpdate(const DataUpdate& update) {
   EVE_ASSIGN_OR_RETURN(InformationSource * src,
                        GetMutableSource(update.relation.site));
   return src->Apply(update);
+}
+
+std::shared_ptr<const std::map<std::string, std::string>>
+InformationSpace::RelationSiteMap() const {
+  std::lock_guard<std::mutex> lock(site_map_mu_);
+  if (site_map_ == nullptr || site_map_version_ != name_version_) {
+    auto fresh = std::make_shared<std::map<std::string, std::string>>();
+    for (const auto& [site, source] : sources_) {
+      for (const std::string& rel : source.RelationNames()) {
+        (*fresh)[rel] = site;
+      }
+    }
+    site_map_ = std::move(fresh);
+    site_map_version_ = name_version_;
+  }
+  return site_map_;
 }
 
 Result<std::string> InformationSpace::SiteOf(const std::string& relation) const {

@@ -6,7 +6,10 @@
 #ifndef EVE_SPACE_INFORMATION_SPACE_H_
 #define EVE_SPACE_INFORMATION_SPACE_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,6 +46,22 @@ class InformationSpace : public RelationProvider {
   /// The site hosting `relation` (bare name).  Fails if absent/ambiguous.
   Result<std::string> SiteOf(const std::string& relation) const;
 
+  /// Bare relation name -> hosting site for every relation in the space,
+  /// in site order (a later site wins a duplicate name, mirroring the
+  /// historical per-change rescan).  Cached against NameVersion(): rebuilt
+  /// only after a mutation that can change the name shape, so a long
+  /// evolution stream pays one rebuild per add/drop/rename-relation instead
+  /// of one full rescan per change of any kind.  The returned snapshot is
+  /// immutable and safe to hold across later mutations.
+  std::shared_ptr<const std::map<std::string, std::string>> RelationSiteMap()
+      const;
+
+  /// Monotonic stamp of the space's name shape (which relations exist
+  /// where).  Bumped by AddSource/AddRelation and by ApplySchemaChange for
+  /// relation-level changes; attribute-level changes and data updates keep
+  /// it (and the site-map cache) intact.
+  uint64_t NameVersion() const { return name_version_; }
+
   bool HasSource(const std::string& site) const;
   Result<const InformationSource*> GetSource(const std::string& site) const;
   Result<InformationSource*> GetMutableSource(const std::string& site);
@@ -56,6 +75,14 @@ class InformationSpace : public RelationProvider {
 
  private:
   std::map<std::string, InformationSource> sources_;
+  uint64_t name_version_ = 1;
+  // Lazily built site map, valid while site_map_version_ == name_version_.
+  // The mutex only guards the cache slot: mutators follow the space's
+  // single-writer contract, but concurrent const readers may race to
+  // (re)build the map.
+  mutable std::mutex site_map_mu_;
+  mutable std::shared_ptr<const std::map<std::string, std::string>> site_map_;
+  mutable uint64_t site_map_version_ = 0;
 };
 
 }  // namespace eve

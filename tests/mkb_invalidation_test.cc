@@ -1,0 +1,221 @@
+// Delta-aware MKB memo invalidation (misd/mkb.h): twin MKBs -- one with
+// selective invalidation (the default), one in the seed's full-flush mode --
+// driven through the same interleaved mutation/query script, with every
+// memoized closure answer checked against PcEdgesFromTransitiveUncached
+// (the oracle that rebuilds adjacency from the constraint store per query).
+// Selective invalidation is an optimization only: both modes must answer
+// every query identically at every step; only the recomputation counters
+// may differ.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "misd/mkb.h"
+
+namespace eve {
+namespace {
+
+Schema IntSchema(const std::vector<std::string>& names) {
+  std::vector<Attribute> attrs;
+  for (const std::string& n : names) {
+    attrs.push_back(Attribute::Make(n, DataType::kInt64, 25));
+  }
+  return Schema(std::move(attrs));
+}
+
+// Order- and provenance-insensitive rendering of an edge set.  The
+// constraint text is included so bridge edges (installed by Unregister /
+// RemoveAttribute) must match across modes too, not just endpoints.
+std::vector<std::string> EdgeKeys(const std::vector<PcEdge>& edges) {
+  std::vector<std::string> keys;
+  keys.reserve(edges.size());
+  for (const PcEdge& e : edges) {
+    std::string key = e.source.ToString() + "->" + e.target.ToString() + "|" +
+                      std::string(PcRelationTypeToString(e.type)) + "|";
+    for (const auto& [from, to] : e.attribute_map) {
+      key += from + ":" + to + ",";
+    }
+    key += "|" + e.constraint_text;
+    keys.push_back(std::move(key));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// A replica chain R0..R4 (sites S0..S4) plus an unrelated island T0-T1
+// whose churn must leave the chain's closures warm.
+void BuildSpace(MetaKnowledgeBase& mkb) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(mkb.RegisterRelationWithStats(
+                       RelationId{"S" + std::to_string(i),
+                                  "R" + std::to_string(i)},
+                       IntSchema({"K", "V"}), 100)
+                    .ok());
+  }
+  for (int i = 0; i + 1 < 5; ++i) {
+    ASSERT_TRUE(mkb.AddPcConstraint(MakeProjectionPc(
+                       RelationId{"S" + std::to_string(i),
+                                  "R" + std::to_string(i)},
+                       RelationId{"S" + std::to_string(i + 1),
+                                  "R" + std::to_string(i + 1)},
+                       {"K", "V"}, PcRelationType::kEquivalent))
+                    .ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(mkb.RegisterRelationWithStats(
+                       RelationId{"T", "T" + std::to_string(i)},
+                       IntSchema({"K", "V"}), 50)
+                    .ok());
+  }
+  ASSERT_TRUE(mkb.AddPcConstraint(MakeProjectionPc(
+                     RelationId{"T", "T0"}, RelationId{"T", "T1"}, {"K", "V"},
+                     PcRelationType::kSubset))
+                  .ok());
+}
+
+class MkbInvalidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BuildSpace(selective_);
+    BuildSpace(full_);
+    full_.set_selective_invalidation(false);
+  }
+
+  // Memoized closures of both twins vs the uncached oracle, for every
+  // registered relation at 1 and 4 hops (EdgeKeys copies everything, so the
+  // memo references' next-non-const-call validity rule is respected).
+  void ExpectClosuresAgree(const std::string& step) {
+    ASSERT_EQ(selective_.Relations(), full_.Relations()) << step;
+    for (const RelationId& id : selective_.Relations()) {
+      for (int hops : {1, 4}) {
+        const auto oracle = EdgeKeys(
+            selective_.PcEdgesFromTransitiveUncached(id, hops));
+        EXPECT_EQ(EdgeKeys(selective_.PcEdgesFromTransitive(id, hops)), oracle)
+            << step << ": selective vs oracle at " << id.ToString() << "/"
+            << hops;
+        EXPECT_EQ(EdgeKeys(full_.PcEdgesFromTransitive(id, hops)), oracle)
+            << step << ": full-flush vs oracle at " << id.ToString() << "/"
+            << hops;
+      }
+    }
+  }
+
+  // Applies one mutation to both twins and re-verifies every closure.
+  template <typename Fn>
+  void Mutate(const std::string& step, Fn&& fn) {
+    fn(selective_);
+    fn(full_);
+    ExpectClosuresAgree(step);
+  }
+
+  MetaKnowledgeBase selective_;
+  MetaKnowledgeBase full_;
+};
+
+TEST_F(MkbInvalidationTest, InterleavedMutationsMatchOracle) {
+  ExpectClosuresAgree("initial");
+
+  Mutate("rename island attribute", [](MetaKnowledgeBase& mkb) {
+    ASSERT_TRUE(mkb.RenameAttribute(RelationId{"T", "T0"}, "V", "W").ok());
+  });
+  Mutate("add attribute", [](MetaKnowledgeBase& mkb) {
+    ASSERT_TRUE(mkb.AddAttribute(RelationId{"S0", "R0"},
+                                 Attribute::Make("E", DataType::kInt64, 25))
+                    .ok());
+  });
+  Mutate("remove constrained attribute", [](MetaKnowledgeBase& mkb) {
+    // Drops both chain constraints at R2 and installs R1<->R3 bridges.
+    ASSERT_TRUE(mkb.RemoveAttribute(RelationId{"S2", "R2"}, "V").ok());
+  });
+  Mutate("unregister mid-chain", [](MetaKnowledgeBase& mkb) {
+    ASSERT_TRUE(mkb.UnregisterRelation(RelationId{"S1", "R1"}).ok());
+  });
+  Mutate("register + link new replica", [](MetaKnowledgeBase& mkb) {
+    ASSERT_TRUE(mkb.RegisterRelationWithStats(RelationId{"S5", "R5"},
+                                              IntSchema({"K", "V"}), 100)
+                    .ok());
+    ASSERT_TRUE(mkb.AddPcConstraint(MakeProjectionPc(
+                       RelationId{"S4", "R4"}, RelationId{"S5", "R5"},
+                       {"K", "V"}, PcRelationType::kEquivalent))
+                    .ok());
+  });
+  Mutate("rename relation", [](MetaKnowledgeBase& mkb) {
+    ASSERT_TRUE(mkb.RenameRelation(RelationId{"S3", "R3"}, "R3x").ok());
+  });
+  Mutate("rename chain attribute", [](MetaKnowledgeBase& mkb) {
+    ASSERT_TRUE(mkb.RenameAttribute(RelationId{"S4", "R4"}, "V", "Vr").ok());
+  });
+
+  // The twins diverge only in how much they recomputed.
+  const MkbMemoStats selective = selective_.memo_stats();
+  const MkbMemoStats full = full_.memo_stats();
+  EXPECT_GT(selective.memo_survivals, 0);
+  EXPECT_GT(selective.selective_drops, 0);
+  EXPECT_EQ(selective.full_flushes, 0);
+  EXPECT_GT(full.full_flushes, 0);
+  EXPECT_EQ(full.memo_survivals, 0);
+  EXPECT_EQ(full.selective_drops, 0);
+  EXPECT_GT(full.closure_misses, selective.closure_misses);
+}
+
+TEST_F(MkbInvalidationTest, UnrelatedMutationKeepsClosureWarm) {
+  // Warm the chain-head closure in both twins.
+  (void)selective_.PcEdgesFromTransitive(RelationId{"S0", "R0"}, 4);
+  (void)full_.PcEdgesFromTransitive(RelationId{"S0", "R0"}, 4);
+  const int64_t selective_misses = selective_.memo_stats().closure_misses;
+  const int64_t full_misses = full_.memo_stats().closure_misses;
+
+  // Mutate only the island; the chain closure does not reach it.
+  ASSERT_TRUE(selective_.RenameAttribute(RelationId{"T", "T1"}, "V", "W").ok());
+  ASSERT_TRUE(full_.RenameAttribute(RelationId{"T", "T1"}, "V", "W").ok());
+
+  const auto& warm = selective_.PcEdgesFromTransitive(RelationId{"S0", "R0"}, 4);
+  EXPECT_EQ(warm.size(), 4u);  // R0 reaches R1..R4.
+  EXPECT_EQ(selective_.memo_stats().closure_misses, selective_misses)
+      << "unrelated mutation must not cost a recomputation";
+  (void)full_.PcEdgesFromTransitive(RelationId{"S0", "R0"}, 4);
+  EXPECT_EQ(full_.memo_stats().closure_misses, full_misses + 1)
+      << "full flush recomputes after any mutation";
+}
+
+TEST_F(MkbInvalidationTest, IntersectingMutationDropsClosure) {
+  (void)selective_.PcEdgesFromTransitive(RelationId{"S0", "R0"}, 4);
+  const int64_t misses = selective_.memo_stats().closure_misses;
+
+  // R4 is in the closure's reached set, so the entry must drop.
+  ASSERT_TRUE(selective_.RenameAttribute(RelationId{"S4", "R4"}, "V", "W").ok());
+  (void)selective_.PcEdgesFromTransitive(RelationId{"S0", "R0"}, 4);
+  EXPECT_EQ(selective_.memo_stats().closure_misses, misses + 1);
+}
+
+TEST_F(MkbInvalidationTest, JcPairCacheAgreesAcrossModes) {
+  JoinConstraint jc;
+  jc.left = RelationId{"S0", "R0"};
+  jc.right = RelationId{"T", "T0"};
+  jc.condition.Add(PrimitiveClause::AttrAttr(RelAttr{"R0", "K"},
+                                             CompOp::kEqual,
+                                             RelAttr{"T0", "K"}));
+  ASSERT_TRUE(selective_.AddJoinConstraint(jc).ok());
+  ASSERT_TRUE(full_.AddJoinConstraint(jc).ok());
+  for (MetaKnowledgeBase* mkb : {&selective_, &full_}) {
+    const auto found =
+        mkb->FindJoinConstraints(RelationId{"T", "T0"}, RelationId{"S0", "R0"});
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0]->left, (RelationId{"S0", "R0"}));
+  }
+  // A mutation at one endpoint invalidates the pair in both modes.
+  ASSERT_TRUE(selective_.RenameAttribute(RelationId{"T", "T0"}, "V", "W").ok());
+  ASSERT_TRUE(full_.RenameAttribute(RelationId{"T", "T0"}, "V", "W").ok());
+  for (MetaKnowledgeBase* mkb : {&selective_, &full_}) {
+    EXPECT_EQ(mkb->FindJoinConstraints(RelationId{"S0", "R0"},
+                                       RelationId{"T", "T0"})
+                  .size(),
+              1u);
+  }
+}
+
+}  // namespace
+}  // namespace eve
