@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench_util/experiment_common.h"
+#include "bench_util/policy_flag.h"
 #include "bench_util/table_printer.h"
 #include "common/parallel.h"
 #include "common/str_util.h"
@@ -23,6 +24,10 @@
 using namespace eve;
 
 namespace {
+
+// The --policy / EVE_POLICY preset (bench_util/policy_flag.h); null when
+// unset, in which case the driver behaves exactly as before.
+const EvolutionPolicy* g_policy = nullptr;
 
 Relation MakeRelation(const std::string& name,
                       const std::vector<std::string>& attrs, int64_t rows) {
@@ -48,6 +53,7 @@ struct BranchResult {
 BranchResult RunBranch(double w1, double w2) {
   BranchResult result;
   EveSystem eve;
+  if (g_policy != nullptr) (void)g_policy->ApplyTo(eve);
   eve.options().qc.w1 = w1;
   eve.options().qc.w2 = w2;
   eve.options().materialize = false;
@@ -107,6 +113,13 @@ BranchResult RunBranch(double w1, double w2) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto preset = PolicyFromFlags(argc, argv);
+  if (!preset.ok()) {
+    std::fprintf(stderr, "%s\n", preset.status().ToString().c_str());
+    return 2;
+  }
+  if (preset->has_value()) g_policy = &preset->value();
+
   std::printf("%s", Banner("Experiment 1 / Figure 12: survival of a view").c_str());
   std::printf(
       "V0 = SELECT R.A (AD,AR), R.B (AD) FROM R (RR); MKB: pi_A(R) c pi_A(S),\n"

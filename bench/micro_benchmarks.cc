@@ -41,6 +41,7 @@
 #include "maintenance/maintainer.h"
 #include "misd/mkb.h"
 #include "plan/plan_cache.h"
+#include "policy/evolution_policy.h"
 #include "qc/ranking.h"
 #include "space/information_space.h"
 #include "storage/column_kernel.h"
@@ -823,12 +824,14 @@ ScenarioOptions EvolutionScenario() {
 // total closure work); `selective = false` flips the MKB to whole-memo
 // flushes, recomputing every closure after every capability change
 // (O(stream^2)) -- the mode BM_EvolutionStream_FullFlush measures.
-void RunEvolutionStream(benchmark::State& state, bool selective) {
-  const ScenarioOptions scenario = EvolutionScenario();
+void RunEvolutionStream(benchmark::State& state, bool selective,
+                        EveOptions eve_options = EveOptions{},
+                        int partial_mirrors = 0) {
+  ScenarioOptions scenario = EvolutionScenario();
+  scenario.partial_mirrors = partial_mirrors;
   const int num_events = static_cast<int>(state.range(0));
   const std::vector<ScenarioEvent> stream =
       GenerateEventStream(scenario, num_events, scenario.seed + 1);
-  EveOptions eve_options;
   eve_options.materialize = false;
   int64_t events = 0;
   for (auto _ : state) {
@@ -855,6 +858,28 @@ void BM_EvolutionStream_FullFlush(benchmark::State& state) {
   RunEvolutionStream(state, /*selective=*/false);
 }
 BENCHMARK(BM_EvolutionStream_FullFlush)->Arg(1024);
+
+// The CVS-rich space (8 partial-coverage subset mirrors per family, the
+// complementary-coverage pair material) under always-enumerate: the
+// quadratic CVS pair fan-out every replica deletion triggers.  The policy
+// pair below replays the identical stream with the Balanced decision layer
+// capping exactly that fan-out -- BM_EvolutionStream_Fanout vs
+// BM_EvolutionStream_Policy is the decision layer's end-to-end win.
+void BM_EvolutionStream_Fanout(benchmark::State& state) {
+  RunEvolutionStream(state, /*selective=*/true, EveOptions{},
+                     /*partial_mirrors=*/8);
+}
+BENCHMARK(BM_EvolutionStream_Fanout)->Arg(1024);
+
+// The same stream under the Balanced selective policy (policy/ pre-checks
+// classify each (change, view) pair as skip / cap / full before the
+// synchronizer enumerates).
+void BM_EvolutionStream_Policy(benchmark::State& state) {
+  RunEvolutionStream(state, /*selective=*/true,
+                     EvolutionPolicy::Balanced().ToEveOptions(),
+                     /*partial_mirrors=*/8);
+}
+BENCHMARK(BM_EvolutionStream_Policy)->Arg(1024);
 
 // Scenario construction alone: space + PC/JC declarations + views + one
 // batched snapshot, and the deterministic stream generator.

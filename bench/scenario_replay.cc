@@ -9,18 +9,24 @@
 //   --views=N          view count               (default 32)
 //   --families=N       dimension families       (default 6)
 //   --replicas=N       replicas per family      (default 6)
+//   --mirrors=N        partial-coverage subset mirrors per family
+//                      (default 0; the CVS pair fan-out material)
 //   --rows=N           rows per dimension/fact  (default 10000)
 //   --seed=N           scenario + stream seed   (default 42)
 //   --stride=N         sample every N events    (default 10)
 //   --snowflake        add second-level chains
 //   --full-flush       disable delta-aware invalidation (the oracle mode)
 //   --threads=N        synchronization workers  (default 0 = auto)
+//   --policy=NAME      EvolutionPolicy preset (exhaustive / balanced /
+//                      latency_bound); also via EVE_POLICY.  Unset runs
+//                      exactly as before (stdout byte-identical).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "bench_util/policy_flag.h"
 #include "bench_util/scenario.h"
 
 using namespace eve;
@@ -53,13 +59,21 @@ int main(int argc, char** argv) {
   scenario.families = static_cast<int>(FlagValue(argc, argv, "families", 6));
   scenario.replicas_per_family =
       static_cast<int>(FlagValue(argc, argv, "replicas", 6));
+  scenario.partial_mirrors =
+      static_cast<int>(FlagValue(argc, argv, "mirrors", 0));
   scenario.views = static_cast<int>(FlagValue(argc, argv, "views", 32));
   scenario.dimension_rows = FlagValue(argc, argv, "rows", 10000);
   scenario.fact_rows = scenario.dimension_rows;
   scenario.snowflake = FlagSet(argc, argv, "snowflake");
   const int events = static_cast<int>(FlagValue(argc, argv, "events", 2000));
 
-  EveOptions eve_options;
+  const auto preset = PolicyFromFlags(argc, argv);
+  if (!preset.ok()) {
+    std::fprintf(stderr, "%s\n", preset.status().ToString().c_str());
+    return 2;
+  }
+  EveOptions eve_options =
+      preset->has_value() ? (*preset)->ToEveOptions() : EveOptions{};
   eve_options.materialize = false;
   eve_options.synchronize_threads =
       static_cast<int>(FlagValue(argc, argv, "threads", 0));
@@ -71,7 +85,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   (*system)->mkb().set_selective_invalidation(
-      !FlagSet(argc, argv, "full-flush"));
+      preset->has_value() ? (*preset)->selective_invalidation &&
+                                !FlagSet(argc, argv, "full-flush")
+                          : !FlagSet(argc, argv, "full-flush"));
 
   const std::vector<ScenarioEvent> stream =
       GenerateEventStream(scenario, events, scenario.seed + 1);
@@ -109,5 +125,21 @@ int main(int argc, char** argv) {
       static_cast<long long>(memo.selective_drops),
       static_cast<long long>(memo.full_flushes),
       sweeps > 0 ? static_cast<double>(memo.memo_survivals) / sweeps : 0.0);
+  if (preset->has_value()) {
+    // Policy summary lines print ONLY when a preset was requested, so the
+    // default invocation's stdout stays byte-identical to the seed's.
+    const PolicyStats& p = result->final_policy;
+    std::printf(
+        "# policy=%s decisions=%lld full=%lld capped=%lld "
+        "skip_unaffected=%lld skip_dead=%lld considered=%lld ranked=%lld "
+        "mean_adopted_qc=%.4f\n",
+        (*preset)->name.c_str(), static_cast<long long>(p.decisions),
+        static_cast<long long>(p.full), static_cast<long long>(p.capped),
+        static_cast<long long>(p.skipped_unaffected),
+        static_cast<long long>(p.skipped_dead),
+        static_cast<long long>(p.candidates_considered),
+        static_cast<long long>(p.candidates_ranked),
+        result->MeanAdoptedQc());
+  }
   return 0;
 }

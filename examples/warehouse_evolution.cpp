@@ -30,7 +30,7 @@ using namespace eve;
 
 namespace {
 
-struct PolicyStats {
+struct AdoptionStats {
   int changes_survived = 0;
   int deaths = 0;
   double divergence_sum = 0.0;   // DD of the adopted rewriting.
@@ -100,7 +100,7 @@ SchemaChange RandomChange(const EveSystem& eve, Random* rng) {
   return SchemaChange(DeleteAttribute{target, attr});
 }
 
-PolicyStats RunPolicy(bool qc_guided, uint64_t seed, int num_changes) {
+AdoptionStats RunPolicy(bool qc_guided, uint64_t seed, int num_changes) {
   Random rng(seed);
   EveSystem eve;
   eve.options().materialize = false;  // Pure synchronization study.
@@ -112,7 +112,7 @@ PolicyStats RunPolicy(bool qc_guided, uint64_t seed, int num_changes) {
   AddDepartment(&eve, "Hr", &rng);
   DefineViews(&eve);
 
-  PolicyStats stats;
+  AdoptionStats stats;
   for (int step = 0; step < num_changes; ++step) {
     const SchemaChange change = RandomChange(eve, &rng);
     const auto report = eve.NotifySchemaChange(change);
@@ -146,9 +146,9 @@ int main() {
   const int kChanges = 12;
   const int kTrials = 20;
 
-  PolicyStats qc_total;
-  PolicyStats ff_total;
-  auto accumulate = [](PolicyStats* total, const PolicyStats& s) {
+  AdoptionStats qc_total;
+  AdoptionStats ff_total;
+  auto accumulate = [](AdoptionStats* total, const AdoptionStats& s) {
     total->changes_survived += s.changes_survived;
     total->deaths += s.deaths;
     total->divergence_sum += s.divergence_sum;
@@ -165,7 +165,7 @@ int main() {
               kChanges, kTrials);
   std::printf("%-22s %9s %6s %10s %10s %10s\n", "policy", "survived", "died",
               "mean DD", "mean rank", "mean Cost*");
-  auto print_row = [](const char* name, const PolicyStats& s) {
+  auto print_row = [](const char* name, const AdoptionStats& s) {
     const int n = s.divergence_samples > 0 ? s.divergence_samples : 1;
     std::printf("%-22s %9d %6d %10.4f %10.2f %10.4f\n", name,
                 s.changes_survived, s.deaths, s.divergence_sum / n,

@@ -1,0 +1,27 @@
+#include "bench_util/policy_flag.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace eve {
+
+Result<std::optional<EvolutionPolicy>> PolicyFromFlags(int argc, char** argv) {
+  static constexpr char kPrefix[] = "--policy=";
+  std::string name;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, sizeof(kPrefix) - 1) == 0) {
+      name = argv[i] + sizeof(kPrefix) - 1;
+      break;
+    }
+  }
+  if (name.empty()) {
+    const char* env = std::getenv("EVE_POLICY");
+    if (env != nullptr) name = env;
+  }
+  if (name.empty()) return std::optional<EvolutionPolicy>();
+  EVE_ASSIGN_OR_RETURN(EvolutionPolicy policy, PolicyPresetByName(name));
+  return std::optional<EvolutionPolicy>(std::move(policy));
+}
+
+}  // namespace eve

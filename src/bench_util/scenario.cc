@@ -25,6 +25,9 @@ std::string ReplicaName(int f, int r) {
 std::string SnowName(int f, int r) {
   return "S" + std::to_string(f) + "_" + std::to_string(r);
 }
+std::string MirrorName(int f, int p) {
+  return "P" + std::to_string(f) + "_" + std::to_string(p);
+}
 std::string MirrorSite(int r) { return "Mirror" + std::to_string(r); }
 
 std::vector<std::string> DimensionAttrs(const ScenarioOptions& o) {
@@ -141,6 +144,46 @@ Result<std::unique_ptr<EveSystem>> BuildScenarioSystem(
             RelationId{MirrorSite((r + 1) % options.replicas_per_family),
                        SnowName(f, r + 1)},
             dim_attrs, PcRelationType::kEquivalent)));
+      }
+    }
+    // Partial-coverage subset mirrors: each carries K plus one value
+    // attribute, linked kSuperset FROM every replica (1 hop, so they stay
+    // reachable from whichever replica a view migrated to), with JCs on K
+    // between opposite-coverage mirrors and against every replica.  Views
+    // never adopt them -- a subset extent ranks below an exact equivalent
+    // -- but on a replica deletion the CVS pair strategy must consider
+    // every complementary (mirror, mirror) and (mirror, replica) join.
+    for (int p = 0; p < options.partial_mirrors; ++p) {
+      std::vector<std::string> mirror_attrs = {"K"};
+      if (p % 2 == 0) {
+        mirror_attrs.push_back("V0");
+      } else if (options.dimension_value_attrs >= 2) {
+        mirror_attrs.push_back("V1");
+      }
+      GeneratorOptions gen;
+      gen.cardinality = std::max<int64_t>(1, options.dimension_rows / 2);
+      gen.num_attributes = static_cast<int>(mirror_attrs.size());
+      gen.attribute_names = mirror_attrs;
+      gen.key_domain = std::max<int64_t>(16, options.dimension_rows / 2);
+      const std::string site = MirrorSite(p % options.replicas_per_family);
+      EVE_RETURN_IF_ERROR(system->RegisterRelation(
+          site, GenerateRelation(MirrorName(f, p), gen, &rng)));
+      for (int r = 0; r < options.replicas_per_family; ++r) {
+        EVE_RETURN_IF_ERROR(system->AddPcConstraint(MakeProjectionPc(
+            RelationId{MirrorSite(r), ReplicaName(f, r)},
+            RelationId{site, MirrorName(f, p)}, mirror_attrs,
+            PcRelationType::kSuperset)));
+      }
+      for (int q = 0; q < p; ++q) {
+        if (q % 2 == p % 2) continue;  // Same coverage: no pair material.
+        EVE_RETURN_IF_ERROR(system->DeclareConstraint(
+            "JOIN CONSTRAINT " + MirrorName(f, q) + ", " + MirrorName(f, p) +
+            " ON " + MirrorName(f, q) + ".K = " + MirrorName(f, p) + ".K"));
+      }
+      for (int r = 0; r < options.replicas_per_family; ++r) {
+        EVE_RETURN_IF_ERROR(system->DeclareConstraint(
+            "JOIN CONSTRAINT " + MirrorName(f, p) + ", " + ReplicaName(f, r) +
+            " ON " + MirrorName(f, p) + ".K = " + ReplicaName(f, r) + ".K"));
       }
     }
   }
@@ -486,6 +529,8 @@ Result<ReplayResult> ReplayScenario(EveSystem& system,
       if (adopted > 0) {
         sample.mean_adopted_qc = qc_sum / adopted;
         sample.mean_adopted_cost = cost_sum / adopted;
+        out.adopted_qc_sum += qc_sum;
+        out.adoptions += adopted;
       }
     } else if (const auto* update = std::get_if<DataUpdate>(&events[i].op)) {
       sample.kind = 'd';
@@ -535,6 +580,7 @@ Result<ReplayResult> ReplayScenario(EveSystem& system,
     }
   }
   out.final_memo = system.mkb().memo_stats();
+  out.final_policy = system.policy_stats();
   return out;
 }
 

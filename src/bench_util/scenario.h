@@ -51,6 +51,19 @@ struct ScenarioOptions {
   /// tail (deepens the PC closure without adding views).
   bool snowflake = false;
   int snowflake_replicas = 3;
+  /// Partial-coverage subset mirrors per family (the paper's S1..S5
+  /// containment idiom): relation "P{f}_{p}" carries the join key K plus
+  /// ONE value attribute (V0 for even p, V1 for odd p), is declared a
+  /// kSuperset target of every chain replica (replica contains mirror),
+  /// and joins every opposite-coverage mirror and every replica on K.
+  /// Mirrors are never churned; a subset extent ranks below the
+  /// exact-equivalent replicas on quality, though cost normalization can
+  /// still let a cheap half-size mirror (or CVS pair of mirrors) win
+  /// adoption under exhaustive enumeration. Their pairwise join
+  /// constraints are exactly the complementary-coverage material the CVS
+  /// pair strategy fans out over on a replica deletion -- the enumeration
+  /// work the policy layer's cap decision prunes (bench/policy_curve.cc).
+  int partial_mirrors = 0;
 };
 
 /// One replayable event: a capability change, a data update, or a PC
@@ -130,6 +143,18 @@ struct ReplayResult {
   int dead_views = 0;
   double total_micros = 0;
   MkbMemoStats final_memo;
+  /// Cumulative policy-layer counters over the stream (skip/cap/full
+  /// decisions and enumeration work; see policy/policy.h).  The ablation
+  /// driver's savings metric.
+  PolicyStats final_policy;
+  /// Sum / count of the top-adopted QC (Eq. 26) across every adoption in
+  /// the stream -- the quality side of the policy curve.
+  double adopted_qc_sum = 0;
+  int64_t adoptions = 0;
+
+  double MeanAdoptedQc() const {
+    return adoptions > 0 ? adopted_qc_sum / static_cast<double>(adoptions) : 0;
+  }
 
   /// The curves as CSV (header + one row per sample).
   std::string CurvesCsv() const;

@@ -11,10 +11,23 @@ namespace eve {
 
 std::string ViewSynchronizationReport::ToString() const {
   std::string out = "view " + view_name + ": ";
-  if (!affected) return out + "unaffected";
+  if (!affected) {
+    out += "unaffected";
+    // The annotation prints only for selective policy decisions, so
+    // exhaustive-mode reports stay byte-identical to the seed's.
+    if (policy_action == PolicyAction::kSkipUnaffected) {
+      out += " [policy: skip-unaffected]";
+    }
+    return out;
+  }
   out += std::string(ViewStateToString(resulting_state));
   // Only governed runs can truncate, so ungoverned reports are unchanged.
   if (truncated) out += " [truncated]";
+  if (policy_action == PolicyAction::kSkipDead) {
+    out += " [policy: skip-dead]";
+  } else if (policy_action == PolicyAction::kCap) {
+    out += " [policy: cap]";
+  }
   if (!ranking.empty()) {
     out += StrFormat(" (%d legal rewritings)\n",
                      static_cast<int>(ranking.size()));
@@ -151,6 +164,12 @@ Result<const ViewEntry*> EveSystem::GetViewEntry(const std::string& name) const 
 Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
   ChangeReport report;
   report.change = SchemaChangeToString(change);
+  if (options_.ranker != nullptr &&
+      !options_.synchronizer.use_delta_enumeration) {
+    return Status::InvalidArgument(
+        "an adoption ranker requires the delta enumeration pipeline "
+        "(synchronizer.use_delta_enumeration)");
+  }
 
   // 1. Affected views.  Site resolution uses the space's cached name map,
   // rebuilt only after relation-level changes instead of rescanning every
@@ -166,10 +185,17 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
   // report byte-identical to the serial loop regardless of thread count.
   ViewSynchronizer synchronizer(mkb_, options_.synchronizer);
   QcModel model(options_.qc, options_.cost, options_.workload);
+  // The selective policy decides skip / cap / full per (change, view) pair
+  // BEFORE any enumeration.  In exhaustive mode Decide returns kFull
+  // unconditionally, so the shared synchronizer path below is the seed's.
+  const PolicyEngine policy_engine(mkb_, options_.policy,
+                                   options_.synchronizer);
   struct Outcome {
     ViewSynchronizationReport view_report;
     bool dead = false;
     ViewDefinition chosen;  ///< The adopted definition (affected && !dead).
+    PolicyAction action = PolicyAction::kFull;
+    int64_t considered = 0;  ///< Enumeration work spent on this view.
   };
   std::vector<Outcome> outcomes(candidates.size());
 
@@ -180,6 +206,21 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
     ViewSynchronizationReport& view_report = out.view_report;
     view_report.view_name = view_name;
 
+    const PolicyDecision decision =
+        policy_engine.Decide(entry->definition, change);
+    out.action = decision.action;
+    view_report.policy_action = decision.action;
+    if (decision.action == PolicyAction::kSkipUnaffected) {
+      view_report.affected = false;
+      return Status::OK();
+    }
+    if (decision.action == PolicyAction::kSkipDead) {
+      view_report.affected = true;
+      view_report.resulting_state = ViewState::kDead;
+      out.dead = true;
+      return Status::OK();
+    }
+
     // Delta pipeline (default): candidates stay as (base, op-log) pairs
     // through scoring; only the ranked output and the adopted definition
     // ever materialize.  The eager branch is the retained oracle and
@@ -189,13 +230,24 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
     bool truncated = false;
     std::string truncation_reason;
     ViewDefinition first_legal;
+    ViewDefinition ranker_choice;
     if (options_.synchronizer.use_delta_enumeration) {
-      EVE_ASSIGN_OR_RETURN(CandidateSynchronizationResult sync,
-                           synchronizer.SynchronizeCandidates(
-                               entry->definition, change, ExecCtx()));
+      // A cap decision tightens the strategy set / result cap for this one
+      // pair; the per-pair synchronizer is cheap (it only captures options).
+      CandidateSynchronizationResult sync;
+      if (decision.action == PolicyAction::kCap) {
+        ViewSynchronizer capped(mkb_, decision.options);
+        EVE_ASSIGN_OR_RETURN(sync,
+                             capped.SynchronizeCandidates(entry->definition,
+                                                          change, ExecCtx()));
+      } else {
+        EVE_ASSIGN_OR_RETURN(sync, synchronizer.SynchronizeCandidates(
+                                       entry->definition, change, ExecCtx()));
+      }
       affected = sync.affected;
       truncated = sync.truncated;
       truncation_reason = std::move(sync.truncation_reason);
+      out.considered = sync.candidates_considered;
       // A truncated empty result proves nothing: the view may well have
       // rewritings the budget never reached, so death is only declared
       // from a COMPLETE enumeration (checked below).
@@ -203,6 +255,19 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
       if (!dead && sync.affected && !sync.candidates.empty()) {
         if (options_.adopt_first_legal) {
           first_legal = sync.candidates.front().Definition();
+        }
+        if (options_.ranker != nullptr) {
+          // Stable argmax of the plugin's scores decides adoption; the QC
+          // ranking below is still computed and reported unchanged.
+          EVE_ASSIGN_OR_RETURN(
+              const std::vector<double> scores,
+              options_.ranker->Score(entry->definition, sync.candidates,
+                                     mkb_));
+          size_t pick = 0;
+          for (size_t s = 1; s < scores.size(); ++s) {
+            if (scores[s] > scores[pick]) pick = s;
+          }
+          ranker_choice = sync.candidates[pick].Definition();
         }
         EVE_ASSIGN_OR_RETURN(view_report.ranking,
                              model.RankCandidates(entry->definition,
@@ -242,9 +307,13 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
       return Status::OK();
     }
     view_report.resulting_state = ViewState::kAlive;
-    out.chosen = options_.adopt_first_legal
-                     ? std::move(first_legal)
-                     : view_report.ranking.front().rewriting.definition;
+    if (options_.adopt_first_legal) {
+      out.chosen = std::move(first_legal);
+    } else if (!ranker_choice.name.empty()) {
+      out.chosen = std::move(ranker_choice);
+    } else {
+      out.chosen = view_report.ranking.front().rewriting.definition;
+    }
     view_report.adopted = PrintViewCompact(out.chosen);
     return Status::OK();
   };
@@ -272,6 +341,24 @@ Result<ChangeReport> EveSystem::NotifySchemaChange(const SchemaChange& change) {
   std::vector<std::string> deaths;
   for (size_t i = 0; i < outcomes.size(); ++i) {
     Outcome& out = outcomes[i];
+    ++policy_stats_.decisions;
+    switch (out.action) {
+      case PolicyAction::kFull:
+        ++policy_stats_.full;
+        break;
+      case PolicyAction::kCap:
+        ++policy_stats_.capped;
+        break;
+      case PolicyAction::kSkipUnaffected:
+        ++policy_stats_.skipped_unaffected;
+        break;
+      case PolicyAction::kSkipDead:
+        ++policy_stats_.skipped_dead;
+        break;
+    }
+    policy_stats_.candidates_considered += out.considered;
+    policy_stats_.candidates_ranked +=
+        static_cast<int64_t>(out.view_report.ranking.size());
     if (out.view_report.affected) {
       if (out.dead) {
         deaths.push_back(candidates[i]);

@@ -16,6 +16,7 @@
 #ifndef EVE_EVE_EVE_SYSTEM_H_
 #define EVE_EVE_EVE_SYSTEM_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@
 #include "maintenance/maintainer.h"
 #include "misd/mkb.h"
 #include "plan/plan_cache.h"
+#include "policy/policy.h"
+#include "policy/ranker.h"
 #include "qc/ranking.h"
 #include "serve/snapshot.h"
 #include "space/information_space.h"
@@ -47,6 +50,11 @@ struct ViewSynchronizationReport {
   std::vector<RankedRewriting> ranking;
   /// Compact E-SQL of the adopted rewriting (empty when none).
   std::string adopted;
+  /// What the policy layer decided for this (change, view) pair.  Always
+  /// kFull under PolicyMode::kExhaustive, so exhaustive reports render
+  /// byte-identically to the seed's (the annotation only prints for the
+  /// selective actions).
+  PolicyAction policy_action = PolicyAction::kFull;
 
   std::string ToString() const;
 };
@@ -74,6 +82,15 @@ struct EveOptions {
   /// EVE prototype (paper §8) and exists for head-to-head comparisons; the
   /// ranking is still computed for reporting.
   bool adopt_first_legal = false;
+  /// The selective rewriting policy (policy/policy.h).  The default
+  /// (PolicyMode::kExhaustive) bypasses the decision layer entirely and is
+  /// byte-identical to the seed's always-enumerate behavior.
+  PolicyConfig policy;
+  /// Optional adoption ranker plugin (policy/ranker.h).  Null adopts the
+  /// QC-Model's top pick (the paper's behavior).  When set, the QC ranking
+  /// is still computed and reported, but the adopted rewriting is the
+  /// ranker's stable argmax.  Requires the delta enumeration pipeline.
+  std::shared_ptr<const CandidateRanker> ranker;
   /// Worker threads for the per-view enumerate+rank loop of
   /// NotifySchemaChange (the views are independent: each synchronizes
   /// against the same PRE-change MKB, whose memos are mutex-populated).
@@ -146,6 +163,10 @@ class EveSystem {
   const ViewKnowledgeBase& vkb() const { return vkb_; }
   const EveOptions& options() const { return options_; }
   EveOptions& options() { return options_; }
+  /// Cumulative per-decision counters of the policy layer across every
+  /// NotifySchemaChange since construction (or the last reset).
+  const PolicyStats& policy_stats() const { return policy_stats_; }
+  void ResetPolicyStats() { policy_stats_ = PolicyStats{}; }
   /// Prepared plans for (re)materialization.  Cleared on every schema
   /// change; stale entries from data updates revalidate lazily against
   /// relation versions.
@@ -217,6 +238,7 @@ class EveSystem {
   ViewKnowledgeBase vkb_;
   PlanCache plan_cache_;
   SnapshotPublisher publisher_;
+  PolicyStats policy_stats_;
   int snapshot_batch_depth_ = 0;
   bool snapshot_batch_dirty_ = false;
   /// Owned intern pool for this system's string data.  Values are trivially

@@ -602,6 +602,7 @@ Result<std::vector<PcEdge>> ComputeClosure(const RelationId& source,
         composed.target_selectivity = ext.target_selectivity;
         composed.source_selection = edge.source_selection;
         composed.target_selection = ext.target_selection;
+        composed.hops = edge.hops + ext.hops;
         if (gov != nullptr) {
           EVE_RETURN_IF_ERROR(gov->Charge());
         }

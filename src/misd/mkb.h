@@ -65,6 +65,10 @@ struct PcEdge {
   /// Selection conditions (bare relation names).
   Conjunction source_selection;
   Conjunction target_selection;
+  /// Derivation depth: 1 for a direct constraint, k for an edge composed
+  /// of k chained constraints by the transitive closure.  Feeds the policy
+  /// layer's PC-hop-depth candidate feature.
+  int hops = 1;
 };
 
 /// The Meta Knowledge Base.

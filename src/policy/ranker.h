@@ -1,0 +1,152 @@
+// Pluggable candidate ranking for the selective rewriting policy.
+//
+// The EVE system adopts the top-ranked legal rewriting after every schema
+// change.  By default that ranking is the paper's QC-Model (Eq. 26);
+// CandidateRanker makes the adoption choice a plugin point so a learned
+// model can reorder candidates without touching the enumeration or the
+// reported QC ranking.  ExtractCandidateFeatures produces the feature
+// vector both rankers (and offline training) consume: the QC quality and
+// cost components, the candidate's delta-op shape, and the PC-hop depth of
+// the constraint edges that license its substitutions.
+//
+// All scoring is delta-native (candidate.View() overlays; no
+// materialization) and per-candidate deterministic: a candidate's score
+// depends only on (original, candidate, mkb, weights), never on the order
+// or number of sibling candidates, so ranker adoption is reproducible
+// across thread counts (tested).
+
+#ifndef EVE_POLICY_RANKER_H_
+#define EVE_POLICY_RANKER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "esql/ast.h"
+#include "misd/mkb.h"
+#include "qc/cost_model.h"
+#include "qc/parameters.h"
+#include "qc/workload.h"
+#include "synch/partial.h"
+
+namespace eve {
+
+/// The feature vector of one rewriting candidate.  Field names double as
+/// the JSON weight keys of LinearRanker (see FeatureNames()).
+struct CandidateFeatures {
+  // Quality components (paper §5, estimated delta-natively).
+  double dd = 0;           ///< Total degree of divergence (Eq. 20).
+  double dd_attr = 0;      ///< Interface divergence.
+  double dd_ext = 0;       ///< Extent divergence.
+  double q_rewriting = 0;  ///< Interface quality Q_Vi (Eq. 12).
+  double exact = 1;        ///< 1 when every extent estimate was exact.
+  // Cost components (paper §6 over the configured workload).
+  double weighted_cost = 0;   ///< Eq. 24 over the workload, unnormalized.
+  double estimated_size = 0;  ///< Estimated extent size (tuples).
+  // Delta-op shape of the candidate.
+  double ops = 0;           ///< Total RewriteDelta ops.
+  double drops = 0;         ///< Drop ops (select / condition / from).
+  double replacements = 0;  ///< Relation substitutions performed.
+  double added_conditions = 0;
+  // PC derivation depth of the licensing edges.
+  double pc_hops_max = 0;
+  double pc_hops_total = 0;
+  // Result shape.
+  double select_size = 0;
+  double from_size = 0;
+  double where_size = 0;
+
+  /// The canonical feature order; names match the struct fields.
+  static const std::vector<std::string>& Names();
+
+  /// Values in Names() order.
+  std::vector<double> ToVector() const;
+
+  std::string ToString() const;
+};
+
+/// Extracts the feature vector of `candidate` against `original`.
+/// Delta-native: quality, cost, and size all run over candidate.View().
+Result<CandidateFeatures> ExtractCandidateFeatures(
+    const ViewDefinition& original, const RewriteCandidate& candidate,
+    const MetaKnowledgeBase& mkb, const QcParameters& params,
+    const CostModelOptions& cost_options, const WorkloadOptions& workload);
+
+/// The adoption-ranking plugin interface.  Implementations must be
+/// thread-compatible (Score is const and may run concurrently for
+/// different views) and per-candidate deterministic.
+class CandidateRanker {
+ public:
+  virtual ~CandidateRanker() = default;
+
+  /// For reports and the policy curve.
+  virtual std::string_view name() const = 0;
+
+  /// One score per candidate, higher is better.  Adoption picks the
+  /// highest score; ties break toward the lower index (stable argmax).
+  virtual Result<std::vector<double>> Score(
+      const ViewDefinition& original,
+      const std::vector<RewriteCandidate>& candidates,
+      const MetaKnowledgeBase& mkb) const = 0;
+};
+
+/// The default ranker: the paper's QC-Model (Eq. 25 cost normalization
+/// across the candidate set, then Eq. 26).  Adopting its argmax is
+/// equivalent to adopting the head of QcModel::RankCandidates.
+class QcRanker : public CandidateRanker {
+ public:
+  QcRanker(QcParameters params, CostModelOptions cost_options,
+           WorkloadOptions workload);
+
+  std::string_view name() const override { return "qc"; }
+  Result<std::vector<double>> Score(
+      const ViewDefinition& original,
+      const std::vector<RewriteCandidate>& candidates,
+      const MetaKnowledgeBase& mkb) const override;
+
+ private:
+  QcParameters params_;
+  CostModelOptions cost_options_;
+  WorkloadOptions workload_;
+};
+
+/// A learned linear ranker: score = bias + sum_i weight[f_i] * feature_i,
+/// with weights loaded from a flat JSON object keyed by feature name
+/// (CandidateFeatures::Names(), plus "bias").  Unknown keys are rejected;
+/// missing keys default to 0.  Feature values are used raw (training is
+/// expected to bake any scaling into the weights).
+class LinearRanker : public CandidateRanker {
+ public:
+  /// Parses `{"bias": 0.1, "dd": -1.0, ...}`.  Flat object of numbers
+  /// only; rejects nesting, arrays, strings, and unknown feature names.
+  static Result<LinearRanker> FromJson(std::string_view json);
+
+  /// Reads and parses a weight file.
+  static Result<LinearRanker> FromJsonFile(const std::string& path);
+
+  LinearRanker(double bias, std::map<std::string, double> weights,
+               QcParameters params, CostModelOptions cost_options,
+               WorkloadOptions workload);
+
+  std::string_view name() const override { return "linear"; }
+  Result<std::vector<double>> Score(
+      const ViewDefinition& original,
+      const std::vector<RewriteCandidate>& candidates,
+      const MetaKnowledgeBase& mkb) const override;
+
+  double bias() const { return bias_; }
+  const std::map<std::string, double>& weights() const { return weights_; }
+
+ private:
+  double bias_ = 0;
+  std::map<std::string, double> weights_;
+  QcParameters params_;
+  CostModelOptions cost_options_;
+  WorkloadOptions workload_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_POLICY_RANKER_H_

@@ -165,6 +165,11 @@ struct CandidateSynchronizationResult {
   /// Best-so-far degradation marker; see SynchronizationResult::truncated.
   bool truncated = false;
   std::string truncation_reason;
+  /// Enumeration work: candidates the strategies derived and offered to the
+  /// legality / dedup / cap sinks (counted whether or not they survived).
+  /// The policy layer's savings metric.  Delta pipeline only; the eager
+  /// oracle reports 0.
+  int64_t candidates_considered = 0;
 };
 
 }  // namespace eve

@@ -85,6 +85,9 @@ struct SynchronizationResult {
   bool truncated = false;
   /// Human-readable cause when truncated (e.g. the budget status message).
   std::string truncation_reason;
+  /// Enumeration work: candidates derived and offered to the legality /
+  /// dedup / cap sinks.  Delta pipeline only; the eager oracle reports 0.
+  int64_t candidates_considered = 0;
 };
 
 }  // namespace eve

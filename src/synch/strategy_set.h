@@ -1,0 +1,82 @@
+// StrategySet: the synchronizer's optional rewriting strategies as an
+// enum-bitmask.  The rename and drop strategies are always available (they
+// are the baseline semantics of the paper's SVS algorithm); the set governs
+// the three discovery strategies that fan out through the MKB's PC closure.
+//
+// The policy layer (policy/policy.h) addresses cap decisions as per-pair
+// strategy subsets, which is why this is a first-class value type instead
+// of three independent bools.
+
+#ifndef EVE_SYNCH_STRATEGY_SET_H_
+#define EVE_SYNCH_STRATEGY_SET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eve {
+
+/// The optional rewriting strategies (paper §3.3; see synchronizer.h).
+enum class Strategy : uint8_t {
+  /// Whole-relation substitution through PC edges.
+  kReplaceRelation = 1u << 0,
+  /// Attribute recovery by joining a PC-related relation (needs a JC).
+  kJoinIn = 1u << 1,
+  /// Complex substitution replacing one relation by a two-way join.
+  kCvsPair = 1u << 2,
+};
+
+/// A set of Strategy values.  Value type, order-independent, cheap to copy.
+class StrategySet {
+ public:
+  constexpr StrategySet() = default;
+  constexpr explicit StrategySet(Strategy s)
+      : bits_(static_cast<uint8_t>(s)) {}
+
+  /// Every strategy enabled (the seed default).
+  static constexpr StrategySet All() {
+    return StrategySet(static_cast<uint8_t>(Strategy::kReplaceRelation) |
+                       static_cast<uint8_t>(Strategy::kJoinIn) |
+                       static_cast<uint8_t>(Strategy::kCvsPair));
+  }
+  static constexpr StrategySet None() { return StrategySet(); }
+
+  constexpr StrategySet With(Strategy s) const {
+    return StrategySet(static_cast<uint8_t>(bits_ | static_cast<uint8_t>(s)));
+  }
+  constexpr StrategySet Without(Strategy s) const {
+    return StrategySet(static_cast<uint8_t>(bits_ & ~static_cast<uint8_t>(s)));
+  }
+  constexpr bool Has(Strategy s) const {
+    return (bits_ & static_cast<uint8_t>(s)) != 0;
+  }
+  constexpr bool empty() const { return bits_ == 0; }
+
+  constexpr friend bool operator==(StrategySet a, StrategySet b) {
+    return a.bits_ == b.bits_;
+  }
+  constexpr friend bool operator!=(StrategySet a, StrategySet b) {
+    return a.bits_ != b.bits_;
+  }
+
+  /// "replace-relation|join-in|cvs-pair" in fixed order; "none" when empty.
+  std::string ToString() const {
+    if (empty()) return "none";
+    std::string out;
+    auto add = [&out](const char* name) {
+      if (!out.empty()) out += '|';
+      out += name;
+    };
+    if (Has(Strategy::kReplaceRelation)) add("replace-relation");
+    if (Has(Strategy::kJoinIn)) add("join-in");
+    if (Has(Strategy::kCvsPair)) add("cvs-pair");
+    return out;
+  }
+
+ private:
+  constexpr explicit StrategySet(uint8_t bits) : bits_(bits) {}
+  uint8_t bits_ = 0;
+};
+
+}  // namespace eve
+
+#endif  // EVE_SYNCH_STRATEGY_SET_H_

@@ -205,6 +205,7 @@ struct PartialSet {
   // deadline): `partials` holds the legal best-so-far candidates.
   bool truncated = false;
   std::string truncation_reason;
+  int64_t candidates_considered = 0;
 };
 
 }  // namespace
@@ -296,6 +297,7 @@ class ViewSynchronizer::Impl {
         result.partials = sink.Take();
         result.truncated = truncated_;
         result.truncation_reason = truncation_reason_;
+        result.candidates_considered = considered_;
         return result;
       }
       std::vector<Partial> next;
@@ -405,16 +407,16 @@ class ViewSynchronizer::Impl {
 
     if (attr.has_value()) {
       append(DropStrategyForAttribute(base, from_name, *attr));
-      if (options_.enable_join_in && !out->full()) {
+      if (options_.strategies.Has(Strategy::kJoinIn) && !out->full()) {
         JoinInStrategies(base, from_name, *attr, out);
       }
     } else {
       append(DropStrategyForRelation(base, from_name, refs));
     }
-    if (options_.enable_relation_replacement && !out->full()) {
+    if (options_.strategies.Has(Strategy::kReplaceRelation) && !out->full()) {
       ReplaceRelationStrategies(base, from_name, out);
     }
-    if (options_.enable_cvs_pairs && !out->full()) {
+    if (options_.strategies.Has(Strategy::kCvsPair) && !out->full()) {
       CvsPairStrategies(base, from_name, refs, out);
     }
   }
@@ -1088,6 +1090,7 @@ class ViewSynchronizer::Impl {
   // and enumeration stops (StopRequested() is now true).
   bool AdmitCandidate() const {
     if (StopRequested()) return false;
+    ++considered_;
     if (!ctx_.limited()) return true;
     Status s = ctx_.ConsumeCandidates(1);
     if (s.ok()) s = ctx_.CheckNow();
@@ -1180,6 +1183,7 @@ class ViewSynchronizer::Impl {
     result.partials = sink.Take();
     result.truncated = truncated_;
     result.truncation_reason = truncation_reason_;
+    result.candidates_considered = considered_;
     return result;
   }
 
@@ -1193,6 +1197,8 @@ class ViewSynchronizer::Impl {
   mutable Status hard_error_;
   mutable bool truncated_ = false;
   mutable std::string truncation_reason_;
+  // Enumeration-work counter: candidates offered to the sinks.
+  mutable int64_t considered_ = 0;
 };
 
 ViewSynchronizer::ViewSynchronizer(const MetaKnowledgeBase& mkb,
@@ -1213,6 +1219,7 @@ Result<SynchronizationResult> ViewSynchronizer::Synchronize(
   result.affected = set.affected;
   result.truncated = set.truncated;
   result.truncation_reason = std::move(set.truncation_reason);
+  result.candidates_considered = set.candidates_considered;
   result.rewritings.reserve(set.partials.size());
   for (Partial& p : set.partials) {
     // Survivors materialize once, straight from the compiled overlay.
@@ -1231,6 +1238,7 @@ Result<CandidateSynchronizationResult> ViewSynchronizer::SynchronizeCandidates(
   result.affected = set.affected;
   result.truncated = set.truncated;
   result.truncation_reason = std::move(set.truncation_reason);
+  result.candidates_considered = set.candidates_considered;
   result.candidates.reserve(set.partials.size());
   for (Partial& p : set.partials) {
     result.candidates.push_back(std::move(p.cand));

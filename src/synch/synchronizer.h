@@ -35,17 +35,16 @@
 #include "space/schema_change.h"
 #include "synch/partial.h"
 #include "synch/rewriting.h"
+#include "synch/strategy_set.h"
 
 namespace eve {
 
 /// Knobs for the rewriting search.
 struct SynchronizerOptions {
-  /// Allow whole-relation substitution through PC edges.
-  bool enable_relation_replacement = true;
-  /// Allow attribute recovery by joining a PC-related relation (needs a JC).
-  bool enable_join_in = true;
-  /// Allow complex substitutions replacing one relation by a two-way join.
-  bool enable_cvs_pairs = true;
+  /// The enabled discovery strategies (replace-relation, join-in, cvs-pair)
+  /// as an enum-bitmask; rename and drop are always available.  The policy
+  /// layer's cap decisions tighten this per (change, view) pair.
+  StrategySet strategies = StrategySet::All();
   /// Additionally enumerate rewritings that drop each subset of the
   /// dispensable SELECT items (the full "spectrum" of paper footnote 2).
   /// Off by default: those rewritings are dominated in information

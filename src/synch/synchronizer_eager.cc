@@ -282,16 +282,16 @@ class EagerImpl {
 
     if (attr.has_value()) {
       append(DropStrategyForAttribute(base, from_name, *attr));
-      if (options_.enable_join_in) {
+      if (options_.strategies.Has(Strategy::kJoinIn)) {
         extend(JoinInStrategies(base, from_name, *attr));
       }
     } else {
       append(DropStrategyForRelation(base, from_name, refs));
     }
-    if (options_.enable_relation_replacement) {
+    if (options_.strategies.Has(Strategy::kReplaceRelation)) {
       extend(ReplaceRelationStrategies(base, from_name));
     }
-    if (options_.enable_cvs_pairs) {
+    if (options_.strategies.Has(Strategy::kCvsPair)) {
       extend(CvsPairStrategies(base, from_name, refs));
     }
     return out;

@@ -161,9 +161,10 @@ TEST(DeltaEquivalence, ExperimentChainStrategySubsets) {
   for (int mask = 0; mask < 8; ++mask) {
     SCOPED_TRACE(mask);
     SynchronizerOptions options;
-    options.enable_relation_replacement = (mask & 1) != 0;
-    options.enable_join_in = (mask & 2) != 0;
-    options.enable_cvs_pairs = (mask & 4) != 0;
+    options.strategies = StrategySet::None();
+    if (mask & 1) options.strategies = options.strategies.With(Strategy::kReplaceRelation);
+    if (mask & 2) options.strategies = options.strategies.With(Strategy::kJoinIn);
+    if (mask & 4) options.strategies = options.strategies.With(Strategy::kCvsPair);
     ExpectEquivalent(env.mkb, env.view, change, options);
   }
 }

@@ -52,8 +52,7 @@ class OptionsTest : public ::testing::Test {
 
 TEST_F(OptionsTest, DisablingRelationReplacementKillsView) {
   SynchronizerOptions options;
-  options.enable_relation_replacement = false;
-  options.enable_cvs_pairs = false;
+  options.strategies = StrategySet(Strategy::kJoinIn);
   ViewSynchronizer synchronizer(mkb_, options);
   const auto result = synchronizer.Synchronize(view_, change_);
   ASSERT_TRUE(result.ok());
